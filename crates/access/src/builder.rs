@@ -1,0 +1,363 @@
+//! Construction of access schemas from data.
+//!
+//! * [`build_at`] builds the canonical access schema `A_t` of Theorem 1(1):
+//!   one multi-level `R(∅ → attr(R), 2^k, d̄_k)` family per relation.
+//! * [`build_constraint`] builds an access *constraint* `R(X → Y, N, 0̄)` —
+//!   the exact indices of \[11, 23\] used for boundedly evaluable (sub)queries.
+//! * [`build_extended`] builds the extended families
+//!   `R(X → Y, 2^i, d̄_i)` the experiments derive from each access constraint
+//!   (Sec. 8 "Access schema": `R(XY → Z, 2^i, d̄_i)`).
+//!
+//! All builders are *data driven*: they scan the instance once, group tuples
+//! by their X-value and run the multi-resolution partitioning of
+//! [`crate::kdtree`] per group, so that the resulting index provably conforms
+//! to every template it serves (`D |= ψ`).
+
+use std::collections::HashMap;
+
+use beas_relal::{Database, DistanceKind, Value};
+
+use crate::error::{AccessError, Result};
+use crate::family::{Level, Rep, TemplateFamily};
+use crate::kdtree::multilevel_partition;
+
+/// Options controlling `A_t` construction.
+#[derive(Debug, Clone, Default)]
+pub struct AtOptions {
+    /// Upper bound on the number of levels per family. `None` builds levels
+    /// until the partition is exact (the paper's `M_R = ⌈log₂|D_R|⌉` levels).
+    /// Capping the levels trades index size for the ability to return exact
+    /// answers from the family.
+    pub level_cap: Option<usize>,
+}
+
+/// Builds the canonical access schema `A_t`: for every relation `R` of the
+/// database, a family `R(∅ → attr(R), 2^k, d̄_k)` with `k = 0..M_R`.
+pub fn build_at(db: &Database, opts: &AtOptions) -> Result<Vec<TemplateFamily>> {
+    let mut families = Vec::new();
+    for rel_schema in &db.schema.relations {
+        let attrs: Vec<&str> = rel_schema.attributes.iter().map(|a| a.name.as_str()).collect();
+        let mut family = build_family(db, &rel_schema.name, &[], &attrs, opts.level_cap)?;
+        family.from_constraint = false;
+        families.push(family);
+    }
+    Ok(families)
+}
+
+/// Builds an access constraint `R(X → Y, N, 0̄)`: for each X-value the index
+/// returns all distinct Y-values exactly. `N` is the largest group size found
+/// in the data.
+pub fn build_constraint(
+    db: &Database,
+    relation: &str,
+    x_attrs: &[&str],
+    y_attrs: &[&str],
+) -> Result<TemplateFamily> {
+    let (x_idx, _) = resolve_attrs(db, relation, x_attrs)?;
+    let (y_idx, _) = resolve_attrs(db, relation, y_attrs)?;
+    let rel = db.relation(relation)?;
+
+    let mut buckets: HashMap<Vec<Value>, HashMap<Vec<Value>, (u64, Vec<Option<f64>>)>> =
+        HashMap::new();
+    for row in &rel.rows {
+        let key: Vec<Value> = x_idx.iter().map(|&i| row[i].clone()).collect();
+        let yval: Vec<Value> = y_idx.iter().map(|&i| row[i].clone()).collect();
+        let entry = buckets.entry(key).or_default();
+        let stats = entry.entry(yval.clone()).or_insert_with(|| {
+            (0, yval.iter().map(|_| Some(0.0)).collect::<Vec<Option<f64>>>())
+        });
+        stats.0 += 1;
+        for (j, v) in yval.iter().enumerate() {
+            match (v.as_f64(), &mut stats.1[j]) {
+                (Some(x), Some(acc)) => *acc += x,
+                (None, s) => *s = None,
+                _ => {}
+            }
+        }
+    }
+
+    let mut out_buckets: HashMap<Vec<Value>, Vec<Rep>> = HashMap::new();
+    let mut max_group = 0usize;
+    for (key, group) in buckets {
+        let mut reps: Vec<Rep> = group
+            .into_iter()
+            .map(|(values, (count, sums))| Rep { values, count, sums })
+            .collect();
+        reps.sort_by(|a, b| a.values.cmp(&b.values));
+        max_group = max_group.max(reps.len());
+        out_buckets.insert(key, reps);
+    }
+
+    Ok(TemplateFamily {
+        relation: relation.to_string(),
+        x: x_attrs.iter().map(|s| s.to_string()).collect(),
+        y: y_attrs.iter().map(|s| s.to_string()).collect(),
+        levels: vec![Level {
+            n: max_group.max(1),
+            resolution: vec![0.0; y_attrs.len()],
+            buckets: out_buckets,
+        }],
+        from_constraint: true,
+    })
+}
+
+/// Builds an extended multi-level family `R(X → Y, 2^i, d̄_i)`: for each
+/// X-value, the Y-values are partitioned at multiple resolutions (one K-D tree
+/// per group). The experiments build these from each access constraint
+/// `R(X → Y', N, 0)` with `X := X ∪ Y'` and `Y :=` the remaining attributes.
+pub fn build_extended(
+    db: &Database,
+    relation: &str,
+    x_attrs: &[&str],
+    y_attrs: &[&str],
+) -> Result<TemplateFamily> {
+    build_family(db, relation, x_attrs, y_attrs, None)
+}
+
+/// Shared implementation: groups rows by X and partitions each group's
+/// Y-projection at multiple resolutions.
+fn build_family(
+    db: &Database,
+    relation: &str,
+    x_attrs: &[&str],
+    y_attrs: &[&str],
+    level_cap: Option<usize>,
+) -> Result<TemplateFamily> {
+    let (x_idx, _) = resolve_attrs(db, relation, x_attrs)?;
+    let (y_idx, y_dists) = resolve_attrs(db, relation, y_attrs)?;
+    if y_attrs.is_empty() {
+        return Err(AccessError::InvalidTemplate(format!(
+            "template on {relation} with empty Y"
+        )));
+    }
+    let rel = db.relation(relation)?;
+
+    // group Y-projections by X-value
+    let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
+    for row in &rel.rows {
+        let key: Vec<Value> = x_idx.iter().map(|&i| row[i].clone()).collect();
+        let yval: Vec<Value> = y_idx.iter().map(|&i| row[i].clone()).collect();
+        groups.entry(key).or_default().push(yval);
+    }
+    if groups.is_empty() {
+        // an empty relation still conforms trivially: one empty, exact level
+        return Ok(TemplateFamily {
+            relation: relation.to_string(),
+            x: x_attrs.iter().map(|s| s.to_string()).collect(),
+            y: y_attrs.iter().map(|s| s.to_string()).collect(),
+            levels: vec![Level {
+                n: 0,
+                resolution: vec![0.0; y_attrs.len()],
+                buckets: HashMap::new(),
+            }],
+            from_constraint: false,
+        });
+    }
+
+    // partition each group
+    let partitions: Vec<(Vec<Value>, Vec<crate::kdtree::LevelReps>)> = groups
+        .into_iter()
+        .map(|(key, tuples)| (key, multilevel_partition(&tuples, &y_dists)))
+        .collect();
+
+    let mut num_levels = partitions
+        .iter()
+        .map(|(_, levels)| levels.len())
+        .max()
+        .unwrap_or(1);
+    if let Some(cap) = level_cap {
+        num_levels = num_levels.min(cap.max(1));
+    }
+
+    let mut levels = Vec::with_capacity(num_levels);
+    for k in 0..num_levels {
+        let mut buckets: HashMap<Vec<Value>, Vec<Rep>> = HashMap::new();
+        let mut resolution = vec![0.0f64; y_attrs.len()];
+        let mut n = 0usize;
+        for (key, group_levels) in &partitions {
+            // groups that became exact earlier keep serving their exact reps
+            let use_level = k.min(group_levels.len() - 1);
+            let lr = &group_levels[use_level];
+            n = n.max(lr.reps.len());
+            for (j, r) in lr.resolution.iter().enumerate() {
+                if *r > resolution[j] {
+                    resolution[j] = *r;
+                }
+            }
+            buckets.insert(key.clone(), lr.reps.clone());
+        }
+        levels.push(Level {
+            n: n.max(1),
+            resolution,
+            buckets,
+        });
+    }
+
+    Ok(TemplateFamily {
+        relation: relation.to_string(),
+        x: x_attrs.iter().map(|s| s.to_string()).collect(),
+        y: y_attrs.iter().map(|s| s.to_string()).collect(),
+        levels,
+        from_constraint: false,
+    })
+}
+
+/// Resolves attribute names to column indices and distance kinds.
+fn resolve_attrs(
+    db: &Database,
+    relation: &str,
+    attrs: &[&str],
+) -> Result<(Vec<usize>, Vec<DistanceKind>)> {
+    let schema = db.schema.relation(relation)?;
+    let mut idx = Vec::with_capacity(attrs.len());
+    let mut dists = Vec::with_capacity(attrs.len());
+    for a in attrs {
+        let i = schema.attr_index(a)?;
+        idx.push(i);
+        dists.push(schema.attributes[i].distance);
+    }
+    Ok((idx, dists))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_relal::{Attribute, DatabaseSchema, RelationSchema};
+
+    fn poi_db(n: usize) -> Database {
+        let schema = DatabaseSchema::new(vec![RelationSchema::new(
+            "poi",
+            vec![
+                Attribute::text("address"),
+                Attribute::categorical("type"),
+                Attribute::text("city"),
+                Attribute::double("price"),
+            ],
+        )]);
+        let mut db = Database::new(schema);
+        for i in 0..n {
+            let city = if i % 2 == 0 { "NYC" } else { "Chicago" };
+            let ty = if i % 3 == 0 { "hotel" } else { "museum" };
+            db.insert_row(
+                "poi",
+                vec![
+                    Value::from(format!("addr{i}")),
+                    Value::from(ty),
+                    Value::from(city),
+                    Value::Double(50.0 + (i as f64) * 3.0),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn build_at_creates_one_family_per_relation() {
+        let db = poi_db(40);
+        let families = build_at(&db, &AtOptions::default()).unwrap();
+        assert_eq!(families.len(), 1);
+        let f = &families[0];
+        assert!(f.is_full_relation());
+        assert_eq!(f.y.len(), 4);
+        // deepest level is exact and enumerates all distinct tuples
+        let last = f.levels.last().unwrap();
+        assert!(last.is_exact());
+        assert_eq!(last.stored_tuples(), 40);
+        // total index size is a small multiple of |D_R| (the paper bounds it
+        // by ~2|D_R| for perfectly binary levels; our last level can repeat
+        // the full relation once more)
+        assert!(f.stored_tuples() <= 3 * 40 + f.num_levels());
+    }
+
+    #[test]
+    fn at_level_cap_limits_levels() {
+        let db = poi_db(64);
+        let families = build_at(&db, &AtOptions { level_cap: Some(3) }).unwrap();
+        assert!(families[0].num_levels() <= 3);
+    }
+
+    #[test]
+    fn constraint_returns_exact_groups() {
+        let db = poi_db(30);
+        let f = build_constraint(&db, "poi", &["city"], &["type"]).unwrap();
+        assert!(f.is_constraint());
+        assert!(f.from_constraint);
+        // looking up NYC returns the distinct types among NYC POIs
+        let reps = f.lookup(0, &[Value::from("NYC")]).unwrap();
+        assert!(!reps.is_empty() && reps.len() <= 2);
+        let total: u64 = reps.iter().map(|r| r.count).sum();
+        assert_eq!(total, 15, "counts aggregate all represented tuples");
+    }
+
+    #[test]
+    fn constraint_n_is_max_group_size() {
+        let db = poi_db(30);
+        let f = build_constraint(&db, "poi", &["type"], &["city", "price"]).unwrap();
+        let max_bucket = f.levels[0]
+            .buckets
+            .values()
+            .map(|v| v.len())
+            .max()
+            .unwrap();
+        assert_eq!(f.levels[0].n, max_bucket);
+    }
+
+    #[test]
+    fn extended_family_levels_conform_per_group() {
+        let db = poi_db(60);
+        let f = build_extended(&db, "poi", &["type", "city"], &["price", "address"]).unwrap();
+        assert!(f.num_levels() > 1);
+        // conformance: for a given key, every real (price,address) is within
+        // the level resolution of some representative
+        let schema = db.schema.relation("poi").unwrap();
+        let (price_i, addr_i, type_i, city_i) = (
+            schema.attr_index("price").unwrap(),
+            schema.attr_index("address").unwrap(),
+            schema.attr_index("type").unwrap(),
+            schema.attr_index("city").unwrap(),
+        );
+        let key = vec![Value::from("hotel"), Value::from("NYC")];
+        for (k, level) in f.levels.iter().enumerate() {
+            let reps = f.lookup(k, &key).unwrap();
+            for row in &db.relation("poi").unwrap().rows {
+                if row[type_i] == key[0] && row[city_i] == key[1] {
+                    let covered = reps.iter().any(|r| {
+                        (r.values[0].as_f64().unwrap() - row[price_i].as_f64().unwrap()).abs()
+                            <= level.resolution[0] + 1e-9
+                            && (r.values[1] == row[addr_i] || level.resolution[1].is_infinite())
+                    });
+                    assert!(covered, "level {k} does not cover a hotel/NYC tuple");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extended_family_resolution_shrinks_with_level() {
+        let db = poi_db(120);
+        let f = build_extended(&db, "poi", &["city"], &["price"]).unwrap();
+        let first = f.levels[0].max_resolution();
+        let last = f.levels.last().unwrap().max_resolution();
+        assert!(first > 0.0);
+        assert_eq!(last, 0.0);
+    }
+
+    #[test]
+    fn empty_relation_builds_trivial_family() {
+        let db = poi_db(0);
+        let f = build_extended(&db, "poi", &["city"], &["price"]).unwrap();
+        assert_eq!(f.num_levels(), 1);
+        assert_eq!(f.levels[0].stored_tuples(), 0);
+        let at = build_at(&db, &AtOptions::default()).unwrap();
+        assert_eq!(at[0].levels[0].stored_tuples(), 0);
+    }
+
+    #[test]
+    fn unknown_relation_or_attribute_errors() {
+        let db = poi_db(5);
+        assert!(build_constraint(&db, "nope", &["a"], &["b"]).is_err());
+        assert!(build_constraint(&db, "poi", &["city"], &["nope"]).is_err());
+        assert!(build_extended(&db, "poi", &["city"], &[]).is_err());
+    }
+}

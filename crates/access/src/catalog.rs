@@ -1,0 +1,251 @@
+//! The catalog of template families available for a database, plus the
+//! index-size accounting used by Exp-4 (Fig. 6(k)).
+
+use beas_relal::{Database, DatabaseSchema};
+
+use crate::builder::{build_at, AtOptions};
+use crate::error::{AccessError, Result};
+use crate::family::{FamilyId, TemplateFamily};
+
+/// All access templates / constraints known for one database instance,
+/// together with the database size `|D|` (needed to turn a resource ratio `α`
+/// into a tuple budget without re-scanning the data).
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// The database schema the families are defined over.
+    pub schema: DatabaseSchema,
+    /// `|D|`: total number of tuples of the underlying database.
+    pub db_size: usize,
+    families: Vec<TemplateFamily>,
+}
+
+impl Catalog {
+    /// An empty catalog over a schema.
+    pub fn new(schema: DatabaseSchema, db_size: usize) -> Self {
+        Catalog {
+            schema,
+            db_size,
+            families: Vec::new(),
+        }
+    }
+
+    /// Builds a catalog containing the canonical schema `A_t` for `db`
+    /// (offline component C1 of Fig. 2). Additional constraints and extended
+    /// templates can be added afterwards with [`Catalog::add_family`].
+    pub fn for_database(db: &Database, opts: &AtOptions) -> Result<Self> {
+        let mut catalog = Catalog::new(db.schema.clone(), db.total_tuples());
+        for family in build_at(db, opts)? {
+            catalog.add_family(family);
+        }
+        Ok(catalog)
+    }
+
+    /// Adds a family and returns its id.
+    pub fn add_family(&mut self, family: TemplateFamily) -> FamilyId {
+        self.families.push(family);
+        self.families.len() - 1
+    }
+
+    /// The family with the given id.
+    pub fn family(&self, id: FamilyId) -> Result<&TemplateFamily> {
+        self.families.get(id).ok_or(AccessError::UnknownFamily(id))
+    }
+
+    /// All families.
+    pub fn families(&self) -> &[TemplateFamily] {
+        &self.families
+    }
+
+    /// Number of families.
+    pub fn len(&self) -> usize {
+        self.families.len()
+    }
+
+    /// `true` when the catalog has no families.
+    pub fn is_empty(&self) -> bool {
+        self.families.is_empty()
+    }
+
+    /// Ids of all families defined on `relation`.
+    pub fn families_for(&self, relation: &str) -> Vec<FamilyId> {
+        self.families
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.relation == relation)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ids of the access constraints (single exact level) on `relation`.
+    pub fn constraints_for(&self, relation: &str) -> Vec<FamilyId> {
+        self.families
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.relation == relation && f.is_constraint())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The `A_t` family of `relation`: the `∅ → attr(R)` family covering all
+    /// attributes, if present.
+    pub fn at_family_for(&self, relation: &str) -> Option<FamilyId> {
+        let rel_schema = self.schema.relation(relation).ok()?;
+        let all_attrs = rel_schema.attr_names();
+        self.families.iter().position(|f| {
+            f.relation == relation
+                && f.is_full_relation()
+                && all_attrs.iter().all(|a| f.y.contains(a))
+        })
+    }
+
+    /// The total resource ratio budget `α·|D|` in tuples (rounded down, at
+    /// least 1 so that a non-zero α always allows some access).
+    pub fn budget_for(&self, alpha: f64) -> usize {
+        ((alpha * self.db_size as f64).floor() as usize).max(1)
+    }
+
+    /// Index-size accounting (Exp-4, Fig. 6(k)).
+    pub fn index_size_report(&self) -> IndexSizeReport {
+        let mut constraint_tuples = 0usize;
+        let mut template_tuples = 0usize;
+        for f in &self.families {
+            if f.is_constraint() {
+                constraint_tuples += f.stored_tuples();
+            } else {
+                template_tuples += f.stored_tuples();
+            }
+        }
+        IndexSizeReport {
+            db_size: self.db_size,
+            constraint_index_tuples: constraint_tuples,
+            template_index_tuples: template_tuples,
+        }
+    }
+
+    /// Index size restricted to a subset of families (e.g. those actually used
+    /// by the workload's plans — the "used access templates" bar of Fig. 6(k)).
+    pub fn index_size_of(&self, ids: &[FamilyId]) -> usize {
+        ids.iter()
+            .filter_map(|&id| self.families.get(id))
+            .map(|f| f.stored_tuples())
+            .sum()
+    }
+}
+
+/// Index-size report, in tuples, relative to `|D|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexSizeReport {
+    /// `|D|`.
+    pub db_size: usize,
+    /// Tuples stored by access-constraint indices.
+    pub constraint_index_tuples: usize,
+    /// Tuples stored by (multi-level) access-template indices.
+    pub template_index_tuples: usize,
+}
+
+impl IndexSizeReport {
+    /// Total index tuples.
+    pub fn total_tuples(&self) -> usize {
+        self.constraint_index_tuples + self.template_index_tuples
+    }
+
+    /// Constraint index size as a fraction of `|D|`.
+    pub fn constraint_ratio(&self) -> f64 {
+        ratio(self.constraint_index_tuples, self.db_size)
+    }
+
+    /// Total index size as a fraction of `|D|`.
+    pub fn total_ratio(&self) -> f64 {
+        ratio(self.total_tuples(), self.db_size)
+    }
+}
+
+fn ratio(a: usize, b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_constraint;
+    use beas_relal::{Attribute, RelationSchema, Value};
+
+    fn small_db() -> Database {
+        let schema = DatabaseSchema::new(vec![
+            RelationSchema::new("friend", vec![Attribute::id("pid"), Attribute::id("fid")]),
+            RelationSchema::new(
+                "person",
+                vec![Attribute::id("pid"), Attribute::text("city")],
+            ),
+        ]);
+        let mut db = Database::new(schema);
+        for i in 0..20i64 {
+            db.insert_row("friend", vec![Value::Int(i % 5), Value::Int(i)]).unwrap();
+            db.insert_row(
+                "person",
+                vec![Value::Int(i), Value::from(if i % 2 == 0 { "NYC" } else { "LA" })],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn for_database_builds_at_for_every_relation() {
+        let db = small_db();
+        let catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.db_size, 40);
+        assert!(catalog.at_family_for("friend").is_some());
+        assert!(catalog.at_family_for("person").is_some());
+        assert!(catalog.at_family_for("poi").is_none());
+    }
+
+    #[test]
+    fn add_family_and_lookup_by_relation() {
+        let db = small_db();
+        let mut catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        let c = build_constraint(&db, "friend", &["pid"], &["fid"]).unwrap();
+        let id = catalog.add_family(c);
+        assert!(catalog.family(id).unwrap().is_constraint());
+        assert_eq!(catalog.families_for("friend").len(), 2);
+        assert_eq!(catalog.constraints_for("friend"), vec![id]);
+        assert!(catalog.constraints_for("person").is_empty());
+        assert!(catalog.family(99).is_err());
+    }
+
+    #[test]
+    fn budget_for_scales_with_alpha() {
+        let db = small_db();
+        let catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        assert_eq!(catalog.budget_for(0.5), 20);
+        assert_eq!(catalog.budget_for(1.0), 40);
+        // tiny α still allows at least one access
+        assert_eq!(catalog.budget_for(1e-9), 1);
+    }
+
+    #[test]
+    fn index_size_report_splits_constraints_and_templates() {
+        let db = small_db();
+        let mut catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        let c = build_constraint(&db, "person", &["pid"], &["city"]).unwrap();
+        let cid = catalog.add_family(c);
+        let report = catalog.index_size_report();
+        assert_eq!(report.db_size, 40);
+        assert_eq!(report.constraint_index_tuples, 20);
+        assert!(report.template_index_tuples > 0);
+        assert!(report.total_ratio() > report.constraint_ratio());
+        assert_eq!(catalog.index_size_of(&[cid]), 20);
+    }
+
+    #[test]
+    fn empty_catalog_reports_zero_sizes() {
+        let report = Catalog::new(DatabaseSchema::default(), 0).index_size_report();
+        assert_eq!(report.total_tuples(), 0);
+        assert_eq!(report.total_ratio(), 0.0);
+    }
+}

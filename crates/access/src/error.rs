@@ -1,0 +1,80 @@
+//! Errors raised by access-schema construction and fetching.
+
+use std::fmt;
+
+use beas_relal::RelalError;
+
+/// Result alias for `beas-access`.
+pub type Result<T> = std::result::Result<T, AccessError>;
+
+/// Errors raised while building or using an access schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessError {
+    /// A template family id was out of range.
+    UnknownFamily(usize),
+    /// A level index was out of range for a family.
+    UnknownLevel {
+        /// Family id.
+        family: usize,
+        /// Requested level.
+        level: usize,
+    },
+    /// The fetch budget (`α·|D|`) was exhausted.
+    BudgetExceeded {
+        /// Tuples accessed so far, including the attempted fetch.
+        accessed: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// An error bubbled up from the relational substrate.
+    Relal(RelalError),
+    /// A family was built over attributes missing from the schema, or with an
+    /// otherwise invalid shape.
+    InvalidTemplate(String),
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::UnknownFamily(id) => write!(f, "unknown template family {id}"),
+            AccessError::UnknownLevel { family, level } => {
+                write!(f, "family {family} has no level {level}")
+            }
+            AccessError::BudgetExceeded { accessed, budget } => {
+                write!(f, "fetch budget exceeded: {accessed} tuples accessed, budget {budget}")
+            }
+            AccessError::Relal(e) => write!(f, "{e}"),
+            AccessError::InvalidTemplate(msg) => write!(f, "invalid template: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+impl From<RelalError> for AccessError {
+    fn from(e: RelalError) -> Self {
+        AccessError::Relal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_budget_numbers() {
+        let e = AccessError::BudgetExceeded {
+            accessed: 120,
+            budget: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("120") && s.contains("100"));
+    }
+
+    #[test]
+    fn relal_errors_convert() {
+        let e: AccessError = RelalError::UnknownRelation("r".into()).into();
+        assert!(matches!(e, AccessError::Relal(_)));
+        assert!(e.to_string().contains("unknown relation"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Access-template families: the physical representation of access templates
+//! and access constraints (Sec. 2.1 and Sec. 4.1).
+//!
+//! A [`TemplateFamily`] materialises a whole group of access templates
+//! `ψ_0, ψ_1, …, ψ_M` over the same `R(X → Y)` pair that differ only in their
+//! cardinality bound `N = 2^k` and resolution `d̄_k`; the paper stores these in
+//! a single table `T_R(I, attr(R))`. Level `k` of a family holds, for every
+//! X-value, at most `2^k` representative Y-tuples together with the level's
+//! resolution. The deepest level is always exact (resolution `0̄`), so every
+//! family degenerates to an access constraint when enough budget is available
+//! — this is what lets BEAS return exact answers for boundedly evaluable
+//! queries.
+
+use std::collections::HashMap;
+
+use beas_relal::{Relation, Value};
+
+use crate::error::{AccessError, Result};
+
+/// Identifier of a template family within a [`Catalog`](crate::Catalog).
+pub type FamilyId = usize;
+
+/// Name of the synthetic weight column appended by `fetch`: the number of
+/// real tuples represented by each returned representative (Sec. 7 extension
+/// for sum/count/avg).
+pub const WEIGHT_COLUMN: &str = "__weight";
+
+/// A representative Y-tuple stored in an index level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rep {
+    /// The representative's Y-values.
+    pub values: Vec<Value>,
+    /// Number of real tuples (bag semantics) represented.
+    pub count: u64,
+    /// Per-Y-attribute sums of the represented tuples (for numeric
+    /// attributes), enabling exact `sum`/`avg` over groups of represented
+    /// tuples.
+    pub sums: Vec<Option<f64>>,
+}
+
+/// One resolution level of a template family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Level {
+    /// The cardinality bound `N`: the maximum number of representatives
+    /// returned for any X-value at this level.
+    pub n: usize,
+    /// Per-Y-attribute resolution `d̄_Y`.
+    pub resolution: Vec<f64>,
+    /// Index: X-value → representatives.
+    pub buckets: HashMap<Vec<Value>, Vec<Rep>>,
+}
+
+impl Level {
+    /// `true` when this level is an access constraint (resolution `0̄`).
+    pub fn is_exact(&self) -> bool {
+        self.resolution.iter().all(|&r| r == 0.0)
+    }
+
+    /// The worst resolution across Y attributes (`d̄^m` of Theorem 5).
+    pub fn max_resolution(&self) -> f64 {
+        self.resolution.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Number of representative tuples stored at this level.
+    pub fn stored_tuples(&self) -> usize {
+        self.buckets.values().map(|v| v.len()).sum()
+    }
+}
+
+/// A family of access templates `R(X → Y, 2^k, d̄_k)` for `k = 0..levels`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplateFamily {
+    /// Relation the templates are defined on.
+    pub relation: String,
+    /// The X attributes (lookup key). Empty for the `A_t` templates
+    /// `R(∅ → attr(R), …)`.
+    pub x: Vec<String>,
+    /// The Y attributes returned by a fetch.
+    pub y: Vec<String>,
+    /// Resolution levels, coarsest first. The last level is exact.
+    pub levels: Vec<Level>,
+    /// `true` when the family was derived from a user-supplied access
+    /// constraint (used by the index-size report of Exp-4).
+    pub from_constraint: bool,
+}
+
+impl TemplateFamily {
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level `k`, or an error if out of range. The family id is only used
+    /// for error reporting.
+    pub fn level(&self, k: usize) -> Result<&Level> {
+        self.levels.get(k).ok_or(AccessError::UnknownLevel {
+            family: usize::MAX,
+            level: k,
+        })
+    }
+
+    /// Index of the first exact level (always exists by construction).
+    pub fn exact_level(&self) -> usize {
+        self.levels
+            .iter()
+            .position(|l| l.is_exact())
+            .unwrap_or(self.levels.len().saturating_sub(1))
+    }
+
+    /// `true` when the family consists of a single exact level, i.e. it is an
+    /// access constraint in the sense of \[11, 23\].
+    pub fn is_constraint(&self) -> bool {
+        self.levels.len() == 1 && self.levels[0].is_exact()
+    }
+
+    /// `true` when the family's templates have an empty X (whole-relation
+    /// summaries, the `A_t` shape).
+    pub fn is_full_relation(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The resolution of attribute `attr` at level `k`, if `attr ∈ Y`.
+    pub fn resolution_of(&self, k: usize, attr: &str) -> Option<f64> {
+        let idx = self.y.iter().position(|a| a == attr)?;
+        self.levels.get(k).map(|l| l.resolution[idx])
+    }
+
+    /// Total number of representative tuples stored across all levels — the
+    /// "index size" unit used by Exp-4 (Fig. 6(k)).
+    pub fn stored_tuples(&self) -> usize {
+        self.levels.iter().map(|l| l.stored_tuples()).sum()
+    }
+
+    /// The representatives for `xkey` at level `k` (empty when the X-value is
+    /// absent from the data).
+    pub fn lookup(&self, k: usize, xkey: &[Value]) -> Result<&[Rep]> {
+        let level = self.level(k)?;
+        Ok(level
+            .buckets
+            .get(xkey)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]))
+    }
+
+    /// The column names of the relation produced by fetching this family:
+    /// `X ++ Y ++ __weight` (unqualified attribute names).
+    pub fn output_columns(&self) -> Vec<String> {
+        let mut cols = self.x.clone();
+        cols.extend(self.y.clone());
+        cols.push(WEIGHT_COLUMN.to_string());
+        cols
+    }
+
+    /// Materialises the fetch result for a set of X-keys at level `k`, without
+    /// any budget accounting (used by tests and by [`FetchSession`]).
+    ///
+    /// [`FetchSession`]: crate::fetch::FetchSession
+    pub fn materialize(&self, k: usize, xkeys: &[Vec<Value>]) -> Result<Relation> {
+        let mut out = Relation::empty(self.output_columns());
+        for key in xkeys {
+            for rep in self.lookup(k, key)? {
+                let mut row = key.clone();
+                row.extend(rep.values.iter().cloned());
+                row.push(Value::Int(rep.count as i64));
+                out.rows.push(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// A human-readable rendering such as `poi({type, city} → {price}, 8, d̄)`.
+    pub fn describe(&self, level: usize) -> String {
+        let n = self.levels.get(level).map(|l| l.n).unwrap_or(0);
+        let d = self
+            .levels
+            .get(level)
+            .map(|l| l.max_resolution())
+            .unwrap_or(f64::NAN);
+        format!(
+            "{}({{{}}} → {{{}}}, {}, {})",
+            self.relation,
+            self.x.join(", "),
+            self.y.join(", "),
+            n,
+            if d == 0.0 { "0".to_string() } else { format!("{d:.3}") }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family_with_two_levels() -> TemplateFamily {
+        let mut coarse = HashMap::new();
+        coarse.insert(
+            vec![Value::from("NYC")],
+            vec![Rep {
+                values: vec![Value::Double(100.0)],
+                count: 2,
+                sums: vec![Some(190.0)],
+            }],
+        );
+        let mut exact = HashMap::new();
+        exact.insert(
+            vec![Value::from("NYC")],
+            vec![
+                Rep {
+                    values: vec![Value::Double(90.0)],
+                    count: 1,
+                    sums: vec![Some(90.0)],
+                },
+                Rep {
+                    values: vec![Value::Double(100.0)],
+                    count: 1,
+                    sums: vec![Some(100.0)],
+                },
+            ],
+        );
+        TemplateFamily {
+            relation: "poi".into(),
+            x: vec!["city".into()],
+            y: vec!["price".into()],
+            levels: vec![
+                Level {
+                    n: 1,
+                    resolution: vec![10.0],
+                    buckets: coarse,
+                },
+                Level {
+                    n: 2,
+                    resolution: vec![0.0],
+                    buckets: exact,
+                },
+            ],
+            from_constraint: false,
+        }
+    }
+
+    #[test]
+    fn exact_level_and_constraint_detection() {
+        let f = family_with_two_levels();
+        assert_eq!(f.exact_level(), 1);
+        assert!(!f.is_constraint());
+        assert!(!f.is_full_relation());
+        let constraint = TemplateFamily {
+            levels: vec![f.levels[1].clone()],
+            ..f.clone()
+        };
+        assert!(constraint.is_constraint());
+    }
+
+    #[test]
+    fn resolution_of_looks_up_attribute() {
+        let f = family_with_two_levels();
+        assert_eq!(f.resolution_of(0, "price"), Some(10.0));
+        assert_eq!(f.resolution_of(1, "price"), Some(0.0));
+        assert_eq!(f.resolution_of(0, "missing"), None);
+    }
+
+    #[test]
+    fn lookup_returns_reps_or_empty() {
+        let f = family_with_two_levels();
+        assert_eq!(f.lookup(0, &[Value::from("NYC")]).unwrap().len(), 1);
+        assert_eq!(f.lookup(1, &[Value::from("NYC")]).unwrap().len(), 2);
+        assert!(f.lookup(0, &[Value::from("LA")]).unwrap().is_empty());
+        assert!(f.lookup(7, &[Value::from("NYC")]).is_err());
+    }
+
+    #[test]
+    fn materialize_produces_x_y_weight_columns() {
+        let f = family_with_two_levels();
+        let rel = f.materialize(1, &[vec![Value::from("NYC")]]).unwrap();
+        assert_eq!(rel.columns, vec!["city", "price", WEIGHT_COLUMN]);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn stored_tuples_counts_all_levels() {
+        let f = family_with_two_levels();
+        assert_eq!(f.stored_tuples(), 3);
+        assert_eq!(f.levels[0].stored_tuples(), 1);
+    }
+
+    #[test]
+    fn describe_mentions_relation_and_bound() {
+        let f = family_with_two_levels();
+        let s = f.describe(0);
+        assert!(s.contains("poi") && s.contains("city") && s.contains("price"));
+        assert!(f.describe(1).contains("0"));
+    }
+
+    #[test]
+    fn level_max_resolution() {
+        let f = family_with_two_levels();
+        assert_eq!(f.levels[0].max_resolution(), 10.0);
+        assert_eq!(f.levels[1].max_resolution(), 0.0);
+        assert!(f.levels[1].is_exact());
+    }
+}

@@ -1,0 +1,362 @@
+//! Multi-resolution partitioning of a set of tuples (the K-D tree of Sec. 4.1).
+//!
+//! The paper builds, for each relation `R`, a K-D tree over its tuples treated
+//! as points; the nodes at depth `k` of the tree form the at-most-`2^k`
+//! representatives of template `ψ^R_k`, and the per-attribute resolution
+//! `d̄_k[B]` is the worst distance between a representative and the tuples it
+//! stands for. [`multilevel_partition`] computes exactly these levels for one
+//! group of tuples (one X-value bucket of a template family).
+
+use beas_relal::{DistanceKind, Value};
+
+use crate::family::Rep;
+
+/// The representatives of one level together with the level's resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelReps {
+    /// Representatives at this level (at most `2^level` for level `k`).
+    pub reps: Vec<Rep>,
+    /// Per-attribute resolution: the worst distance between a represented
+    /// tuple and its representative on that attribute.
+    pub resolution: Vec<f64>,
+}
+
+impl LevelReps {
+    /// `true` when every representative stands only for itself (resolution 0
+    /// on every attribute).
+    pub fn is_exact(&self) -> bool {
+        self.resolution.iter().all(|&r| r == 0.0)
+    }
+}
+
+/// A cluster of distinct-tuple indices during partitioning.
+struct Cluster {
+    members: Vec<usize>,
+}
+
+/// Computes the multi-level representatives of a group of tuples.
+///
+/// * `tuples` — the tuples of the group (duplicates allowed; they are
+///   aggregated into multiplicity counts).
+/// * `distances` — the distance kind of each attribute (used both to pick the
+///   splitting dimension and to compute resolutions).
+///
+/// Level `k` of the result has at most `2^k` representatives; levels are
+/// produced until the partition is exact (every distinct tuple is its own
+/// representative), so the last level always has resolution `0̄` and plays the
+/// role of an access constraint.
+pub fn multilevel_partition(tuples: &[Vec<Value>], distances: &[DistanceKind]) -> Vec<LevelReps> {
+    if tuples.is_empty() {
+        return vec![LevelReps {
+            reps: Vec::new(),
+            resolution: vec![0.0; distances.len()],
+        }];
+    }
+    let arity = distances.len();
+    debug_assert!(tuples.iter().all(|t| t.len() == arity));
+
+    // Deduplicate tuples, tracking multiplicities: representatives are chosen
+    // among *distinct* tuples (the template definition), while counts and sums
+    // aggregate over all occurrences.
+    let mut distinct: Vec<Vec<Value>> = Vec::new();
+    let mut multiplicity: Vec<u64> = Vec::new();
+    {
+        let mut index: std::collections::HashMap<Vec<Value>, usize> =
+            std::collections::HashMap::new();
+        for t in tuples {
+            match index.get(t) {
+                Some(&i) => multiplicity[i] += 1,
+                None => {
+                    index.insert(t.clone(), distinct.len());
+                    distinct.push(t.clone());
+                    multiplicity.push(1);
+                }
+            }
+        }
+    }
+
+    let mut levels = Vec::new();
+    let mut clusters = vec![Cluster {
+        members: (0..distinct.len()).collect(),
+    }];
+    loop {
+        levels.push(level_from_clusters(&clusters, &distinct, &multiplicity, distances));
+        if clusters.iter().all(|c| c.members.len() <= 1) {
+            break;
+        }
+        clusters = clusters
+            .into_iter()
+            .flat_map(|c| split_cluster(c, &distinct, distances))
+            .collect();
+    }
+    levels
+}
+
+/// Builds the representative list and resolution of one level.
+fn level_from_clusters(
+    clusters: &[Cluster],
+    distinct: &[Vec<Value>],
+    multiplicity: &[u64],
+    distances: &[DistanceKind],
+) -> LevelReps {
+    let arity = distances.len();
+    let mut reps = Vec::with_capacity(clusters.len());
+    let mut resolution = vec![0.0f64; arity];
+    for cluster in clusters {
+        let rep_idx = representative_of(cluster, distinct, distances);
+        let rep_values = distinct[rep_idx].clone();
+        let mut count = 0u64;
+        let mut sums: Vec<Option<f64>> = vec![Some(0.0); arity];
+        for &m in &cluster.members {
+            let mult = multiplicity[m];
+            count += mult;
+            for a in 0..arity {
+                match (&mut sums[a], distinct[m][a].as_f64()) {
+                    (Some(acc), Some(v)) => *acc += v * mult as f64,
+                    (s, None) => *s = None,
+                    _ => {}
+                }
+                let d = distances[a].distance(&distinct[m][a], &rep_values[a]);
+                if d > resolution[a] {
+                    resolution[a] = d;
+                }
+            }
+        }
+        reps.push(Rep {
+            values: rep_values,
+            count,
+            sums,
+        });
+    }
+    LevelReps { reps, resolution }
+}
+
+/// Picks the representative of a cluster: the member closest to the cluster's
+/// numeric centroid (ties broken by index), which keeps the resolution small.
+fn representative_of(cluster: &Cluster, distinct: &[Vec<Value>], distances: &[DistanceKind]) -> usize {
+    if cluster.members.len() == 1 {
+        return cluster.members[0];
+    }
+    let arity = distances.len();
+    // centroid over numeric attributes
+    let mut centroid = vec![0.0f64; arity];
+    let mut numeric = vec![false; arity];
+    for a in 0..arity {
+        if distances[a].is_numeric() {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for &m in &cluster.members {
+                if let Some(v) = distinct[m][a].as_f64() {
+                    sum += v;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                centroid[a] = sum / n as f64;
+                numeric[a] = true;
+            }
+        }
+    }
+    let mut best = cluster.members[0];
+    let mut best_d = f64::INFINITY;
+    for &m in &cluster.members {
+        let mut d = 0.0f64;
+        for a in 0..arity {
+            if numeric[a] {
+                if let Some(v) = distinct[m][a].as_f64() {
+                    d = d.max((v - centroid[a]).abs());
+                }
+            }
+        }
+        if d < best_d {
+            best_d = d;
+            best = m;
+        }
+    }
+    best
+}
+
+/// Splits a cluster in two along the numeric dimension with the largest
+/// spread (falling back to an arbitrary halving when no numeric dimension
+/// separates the members). Singleton clusters are returned unchanged.
+fn split_cluster(cluster: Cluster, distinct: &[Vec<Value>], distances: &[DistanceKind]) -> Vec<Cluster> {
+    if cluster.members.len() <= 1 {
+        return vec![cluster];
+    }
+    let arity = distances.len();
+    // find the numeric dimension with the widest spread
+    let mut best_dim: Option<usize> = None;
+    let mut best_spread = 0.0f64;
+    for a in 0..arity {
+        if !distances[a].is_numeric() {
+            continue;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &m in &cluster.members {
+            if let Some(v) = distinct[m][a].as_f64() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        let spread = hi - lo;
+        if spread.is_finite() && spread > best_spread {
+            best_spread = spread;
+            best_dim = Some(a);
+        }
+    }
+    let mut members = cluster.members;
+    match best_dim {
+        Some(dim) if best_spread > 0.0 => {
+            members.sort_by(|&x, &y| {
+                let vx = distinct[x][dim].as_f64().unwrap_or(f64::INFINITY);
+                let vy = distinct[y][dim].as_f64().unwrap_or(f64::INFINITY);
+                vx.total_cmp(&vy).then(x.cmp(&y))
+            });
+        }
+        _ => {
+            // no numeric separation: sort by full tuple order so equal tuples
+            // stay together and the split is deterministic
+            members.sort_by(|&x, &y| distinct[x].cmp(&distinct[y]).then(x.cmp(&y)));
+        }
+    }
+    let mid = members.len() / 2;
+    let right = members.split_off(mid);
+    vec![Cluster { members }, Cluster { members: right }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_tuples(vals: &[f64]) -> Vec<Vec<Value>> {
+        vals.iter().map(|&v| vec![Value::Double(v)]).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_one_empty_exact_level() {
+        let levels = multilevel_partition(&[], &[DistanceKind::Numeric]);
+        assert_eq!(levels.len(), 1);
+        assert!(levels[0].reps.is_empty());
+        assert!(levels[0].is_exact());
+    }
+
+    #[test]
+    fn single_tuple_is_exact_at_level_zero() {
+        let levels = multilevel_partition(&numeric_tuples(&[5.0]), &[DistanceKind::Numeric]);
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].reps.len(), 1);
+        assert_eq!(levels[0].reps[0].count, 1);
+        assert!(levels[0].is_exact());
+    }
+
+    #[test]
+    fn level_k_has_at_most_two_to_the_k_reps() {
+        let tuples = numeric_tuples(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let levels = multilevel_partition(&tuples, &[DistanceKind::Numeric]);
+        for (k, level) in levels.iter().enumerate() {
+            assert!(level.reps.len() <= 1 << k, "level {k} has {}", level.reps.len());
+        }
+        // last level must be exact with one rep per distinct tuple
+        let last = levels.last().unwrap();
+        assert!(last.is_exact());
+        assert_eq!(last.reps.len(), 100);
+    }
+
+    #[test]
+    fn resolutions_decrease_monotonically() {
+        let tuples = numeric_tuples(&(0..64).map(|i| (i * 3) as f64).collect::<Vec<_>>());
+        let levels = multilevel_partition(&tuples, &[DistanceKind::Numeric]);
+        for w in levels.windows(2) {
+            assert!(
+                w[1].resolution[0] <= w[0].resolution[0] + 1e-9,
+                "resolution must not increase when zooming in"
+            );
+        }
+        assert_eq!(levels.last().unwrap().resolution[0], 0.0);
+    }
+
+    #[test]
+    fn every_tuple_is_within_resolution_of_some_rep() {
+        // the conformance condition D |= ψ of Sec. 2.1
+        let tuples = numeric_tuples(&[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 100.0]);
+        let levels = multilevel_partition(&tuples, &[DistanceKind::Numeric]);
+        for level in &levels {
+            for t in &tuples {
+                let ok = level.reps.iter().any(|r| {
+                    DistanceKind::Numeric.distance(&r.values[0], &t[0]) <= level.resolution[0] + 1e-9
+                });
+                assert!(ok, "tuple {t:?} not covered at resolution {:?}", level.resolution);
+            }
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_number_of_input_tuples() {
+        let mut tuples = numeric_tuples(&[1.0, 1.0, 2.0, 3.0, 3.0, 3.0]);
+        tuples.push(vec![Value::Double(4.0)]);
+        let levels = multilevel_partition(&tuples, &[DistanceKind::Numeric]);
+        for level in &levels {
+            let total: u64 = level.reps.iter().map(|r| r.count).sum();
+            assert_eq!(total, 7, "counts must add up at every level");
+        }
+    }
+
+    #[test]
+    fn sums_track_represented_values() {
+        let tuples = numeric_tuples(&[1.0, 2.0, 3.0, 4.0]);
+        let levels = multilevel_partition(&tuples, &[DistanceKind::Numeric]);
+        let level0 = &levels[0];
+        assert_eq!(level0.reps.len(), 1);
+        assert_eq!(level0.reps[0].sums[0], Some(10.0));
+        let last = levels.last().unwrap();
+        let total: f64 = last.reps.iter().map(|r| r.sums[0].unwrap()).sum();
+        assert!((total - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trivial_attributes_get_infinite_resolution_until_exact() {
+        let tuples = vec![
+            vec![Value::from("a"), Value::Double(1.0)],
+            vec![Value::from("b"), Value::Double(2.0)],
+        ];
+        let dists = [DistanceKind::Trivial, DistanceKind::Numeric];
+        let levels = multilevel_partition(&tuples, &dists);
+        // level 0: one rep for both tuples → trivial attribute differs → ∞
+        assert!(levels[0].resolution[0].is_infinite());
+        // final level: exact
+        assert!(levels.last().unwrap().is_exact());
+    }
+
+    #[test]
+    fn duplicate_tuples_do_not_inflate_reps() {
+        let tuples = numeric_tuples(&[5.0, 5.0, 5.0, 5.0]);
+        let levels = multilevel_partition(&tuples, &[DistanceKind::Numeric]);
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].reps.len(), 1);
+        assert_eq!(levels[0].reps[0].count, 4);
+    }
+
+    #[test]
+    fn multi_column_partition_reduces_worst_dimension() {
+        let tuples: Vec<Vec<Value>> = (0..32)
+            .map(|i| vec![Value::Double((i % 4) as f64), Value::Double(i as f64 * 10.0)])
+            .collect();
+        let dists = [DistanceKind::Numeric, DistanceKind::Numeric];
+        let levels = multilevel_partition(&tuples, &dists);
+        // the wide dimension (second) must shrink fastest
+        assert!(levels[2].resolution[1] < levels[0].resolution[1]);
+        assert!(levels.last().unwrap().is_exact());
+    }
+
+    #[test]
+    fn categorical_attribute_resolution_is_bounded_by_one() {
+        let tuples = vec![
+            vec![Value::from("hotel"), Value::Double(10.0)],
+            vec![Value::from("museum"), Value::Double(20.0)],
+        ];
+        let dists = [DistanceKind::Categorical, DistanceKind::Numeric];
+        let levels = multilevel_partition(&tuples, &dists);
+        assert!(levels[0].resolution[0] <= 1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # beas-access — access schema for BEAS
+//!
+//! Implements Sec. 2.1 and the Sec. 4.1 implementation notes of the paper:
+//!
+//! * **Access templates** `ψ = R(X → Y, N, d̄_Y)`: given any X-value, an index
+//!   returns at most `N` representative Y-tuples such that every Y-value of
+//!   `D` with that X-value is within the resolution `d̄_Y` of a representative.
+//! * **Access constraints** are templates with resolution `0̄` (they return the
+//!   exact Y-values).
+//! * **Template families**: the paper's indices `ψ^R_1 … ψ^R_{M_R}` built from
+//!   one K-D tree share a single physical table; a [`TemplateFamily`] models
+//!   exactly that — one object with multiple *levels*, level `k` holding at
+//!   most `2^k` representatives per X-value together with its resolution.
+//! * **`A_t`**: the canonical access schema of the Approximability Theorem
+//!   (one `∅ → attr(R)` family per relation), built by [`builder::build_at`].
+//! * **Fetch**: the `fetch(X ∈ T, R, Y, ψ)` operator of bounded query plans,
+//!   executed through a [`FetchSession`] that counts accessed tuples and
+//!   enforces the budget `α·|D|`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod catalog;
+pub mod error;
+pub mod family;
+pub mod fetch;
+pub mod kdtree;
+
+pub use builder::{build_at, build_constraint, build_extended, AtOptions};
+pub use catalog::{Catalog, IndexSizeReport};
+pub use error::{AccessError, Result};
+pub use family::{FamilyId, Level, Rep, TemplateFamily, WEIGHT_COLUMN};
+pub use fetch::{AccessCounter, FetchSession};
+pub use kdtree::{multilevel_partition, LevelReps};

@@ -1,0 +1,320 @@
+//! Multi-dimensional histogram baseline (`Histo` in the figures), after the
+//! set-valued-answer histograms of Ioannidis & Poosala \[27\].
+//!
+//! For every relation, numeric attributes are partitioned into equi-width
+//! buckets; each non-empty bucket is summarised by one representative tuple
+//! (the bucket centre on numeric attributes, the most frequent value on
+//! categorical attributes) carrying the bucket's tuple count. The total number
+//! of representatives across relations is bounded by the synopsis budget
+//! `α·|D|`. Queries are answered over the representatives, aggregates use the
+//! bucket counts as weights.
+
+use std::collections::HashMap;
+
+use beas_relal::{
+    aggregate_relation, eval_bag, eval_set, AggFunc, Database, DistanceKind, QueryExpr, Relation,
+    Result, Value,
+};
+
+use crate::Baseline;
+
+/// Name of the per-representative count column stored in the histogram
+/// synopsis (dropped from RA answers, used as a weight by aggregates).
+const COUNT_COLUMN: &str = "__hcount";
+
+/// The multi-dimensional histogram baseline.
+#[derive(Debug, Clone)]
+pub struct Histo {
+    /// Synopsis database: one relation per original relation, with the same
+    /// columns plus a trailing count column.
+    synopsis: Database,
+    size: usize,
+}
+
+impl Histo {
+    /// Builds per-relation histograms with a total budget of `budget`
+    /// representative tuples, allocated proportionally to relation sizes.
+    pub fn build(db: &Database, budget: usize) -> Result<Self> {
+        let total = db.total_tuples().max(1);
+        // synopsis schema: original columns + count column
+        let mut syn_schema = db.schema.clone();
+        for rel in &mut syn_schema.relations {
+            rel.attributes.push(beas_relal::Attribute::double(COUNT_COLUMN));
+        }
+        let mut synopsis = Database::new(syn_schema);
+        let mut size = 0usize;
+        for (name, relation) in db.iter() {
+            if relation.is_empty() {
+                continue;
+            }
+            let share = ((budget as f64) * (relation.len() as f64) / (total as f64)).round() as usize;
+            let buckets = share.clamp(1, relation.len());
+            let schema = db.schema.relation(name)?;
+            let kinds = schema.distance_kinds();
+            let rows = build_histogram(relation, &kinds, buckets);
+            size += rows.len();
+            let mut columns = relation.columns.clone();
+            columns.push(COUNT_COLUMN.to_string());
+            synopsis.insert_relation(name, Relation { columns, rows })?;
+        }
+        Ok(Histo { synopsis, size })
+    }
+
+    /// The synopsis database (for tests and diagnostics).
+    pub fn synopsis(&self) -> &Database {
+        &self.synopsis
+    }
+}
+
+/// Builds the representative rows (original columns + count) of one relation.
+fn build_histogram(relation: &Relation, kinds: &[DistanceKind], buckets: usize) -> Vec<Vec<Value>> {
+    // Determine the numeric dimensions and their ranges.
+    let arity = relation.arity();
+    let numeric: Vec<usize> = (0..arity)
+        .filter(|&j| kinds.get(j).map(|k| k.is_numeric()).unwrap_or(false))
+        .collect();
+    let mut lo = vec![f64::INFINITY; arity];
+    let mut hi = vec![f64::NEG_INFINITY; arity];
+    for row in &relation.rows {
+        for &j in &numeric {
+            if let Some(v) = row[j].as_f64() {
+                lo[j] = lo[j].min(v);
+                hi[j] = hi[j].max(v);
+            }
+        }
+    }
+    // per-dimension bucket count: spread the budget as evenly as possible
+    let dims = numeric.len().max(1);
+    let per_dim = ((buckets as f64).powf(1.0 / dims as f64).floor() as usize).max(1);
+
+    // group rows by their bucket key (numeric bucket ids + categorical values)
+    let mut groups: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+    for (i, row) in relation.rows.iter().enumerate() {
+        let mut key = Vec::with_capacity(numeric.len());
+        for &j in &numeric {
+            let v = row[j].as_f64().unwrap_or(lo[j]);
+            let width = (hi[j] - lo[j]).max(f64::EPSILON);
+            let b = (((v - lo[j]) / width) * per_dim as f64).floor() as u64;
+            key.push(b.min(per_dim as u64 - 1));
+        }
+        groups.entry(key).or_default().push(i);
+    }
+
+    // one representative per bucket: numeric attrs = bucket mean, others = the
+    // most frequent value in the bucket
+    let mut out = Vec::with_capacity(groups.len());
+    let mut keys: Vec<_> = groups.keys().cloned().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let members = &groups[&key];
+        let mut rep: Vec<Value> = Vec::with_capacity(arity + 1);
+        for j in 0..arity {
+            if numeric.contains(&j) {
+                let mean: f64 = members
+                    .iter()
+                    .filter_map(|&i| relation.rows[i][j].as_f64())
+                    .sum::<f64>()
+                    / members.len() as f64;
+                rep.push(Value::Double(mean));
+            } else {
+                let mut counts: HashMap<&Value, usize> = HashMap::new();
+                for &i in members {
+                    *counts.entry(&relation.rows[i][j]).or_insert(0) += 1;
+                }
+                let most = counts
+                    .into_iter()
+                    .max_by_key(|(_, c)| *c)
+                    .map(|(v, _)| v.clone())
+                    .unwrap_or(Value::Null);
+                rep.push(most);
+            }
+        }
+        rep.push(Value::Double(members.len() as f64));
+        out.push(rep);
+    }
+    out
+}
+
+impl Baseline for Histo {
+    fn name(&self) -> &'static str {
+        "Histo"
+    }
+
+    fn answer(&self, query: &QueryExpr) -> Result<Relation> {
+        match query {
+            QueryExpr::Ra(expr) => {
+                let rel = eval_set(expr, &self.synopsis)?;
+                Ok(rel)
+            }
+            QueryExpr::Aggregate(gq) => {
+                // evaluate the inner query keeping the count columns, then
+                // aggregate with the combined bucket count as weight
+                let aliases = gq.input.scan_aliases();
+                let mut inner = gq.input.clone();
+                // project the count columns through by wrapping the input in a
+                // projection that keeps the group/agg columns; simpler: run the
+                // inner query under bag semantics on the synopsis and weight
+                // each produced row by the product of its buckets' counts —
+                // that information is lost after projection, so instead we
+                // extend the projection list when the input is a projection.
+                if let beas_relal::RaExpr::Project { columns, .. } = &mut inner {
+                    for (alias, _) in &aliases {
+                        columns.push((
+                            format!("__hcount_{alias}"),
+                            format!("{alias}.{COUNT_COLUMN}"),
+                        ));
+                    }
+                }
+                let mut rel = eval_bag(&inner, &self.synopsis)?;
+                // combine the per-alias counts into a single weight column
+                let count_cols: Vec<usize> = rel
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.starts_with("__hcount_"))
+                    .map(|(i, _)| i)
+                    .collect();
+                if count_cols.is_empty() {
+                    return aggregate_relation(&rel, gq);
+                }
+                let keep: Vec<usize> = (0..rel.arity()).filter(|i| !count_cols.contains(i)).collect();
+                let mut weighted = Relation::empty(
+                    keep.iter()
+                        .map(|&i| rel.columns[i].clone())
+                        .chain(std::iter::once("__weight".to_string()))
+                        .collect(),
+                );
+                for row in &rel.rows {
+                    let w: f64 = count_cols
+                        .iter()
+                        .map(|&i| row[i].as_f64().unwrap_or(1.0))
+                        .product();
+                    let mut new_row: Vec<Value> = keep.iter().map(|&i| row[i].clone()).collect();
+                    new_row.push(Value::Double(w));
+                    weighted.rows.push(new_row);
+                }
+                rel = weighted;
+                let mut gq2 = gq.clone();
+                if !matches!(gq.agg, AggFunc::Min | AggFunc::Max) {
+                    gq2.weight_col = Some("__weight".to_string());
+                }
+                gq2.input = beas_relal::RaExpr::scan("__unused", "__unused");
+                aggregate_relation(&rel, &gq2)
+            }
+        }
+    }
+
+    fn synopsis_size(&self) -> usize {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_relal::{
+        Attribute, CompareOp, DatabaseSchema, GroupByQuery, Predicate, PredicateAtom, RaExpr,
+        RelationSchema,
+    };
+
+    fn db(n: i64) -> Database {
+        let schema = DatabaseSchema::new(vec![RelationSchema::new(
+            "orders",
+            vec![
+                Attribute::id("id"),
+                Attribute::categorical("status"),
+                Attribute::double("total"),
+            ],
+        )]);
+        let mut db = Database::new(schema);
+        for i in 0..n {
+            db.insert_row(
+                "orders",
+                vec![
+                    Value::Int(i),
+                    Value::from(if i % 4 == 0 { "open" } else { "closed" }),
+                    Value::Double(10.0 + (i % 100) as f64),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn histogram_respects_bucket_budget() {
+        let database = db(1000);
+        let h = Histo::build(&database, 50).unwrap();
+        assert!(h.synopsis_size() <= 60, "size {}", h.synopsis_size());
+        assert!(h.synopsis_size() > 0);
+        // synopsis rows carry the count column
+        let rel = h.synopsis().relation("orders").unwrap();
+        assert_eq!(rel.arity(), 4);
+        let total: f64 = rel.rows.iter().map(|r| r[3].as_f64().unwrap()).sum();
+        assert_eq!(total, 1000.0, "bucket counts partition the relation");
+    }
+
+    #[test]
+    fn range_query_returns_bucket_representatives_near_range() {
+        let database = db(500);
+        let h = Histo::build(&database, 40).unwrap();
+        let expr = RaExpr::scan("orders", "o")
+            .select(Predicate::all(vec![PredicateAtom::col_cmp_const(
+                "o.total",
+                CompareOp::Le,
+                30i64,
+            )]))
+            .project(vec![("total".into(), "o.total".into())]);
+        let approx = h.answer(&QueryExpr::Ra(expr)).unwrap();
+        // representatives returned must themselves satisfy the predicate
+        for row in &approx.rows {
+            assert!(row[0].as_f64().unwrap() <= 30.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weighted_count_aggregate_approximates_truth() {
+        let database = db(800);
+        let h = Histo::build(&database, 64).unwrap();
+        let gq = GroupByQuery::new(
+            RaExpr::scan("orders", "o").project(vec![
+                ("status".into(), "o.status".into()),
+                ("total".into(), "o.total".into()),
+            ]),
+            vec!["status".into()],
+            AggFunc::Count,
+            "total",
+            "n",
+        );
+        let approx = h.answer(&QueryExpr::Aggregate(gq)).unwrap();
+        let total: f64 = approx.rows.iter().map(|r| r[1].as_f64().unwrap()).sum();
+        assert!((total - 800.0).abs() < 1e-6, "bucket counts preserve totals, got {total}");
+    }
+
+    #[test]
+    fn min_max_are_unweighted() {
+        let database = db(300);
+        let h = Histo::build(&database, 30).unwrap();
+        let gq = GroupByQuery::new(
+            RaExpr::scan("orders", "o").project(vec![
+                ("status".into(), "o.status".into()),
+                ("total".into(), "o.total".into()),
+            ]),
+            vec![],
+            AggFunc::Max,
+            "total",
+            "m",
+        );
+        let approx = h.answer(&QueryExpr::Aggregate(gq)).unwrap();
+        assert_eq!(approx.len(), 1);
+        // bucket means cannot exceed the true maximum
+        assert!(approx.rows[0][0].as_f64().unwrap() <= 109.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_database_builds_empty_synopsis() {
+        let database = db(0);
+        let h = Histo::build(&database, 10).unwrap();
+        assert_eq!(h.synopsis_size(), 0);
+    }
+}

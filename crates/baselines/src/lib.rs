@@ -1,0 +1,85 @@
+//! # beas-baselines — competing approximate query answering methods
+//!
+//! The evaluation of the paper (Sec. 8) compares BEAS against three baselines;
+//! this crate implements all of them behind the common [`Baseline`] trait so
+//! that the benchmark harness treats every method uniformly:
+//!
+//! * [`Sampl`] — one-size-fits-all **uniform sampling** \[17\]: draw `α·|D|`
+//!   tuples once, answer every query on the sample.
+//! * [`Histo`] — **multi-dimensional histograms** \[27\]: build per-relation
+//!   equi-width histograms whose total bucket count is `α·|D|`, answer queries
+//!   over the bucket representatives.
+//! * [`BlinkSim`] — a **BlinkDB-style stratified sampler** \[8\]: keep up to `K`
+//!   rows per distinct value of a query column set (QCS), answering aggregates
+//!   with sample-rate scaling. The paper itself simulates BlinkDB's strategy
+//!   this way.
+//!
+//! All baselines answer queries *only* from their synopsis — they never touch
+//! the original database — which mirrors the resource-bounded setting BEAS is
+//! compared against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod sampling;
+pub mod stratified;
+
+use beas_relal::{QueryExpr, Relation, Result};
+
+pub use histogram::Histo;
+pub use sampling::Sampl;
+pub use stratified::BlinkSim;
+
+/// A baseline approximate query answering method built offline over a dataset.
+pub trait Baseline {
+    /// Method name as reported in the figures (e.g. `"Sampl"`).
+    fn name(&self) -> &'static str;
+
+    /// Answers the query using only the method's synopsis.
+    fn answer(&self, query: &QueryExpr) -> Result<Relation>;
+
+    /// The number of tuples (or bucket representatives) stored by the
+    /// synopsis — the baseline's analogue of the `α·|D|` budget.
+    fn synopsis_size(&self) -> usize;
+}
+
+/// Scales count/sum aggregate values of a result relation in place by
+/// `factor` (used by the sampling-based baselines to extrapolate from the
+/// sample to the full data).
+pub(crate) fn scale_aggregate_column(rel: &mut Relation, column: &str, factor: f64) {
+    if factor == 1.0 {
+        return;
+    }
+    if let Ok(idx) = rel.column_index(column) {
+        for row in &mut rel.rows {
+            if let Some(v) = row[idx].as_f64() {
+                row[idx] = beas_relal::Value::Double(v * factor);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_relal::Value;
+
+    #[test]
+    fn scale_aggregate_column_multiplies_numeric_values() {
+        let mut rel = Relation::new(
+            vec!["city".into(), "n".into()],
+            vec![
+                vec![Value::from("NYC"), Value::Double(3.0)],
+                vec![Value::from("LA"), Value::Double(5.0)],
+            ],
+        )
+        .unwrap();
+        scale_aggregate_column(&mut rel, "n", 2.0);
+        assert_eq!(rel.rows[0][1], Value::Double(6.0));
+        assert_eq!(rel.rows[1][1], Value::Double(10.0));
+        // unknown column: no-op
+        scale_aggregate_column(&mut rel, "zzz", 10.0);
+        assert_eq!(rel.rows[0][1], Value::Double(6.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! Uniform sampling baseline (`Sampl` in the figures): a one-size-fits-all
+//! synopsis of `α·|D|` tuples drawn uniformly at random, allocated to
+//! relations proportionally to their sizes \[17\].
+
+use std::collections::HashMap;
+
+use beas_relal::{
+    eval_aggregate, eval_set, AggFunc, Database, QueryExpr, RaExpr, Relation, Result,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{scale_aggregate_column, Baseline};
+
+/// The uniform-sampling baseline.
+#[derive(Debug, Clone)]
+pub struct Sampl {
+    sample: Database,
+    /// Per-relation inverse sampling rate (`|R| / |sample of R|`).
+    inverse_rates: HashMap<String, f64>,
+    size: usize,
+}
+
+impl Sampl {
+    /// Builds a uniform sample of at most `budget` tuples from `db`.
+    ///
+    /// Tuples are allocated to relations proportionally to their sizes (each
+    /// relation keeps at least one tuple when it is non-empty so that joins do
+    /// not trivially collapse).
+    pub fn build(db: &Database, budget: usize, seed: u64) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = db.total_tuples().max(1);
+        let mut sample = Database::new(db.schema.clone());
+        let mut inverse_rates = HashMap::new();
+        let mut size = 0usize;
+        for (name, relation) in db.iter() {
+            if relation.is_empty() {
+                inverse_rates.insert(name.to_string(), 1.0);
+                continue;
+            }
+            let share =
+                ((budget as f64) * (relation.len() as f64) / (total as f64)).round() as usize;
+            let take = share.clamp(1, relation.len());
+            let mut indices: Vec<usize> = (0..relation.len()).collect();
+            indices.shuffle(&mut rng);
+            indices.truncate(take);
+            indices.sort_unstable();
+            let rows = indices.iter().map(|&i| relation.rows[i].clone()).collect();
+            let sampled = Relation {
+                columns: relation.columns.clone(),
+                rows,
+            };
+            size += sampled.len();
+            inverse_rates.insert(name.to_string(), relation.len() as f64 / take as f64);
+            sample.insert_relation(name, sampled)?;
+        }
+        Ok(Sampl {
+            sample,
+            inverse_rates,
+            size,
+        })
+    }
+
+    /// The sampled database (exposed for tests and diagnostics).
+    pub fn sample(&self) -> &Database {
+        &self.sample
+    }
+
+    /// The scaling factor applied to count/sum aggregates of a query: the
+    /// product of the inverse sampling rates of the relations it scans.
+    fn scale_factor(&self, expr: &RaExpr) -> f64 {
+        expr.scanned_relations()
+            .iter()
+            .map(|r| self.inverse_rates.get(r).copied().unwrap_or(1.0))
+            .product()
+    }
+}
+
+impl Baseline for Sampl {
+    fn name(&self) -> &'static str {
+        "Sampl"
+    }
+
+    fn answer(&self, query: &QueryExpr) -> Result<Relation> {
+        match query {
+            QueryExpr::Ra(expr) => eval_set(expr, &self.sample),
+            QueryExpr::Aggregate(gq) => {
+                let mut rel = eval_aggregate(gq, &self.sample)?;
+                if matches!(gq.agg, AggFunc::Count | AggFunc::Sum) {
+                    let factor = self.scale_factor(&gq.input);
+                    scale_aggregate_column(&mut rel, &gq.out_name, factor);
+                }
+                Ok(rel)
+            }
+        }
+    }
+
+    fn synopsis_size(&self) -> usize {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_relal::{Attribute, DatabaseSchema, GroupByQuery, Predicate, PredicateAtom, RelationSchema, Value};
+
+    fn db(n: i64) -> Database {
+        let schema = DatabaseSchema::new(vec![RelationSchema::new(
+            "orders",
+            vec![Attribute::id("id"), Attribute::categorical("status"), Attribute::double("total")],
+        )]);
+        let mut db = Database::new(schema);
+        for i in 0..n {
+            db.insert_row(
+                "orders",
+                vec![
+                    Value::Int(i),
+                    Value::from(if i % 4 == 0 { "open" } else { "closed" }),
+                    Value::Double(10.0 + i as f64),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn sample_respects_budget_and_is_reproducible() {
+        let db = db(1000);
+        let s1 = Sampl::build(&db, 50, 7).unwrap();
+        let s2 = Sampl::build(&db, 50, 7).unwrap();
+        assert!(s1.synopsis_size() <= 51);
+        assert!(s1.synopsis_size() >= 45);
+        assert_eq!(s1.sample().relation("orders").unwrap().rows, s2.sample().relation("orders").unwrap().rows);
+        let s3 = Sampl::build(&db, 50, 8).unwrap();
+        assert_ne!(s1.sample().relation("orders").unwrap().rows, s3.sample().relation("orders").unwrap().rows);
+    }
+
+    #[test]
+    fn ra_answers_are_subset_of_exact() {
+        let database = db(500);
+        let s = Sampl::build(&database, 100, 1).unwrap();
+        let expr = RaExpr::scan("orders", "o")
+            .select(Predicate::all(vec![PredicateAtom::col_eq_const("o.status", "open")]))
+            .project(vec![("id".into(), "o.id".into())]);
+        let approx = s.answer(&QueryExpr::Ra(expr.clone())).unwrap();
+        let exact = eval_set(&expr, &database).unwrap();
+        let exact_ids: std::collections::HashSet<_> = exact.rows.into_iter().collect();
+        assert!(approx.rows.iter().all(|r| exact_ids.contains(r)));
+        assert!(approx.len() <= exact_ids.len());
+    }
+
+    #[test]
+    fn count_aggregate_is_scaled_to_full_population() {
+        let database = db(1000);
+        let s = Sampl::build(&database, 200, 3).unwrap();
+        let gq = GroupByQuery::new(
+            RaExpr::scan("orders", "o").project(vec![
+                ("status".into(), "o.status".into()),
+                ("id".into(), "o.id".into()),
+            ]),
+            vec!["status".into()],
+            AggFunc::Count,
+            "id",
+            "n",
+        );
+        let approx = s.answer(&QueryExpr::Aggregate(gq)).unwrap();
+        // exact counts: 250 open, 750 closed; the scaled estimate should land
+        // in the right ballpark (within a factor of 2)
+        for row in &approx.rows {
+            let n = row[1].as_f64().unwrap();
+            let expected = if row[0] == Value::from("open") { 250.0 } else { 750.0 };
+            assert!(n > expected * 0.5 && n < expected * 2.0, "estimate {n} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn min_max_are_not_scaled() {
+        let database = db(400);
+        let s = Sampl::build(&database, 100, 3).unwrap();
+        let gq = GroupByQuery::new(
+            RaExpr::scan("orders", "o").project(vec![
+                ("status".into(), "o.status".into()),
+                ("total".into(), "o.total".into()),
+            ]),
+            vec!["status".into()],
+            AggFunc::Max,
+            "total",
+            "m",
+        );
+        let approx = s.answer(&QueryExpr::Aggregate(gq)).unwrap();
+        for row in &approx.rows {
+            let m = row[1].as_f64().unwrap();
+            assert!(m <= 409.0 + 1e-9, "max cannot exceed the true maximum");
+        }
+    }
+
+    #[test]
+    fn empty_relation_is_handled() {
+        let database = db(0);
+        let s = Sampl::build(&database, 10, 1).unwrap();
+        assert_eq!(s.synopsis_size(), 0);
+        let expr = RaExpr::scan("orders", "o").project(vec![("id".into(), "o.id".into())]);
+        assert!(s.answer(&QueryExpr::Ra(expr)).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Cost of the accuracy measures themselves (RC vs MAC vs F): the RC measure
+//! needs a handful of relaxed-query evaluations per query, which is the price
+//! of its relevance component (Sec. 3). This bench quantifies that overhead so
+//! the evaluation harness runtimes are interpretable.
+
+use beas_bench::harness::{prepare, BenchProfile};
+use beas_core::{exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig};
+use beas_workloads::tpch::tpch_lite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_accuracy_measures(c: &mut Criterion) {
+    let profile = BenchProfile {
+        queries: 4,
+        ..BenchProfile::quick()
+    };
+    let prep = prepare(tpch_lite(1, 42), &profile);
+    // pre-compute one approximate answer set per query
+    let cases: Vec<_> = prep
+        .queries
+        .iter()
+        .filter_map(|q| {
+            let answer = prep.beas.answer(&q.query, 0.05).ok()?;
+            let exact = exact_answers(&q.query, &prep.dataset.db).ok()?;
+            let kinds = q.query.output_distances(&prep.dataset.db.schema).ok()?;
+            Some((q.query.clone(), answer.answers, exact, kinds))
+        })
+        .collect();
+    assert!(!cases.is_empty());
+
+    let cfg = AccuracyConfig {
+        relax_grid: 3,
+        fallback_cap: 1000.0,
+    };
+    let mut group = c.benchmark_group("accuracy_measures");
+    group.bench_function("rc_measure", |b| {
+        b.iter(|| {
+            for (query, approx, _, _) in &cases {
+                let r = rc_accuracy(approx, query, &prep.dataset.db, &cfg).expect("rc");
+                std::hint::black_box(r.accuracy);
+            }
+        });
+    });
+    group.bench_function("mac_measure", |b| {
+        b.iter(|| {
+            for (_, approx, exact, kinds) in &cases {
+                std::hint::black_box(mac_accuracy(approx, exact, kinds));
+            }
+        });
+    });
+    group.bench_function("f_measure", |b| {
+        b.iter(|| {
+            for (_, approx, exact, _) in &cases {
+                std::hint::black_box(f_measure(approx, exact).f1);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy_measures);
+criterion_main!(benches);

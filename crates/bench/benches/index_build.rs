@@ -1,0 +1,33 @@
+//! Exp-4 (offline cost): time to build the access-schema indices (`A_t` plus
+//! the constraint-derived templates) for each dataset, and the resulting index
+//! sizes relative to |D| (Fig. 6(k) reports the sizes; this bench adds the
+//! construction cost, which the paper folds into its offline phase C1).
+
+use beas_core::Beas;
+use beas_workloads::{airca::airca_lite, tfacc::tfacc_lite, tpch::tpch_lite, Dataset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn datasets() -> Vec<Dataset> {
+    vec![tpch_lite(1, 42), tfacc_lite(1, 42), airca_lite(1, 42)]
+}
+
+fn bench_catalog_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for dataset in datasets() {
+        group.bench_with_input(
+            BenchmarkId::new("catalog", dataset.name.clone()),
+            &dataset,
+            |b, dataset| {
+                b.iter(|| {
+                    let beas = Beas::build(&dataset.db, &dataset.constraints).expect("build");
+                    std::hint::black_box(beas.catalog().index_size_report().total_tuples());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_catalog_build);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 6(l): execution time of α-bounded plans versus full exact evaluation,
+//! varying the dataset scale factor. The paper reports seconds for bounded
+//! plans versus hours for PostgreSQL/MySQL on the full data; here the same
+//! shape appears as a widening gap between the two series as |D| grows.
+
+use beas_bench::harness::{prepare, BenchProfile};
+use beas_relal::eval_query;
+use beas_workloads::tpch::tpch_lite;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_bounded_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_execution");
+    group.sample_size(10);
+    for scale in [1usize, 3] {
+        let profile = BenchProfile {
+            scale,
+            queries: 5,
+            ..BenchProfile::quick()
+        };
+        let prep = prepare(tpch_lite(scale, 42), &profile);
+        let plans: Vec<_> = prep
+            .queries
+            .iter()
+            .filter_map(|q| prep.beas.plan(&q.query, 0.05).ok())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("bounded", scale), &prep, |b, prep| {
+            b.iter(|| {
+                for plan in &plans {
+                    let out = prep.beas.execute(plan).expect("execute");
+                    std::hint::black_box(out.answers.len());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("full_eval", scale), &prep, |b, prep| {
+            b.iter(|| {
+                for q in &prep.queries {
+                    let expr = q.query.to_query_expr(&prep.dataset.db.schema).expect("expr");
+                    let out = eval_query(&expr, &prep.dataset.db).expect("eval");
+                    std::hint::black_box(out.len());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded_vs_full);
+criterion_main!(benches);

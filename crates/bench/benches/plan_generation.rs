@@ -1,0 +1,31 @@
+//! Exp-5 (plan generation): the paper reports that BEAS generates α-bounded
+//! plans in under 200 ms for every query; this bench measures plan generation
+//! time per query class and dataset scale.
+
+use beas_bench::harness::{prepare, BenchProfile};
+use beas_workloads::tpch::tpch_lite;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_plan_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_generation");
+    for scale in [1usize, 3] {
+        let profile = BenchProfile {
+            scale,
+            queries: 6,
+            ..BenchProfile::quick()
+        };
+        let prep = prepare(tpch_lite(scale, 42), &profile);
+        group.bench_with_input(BenchmarkId::new("tpch", scale), &prep, |b, prep| {
+            b.iter(|| {
+                for q in &prep.queries {
+                    let plan = prep.beas.plan(&q.query, 0.05).expect("plan");
+                    std::hint::black_box(plan.eta);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_generation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates the tables/figures of the paper's evaluation (Sec. 8).
+//!
+//! ```text
+//! cargo run -p beas-bench --release --bin figures -- all
+//! cargo run -p beas-bench --release --bin figures -- fig6a fig6d --full
+//! ```
+//!
+//! With no arguments, every figure is produced under the quick profile.
+//! `--full` switches to the larger profile used for EXPERIMENTS.md.
+
+use beas_bench::figures::{
+    all_figures, fig6_accuracy_vs_alpha, fig6d_mac_vs_alpha, fig6ef_accuracy_vs_scale,
+    fig6g_accuracy_vs_sel, fig6h_accuracy_vs_prod, fig6i_accuracy_vs_kind, fig6j_exact_ratio,
+    fig6k_index_size, fig6l_efficiency, DatasetId,
+};
+use beas_bench::harness::Metric;
+use beas_bench::{BenchProfile, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let profile = if full {
+        BenchProfile::full()
+    } else {
+        BenchProfile::quick()
+    };
+    let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let mut tables: Vec<Table> = Vec::new();
+    if requested.is_empty() || requested.iter().any(|a| a.as_str() == "all") {
+        tables = all_figures(&profile);
+    } else {
+        for name in requested {
+            match name.as_str() {
+                "fig6a" => tables.push(fig6_accuracy_vs_alpha(DatasetId::Tpch, &profile)),
+                "fig6b" => tables.push(fig6_accuracy_vs_alpha(DatasetId::Tfacc, &profile)),
+                "fig6c" => tables.push(fig6_accuracy_vs_alpha(DatasetId::Airca, &profile)),
+                "fig6d" => tables.push(fig6d_mac_vs_alpha(&profile)),
+                "fig6e" => tables.push(fig6ef_accuracy_vs_scale(&profile, Metric::Rc)),
+                "fig6f" => tables.push(fig6ef_accuracy_vs_scale(&profile, Metric::Mac)),
+                "fig6g" => tables.push(fig6g_accuracy_vs_sel(&profile)),
+                "fig6h" => tables.push(fig6h_accuracy_vs_prod(&profile)),
+                "fig6i" => tables.push(fig6i_accuracy_vs_kind(&profile)),
+                "fig6j" => tables.push(fig6j_exact_ratio(&profile)),
+                "fig6k" => tables.push(fig6k_index_size(&profile)),
+                "fig6l" => tables.push(fig6l_efficiency(&profile)),
+                other => {
+                    eprintln!("unknown figure id: {other}");
+                    eprintln!(
+                        "known ids: fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h fig6i fig6j fig6k fig6l all"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    println!(
+        "BEAS evaluation harness — {} profile\n",
+        if full { "full" } else { "quick" }
+    );
+    for table in tables {
+        println!("{table}");
+    }
+}

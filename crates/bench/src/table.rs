@@ -1,0 +1,104 @@
+//! Plain-text tables: the output format of the figure harness.
+
+use std::fmt;
+
+/// A rendered experiment result: a title, a header row and data rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (e.g. `"Fig. 6(a) TPCH: RC accuracy, varying α"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as there are headers).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity does not match headers of table '{}'",
+            self.title
+        );
+        self.rows.push(row);
+    }
+
+    /// Formats a float cell with three decimals.
+    pub fn num(v: f64) -> String {
+        if v.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{v:.3}")
+        }
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_title() {
+        let mut t = Table::new("Fig. X", vec!["alpha", "BEAS", "Sampl"]);
+        t.push_row(vec!["0.01".into(), Table::num(0.91234), Table::num(0.5)]);
+        t.push_row(vec!["0.05".into(), Table::num(0.95), Table::num(f64::NAN)]);
+        let s = t.render();
+        assert!(s.contains("Fig. X"));
+        assert!(s.contains("0.912"));
+        assert!(s.contains('-'));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn push_row_checks_arity() {
+        let mut t = Table::new("T", vec!["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+}

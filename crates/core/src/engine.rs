@@ -1,0 +1,473 @@
+//! The BEAS framework facade (Fig. 2): offline catalog construction and
+//! maintenance, online resource-bounded query answering.
+//!
+//! ```text
+//!              ┌─ offline ─────────────────────────────┐
+//!   database ─▶│ C1 build indices I_A for access schema│
+//!              │ C2 maintain I_A under updates         │
+//!              └───────────────────────────────────────┘
+//!              ┌─ online ──────────────────────────────┐
+//!   (Q, α)  ──▶│ C3 generate α-bounded plan ξ_α, bound η│──▶ (ξ_α(D), η)
+//!              │ C4 execute ξ_α, accessing ≤ α·|D|     │
+//!              └───────────────────────────────────────┘
+//! ```
+
+use beas_access::{build_constraint, build_extended, AtOptions, Catalog, FamilyId};
+use beas_relal::{Database, Relation};
+
+use crate::error::Result;
+use crate::executor::{execute_plan, ExecutionOutcome};
+use crate::planner::{BoundedPlan, Planner};
+use crate::query::BeasQuery;
+
+/// A declarative description of an access constraint to register with the
+/// engine (the `R(X → Y, N, 0)` constraints of Sec. 2.1); the engine derives
+/// the extended multi-resolution templates `R(X∪Y → Z, 2^i, d̄_i)` from it, as
+/// in the experimental setup of Sec. 8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintSpec {
+    /// Relation name.
+    pub relation: String,
+    /// The X attributes.
+    pub x: Vec<String>,
+    /// The Y attributes.
+    pub y: Vec<String>,
+    /// Whether to also build the derived extended template on the remaining
+    /// attributes.
+    pub extend: bool,
+}
+
+impl ConstraintSpec {
+    /// A constraint `relation(x → y)` that also derives the extended template.
+    pub fn new(relation: &str, x: &[&str], y: &[&str]) -> Self {
+        ConstraintSpec {
+            relation: relation.to_string(),
+            x: x.iter().map(|s| s.to_string()).collect(),
+            y: y.iter().map(|s| s.to_string()).collect(),
+            extend: true,
+        }
+    }
+
+    /// Disables the derived extended template.
+    pub fn without_extension(mut self) -> Self {
+        self.extend = false;
+        self
+    }
+}
+
+/// The answer returned by the engine: approximate (or exact) answers plus the
+/// deterministic accuracy lower bound and the access accounting.
+#[derive(Debug, Clone)]
+pub struct BeasAnswer {
+    /// The answers `ξ_α(D)`.
+    pub answers: Relation,
+    /// The accuracy lower bound `η`.
+    pub eta: f64,
+    /// Whether the answers are exact (`Q(D)`).
+    pub exact: bool,
+    /// Tuples accessed during execution (≤ `α·|D|`).
+    pub accessed: usize,
+    /// The estimated tariff of the plan.
+    pub planned_tariff: usize,
+    /// The tuple budget the plan complied with.
+    pub budget: usize,
+}
+
+/// The BEAS engine: owns the access-schema catalog built over a database and
+/// answers queries under a resource ratio.
+#[derive(Debug)]
+pub struct Beas {
+    catalog: Catalog,
+}
+
+impl Beas {
+    /// Offline component: builds the canonical `A_t` catalog for the database
+    /// and registers the given access constraints (plus their derived extended
+    /// templates).
+    pub fn build(db: &Database, constraints: &[ConstraintSpec]) -> Result<Self> {
+        Self::build_with_options(db, constraints, &AtOptions::default())
+    }
+
+    /// [`Beas::build`] with explicit `A_t` options.
+    pub fn build_with_options(
+        db: &Database,
+        constraints: &[ConstraintSpec],
+        opts: &AtOptions,
+    ) -> Result<Self> {
+        let mut catalog = Catalog::for_database(db, opts)?;
+        for spec in constraints {
+            let x: Vec<&str> = spec.x.iter().map(|s| s.as_str()).collect();
+            let y: Vec<&str> = spec.y.iter().map(|s| s.as_str()).collect();
+            catalog.add_family(build_constraint(db, &spec.relation, &x, &y)?);
+            if spec.extend {
+                // the multi-resolution counterpart of the constraint itself:
+                // given an X-value, up to 2^i representative Y-values (the ψ_i
+                // templates of Example 1)
+                catalog.add_family(build_extended(db, &spec.relation, &x, &y)?);
+                // derived template: key on X ∪ Y, return the remaining attributes
+                let schema = db.schema.relation(&spec.relation)?;
+                let xy: Vec<String> = spec.x.iter().chain(spec.y.iter()).cloned().collect();
+                let rest: Vec<String> = schema
+                    .attr_names()
+                    .into_iter()
+                    .filter(|a| !xy.contains(a))
+                    .collect();
+                if !rest.is_empty() {
+                    let xy_ref: Vec<&str> = xy.iter().map(|s| s.as_str()).collect();
+                    let rest_ref: Vec<&str> = rest.iter().map(|s| s.as_str()).collect();
+                    catalog.add_family(build_extended(db, &spec.relation, &xy_ref, &rest_ref)?);
+                }
+            }
+        }
+        Ok(Beas { catalog })
+    }
+
+    /// Wraps an existing catalog (e.g. one maintained incrementally).
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Beas { catalog }
+    }
+
+    /// The catalog (access schema + indices).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Registers an additional template family and returns its id.
+    pub fn add_family(&mut self, family: beas_access::TemplateFamily) -> FamilyId {
+        self.catalog.add_family(family)
+    }
+
+    /// Online component C3: generates the α-bounded plan and its bound η
+    /// without accessing the database.
+    pub fn plan(&self, query: &BeasQuery, alpha: f64) -> Result<BoundedPlan> {
+        Planner::new(&self.catalog).plan(query, alpha)
+    }
+
+    /// Online components C3 + C4: plans and executes the query under resource
+    /// ratio `alpha`, returning the answers, the bound η and the accounting.
+    pub fn answer(&self, query: &BeasQuery, alpha: f64) -> Result<BeasAnswer> {
+        let plan = self.plan(query, alpha)?;
+        let outcome: ExecutionOutcome = execute_plan(&plan, &self.catalog)?;
+        Ok(BeasAnswer {
+            answers: outcome.answers,
+            eta: outcome.eta,
+            exact: plan.exact,
+            accessed: outcome.accessed,
+            planned_tariff: plan.tariff,
+            budget: plan.budget,
+        })
+    }
+
+    /// Executes a previously generated plan.
+    pub fn execute(&self, plan: &BoundedPlan) -> Result<ExecutionOutcome> {
+        execute_plan(plan, &self.catalog)
+    }
+
+    /// The smallest resource ratio for which the query is answered exactly
+    /// (Exp-3, Fig. 6(j)).
+    pub fn exact_ratio(&self, query: &BeasQuery) -> Result<Option<f64>> {
+        Planner::new(&self.catalog).exact_ratio(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::{exact_answers, rc_accuracy, AccuracyConfig};
+    use crate::query::{AggQuery, RaQuery};
+    use beas_relal::{
+        AggFunc, Attribute, CompareOp, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value,
+    };
+
+    /// A deterministic Example-1-style database.
+    fn example_db(n: i64) -> Database {
+        let schema = DatabaseSchema::new(vec![
+            RelationSchema::new(
+                "person",
+                vec![Attribute::id("pid"), Attribute::text("city")],
+            ),
+            RelationSchema::new("friend", vec![Attribute::id("pid"), Attribute::id("fid")]),
+            RelationSchema::new(
+                "poi",
+                vec![
+                    Attribute::text("address"),
+                    Attribute::categorical("type"),
+                    Attribute::text("city"),
+                    Attribute::double("price"),
+                ],
+            ),
+        ]);
+        let mut db = Database::new(schema);
+        let cities = ["NYC", "LA", "Chicago", "Boston"];
+        for i in 0..n {
+            db.insert_row("friend", vec![Value::Int(i % 10), Value::Int(i)]).unwrap();
+            db.insert_row(
+                "person",
+                vec![Value::Int(i), Value::from(cities[(i % 4) as usize])],
+            )
+            .unwrap();
+            db.insert_row(
+                "poi",
+                vec![
+                    Value::from(format!("a{i}")),
+                    Value::from(if i % 3 == 0 { "hotel" } else { "museum" }),
+                    Value::from(cities[(i % 4) as usize]),
+                    Value::Double(40.0 + (i % 60) as f64 * 2.0),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn constraints() -> Vec<ConstraintSpec> {
+        vec![
+            ConstraintSpec::new("friend", &["pid"], &["fid"]).without_extension(),
+            ConstraintSpec::new("person", &["pid"], &["city"]).without_extension(),
+            ConstraintSpec::new("poi", &["type", "city"], &["price"]),
+        ]
+    }
+
+    /// Q1 of Example 1 with (city, price) output.
+    fn q1(db: &Database) -> BeasQuery {
+        let mut b = SpcQueryBuilder::new(&db.schema);
+        let f = b.atom("friend", "f").unwrap();
+        let p = b.atom("person", "p").unwrap();
+        let h = b.atom("poi", "h").unwrap();
+        b.bind_const(f, "pid", 1i64).unwrap();
+        b.join((f, "fid"), (p, "pid")).unwrap();
+        b.join((p, "city"), (h, "city")).unwrap();
+        b.bind_const(h, "type", "hotel").unwrap();
+        b.filter_const(h, "price", CompareOp::Le, 95i64).unwrap();
+        b.output(h, "city", "city").unwrap();
+        b.output(h, "price", "price").unwrap();
+        b.build().unwrap().into()
+    }
+
+    /// Q2 of Example 1.
+    fn q2(db: &Database) -> BeasQuery {
+        let mut b = SpcQueryBuilder::new(&db.schema);
+        let f = b.atom("friend", "f").unwrap();
+        let p = b.atom("person", "p").unwrap();
+        b.bind_const(f, "pid", 1i64).unwrap();
+        b.join((f, "fid"), (p, "pid")).unwrap();
+        b.output(p, "city", "city").unwrap();
+        b.build().unwrap().into()
+    }
+
+    /// Hotels of a fixed (type, city) below a price, single atom. The city is
+    /// pinned by an equality selection (not folded into the tableau) so it can
+    /// still be projected into the output.
+    fn hotels_in(db: &Database, city: &str, max_price: i64) -> BeasQuery {
+        let mut b = SpcQueryBuilder::new(&db.schema);
+        let h = b.atom("poi", "h").unwrap();
+        b.bind_const(h, "type", "hotel").unwrap();
+        b.filter_const(h, "city", CompareOp::Eq, city).unwrap();
+        b.filter_const(h, "price", CompareOp::Le, max_price).unwrap();
+        b.output(h, "city", "city").unwrap();
+        b.output(h, "price", "price").unwrap();
+        b.build().unwrap().into()
+    }
+
+    #[test]
+    fn boundedly_evaluable_query_is_answered_exactly() {
+        let db = example_db(400);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let q = q2(&db);
+        let answer = beas.answer(&q, 0.1).unwrap();
+        assert!(answer.exact);
+        assert_eq!(answer.eta, 1.0);
+        let truth = exact_answers(&q, &db).unwrap();
+        assert_eq!(answer.answers.clone().sorted(), truth.sorted());
+        assert!(answer.accessed <= answer.budget);
+    }
+
+    #[test]
+    fn execution_respects_the_budget() {
+        let db = example_db(400);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let q = q1(&db);
+        for alpha in [0.05, 0.1, 0.3] {
+            let answer = beas.answer(&q, alpha).unwrap();
+            let budget = beas.catalog().budget_for(alpha);
+            assert!(
+                answer.accessed <= budget,
+                "accessed {} > budget {budget} at α={alpha}",
+                answer.accessed
+            );
+        }
+    }
+
+    #[test]
+    fn q1_answers_become_exact_with_enough_budget() {
+        let db = example_db(400);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let q = q1(&db);
+        let answer = beas.answer(&q, 1.0).unwrap();
+        assert!(answer.exact, "α = 1 must allow the exact plan");
+        let truth = exact_answers(&q, &db).unwrap();
+        assert_eq!(answer.answers.clone().sorted(), truth.sorted());
+    }
+
+    #[test]
+    fn approximate_answers_satisfy_the_reported_bound() {
+        let db = example_db(400);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let q = q1(&db);
+        for alpha in [0.03, 0.08, 0.2, 0.5] {
+            let answer = beas.answer(&q, alpha).unwrap();
+            let report = rc_accuracy(&answer.answers, &q, &db, &AccuracyConfig::default()).unwrap();
+            assert!(
+                report.accuracy + 1e-9 >= answer.eta,
+                "α={alpha}: measured accuracy {} below promised η {}",
+                report.accuracy,
+                answer.eta
+            );
+        }
+    }
+
+    #[test]
+    fn eta_is_monotone_in_alpha() {
+        let db = example_db(400);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let q = q1(&db);
+        let mut last = -1.0;
+        for alpha in [0.02, 0.05, 0.1, 0.25, 0.6, 1.0] {
+            let answer = beas.answer(&q, alpha).unwrap();
+            assert!(answer.eta >= last - 1e-12);
+            last = answer.eta;
+        }
+    }
+
+    #[test]
+    fn single_relation_selection_query_end_to_end() {
+        let db = example_db(300);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let q = hotels_in(&db, "NYC", 90);
+        let answer = beas.answer(&q, 0.5).unwrap();
+        let truth = exact_answers(&q, &db).unwrap();
+        assert!(answer.exact);
+        assert_eq!(answer.answers.clone().sorted(), truth.sorted());
+    }
+
+    #[test]
+    fn union_query_combines_branches() {
+        let db = example_db(300);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let a = match hotels_in(&db, "NYC", 200) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        let b = match hotels_in(&db, "Chicago", 200) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        let q: BeasQuery = BeasQuery::Ra(a.union(b));
+        let answer = beas.answer(&q, 1.0).unwrap();
+        let truth = exact_answers(&q, &db).unwrap();
+        assert_eq!(answer.answers.clone().sorted(), truth.sorted());
+    }
+
+    #[test]
+    fn difference_never_returns_excluded_tuples() {
+        // Theorem 6(5): if t ∈ Q2(D) then t ∉ ξ_α(D)
+        let db = example_db(300);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let all = match hotels_in(&db, "NYC", 1000) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        let cheap = match hotels_in(&db, "NYC", 90) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        let q: BeasQuery = BeasQuery::Ra(all.difference(cheap.clone()));
+        let cheap_exact = exact_answers(&BeasQuery::Ra(cheap), &db).unwrap();
+        for alpha in [0.05, 0.2, 1.0] {
+            let answer = beas.answer(&q, alpha).unwrap();
+            for row in &answer.answers.rows {
+                assert!(
+                    !cheap_exact.rows.contains(row),
+                    "excluded tuple {row:?} returned at α={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_count_query_end_to_end() {
+        let db = example_db(300);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let inner = match q1(&db) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        let q: BeasQuery = AggQuery::new(inner, vec!["city".into()], AggFunc::Count, "price", "n")
+            .unwrap()
+            .into();
+        let answer = beas.answer(&q, 1.0).unwrap();
+        let truth = exact_answers(&q, &db).unwrap();
+        // counts grouped by city must match exactly under the exact plan
+        assert_eq!(answer.answers.clone().sorted(), truth.sorted());
+
+        // under a small ratio the answer is approximate but non-empty and the
+        // group keys are valid cities
+        let approx = beas.answer(&q, 0.1).unwrap();
+        assert!(approx.eta <= 1.0);
+        let report = rc_accuracy(&approx.answers, &q, &db, &AccuracyConfig::default()).unwrap();
+        assert!(report.accuracy >= 0.0);
+    }
+
+    #[test]
+    fn aggregate_min_and_avg_queries_run() {
+        let db = example_db(200);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let inner = match hotels_in(&db, "NYC", 1000) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        for agg in [AggFunc::Min, AggFunc::Max, AggFunc::Avg, AggFunc::Sum] {
+            let q: BeasQuery =
+                AggQuery::new(inner.clone(), vec!["city".into()], agg, "price", "v")
+                    .unwrap()
+                    .into();
+            let exact = beas.answer(&q, 1.0).unwrap();
+            let truth = exact_answers(&q, &db).unwrap();
+            assert_eq!(exact.answers.clone().sorted(), truth.sorted(), "agg {agg}");
+            let approx = beas.answer(&q, 0.05).unwrap();
+            assert!(approx.accessed <= beas.catalog().budget_for(0.05));
+        }
+    }
+
+    #[test]
+    fn exact_ratio_is_small_for_bounded_queries() {
+        let db = example_db(500);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let r = beas.exact_ratio(&q2(&db)).unwrap().unwrap();
+        assert!(r < 0.2, "Q2 exact ratio should be small, got {r}");
+        let r1 = beas.exact_ratio(&q1(&db)).unwrap().unwrap();
+        assert!(r1 >= r);
+    }
+
+    #[test]
+    fn catalog_reports_index_sizes() {
+        let db = example_db(200);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let report = beas.catalog().index_size_report();
+        assert!(report.constraint_index_tuples > 0);
+        assert!(report.template_index_tuples > 0);
+        assert!(report.total_ratio() > 0.0);
+    }
+
+    #[test]
+    fn answer_rejects_invalid_query() {
+        let db = example_db(50);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let mut bad = match q2(&db) {
+            BeasQuery::Ra(RaQuery::Spc(q)) => q,
+            _ => unreachable!(),
+        };
+        bad.output.clear();
+        assert!(beas.answer(&bad.into(), 0.5).is_err());
+    }
+}

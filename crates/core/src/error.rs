@@ -1,0 +1,64 @@
+//! Error type for the BEAS core.
+
+use std::fmt;
+
+use beas_access::AccessError;
+use beas_relal::RelalError;
+
+/// Result alias for `beas-core`.
+pub type Result<T> = std::result::Result<T, BeasError>;
+
+/// Errors raised by planning or executing bounded query plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BeasError {
+    /// Error from the relational substrate.
+    Relal(RelalError),
+    /// Error from the access schema layer (including budget violations).
+    Access(AccessError),
+    /// The planner could not produce a plan (e.g. the catalog lacks an `A_t`
+    /// family for a relation used by the query).
+    Planning(String),
+    /// The query is structurally unsupported (e.g. an aggregate over a column
+    /// missing from the inner query's output).
+    UnsupportedQuery(String),
+}
+
+impl fmt::Display for BeasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeasError::Relal(e) => write!(f, "{e}"),
+            BeasError::Access(e) => write!(f, "{e}"),
+            BeasError::Planning(msg) => write!(f, "planning error: {msg}"),
+            BeasError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BeasError {}
+
+impl From<RelalError> for BeasError {
+    fn from(e: RelalError) -> Self {
+        BeasError::Relal(e)
+    }
+}
+
+impl From<AccessError> for BeasError {
+    fn from(e: AccessError) -> Self {
+        BeasError::Access(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BeasError = RelalError::UnknownRelation("r".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        let e: BeasError = AccessError::UnknownFamily(3).into();
+        assert!(e.to_string().contains("family 3"));
+        let e = BeasError::Planning("no catalog family for poi".into());
+        assert!(e.to_string().contains("no catalog family"));
+    }
+}

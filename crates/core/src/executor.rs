@@ -1,0 +1,606 @@
+//! Execution of bounded query plans: runs the fetching plan `ξ_F` through a
+//! budget-enforcing [`FetchSession`] and then evaluates the relaxation-
+//! compensated evaluation plan `ξ_E` over the fetched data (Sec. 5–7).
+//!
+//! Set difference is enforced without scanning the database (Sec. 6): when the
+//! negated side was fetched approximately, answers of the positive side that
+//! fall within the *dangerous distance* of the negated side's maximal induced
+//! query are excluded, and the coverage part of the accuracy bound is
+//! re-estimated from the two executed answer sets (`d'` of Fig. 5).
+
+use std::collections::HashMap;
+
+use beas_access::{Catalog, FetchSession, WEIGHT_COLUMN};
+use beas_relal::{
+    aggregate_relation, eval_bag, eval_set, CompareOp, GroupByQuery, Predicate, PredicateAtom,
+    RaExpr, Relation, Row, SelCond, SpcQuery, Value,
+};
+
+use crate::error::{BeasError, Result};
+use crate::plan::{KeySource, LeafPlan};
+use crate::planner::BoundedPlan;
+use crate::query::{BeasQuery, RaQuery};
+
+/// The result of executing a bounded plan.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// The (approximate or exact) answers `ξ_α(D)`.
+    pub answers: Relation,
+    /// The final accuracy lower bound `η` (for queries with approximate set
+    /// difference this refines the planned bound using `d'`, Fig. 5 lines 6–7).
+    pub eta: f64,
+    /// Tuples actually accessed.
+    pub accessed: usize,
+    /// Number of fetch operations executed.
+    pub fetches: usize,
+}
+
+/// Executes `plan` against `catalog`, enforcing the plan's budget.
+///
+/// When the budget is smaller than one tuple per relation atom (a degenerate
+/// α), the plan of last resort may estimate slightly more than the budget; in
+/// that case its own tariff is enforced instead, so execution still accesses
+/// the minimum the query needs.
+pub fn execute_plan(plan: &BoundedPlan, catalog: &Catalog) -> Result<ExecutionOutcome> {
+    execute_plan_with_budget(plan, catalog, Some(plan.budget.max(plan.tariff)))
+}
+
+/// Executes `plan` with an explicit budget (`None` disables enforcement; used
+/// by tests and by the exact-answer path).
+pub fn execute_plan_with_budget(
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+    budget: Option<usize>,
+) -> Result<ExecutionOutcome> {
+    let mut session = FetchSession::new(catalog, budget);
+    let schema = &catalog.schema;
+
+    // ------------------------------------------------------------- fetch phase
+    let mut node_outputs: Vec<Relation> = Vec::with_capacity(plan.fetch.nodes.len());
+    for node in &plan.fetch.nodes {
+        let keys: Vec<Vec<Value>> = match node.input_node {
+            None => {
+                let key: Vec<Value> = node
+                    .key_sources
+                    .iter()
+                    .map(|k| match k {
+                        KeySource::Const(v) => Ok(v.clone()),
+                        KeySource::Column(c) => Err(BeasError::Planning(format!(
+                            "fetch node {} references column {c} but has no input node",
+                            node.id
+                        ))),
+                    })
+                    .collect::<Result<_>>()?;
+                vec![key]
+            }
+            Some(input) => {
+                let input_rel = &node_outputs[input];
+                let mut col_idx: Vec<Option<usize>> = Vec::with_capacity(node.key_sources.len());
+                for k in &node.key_sources {
+                    match k {
+                        KeySource::Const(_) => col_idx.push(None),
+                        KeySource::Column(c) => {
+                            col_idx.push(Some(input_rel.column_index(c).map_err(BeasError::from)?))
+                        }
+                    }
+                }
+                let mut keys = Vec::with_capacity(input_rel.len());
+                for row in &input_rel.rows {
+                    let key: Vec<Value> = node
+                        .key_sources
+                        .iter()
+                        .zip(col_idx.iter())
+                        .map(|(k, idx)| match (k, idx) {
+                            (KeySource::Const(v), _) => v.clone(),
+                            (KeySource::Column(_), Some(i)) => row[*i].clone(),
+                            (KeySource::Column(_), None) => unreachable!(),
+                        })
+                        .collect();
+                    keys.push(key);
+                }
+                keys
+            }
+        };
+        let fetched = session.fetch(node.family, node.level, &keys)?;
+        node_outputs.push(fetched);
+    }
+
+    // -------------------------------------------------------- per-leaf results
+    let ra = plan.query.ra();
+    let leaves = ra.spc_leaves();
+    let want_weights = plan.query.is_aggregate();
+    let mut leaf_results: Vec<Relation> = Vec::with_capacity(leaves.len());
+    let mut leaf_out_res: Vec<Vec<f64>> = Vec::with_capacity(leaves.len());
+    let mut leaf_exact: Vec<bool> = Vec::with_capacity(leaves.len());
+    for (i, leaf) in leaves.iter().enumerate() {
+        let leaf_plan = &plan.leaves[i];
+        let rel = evaluate_leaf(leaf, leaf_plan, plan, catalog, &node_outputs, want_weights)?;
+        leaf_results.push(rel);
+        let out_res = output_resolutions(leaf, leaf_plan, plan, catalog)?;
+        leaf_exact.push(leaf_is_exact(leaf, leaf_plan, plan, catalog)?);
+        leaf_out_res.push(out_res);
+    }
+
+    // ------------------------------------------------ combine per RA structure
+    let indexed = index_leaves(ra, &mut 0);
+    let output_kinds = ra.output_distances(schema)?;
+    let ra_result = exec_indexed(
+        &indexed,
+        &leaf_results,
+        &leaf_out_res,
+        &leaf_exact,
+        &output_kinds,
+        want_weights,
+        ra.output_columns().len(),
+    )?;
+
+    // --------------------------------------------------------------- final eta
+    let mut eta = plan.eta;
+    if has_approx_difference(&indexed, &leaf_exact) {
+        // induce over the *indexed* tree so that leaf indices keep referring
+        // to the original per-leaf results
+        let induced = induce(&indexed);
+        let s_hat = exec_indexed(
+            &induced,
+            &leaf_results,
+            &leaf_out_res,
+            &leaf_exact,
+            &output_kinds,
+            false,
+            ra.output_columns().len(),
+        )?;
+        let ncols = ra.output_columns().len();
+        let d_prime = max_min_distance(&s_hat, &ra_result, &output_kinds, ncols);
+        let worst = plan.d_rel.max(d_prime + plan.d_cov);
+        eta = if worst.is_infinite() { 0.0 } else { 1.0 / (1.0 + worst) };
+        // the planner's special cases (e.g. sum/count/avg aggregates without
+        // an exact plan) declare no bound at all; keep that
+        if plan.eta == 0.0 {
+            eta = 0.0;
+        }
+    }
+
+    // ------------------------------------------------------------- aggregation
+    let answers = match &plan.query {
+        BeasQuery::Ra(_) => {
+            let mut rel = project_outputs(&ra_result, ra.output_columns().len());
+            rel.columns = ra.output_columns();
+            rel.dedup();
+            rel
+        }
+        BeasQuery::Aggregate(agg) => {
+            let mut input = ra_result;
+            // name the columns so the aggregate can address them
+            let mut cols = ra.output_columns();
+            if input.arity() == cols.len() + 1 {
+                cols.push(WEIGHT_COLUMN.to_string());
+            }
+            input.columns = cols;
+            let weight_col = if agg.agg.is_extremum() {
+                None
+            } else if input.columns.iter().any(|c| c == WEIGHT_COLUMN) {
+                Some(WEIGHT_COLUMN.to_string())
+            } else {
+                None
+            };
+            let gq = GroupByQuery {
+                input: RaExpr::scan("__unused", "__unused"),
+                group_by: agg.group_by.clone(),
+                agg: agg.agg,
+                agg_col: agg.agg_col.clone(),
+                out_name: agg.out_name.clone(),
+                weight_col,
+            };
+            aggregate_relation(&input, &gq)?
+        }
+    };
+
+    Ok(ExecutionOutcome {
+        answers,
+        eta,
+        accessed: session.accessed(),
+        fetches: session.counter().fetches,
+    })
+}
+
+// --------------------------------------------------------------------------
+// leaf evaluation
+// --------------------------------------------------------------------------
+
+/// Evaluates one SPC leaf over its fetched atom relations, applying the
+/// targeted relaxation of selection conditions (Sec. 5, "Evaluation plan ξ_E").
+fn evaluate_leaf(
+    leaf: &SpcQuery,
+    leaf_plan: &LeafPlan,
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+    node_outputs: &[Relation],
+    want_weights: bool,
+) -> Result<Relation> {
+    let schema = &catalog.schema;
+    let res = |pos: beas_relal::Position| -> Result<f64> {
+        leaf_plan.position_resolution(&plan.fetch, catalog, schema, leaf, pos)
+    };
+
+    // overlay of fetched atom relations
+    let mut overlay: HashMap<String, Relation> = HashMap::new();
+    let mut expr: Option<RaExpr> = None;
+    for (ai, atom) in leaf.atoms.iter().enumerate() {
+        let node_id = leaf_plan.atom_nodes[ai];
+        let rel = node_outputs
+            .get(node_id)
+            .ok_or_else(|| BeasError::Planning(format!("missing output of node {node_id}")))?
+            .clone();
+        let name = format!("__atom_{}_{}", leaf_plan.leaf, ai);
+        overlay.insert(name.clone(), rel);
+        let scan = RaExpr::scan(name, atom.alias.clone());
+        expr = Some(match expr {
+            None => scan,
+            Some(e) => e.product(scan),
+        });
+    }
+    let mut expr =
+        expr.ok_or_else(|| BeasError::Planning("leaf without atoms".to_string()))?;
+
+    // relaxed selection conditions
+    let mut atoms_pred: Vec<PredicateAtom> = Vec::new();
+    for (ai, terms) in leaf.terms.iter().enumerate() {
+        for (pi, term) in terms.iter().enumerate() {
+            if let beas_relal::Term::Const(v) = term {
+                let col = leaf.position_column_named(schema, (ai, pi))?;
+                let dk = leaf.position_distance(schema, (ai, pi))?;
+                atoms_pred.push(PredicateAtom::ColConst {
+                    col,
+                    op: CompareOp::Eq,
+                    value: v.clone(),
+                    distance: dk,
+                    tol: res((ai, pi))?,
+                });
+            }
+        }
+    }
+    for positions in leaf.var_positions().values() {
+        if positions.len() > 1 {
+            let first_col = leaf.position_column_named(schema, positions[0])?;
+            let dk = leaf.position_distance(schema, positions[0])?;
+            let first_res = res(positions[0])?;
+            for &p in &positions[1..] {
+                atoms_pred.push(PredicateAtom::ColCol {
+                    left: first_col.clone(),
+                    op: CompareOp::Eq,
+                    right: leaf.position_column_named(schema, p)?,
+                    distance: dk,
+                    tol: first_res + res(p)?,
+                });
+            }
+        }
+    }
+    for sel in &leaf.selections {
+        match sel {
+            SelCond::VarConst { var, op, value } => {
+                let pos = leaf
+                    .var_first_position(*var)
+                    .ok_or_else(|| BeasError::Planning(format!("unbound variable {var}")))?;
+                atoms_pred.push(PredicateAtom::ColConst {
+                    col: leaf.position_column_named(schema, pos)?,
+                    op: *op,
+                    value: value.clone(),
+                    distance: leaf.position_distance(schema, pos)?,
+                    tol: res(pos)?,
+                });
+            }
+            SelCond::VarVar { left, op, right } => {
+                let lpos = leaf
+                    .var_first_position(*left)
+                    .ok_or_else(|| BeasError::Planning(format!("unbound variable {left}")))?;
+                let rpos = leaf
+                    .var_first_position(*right)
+                    .ok_or_else(|| BeasError::Planning(format!("unbound variable {right}")))?;
+                atoms_pred.push(PredicateAtom::ColCol {
+                    left: leaf.position_column_named(schema, lpos)?,
+                    op: *op,
+                    right: leaf.position_column_named(schema, rpos)?,
+                    distance: leaf.position_distance(schema, lpos)?,
+                    tol: res(lpos)? + res(rpos)?,
+                });
+            }
+        }
+    }
+    if !atoms_pred.is_empty() {
+        expr = expr.select(Predicate::all(atoms_pred));
+    }
+
+    // projection: output columns (+ per-atom weights when aggregating)
+    let mut proj: Vec<(String, String)> = Vec::new();
+    for out in &leaf.output {
+        let pos = leaf
+            .var_first_position(out.var)
+            .ok_or_else(|| BeasError::Planning(format!("unbound output variable {}", out.var)))?;
+        proj.push((out.name.clone(), leaf.position_column_named(schema, pos)?));
+    }
+    if want_weights {
+        for (ai, atom) in leaf.atoms.iter().enumerate() {
+            proj.push((
+                format!("__w{ai}"),
+                format!("{}.{}", atom.alias, WEIGHT_COLUMN),
+            ));
+        }
+    }
+    let expr = expr.project(proj);
+
+    if want_weights {
+        let rel = eval_bag(&expr, &overlay)?;
+        Ok(combine_weights(rel, leaf.output.len()))
+    } else {
+        Ok(eval_set(&expr, &overlay)?)
+    }
+}
+
+/// Replaces the per-atom weight columns by a single combined weight column
+/// (the product of the per-atom representative counts).
+fn combine_weights(rel: Relation, output_cols: usize) -> Relation {
+    let mut out = Relation::empty(
+        rel.columns[..output_cols]
+            .iter()
+            .cloned()
+            .chain(std::iter::once(WEIGHT_COLUMN.to_string()))
+            .collect(),
+    );
+    for row in rel.rows {
+        let weight: f64 = row[output_cols..]
+            .iter()
+            .map(|v| v.as_f64().unwrap_or(1.0).max(0.0))
+            .product();
+        let mut new_row: Row = row[..output_cols].to_vec();
+        new_row.push(Value::Double(weight));
+        out.rows.push(new_row);
+    }
+    out
+}
+
+/// The resolution of each output column of a leaf under the plan.
+fn output_resolutions(
+    leaf: &SpcQuery,
+    leaf_plan: &LeafPlan,
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+) -> Result<Vec<f64>> {
+    let schema = &catalog.schema;
+    leaf.output
+        .iter()
+        .map(|out| {
+            let pos = leaf
+                .var_first_position(out.var)
+                .ok_or_else(|| BeasError::Planning(format!("unbound output var {}", out.var)))?;
+            leaf_plan.position_resolution(&plan.fetch, catalog, schema, leaf, pos)
+        })
+        .collect()
+}
+
+/// `true` when every needed position of the leaf is fetched exactly.
+fn leaf_is_exact(
+    leaf: &SpcQuery,
+    leaf_plan: &LeafPlan,
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+) -> Result<bool> {
+    let schema = &catalog.schema;
+    let needed = crate::plan::needed_positions(leaf);
+    for (ai, positions) in needed.iter().enumerate() {
+        for &pi in positions {
+            let r = leaf_plan.position_resolution(&plan.fetch, catalog, schema, leaf, (ai, pi))?;
+            if r > 0.0 {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+// --------------------------------------------------------------------------
+// RA composition
+// --------------------------------------------------------------------------
+
+/// An [`RaQuery`] with its SPC leaves replaced by their global index.
+#[derive(Debug, Clone)]
+enum IndexedRa {
+    Leaf(usize),
+    Union(Box<IndexedRa>, Box<IndexedRa>),
+    Difference(Box<IndexedRa>, Box<IndexedRa>),
+}
+
+fn index_leaves(ra: &RaQuery, next: &mut usize) -> IndexedRa {
+    match ra {
+        RaQuery::Spc(_) => {
+            let i = *next;
+            *next += 1;
+            IndexedRa::Leaf(i)
+        }
+        RaQuery::Union(l, r) => {
+            let li = index_leaves(l, next);
+            let ri = index_leaves(r, next);
+            IndexedRa::Union(Box::new(li), Box::new(ri))
+        }
+        RaQuery::Difference(l, r) => {
+            let li = index_leaves(l, next);
+            let ri = index_leaves(r, next);
+            IndexedRa::Difference(Box::new(li), Box::new(ri))
+        }
+    }
+}
+
+/// Evaluates the indexed RA tree over the per-leaf results.
+#[allow(clippy::too_many_arguments)]
+fn exec_indexed(
+    node: &IndexedRa,
+    leaf_results: &[Relation],
+    leaf_out_res: &[Vec<f64>],
+    leaf_exact: &[bool],
+    kinds: &[beas_relal::DistanceKind],
+    want_weights: bool,
+    ncols: usize,
+) -> Result<Relation> {
+    match node {
+        IndexedRa::Leaf(i) => Ok(leaf_results[*i].clone()),
+        IndexedRa::Union(l, r) => {
+            let mut a = exec_indexed(l, leaf_results, leaf_out_res, leaf_exact, kinds, want_weights, ncols)?;
+            let b = exec_indexed(r, leaf_results, leaf_out_res, leaf_exact, kinds, want_weights, ncols)?;
+            a.rows.extend(b.rows);
+            if !want_weights {
+                a.dedup();
+            }
+            Ok(a)
+        }
+        IndexedRa::Difference(l, r) => {
+            let a = exec_indexed(l, leaf_results, leaf_out_res, leaf_exact, kinds, want_weights, ncols)?;
+            let right_exact = subtree_leaves(r).iter().all(|&i| leaf_exact[i]);
+            if right_exact {
+                // exact set difference on the output columns
+                let b = exec_indexed(r, leaf_results, leaf_out_res, leaf_exact, kinds, false, ncols)?;
+                let remove: std::collections::HashSet<Vec<Value>> = b
+                    .rows
+                    .iter()
+                    .map(|row| row[..ncols.min(row.len())].to_vec())
+                    .collect();
+                let rows = a
+                    .rows
+                    .into_iter()
+                    .filter(|row| !remove.contains(&row[..ncols.min(row.len())].to_vec()))
+                    .collect();
+                Ok(Relation {
+                    columns: a.columns,
+                    rows,
+                })
+            } else {
+                // dangerous-distance exclusion (Sec. 6): drop answers of the
+                // positive side that are within the combined resolution of an
+                // answer to the maximal induced negated query
+                let induced = induce(r);
+                let b_hat =
+                    exec_indexed(&induced, leaf_results, leaf_out_res, leaf_exact, kinds, false, ncols)?;
+                let delta = dangerous_distances(l, r, leaf_out_res, ncols);
+                let rows = a
+                    .rows
+                    .into_iter()
+                    .filter(|row| {
+                        !b_hat.rows.iter().any(|neg| {
+                            (0..ncols).all(|j| {
+                                kinds[j].distance(&row[j], &neg[j]) <= delta[j] + 1e-12
+                            })
+                        })
+                    })
+                    .collect();
+                Ok(Relation {
+                    columns: a.columns,
+                    rows,
+                })
+            }
+        }
+    }
+}
+
+/// The maximal induced query of an indexed subtree (drop negated parts).
+fn induce(node: &IndexedRa) -> IndexedRa {
+    match node {
+        IndexedRa::Leaf(i) => IndexedRa::Leaf(*i),
+        IndexedRa::Union(l, r) => IndexedRa::Union(Box::new(induce(l)), Box::new(induce(r))),
+        IndexedRa::Difference(l, _) => induce(l),
+    }
+}
+
+/// All leaf indices of an indexed subtree.
+fn subtree_leaves(node: &IndexedRa) -> Vec<usize> {
+    match node {
+        IndexedRa::Leaf(i) => vec![*i],
+        IndexedRa::Union(l, r) | IndexedRa::Difference(l, r) => {
+            let mut v = subtree_leaves(l);
+            v.extend(subtree_leaves(r));
+            v
+        }
+    }
+}
+
+/// Per-output-column dangerous distance δ(A): the combined worst resolution of
+/// the positive side and of the (induced) negated side.
+fn dangerous_distances(
+    left: &IndexedRa,
+    right: &IndexedRa,
+    leaf_out_res: &[Vec<f64>],
+    ncols: usize,
+) -> Vec<f64> {
+    let mut delta = vec![0.0f64; ncols];
+    for &i in &subtree_leaves(left) {
+        for j in 0..ncols {
+            delta[j] = delta[j].max(leaf_out_res[i].get(j).copied().unwrap_or(0.0));
+        }
+    }
+    let mut right_part = vec![0.0f64; ncols];
+    for &i in &subtree_leaves(&induce(right)) {
+        for j in 0..ncols {
+            right_part[j] = right_part[j].max(leaf_out_res[i].get(j).copied().unwrap_or(0.0));
+        }
+    }
+    for j in 0..ncols {
+        delta[j] += right_part[j];
+    }
+    delta
+}
+
+/// `max_{t ∈ from} min_{s ∈ to} d(s, t)` on the first `ncols` columns.
+fn max_min_distance(
+    from: &Relation,
+    to: &Relation,
+    kinds: &[beas_relal::DistanceKind],
+    ncols: usize,
+) -> f64 {
+    if from.is_empty() {
+        return 0.0;
+    }
+    if to.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut worst: f64 = 0.0;
+    for t in &from.rows {
+        let best = to
+            .rows
+            .iter()
+            .map(|s| {
+                (0..ncols)
+                    .map(|j| kinds[j].distance(&s[j], &t[j]))
+                    .fold(0.0f64, f64::max)
+            })
+            .fold(f64::INFINITY, f64::min);
+        worst = worst.max(best);
+    }
+    worst
+}
+
+/// Keeps only the first `ncols` columns of a relation.
+fn project_outputs(rel: &Relation, ncols: usize) -> Relation {
+    Relation {
+        columns: rel.columns[..ncols.min(rel.columns.len())].to_vec(),
+        rows: rel
+            .rows
+            .iter()
+            .map(|r| r[..ncols.min(r.len())].to_vec())
+            .collect(),
+    }
+}
+
+/// Whether the indexed tree contains a difference whose negated side was
+/// fetched approximately (requiring the `d'` correction of Fig. 5).
+fn has_approx_difference(node: &IndexedRa, leaf_exact: &[bool]) -> bool {
+    match node {
+        IndexedRa::Leaf(_) => false,
+        IndexedRa::Union(l, r) => {
+            has_approx_difference(l, leaf_exact) || has_approx_difference(r, leaf_exact)
+        }
+        IndexedRa::Difference(l, r) => {
+            let right_approx = subtree_leaves(r).iter().any(|&i| !leaf_exact[i]);
+            right_approx
+                || has_approx_difference(l, leaf_exact)
+                || has_approx_difference(r, leaf_exact)
+        }
+    }
+}
+

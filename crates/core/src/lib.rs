@@ -1,0 +1,75 @@
+//! # beas-core — resource-bounded approximate query answering
+//!
+//! This crate implements BEAS ("Boundedly EvAluable Sql"), the framework of
+//! *Data Driven Approximation with Bounded Resources* (Cao & Fan, VLDB 2017):
+//! given a dataset `D`, an access schema `A` with `D |= A`, a query `Q`
+//! (SPC, RA, or aggregate) and a resource ratio `α ∈ (0, 1]`, it produces an
+//! α-bounded query plan `ξ_α` and a deterministic accuracy lower bound `η`
+//! such that executing `ξ_α` accesses at most `α·|D|` tuples and the answers
+//! have RC-accuracy at least `η`.
+//!
+//! The main entry points are:
+//!
+//! * [`Beas`] — the framework facade (offline index construction + online
+//!   query answering, Fig. 2 of the paper);
+//! * [`Planner`] — the approximation scheme `Γ_A` (chase + `chAT`);
+//! * [`execute_plan`] — runs a bounded plan under a budget-enforcing fetch
+//!   session;
+//! * [`accuracy`] — the RC measure, MAC and F-measure used in the evaluation.
+//!
+//! ```
+//! use beas_core::{Beas, ConstraintSpec, BeasQuery};
+//! use beas_relal::{Attribute, Database, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value};
+//!
+//! // a tiny database of points of interest
+//! let schema = DatabaseSchema::new(vec![RelationSchema::new(
+//!     "poi",
+//!     vec![Attribute::categorical("type"), Attribute::text("city"), Attribute::double("price")],
+//! )]);
+//! let mut db = Database::new(schema);
+//! for i in 0..100i64 {
+//!     db.insert_row("poi", vec![
+//!         Value::from(if i % 2 == 0 { "hotel" } else { "museum" }),
+//!         Value::from(if i % 4 == 0 { "NYC" } else { "LA" }),
+//!         Value::Double(50.0 + i as f64),
+//!     ]).unwrap();
+//! }
+//!
+//! // offline: build the access schema (A_t plus one constraint)
+//! let beas = Beas::build(&db, &[ConstraintSpec::new("poi", &["type", "city"], &["price"])]).unwrap();
+//!
+//! // online: ask for hotels in NYC under a 20% resource ratio
+//! let mut b = SpcQueryBuilder::new(&db.schema);
+//! let h = b.atom("poi", "h").unwrap();
+//! b.bind_const(h, "type", "hotel").unwrap();
+//! b.bind_const(h, "city", "NYC").unwrap();
+//! b.output(h, "price", "price").unwrap();
+//! let query: BeasQuery = b.build().unwrap().into();
+//!
+//! let answer = beas.answer(&query, 0.2).unwrap();
+//! assert!(answer.eta > 0.0 && answer.eta <= 1.0);
+//! assert!(answer.accessed <= beas.catalog().budget_for(0.2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod chase;
+pub mod engine;
+pub mod error;
+pub mod executor;
+pub mod plan;
+pub mod planner;
+pub mod query;
+
+pub use accuracy::{
+    coverage_ratio, exact_answers, f_measure, mac_accuracy, rc_accuracy, relax_ra, AccuracyConfig,
+    FMeasure, RcReport,
+};
+pub use engine::{Beas, BeasAnswer, ConstraintSpec};
+pub use error::{BeasError, Result};
+pub use executor::{execute_plan, execute_plan_with_budget, ExecutionOutcome};
+pub use plan::{FetchNode, FetchPlan, KeySource, LeafPlan};
+pub use planner::{BoundedPlan, DistanceBounds, Planner};
+pub use query::{AggQuery, BeasQuery, RaQuery};

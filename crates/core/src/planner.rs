@@ -1,0 +1,593 @@
+//! The resource-bounded approximation scheme `Γ_A`: BEAS_SPC, BEAS_RA and
+//! BEAS_agg planning (Fig. 3 / Fig. 5), including the lower-bound function `L`
+//! and the greedy template-upgrading procedure `chAT`.
+//!
+//! Planning never touches the database: it only uses the query, the catalog
+//! (access schema) and the budget `B = α·|D|`, per property (2) of the scheme.
+
+use beas_access::Catalog;
+use beas_relal::{CompareOp, SelCond, SpcQuery};
+
+use crate::chase::chase_leaf;
+use crate::error::{BeasError, Result};
+use crate::plan::{FetchPlan, LeafPlan};
+use crate::query::{BeasQuery, RaQuery};
+
+/// A complete α-bounded query plan together with its accuracy bound.
+#[derive(Debug, Clone)]
+pub struct BoundedPlan {
+    /// The planned query.
+    pub query: BeasQuery,
+    /// The fetching plan `ξ_F` (shared across all SPC leaves).
+    pub fetch: FetchPlan,
+    /// Per-leaf completion information (same order as `query.ra().spc_leaves()`).
+    pub leaves: Vec<LeafPlan>,
+    /// The tuple budget `B = α·|D|` the plan was generated for.
+    pub budget: usize,
+    /// Estimated tuples accessed (`tariff(ξ_α)`), derived from template bounds
+    /// only.
+    pub tariff: usize,
+    /// Worst relevance-distance bound `d_rel` used by `L`.
+    pub d_rel: f64,
+    /// Worst coverage-distance bound `d_cov` used by `L`.
+    pub d_cov: f64,
+    /// The deterministic accuracy lower bound `η = 1 / (1 + max(d_rel, d_cov))`.
+    pub eta: f64,
+    /// `true` when the plan computes exact answers (all resolutions are 0), in
+    /// which case the query is answered as a boundedly evaluable query.
+    pub exact: bool,
+}
+
+impl BoundedPlan {
+    /// Family ids used by the plan (for the Exp-4 "used templates" report).
+    pub fn used_families(&self) -> Vec<beas_access::FamilyId> {
+        self.fetch.used_families()
+    }
+
+    /// The effective resource ratio of the plan (`tariff / |D|`).
+    pub fn effective_ratio(&self, catalog: &Catalog) -> f64 {
+        if catalog.db_size == 0 {
+            0.0
+        } else {
+            self.tariff as f64 / catalog.db_size as f64
+        }
+    }
+}
+
+/// The distance bounds `(d_rel, d_cov)` of the lower-bound function `L`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceBounds {
+    /// Bound on every answer's relevance distance.
+    pub d_rel: f64,
+    /// Bound on every exact answer's coverage distance.
+    pub d_cov: f64,
+}
+
+impl DistanceBounds {
+    /// `η = 1 / (1 + max(d_rel, d_cov))`, 0 when unbounded.
+    pub fn eta(&self) -> f64 {
+        let worst = self.d_rel.max(self.d_cov);
+        if worst.is_infinite() {
+            0.0
+        } else {
+            1.0 / (1.0 + worst.max(0.0))
+        }
+    }
+
+    /// `true` when both bounds are 0 (the plan is exact).
+    pub fn is_exact(&self) -> bool {
+        self.d_rel == 0.0 && self.d_cov == 0.0
+    }
+}
+
+/// The BEAS planner: generates α-bounded plans for SPC, RA and aggregate
+/// queries under a catalog (access schema).
+#[derive(Debug, Clone, Copy)]
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner over the given catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Planner { catalog }
+    }
+
+    /// The catalog used for planning.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// Plans `query` under resource ratio `alpha` (Algorithm BEAS_SPC /
+    /// BEAS_RA / BEAS_agg, dispatched on the query kind).
+    pub fn plan(&self, query: &BeasQuery, alpha: f64) -> Result<BoundedPlan> {
+        self.plan_with_budget(query, self.catalog.budget_for(alpha))
+    }
+
+    /// Plans `query` under an explicit tuple budget `B`.
+    pub fn plan_with_budget(&self, query: &BeasQuery, budget: usize) -> Result<BoundedPlan> {
+        query.validate(&self.catalog.schema)?;
+        let ra = query.ra().clone();
+        let leaves: Vec<&SpcQuery> = ra.spc_leaves();
+
+        // Step 1: chase every max SPC sub-query to derive the initial fetching
+        // plan (constraints first, coarse templates as placeholders). One
+        // budget tuple is reserved for every atom of later leaves so the plan
+        // always stays α-bounded when the budget allows at least one access
+        // per relation atom.
+        let mut fetch = FetchPlan::default();
+        let mut leaf_plans = Vec::with_capacity(leaves.len());
+        let atom_counts: Vec<usize> = leaves.iter().map(|l| l.atoms.len()).collect();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let atoms_after: usize = atom_counts[i + 1..].iter().sum();
+            let outcome = chase_leaf(leaf, i, self.catalog, &mut fetch, budget, atoms_after)?;
+            leaf_plans.push(outcome.leaf_plan);
+        }
+
+        // Step 2: chAT — greedily upgrade template levels within the budget.
+        self.chat(&ra, &leaves, &leaf_plans, &mut fetch, budget)?;
+
+        // Step 3: accuracy bounds from the final plan.
+        let bounds = self.distance_bounds(&ra, &leaves, &leaf_plans, &fetch)?;
+        let tariff = fetch.total_tariff(self.catalog)?;
+        let mut eta = bounds.eta();
+        if let BeasQuery::Aggregate(agg) = query {
+            // Corollary 7 carries the RA bounds over to min/max aggregates; for
+            // sum/count/avg the aggregate value itself is not bounded by the
+            // template resolutions (Sec. 7), so no non-trivial deterministic
+            // bound is claimed unless the plan is exact.
+            if !agg.agg.is_extremum() && !bounds.is_exact() {
+                eta = 0.0;
+            }
+        }
+        Ok(BoundedPlan {
+            query: query.clone(),
+            fetch,
+            leaves: leaf_plans,
+            budget,
+            tariff,
+            d_rel: bounds.d_rel,
+            d_cov: bounds.d_cov,
+            eta,
+            exact: bounds.is_exact(),
+        })
+    }
+
+    /// The smallest resource ratio under which BEAS finds *exact* answers for
+    /// the query: the tariff of the all-exact plan divided by `|D|` (Exp-3).
+    ///
+    /// Returns `None` when no exact plan exists under the catalog (never the
+    /// case when the catalog contains `A_t`, whose deepest levels are exact).
+    pub fn exact_ratio(&self, query: &BeasQuery) -> Result<Option<f64>> {
+        let plan = self.plan_with_budget(query, usize::MAX)?;
+        if !plan.exact {
+            return Ok(None);
+        }
+        Ok(Some(plan.effective_ratio(self.catalog)))
+    }
+
+    /// `chAT` (Fig. 3): repeatedly pick the fetch operation whose upgrade to
+    /// the next resolution level yields the largest improvement of the lower
+    /// bound `L`, as long as the plan stays within the budget.
+    fn chat(
+        &self,
+        ra: &RaQuery,
+        leaves: &[&SpcQuery],
+        leaf_plans: &[LeafPlan],
+        fetch: &mut FetchPlan,
+        budget: usize,
+    ) -> Result<()> {
+        loop {
+            let current_bounds = self.distance_bounds(ra, leaves, leaf_plans, fetch)?;
+            let current_worst = current_bounds.d_rel.max(current_bounds.d_cov);
+            if current_worst == 0.0 {
+                return Ok(()); // already exact
+            }
+
+            // candidate upgrades: any node below its family's deepest level
+            let mut best: Option<(f64, f64, usize)> = None; // (bound gain, own gain, node)
+            for node in 0..fetch.nodes.len() {
+                let family = self.catalog.family(fetch.nodes[node].family)?;
+                let level = fetch.nodes[node].level;
+                if level + 1 >= family.num_levels() {
+                    continue;
+                }
+                // apply tentatively
+                fetch.nodes[node].level = level + 1;
+                let feasible = fetch.total_tariff(self.catalog)? <= budget;
+                let (gain, own_gain) = if feasible {
+                    let new_bounds = self.distance_bounds(ra, leaves, leaf_plans, fetch)?;
+                    let new_worst = new_bounds.d_rel.max(new_bounds.d_cov);
+                    // per-attribute improvement of the node's own resolution:
+                    // used to keep zooming in (which improves the answers even
+                    // when the plan-wide bound is dominated by another node)
+                    let old_res = &family.level(level)?.resolution;
+                    let new_res = &family.level(level + 1)?.resolution;
+                    let own: f64 = old_res
+                        .iter()
+                        .zip(new_res.iter())
+                        .map(|(o, n)| finite_gain(*o, *n))
+                        .sum();
+                    (finite_gain(current_worst, new_worst), own)
+                } else {
+                    (f64::NEG_INFINITY, f64::NEG_INFINITY)
+                };
+                fetch.nodes[node].level = level; // revert
+                if !feasible {
+                    continue;
+                }
+                let candidate = (gain, own_gain, node);
+                let better = match &best {
+                    None => true,
+                    Some((bg, bo, _)) => (gain, own_gain) > (*bg, *bo),
+                };
+                if better && (gain > 0.0 || own_gain > 0.0) {
+                    best = Some(candidate);
+                }
+            }
+            match best {
+                Some((_, _, node)) => {
+                    fetch.nodes[node].level += 1;
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// The lower-bound function `L`: per-position resolutions are propagated
+    /// through the structure of the query into the relevance / coverage
+    /// distance bounds (Sec. 5 "Lower bound function L(ξ_F)", extended to
+    /// union / difference / aggregates as in Sec. 6–7).
+    pub fn distance_bounds(
+        &self,
+        ra: &RaQuery,
+        leaves: &[&SpcQuery],
+        leaf_plans: &[LeafPlan],
+        fetch: &FetchPlan,
+    ) -> Result<DistanceBounds> {
+        let schema = &self.catalog.schema;
+        // indices of leaves that contribute positively to the answer
+        let positive = positive_leaf_indices(ra);
+
+        let mut d_rel: f64 = 0.0;
+        let mut d_cov: f64 = 0.0;
+        for (i, (leaf, leaf_plan)) in leaves.iter().zip(leaf_plans.iter()).enumerate() {
+            let res = |pos: beas_relal::Position| -> Result<f64> {
+                leaf_plan.position_resolution(fetch, self.catalog, schema, leaf, pos)
+            };
+
+            // output attributes: the answer can deviate by the resolution of
+            // the position it is projected from
+            let mut d_out: f64 = 0.0;
+            for out in &leaf.output {
+                let pos = leaf.var_first_position(out.var).ok_or_else(|| {
+                    BeasError::Planning(format!("output variable {} unbound", out.var))
+                })?;
+                d_out = d_out.max(res(pos)?);
+            }
+
+            // selection conditions: a returned representative may stand for a
+            // real tuple that needs relaxation up to twice the resolution of
+            // the attributes involved (constants), or the sum of both sides'
+            // resolutions (joins / attribute comparisons)
+            let mut d_sel: f64 = 0.0;
+            for (ai, terms) in leaf.terms.iter().enumerate() {
+                for (pi, term) in terms.iter().enumerate() {
+                    if term.is_const() {
+                        d_sel = d_sel.max(2.0 * res((ai, pi))?);
+                    }
+                }
+            }
+            for positions in leaf.var_positions().values() {
+                if positions.len() > 1 {
+                    let first = res(positions[0])?;
+                    for &p in &positions[1..] {
+                        d_sel = d_sel.max(first + res(p)?);
+                    }
+                }
+            }
+            for sel in &leaf.selections {
+                match sel {
+                    SelCond::VarConst { var, op, .. } => {
+                        let pos = leaf.var_first_position(*var).ok_or_else(|| {
+                            BeasError::Planning(format!("selection variable {var} unbound"))
+                        })?;
+                        let factor = if matches!(op, CompareOp::Eq) { 2.0 } else { 2.0 };
+                        d_sel = d_sel.max(factor * res(pos)?);
+                    }
+                    SelCond::VarVar { left, right, .. } => {
+                        let lpos = leaf.var_first_position(*left).ok_or_else(|| {
+                            BeasError::Planning(format!("selection variable {left} unbound"))
+                        })?;
+                        let rpos = leaf.var_first_position(*right).ok_or_else(|| {
+                            BeasError::Planning(format!("selection variable {right} unbound"))
+                        })?;
+                        d_sel = d_sel.max(res(lpos)? + res(rpos)?);
+                    }
+                }
+            }
+
+            let leaf_rel = d_out.max(d_sel);
+            let leaf_cov = d_out;
+            // all leaves contribute to relevance; only positive leaves bound
+            // coverage (Sec. 6: d_rel(Q1 − Q2) = d_rel(Q1), d_cov = d_cov(Q1))
+            d_rel = d_rel.max(leaf_rel);
+            if positive.contains(&i) {
+                d_cov = d_cov.max(leaf_cov);
+            }
+        }
+        Ok(DistanceBounds { d_rel, d_cov })
+    }
+}
+
+/// Indices (in leaf order) of the SPC leaves that contribute positively.
+fn positive_leaf_indices(ra: &RaQuery) -> Vec<usize> {
+    fn walk(q: &RaQuery, index: &mut usize, positive: bool, out: &mut Vec<usize>) {
+        match q {
+            RaQuery::Spc(_) => {
+                if positive {
+                    out.push(*index);
+                }
+                *index += 1;
+            }
+            RaQuery::Union(l, r) => {
+                walk(l, index, positive, out);
+                walk(r, index, positive, out);
+            }
+            RaQuery::Difference(l, r) => {
+                walk(l, index, positive, out);
+                walk(r, index, false, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut index = 0;
+    walk(ra, &mut index, true, &mut out);
+    out
+}
+
+/// Positive, finite improvement between two (possibly infinite) distances.
+fn finite_gain(old: f64, new: f64) -> f64 {
+    if old.is_infinite() && new.is_infinite() {
+        0.0
+    } else if old.is_infinite() {
+        f64::MAX
+    } else {
+        old - new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::AggQuery;
+    use beas_access::{build_constraint, build_extended, AtOptions};
+    use beas_relal::{
+        AggFunc, Attribute, Database, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value,
+    };
+
+    fn example_db(n: i64) -> Database {
+        let schema = DatabaseSchema::new(vec![
+            RelationSchema::new(
+                "person",
+                vec![Attribute::id("pid"), Attribute::text("city")],
+            ),
+            RelationSchema::new("friend", vec![Attribute::id("pid"), Attribute::id("fid")]),
+            RelationSchema::new(
+                "poi",
+                vec![
+                    Attribute::text("address"),
+                    Attribute::categorical("type"),
+                    Attribute::text("city"),
+                    Attribute::double("price"),
+                ],
+            ),
+        ]);
+        let mut db = Database::new(schema);
+        let cities = ["NYC", "LA", "Chicago", "Boston"];
+        for i in 0..n {
+            db.insert_row("friend", vec![Value::Int(i % 10), Value::Int(i)]).unwrap();
+            db.insert_row(
+                "person",
+                vec![Value::Int(i), Value::from(cities[(i % 4) as usize])],
+            )
+            .unwrap();
+            db.insert_row(
+                "poi",
+                vec![
+                    Value::from(format!("a{i}")),
+                    Value::from(if i % 3 == 0 { "hotel" } else { "museum" }),
+                    Value::from(cities[(i % 4) as usize]),
+                    Value::Double(40.0 + (i % 50) as f64 * 2.0),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn full_catalog(db: &Database) -> Catalog {
+        let mut catalog = Catalog::for_database(db, &AtOptions::default()).unwrap();
+        catalog.add_family(build_constraint(db, "friend", &["pid"], &["fid"]).unwrap());
+        catalog.add_family(build_constraint(db, "person", &["pid"], &["city"]).unwrap());
+        catalog.add_family(
+            build_extended(db, "poi", &["type", "city"], &["price", "address"]).unwrap(),
+        );
+        catalog
+    }
+
+    fn q1(db: &Database) -> BeasQuery {
+        let mut b = SpcQueryBuilder::new(&db.schema);
+        let f = b.atom("friend", "f").unwrap();
+        let p = b.atom("person", "p").unwrap();
+        let h = b.atom("poi", "h").unwrap();
+        b.bind_const(f, "pid", 1i64).unwrap();
+        b.join((f, "fid"), (p, "pid")).unwrap();
+        b.join((p, "city"), (h, "city")).unwrap();
+        b.bind_const(h, "type", "hotel").unwrap();
+        b.filter_const(h, "price", beas_relal::CompareOp::Le, 95i64).unwrap();
+        b.output(h, "city", "city").unwrap();
+        b.output(h, "price", "price").unwrap();
+        b.build().unwrap().into()
+    }
+
+    fn q2(db: &Database) -> BeasQuery {
+        let mut b = SpcQueryBuilder::new(&db.schema);
+        let f = b.atom("friend", "f").unwrap();
+        let p = b.atom("person", "p").unwrap();
+        b.bind_const(f, "pid", 1i64).unwrap();
+        b.join((f, "fid"), (p, "pid")).unwrap();
+        b.output(p, "city", "city").unwrap();
+        b.build().unwrap().into()
+    }
+
+    #[test]
+    fn plan_q2_is_exact_and_bounded() {
+        let db = example_db(400);
+        let catalog = full_catalog(&db);
+        let planner = Planner::new(&catalog);
+        let plan = planner.plan_with_budget(&q2(&db), 100).unwrap();
+        assert!(plan.exact);
+        assert_eq!(plan.eta, 1.0);
+        assert!(plan.tariff <= 100);
+        assert!(plan.effective_ratio(&catalog) < 0.1);
+    }
+
+    #[test]
+    fn plan_q1_respects_budget_and_reports_eta() {
+        let db = example_db(400);
+        let catalog = full_catalog(&db);
+        let planner = Planner::new(&catalog);
+        let plan = planner.plan_with_budget(&q1(&db), 200).unwrap();
+        assert!(plan.tariff <= 200, "tariff {} exceeds budget", plan.tariff);
+        assert!(plan.eta > 0.0 && plan.eta <= 1.0);
+        assert!(!plan.used_families().is_empty());
+    }
+
+    #[test]
+    fn larger_budget_never_lowers_eta() {
+        // Theorem 5(3): α1 ≥ α2 implies η1 ≥ η2
+        let db = example_db(400);
+        let catalog = full_catalog(&db);
+        let planner = Planner::new(&catalog);
+        let q = q1(&db);
+        let mut last = -1.0f64;
+        for budget in [30usize, 60, 120, 400, 1200] {
+            let plan = planner.plan_with_budget(&q, budget).unwrap();
+            assert!(
+                plan.eta >= last - 1e-12,
+                "eta decreased from {last} to {} at budget {budget}",
+                plan.eta
+            );
+            last = plan.eta;
+        }
+    }
+
+    #[test]
+    fn chat_upgrades_levels_with_budget() {
+        let db = example_db(400);
+        let catalog = full_catalog(&db);
+        let planner = Planner::new(&catalog);
+        let small = planner.plan_with_budget(&q1(&db), 120).unwrap();
+        let large = planner.plan_with_budget(&q1(&db), 4000).unwrap();
+        assert!(large.eta >= small.eta);
+        assert!(large.tariff >= small.tariff);
+        // with a generous budget the plan becomes exact
+        assert!(large.exact);
+    }
+
+    #[test]
+    fn exact_ratio_reports_bounded_evaluability() {
+        let db = example_db(400);
+        let catalog = full_catalog(&db);
+        let planner = Planner::new(&catalog);
+        let r2 = planner.exact_ratio(&q2(&db)).unwrap().unwrap();
+        let r1 = planner.exact_ratio(&q1(&db)).unwrap().unwrap();
+        assert!(r2 > 0.0 && r2 < 0.1, "Q2 needs a tiny fraction, got {r2}");
+        assert!(r1 >= r2, "Q1 needs at least as much data as Q2");
+    }
+
+    #[test]
+    fn ra_difference_plan_covers_all_leaves() {
+        let db = example_db(300);
+        let catalog = full_catalog(&db);
+        let planner = Planner::new(&catalog);
+        let q1_ra = match q1(&db) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        let cheap = {
+            let mut b = SpcQueryBuilder::new(&db.schema);
+            let h = b.atom("poi", "h").unwrap();
+            b.bind_const(h, "type", "hotel").unwrap();
+            b.output(h, "city", "city").unwrap();
+            b.output(h, "price", "price").unwrap();
+            RaQuery::spc(b.build().unwrap())
+        };
+        let q: BeasQuery = BeasQuery::Ra(q1_ra.difference(cheap));
+        let plan = planner.plan_with_budget(&q, 200).unwrap();
+        assert_eq!(plan.leaves.len(), 2);
+        assert!(plan.tariff <= 200);
+        assert!(plan.eta >= 0.0);
+    }
+
+    #[test]
+    fn aggregate_plan_inherits_bounds_from_inner_query() {
+        let db = example_db(300);
+        let catalog = full_catalog(&db);
+        let planner = Planner::new(&catalog);
+        let inner = match q1(&db) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        // min/max aggregates inherit the RA bounds (Corollary 7)
+        let agg: BeasQuery =
+            AggQuery::new(inner.clone(), vec!["city".into()], AggFunc::Min, "price", "n")
+                .unwrap()
+                .into();
+        let plan = planner.plan_with_budget(&agg, 150).unwrap();
+        assert!(plan.tariff <= 150);
+        assert!(plan.eta > 0.0);
+
+        // sum/count/avg claim no non-trivial bound unless the plan is exact
+        let count: BeasQuery =
+            AggQuery::new(inner, vec!["city".into()], AggFunc::Count, "price", "n")
+                .unwrap()
+                .into();
+        let approx_plan = planner.plan_with_budget(&count, 150).unwrap();
+        if !approx_plan.exact {
+            assert_eq!(approx_plan.eta, 0.0);
+        }
+        let exact_plan = planner.plan_with_budget(&count, usize::MAX).unwrap();
+        assert!(exact_plan.exact);
+        assert_eq!(exact_plan.eta, 1.0);
+    }
+
+    #[test]
+    fn invalid_query_is_rejected() {
+        let db = example_db(50);
+        let catalog = full_catalog(&db);
+        let planner = Planner::new(&catalog);
+        let mut bad = match q2(&db) {
+            BeasQuery::Ra(RaQuery::Spc(q)) => q,
+            _ => unreachable!(),
+        };
+        bad.output.clear();
+        assert!(planner.plan_with_budget(&bad.into(), 100).is_err());
+    }
+
+    #[test]
+    fn positive_leaf_indices_skip_negated_subtrees() {
+        let db = example_db(50);
+        let q1_ra = match q1(&db) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        let q2_ra = match q2(&db) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        let q = q1_ra.clone().difference(q2_ra).union(q1_ra);
+        assert_eq!(positive_leaf_indices(&q), vec![0, 2]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-attribute distance functions and tuple distance (Sec. 3.1 of the paper).
+//!
+//! Every attribute `A` of a relation carries a distance function
+//! `dis_A : U_A × U_A → ℝ≥0 ∪ {+∞}` satisfying the triangle inequality. The
+//! default is the *trivial* distance (`0` if equal, `+∞` otherwise), used for
+//! identifiers and categorical attributes; numeric attributes typically use
+//! the absolute difference.
+//!
+//! The distance between two tuples is the worst attribute difference,
+//! `d(t, t') = max_A dis_A(t[A], t'[A])`.
+
+use crate::value::Value;
+
+/// The kind of distance function attached to an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DistanceKind {
+    /// `|a - b|` on numeric values; `+∞` across types or on non-numeric data.
+    Numeric,
+    /// `|a - b| / scale` on numeric values: the absolute difference normalised
+    /// by a characteristic scale of the attribute (typically its range), so
+    /// that a full-range error counts as distance 1. This keeps distances of
+    /// attributes with very different magnitudes (delays in minutes, prices in
+    /// dollars) comparable, which is what the paper's accuracy numbers assume.
+    Scaled(u32),
+    /// `0` if equal, `+∞` otherwise (the paper's default, e.g. for IDs).
+    #[default]
+    Trivial,
+    /// `0` if equal, `1` otherwise. Useful for categorical attributes where a
+    /// mismatch should count as a bounded error instead of `+∞` (e.g. POI
+    /// `type` in Example 1 when approximate categories are acceptable).
+    Categorical,
+}
+
+impl DistanceKind {
+    /// Distance between two values under this kind.
+    ///
+    /// `Null` is at distance `0` from `Null` and `+∞` from everything else
+    /// (except under [`DistanceKind::Categorical`], where it is `1`).
+    pub fn distance(&self, a: &Value, b: &Value) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        match self {
+            DistanceKind::Numeric => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => (x - y).abs(),
+                _ => f64::INFINITY,
+            },
+            DistanceKind::Scaled(scale) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => (x - y).abs() / (*scale).max(1) as f64,
+                _ => f64::INFINITY,
+            },
+            DistanceKind::Trivial => f64::INFINITY,
+            DistanceKind::Categorical => 1.0,
+        }
+    }
+
+    /// Returns `true` when the distance is the trivial 0/∞ metric.
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, DistanceKind::Trivial)
+    }
+
+    /// Returns `true` for distances defined through numeric differences
+    /// ([`DistanceKind::Numeric`] and [`DistanceKind::Scaled`]).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DistanceKind::Numeric | DistanceKind::Scaled(_))
+    }
+
+    /// The length (in raw value units) that corresponds to a distance of 1.
+    /// Used to convert distance-space tolerances back into value-space slack
+    /// when relaxing inequality comparisons.
+    pub fn unit(&self) -> f64 {
+        match self {
+            DistanceKind::Scaled(scale) => (*scale).max(1) as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Distance between two tuples given per-position distance kinds:
+/// `d(t, t') = max_i dis_i(t[i], t'[i])` (the worst attribute difference).
+///
+/// Tuples of different arities are at distance `+∞`.
+pub fn tuple_distance(kinds: &[DistanceKind], a: &[Value], b: &[Value]) -> f64 {
+    if a.len() != b.len() || kinds.len() != a.len() {
+        return f64::INFINITY;
+    }
+    let mut worst: f64 = 0.0;
+    for ((kind, x), y) in kinds.iter().zip(a.iter()).zip(b.iter()) {
+        let d = kind.distance(x, y);
+        if d > worst {
+            worst = d;
+        }
+        if worst.is_infinite() {
+            return f64::INFINITY;
+        }
+    }
+    worst
+}
+
+/// Distance between two tuples restricted to a subset of positions.
+///
+/// `positions` indexes into both tuples; the distance kind of each selected
+/// position is taken from `kinds` at the same index into `positions`.
+pub fn tuple_distance_on(
+    kinds: &[DistanceKind],
+    positions: &[usize],
+    a: &[Value],
+    b: &[Value],
+) -> f64 {
+    debug_assert_eq!(kinds.len(), positions.len());
+    let mut worst: f64 = 0.0;
+    for (kind, &pos) in kinds.iter().zip(positions.iter()) {
+        let (Some(x), Some(y)) = (a.get(pos), b.get(pos)) else {
+            return f64::INFINITY;
+        };
+        let d = kind.distance(x, y);
+        if d > worst {
+            worst = d;
+        }
+        if worst.is_infinite() {
+            return f64::INFINITY;
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_distance_is_absolute_difference() {
+        let d = DistanceKind::Numeric;
+        assert_eq!(d.distance(&Value::Int(95), &Value::Int(99)), 4.0);
+        assert_eq!(d.distance(&Value::Double(1.5), &Value::Int(1)), 0.5);
+        assert_eq!(d.distance(&Value::Int(7), &Value::Int(7)), 0.0);
+    }
+
+    #[test]
+    fn numeric_distance_on_strings_is_infinite() {
+        let d = DistanceKind::Numeric;
+        assert!(d.distance(&Value::from("a"), &Value::from("b")).is_infinite());
+        assert!(d.distance(&Value::from("a"), &Value::Int(1)).is_infinite());
+    }
+
+    #[test]
+    fn trivial_distance_is_zero_or_infinity() {
+        let d = DistanceKind::Trivial;
+        assert_eq!(d.distance(&Value::from("x"), &Value::from("x")), 0.0);
+        assert!(d.distance(&Value::from("x"), &Value::from("y")).is_infinite());
+        assert!(d.distance(&Value::Int(1), &Value::Int(2)).is_infinite());
+    }
+
+    #[test]
+    fn categorical_distance_is_zero_or_one() {
+        let d = DistanceKind::Categorical;
+        assert_eq!(d.distance(&Value::from("hotel"), &Value::from("hotel")), 0.0);
+        assert_eq!(d.distance(&Value::from("hotel"), &Value::from("motel")), 1.0);
+    }
+
+    #[test]
+    fn null_distance_behaviour() {
+        assert_eq!(DistanceKind::Numeric.distance(&Value::Null, &Value::Null), 0.0);
+        assert!(DistanceKind::Numeric
+            .distance(&Value::Null, &Value::Int(0))
+            .is_infinite());
+        assert_eq!(
+            DistanceKind::Categorical.distance(&Value::Null, &Value::Int(0)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn tuple_distance_takes_worst_attribute() {
+        let kinds = [DistanceKind::Numeric, DistanceKind::Numeric];
+        let a = [Value::Int(10), Value::Int(100)];
+        let b = [Value::Int(12), Value::Int(103)];
+        assert_eq!(tuple_distance(&kinds, &a, &b), 3.0);
+    }
+
+    #[test]
+    fn tuple_distance_is_infinite_on_arity_mismatch() {
+        let kinds = [DistanceKind::Numeric];
+        assert!(tuple_distance(&kinds, &[Value::Int(1)], &[]).is_infinite());
+    }
+
+    #[test]
+    fn tuple_distance_short_circuits_on_infinity() {
+        let kinds = [DistanceKind::Trivial, DistanceKind::Numeric];
+        let a = [Value::from("x"), Value::Int(0)];
+        let b = [Value::from("y"), Value::Int(0)];
+        assert!(tuple_distance(&kinds, &a, &b).is_infinite());
+    }
+
+    #[test]
+    fn tuple_distance_on_subset_of_positions() {
+        let kinds = [DistanceKind::Numeric];
+        let a = [Value::from("x"), Value::Int(5), Value::Int(100)];
+        let b = [Value::from("y"), Value::Int(8), Value::Int(100)];
+        assert_eq!(tuple_distance_on(&kinds, &[1], &a, &b), 3.0);
+        assert_eq!(tuple_distance_on(&kinds, &[2], &a, &b), 0.0);
+    }
+
+    #[test]
+    fn distance_satisfies_triangle_inequality_numeric() {
+        // spot check the triangle inequality for the numeric metric
+        let d = DistanceKind::Numeric;
+        let (a, b, c) = (Value::Int(1), Value::Int(50), Value::Int(30));
+        assert!(d.distance(&a, &b) <= d.distance(&a, &c) + d.distance(&c, &b) + 1e-9);
+    }
+}

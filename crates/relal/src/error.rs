@@ -1,0 +1,59 @@
+//! Error type shared across the relational substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `beas-relal`.
+pub type Result<T> = std::result::Result<T, RelalError>;
+
+/// Errors raised by schema handling, expression construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelalError {
+    /// A relation name was not found in the database / provider.
+    UnknownRelation(String),
+    /// An attribute or column name was not found.
+    UnknownColumn(String),
+    /// Two relations with incompatible schemas were combined (union/difference).
+    SchemaMismatch(String),
+    /// A value of the wrong type was used where another type was expected.
+    TypeMismatch(String),
+    /// A query or plan was structurally invalid.
+    InvalidQuery(String),
+    /// Generic evaluation failure.
+    Eval(String),
+}
+
+impl fmt::Display for RelalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelalError::UnknownRelation(name) => write!(f, "unknown relation: {name}"),
+            RelalError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            RelalError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            RelalError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+            RelalError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            RelalError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_variant_payload() {
+        let err = RelalError::UnknownRelation("poi".to_string());
+        assert_eq!(err.to_string(), "unknown relation: poi");
+        let err = RelalError::UnknownColumn("h.price".to_string());
+        assert_eq!(err.to_string(), "unknown column: h.price");
+        let err = RelalError::InvalidQuery("empty output".to_string());
+        assert!(err.to_string().contains("empty output"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&RelalError::Eval("x".into()));
+    }
+}

@@ -1,0 +1,795 @@
+//! Exact evaluation of relational-algebra and aggregate queries.
+//!
+//! The evaluator is used in two roles:
+//!
+//! 1. computing ground-truth answers `Q(D)` for the accuracy experiments, and
+//! 2. executing the *evaluation plan* `ξ_E` of a bounded query plan over the
+//!    (small) relations fetched by the fetching plan `ξ_F`.
+//!
+//! Base relations are resolved through a [`RelationProvider`], so the same
+//! expression can run against a full [`Database`] or against an in-memory map
+//! of fetched relations.
+//!
+//! Selections directly above Cartesian products are evaluated with a greedy
+//! hash-join planner (equality conjuncts become join keys); this keeps ground
+//! truth evaluation tractable on the workloads used by the benchmark harness.
+
+use std::collections::HashMap;
+
+use crate::error::{RelalError, Result};
+use crate::expr::{AggFunc, GroupByQuery, QueryExpr, RaExpr};
+use crate::predicate::{Predicate, PredicateAtom};
+use crate::storage::{Database, Relation, Row};
+use crate::value::Value;
+
+/// Resolves base relation names to relation instances during evaluation.
+pub trait RelationProvider {
+    /// The instance of relation `name`, if any.
+    fn provide(&self, name: &str) -> Option<&Relation>;
+}
+
+impl RelationProvider for Database {
+    fn provide(&self, name: &str) -> Option<&Relation> {
+        self.relation(name).ok()
+    }
+}
+
+impl RelationProvider for HashMap<String, Relation> {
+    fn provide(&self, name: &str) -> Option<&Relation> {
+        self.get(name)
+    }
+}
+
+/// A provider that first looks into an overlay map (e.g. fetched data) and
+/// falls back to a base provider. Used by tests and by the plan executor.
+pub struct OverlayProvider<'a, P: RelationProvider> {
+    /// Overlay relations (consulted first).
+    pub overlay: &'a HashMap<String, Relation>,
+    /// Fallback provider.
+    pub base: &'a P,
+}
+
+impl<'a, P: RelationProvider> RelationProvider for OverlayProvider<'a, P> {
+    fn provide(&self, name: &str) -> Option<&Relation> {
+        self.overlay.get(name).or_else(|| self.base.provide(name))
+    }
+}
+
+/// Evaluates an RA expression under **set semantics** (duplicates removed).
+pub fn eval_set<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relation> {
+    let mut rel = eval_inner(expr, provider)?;
+    rel.dedup();
+    Ok(rel)
+}
+
+/// Evaluates an RA expression under **bag semantics** (duplicates kept);
+/// used as the input of aggregate queries.
+pub fn eval_bag<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relation> {
+    eval_inner(expr, provider)
+}
+
+/// Evaluates an aggregate (`gpBy`) query.
+pub fn eval_aggregate<P: RelationProvider>(q: &GroupByQuery, provider: &P) -> Result<Relation> {
+    let input = eval_bag(&q.input, provider)?;
+    aggregate_relation(&input, q)
+}
+
+/// Evaluates a [`QueryExpr`] (aggregate or not).
+pub fn eval_query<P: RelationProvider>(q: &QueryExpr, provider: &P) -> Result<Relation> {
+    match q {
+        QueryExpr::Ra(e) => eval_set(e, provider),
+        QueryExpr::Aggregate(g) => eval_aggregate(g, provider),
+    }
+}
+
+fn eval_inner<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relation> {
+    match expr {
+        RaExpr::Scan { relation, alias } => {
+            let rel = provider
+                .provide(relation)
+                .ok_or_else(|| RelalError::UnknownRelation(relation.clone()))?;
+            let mut out = rel.clone();
+            out.columns = out
+                .columns
+                .iter()
+                .map(|c| qualify(alias, c))
+                .collect();
+            Ok(out)
+        }
+        RaExpr::Select { input, predicate } => {
+            // Optimized path: a selection over a (possibly nested) product is
+            // evaluated as a join tree.
+            let mut leaves = Vec::new();
+            flatten_products(input, &mut leaves);
+            if leaves.len() > 1 {
+                let relations = leaves
+                    .iter()
+                    .map(|l| eval_inner(l, provider))
+                    .collect::<Result<Vec<_>>>()?;
+                join_relations(relations, &predicate.atoms)
+            } else {
+                let rel = eval_inner(input, provider)?;
+                predicate.filter(&rel)
+            }
+        }
+        RaExpr::Project { input, columns } => {
+            let rel = eval_inner(input, provider)?;
+            let in_cols: Vec<String> = columns.iter().map(|(_, c)| c.clone()).collect();
+            let out_cols: Vec<String> = columns.iter().map(|(n, _)| n.clone()).collect();
+            rel.project(&in_cols, Some(&out_cols))
+        }
+        RaExpr::Product { left, right } => {
+            let l = eval_inner(left, provider)?;
+            let r = eval_inner(right, provider)?;
+            cross_product(&l, &r)
+        }
+        RaExpr::Union { left, right } => {
+            let l = eval_inner(left, provider)?;
+            let r = eval_inner(right, provider)?;
+            if l.arity() != r.arity() {
+                return Err(RelalError::SchemaMismatch(format!(
+                    "union of arity {} with arity {}",
+                    l.arity(),
+                    r.arity()
+                )));
+            }
+            let mut out = l;
+            out.rows.extend(r.rows);
+            Ok(out)
+        }
+        RaExpr::Difference { left, right } => {
+            let l = eval_inner(left, provider)?;
+            let r = eval_inner(right, provider)?;
+            if l.arity() != r.arity() {
+                return Err(RelalError::SchemaMismatch(format!(
+                    "difference of arity {} with arity {}",
+                    l.arity(),
+                    r.arity()
+                )));
+            }
+            let remove: std::collections::HashSet<&Row> = r.rows.iter().collect();
+            let rows = l
+                .rows
+                .iter()
+                .filter(|row| !remove.contains(row))
+                .cloned()
+                .collect();
+            Ok(Relation {
+                columns: l.columns,
+                rows,
+            })
+        }
+        RaExpr::Rename { input, columns } => {
+            let mut rel = eval_inner(input, provider)?;
+            rel.rename_columns(columns.clone())?;
+            Ok(rel)
+        }
+    }
+}
+
+/// Qualifies a column name with an alias unless it is already qualified by it.
+fn qualify(alias: &str, col: &str) -> String {
+    if col.starts_with(&format!("{alias}.")) {
+        col.to_string()
+    } else {
+        format!("{alias}.{col}")
+    }
+}
+
+/// Collects the leaves of a (possibly nested) Cartesian product.
+fn flatten_products<'a>(expr: &'a RaExpr, out: &mut Vec<&'a RaExpr>) {
+    match expr {
+        RaExpr::Product { left, right } => {
+            flatten_products(left, out);
+            flatten_products(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Plain Cartesian product of two relations (column names must be disjoint).
+fn cross_product(l: &Relation, r: &Relation) -> Result<Relation> {
+    for c in &r.columns {
+        if l.columns.contains(c) {
+            return Err(RelalError::SchemaMismatch(format!(
+                "duplicate column {c} in Cartesian product"
+            )));
+        }
+    }
+    let mut columns = l.columns.clone();
+    columns.extend(r.columns.clone());
+    let mut rows = Vec::with_capacity(l.len() * r.len());
+    for lr in &l.rows {
+        for rr in &r.rows {
+            let mut row = lr.clone();
+            row.extend(rr.iter().cloned());
+            rows.push(row);
+        }
+    }
+    Ok(Relation { columns, rows })
+}
+
+/// Greedy join of `relations` under the conjunction `atoms`:
+///
+/// 1. per-relation conjuncts are applied as filters first;
+/// 2. relations are then joined one at a time, preferring hash joins on exact
+///    equality conjuncts, falling back to filtered nested-loop products;
+/// 3. conjuncts become applicable as soon as all their columns are available.
+fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<Relation> {
+    // Apply single-relation atoms up front.
+    let mut pending: Vec<&PredicateAtom> = Vec::new();
+    let mut filtered: Vec<Relation> = Vec::new();
+    let mut per_rel_atoms: Vec<Vec<&PredicateAtom>> = vec![Vec::new(); relations.len()];
+    'atoms: for atom in atoms {
+        let cols = atom.columns();
+        for (i, rel) in relations.iter().enumerate() {
+            if cols.iter().all(|c| rel.columns.iter().any(|rc| rc == c)) {
+                per_rel_atoms[i].push(atom);
+                continue 'atoms;
+            }
+        }
+        pending.push(atom);
+    }
+    for (rel, rel_atoms) in relations.into_iter().zip(per_rel_atoms.into_iter()) {
+        if rel_atoms.is_empty() {
+            filtered.push(rel);
+        } else {
+            let pred = Predicate::all(rel_atoms.into_iter().cloned().collect());
+            filtered.push(pred.filter(&rel)?);
+        }
+    }
+
+    // Greedy join order: start from the smallest relation, repeatedly attach a
+    // relation connected through an exact equality conjunct; otherwise attach
+    // the smallest remaining relation by nested-loop product.
+    filtered.sort_by_key(|r| r.len());
+    let mut iter = filtered.into_iter();
+    let mut current = iter.next().ok_or_else(|| {
+        RelalError::InvalidQuery("join of zero relations".into())
+    })?;
+    let mut remaining: Vec<Relation> = iter.collect();
+
+    while !remaining.is_empty() {
+        // find a remaining relation connected to `current` via exact equality
+        let mut chosen: Option<usize> = None;
+        for (i, rel) in remaining.iter().enumerate() {
+            if !equality_keys(&pending, &current, rel).is_empty() {
+                chosen = Some(i);
+                break;
+            }
+        }
+        let idx = chosen.unwrap_or(0);
+        let rel = remaining.remove(idx);
+        let keys = equality_keys(&pending, &current, &rel);
+        current = if keys.is_empty() {
+            cross_product(&current, &rel)?
+        } else {
+            hash_join(&current, &rel, &keys)?
+        };
+        // apply every pending atom that is now fully evaluable
+        let mut still_pending = Vec::new();
+        let mut applicable = Vec::new();
+        for atom in pending {
+            let cols = atom.columns();
+            if cols.iter().all(|c| current.columns.iter().any(|rc| rc == c)) {
+                applicable.push(atom.clone());
+            } else {
+                still_pending.push(atom);
+            }
+        }
+        if !applicable.is_empty() {
+            current = Predicate::all(applicable).filter(&current)?;
+        }
+        pending = still_pending;
+    }
+    if !pending.is_empty() {
+        // atoms referencing unknown columns
+        let missing: Vec<&str> = pending.iter().flat_map(|a| a.columns()).collect();
+        return Err(RelalError::UnknownColumn(missing.join(", ")));
+    }
+    Ok(current)
+}
+
+/// The exact-equality join keys between `left` and `right` among `atoms`
+/// (tolerance 0 only — relaxed equalities cannot be hash joined).
+fn equality_keys(
+    atoms: &[&PredicateAtom],
+    left: &Relation,
+    right: &Relation,
+) -> Vec<(usize, usize)> {
+    let mut keys = Vec::new();
+    for atom in atoms {
+        if let PredicateAtom::ColCol {
+            left: lc,
+            op,
+            right: rc,
+            tol,
+            ..
+        } = atom
+        {
+            if !op.is_eq() || *tol > 0.0 {
+                continue;
+            }
+            let (li, ri) = (left.column_index(lc), right.column_index(rc));
+            if let (Ok(li), Ok(ri)) = (li, ri) {
+                keys.push((li, ri));
+                continue;
+            }
+            let (li, ri) = (left.column_index(rc), right.column_index(lc));
+            if let (Ok(li), Ok(ri)) = (li, ri) {
+                keys.push((li, ri));
+            }
+        }
+    }
+    keys
+}
+
+/// Hash join of two relations on the given `(left column, right column)` keys.
+fn hash_join(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Result<Relation> {
+    for c in &right.columns {
+        if left.columns.contains(c) {
+            return Err(RelalError::SchemaMismatch(format!(
+                "duplicate column {c} in join"
+            )));
+        }
+    }
+    let mut columns = left.columns.clone();
+    columns.extend(right.columns.clone());
+
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows.iter().enumerate() {
+        let key: Vec<Value> = keys.iter().map(|&(_, ri)| row[ri].clone()).collect();
+        index.entry(key).or_default().push(i);
+    }
+    let mut rows = Vec::new();
+    for lrow in &left.rows {
+        let key: Vec<Value> = keys.iter().map(|&(li, _)| lrow[li].clone()).collect();
+        if let Some(matches) = index.get(&key) {
+            for &ri in matches {
+                let mut row = lrow.clone();
+                row.extend(right.rows[ri].iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    Ok(Relation { columns, rows })
+}
+
+/// Groups and aggregates an already-evaluated input relation.
+pub fn aggregate_relation(input: &Relation, q: &GroupByQuery) -> Result<Relation> {
+    let group_idx: Vec<usize> = q
+        .group_by
+        .iter()
+        .map(|c| input.column_index(c))
+        .collect::<Result<_>>()?;
+    let agg_idx = input.column_index(&q.agg_col)?;
+    let weight_idx = match &q.weight_col {
+        Some(w) => Some(input.column_index(w)?),
+        None => None,
+    };
+
+    #[derive(Default)]
+    struct Acc {
+        count: f64,
+        sum: f64,
+        min: Option<Value>,
+        max: Option<Value>,
+        non_numeric: bool,
+    }
+
+    let mut groups: HashMap<Vec<Value>, Acc> = HashMap::new();
+    for row in &input.rows {
+        let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+        let weight = match weight_idx {
+            Some(i) => row[i].as_f64().unwrap_or(1.0).max(0.0),
+            None => 1.0,
+        };
+        let v = &row[agg_idx];
+        let acc = groups.entry(key).or_default();
+        acc.count += weight;
+        match v.as_f64() {
+            Some(x) => acc.sum += x * weight,
+            None => acc.non_numeric = true,
+        }
+        if acc.min.as_ref().is_none_or(|m| v < m) {
+            acc.min = Some(v.clone());
+        }
+        if acc.max.as_ref().is_none_or(|m| v > m) {
+            acc.max = Some(v.clone());
+        }
+    }
+
+    let mut out = Relation::empty(q.output_columns());
+    // A global aggregate (no group-by) over an empty input still yields one
+    // row for count/sum, matching SQL semantics.
+    if groups.is_empty() && q.group_by.is_empty() {
+        match q.agg {
+            AggFunc::Count => out.rows.push(vec![Value::Int(0)]),
+            AggFunc::Sum => out.rows.push(vec![Value::Double(0.0)]),
+            _ => {}
+        }
+        return Ok(out);
+    }
+    for (key, acc) in groups {
+        let agg_value = match q.agg {
+            AggFunc::Count => Value::Double(acc.count),
+            AggFunc::Sum => {
+                if acc.non_numeric {
+                    return Err(RelalError::TypeMismatch(format!(
+                        "sum over non-numeric column {}",
+                        q.agg_col
+                    )));
+                }
+                Value::Double(acc.sum)
+            }
+            AggFunc::Avg => {
+                if acc.non_numeric {
+                    return Err(RelalError::TypeMismatch(format!(
+                        "avg over non-numeric column {}",
+                        q.agg_col
+                    )));
+                }
+                if acc.count == 0.0 {
+                    Value::Null
+                } else {
+                    Value::Double(acc.sum / acc.count)
+                }
+            }
+            AggFunc::Min => acc.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => acc.max.clone().unwrap_or(Value::Null),
+        };
+        let mut row = key;
+        row.push(agg_value);
+        out.rows.push(row);
+    }
+    out.rows.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompareOp, Predicate, PredicateAtom};
+    use crate::schema::{Attribute, DatabaseSchema, RelationSchema};
+
+    /// A small Example-1-like database for evaluator tests.
+    fn example_db() -> Database {
+        let schema = DatabaseSchema::new(vec![
+            RelationSchema::new(
+                "person",
+                vec![Attribute::id("pid"), Attribute::text("city")],
+            ),
+            RelationSchema::new("friend", vec![Attribute::id("pid"), Attribute::id("fid")]),
+            RelationSchema::new(
+                "poi",
+                vec![
+                    Attribute::text("address"),
+                    Attribute::categorical("type"),
+                    Attribute::text("city"),
+                    Attribute::double("price"),
+                ],
+            ),
+        ]);
+        let mut db = Database::new(schema);
+        for (pid, city) in [(1, "NYC"), (2, "NYC"), (3, "Chicago"), (4, "Boston")] {
+            db.insert_row("person", vec![Value::Int(pid), Value::from(city)]).unwrap();
+        }
+        for (pid, fid) in [(1, 2), (1, 3), (2, 1), (3, 4)] {
+            db.insert_row("friend", vec![Value::Int(pid), Value::Int(fid)]).unwrap();
+        }
+        for (addr, ty, city, price) in [
+            ("a1", "hotel", "NYC", 90.0),
+            ("a2", "hotel", "NYC", 120.0),
+            ("a3", "hotel", "Chicago", 80.0),
+            ("a4", "museum", "NYC", 20.0),
+            ("a5", "hotel", "Boston", 95.0),
+        ] {
+            db.insert_row(
+                "poi",
+                vec![Value::from(addr), Value::from(ty), Value::from(city), Value::Double(price)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn q1_expr() -> RaExpr {
+        // hotels with price <= 95 in cities where a friend of person 1 lives
+        RaExpr::scan("friend", "f")
+            .product(RaExpr::scan("person", "p"))
+            .product(RaExpr::scan("poi", "h"))
+            .select(Predicate::all(vec![
+                PredicateAtom::col_eq_const("f.pid", 1i64),
+                PredicateAtom::col_eq_col("f.fid", "p.pid"),
+                PredicateAtom::col_eq_col("p.city", "h.city"),
+                PredicateAtom::col_eq_const("h.type", "hotel"),
+                PredicateAtom::col_cmp_const("h.price", CompareOp::Le, 95i64),
+            ]))
+            .project(vec![
+                ("address".into(), "h.address".into()),
+                ("price".into(), "h.price".into()),
+            ])
+    }
+
+    #[test]
+    fn scan_qualifies_columns_with_alias() {
+        let db = example_db();
+        let rel = eval_set(&RaExpr::scan("person", "p"), &db).unwrap();
+        assert_eq!(rel.columns, vec!["p.pid", "p.city"]);
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn scan_unknown_relation_errors() {
+        let db = example_db();
+        assert!(eval_set(&RaExpr::scan("nope", "n"), &db).is_err());
+    }
+
+    #[test]
+    fn q1_returns_hotels_in_friend_cities() {
+        let db = example_db();
+        let out = eval_set(&q1_expr(), &db).unwrap().sorted();
+        // friends of 1: {2 (NYC), 3 (Chicago)} → hotels ≤95: a1 (NYC, 90), a3 (Chicago, 80)
+        assert_eq!(
+            out.rows,
+            vec![
+                vec![Value::from("a1"), Value::Double(90.0)],
+                vec![Value::from("a3"), Value::Double(80.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn relaxed_selection_admits_nearby_answers() {
+        let db = example_db();
+        // relax price <= 95 by 30: the $120 hotel now qualifies
+        let expr = RaExpr::scan("poi", "h")
+            .select(Predicate::all(vec![
+                PredicateAtom::col_eq_const("h.type", "hotel"),
+                PredicateAtom::col_eq_const("h.city", "NYC"),
+                PredicateAtom::col_cmp_const("h.price", CompareOp::Le, 95i64)
+                    .relaxed(crate::distance::DistanceKind::Numeric, 30.0),
+            ]))
+            .project(vec![("address".into(), "h.address".into())]);
+        let out = eval_set(&expr, &db).unwrap().sorted();
+        assert_eq!(out.rows, vec![vec![Value::from("a1")], vec![Value::from("a2")]]);
+    }
+
+    #[test]
+    fn product_rejects_duplicate_columns() {
+        let db = example_db();
+        let expr = RaExpr::scan("person", "p").product(RaExpr::scan("person", "p"));
+        assert!(eval_set(&expr, &db).is_err());
+    }
+
+    #[test]
+    fn plain_product_computes_cross_join() {
+        let db = example_db();
+        let expr = RaExpr::scan("person", "p").product(RaExpr::scan("friend", "f"));
+        let out = eval_bag(&expr, &db).unwrap();
+        assert_eq!(out.len(), 16);
+        assert_eq!(out.arity(), 4);
+    }
+
+    #[test]
+    fn union_concatenates_and_dedupes_under_set_semantics() {
+        let db = example_db();
+        let cities = RaExpr::scan("person", "p").project(vec![("city".into(), "p.city".into())]);
+        let both = cities.clone().union(cities);
+        let out = eval_set(&both, &db).unwrap();
+        assert_eq!(out.len(), 3); // NYC, Chicago, Boston
+        let bag = eval_bag(&both.clone(), &db).unwrap();
+        assert_eq!(bag.len(), 8);
+    }
+
+    #[test]
+    fn union_arity_mismatch_errors() {
+        let db = example_db();
+        let a = RaExpr::scan("person", "p").project_cols(&["p.city"]);
+        let b = RaExpr::scan("friend", "f");
+        assert!(eval_set(&a.union(b), &db).is_err());
+    }
+
+    #[test]
+    fn difference_removes_matching_rows() {
+        let db = example_db();
+        let all_cities = RaExpr::scan("person", "p").project(vec![("city".into(), "p.city".into())]);
+        let poi_cities = RaExpr::scan("poi", "h").project(vec![("city".into(), "h.city".into())]);
+        // cities of persons that have no POI: none (all three appear in poi)
+        let out = eval_set(&all_cities.clone().difference(poi_cities), &db).unwrap();
+        assert!(out.is_empty());
+
+        // cities with a POI but no person: none either (poi cities are all person cities)
+        let poi_cities = RaExpr::scan("poi", "h").project(vec![("city".into(), "h.city".into())]);
+        let out2 = eval_set(&poi_cities.difference(all_cities), &db).unwrap();
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn rename_changes_column_names() {
+        let db = example_db();
+        let expr = RaExpr::scan("friend", "f").rename(vec!["a".into(), "b".into()]);
+        let out = eval_set(&expr, &db).unwrap();
+        assert_eq!(out.columns, vec!["a", "b"]);
+        let bad = RaExpr::scan("friend", "f").rename(vec!["a".into()]);
+        assert!(eval_set(&bad, &db).is_err());
+    }
+
+    #[test]
+    fn projection_of_unknown_column_errors() {
+        let db = example_db();
+        let expr = RaExpr::scan("friend", "f").project_cols(&["f.nope"]);
+        assert!(eval_set(&expr, &db).is_err());
+    }
+
+    #[test]
+    fn count_hotels_by_city() {
+        let db = example_db();
+        let inner = RaExpr::scan("poi", "h")
+            .select(Predicate::all(vec![PredicateAtom::col_eq_const("h.type", "hotel")]))
+            .project(vec![
+                ("city".into(), "h.city".into()),
+                ("address".into(), "h.address".into()),
+            ]);
+        let q = GroupByQuery::new(inner, vec!["city".into()], AggFunc::Count, "address", "n");
+        let out = eval_aggregate(&q, &db).unwrap();
+        let mut rows = out.rows.clone();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::from("Boston"), Value::Double(1.0)],
+                vec![Value::from("Chicago"), Value::Double(1.0)],
+                vec![Value::from("NYC"), Value::Double(2.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn weighted_count_uses_weight_column() {
+        let rel = Relation::new(
+            vec!["city".into(), "price".into(), "w".into()],
+            vec![
+                vec![Value::from("NYC"), Value::Double(90.0), Value::Int(3)],
+                vec![Value::from("NYC"), Value::Double(100.0), Value::Int(2)],
+                vec![Value::from("Boston"), Value::Double(95.0), Value::Int(1)],
+            ],
+        )
+        .unwrap();
+        let mut q = GroupByQuery::new(
+            RaExpr::scan("unused", "u"),
+            vec!["city".into()],
+            AggFunc::Count,
+            "price",
+            "n",
+        );
+        q.weight_col = Some("w".into());
+        let out = aggregate_relation(&rel, &q).unwrap();
+        let mut rows = out.rows;
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::from("Boston"), Value::Double(1.0)],
+                vec![Value::from("NYC"), Value::Double(5.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn min_max_sum_avg_aggregates() {
+        let db = example_db();
+        let prices = RaExpr::scan("poi", "h").project(vec![
+            ("type".into(), "h.type".into()),
+            ("price".into(), "h.price".into()),
+        ]);
+        for (agg, expected_hotel) in [
+            (AggFunc::Min, Value::Double(80.0)),
+            (AggFunc::Max, Value::Double(120.0)),
+            (AggFunc::Sum, Value::Double(385.0)),
+            (AggFunc::Avg, Value::Double(96.25)),
+        ] {
+            let q = GroupByQuery::new(prices.clone(), vec!["type".into()], agg, "price", "v");
+            let out = eval_aggregate(&q, &db).unwrap();
+            let hotel_row = out
+                .rows
+                .iter()
+                .find(|r| r[0] == Value::from("hotel"))
+                .unwrap();
+            assert_eq!(hotel_row[1], expected_hotel, "agg {agg}");
+        }
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let db = example_db();
+        let none = RaExpr::scan("poi", "h")
+            .select(Predicate::all(vec![PredicateAtom::col_eq_const("h.type", "airport")]))
+            .project(vec![("price".into(), "h.price".into())]);
+        let count = GroupByQuery::new(none.clone(), vec![], AggFunc::Count, "price", "n");
+        let out = eval_aggregate(&count, &db).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(0)]]);
+        let min = GroupByQuery::new(none, vec![], AggFunc::Min, "price", "m");
+        let out = eval_aggregate(&min, &db).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn avg_over_non_numeric_column_errors() {
+        let db = example_db();
+        let bad = GroupByQuery::new(
+            RaExpr::scan("poi", "h"),
+            vec![],
+            AggFunc::Avg,
+            "h.city",
+            "v",
+        );
+        assert!(eval_aggregate(&bad, &db).is_err());
+    }
+
+    #[test]
+    fn overlay_provider_prefers_overlay() {
+        let db = example_db();
+        let mut overlay = HashMap::new();
+        overlay.insert(
+            "person".to_string(),
+            Relation::new(vec!["pid".into(), "city".into()], vec![vec![Value::Int(9), Value::from("LA")]])
+                .unwrap(),
+        );
+        let provider = OverlayProvider {
+            overlay: &overlay,
+            base: &db,
+        };
+        let out = eval_set(&RaExpr::scan("person", "p"), &provider).unwrap();
+        assert_eq!(out.len(), 1);
+        let friends = eval_set(&RaExpr::scan("friend", "f"), &provider).unwrap();
+        assert_eq!(friends.len(), 4);
+    }
+
+    #[test]
+    fn eval_query_dispatches_on_kind() {
+        let db = example_db();
+        let ra: QueryExpr = q1_expr().into();
+        assert_eq!(eval_query(&ra, &db).unwrap().len(), 2);
+        let agg: QueryExpr = GroupByQuery::new(
+            RaExpr::scan("poi", "h").project(vec![
+                ("city".into(), "h.city".into()),
+                ("price".into(), "h.price".into()),
+            ]),
+            vec!["city".into()],
+            AggFunc::Count,
+            "price",
+            "n",
+        )
+        .into();
+        assert_eq!(eval_query(&agg, &db).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn join_handles_query_without_equality_conjuncts() {
+        let db = example_db();
+        // product with only a cross-relation inequality: falls back to
+        // nested-loop + filter
+        let expr = RaExpr::scan("person", "p")
+            .product(RaExpr::scan("poi", "h"))
+            .select(Predicate::all(vec![PredicateAtom::ColCol {
+                left: "p.pid".into(),
+                op: CompareOp::Le,
+                right: "h.price".into(),
+                distance: crate::distance::DistanceKind::Numeric,
+                tol: 0.0,
+            }]))
+            .project_cols(&["p.pid", "h.address"]);
+        let out = eval_set(&expr, &db).unwrap();
+        assert_eq!(out.len(), 20); // every pid (1..4) ≤ every price
+    }
+
+    #[test]
+    fn selection_referencing_missing_column_errors() {
+        let db = example_db();
+        let expr = RaExpr::scan("person", "p")
+            .product(RaExpr::scan("friend", "f"))
+            .select(Predicate::all(vec![PredicateAtom::col_eq_col("p.pid", "zzz.col")]));
+        assert!(eval_set(&expr, &db).is_err());
+    }
+}

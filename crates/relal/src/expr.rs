@@ -1,0 +1,440 @@
+//! Relational-algebra expressions and aggregate (`RA_aggr`) queries.
+//!
+//! [`RaExpr`] covers the paper's RA: selection σ, projection π, Cartesian
+//! product ×, union ∪, set difference −, and renaming ρ. [`GroupByQuery`]
+//! adds the `gpBy(Q', X, agg(V))` construct of Sec. 3.2 / Sec. 7, and
+//! [`QueryExpr`] packages "aggregate or not" queries behind one type.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::predicate::Predicate;
+
+/// A relational-algebra expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaExpr {
+    /// A base relation (resolved through a
+    /// [`RelationProvider`](crate::eval::RelationProvider)) scanned under an
+    /// alias: the output columns are `"{alias}.{attr}"`.
+    Scan {
+        /// Relation name.
+        relation: String,
+        /// Alias qualifying the output columns.
+        alias: String,
+    },
+    /// Selection σ_pred.
+    Select {
+        /// Input expression.
+        input: Box<RaExpr>,
+        /// Selection predicate (conjunction).
+        predicate: Predicate,
+    },
+    /// Projection π. Each entry is `(output name, input column)`.
+    Project {
+        /// Input expression.
+        input: Box<RaExpr>,
+        /// `(output name, input column)` pairs in output order.
+        columns: Vec<(String, String)>,
+    },
+    /// Cartesian product ×.
+    Product {
+        /// Left input.
+        left: Box<RaExpr>,
+        /// Right input.
+        right: Box<RaExpr>,
+    },
+    /// Union ∪ (set semantics; schemas must have equal arity).
+    Union {
+        /// Left input.
+        left: Box<RaExpr>,
+        /// Right input.
+        right: Box<RaExpr>,
+    },
+    /// Set difference −.
+    Difference {
+        /// Left input.
+        left: Box<RaExpr>,
+        /// Right input.
+        right: Box<RaExpr>,
+    },
+    /// Renaming ρ: replaces the column names of the input.
+    Rename {
+        /// Input expression.
+        input: Box<RaExpr>,
+        /// New column names (must match the input arity).
+        columns: Vec<String>,
+    },
+}
+
+impl RaExpr {
+    /// Scan of `relation` under `alias`.
+    pub fn scan(relation: impl Into<String>, alias: impl Into<String>) -> Self {
+        RaExpr::Scan {
+            relation: relation.into(),
+            alias: alias.into(),
+        }
+    }
+
+    /// σ_pred(self)
+    pub fn select(self, predicate: Predicate) -> Self {
+        RaExpr::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// π_columns(self) with `(output name, input column)` pairs.
+    pub fn project(self, columns: Vec<(String, String)>) -> Self {
+        RaExpr::Project {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// Convenience projection that keeps the given columns under their own
+    /// names.
+    pub fn project_cols(self, cols: &[&str]) -> Self {
+        self.project(cols.iter().map(|c| (c.to_string(), c.to_string())).collect())
+    }
+
+    /// self × other
+    pub fn product(self, other: RaExpr) -> Self {
+        RaExpr::Product {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// self ∪ other
+    pub fn union(self, other: RaExpr) -> Self {
+        RaExpr::Union {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// self − other
+    pub fn difference(self, other: RaExpr) -> Self {
+        RaExpr::Difference {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// ρ: rename all output columns.
+    pub fn rename(self, columns: Vec<String>) -> Self {
+        RaExpr::Rename {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// All base relation names scanned anywhere in the expression.
+    pub fn scanned_relations(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |e| {
+            if let RaExpr::Scan { relation, .. } = e {
+                out.insert(relation.clone());
+            }
+        });
+        out
+    }
+
+    /// All `(alias, relation)` pairs scanned in the expression.
+    pub fn scan_aliases(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let RaExpr::Scan { relation, alias } = e {
+                out.push((alias.clone(), relation.clone()));
+            }
+        });
+        out
+    }
+
+    /// Number of `Scan` leaves (the `||Q||` of the paper: the number of
+    /// relation occurrences in the query).
+    pub fn relation_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            if matches!(e, RaExpr::Scan { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Returns `true` if the expression contains a set difference.
+    pub fn has_difference(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if matches!(e, RaExpr::Difference { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Number of operators in the expression tree (a size measure, `|Q|`).
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Pre-order traversal.
+    pub fn visit<F: FnMut(&RaExpr)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            RaExpr::Scan { .. } => {}
+            RaExpr::Select { input, .. }
+            | RaExpr::Project { input, .. }
+            | RaExpr::Rename { input, .. } => input.visit(f),
+            RaExpr::Product { left, right }
+            | RaExpr::Union { left, right }
+            | RaExpr::Difference { left, right } => {
+                left.visit(f);
+                right.visit(f);
+            }
+        }
+    }
+}
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Scan { relation, alias } => write!(f, "{relation} AS {alias}"),
+            RaExpr::Select { input, predicate } => {
+                write!(f, "σ[{} conds]({input})", predicate.atoms.len())
+            }
+            RaExpr::Project { input, columns } => {
+                write!(f, "π[{} cols]({input})", columns.len())
+            }
+            RaExpr::Product { left, right } => write!(f, "({left} × {right})"),
+            RaExpr::Union { left, right } => write!(f, "({left} ∪ {right})"),
+            RaExpr::Difference { left, right } => write!(f, "({left} − {right})"),
+            RaExpr::Rename { input, .. } => write!(f, "ρ({input})"),
+        }
+    }
+}
+
+/// Aggregate functions of `RA_aggr` (Sec. 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Minimum of the aggregated attribute.
+    Min,
+    /// Maximum of the aggregated attribute.
+    Max,
+    /// Sum of the aggregated attribute.
+    Sum,
+    /// Number of (bag-semantics) rows in the group.
+    Count,
+    /// Average of the aggregated attribute.
+    Avg,
+}
+
+impl AggFunc {
+    /// Whether the aggregate value is always drawn from the active domain
+    /// (min/max) as opposed to a computed value (sum/count/avg); the two
+    /// classes have different accuracy distances in Sec. 3.2.
+    pub fn is_extremum(&self) -> bool {
+        matches!(self, AggFunc::Min | AggFunc::Max)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::Min => write!(f, "min"),
+            AggFunc::Max => write!(f, "max"),
+            AggFunc::Sum => write!(f, "sum"),
+            AggFunc::Count => write!(f, "count"),
+            AggFunc::Avg => write!(f, "avg"),
+        }
+    }
+}
+
+/// An aggregate query `gpBy(Q', X, agg(V))`: group the output of `input` by
+/// the `group_by` columns and aggregate the `agg_col` column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupByQuery {
+    /// The inner RA query `Q'`.
+    pub input: RaExpr,
+    /// Group-by columns `X` (names in the output of `input`).
+    pub group_by: Vec<String>,
+    /// Aggregate function.
+    pub agg: AggFunc,
+    /// Aggregated column `V` (a column of the output of `input`).
+    pub agg_col: String,
+    /// Name of the aggregate output column.
+    pub out_name: String,
+    /// Optional weight column: when present, each input row counts as
+    /// `weight` duplicates (used when evaluating over access-template
+    /// representatives that stand for many tuples, Sec. 7).
+    pub weight_col: Option<String>,
+}
+
+impl GroupByQuery {
+    /// Creates an aggregate query without a weight column.
+    pub fn new(
+        input: RaExpr,
+        group_by: Vec<String>,
+        agg: AggFunc,
+        agg_col: impl Into<String>,
+        out_name: impl Into<String>,
+    ) -> Self {
+        GroupByQuery {
+            input,
+            group_by,
+            agg,
+            agg_col: agg_col.into(),
+            out_name: out_name.into(),
+            weight_col: None,
+        }
+    }
+
+    /// Output column names: the group-by columns followed by the aggregate.
+    pub fn output_columns(&self) -> Vec<String> {
+        let mut cols = self.group_by.clone();
+        cols.push(self.out_name.clone());
+        cols
+    }
+}
+
+/// A query that is either plain RA or an aggregate query — the "generic,
+/// aggregate or not" queries BEAS targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    /// A relational-algebra query under set semantics.
+    Ra(RaExpr),
+    /// An aggregate (`RA_aggr`) query.
+    Aggregate(GroupByQuery),
+}
+
+impl QueryExpr {
+    /// The underlying RA expression (`Q'` for aggregates).
+    pub fn ra(&self) -> &RaExpr {
+        match self {
+            QueryExpr::Ra(e) => e,
+            QueryExpr::Aggregate(g) => &g.input,
+        }
+    }
+
+    /// Returns `true` for aggregate queries.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, QueryExpr::Aggregate(_))
+    }
+
+    /// Number of relation occurrences (`||Q||`).
+    pub fn relation_count(&self) -> usize {
+        self.ra().relation_count()
+    }
+}
+
+impl From<RaExpr> for QueryExpr {
+    fn from(e: RaExpr) -> Self {
+        QueryExpr::Ra(e)
+    }
+}
+
+impl From<GroupByQuery> for QueryExpr {
+    fn from(g: GroupByQuery) -> Self {
+        QueryExpr::Aggregate(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::PredicateAtom;
+
+    fn example_expr() -> RaExpr {
+        // π(σ(friend × person))
+        RaExpr::scan("friend", "f")
+            .product(RaExpr::scan("person", "p"))
+            .select(Predicate::all(vec![PredicateAtom::col_eq_col("f.fid", "p.pid")]))
+            .project(vec![("city".into(), "p.city".into())])
+    }
+
+    #[test]
+    fn builders_construct_expected_tree() {
+        let e = example_expr();
+        match &e {
+            RaExpr::Project { input, columns } => {
+                assert_eq!(columns.len(), 1);
+                assert!(matches!(**input, RaExpr::Select { .. }));
+            }
+            _ => panic!("expected projection at the root"),
+        }
+    }
+
+    #[test]
+    fn scanned_relations_and_aliases() {
+        let e = example_expr();
+        let rels = e.scanned_relations();
+        assert!(rels.contains("friend") && rels.contains("person"));
+        assert_eq!(e.scan_aliases().len(), 2);
+        assert_eq!(e.relation_count(), 2);
+    }
+
+    #[test]
+    fn has_difference_detects_set_difference() {
+        let e = example_expr();
+        assert!(!e.has_difference());
+        let d = e.clone().difference(example_expr());
+        assert!(d.has_difference());
+        assert_eq!(d.relation_count(), 4);
+    }
+
+    #[test]
+    fn size_counts_operators() {
+        // scan + scan + product + select + project = 5
+        assert_eq!(example_expr().size(), 5);
+    }
+
+    #[test]
+    fn union_and_rename_builders() {
+        let u = RaExpr::scan("r", "a").union(RaExpr::scan("s", "b"));
+        assert!(matches!(u, RaExpr::Union { .. }));
+        let r = RaExpr::scan("r", "a").rename(vec!["x".into()]);
+        assert!(matches!(r, RaExpr::Rename { .. }));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = example_expr().to_string();
+        assert!(s.contains("friend"));
+        assert!(s.contains('σ'));
+        assert!(s.contains('π'));
+    }
+
+    #[test]
+    fn agg_func_classification() {
+        assert!(AggFunc::Min.is_extremum());
+        assert!(AggFunc::Max.is_extremum());
+        assert!(!AggFunc::Sum.is_extremum());
+        assert!(!AggFunc::Count.is_extremum());
+        assert!(!AggFunc::Avg.is_extremum());
+    }
+
+    #[test]
+    fn group_by_output_columns() {
+        let g = GroupByQuery::new(
+            example_expr(),
+            vec!["city".into()],
+            AggFunc::Count,
+            "city",
+            "n",
+        );
+        assert_eq!(g.output_columns(), vec!["city", "n"]);
+        let q: QueryExpr = g.into();
+        assert!(q.is_aggregate());
+        assert_eq!(q.relation_count(), 2);
+    }
+
+    #[test]
+    fn query_expr_from_ra() {
+        let q: QueryExpr = example_expr().into();
+        assert!(!q.is_aggregate());
+        assert_eq!(q.ra().relation_count(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # beas-relal — relational substrate for BEAS
+//!
+//! This crate provides the relational machinery that the BEAS reproduction is
+//! built on: typed [`Value`]s, per-attribute [`distance`] functions, relation
+//! and database [`schema`]s, in-memory [`storage`], relational-algebra
+//! [`expr`]essions (selection, projection, Cartesian product, union, set
+//! difference, renaming), conjunctive ([`spc`]) queries, aggregate queries and
+//! an exact [`eval`]uator used both for ground truth and for executing the
+//! evaluation part of bounded query plans.
+//!
+//! The paper ("Data Driven Approximation with Bounded Resources", VLDB 2017)
+//! runs BEAS on top of a commercial DBMS; this crate plays that role here so
+//! that the whole system is self-contained.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod predicate;
+pub mod schema;
+pub mod spc;
+pub mod storage;
+pub mod value;
+
+pub use distance::{tuple_distance, DistanceKind};
+pub use error::{RelalError, Result};
+pub use eval::{
+    aggregate_relation, eval_aggregate, eval_bag, eval_query, eval_set, OverlayProvider,
+    RelationProvider,
+};
+pub use expr::{AggFunc, GroupByQuery, QueryExpr, RaExpr};
+pub use predicate::{CompareOp, Predicate, PredicateAtom};
+pub use schema::{Attribute, DatabaseSchema, RelationSchema};
+pub use spc::{OutputCol, Position, SelCond, SpcAtom, SpcQuery, SpcQueryBuilder, Term};
+pub use storage::{Database, Relation, Row};
+pub use value::{Value, ValueType};

@@ -1,0 +1,399 @@
+//! Selection predicates, including the *relaxed* forms used by bounded
+//! evaluation plans.
+//!
+//! A [`Predicate`] is a conjunction of [`PredicateAtom`]s. Each atom compares
+//! a column against a constant or another column, and optionally carries a
+//! relaxation tolerance: an atom with tolerance `r > 0` implements the
+//! relaxed condition `|dis_A(A, c)| ≤ r` of Sec. 3.1 / Sec. 5 ("evaluation
+//! plan ξ_E").
+
+use crate::distance::DistanceKind;
+use crate::error::{RelalError, Result};
+use crate::storage::Relation;
+use crate::value::Value;
+
+/// Comparison operators supported in selection conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluates the operator on two values using the total value order.
+    pub fn eval(&self, a: &Value, b: &Value) -> bool {
+        match self {
+            CompareOp::Eq => a == b,
+            CompareOp::Ne => a != b,
+            CompareOp::Lt => a < b,
+            CompareOp::Le => a <= b,
+            CompareOp::Gt => a > b,
+            CompareOp::Ge => a >= b,
+        }
+    }
+
+    /// Evaluates the operator *relaxed by* `tol` under distance `dk`.
+    ///
+    /// - `Eq` becomes `dis(a, b) ≤ tol`;
+    /// - `Ne` is never relaxed (relaxing a negation would only shrink the
+    ///   answer set);
+    /// - inequalities are widened by `tol` on the permissive side, e.g.
+    ///   `a ≤ b` becomes `a ≤ b + tol` for numeric values.
+    pub fn eval_relaxed(&self, a: &Value, b: &Value, dk: DistanceKind, tol: f64) -> bool {
+        if tol <= 0.0 {
+            return self.eval(a, b);
+        }
+        match self {
+            CompareOp::Eq => dk.distance(a, b) <= tol,
+            CompareOp::Ne => a != b,
+            CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => {
+                match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => {
+                        // tolerances live in distance space; convert back to
+                        // value space for scaled distances
+                        let slack = tol * dk.unit();
+                        match self {
+                            CompareOp::Lt => x < y + slack,
+                            CompareOp::Le => x <= y + slack,
+                            CompareOp::Gt => x > y - slack,
+                            CompareOp::Ge => x >= y - slack,
+                            _ => unreachable!(),
+                        }
+                    }
+                    // non-numeric inequality: fall back to the strict order
+                    _ => self.eval(a, b),
+                }
+            }
+        }
+    }
+
+    /// The operator with left and right operands swapped (`a op b` ⇔ `b op' a`).
+    pub fn flipped(&self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Ne => CompareOp::Ne,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+        }
+    }
+
+    /// True for `=`.
+    pub fn is_eq(&self) -> bool {
+        matches!(self, CompareOp::Eq)
+    }
+}
+
+/// One conjunct of a selection condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateAtom {
+    /// `column op constant`, optionally relaxed by `tol` under `distance`.
+    ColConst {
+        /// Column name (qualified, e.g. `"h.price"`).
+        col: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Constant operand.
+        value: Value,
+        /// Distance function used when `tol > 0`.
+        distance: DistanceKind,
+        /// Relaxation tolerance (0 = exact condition).
+        tol: f64,
+    },
+    /// `left-column op right-column`, optionally relaxed by `tol`.
+    ColCol {
+        /// Left column name.
+        left: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Right column name.
+        right: String,
+        /// Distance function used when `tol > 0`.
+        distance: DistanceKind,
+        /// Relaxation tolerance (0 = exact condition).
+        tol: f64,
+    },
+}
+
+impl PredicateAtom {
+    /// Exact `column = constant` atom.
+    pub fn col_eq_const(col: impl Into<String>, value: impl Into<Value>) -> Self {
+        PredicateAtom::ColConst {
+            col: col.into(),
+            op: CompareOp::Eq,
+            value: value.into(),
+            distance: DistanceKind::Trivial,
+            tol: 0.0,
+        }
+    }
+
+    /// Exact `column op constant` atom with a numeric distance (used when the
+    /// atom may later be relaxed).
+    pub fn col_cmp_const(col: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Self {
+        PredicateAtom::ColConst {
+            col: col.into(),
+            op,
+            value: value.into(),
+            distance: DistanceKind::Numeric,
+            tol: 0.0,
+        }
+    }
+
+    /// Exact `left = right` join atom.
+    pub fn col_eq_col(left: impl Into<String>, right: impl Into<String>) -> Self {
+        PredicateAtom::ColCol {
+            left: left.into(),
+            op: CompareOp::Eq,
+            right: right.into(),
+            distance: DistanceKind::Trivial,
+            tol: 0.0,
+        }
+    }
+
+    /// Returns the same atom with relaxation tolerance `tol` and distance `dk`.
+    pub fn relaxed(mut self, dk: DistanceKind, tol: f64) -> Self {
+        match &mut self {
+            PredicateAtom::ColConst { distance, tol: t, .. }
+            | PredicateAtom::ColCol { distance, tol: t, .. } => {
+                *distance = dk;
+                *t = tol;
+            }
+        }
+        self
+    }
+
+    /// The columns referenced by this atom.
+    pub fn columns(&self) -> Vec<&str> {
+        match self {
+            PredicateAtom::ColConst { col, .. } => vec![col.as_str()],
+            PredicateAtom::ColCol { left, right, .. } => vec![left.as_str(), right.as_str()],
+        }
+    }
+
+    /// The relaxation tolerance of this atom.
+    pub fn tolerance(&self) -> f64 {
+        match self {
+            PredicateAtom::ColConst { tol, .. } | PredicateAtom::ColCol { tol, .. } => *tol,
+        }
+    }
+
+    /// Evaluates the atom on a row of `relation`-shaped columns.
+    pub fn eval(&self, columns: &[String], row: &[Value]) -> Result<bool> {
+        let idx = |name: &str| -> Result<usize> {
+            columns
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| RelalError::UnknownColumn(name.to_string()))
+        };
+        match self {
+            PredicateAtom::ColConst {
+                col,
+                op,
+                value,
+                distance,
+                tol,
+            } => {
+                let i = idx(col)?;
+                Ok(op.eval_relaxed(&row[i], value, *distance, *tol))
+            }
+            PredicateAtom::ColCol {
+                left,
+                op,
+                right,
+                distance,
+                tol,
+            } => {
+                let (i, j) = (idx(left)?, idx(right)?);
+                Ok(op.eval_relaxed(&row[i], &row[j], *distance, *tol))
+            }
+        }
+    }
+}
+
+/// A conjunction of [`PredicateAtom`]s. The empty conjunction is `true`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Predicate {
+    /// The conjuncts.
+    pub atoms: Vec<PredicateAtom>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn always_true() -> Self {
+        Predicate { atoms: Vec::new() }
+    }
+
+    /// A predicate from a list of conjuncts.
+    pub fn all(atoms: Vec<PredicateAtom>) -> Self {
+        Predicate { atoms }
+    }
+
+    /// Adds a conjunct.
+    pub fn and(mut self, atom: PredicateAtom) -> Self {
+        self.atoms.push(atom);
+        self
+    }
+
+    /// Returns `true` if the predicate has no conjuncts.
+    pub fn is_trivial(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Evaluates the conjunction on a row.
+    pub fn eval(&self, columns: &[String], row: &[Value]) -> Result<bool> {
+        for atom in &self.atoms {
+            if !atom.eval(columns, row)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Filters a relation, keeping the rows on which the predicate holds.
+    pub fn filter(&self, rel: &Relation) -> Result<Relation> {
+        let mut out = Relation::empty(rel.columns.clone());
+        for row in &rel.rows {
+            if self.eval(&rel.columns, row)? {
+                out.rows.push(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// All columns referenced by the predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        self.atoms.iter().flat_map(|a| a.columns()).collect()
+    }
+
+    /// The maximum relaxation tolerance across all atoms (0 when exact).
+    pub fn max_tolerance(&self) -> f64 {
+        self.atoms
+            .iter()
+            .map(|a| a.tolerance())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<String> {
+        vec!["p".into(), "q".into()]
+    }
+
+    #[test]
+    fn compare_op_eval_covers_all_operators() {
+        let (a, b) = (Value::Int(3), Value::Int(5));
+        assert!(!CompareOp::Eq.eval(&a, &b));
+        assert!(CompareOp::Ne.eval(&a, &b));
+        assert!(CompareOp::Lt.eval(&a, &b));
+        assert!(CompareOp::Le.eval(&a, &b));
+        assert!(!CompareOp::Gt.eval(&a, &b));
+        assert!(!CompareOp::Ge.eval(&a, &b));
+        assert!(CompareOp::Ge.eval(&b, &a));
+    }
+
+    #[test]
+    fn relaxed_equality_uses_distance() {
+        let op = CompareOp::Eq;
+        assert!(op.eval_relaxed(&Value::Int(99), &Value::Int(95), DistanceKind::Numeric, 4.0));
+        assert!(!op.eval_relaxed(&Value::Int(100), &Value::Int(95), DistanceKind::Numeric, 4.0));
+        // tol = 0 falls back to exact equality
+        assert!(!op.eval_relaxed(&Value::Int(96), &Value::Int(95), DistanceKind::Numeric, 0.0));
+    }
+
+    #[test]
+    fn relaxed_le_widens_threshold() {
+        // price ≤ 95 relaxed by 4 accepts 99 (the Example 1 hotel at $99)
+        let op = CompareOp::Le;
+        assert!(op.eval_relaxed(&Value::Int(99), &Value::Int(95), DistanceKind::Numeric, 4.0));
+        assert!(!op.eval_relaxed(&Value::Int(100), &Value::Int(95), DistanceKind::Numeric, 4.0));
+        let op = CompareOp::Ge;
+        assert!(op.eval_relaxed(&Value::Int(91), &Value::Int(95), DistanceKind::Numeric, 4.0));
+        assert!(!op.eval_relaxed(&Value::Int(90), &Value::Int(95), DistanceKind::Numeric, 4.0));
+    }
+
+    #[test]
+    fn ne_is_never_relaxed() {
+        let op = CompareOp::Ne;
+        assert!(op.eval_relaxed(&Value::Int(99), &Value::Int(95), DistanceKind::Numeric, 100.0));
+        assert!(!op.eval_relaxed(&Value::Int(95), &Value::Int(95), DistanceKind::Numeric, 100.0));
+    }
+
+    #[test]
+    fn flipped_inverts_direction() {
+        assert_eq!(CompareOp::Lt.flipped(), CompareOp::Gt);
+        assert_eq!(CompareOp::Ge.flipped(), CompareOp::Le);
+        assert_eq!(CompareOp::Eq.flipped(), CompareOp::Eq);
+    }
+
+    #[test]
+    fn atom_eval_col_const_and_col_col() {
+        let row = vec![Value::Int(10), Value::Int(10)];
+        let eq_const = PredicateAtom::col_eq_const("p", 10i64);
+        assert!(eq_const.eval(&cols(), &row).unwrap());
+        let eq_col = PredicateAtom::col_eq_col("p", "q");
+        assert!(eq_col.eval(&cols(), &row).unwrap());
+        let row2 = vec![Value::Int(10), Value::Int(11)];
+        assert!(!eq_col.eval(&cols(), &row2).unwrap());
+    }
+
+    #[test]
+    fn atom_eval_reports_unknown_column() {
+        let atom = PredicateAtom::col_eq_const("missing", 1i64);
+        assert!(atom.eval(&cols(), &[Value::Int(1), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn relaxed_atom_builder_sets_tolerance() {
+        let atom = PredicateAtom::col_eq_const("p", 10i64).relaxed(DistanceKind::Numeric, 2.0);
+        assert_eq!(atom.tolerance(), 2.0);
+        let row = vec![Value::Int(12), Value::Int(0)];
+        assert!(atom.eval(&cols(), &row).unwrap());
+        let row = vec![Value::Int(13), Value::Int(0)];
+        assert!(!atom.eval(&cols(), &row).unwrap());
+    }
+
+    #[test]
+    fn predicate_conjunction_and_filter() {
+        let pred = Predicate::always_true()
+            .and(PredicateAtom::col_cmp_const("p", CompareOp::Ge, 5i64))
+            .and(PredicateAtom::col_cmp_const("q", CompareOp::Lt, 100i64));
+        let rel = Relation::new(
+            cols(),
+            vec![
+                vec![Value::Int(6), Value::Int(50)],
+                vec![Value::Int(4), Value::Int(50)],
+                vec![Value::Int(6), Value::Int(150)],
+            ],
+        )
+        .unwrap();
+        let out = pred.filter(&rel).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(6), Value::Int(50)]]);
+        assert!(Predicate::always_true().is_trivial());
+        assert_eq!(pred.max_tolerance(), 0.0);
+    }
+
+    #[test]
+    fn predicate_columns_lists_all_referenced_columns() {
+        let pred = Predicate::all(vec![
+            PredicateAtom::col_eq_const("p", 1i64),
+            PredicateAtom::col_eq_col("p", "q"),
+        ]);
+        let cols = pred.columns();
+        assert!(cols.contains(&"p") && cols.contains(&"q"));
+        assert_eq!(cols.len(), 3);
+    }
+}

@@ -1,0 +1,315 @@
+//! In-memory storage: rows, relations and databases.
+//!
+//! Relations are self-describing (they carry their column names) because the
+//! evaluator produces intermediate relations whose columns are qualified by
+//! the query's aliases (e.g. `"h.price"`). A [`Database`] binds base relations
+//! to a [`DatabaseSchema`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::{RelalError, Result};
+use crate::schema::DatabaseSchema;
+use crate::value::Value;
+
+/// A row of attribute values.
+pub type Row = Vec<Value>;
+
+/// A named-column, row-oriented relation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    /// Column names, possibly qualified (e.g. `"h.price"`).
+    pub columns: Vec<String>,
+    /// Rows; each row has exactly `columns.len()` values.
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given column names.
+    pub fn empty(columns: Vec<String>) -> Self {
+        Relation {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from columns and rows, validating row arity.
+    pub fn new(columns: Vec<String>, rows: Vec<Row>) -> Result<Self> {
+        let arity = columns.len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != arity) {
+            return Err(RelalError::SchemaMismatch(format!(
+                "row of arity {} in relation of arity {}",
+                bad.len(),
+                arity
+            )));
+        }
+        Ok(Relation { columns, rows })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| RelalError::UnknownColumn(name.to_string()))
+    }
+
+    /// Appends a row, validating its arity.
+    pub fn push_row(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.arity() {
+            return Err(RelalError::SchemaMismatch(format!(
+                "row of arity {} pushed into relation of arity {}",
+                row.len(),
+                self.arity()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Removes duplicate rows (set semantics). Row order is not preserved.
+    pub fn dedup(&mut self) {
+        let set: BTreeSet<Row> = std::mem::take(&mut self.rows).into_iter().collect();
+        self.rows = set.into_iter().collect();
+    }
+
+    /// Returns a copy of this relation with duplicates removed.
+    pub fn deduped(mut self) -> Self {
+        self.dedup();
+        self
+    }
+
+    /// Projects the relation onto the given columns (by name), renaming them
+    /// to `out_names` when provided.
+    pub fn project(&self, cols: &[String], out_names: Option<&[String]>) -> Result<Relation> {
+        let idx: Vec<usize> = cols
+            .iter()
+            .map(|c| self.column_index(c))
+            .collect::<Result<_>>()?;
+        let columns = match out_names {
+            Some(names) => names.to_vec(),
+            None => cols.to_vec(),
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| idx.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Ok(Relation { columns, rows })
+    }
+
+    /// Renames the columns of this relation in place.
+    pub fn rename_columns(&mut self, names: Vec<String>) -> Result<()> {
+        if names.len() != self.arity() {
+            return Err(RelalError::SchemaMismatch(format!(
+                "renaming {} columns of a {}-ary relation",
+                names.len(),
+                self.arity()
+            )));
+        }
+        self.columns = names;
+        Ok(())
+    }
+
+    /// Iterates over the values of one column.
+    pub fn column_values(&self, name: &str) -> Result<Vec<Value>> {
+        let i = self.column_index(name)?;
+        Ok(self.rows.iter().map(|r| r[i].clone()).collect())
+    }
+
+    /// Sorts rows lexicographically; handy for deterministic test assertions.
+    pub fn sorted(mut self) -> Self {
+        self.rows.sort();
+        self
+    }
+}
+
+/// An in-memory database: a schema plus one relation instance per schema
+/// relation.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    /// The database schema.
+    pub schema: DatabaseSchema,
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database over the given schema with empty instances
+    /// for every relation.
+    pub fn new(schema: DatabaseSchema) -> Self {
+        let mut relations = HashMap::new();
+        for r in &schema.relations {
+            relations.insert(r.name.clone(), Relation::empty(r.attr_names()));
+        }
+        Database { schema, relations }
+    }
+
+    /// Replaces the instance of `name` with `relation`.
+    ///
+    /// The relation's columns must match the schema attribute names.
+    pub fn insert_relation(&mut self, name: &str, relation: Relation) -> Result<()> {
+        let schema = self.schema.relation(name)?;
+        if relation.columns != schema.attr_names() {
+            return Err(RelalError::SchemaMismatch(format!(
+                "columns {:?} do not match schema of {}",
+                relation.columns, name
+            )));
+        }
+        self.relations.insert(name.to_string(), relation);
+        Ok(())
+    }
+
+    /// Appends a row to the instance of `name`.
+    pub fn insert_row(&mut self, name: &str, row: Row) -> Result<()> {
+        self.schema.relation(name)?;
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| RelalError::UnknownRelation(name.to_string()))?;
+        rel.push_row(row)
+    }
+
+    /// The instance of relation `name`.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable access to the instance of relation `name`.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelalError::UnknownRelation(name.to_string()))
+    }
+
+    /// Total number of tuples across all relations (the `|D|` of the paper).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Iterates over `(name, relation)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.schema
+            .relations
+            .iter()
+            .filter_map(move |rs| self.relations.get(&rs.name).map(|r| (rs.name.as_str(), r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, RelationSchema};
+
+    fn friend_db() -> Database {
+        let schema = DatabaseSchema::new(vec![RelationSchema::new(
+            "friend",
+            vec![Attribute::id("pid"), Attribute::id("fid")],
+        )]);
+        Database::new(schema)
+    }
+
+    #[test]
+    fn relation_new_validates_arity() {
+        assert!(Relation::new(vec!["a".into()], vec![vec![Value::Int(1), Value::Int(2)]]).is_err());
+        let r = Relation::new(vec!["a".into(), "b".into()], vec![vec![Value::Int(1), Value::Int(2)]])
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn push_row_validates_arity() {
+        let mut r = Relation::empty(vec!["a".into()]);
+        assert!(r.push_row(vec![Value::Int(1)]).is_ok());
+        assert!(r.push_row(vec![Value::Int(1), Value::Int(2)]).is_err());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn dedup_removes_duplicate_rows() {
+        let mut r = Relation::empty(vec!["a".into()]);
+        for v in [1, 2, 1, 3, 2] {
+            r.push_row(vec![Value::Int(v)]).unwrap();
+        }
+        r.dedup();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn project_selects_and_renames_columns() {
+        let r = Relation::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(20)]],
+        )
+        .unwrap();
+        let p = r
+            .project(&["b".to_string()], Some(&["out".to_string()]))
+            .unwrap();
+        assert_eq!(p.columns, vec!["out"]);
+        assert_eq!(p.rows, vec![vec![Value::Int(10)], vec![Value::Int(20)]]);
+        assert!(r.project(&["zzz".to_string()], None).is_err());
+    }
+
+    #[test]
+    fn database_insert_and_lookup() {
+        let mut db = friend_db();
+        db.insert_row("friend", vec![Value::Int(1), Value::Int(2)]).unwrap();
+        db.insert_row("friend", vec![Value::Int(1), Value::Int(3)]).unwrap();
+        assert_eq!(db.relation("friend").unwrap().len(), 2);
+        assert_eq!(db.total_tuples(), 2);
+        assert!(db.relation("poi").is_err());
+        assert!(db.insert_row("poi", vec![]).is_err());
+    }
+
+    #[test]
+    fn insert_relation_checks_columns_against_schema() {
+        let mut db = friend_db();
+        let good = Relation::empty(vec!["pid".into(), "fid".into()]);
+        assert!(db.insert_relation("friend", good).is_ok());
+        let bad = Relation::empty(vec!["x".into(), "y".into()]);
+        assert!(db.insert_relation("friend", bad).is_err());
+    }
+
+    #[test]
+    fn column_values_extracts_one_column() {
+        let mut db = friend_db();
+        db.insert_row("friend", vec![Value::Int(1), Value::Int(2)]).unwrap();
+        db.insert_row("friend", vec![Value::Int(1), Value::Int(3)]).unwrap();
+        let vals = db.relation("friend").unwrap().column_values("fid").unwrap();
+        assert_eq!(vals, vec![Value::Int(2), Value::Int(3)]);
+    }
+
+    #[test]
+    fn iter_yields_relations_in_schema_order() {
+        let db = friend_db();
+        let names: Vec<&str> = db.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["friend"]);
+    }
+
+    #[test]
+    fn sorted_orders_rows_deterministically() {
+        let r = Relation::new(
+            vec!["a".into()],
+            vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap()
+        .sorted();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Attribute values and value types.
+//!
+//! Values are the atoms stored in tuples. They need a *total* order and a
+//! stable hash (doubles are ordered/hashed through their IEEE-754 total order)
+//! because they are used as keys of access-schema indices and as members of
+//! set-semantics relations.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The type of an attribute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 floating point.
+    Double,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "int"),
+            ValueType::Double => write!(f, "double"),
+            ValueType::Str => write!(f, "str"),
+            ValueType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A single attribute value.
+///
+/// `Null` is included for completeness (outer data sources may have missing
+/// values); the evaluator treats `Null` as distinct from every non-null value
+/// and comparable only through the trivial distance.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. Ordered and hashed via the IEEE-754 total order so the
+    /// value can be used as an index key.
+    Double(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Missing value.
+    Null,
+}
+
+impl Value {
+    /// Returns the [`ValueType`] of this value, or `None` for `Null`.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Double(_) => Some(ValueType::Double),
+            Value::Str(_) => Some(ValueType::Str),
+            Value::Bool(_) => Some(ValueType::Bool),
+            Value::Null => None,
+        }
+    }
+
+    /// Interprets the value as a float if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as an integer if it is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Interprets the value as a string slice if it is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns `true` if the value is numeric (`Int` or `Double`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Double(_))
+    }
+
+    /// Canonical discriminant used for cross-type ordering.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Double(_) => 2, // numeric values compare among themselves
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Numeric comparison helper: `Int` and `Double` compare by numeric value.
+fn numeric_cmp(a: &Value, b: &Value) -> Option<Ordering> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Some(x.cmp(y)),
+        _ => {
+            let (x, y) = (a.as_f64()?, b.as_f64()?);
+            Some(x.total_cmp(&y))
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.is_numeric() && other.is_numeric() {
+            return numeric_cmp(self, other).expect("both numeric");
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            // hash Int and Double compatibly when the double is integral, so
+            // that Int(3) == Double(3.0) implies equal hashes.
+            Value::Int(i) => {
+                state.write_u8(2);
+                state.write_i64(*i);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Double(d) => {
+                state.write_u8(2);
+                if d.fract() == 0.0 && *d >= i64::MIN as f64 && *d <= i64::MAX as f64 {
+                    state.write_i64(*d as i64);
+                } else {
+                    state.write_i64(i64::MIN);
+                }
+                state.write_u64(d.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Null => state.write_u8(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashSet;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn value_type_reports_correct_type() {
+        assert_eq!(Value::Int(1).value_type(), Some(ValueType::Int));
+        assert_eq!(Value::Double(1.0).value_type(), Some(ValueType::Double));
+        assert_eq!(Value::from("x").value_type(), Some(ValueType::Str));
+        assert_eq!(Value::Bool(true).value_type(), Some(ValueType::Bool));
+        assert_eq!(Value::Null.value_type(), None);
+    }
+
+    #[test]
+    fn numeric_values_compare_across_int_and_double() {
+        assert_eq!(Value::Int(3), Value::Double(3.0));
+        assert!(Value::Int(3) < Value::Double(3.5));
+        assert!(Value::Double(2.5) < Value::Int(3));
+        assert_eq!(Value::Int(3).cmp(&Value::Double(3.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn equal_int_and_double_hash_identically_when_integral() {
+        // Not required by Rust, but required for our hash-join correctness:
+        // equal values must have equal hashes.
+        assert_eq!(Value::Int(42), Value::Double(42.0));
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Double(42.0)));
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert!(Value::from("abc") < Value::from("abd"));
+        assert_eq!(Value::from("abc"), Value::from("abc"));
+    }
+
+    #[test]
+    fn nulls_are_equal_to_each_other_only() {
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_ne!(Value::Null, Value::from(""));
+    }
+
+    #[test]
+    fn values_usable_in_hash_sets() {
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        set.insert(Value::Double(1.0));
+        set.insert(Value::from("1"));
+        // Int(1) and Double(1.0) are equal, so only two distinct members.
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn as_f64_and_as_i64_conversions() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Double(7.25).as_f64(), Some(7.25));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::Int(7).as_i64(), Some(7));
+        assert_eq!(Value::Double(7.0).as_i64(), None);
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn ordering_is_total_across_types() {
+        let mut vals = vec![
+            Value::from("z"),
+            Value::Int(1),
+            Value::Null,
+            Value::Bool(true),
+            Value::Double(0.5),
+        ];
+        vals.sort();
+        // Null < Bool < numerics < Str per type_rank.
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[4], Value::from("z"));
+    }
+}

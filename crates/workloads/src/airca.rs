@@ -1,0 +1,247 @@
+//! AIRCA-lite: a synthetic stand-in for the paper's AIRCA dataset (US flight
+//! on-time performance \[1\] + carrier statistics \[2\], 162 M tuples / 60 GB).
+//!
+//! The real data cannot be redistributed; this generator reproduces the shape
+//! the BEAS experiments rely on: a large fact table (`flights`) with numeric
+//! delay/distance columns and skewed per-carrier volumes, small dimension
+//! tables (`carriers`, `airports`) and a per-carrier-per-year statistics table
+//! (`carrier_stats`), connected by key/foreign-key joins.
+
+use beas_core::ConstraintSpec;
+use beas_relal::{Attribute, Database, DatabaseSchema, RelationSchema, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::{Dataset, JoinEdge};
+
+/// US state-like region codes used by the airport dimension.
+const STATES: [&str; 10] = ["CA", "TX", "NY", "FL", "IL", "WA", "GA", "CO", "MA", "NV"];
+/// Carrier service regions.
+const REGIONS: [&str; 4] = ["NATIONAL", "REGIONAL", "LOWCOST", "CARGO"];
+
+/// The AIRCA-lite schema.
+pub fn airca_schema() -> DatabaseSchema {
+    DatabaseSchema::new(vec![
+        RelationSchema::new(
+            "carriers",
+            vec![
+                Attribute::id("carrier_id"),
+                Attribute::categorical("region"),
+                // numeric distances are normalised by the attribute's range
+                Attribute::scaled("fleet_size", ValueType::Int, 800),
+            ],
+        ),
+        RelationSchema::new(
+            "airports",
+            vec![
+                Attribute::id("airport_id"),
+                Attribute::categorical("state"),
+                Attribute::scaled("traffic_rank", ValueType::Int, 40),
+            ],
+        ),
+        RelationSchema::new(
+            "flights",
+            vec![
+                Attribute::id("flight_id"),
+                Attribute::id("carrier_id"),
+                Attribute::id("origin_id"),
+                Attribute::id("dest_id"),
+                Attribute::scaled("year", ValueType::Int, 10),
+                Attribute::scaled("month", ValueType::Int, 12),
+                Attribute::scaled("dep_delay", ValueType::Double, 250),
+                Attribute::scaled("arr_delay", ValueType::Double, 300),
+                Attribute::scaled("distance", ValueType::Double, 2_800),
+                Attribute::categorical("cancelled"),
+            ],
+        ),
+        RelationSchema::new(
+            "carrier_stats",
+            vec![
+                Attribute::id("carrier_id"),
+                Attribute::scaled("year", ValueType::Int, 10),
+                Attribute::scaled("on_time_pct", ValueType::Double, 40),
+                Attribute::scaled("total_flights", ValueType::Int, 90_000),
+            ],
+        ),
+    ])
+}
+
+/// Generates an AIRCA-lite dataset.
+///
+/// Base cardinalities (scale 1): 10 carriers, 40 airports, 800 flights,
+/// 80 carrier-stat rows. Flight volume is skewed towards a few large carriers,
+/// and delays follow a heavy-tailed distribution (most flights on time, some
+/// very late), which is what makes approximate delay queries interesting.
+pub fn airca_lite(scale: usize, seed: u64) -> Dataset {
+    let scale = scale.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(airca_schema());
+
+    let n_carriers = 10usize;
+    let n_airports = 40usize.min(10 + 10 * scale);
+    let n_flights = 800 * scale;
+    let years = 1995..2003i64;
+
+    for i in 0..n_carriers {
+        db.insert_row(
+            "carriers",
+            vec![
+                Value::Int(i as i64),
+                Value::from(REGIONS[i % REGIONS.len()]),
+                Value::Int(rng.gen_range(20..800)),
+            ],
+        )
+        .expect("carriers row");
+    }
+    for i in 0..n_airports {
+        db.insert_row(
+            "airports",
+            vec![
+                Value::Int(i as i64),
+                Value::from(STATES[i % STATES.len()]),
+                Value::Int((i + 1) as i64),
+            ],
+        )
+        .expect("airports row");
+    }
+    for i in 0..n_flights {
+        // carrier volumes are skewed: carrier id drawn from a squared uniform
+        let carrier = ((rng.gen_range(0.0f64..1.0)).powi(2) * n_carriers as f64) as i64;
+        let origin = rng.gen_range(0..n_airports as i64);
+        let mut dest = rng.gen_range(0..n_airports as i64);
+        if dest == origin {
+            dest = (dest + 1) % n_airports as i64;
+        }
+        // heavy-tailed delays: 70% on time-ish, long positive tail
+        let dep_delay = if rng.gen_bool(0.7) {
+            rng.gen_range(-10.0..15.0f64)
+        } else {
+            rng.gen_range(15.0..240.0f64)
+        };
+        let arr_delay = dep_delay + rng.gen_range(-20.0..30.0f64);
+        db.insert_row(
+            "flights",
+            vec![
+                Value::Int(i as i64),
+                Value::Int(carrier.min(n_carriers as i64 - 1)),
+                Value::Int(origin),
+                Value::Int(dest),
+                Value::Int(rng.gen_range(years.clone())),
+                Value::Int(rng.gen_range(1..13)),
+                Value::Double(dep_delay.round()),
+                Value::Double(arr_delay.round()),
+                Value::Double(rng.gen_range(100.0..2800.0f64).round()),
+                Value::from(if rng.gen_bool(0.02) { "Y" } else { "N" }),
+            ],
+        )
+        .expect("flights row");
+    }
+    for carrier in 0..n_carriers as i64 {
+        for year in years.clone() {
+            db.insert_row(
+                "carrier_stats",
+                vec![
+                    Value::Int(carrier),
+                    Value::Int(year),
+                    Value::Double((rng.gen_range(55.0..95.0f64) * 10.0).round() / 10.0),
+                    Value::Int(rng.gen_range(1000..90000)),
+                ],
+            )
+            .expect("carrier_stats row");
+        }
+    }
+
+    Dataset {
+        name: "AIRCA".to_string(),
+        db,
+        constraints: vec![
+            ConstraintSpec::new("carriers", &["carrier_id"], &["region", "fleet_size"]),
+            ConstraintSpec::new("airports", &["airport_id"], &["state", "traffic_rank"]),
+            ConstraintSpec::new("carrier_stats", &["carrier_id"], &["year", "on_time_pct", "total_flights"]),
+            ConstraintSpec::new(
+                "flights",
+                &["carrier_id", "year"],
+                &["origin_id", "dest_id", "dep_delay", "arr_delay", "distance"],
+            ),
+            ConstraintSpec::new("flights", &["origin_id"], &["carrier_id", "dep_delay", "distance"]),
+        ],
+        join_edges: vec![
+            JoinEdge::new("flights", "carrier_id", "carriers", "carrier_id"),
+            JoinEdge::new("flights", "origin_id", "airports", "airport_id"),
+            JoinEdge::new("flights", "dest_id", "airports", "airport_id"),
+            JoinEdge::new("carrier_stats", "carrier_id", "carriers", "carrier_id"),
+        ],
+        qcs: vec![
+            ("flights".to_string(), vec!["carrier_id".to_string(), "year".to_string()]),
+            ("carrier_stats".to_string(), vec!["carrier_id".to_string()]),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flights_dominate_the_dataset_size() {
+        let d = airca_lite(2, 1);
+        let flights = d.db.relation("flights").unwrap().len();
+        assert_eq!(flights, 1600);
+        assert!(flights * 2 > d.size());
+    }
+
+    #[test]
+    fn carrier_volumes_are_skewed() {
+        let d = airca_lite(3, 5);
+        let mut per_carrier = vec![0usize; 10];
+        for row in &d.db.relation("flights").unwrap().rows {
+            per_carrier[row[1].as_i64().unwrap() as usize] += 1;
+        }
+        let max = *per_carrier.iter().max().unwrap();
+        let min = *per_carrier.iter().min().unwrap();
+        assert!(max > 3 * min.max(1), "expected skewed carrier volumes: {per_carrier:?}");
+    }
+
+    #[test]
+    fn delays_have_heavy_tail() {
+        let d = airca_lite(2, 9);
+        let delays: Vec<f64> = d
+            .db
+            .relation("flights")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[6].as_f64().unwrap())
+            .collect();
+        let on_time = delays.iter().filter(|&&x| x < 15.0).count();
+        let very_late = delays.iter().filter(|&&x| x > 60.0).count();
+        assert!(on_time > delays.len() / 2);
+        assert!(very_late > 0);
+    }
+
+    #[test]
+    fn metadata_is_consistent_with_schema() {
+        let d = airca_lite(1, 1);
+        for c in &d.constraints {
+            let rel = d.db.schema.relation(&c.relation).unwrap();
+            for a in c.x.iter().chain(c.y.iter()) {
+                rel.attr_index(a).unwrap();
+            }
+        }
+        for e in &d.join_edges {
+            d.db.schema.relation(&e.left_rel).unwrap().attr_index(&e.left_attr).unwrap();
+            d.db.schema.relation(&e.right_rel).unwrap().attr_index(&e.right_attr).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = airca_lite(1, 3);
+        let b = airca_lite(1, 3);
+        assert_eq!(
+            a.db.relation("flights").unwrap().rows,
+            b.db.relation("flights").unwrap().rows
+        );
+    }
+}

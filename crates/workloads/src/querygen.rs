@@ -1,0 +1,507 @@
+//! Random query-workload generation (Sec. 8, "Queries").
+//!
+//! The paper generates 30 queries per dataset: roughly 30% aggregate SPC
+//! queries, the rest RA queries with 0–3 set differences, varying
+//!
+//! * `#-sel` — the number of predicates in the selection condition, in `\[3,7\]`;
+//! * `#-prod` — the number of Cartesian products (joins), in `\[0,4\]`;
+//!
+//! with half of the selection attributes drawn from the access constraints and
+//! constants sampled from the data. [`generate_workload`] reproduces that
+//! recipe over any [`Dataset`].
+
+use beas_core::{AggQuery, BeasQuery, RaQuery};
+use beas_relal::{AggFunc, CompareOp, Database, DistanceKind, SpcQuery, SpcQueryBuilder, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::Dataset;
+
+/// The kind of a generated query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A plain SPC query (no union/difference/aggregation).
+    Spc,
+    /// An RA query with at least one set difference.
+    Ra,
+    /// An aggregate query over an SPC block.
+    AggregateSpc,
+}
+
+/// A generated query together with its workload knobs.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// The query.
+    pub query: BeasQuery,
+    /// Query kind.
+    pub kind: QueryKind,
+    /// Number of selection predicates (`#-sel`).
+    pub num_sel: usize,
+    /// Number of Cartesian products (`#-prod`).
+    pub num_prod: usize,
+}
+
+/// Configuration of the workload generator.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryGenConfig {
+    /// Number of queries to generate.
+    pub count: usize,
+    /// Inclusive range of `#-sel`.
+    pub sel_range: (usize, usize),
+    /// Inclusive range of `#-prod`.
+    pub prod_range: (usize, usize),
+    /// Fraction of aggregate SPC queries (the paper uses 30%).
+    pub aggregate_fraction: f64,
+    /// Maximum number of set differences in RA queries (the paper uses 0–3).
+    pub max_differences: usize,
+    /// RNG seed (workloads are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig {
+            count: 30,
+            sel_range: (3, 7),
+            prod_range: (0, 4),
+            aggregate_fraction: 0.3,
+            max_differences: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a query workload over a dataset.
+///
+/// Queries with empty exact answers tell the accuracy measures nothing (every
+/// method scores a vacuous 1.0), so the generator retries until the ground
+/// truth of the query's positive part is non-empty, like the paper's workload
+/// whose constants are drawn from the data.
+pub fn generate_workload(dataset: &Dataset, cfg: &QueryGenConfig) -> Vec<GeneratedQuery> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.count);
+    let mut fallback = Vec::new();
+    let mut attempts = 0usize;
+    while out.len() < cfg.count && attempts < cfg.count * 40 {
+        attempts += 1;
+        let num_sel = rng.gen_range(cfg.sel_range.0..=cfg.sel_range.1);
+        let num_prod = rng.gen_range(cfg.prod_range.0..=cfg.prod_range.1);
+        let aggregate = rng.gen_bool(cfg.aggregate_fraction);
+        let generated = if aggregate {
+            generate_aggregate(dataset, num_sel, num_prod.min(2), &mut rng)
+        } else {
+            let diffs = rng.gen_range(0..=cfg.max_differences);
+            generate_ra(dataset, num_sel, num_prod, diffs, &mut rng)
+        };
+        let Some(q) = generated else { continue };
+        if q.query.validate(&dataset.db.schema).is_err() {
+            continue;
+        }
+        // keep queries whose positive part produces answers; stash the rest as
+        // a fallback in case the data is too sparse to fill the workload
+        let informative = beas_core::exact_answers(&q.query, &dataset.db)
+            .map(|r| !r.is_empty())
+            .unwrap_or(false);
+        if informative {
+            out.push(q);
+        } else if fallback.len() < cfg.count {
+            fallback.push(q);
+        }
+    }
+    while out.len() < cfg.count {
+        match fallback.pop() {
+            Some(q) => out.push(q),
+            None => break,
+        }
+    }
+    out.truncate(cfg.count);
+    out
+}
+
+/// Generates a single SPC query with the given knobs, if possible.
+pub fn generate_spc(
+    dataset: &Dataset,
+    num_sel: usize,
+    num_prod: usize,
+    rng: &mut StdRng,
+) -> Option<SpcQuery> {
+    build_spc(dataset, num_sel, num_prod, rng).map(|(q, _)| q)
+}
+
+/// Generates an RA query with `diffs` set differences.
+fn generate_ra(
+    dataset: &Dataset,
+    num_sel: usize,
+    num_prod: usize,
+    diffs: usize,
+    rng: &mut StdRng,
+) -> Option<GeneratedQuery> {
+    let (base, tighten) = build_spc(dataset, num_sel, num_prod, rng)?;
+    let mut query = RaQuery::spc(base.clone());
+    for _ in 0..diffs {
+        // the negated side is the same query with one strictly tighter
+        // numeric selection, so the difference is non-trivial but compatible
+        let variant = tighten(rng)?;
+        query = query.difference(RaQuery::spc(variant));
+    }
+    let kind = if diffs == 0 { QueryKind::Spc } else { QueryKind::Ra };
+    Some(GeneratedQuery {
+        query: BeasQuery::Ra(query),
+        kind,
+        num_sel,
+        num_prod,
+    })
+}
+
+/// Generates an aggregate SPC query.
+fn generate_aggregate(
+    dataset: &Dataset,
+    num_sel: usize,
+    num_prod: usize,
+    rng: &mut StdRng,
+) -> Option<GeneratedQuery> {
+    let (base, _) = build_spc(dataset, num_sel, num_prod, rng)?;
+    // group by the first categorical output if any, otherwise the first output
+    let cols: Vec<String> = base.output.iter().map(|o| o.name.clone()).collect();
+    if cols.len() < 2 {
+        return None;
+    }
+    let group = cols[0].clone();
+    let agg_col = cols[1].clone();
+    // numeric aggregates only make sense over numeric columns; fall back to
+    // count otherwise
+    let agg_col_numeric = base
+        .output_distances(&dataset.db.schema)
+        .ok()
+        .and_then(|d| d.get(1).copied())
+        .map(|k| k.is_numeric())
+        .unwrap_or(false);
+    let agg = if agg_col_numeric {
+        *[AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max]
+            .choose(rng)
+            .unwrap()
+    } else {
+        AggFunc::Count
+    };
+    let agg_query = AggQuery::new(RaQuery::spc(base), vec![group], agg, agg_col, "agg_value").ok()?;
+    Some(GeneratedQuery {
+        query: BeasQuery::Aggregate(agg_query),
+        kind: QueryKind::AggregateSpc,
+        num_sel,
+        num_prod,
+    })
+}
+
+/// A candidate attribute for selections or outputs.
+#[derive(Debug, Clone)]
+struct AttrRef {
+    atom: usize,
+    attr: String,
+    kind: DistanceKind,
+    from_constraint: bool,
+}
+
+type TightenFn = Box<dyn Fn(&mut StdRng) -> Option<SpcQuery>>;
+
+/// Builds one SPC query and a closure that produces "tightened" variants of it
+/// (used as the negated side of set differences).
+fn build_spc(
+    dataset: &Dataset,
+    num_sel: usize,
+    num_prod: usize,
+    rng: &mut StdRng,
+) -> Option<(SpcQuery, TightenFn)> {
+    let db = &dataset.db;
+    let schema = &db.schema;
+
+    // ---- choose a connected chain of relations --------------------------------
+    let mut relations: Vec<String> = Vec::new();
+    let start = schema.relations[rng.gen_range(0..schema.relations.len())]
+        .name
+        .clone();
+    relations.push(start);
+    let mut joins: Vec<(usize, String, usize, String)> = Vec::new(); // (atom a, attr, atom b, attr)
+    for _ in 0..num_prod {
+        // find edges connecting the current set to a fresh relation
+        let mut options = Vec::new();
+        for (ai, rel) in relations.iter().enumerate() {
+            for edge in &dataset.join_edges {
+                if let Some((other_rel, other_attr, this_attr)) = edge.other_end(rel) {
+                    if !relations.iter().any(|r| r == other_rel) {
+                        options.push((ai, this_attr.to_string(), other_rel.to_string(), other_attr.to_string()));
+                    }
+                }
+            }
+        }
+        if options.is_empty() {
+            break;
+        }
+        let (ai, this_attr, other_rel, other_attr) = options[rng.gen_range(0..options.len())].clone();
+        relations.push(other_rel);
+        joins.push((ai, this_attr, relations.len() - 1, other_attr));
+    }
+
+    // ---- build the atoms and joins ---------------------------------------------
+    let mut builder = SpcQueryBuilder::new(schema);
+    let mut atom_ids = Vec::new();
+    for (i, rel) in relations.iter().enumerate() {
+        atom_ids.push(builder.atom(rel, &format!("t{i}")).ok()?);
+    }
+    for (a, a_attr, b, b_attr) in &joins {
+        builder
+            .join((atom_ids[*a], a_attr.as_str()), (atom_ids[*b], b_attr.as_str()))
+            .ok()?;
+    }
+
+    // ---- candidate attributes ---------------------------------------------------
+    let mut candidates: Vec<AttrRef> = Vec::new();
+    for (ai, rel) in relations.iter().enumerate() {
+        let rel_schema = schema.relation(rel).ok()?;
+        for attr in &rel_schema.attributes {
+            if attr.distance == DistanceKind::Trivial {
+                // skip surrogate keys and free-text attributes: joins still use
+                // them, but selections/outputs stick to attributes with a
+                // meaningful distance (as the paper's query workload does)
+                continue;
+            }
+            let from_constraint = dataset
+                .constraints
+                .iter()
+                .any(|c| c.relation == *rel && c.x.contains(&attr.name));
+            candidates.push(AttrRef {
+                atom: atom_ids[ai],
+                attr: attr.name.clone(),
+                kind: attr.distance,
+                from_constraint,
+            });
+        }
+    }
+    if candidates.is_empty() {
+        return None;
+    }
+
+    // ---- selections -------------------------------------------------------------
+    // Half of the selection attributes come from access-constraint keys.
+    let constraint_candidates: Vec<AttrRef> = candidates
+        .iter()
+        .filter(|c| c.from_constraint)
+        .cloned()
+        .collect();
+    let mut numeric_sel: Option<(usize, String, f64)> = None;
+    for i in 0..num_sel {
+        let pool = if i % 2 == 0 && !constraint_candidates.is_empty() {
+            &constraint_candidates
+        } else {
+            &candidates
+        };
+        let cand = &pool[rng.gen_range(0..pool.len())];
+        let value = sample_value(db, &relations_of(&cand.atom, &atom_ids, &relations), &cand.attr, rng)?;
+        match cand.kind {
+            k if k.is_numeric() => {
+                let op = if rng.gen_bool(0.5) { CompareOp::Le } else { CompareOp::Ge };
+                builder.filter_const(cand.atom, &cand.attr, op, value.clone()).ok()?;
+                if numeric_sel.is_none() {
+                    if let Some(v) = value.as_f64() {
+                        numeric_sel = Some((cand.atom, cand.attr.clone(), v));
+                    }
+                }
+            }
+            _ => {
+                builder
+                    .filter_const(cand.atom, &cand.attr, CompareOp::Eq, value.clone())
+                    .ok()?;
+            }
+        }
+    }
+
+    // ---- outputs: one categorical (if any) + one or two numeric ------------------
+    let categorical: Vec<&AttrRef> = candidates
+        .iter()
+        .filter(|c| matches!(c.kind, DistanceKind::Categorical))
+        .collect();
+    let numeric: Vec<&AttrRef> = candidates
+        .iter()
+        .filter(|c| c.kind.is_numeric())
+        .collect();
+    let mut used_names: Vec<String> = Vec::new();
+    if let Some(cat) = categorical.first() {
+        let name = format!("{}_{}", relations[cat.atom.min(relations.len() - 1)], cat.attr);
+        builder.output(cat.atom, &cat.attr, &name).ok()?;
+        used_names.push(name);
+    }
+    for n in numeric.iter().take(2) {
+        let name = format!("{}_{}", relations[n.atom.min(relations.len() - 1)], n.attr);
+        if used_names.contains(&name) {
+            continue;
+        }
+        builder.output(n.atom, &n.attr, &name).ok()?;
+        used_names.push(name);
+    }
+    if used_names.is_empty() {
+        // relations with neither numeric nor categorical attributes (pure
+        // dimension keys) cannot anchor a meaningful query
+        return None;
+    }
+
+    let base = builder.build().ok()?;
+
+    // ---- the "tighten" closure for set differences -------------------------------
+    let tighten_base = base.clone();
+    let tighten: TightenFn = Box::new(move |rng: &mut StdRng| {
+        let mut variant = tighten_base.clone();
+        // tighten the first numeric selection by a random factor; when there
+        // is none, add a synthetic numeric restriction on an output variable
+        let mut changed = false;
+        for sel in &mut variant.selections {
+            if let beas_relal::SelCond::VarConst { op, value, .. } = sel {
+                if let Some(v) = value.as_f64() {
+                    if matches!(op, CompareOp::Le) {
+                        *value = Value::Double(v * rng.gen_range(0.3..0.8));
+                        changed = true;
+                        break;
+                    }
+                    if matches!(op, CompareOp::Ge) {
+                        *value = Value::Double(v * rng.gen_range(1.2..2.0));
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !changed {
+            // fall back: negate on an output variable being below its median-ish value
+            let out_var = variant.output.last()?.var;
+            variant.selections.push(beas_relal::SelCond::VarConst {
+                var: out_var,
+                op: CompareOp::Le,
+                value: Value::Double(0.0),
+            });
+        }
+        Some(variant)
+    });
+    let _ = numeric_sel;
+    Some((base, tighten))
+}
+
+/// The relation name of an atom id (helper for value sampling).
+fn relations_of(atom: &usize, atom_ids: &[usize], relations: &[String]) -> String {
+    let idx = atom_ids.iter().position(|a| a == atom).unwrap_or(0);
+    relations[idx].clone()
+}
+
+/// Samples an existing value of `relation.attr` from the database.
+fn sample_value(db: &Database, relation: &str, attr: &str, rng: &mut StdRng) -> Option<Value> {
+    let rel = db.relation(relation).ok()?;
+    if rel.is_empty() {
+        return None;
+    }
+    let idx = rel.column_index(attr).ok()?;
+    let row = &rel.rows[rng.gen_range(0..rel.len())];
+    Some(row[idx].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{airca::airca_lite, tfacc::tfacc_lite, tpch::tpch_lite};
+    use beas_core::exact_answers;
+
+    #[test]
+    fn workload_has_requested_size_and_mix() {
+        let dataset = tpch_lite(1, 11);
+        let cfg = QueryGenConfig {
+            count: 30,
+            seed: 5,
+            ..QueryGenConfig::default()
+        };
+        let queries = generate_workload(&dataset, &cfg);
+        assert_eq!(queries.len(), 30);
+        let aggregates = queries.iter().filter(|q| q.kind == QueryKind::AggregateSpc).count();
+        assert!(aggregates > 0, "expected some aggregate queries");
+        assert!(aggregates < 30, "expected some non-aggregate queries");
+        for q in &queries {
+            assert!(q.num_sel >= 3 && q.num_sel <= 7);
+            assert!(q.num_prod <= 4);
+            q.query.validate(&dataset.db.schema).unwrap();
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_per_seed() {
+        let dataset = tfacc_lite(1, 3);
+        let cfg = QueryGenConfig {
+            count: 10,
+            seed: 9,
+            ..QueryGenConfig::default()
+        };
+        let a = generate_workload(&dataset, &cfg);
+        let b = generate_workload(&dataset, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.query, y.query);
+        }
+    }
+
+    #[test]
+    fn generated_queries_evaluate_on_ground_truth() {
+        let dataset = airca_lite(1, 2);
+        let cfg = QueryGenConfig {
+            count: 8,
+            seed: 21,
+            ..QueryGenConfig::default()
+        };
+        let queries = generate_workload(&dataset, &cfg);
+        assert!(!queries.is_empty());
+        for q in &queries {
+            // must not error; empty answers are fine
+            exact_answers(&q.query, &dataset.db).unwrap();
+        }
+    }
+
+    #[test]
+    fn difference_queries_have_multiple_leaves() {
+        let dataset = tpch_lite(1, 4);
+        let cfg = QueryGenConfig {
+            count: 40,
+            aggregate_fraction: 0.0,
+            seed: 17,
+            ..QueryGenConfig::default()
+        };
+        let queries = generate_workload(&dataset, &cfg);
+        let with_diff = queries.iter().filter(|q| q.kind == QueryKind::Ra).count();
+        assert!(with_diff > 0, "expected some difference queries");
+        for q in &queries {
+            if q.kind == QueryKind::Ra {
+                assert!(q.query.ra().num_differences() >= 1);
+                assert!(q.query.ra().num_differences() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn spc_generator_controls_products() {
+        let dataset = tfacc_lite(1, 3);
+        let mut rng = StdRng::seed_from_u64(33);
+        for target in 0..3usize {
+            if let Some(q) = generate_spc(&dataset, 4, target, &mut rng) {
+                assert!(q.relation_count() <= target + 1);
+                assert!(q.relation_count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sel_counts_are_at_least_the_requested_explicit_predicates() {
+        let dataset = tpch_lite(1, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        // the builder adds exactly `num_sel` explicit conditions (joins and
+        // tableau constants come on top); some random chains may not support
+        // a query, so try a few draws
+        let q = (0..10)
+            .find_map(|_| generate_spc(&dataset, 5, 1, &mut rng))
+            .unwrap();
+        assert_eq!(q.selections.len(), 5);
+    }
+}

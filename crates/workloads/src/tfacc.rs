@@ -1,0 +1,249 @@
+//! TFACC-lite: a synthetic stand-in for the paper's TFACC dataset (UK road
+//! accidents 1979–2005 \[3\] + National Public Transport Access Nodes \[4\],
+//! 89.7 M tuples / 21.4 GB).
+//!
+//! The generator mirrors the relational shape used by the experiments: an
+//! accidents fact table keyed by road, with per-accident vehicles and
+//! casualties detail tables and a roads dimension table.
+
+use beas_core::ConstraintSpec;
+use beas_relal::{Attribute, Database, DatabaseSchema, RelationSchema, Value, ValueType};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::{Dataset, JoinEdge};
+
+/// Road classes.
+const ROAD_CLASSES: [&str; 4] = ["Motorway", "A", "B", "Unclassified"];
+/// Regions.
+const REGIONS: [&str; 6] = ["London", "SouthEast", "Midlands", "North", "Scotland", "Wales"];
+/// Weather conditions.
+const WEATHER: [&str; 4] = ["Fine", "Rain", "Snow", "Fog"];
+/// Vehicle types.
+const VEHICLE_TYPES: [&str; 5] = ["Car", "Motorcycle", "HGV", "Bus", "Bicycle"];
+/// Casualty classes.
+const CASUALTY_CLASSES: [&str; 3] = ["Driver", "Passenger", "Pedestrian"];
+
+/// The TFACC-lite schema.
+pub fn tfacc_schema() -> DatabaseSchema {
+    DatabaseSchema::new(vec![
+        RelationSchema::new(
+            "roads",
+            vec![
+                Attribute::id("road_id"),
+                Attribute::categorical("road_class"),
+                // numeric distances are normalised by the attribute's range
+                Attribute::scaled("speed_limit", ValueType::Int, 70),
+                Attribute::categorical("region"),
+            ],
+        ),
+        RelationSchema::new(
+            "accidents",
+            vec![
+                Attribute::id("accident_id"),
+                Attribute::id("road_id"),
+                Attribute::scaled("year", ValueType::Int, 30),
+                Attribute::scaled("month", ValueType::Int, 12),
+                Attribute::scaled("severity", ValueType::Int, 3),
+                Attribute::scaled("num_vehicles", ValueType::Int, 3),
+                Attribute::scaled("num_casualties", ValueType::Int, 3),
+                Attribute::categorical("weather"),
+            ],
+        ),
+        RelationSchema::new(
+            "vehicles",
+            vec![
+                Attribute::id("vehicle_id"),
+                Attribute::id("accident_id"),
+                Attribute::categorical("vehicle_type"),
+                Attribute::scaled("driver_age", ValueType::Int, 90),
+            ],
+        ),
+        RelationSchema::new(
+            "casualties",
+            vec![
+                Attribute::id("casualty_id"),
+                Attribute::id("accident_id"),
+                Attribute::categorical("casualty_class"),
+                Attribute::scaled("age", ValueType::Int, 95),
+                Attribute::scaled("severity", ValueType::Int, 3),
+            ],
+        ),
+    ])
+}
+
+/// Generates a TFACC-lite dataset.
+///
+/// Base cardinalities (scale 1): 60 roads, 400 accidents, ~700 vehicles,
+/// ~550 casualties. Accidents are skewed towards a few dangerous roads.
+pub fn tfacc_lite(scale: usize, seed: u64) -> Dataset {
+    let scale = scale.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new(tfacc_schema());
+
+    let n_roads = 60 * scale.min(4).max(1);
+    let n_accidents = 400 * scale;
+
+    for i in 0..n_roads {
+        let class = ROAD_CLASSES[i % ROAD_CLASSES.len()];
+        let speed = match class {
+            "Motorway" => 70,
+            "A" => 60,
+            "B" => 40,
+            _ => 30,
+        };
+        db.insert_row(
+            "roads",
+            vec![
+                Value::Int(i as i64),
+                Value::from(class),
+                Value::Int(speed),
+                Value::from(REGIONS[i % REGIONS.len()]),
+            ],
+        )
+        .expect("roads row");
+    }
+
+    let mut vehicle_id = 0i64;
+    let mut casualty_id = 0i64;
+    for i in 0..n_accidents {
+        // a few roads attract most accidents
+        let road = ((rng.gen_range(0.0f64..1.0)).powi(2) * n_roads as f64) as i64;
+        let severity = rng.gen_range(1..4); // 1 fatal … 3 slight (UK coding)
+        let num_vehicles = rng.gen_range(1..4);
+        let num_casualties = rng.gen_range(1..4);
+        db.insert_row(
+            "accidents",
+            vec![
+                Value::Int(i as i64),
+                Value::Int(road.min(n_roads as i64 - 1)),
+                Value::Int(rng.gen_range(1979..2006)),
+                Value::Int(rng.gen_range(1..13)),
+                Value::Int(severity),
+                Value::Int(num_vehicles),
+                Value::Int(num_casualties),
+                Value::from(WEATHER[rng.gen_range(0..WEATHER.len())]),
+            ],
+        )
+        .expect("accidents row");
+        for _ in 0..num_vehicles {
+            db.insert_row(
+                "vehicles",
+                vec![
+                    Value::Int(vehicle_id),
+                    Value::Int(i as i64),
+                    Value::from(VEHICLE_TYPES[rng.gen_range(0..VEHICLE_TYPES.len())]),
+                    Value::Int(rng.gen_range(17..90)),
+                ],
+            )
+            .expect("vehicles row");
+            vehicle_id += 1;
+        }
+        for _ in 0..num_casualties {
+            db.insert_row(
+                "casualties",
+                vec![
+                    Value::Int(casualty_id),
+                    Value::Int(i as i64),
+                    Value::from(CASUALTY_CLASSES[rng.gen_range(0..CASUALTY_CLASSES.len())]),
+                    Value::Int(rng.gen_range(1..95)),
+                    Value::Int(rng.gen_range(1..4)),
+                ],
+            )
+            .expect("casualties row");
+            casualty_id += 1;
+        }
+    }
+
+    Dataset {
+        name: "TFACC".to_string(),
+        db,
+        constraints: vec![
+            ConstraintSpec::new("roads", &["road_id"], &["road_class", "speed_limit", "region"]),
+            ConstraintSpec::new("vehicles", &["accident_id"], &["vehicle_type", "driver_age"]),
+            ConstraintSpec::new("casualties", &["accident_id"], &["casualty_class", "age", "severity"]),
+            ConstraintSpec::new(
+                "accidents",
+                &["road_id"],
+                &["accident_id", "year", "severity", "num_casualties"],
+            ),
+            ConstraintSpec::new(
+                "accidents",
+                &["year", "weather"],
+                &["accident_id", "road_id", "severity", "num_vehicles", "num_casualties"],
+            ),
+        ],
+        join_edges: vec![
+            JoinEdge::new("accidents", "road_id", "roads", "road_id"),
+            JoinEdge::new("vehicles", "accident_id", "accidents", "accident_id"),
+            JoinEdge::new("casualties", "accident_id", "accidents", "accident_id"),
+        ],
+        qcs: vec![
+            ("accidents".to_string(), vec!["year".to_string(), "weather".to_string()]),
+            ("vehicles".to_string(), vec!["vehicle_type".to_string()]),
+            ("casualties".to_string(), vec!["casualty_class".to_string()]),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detail_tables_are_consistent_with_accident_counters() {
+        let d = tfacc_lite(1, 4);
+        let accidents = d.db.relation("accidents").unwrap();
+        let total_vehicles: i64 = accidents.rows.iter().map(|r| r[5].as_i64().unwrap()).sum();
+        let total_casualties: i64 = accidents.rows.iter().map(|r| r[6].as_i64().unwrap()).sum();
+        assert_eq!(d.db.relation("vehicles").unwrap().len() as i64, total_vehicles);
+        assert_eq!(d.db.relation("casualties").unwrap().len() as i64, total_casualties);
+    }
+
+    #[test]
+    fn accident_road_references_exist() {
+        let d = tfacc_lite(2, 6);
+        let n_roads = d.db.relation("roads").unwrap().len() as i64;
+        for row in &d.db.relation("accidents").unwrap().rows {
+            let rid = row[1].as_i64().unwrap();
+            assert!(rid >= 0 && rid < n_roads);
+        }
+    }
+
+    #[test]
+    fn accidents_are_skewed_across_roads() {
+        let d = tfacc_lite(3, 8);
+        let n_roads = d.db.relation("roads").unwrap().len();
+        let mut per_road = vec![0usize; n_roads];
+        for row in &d.db.relation("accidents").unwrap().rows {
+            per_road[row[1].as_i64().unwrap() as usize] += 1;
+        }
+        let max = *per_road.iter().max().unwrap();
+        let avg = d.db.relation("accidents").unwrap().len() / n_roads;
+        assert!(max > 2 * avg.max(1));
+    }
+
+    #[test]
+    fn metadata_is_consistent_with_schema() {
+        let d = tfacc_lite(1, 1);
+        for c in &d.constraints {
+            let rel = d.db.schema.relation(&c.relation).unwrap();
+            for a in c.x.iter().chain(c.y.iter()) {
+                rel.attr_index(a).unwrap();
+            }
+        }
+        for e in &d.join_edges {
+            d.db.schema.relation(&e.left_rel).unwrap().attr_index(&e.left_attr).unwrap();
+            d.db.schema.relation(&e.right_rel).unwrap().attr_index(&e.right_attr).unwrap();
+        }
+    }
+
+    #[test]
+    fn scale_increases_accident_volume() {
+        let d1 = tfacc_lite(1, 2);
+        let d2 = tfacc_lite(2, 2);
+        assert_eq!(d1.db.relation("accidents").unwrap().len(), 400);
+        assert_eq!(d2.db.relation("accidents").unwrap().len(), 800);
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: build an access schema over a small table and answer a query
+//! under a resource ratio, exactly when possible and approximately otherwise.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use beas::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------ the data
+    // A catalogue of points of interest; in the paper's Example 1 this is the
+    // `poi(address, type, city, price)` relation.
+    let schema = DatabaseSchema::new(vec![RelationSchema::new(
+        "poi",
+        vec![
+            Attribute::text("address"),
+            Attribute::categorical("type"),
+            Attribute::text("city"),
+            Attribute::double("price"),
+        ],
+    )]);
+    let mut db = Database::new(schema);
+    let cities = ["NYC", "LA", "Chicago", "Boston", "Seattle"];
+    let types = ["hotel", "museum", "restaurant"];
+    for i in 0..3000i64 {
+        db.insert_row(
+            "poi",
+            vec![
+                Value::from(format!("{} Main St", i)),
+                Value::from(types[(i % 3) as usize]),
+                Value::from(cities[(i % 5) as usize]),
+                Value::Double(30.0 + ((i * 37) % 400) as f64),
+            ],
+        )
+        .unwrap();
+    }
+    println!("|D| = {} tuples", db.total_tuples());
+
+    // ------------------------------------------------- offline: access schema
+    // One access constraint poi({type, city} -> {price}); BEAS derives the
+    // multi-resolution templates psi_1..psi_m from it and also builds the
+    // canonical schema A_t, so every query is answerable under any ratio.
+    let engine = Beas::build(&db, &[ConstraintSpec::new("poi", &["type", "city"], &["price"])])
+        .expect("catalog construction");
+    let report = engine.catalog().index_size_report();
+    println!(
+        "access schema: {} families, total index = {:.2} x |D|",
+        engine.catalog().len(),
+        report.total_ratio()
+    );
+
+    // ------------------------------------------------------ online: the query
+    // "hotels in NYC costing at most $95 per night"
+    let mut b = SpcQueryBuilder::new(&db.schema);
+    let h = b.atom("poi", "h").unwrap();
+    b.bind_const(h, "type", "hotel").unwrap();
+    b.bind_const(h, "city", "NYC").unwrap();
+    b.filter_const(h, "price", CompareOp::Le, 95i64).unwrap();
+    b.output(h, "price", "price").unwrap();
+    let query: BeasQuery = b.build().unwrap().into();
+
+    let exact = exact_answers(&query, &db).unwrap();
+    println!("\nexact answers: {} hotels under $95 in NYC", exact.len());
+
+    // ----------------------------------------------- vary the resource ratio
+    for alpha in [0.002, 0.01, 0.05, 0.3] {
+        let answer = engine.answer(&query, alpha).expect("bounded answering");
+        let accuracy = rc_accuracy(&answer.answers, &query, &db, &AccuracyConfig::default())
+            .expect("accuracy");
+        println!(
+            "alpha = {:<6} budget = {:>5} tuples | accessed = {:>5} | answers = {:>3} | eta = {:.3} | measured RC accuracy = {:.3}{}",
+            alpha,
+            engine.catalog().budget_for(alpha),
+            answer.accessed,
+            answer.answers.len(),
+            answer.eta,
+            accuracy.accuracy,
+            if answer.exact { " (exact)" } else { "" },
+        );
+    }
+
+    println!(
+        "\nThe guarantee: the measured RC accuracy is never below the reported eta,\n\
+         and the number of accessed tuples never exceeds alpha * |D|."
+    );
+}

@@ -1,0 +1,149 @@
+//! Example 1 of the paper, end to end: Graph-Search-style queries over a
+//! social network (person / friend / poi).
+//!
+//! * `Q1`: hotels costing at most $95/night in a city where one of my friends
+//!   lives — needs access templates, answered approximately under small α and
+//!   exactly once the budget allows it.
+//! * `Q2`: the cities where my friends live — *boundedly evaluable*: BEAS
+//!   answers it exactly by accessing a constant number of tuples, no matter
+//!   how big the database grows.
+//!
+//! ```text
+//! cargo run --example social_poi
+//! ```
+
+use beas::prelude::*;
+
+/// Builds the person / friend / poi database of Example 1.
+fn build_database(n_people: i64, n_poi: i64) -> Database {
+    let schema = DatabaseSchema::new(vec![
+        RelationSchema::new(
+            "person",
+            vec![Attribute::id("pid"), Attribute::text("city"), Attribute::text("address")],
+        ),
+        RelationSchema::new("friend", vec![Attribute::id("pid"), Attribute::id("fid")]),
+        RelationSchema::new(
+            "poi",
+            vec![
+                Attribute::text("address"),
+                Attribute::categorical("type"),
+                Attribute::text("city"),
+                Attribute::double("price"),
+            ],
+        ),
+    ]);
+    let cities = ["NYC", "LA", "Chicago", "Boston", "Seattle", "Austin"];
+    let mut db = Database::new(schema);
+    for i in 0..n_people {
+        db.insert_row(
+            "person",
+            vec![
+                Value::Int(i),
+                Value::from(cities[(i % 6) as usize]),
+                Value::from(format!("{} Person Rd", i)),
+            ],
+        )
+        .unwrap();
+        // every person has up to 8 friends (the paper's Facebook limit is 5000)
+        for k in 1..=(i % 8) {
+            db.insert_row("friend", vec![Value::Int(i), Value::Int((i + k * 13) % n_people)])
+                .unwrap();
+        }
+    }
+    for i in 0..n_poi {
+        db.insert_row(
+            "poi",
+            vec![
+                Value::from(format!("{} Hotel Ave", i)),
+                Value::from(if i % 3 == 0 { "hotel" } else { "restaurant" }),
+                Value::from(cities[(i % 6) as usize]),
+                Value::Double(40.0 + ((i * 17) % 300) as f64),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Q1: hotels ≤ $95 in cities where a friend of `me` lives.
+fn q1(db: &Database, me: i64) -> BeasQuery {
+    let mut b = SpcQueryBuilder::new(&db.schema);
+    let f = b.atom("friend", "f").unwrap();
+    let p = b.atom("person", "p").unwrap();
+    let h = b.atom("poi", "h").unwrap();
+    b.bind_const(f, "pid", me).unwrap();
+    b.join((f, "fid"), (p, "pid")).unwrap();
+    b.join((p, "city"), (h, "city")).unwrap();
+    b.bind_const(h, "type", "hotel").unwrap();
+    b.filter_const(h, "price", CompareOp::Le, 95i64).unwrap();
+    b.output(h, "city", "city").unwrap();
+    b.output(h, "price", "price").unwrap();
+    b.build().unwrap().into()
+}
+
+/// Q2: the cities where my friends live.
+fn q2(db: &Database, me: i64) -> BeasQuery {
+    let mut b = SpcQueryBuilder::new(&db.schema);
+    let f = b.atom("friend", "f").unwrap();
+    let p = b.atom("person", "p").unwrap();
+    b.bind_const(f, "pid", me).unwrap();
+    b.join((f, "fid"), (p, "pid")).unwrap();
+    b.output(p, "city", "city").unwrap();
+    b.build().unwrap().into()
+}
+
+fn main() {
+    let db = build_database(4000, 3000);
+    println!("social network: |D| = {} tuples", db.total_tuples());
+
+    // The access schema A_0 of Example 1: friend(pid -> fid), person(pid ->
+    // city) as constraints, poi({type, city} -> {price, address}) with its
+    // multi-resolution templates.
+    let engine = Beas::build(
+        &db,
+        &[
+            ConstraintSpec::new("friend", &["pid"], &["fid"]),
+            ConstraintSpec::new("person", &["pid"], &["city"]),
+            ConstraintSpec::new("poi", &["type", "city"], &["price"]),
+        ],
+    )
+    .expect("catalog");
+
+    let me = 1234i64;
+
+    // ------------------------------------------------------------------- Q2
+    let query2 = q2(&db, me);
+    let exact2 = exact_answers(&query2, &db).unwrap();
+    let ratio = engine.exact_ratio(&query2).unwrap().unwrap_or(f64::NAN);
+    let answer2 = engine.answer(&query2, 0.01).unwrap();
+    println!("\nQ2 (cities of my friends) — boundedly evaluable");
+    println!("  exact ratio alpha_exact   = {ratio:.5}");
+    println!(
+        "  at alpha = 0.01: {} answers, exact = {}, accessed {} of budget {}",
+        answer2.answers.len(),
+        answer2.exact,
+        answer2.accessed,
+        answer2.budget
+    );
+    assert_eq!(answer2.answers.clone().sorted(), exact2.sorted());
+
+    // ------------------------------------------------------------------- Q1
+    let query1 = q1(&db, me);
+    let exact1 = exact_answers(&query1, &db).unwrap();
+    println!("\nQ1 (cheap hotels near friends) — {} exact answers", exact1.len());
+    for alpha in [0.005, 0.02, 0.1, 0.5] {
+        let answer = engine.answer(&query1, alpha).unwrap();
+        let acc = rc_accuracy(&answer.answers, &query1, &db, &AccuracyConfig::default()).unwrap();
+        println!(
+            "  alpha = {:<5} | accessed {:>5}/{:<5} | answers {:>3} | eta = {:.3} | RC = {:.3}{}",
+            alpha,
+            answer.accessed,
+            answer.budget,
+            answer.answers.len(),
+            answer.eta,
+            acc.accuracy,
+            if answer.exact { " (exact)" } else { "" }
+        );
+    }
+    println!("\nLike the paper's Example 1, the plan fetches friends and their cities\nthrough access constraints and hotel prices through the ψ_k template whose\nresolution the budget can afford; raising α upgrades ψ_k towards exactness.");
+}

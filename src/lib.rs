@@ -1,0 +1,80 @@
+//! # beas — Data Driven Approximation with Bounded Resources
+//!
+//! A from-scratch Rust implementation of **BEAS** (Cao & Fan, *Data Driven
+//! Approximation with Bounded Resources*, VLDB 2017): resource-bounded
+//! (approximate) query answering over relational data with a deterministic
+//! accuracy lower bound.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`relal`] — the relational substrate (values, schemas, RA, evaluation);
+//! * [`access`] — access schemas: templates, constraints, K-D tree indices,
+//!   budget-enforcing fetch;
+//! * [`core`] — the BEAS planner/executor/engine and the RC accuracy measure;
+//! * [`baselines`] — uniform sampling, histograms and BlinkDB-style stratified
+//!   sampling, for comparison;
+//! * [`workloads`] — synthetic TPCH/AIRCA/TFACC-like datasets and a random
+//!   query workload generator.
+//!
+//! The most convenient entry point is [`prelude`]:
+//!
+//! ```
+//! use beas::prelude::*;
+//!
+//! // build a small database
+//! let schema = DatabaseSchema::new(vec![RelationSchema::new(
+//!     "poi",
+//!     vec![Attribute::categorical("type"), Attribute::text("city"), Attribute::double("price")],
+//! )]);
+//! let mut db = Database::new(schema);
+//! for i in 0..200i64 {
+//!     db.insert_row("poi", vec![
+//!         Value::from(if i % 2 == 0 { "hotel" } else { "museum" }),
+//!         Value::from(if i % 5 == 0 { "NYC" } else { "LA" }),
+//!         Value::Double(40.0 + (i % 120) as f64),
+//!     ]).unwrap();
+//! }
+//!
+//! // offline: access schema; online: bounded answering
+//! let engine = Beas::build(&db, &[ConstraintSpec::new("poi", &["type", "city"], &["price"])]).unwrap();
+//! let mut q = SpcQueryBuilder::new(&db.schema);
+//! let h = q.atom("poi", "h").unwrap();
+//! q.bind_const(h, "type", "hotel").unwrap();
+//! q.bind_const(h, "city", "NYC").unwrap();
+//! q.output(h, "price", "price").unwrap();
+//! let query: BeasQuery = q.build().unwrap().into();
+//!
+//! let answer = engine.answer(&query, 0.1).unwrap();
+//! assert!(answer.accessed <= engine.catalog().budget_for(0.1));
+//! assert!(answer.eta > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use beas_access as access;
+pub use beas_baselines as baselines;
+pub use beas_core as core;
+pub use beas_relal as relal;
+pub use beas_workloads as workloads;
+
+/// Commonly used items from across the workspace.
+pub mod prelude {
+    pub use beas_access::{build_at, build_constraint, build_extended, AtOptions, Catalog, FetchSession};
+    pub use beas_baselines::{Baseline, BlinkSim, Histo, Sampl};
+    pub use beas_core::{
+        exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery, Beas,
+        BeasAnswer, BeasQuery, BoundedPlan, ConstraintSpec, Planner, RaQuery,
+    };
+    pub use beas_relal::{
+        AggFunc, Attribute, CompareOp, Database, DatabaseSchema, DistanceKind, Relation,
+        RelationSchema, SpcQuery, SpcQueryBuilder, Value,
+    };
+    pub use beas_workloads::{
+        airca::airca_lite,
+        querygen::{generate_workload, QueryGenConfig},
+        tfacc::tfacc_lite,
+        tpch::tpch_lite,
+        Dataset,
+    };
+}

@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the full BEAS pipeline (dataset → access
+//! schema → planning → bounded execution → accuracy measurement) over the
+//! synthetic workloads, checking the guarantees the paper states.
+
+use beas::prelude::*;
+
+/// Prepares a small TPCH-lite instance with its engine and workload.
+fn prepared() -> (Dataset, Beas, Vec<beas::workloads::querygen::GeneratedQuery>) {
+    let dataset = tpch_lite(1, 42);
+    let engine = Beas::build(&dataset.db, &dataset.constraints).expect("catalog");
+    let queries = generate_workload(
+        &dataset,
+        &QueryGenConfig {
+            count: 8,
+            seed: 9,
+            ..QueryGenConfig::default()
+        },
+    );
+    assert!(!queries.is_empty());
+    (dataset, engine, queries)
+}
+
+#[test]
+fn bounded_answers_respect_budget_and_eta_across_the_workload() {
+    let (dataset, engine, queries) = prepared();
+    let cfg = AccuracyConfig {
+        relax_grid: 3,
+        fallback_cap: 1000.0,
+    };
+    for alpha in [0.02, 0.1] {
+        let budget = engine.catalog().budget_for(alpha);
+        for gq in &queries {
+            let answer = match engine.answer(&gq.query, alpha) {
+                Ok(a) => a,
+                Err(e) => panic!("answering failed at alpha {alpha}: {e}"),
+            };
+            assert!(
+                answer.accessed <= budget,
+                "accessed {} tuples with budget {budget}",
+                answer.accessed
+            );
+            let measured = rc_accuracy(&answer.answers, &gq.query, &dataset.db, &cfg)
+                .expect("accuracy computation");
+            assert!(
+                measured.accuracy + 1e-9 >= answer.eta,
+                "measured RC accuracy {} below promised eta {}",
+                measured.accuracy,
+                answer.eta
+            );
+        }
+    }
+}
+
+#[test]
+fn full_ratio_reproduces_exact_answers_for_every_query() {
+    let (dataset, engine, queries) = prepared();
+    for gq in &queries {
+        let answer = engine.answer(&gq.query, 1.0).expect("answer at alpha = 1");
+        if !answer.exact {
+            // even when the planner cannot prove exactness, the answers must
+            // still respect the eta bound; skip the strict comparison
+            continue;
+        }
+        let exact = exact_answers(&gq.query, &dataset.db).expect("ground truth");
+        assert_eq!(
+            answer.answers.clone().sorted(),
+            exact.sorted(),
+            "exact plan produced different answers"
+        );
+    }
+}
+
+#[test]
+fn eta_is_monotone_in_alpha_for_every_query() {
+    let (_dataset, engine, queries) = prepared();
+    for gq in &queries {
+        let mut last = -1.0f64;
+        for alpha in [0.01, 0.05, 0.2, 1.0] {
+            let plan = engine.plan(&gq.query, alpha).expect("plan");
+            assert!(
+                plan.eta + 1e-12 >= last,
+                "eta decreased from {last} to {} at alpha {alpha}",
+                plan.eta
+            );
+            last = plan.eta;
+        }
+    }
+}
+
+#[test]
+fn planning_never_touches_more_than_the_declared_tariff() {
+    let (_dataset, engine, queries) = prepared();
+    for gq in &queries {
+        let plan = engine.plan(&gq.query, 0.1).expect("plan");
+        let outcome = engine.execute(&plan).expect("execute");
+        assert!(
+            outcome.accessed <= plan.tariff,
+            "executed accesses {} exceed the estimated tariff {}",
+            outcome.accessed,
+            plan.tariff
+        );
+    }
+}
+
+#[test]
+fn beas_beats_uniform_sampling_on_selective_queries() {
+    // the headline comparison of Exp-1, on a deliberately selective query
+    let dataset = tpch_lite(2, 11);
+    let engine = Beas::build(&dataset.db, &dataset.constraints).expect("catalog");
+
+    let mut b = SpcQueryBuilder::new(&dataset.db.schema);
+    let o = b.atom("orders", "o").unwrap();
+    b.filter_const(o, "o_status", CompareOp::Eq, "O").unwrap();
+    b.filter_const(o, "o_year", CompareOp::Eq, 1995i64).unwrap();
+    b.filter_const(o, "o_totalprice", CompareOp::Le, 20000i64).unwrap();
+    b.output(o, "o_year", "year").unwrap();
+    b.output(o, "o_totalprice", "total").unwrap();
+    let query: BeasQuery = b.build().unwrap().into();
+
+    let cfg = AccuracyConfig::default();
+    let alpha = 0.03;
+    let budget = engine.catalog().budget_for(alpha);
+
+    let beas_answer = engine.answer(&query, alpha).expect("beas answer");
+    let beas_rc = rc_accuracy(&beas_answer.answers, &query, &dataset.db, &cfg)
+        .unwrap()
+        .accuracy;
+
+    let sampl = Sampl::build(&dataset.db, budget, 3).expect("sample");
+    let sampl_answer = sampl
+        .answer(&query.to_query_expr(&dataset.db.schema).unwrap())
+        .expect("sampl answer");
+    let sampl_rc = rc_accuracy(&sampl_answer, &query, &dataset.db, &cfg)
+        .unwrap()
+        .accuracy;
+
+    assert!(
+        beas_rc >= sampl_rc,
+        "BEAS RC {beas_rc} should not be below uniform sampling RC {sampl_rc} on a selective query"
+    );
+    assert!(beas_rc > 0.5, "BEAS should be accurate here, got {beas_rc}");
+}
+
+#[test]
+fn index_sizes_stay_within_a_small_multiple_of_the_data() {
+    for dataset in [tpch_lite(1, 5), tfacc_lite(1, 5), airca_lite(1, 5)] {
+        let engine = Beas::build(&dataset.db, &dataset.constraints).expect("catalog");
+        let report = engine.catalog().index_size_report();
+        let ratio = report.total_ratio();
+        assert!(
+            ratio > 0.0 && ratio < 15.0,
+            "index ratio {ratio} for {} outside the expected range",
+            dataset.name
+        );
+        assert!(report.constraint_ratio() <= ratio);
+    }
+}
+
+#[test]
+fn exact_ratio_shrinks_relative_to_growing_data() {
+    // Exp-3: as |D| grows, the fraction needed for exact answers shrinks
+    let mut b_small = None;
+    let mut b_large = None;
+    for (scale, slot) in [(1usize, &mut b_small), (4usize, &mut b_large)] {
+        let dataset = tpch_lite(scale, 21);
+        let engine = Beas::build(&dataset.db, &dataset.constraints).expect("catalog");
+        let mut q = SpcQueryBuilder::new(&dataset.db.schema);
+        let c = q.atom("customer", "c").unwrap();
+        let o = q.atom("orders", "o").unwrap();
+        q.join((o, "o_custkey"), (c, "c_custkey")).unwrap();
+        q.filter_const(c, "c_custkey", CompareOp::Eq, 7i64).unwrap();
+        q.output(o, "o_totalprice", "total").unwrap();
+        q.output(o, "o_year", "year").unwrap();
+        let query: BeasQuery = q.build().unwrap().into();
+        *slot = engine.exact_ratio(&query).expect("exact ratio");
+    }
+    let (small, large) = (b_small.unwrap(), b_large.unwrap());
+    assert!(
+        large <= small + 1e-9,
+        "alpha_exact should not grow with |D|: small = {small}, large = {large}"
+    );
+}

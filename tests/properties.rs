@@ -1,0 +1,169 @@
+//! Property-based tests of the core invariants, across crates:
+//!
+//! * index conformance (`D |= ψ`): every tuple is within the level resolution
+//!   of some representative, at every level;
+//! * the resource bound: executed plans never access more than `α·|D|` tuples;
+//! * the accuracy guarantee: the measured RC accuracy is never below the
+//!   reported η;
+//! * monotonicity of η in α;
+//! * total order / hashing consistency of values.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use beas::access::{build_extended, multilevel_partition};
+use beas::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a small POI-style database from generated rows.
+fn poi_db(rows: &[(u8, u8, i32)]) -> Database {
+    let schema = DatabaseSchema::new(vec![RelationSchema::new(
+        "poi",
+        vec![
+            Attribute::categorical("type"),
+            Attribute::text("city"),
+            Attribute::double("price"),
+        ],
+    )]);
+    let types = ["hotel", "museum", "cafe"];
+    let cities = ["NYC", "LA", "Chicago", "Boston"];
+    let mut db = Database::new(schema);
+    for (t, c, p) in rows {
+        db.insert_row(
+            "poi",
+            vec![
+                Value::from(types[(*t as usize) % types.len()]),
+                Value::from(cities[(*c as usize) % cities.len()]),
+                Value::Double(*p as f64),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conformance of the multi-resolution partitioning (Sec. 2.1): at every
+    /// level, every input tuple is within the level's resolution of some
+    /// representative, and representative counts add up to the input size.
+    #[test]
+    fn partition_levels_conform(values in prop::collection::vec(-1000i32..1000, 1..60)) {
+        let tuples: Vec<Vec<Value>> = values.iter().map(|&v| vec![Value::Double(v as f64)]).collect();
+        let levels = multilevel_partition(&tuples, &[DistanceKind::Numeric]);
+        prop_assert!(!levels.is_empty());
+        prop_assert!(levels.last().unwrap().is_exact());
+        for level in &levels {
+            let total: u64 = level.reps.iter().map(|r| r.count).sum();
+            prop_assert_eq!(total as usize, tuples.len());
+            for t in &tuples {
+                let covered = level.reps.iter().any(|r| {
+                    DistanceKind::Numeric.distance(&r.values[0], &t[0]) <= level.resolution[0] + 1e-9
+                });
+                prop_assert!(covered, "uncovered tuple at resolution {:?}", level.resolution);
+            }
+        }
+    }
+
+    /// Executed plans respect the access budget and the reported η for a
+    /// simple selective query over random data.
+    #[test]
+    fn budget_and_eta_hold_on_random_data(
+        rows in prop::collection::vec((0u8..3, 0u8..4, 0i32..500), 20..120),
+        alpha_milli in 20u32..500,
+    ) {
+        let db = poi_db(&rows);
+        let alpha = alpha_milli as f64 / 1000.0;
+        let engine = Beas::build(&db, &[ConstraintSpec::new("poi", &["type", "city"], &["price"])]).unwrap();
+
+        let mut b = SpcQueryBuilder::new(&db.schema);
+        let h = b.atom("poi", "h").unwrap();
+        b.bind_const(h, "type", "hotel").unwrap();
+        b.bind_const(h, "city", "NYC").unwrap();
+        b.filter_const(h, "price", CompareOp::Le, 250i64).unwrap();
+        b.output(h, "price", "price").unwrap();
+        let query: BeasQuery = b.build().unwrap().into();
+
+        let answer = engine.answer(&query, alpha).unwrap();
+        prop_assert!(answer.accessed <= engine.catalog().budget_for(alpha));
+
+        let cfg = AccuracyConfig { relax_grid: 3, fallback_cap: 1000.0 };
+        let measured = rc_accuracy(&answer.answers, &query, &db, &cfg).unwrap();
+        prop_assert!(
+            measured.accuracy + 1e-9 >= answer.eta,
+            "measured {} < eta {}", measured.accuracy, answer.eta
+        );
+    }
+
+    /// η never decreases when the ratio grows (Theorem 5(3) / Theorem 1).
+    #[test]
+    fn eta_monotone_in_alpha(
+        rows in prop::collection::vec((0u8..3, 0u8..4, 0i32..500), 30..100),
+    ) {
+        let db = poi_db(&rows);
+        let engine = Beas::build(&db, &[ConstraintSpec::new("poi", &["type", "city"], &["price"])]).unwrap();
+        let mut b = SpcQueryBuilder::new(&db.schema);
+        let h = b.atom("poi", "h").unwrap();
+        b.bind_const(h, "type", "museum").unwrap();
+        b.bind_const(h, "city", "LA").unwrap();
+        b.output(h, "price", "price").unwrap();
+        let query: BeasQuery = b.build().unwrap().into();
+
+        let mut last = -1.0f64;
+        for alpha in [0.02, 0.1, 0.4, 1.0] {
+            let plan = engine.plan(&query, alpha).unwrap();
+            prop_assert!(plan.eta + 1e-12 >= last);
+            last = plan.eta;
+        }
+    }
+
+    /// Extended template families built from data always conform: every base
+    /// tuple's Y-projection is within the level resolution of a representative
+    /// returned for its X-value.
+    #[test]
+    fn extended_families_conform(
+        rows in prop::collection::vec((0u8..3, 0u8..4, 0i32..300), 5..80),
+    ) {
+        let db = poi_db(&rows);
+        let family = build_extended(&db, "poi", &["city"], &["price"]).unwrap();
+        let rel = db.relation("poi").unwrap();
+        for level in 0..family.num_levels() {
+            let res = family.levels[level].resolution[0];
+            for row in &rel.rows {
+                let key = vec![row[1].clone()];
+                let reps = family.lookup(level, &key).unwrap();
+                let covered = reps.iter().any(|r| {
+                    DistanceKind::Numeric.distance(&r.values[0], &row[2]) <= res + 1e-9
+                });
+                prop_assert!(covered);
+            }
+        }
+    }
+
+    /// Value ordering is antisymmetric and consistent with equality/hashing.
+    #[test]
+    fn value_order_and_hash_consistent(a in -1000i64..1000, b in -1000i64..1000) {
+        let (va, vb) = (Value::Int(a), Value::Double(b as f64));
+        if va == vb {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            va.hash(&mut ha);
+            vb.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+        prop_assert_eq!(va < vb, vb > va.clone());
+        prop_assert_eq!(va.cmp(&vb).reverse(), vb.cmp(&va));
+    }
+
+    /// Relation dedup is idempotent and never grows the relation.
+    #[test]
+    fn dedup_is_idempotent(values in prop::collection::vec(0i64..50, 0..100)) {
+        let rows: Vec<Vec<Value>> = values.iter().map(|&v| vec![Value::Int(v)]).collect();
+        let rel = Relation::new(vec!["v".into()], rows).unwrap();
+        let once = rel.clone().deduped();
+        let twice = once.clone().deduped();
+        prop_assert!(once.len() <= rel.len());
+        prop_assert_eq!(once.clone().sorted(), twice.sorted());
+    }
+}
