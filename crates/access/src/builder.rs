@@ -36,7 +36,11 @@ pub struct AtOptions {
 pub fn build_at(db: &Database, opts: &AtOptions) -> Result<Vec<TemplateFamily>> {
     let mut families = Vec::new();
     for rel_schema in &db.schema.relations {
-        let attrs: Vec<&str> = rel_schema.attributes.iter().map(|a| a.name.as_str()).collect();
+        let attrs: Vec<&str> = rel_schema
+            .attributes
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         let mut family = build_family(db, &rel_schema.name, &[], &attrs, opts.level_cap)?;
         family.from_constraint = false;
         families.push(family);
@@ -57,14 +61,18 @@ pub fn build_constraint(
     let (y_idx, _) = resolve_attrs(db, relation, y_attrs)?;
     let rel = db.relation(relation)?;
 
-    let mut buckets: HashMap<Vec<Value>, HashMap<Vec<Value>, (u64, Vec<Option<f64>>)>> =
-        HashMap::new();
+    // X-value → Y-value → (multiplicity, per-attribute sums)
+    type GroupStats = HashMap<Vec<Value>, (u64, Vec<Option<f64>>)>;
+    let mut buckets: HashMap<Vec<Value>, GroupStats> = HashMap::new();
     for row in &rel.rows {
         let key: Vec<Value> = x_idx.iter().map(|&i| row[i].clone()).collect();
         let yval: Vec<Value> = y_idx.iter().map(|&i| row[i].clone()).collect();
         let entry = buckets.entry(key).or_default();
         let stats = entry.entry(yval.clone()).or_insert_with(|| {
-            (0, yval.iter().map(|_| Some(0.0)).collect::<Vec<Option<f64>>>())
+            (
+                0,
+                yval.iter().map(|_| Some(0.0)).collect::<Vec<Option<f64>>>(),
+            )
         });
         stats.0 += 1;
         for (j, v) in yval.iter().enumerate() {
@@ -81,7 +89,11 @@ pub fn build_constraint(
     for (key, group) in buckets {
         let mut reps: Vec<Rep> = group
             .into_iter()
-            .map(|(values, (count, sums))| Rep { values, count, sums })
+            .map(|(values, (count, sums))| Rep {
+                values,
+                count,
+                sums,
+            })
             .collect();
         reps.sort_by(|a, b| a.values.cmp(&b.values));
         max_group = max_group.max(reps.len());
@@ -294,12 +306,7 @@ mod tests {
     fn constraint_n_is_max_group_size() {
         let db = poi_db(30);
         let f = build_constraint(&db, "poi", &["type"], &["city", "price"]).unwrap();
-        let max_bucket = f.levels[0]
-            .buckets
-            .values()
-            .map(|v| v.len())
-            .max()
-            .unwrap();
+        let max_bucket = f.levels[0].buckets.values().map(|v| v.len()).max().unwrap();
         assert_eq!(f.levels[0].n, max_bucket);
     }
 

@@ -1,11 +1,13 @@
 //! The catalog of template families available for a database, plus the
-//! index-size accounting used by Exp-4 (Fig. 6(k)).
+//! index-size accounting used by Exp-4 (Fig. 6(k)) and the incremental
+//! maintenance hooks of component C2 (Fig. 2).
 
-use beas_relal::{Database, DatabaseSchema};
+use beas_relal::{Database, DatabaseSchema, DistanceKind, Row};
 
 use crate::builder::{build_at, AtOptions};
 use crate::error::{AccessError, Result};
 use crate::family::{FamilyId, TemplateFamily};
+use crate::resource::{BudgetPolicy, ResourceSpec};
 
 /// All access templates / constraints known for one database instance,
 /// together with the database size `|D|` (needed to turn a resource ratio `α`
@@ -16,6 +18,8 @@ pub struct Catalog {
     pub schema: DatabaseSchema,
     /// `|D|`: total number of tuples of the underlying database.
     pub db_size: usize,
+    /// How resource specs resolve to tuple budgets for this catalog.
+    pub policy: BudgetPolicy,
     families: Vec<TemplateFamily>,
 }
 
@@ -25,6 +29,7 @@ impl Catalog {
         Catalog {
             schema,
             db_size,
+            policy: BudgetPolicy::default(),
             families: Vec::new(),
         }
     }
@@ -98,10 +103,82 @@ impl Catalog {
         })
     }
 
-    /// The total resource ratio budget `α·|D|` in tuples (rounded down, at
-    /// least 1 so that a non-zero α always allows some access).
+    /// Resolves a [`ResourceSpec`] to a tuple budget for this catalog's
+    /// database under its [`BudgetPolicy`]. Invalid specs (e.g. `α ∉ [0, 1]`)
+    /// are an error; `Ratio(0.0)` resolves to a zero budget.
+    pub fn budget(&self, spec: &ResourceSpec) -> Result<usize> {
+        spec.budget(self.db_size, &self.policy)
+    }
+
+    /// The total resource ratio budget `α·|D|` in tuples.
+    ///
+    /// This shim keeps the seed behaviour of granting at least one tuple for
+    /// *any* α — including `α ≤ 0`, which silently authorizes access the
+    /// caller never asked for. Use [`Catalog::budget`] with a validated
+    /// [`ResourceSpec`] instead.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Catalog::budget(&ResourceSpec::Ratio(alpha))`"
+    )]
     pub fn budget_for(&self, alpha: f64) -> usize {
         ((alpha * self.db_size as f64).floor() as usize).max(1)
+    }
+
+    /// Component C2 (Fig. 2): propagates one base-table insert into every
+    /// family defined on `relation` and updates `|D|`, without rebuilding any
+    /// index. The resolutions of existing levels never change, so every bound
+    /// `η` computed from this catalog stays valid after the insert.
+    ///
+    /// The caller is responsible for also inserting the row into the
+    /// underlying [`Database`] (the engine's `insert_row` does both).
+    pub fn insert_row(&mut self, relation: &str, row: &Row) -> Result<()> {
+        let rel_schema = self.schema.relation(relation)?;
+        if row.len() != rel_schema.attributes.len() {
+            return Err(AccessError::Relal(beas_relal::RelalError::SchemaMismatch(
+                format!(
+                    "row of arity {} inserted into {relation} of arity {}",
+                    row.len(),
+                    rel_schema.attributes.len()
+                ),
+            )));
+        }
+        for family in self.families.iter_mut().filter(|f| f.relation == relation) {
+            let mut xkey = Vec::with_capacity(family.x.len());
+            for attr in &family.x {
+                xkey.push(row[rel_schema.attr_index(attr)?].clone());
+            }
+            let mut yval = Vec::with_capacity(family.y.len());
+            let mut dists: Vec<DistanceKind> = Vec::with_capacity(family.y.len());
+            for attr in &family.y {
+                let idx = rel_schema.attr_index(attr)?;
+                yval.push(row[idx].clone());
+                dists.push(rel_schema.attributes[idx].distance);
+            }
+            family.absorb(&xkey, &yval, &dists);
+        }
+        self.db_size += 1;
+        Ok(())
+    }
+
+    /// Batched form of [`Catalog::insert_row`]; validates all rows before
+    /// applying any, so a bad row leaves the catalog untouched.
+    pub fn insert_rows(&mut self, rows: &[(String, Row)]) -> Result<()> {
+        for (relation, row) in rows {
+            let rel_schema = self.schema.relation(relation)?;
+            if row.len() != rel_schema.attributes.len() {
+                return Err(AccessError::Relal(beas_relal::RelalError::SchemaMismatch(
+                    format!(
+                        "row of arity {} inserted into {relation} of arity {}",
+                        row.len(),
+                        rel_schema.attributes.len()
+                    ),
+                )));
+            }
+        }
+        for (relation, row) in rows {
+            self.insert_row(relation, row)?;
+        }
+        Ok(())
     }
 
     /// Index-size accounting (Exp-4, Fig. 6(k)).
@@ -184,10 +261,14 @@ mod tests {
         ]);
         let mut db = Database::new(schema);
         for i in 0..20i64 {
-            db.insert_row("friend", vec![Value::Int(i % 5), Value::Int(i)]).unwrap();
+            db.insert_row("friend", vec![Value::Int(i % 5), Value::Int(i)])
+                .unwrap();
             db.insert_row(
                 "person",
-                vec![Value::Int(i), Value::from(if i % 2 == 0 { "NYC" } else { "LA" })],
+                vec![
+                    Value::Int(i),
+                    Value::from(if i % 2 == 0 { "NYC" } else { "LA" }),
+                ],
             )
             .unwrap();
         }
@@ -219,13 +300,80 @@ mod tests {
     }
 
     #[test]
-    fn budget_for_scales_with_alpha() {
+    fn budget_scales_with_the_spec() {
+        let db = small_db();
+        let catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        assert_eq!(catalog.budget(&ResourceSpec::Ratio(0.5)).unwrap(), 20);
+        assert_eq!(catalog.budget(&ResourceSpec::FULL).unwrap(), 40);
+        // tiny non-zero α still allows at least one access
+        assert_eq!(catalog.budget(&ResourceSpec::Ratio(1e-9)).unwrap(), 1);
+        // zero means zero, invalid means error — the seed granted 1 for both
+        assert_eq!(catalog.budget(&ResourceSpec::Ratio(0.0)).unwrap(), 0);
+        assert!(catalog.budget(&ResourceSpec::Ratio(-0.5)).is_err());
+        assert!(catalog.budget(&ResourceSpec::Ratio(1.5)).is_err());
+        // absolute budgets pass through
+        assert_eq!(catalog.budget(&ResourceSpec::Tuples(7)).unwrap(), 7);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_budget_for_keeps_seed_behaviour() {
         let db = small_db();
         let catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
         assert_eq!(catalog.budget_for(0.5), 20);
-        assert_eq!(catalog.budget_for(1.0), 40);
-        // tiny α still allows at least one access
         assert_eq!(catalog.budget_for(1e-9), 1);
+    }
+
+    #[test]
+    fn insert_row_updates_size_and_every_family() {
+        let db = small_db();
+        let mut catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        let c = build_constraint(&db, "friend", &["pid"], &["fid"]).unwrap();
+        let cid = catalog.add_family(c);
+        let before_size = catalog.db_size;
+        let before_stored = catalog.family(cid).unwrap().stored_tuples();
+
+        catalog
+            .insert_row("friend", &vec![Value::Int(2), Value::Int(99)])
+            .unwrap();
+        assert_eq!(catalog.db_size, before_size + 1);
+        let fam = catalog.family(cid).unwrap();
+        assert_eq!(fam.stored_tuples(), before_stored + 1);
+        let reps = fam.lookup(0, &[Value::Int(2)]).unwrap();
+        assert!(reps.iter().any(|r| r.values == vec![Value::Int(99)]));
+    }
+
+    #[test]
+    fn insert_row_rejects_bad_relation_or_arity() {
+        let db = small_db();
+        let mut catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        assert!(catalog.insert_row("nope", &vec![Value::Int(1)]).is_err());
+        assert!(catalog.insert_row("friend", &vec![Value::Int(1)]).is_err());
+        assert_eq!(catalog.db_size, 40, "failed inserts must not change |D|");
+    }
+
+    #[test]
+    fn insert_rows_validates_the_whole_batch_first() {
+        let db = small_db();
+        let mut catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        let batch = vec![
+            ("friend".to_string(), vec![Value::Int(1), Value::Int(50)]),
+            ("friend".to_string(), vec![Value::Int(1)]), // bad arity
+        ];
+        assert!(catalog.insert_rows(&batch).is_err());
+        assert_eq!(
+            catalog.db_size, 40,
+            "a bad batch must leave the catalog untouched"
+        );
+        let good = vec![
+            ("friend".to_string(), vec![Value::Int(1), Value::Int(50)]),
+            (
+                "person".to_string(),
+                vec![Value::Int(50), Value::from("NYC")],
+            ),
+        ];
+        catalog.insert_rows(&good).unwrap();
+        assert_eq!(catalog.db_size, 42);
     }
 
     #[test]

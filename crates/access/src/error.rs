@@ -31,6 +31,9 @@ pub enum AccessError {
     /// A family was built over attributes missing from the schema, or with an
     /// otherwise invalid shape.
     InvalidTemplate(String),
+    /// A resource specification was out of range (e.g. a ratio outside
+    /// `[0, 1]`).
+    InvalidSpec(String),
 }
 
 impl fmt::Display for AccessError {
@@ -41,10 +44,14 @@ impl fmt::Display for AccessError {
                 write!(f, "family {family} has no level {level}")
             }
             AccessError::BudgetExceeded { accessed, budget } => {
-                write!(f, "fetch budget exceeded: {accessed} tuples accessed, budget {budget}")
+                write!(
+                    f,
+                    "fetch budget exceeded: {accessed} tuples accessed, budget {budget}"
+                )
             }
             AccessError::Relal(e) => write!(f, "{e}"),
             AccessError::InvalidTemplate(msg) => write!(f, "invalid template: {msg}"),
+            AccessError::InvalidSpec(msg) => write!(f, "invalid resource spec: {msg}"),
         }
     }
 }

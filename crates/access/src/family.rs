@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use beas_relal::{Relation, Value};
+use beas_relal::{DistanceKind, Relation, Value};
 
 use crate::error::{AccessError, Result};
 
@@ -135,11 +135,7 @@ impl TemplateFamily {
     /// absent from the data).
     pub fn lookup(&self, k: usize, xkey: &[Value]) -> Result<&[Rep]> {
         let level = self.level(k)?;
-        Ok(level
-            .buckets
-            .get(xkey)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[]))
+        Ok(level.buckets.get(xkey).map(|v| v.as_slice()).unwrap_or(&[]))
     }
 
     /// The column names of the relation produced by fetching this family:
@@ -168,6 +164,61 @@ impl TemplateFamily {
         Ok(out)
     }
 
+    /// Component C2 (Fig. 2): absorbs one new base tuple into every level of
+    /// the family, keeping the conformance invariant `D |= ψ` without a
+    /// rebuild.
+    ///
+    /// At each level, if some existing representative already covers the new
+    /// Y-value within the level's resolution (for exact levels: is equal to
+    /// it), that representative's multiplicity and sums are updated in place;
+    /// otherwise the new Y-value becomes its own representative (distance 0 to
+    /// itself, so the level still conforms) and the level's cardinality bound
+    /// `N` grows if needed. Resolutions never change, so accuracy bounds `η`
+    /// computed before the insert remain valid.
+    ///
+    /// `dists` gives the distance kind of each Y attribute, in Y order.
+    pub fn absorb(&mut self, xkey: &[Value], yval: &[Value], dists: &[DistanceKind]) {
+        debug_assert_eq!(xkey.len(), self.x.len());
+        debug_assert_eq!(yval.len(), self.y.len());
+        debug_assert_eq!(dists.len(), self.y.len());
+        for level in &mut self.levels {
+            // avoid cloning the key on the common already-seen-X path
+            if !level.buckets.contains_key(xkey) {
+                level.buckets.insert(xkey.to_vec(), Vec::new());
+            }
+            let bucket = level.buckets.get_mut(xkey).expect("bucket just ensured");
+            let covered = bucket.iter_mut().find(|rep| {
+                rep.values
+                    .iter()
+                    .zip(yval)
+                    .zip(&level.resolution)
+                    .zip(dists)
+                    .all(|(((rv, nv), res), dk)| dk.distance(rv, nv) <= *res)
+            });
+            match covered {
+                Some(rep) => {
+                    rep.count += 1;
+                    for (j, v) in yval.iter().enumerate() {
+                        match (&mut rep.sums[j], v.as_f64()) {
+                            (Some(acc), Some(x)) => *acc += x,
+                            (s, None) => *s = None,
+                            _ => {}
+                        }
+                    }
+                }
+                None => {
+                    bucket.push(Rep {
+                        values: yval.to_vec(),
+                        count: 1,
+                        sums: yval.iter().map(|v| v.as_f64()).collect(),
+                    });
+                    let bucket_len = bucket.len();
+                    level.n = level.n.max(bucket_len);
+                }
+            }
+        }
+    }
+
     /// A human-readable rendering such as `poi({type, city} → {price}, 8, d̄)`.
     pub fn describe(&self, level: usize) -> String {
         let n = self.levels.get(level).map(|l| l.n).unwrap_or(0);
@@ -182,7 +233,11 @@ impl TemplateFamily {
             self.x.join(", "),
             self.y.join(", "),
             n,
-            if d == 0.0 { "0".to_string() } else { format!("{d:.3}") }
+            if d == 0.0 {
+                "0".to_string()
+            } else {
+                format!("{d:.3}")
+            }
         )
     }
 }
@@ -289,6 +344,63 @@ mod tests {
         let s = f.describe(0);
         assert!(s.contains("poi") && s.contains("city") && s.contains("price"));
         assert!(f.describe(1).contains("0"));
+    }
+
+    #[test]
+    fn absorb_merges_covered_tuples_and_appends_new_reps() {
+        let mut f = family_with_two_levels();
+        let dists = [DistanceKind::Numeric];
+        // 95.0 is within the coarse resolution (10.0) of the 100.0 rep and
+        // equal to no exact rep → merged at level 0, appended at level 1
+        f.absorb(&[Value::from("NYC")], &[Value::Double(95.0)], &dists);
+        let coarse = f.lookup(0, &[Value::from("NYC")]).unwrap();
+        assert_eq!(coarse.len(), 1);
+        assert_eq!(coarse[0].count, 3);
+        assert_eq!(coarse[0].sums[0], Some(285.0));
+        let exact = f.lookup(1, &[Value::from("NYC")]).unwrap();
+        assert_eq!(exact.len(), 3);
+        assert!(exact
+            .iter()
+            .any(|r| r.values == vec![Value::Double(95.0)] && r.count == 1));
+        assert!(
+            f.levels[1].n >= 3,
+            "cardinality bound must track grown buckets"
+        );
+
+        // an exact duplicate merges at the exact level
+        f.absorb(&[Value::from("NYC")], &[Value::Double(95.0)], &dists);
+        let exact = f.lookup(1, &[Value::from("NYC")]).unwrap();
+        assert_eq!(exact.len(), 3);
+        let rep95 = exact
+            .iter()
+            .find(|r| r.values == vec![Value::Double(95.0)])
+            .unwrap();
+        assert_eq!(rep95.count, 2);
+        assert_eq!(rep95.sums[0], Some(190.0));
+    }
+
+    #[test]
+    fn absorb_conforms_for_unseen_keys_and_out_of_range_values() {
+        let mut f = family_with_two_levels();
+        let dists = [DistanceKind::Numeric];
+        // a brand-new X-value gets its own bucket at every level
+        f.absorb(&[Value::from("LA")], &[Value::Double(42.0)], &dists);
+        for level in 0..f.num_levels() {
+            let reps = f.lookup(level, &[Value::from("LA")]).unwrap();
+            assert_eq!(reps.len(), 1);
+            assert_eq!(reps[0].count, 1);
+        }
+        // a value far outside every coarse rep becomes its own rep there too,
+        // so conformance (every tuple within resolution of some rep) holds
+        f.absorb(&[Value::from("NYC")], &[Value::Double(500.0)], &dists);
+        for (k, level) in f.levels.iter().enumerate() {
+            let reps = f.lookup(k, &[Value::from("NYC")]).unwrap();
+            let covered = reps.iter().any(|r| {
+                DistanceKind::Numeric.distance(&r.values[0], &Value::Double(500.0))
+                    <= level.resolution[0]
+            });
+            assert!(covered, "level {k} does not cover the absorbed tuple");
+        }
     }
 
     #[test]

@@ -43,9 +43,10 @@ impl<'a> FetchSession<'a> {
         }
     }
 
-    /// A session with budget `α·|D|`.
-    pub fn with_ratio(catalog: &'a Catalog, alpha: f64) -> Self {
-        FetchSession::new(catalog, Some(catalog.budget_for(alpha)))
+    /// A session with the budget a [`ResourceSpec`](crate::ResourceSpec)
+    /// resolves to under the catalog's policy.
+    pub fn with_spec(catalog: &'a Catalog, spec: &crate::ResourceSpec) -> Result<Self> {
+        Ok(FetchSession::new(catalog, Some(catalog.budget(spec)?)))
     }
 
     /// The catalog this session fetches from.
@@ -97,15 +98,10 @@ impl<'a> FetchSession<'a> {
                 }
             }
         }
-        let rel = fam
-            .materialize(level, &unique)
-            .map_err(|e| match e {
-                AccessError::UnknownLevel { level, .. } => AccessError::UnknownLevel {
-                    family,
-                    level,
-                },
-                other => other,
-            })?;
+        let rel = fam.materialize(level, &unique).map_err(|e| match e {
+            AccessError::UnknownLevel { level, .. } => AccessError::UnknownLevel { family, level },
+            other => other,
+        })?;
         let new_total = self.counter.tuples + rel.len();
         if let Some(budget) = self.budget {
             if new_total > budget {
@@ -170,9 +166,7 @@ mod tests {
         let (_db, catalog) = db_and_catalog();
         let fam = catalog.constraints_for("poi")[0];
         let mut session = FetchSession::new(&catalog, None);
-        let rel = session
-            .fetch(fam, 0, &[vec![Value::from("NYC")]])
-            .unwrap();
+        let rel = session.fetch(fam, 0, &[vec![Value::from("NYC")]]).unwrap();
         assert_eq!(rel.columns, vec!["city", "type", WEIGHT_COLUMN]);
         assert!(!rel.is_empty());
         assert_eq!(session.counter().fetches, 1);
@@ -187,7 +181,11 @@ mod tests {
         let once = a.fetch(fam, 0, &[vec![Value::from("NYC")]]).unwrap();
         let mut b = FetchSession::new(&catalog, None);
         let twice = b
-            .fetch(fam, 0, &[vec![Value::from("NYC")], vec![Value::from("NYC")]])
+            .fetch(
+                fam,
+                0,
+                &[vec![Value::from("NYC")], vec![Value::from("NYC")]],
+            )
             .unwrap();
         assert_eq!(once.len(), twice.len());
         assert_eq!(a.accessed(), b.accessed());
@@ -200,7 +198,10 @@ mod tests {
         let exact = catalog.family(at).unwrap().exact_level();
         let mut session = FetchSession::new(&catalog, Some(10));
         let err = session.fetch_all(at, exact).unwrap_err();
-        assert!(matches!(err, AccessError::BudgetExceeded { budget: 10, .. }));
+        assert!(matches!(
+            err,
+            AccessError::BudgetExceeded { budget: 10, .. }
+        ));
         // failed fetch does not consume budget
         assert_eq!(session.accessed(), 0);
         // a coarse level fits
@@ -209,11 +210,12 @@ mod tests {
     }
 
     #[test]
-    fn with_ratio_uses_catalog_budget() {
+    fn with_spec_uses_catalog_budget() {
         let (_db, catalog) = db_and_catalog();
-        let session = FetchSession::with_ratio(&catalog, 0.1);
+        let session = FetchSession::with_spec(&catalog, &crate::ResourceSpec::Ratio(0.1)).unwrap();
         assert_eq!(session.budget(), Some(5));
         assert_eq!(session.remaining(), 5);
+        assert!(FetchSession::with_spec(&catalog, &crate::ResourceSpec::Ratio(-1.0)).is_err());
     }
 
     #[test]
@@ -234,7 +236,9 @@ mod tests {
         let mut session = FetchSession::new(&catalog, None);
         assert!(session.fetch(999, 0, &[vec![]]).is_err());
         let fam = catalog.constraints_for("poi")[0];
-        let err = session.fetch(fam, 42, &[vec![Value::from("NYC")]]).unwrap_err();
+        let err = session
+            .fetch(fam, 42, &[vec![Value::from("NYC")]])
+            .unwrap_err();
         assert!(matches!(err, AccessError::UnknownLevel { level: 42, .. }));
     }
 
@@ -252,10 +256,10 @@ mod tests {
         let fam = catalog.family(fam_id).unwrap();
         let key = vec![Value::from("hotel"), Value::from("LA")];
         let mut session = FetchSession::new(&catalog, None);
-        let coarse = session.fetch(fam_id, 0, &[key.clone()]).unwrap();
-        let fine = session
-            .fetch(fam_id, fam.exact_level(), &[key])
+        let coarse = session
+            .fetch(fam_id, 0, std::slice::from_ref(&key))
             .unwrap();
+        let fine = session.fetch(fam_id, fam.exact_level(), &[key]).unwrap();
         assert!(coarse.len() <= fine.len());
         assert!(coarse.len() <= 1);
     }

@@ -80,7 +80,12 @@ pub fn multilevel_partition(tuples: &[Vec<Value>], distances: &[DistanceKind]) -
         members: (0..distinct.len()).collect(),
     }];
     loop {
-        levels.push(level_from_clusters(&clusters, &distinct, &multiplicity, distances));
+        levels.push(level_from_clusters(
+            &clusters,
+            &distinct,
+            &multiplicity,
+            distances,
+        ));
         if clusters.iter().all(|c| c.members.len() <= 1) {
             break;
         }
@@ -133,7 +138,11 @@ fn level_from_clusters(
 
 /// Picks the representative of a cluster: the member closest to the cluster's
 /// numeric centroid (ties broken by index), which keeps the resolution small.
-fn representative_of(cluster: &Cluster, distinct: &[Vec<Value>], distances: &[DistanceKind]) -> usize {
+fn representative_of(
+    cluster: &Cluster,
+    distinct: &[Vec<Value>],
+    distances: &[DistanceKind],
+) -> usize {
     if cluster.members.len() == 1 {
         return cluster.members[0];
     }
@@ -179,7 +188,11 @@ fn representative_of(cluster: &Cluster, distinct: &[Vec<Value>], distances: &[Di
 /// Splits a cluster in two along the numeric dimension with the largest
 /// spread (falling back to an arbitrary halving when no numeric dimension
 /// separates the members). Singleton clusters are returned unchanged.
-fn split_cluster(cluster: Cluster, distinct: &[Vec<Value>], distances: &[DistanceKind]) -> Vec<Cluster> {
+fn split_cluster(
+    cluster: Cluster,
+    distinct: &[Vec<Value>],
+    distances: &[DistanceKind],
+) -> Vec<Cluster> {
     if cluster.members.len() <= 1 {
         return vec![cluster];
     }
@@ -255,7 +268,11 @@ mod tests {
         let tuples = numeric_tuples(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
         let levels = multilevel_partition(&tuples, &[DistanceKind::Numeric]);
         for (k, level) in levels.iter().enumerate() {
-            assert!(level.reps.len() <= 1 << k, "level {k} has {}", level.reps.len());
+            assert!(
+                level.reps.len() <= 1 << k,
+                "level {k} has {}",
+                level.reps.len()
+            );
         }
         // last level must be exact with one rep per distinct tuple
         let last = levels.last().unwrap();
@@ -284,9 +301,14 @@ mod tests {
         for level in &levels {
             for t in &tuples {
                 let ok = level.reps.iter().any(|r| {
-                    DistanceKind::Numeric.distance(&r.values[0], &t[0]) <= level.resolution[0] + 1e-9
+                    DistanceKind::Numeric.distance(&r.values[0], &t[0])
+                        <= level.resolution[0] + 1e-9
                 });
-                assert!(ok, "tuple {t:?} not covered at resolution {:?}", level.resolution);
+                assert!(
+                    ok,
+                    "tuple {t:?} not covered at resolution {:?}",
+                    level.resolution
+                );
             }
         }
     }
@@ -340,7 +362,12 @@ mod tests {
     #[test]
     fn multi_column_partition_reduces_worst_dimension() {
         let tuples: Vec<Vec<Value>> = (0..32)
-            .map(|i| vec![Value::Double((i % 4) as f64), Value::Double(i as f64 * 10.0)])
+            .map(|i| {
+                vec![
+                    Value::Double((i % 4) as f64),
+                    Value::Double(i as f64 * 10.0),
+                ]
+            })
             .collect();
         let dists = [DistanceKind::Numeric, DistanceKind::Numeric];
         let levels = multilevel_partition(&tuples, &dists);

@@ -16,6 +16,11 @@
 //! * **Fetch**: the `fetch(X ∈ T, R, Y, ψ)` operator of bounded query plans,
 //!   executed through a [`FetchSession`] that counts accessed tuples and
 //!   enforces the budget `α·|D|`.
+//! * **Resource specs**: the typed budget vocabulary ([`ResourceSpec`],
+//!   [`BudgetPolicy`]) shared by the engine, the planner and the baselines.
+//! * **Maintenance (C2)**: [`Catalog::insert_row`] propagates base-table
+//!   inserts into every affected family incrementally via
+//!   [`TemplateFamily::absorb`], keeping `D |= A` without a rebuild.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +31,7 @@ pub mod error;
 pub mod family;
 pub mod fetch;
 pub mod kdtree;
+pub mod resource;
 
 pub use builder::{build_at, build_constraint, build_extended, AtOptions};
 pub use catalog::{Catalog, IndexSizeReport};
@@ -33,3 +39,4 @@ pub use error::{AccessError, Result};
 pub use family::{FamilyId, Level, Rep, TemplateFamily, WEIGHT_COLUMN};
 pub use fetch::{AccessCounter, FetchSession};
 pub use kdtree::{multilevel_partition, LevelReps};
+pub use resource::{BudgetPolicy, ResourceSpec};

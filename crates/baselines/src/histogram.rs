@@ -32,14 +32,17 @@ pub struct Histo {
 }
 
 impl Histo {
-    /// Builds per-relation histograms with a total budget of `budget`
-    /// representative tuples, allocated proportionally to relation sizes.
-    pub fn build(db: &Database, budget: usize) -> Result<Self> {
+    /// Builds per-relation histograms whose total number of representative
+    /// tuples stays within the budget `spec` resolves to, allocated
+    /// proportionally to relation sizes.
+    pub fn build(db: &Database, spec: &beas_access::ResourceSpec) -> Result<Self> {
+        let budget = crate::resolve_budget(db, spec)?;
         let total = db.total_tuples().max(1);
         // synopsis schema: original columns + count column
         let mut syn_schema = db.schema.clone();
         for rel in &mut syn_schema.relations {
-            rel.attributes.push(beas_relal::Attribute::double(COUNT_COLUMN));
+            rel.attributes
+                .push(beas_relal::Attribute::double(COUNT_COLUMN));
         }
         let mut synopsis = Database::new(syn_schema);
         let mut size = 0usize;
@@ -47,7 +50,8 @@ impl Histo {
             if relation.is_empty() {
                 continue;
             }
-            let share = ((budget as f64) * (relation.len() as f64) / (total as f64)).round() as usize;
+            let share =
+                ((budget as f64) * (relation.len() as f64) / (total as f64)).round() as usize;
             let buckets = share.clamp(1, relation.len());
             let schema = db.schema.relation(name)?;
             let kinds = schema.distance_kinds();
@@ -177,7 +181,9 @@ impl Baseline for Histo {
                 if count_cols.is_empty() {
                     return aggregate_relation(&rel, gq);
                 }
-                let keep: Vec<usize> = (0..rel.arity()).filter(|i| !count_cols.contains(i)).collect();
+                let keep: Vec<usize> = (0..rel.arity())
+                    .filter(|i| !count_cols.contains(i))
+                    .collect();
                 let mut weighted = Relation::empty(
                     keep.iter()
                         .map(|&i| rel.columns[i].clone())
@@ -212,6 +218,7 @@ impl Baseline for Histo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use beas_access::ResourceSpec;
     use beas_relal::{
         Attribute, CompareOp, DatabaseSchema, GroupByQuery, Predicate, PredicateAtom, RaExpr,
         RelationSchema,
@@ -244,7 +251,7 @@ mod tests {
     #[test]
     fn histogram_respects_bucket_budget() {
         let database = db(1000);
-        let h = Histo::build(&database, 50).unwrap();
+        let h = Histo::build(&database, &ResourceSpec::Tuples(50)).unwrap();
         assert!(h.synopsis_size() <= 60, "size {}", h.synopsis_size());
         assert!(h.synopsis_size() > 0);
         // synopsis rows carry the count column
@@ -257,7 +264,7 @@ mod tests {
     #[test]
     fn range_query_returns_bucket_representatives_near_range() {
         let database = db(500);
-        let h = Histo::build(&database, 40).unwrap();
+        let h = Histo::build(&database, &ResourceSpec::Tuples(40)).unwrap();
         let expr = RaExpr::scan("orders", "o")
             .select(Predicate::all(vec![PredicateAtom::col_cmp_const(
                 "o.total",
@@ -275,7 +282,7 @@ mod tests {
     #[test]
     fn weighted_count_aggregate_approximates_truth() {
         let database = db(800);
-        let h = Histo::build(&database, 64).unwrap();
+        let h = Histo::build(&database, &ResourceSpec::Tuples(64)).unwrap();
         let gq = GroupByQuery::new(
             RaExpr::scan("orders", "o").project(vec![
                 ("status".into(), "o.status".into()),
@@ -288,13 +295,16 @@ mod tests {
         );
         let approx = h.answer(&QueryExpr::Aggregate(gq)).unwrap();
         let total: f64 = approx.rows.iter().map(|r| r[1].as_f64().unwrap()).sum();
-        assert!((total - 800.0).abs() < 1e-6, "bucket counts preserve totals, got {total}");
+        assert!(
+            (total - 800.0).abs() < 1e-6,
+            "bucket counts preserve totals, got {total}"
+        );
     }
 
     #[test]
     fn min_max_are_unweighted() {
         let database = db(300);
-        let h = Histo::build(&database, 30).unwrap();
+        let h = Histo::build(&database, &ResourceSpec::Tuples(30)).unwrap();
         let gq = GroupByQuery::new(
             RaExpr::scan("orders", "o").project(vec![
                 ("status".into(), "o.status".into()),
@@ -314,7 +324,7 @@ mod tests {
     #[test]
     fn empty_database_builds_empty_synopsis() {
         let database = db(0);
-        let h = Histo::build(&database, 10).unwrap();
+        let h = Histo::build(&database, &ResourceSpec::Tuples(10)).unwrap();
         assert_eq!(h.synopsis_size(), 0);
     }
 }

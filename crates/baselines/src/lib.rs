@@ -25,13 +25,18 @@ pub mod histogram;
 pub mod sampling;
 pub mod stratified;
 
-use beas_relal::{QueryExpr, Relation, Result};
+use beas_access::{BudgetPolicy, ResourceSpec};
+use beas_relal::{Database, QueryExpr, RelalError, Relation, Result};
 
 pub use histogram::Histo;
 pub use sampling::Sampl;
 pub use stratified::BlinkSim;
 
 /// A baseline approximate query answering method built offline over a dataset.
+///
+/// Baselines share the engine's budget vocabulary: every concrete method is
+/// built from a [`ResourceSpec`], so BEAS and its competitors are always
+/// compared under the same resource bound.
 pub trait Baseline {
     /// Method name as reported in the figures (e.g. `"Sampl"`).
     fn name(&self) -> &'static str;
@@ -42,6 +47,18 @@ pub trait Baseline {
     /// The number of tuples (or bucket representatives) stored by the
     /// synopsis — the baseline's analogue of the `α·|D|` budget.
     fn synopsis_size(&self) -> usize;
+
+    /// The resource spec the stored synopsis corresponds to.
+    fn spec(&self) -> ResourceSpec {
+        ResourceSpec::Tuples(self.synopsis_size())
+    }
+}
+
+/// Resolves a [`ResourceSpec`] to the tuple budget a baseline synopsis may
+/// store for `db`, with the spec's validation applied.
+pub(crate) fn resolve_budget(db: &Database, spec: &ResourceSpec) -> Result<usize> {
+    spec.budget(db.total_tuples(), &BudgetPolicy::default())
+        .map_err(|e| RelalError::InvalidQuery(e.to_string()))
 }
 
 /// Scales count/sum aggregate values of a result relation in place by

@@ -11,7 +11,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::{scale_aggregate_column, Baseline};
+use beas_access::ResourceSpec;
+
+use crate::{resolve_budget, scale_aggregate_column, Baseline};
 
 /// The uniform-sampling baseline.
 #[derive(Debug, Clone)]
@@ -23,12 +25,14 @@ pub struct Sampl {
 }
 
 impl Sampl {
-    /// Builds a uniform sample of at most `budget` tuples from `db`.
+    /// Builds a uniform sample from `db` whose size stays within the budget
+    /// `spec` resolves to.
     ///
     /// Tuples are allocated to relations proportionally to their sizes (each
     /// relation keeps at least one tuple when it is non-empty so that joins do
     /// not trivially collapse).
-    pub fn build(db: &Database, budget: usize, seed: u64) -> Result<Self> {
+    pub fn build(db: &Database, spec: &ResourceSpec, seed: u64) -> Result<Self> {
+        let budget = resolve_budget(db, spec)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let total = db.total_tuples().max(1);
         let mut sample = Database::new(db.schema.clone());
@@ -104,12 +108,18 @@ impl Baseline for Sampl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use beas_relal::{Attribute, DatabaseSchema, GroupByQuery, Predicate, PredicateAtom, RelationSchema, Value};
+    use beas_relal::{
+        Attribute, DatabaseSchema, GroupByQuery, Predicate, PredicateAtom, RelationSchema, Value,
+    };
 
     fn db(n: i64) -> Database {
         let schema = DatabaseSchema::new(vec![RelationSchema::new(
             "orders",
-            vec![Attribute::id("id"), Attribute::categorical("status"), Attribute::double("total")],
+            vec![
+                Attribute::id("id"),
+                Attribute::categorical("status"),
+                Attribute::double("total"),
+            ],
         )]);
         let mut db = Database::new(schema);
         for i in 0..n {
@@ -129,21 +139,29 @@ mod tests {
     #[test]
     fn sample_respects_budget_and_is_reproducible() {
         let db = db(1000);
-        let s1 = Sampl::build(&db, 50, 7).unwrap();
-        let s2 = Sampl::build(&db, 50, 7).unwrap();
+        let s1 = Sampl::build(&db, &ResourceSpec::Tuples(50), 7).unwrap();
+        let s2 = Sampl::build(&db, &ResourceSpec::Tuples(50), 7).unwrap();
         assert!(s1.synopsis_size() <= 51);
         assert!(s1.synopsis_size() >= 45);
-        assert_eq!(s1.sample().relation("orders").unwrap().rows, s2.sample().relation("orders").unwrap().rows);
-        let s3 = Sampl::build(&db, 50, 8).unwrap();
-        assert_ne!(s1.sample().relation("orders").unwrap().rows, s3.sample().relation("orders").unwrap().rows);
+        assert_eq!(
+            s1.sample().relation("orders").unwrap().rows,
+            s2.sample().relation("orders").unwrap().rows
+        );
+        let s3 = Sampl::build(&db, &ResourceSpec::Tuples(50), 8).unwrap();
+        assert_ne!(
+            s1.sample().relation("orders").unwrap().rows,
+            s3.sample().relation("orders").unwrap().rows
+        );
     }
 
     #[test]
     fn ra_answers_are_subset_of_exact() {
         let database = db(500);
-        let s = Sampl::build(&database, 100, 1).unwrap();
+        let s = Sampl::build(&database, &ResourceSpec::Tuples(100), 1).unwrap();
         let expr = RaExpr::scan("orders", "o")
-            .select(Predicate::all(vec![PredicateAtom::col_eq_const("o.status", "open")]))
+            .select(Predicate::all(vec![PredicateAtom::col_eq_const(
+                "o.status", "open",
+            )]))
             .project(vec![("id".into(), "o.id".into())]);
         let approx = s.answer(&QueryExpr::Ra(expr.clone())).unwrap();
         let exact = eval_set(&expr, &database).unwrap();
@@ -155,7 +173,7 @@ mod tests {
     #[test]
     fn count_aggregate_is_scaled_to_full_population() {
         let database = db(1000);
-        let s = Sampl::build(&database, 200, 3).unwrap();
+        let s = Sampl::build(&database, &ResourceSpec::Tuples(200), 3).unwrap();
         let gq = GroupByQuery::new(
             RaExpr::scan("orders", "o").project(vec![
                 ("status".into(), "o.status".into()),
@@ -171,15 +189,22 @@ mod tests {
         // in the right ballpark (within a factor of 2)
         for row in &approx.rows {
             let n = row[1].as_f64().unwrap();
-            let expected = if row[0] == Value::from("open") { 250.0 } else { 750.0 };
-            assert!(n > expected * 0.5 && n < expected * 2.0, "estimate {n} vs {expected}");
+            let expected = if row[0] == Value::from("open") {
+                250.0
+            } else {
+                750.0
+            };
+            assert!(
+                n > expected * 0.5 && n < expected * 2.0,
+                "estimate {n} vs {expected}"
+            );
         }
     }
 
     #[test]
     fn min_max_are_not_scaled() {
         let database = db(400);
-        let s = Sampl::build(&database, 100, 3).unwrap();
+        let s = Sampl::build(&database, &ResourceSpec::Tuples(100), 3).unwrap();
         let gq = GroupByQuery::new(
             RaExpr::scan("orders", "o").project(vec![
                 ("status".into(), "o.status".into()),
@@ -200,7 +225,7 @@ mod tests {
     #[test]
     fn empty_relation_is_handled() {
         let database = db(0);
-        let s = Sampl::build(&database, 10, 1).unwrap();
+        let s = Sampl::build(&database, &ResourceSpec::Tuples(10), 1).unwrap();
         assert_eq!(s.synopsis_size(), 0);
         let expr = RaExpr::scan("orders", "o").project(vec![("id".into(), "o.id".into())]);
         assert!(s.answer(&QueryExpr::Ra(expr)).unwrap().is_empty());

@@ -13,8 +13,8 @@
 use std::collections::HashMap;
 
 use beas_relal::{
-    aggregate_relation, eval_bag, eval_set, AggFunc, Database, QueryExpr, RaExpr, Relation,
-    Result, Value,
+    aggregate_relation, eval_bag, eval_set, AggFunc, Database, QueryExpr, RaExpr, Relation, Result,
+    Value,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -53,16 +53,23 @@ pub struct BlinkSim {
 }
 
 impl BlinkSim {
-    /// Builds stratified samples for the given QCSs under a total budget of
-    /// `budget` rows. Relations without a QCS fall back to uniform sampling of
-    /// their share of the budget.
-    pub fn build(db: &Database, qcss: &[Qcs], budget: usize, seed: u64) -> Result<Self> {
+    /// Builds stratified samples for the given QCSs under the total row
+    /// budget `spec` resolves to. Relations without a QCS fall back to uniform
+    /// sampling of their share of the budget.
+    pub fn build(
+        db: &Database,
+        qcss: &[Qcs],
+        spec: &beas_access::ResourceSpec,
+        seed: u64,
+    ) -> Result<Self> {
+        let budget = crate::resolve_budget(db, spec)?;
         let mut rng = StdRng::seed_from_u64(seed);
         let total = db.total_tuples().max(1);
 
         let mut syn_schema = db.schema.clone();
         for rel in &mut syn_schema.relations {
-            rel.attributes.push(beas_relal::Attribute::double(RATE_COLUMN));
+            rel.attributes
+                .push(beas_relal::Attribute::double(RATE_COLUMN));
         }
         let mut synopsis = Database::new(syn_schema);
         let mut size = 0usize;
@@ -177,7 +184,9 @@ impl Baseline for BlinkSim {
                 if rate_cols.is_empty() {
                     return aggregate_relation(&rel, gq);
                 }
-                let keep: Vec<usize> = (0..rel.arity()).filter(|i| !rate_cols.contains(i)).collect();
+                let keep: Vec<usize> = (0..rel.arity())
+                    .filter(|i| !rate_cols.contains(i))
+                    .collect();
                 let mut weighted = Relation::empty(
                     keep.iter()
                         .map(|&i| rel.columns[i].clone())
@@ -211,6 +220,7 @@ impl Baseline for BlinkSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use beas_access::ResourceSpec;
     use beas_relal::{
         Attribute, CompareOp, DatabaseSchema, GroupByQuery, Predicate, PredicateAtom,
         RelationSchema,
@@ -231,7 +241,11 @@ mod tests {
             let status = if i % 50 == 0 { "open" } else { "closed" };
             db.insert_row(
                 "orders",
-                vec![Value::Int(i), Value::from(status), Value::Double(10.0 + (i % 90) as f64)],
+                vec![
+                    Value::Int(i),
+                    Value::from(status),
+                    Value::Double(10.0 + (i % 90) as f64),
+                ],
             )
             .unwrap();
         }
@@ -241,14 +255,23 @@ mod tests {
     #[test]
     fn stratified_sample_keeps_rare_groups() {
         let database = db(1000);
-        let b = BlinkSim::build(&database, &[Qcs::new("orders", &["status"])], 60, 11).unwrap();
+        let b = BlinkSim::build(
+            &database,
+            &[Qcs::new("orders", &["status"])],
+            &ResourceSpec::Tuples(60),
+            11,
+        )
+        .unwrap();
         let rel = b.synopsis().relation("orders").unwrap();
         let statuses: std::collections::HashSet<String> = rel
             .rows
             .iter()
             .map(|r| r[1].as_str().unwrap().to_string())
             .collect();
-        assert!(statuses.contains("open"), "rare stratum must be represented");
+        assert!(
+            statuses.contains("open"),
+            "rare stratum must be represented"
+        );
         assert!(statuses.contains("closed"));
         assert!(b.synopsis_size() <= 70);
     }
@@ -256,7 +279,13 @@ mod tests {
     #[test]
     fn stratified_counts_extrapolate_per_stratum() {
         let database = db(1000);
-        let b = BlinkSim::build(&database, &[Qcs::new("orders", &["status"])], 100, 5).unwrap();
+        let b = BlinkSim::build(
+            &database,
+            &[Qcs::new("orders", &["status"])],
+            &ResourceSpec::Tuples(100),
+            5,
+        )
+        .unwrap();
         let gq = GroupByQuery::new(
             RaExpr::scan("orders", "o").project(vec![
                 ("status".into(), "o.status".into()),
@@ -270,7 +299,10 @@ mod tests {
         let approx = b.answer(&QueryExpr::Aggregate(gq)).unwrap();
         let mut by_status: HashMap<String, f64> = HashMap::new();
         for row in &approx.rows {
-            by_status.insert(row[0].as_str().unwrap().to_string(), row[1].as_f64().unwrap());
+            by_status.insert(
+                row[0].as_str().unwrap().to_string(),
+                row[1].as_f64().unwrap(),
+            );
         }
         // exact: 20 open, 980 closed — stratified estimates are exact for the
         // strata that were kept in full and close otherwise
@@ -281,14 +313,23 @@ mod tests {
     #[test]
     fn ra_answers_are_true_tuples() {
         let database = db(500);
-        let b = BlinkSim::build(&database, &[Qcs::new("orders", &["status"])], 50, 3).unwrap();
+        let b = BlinkSim::build(
+            &database,
+            &[Qcs::new("orders", &["status"])],
+            &ResourceSpec::Tuples(50),
+            3,
+        )
+        .unwrap();
         let expr = RaExpr::scan("orders", "o")
             .select(Predicate::all(vec![PredicateAtom::col_cmp_const(
                 "o.total",
                 CompareOp::Le,
                 40i64,
             )]))
-            .project(vec![("id".into(), "o.id".into()), ("total".into(), "o.total".into())]);
+            .project(vec![
+                ("id".into(), "o.id".into()),
+                ("total".into(), "o.total".into()),
+            ]);
         let approx = b.answer(&QueryExpr::Ra(expr.clone())).unwrap();
         let exact = eval_set(&expr, &database).unwrap();
         let exact_set: std::collections::HashSet<_> = exact.rows.into_iter().collect();
@@ -298,7 +339,7 @@ mod tests {
     #[test]
     fn relation_without_qcs_falls_back_to_uniform() {
         let database = db(400);
-        let b = BlinkSim::build(&database, &[], 40, 9).unwrap();
+        let b = BlinkSim::build(&database, &[], &ResourceSpec::Tuples(40), 9).unwrap();
         assert!(b.synopsis_size() <= 45);
         assert!(b.synopsis_size() >= 35);
     }
@@ -306,6 +347,12 @@ mod tests {
     #[test]
     fn builder_rejects_unknown_qcs_column() {
         let database = db(100);
-        assert!(BlinkSim::build(&database, &[Qcs::new("orders", &["nope"])], 20, 1).is_err());
+        assert!(BlinkSim::build(
+            &database,
+            &[Qcs::new("orders", &["nope"])],
+            &ResourceSpec::Tuples(20),
+            1
+        )
+        .is_err());
     }
 }

@@ -4,7 +4,9 @@
 //! the evaluation harness runtimes are interpretable.
 
 use beas_bench::harness::{prepare, BenchProfile};
-use beas_core::{exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig};
+use beas_core::{
+    exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, ResourceSpec,
+};
 use beas_workloads::tpch::tpch_lite;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -19,9 +21,9 @@ fn bench_accuracy_measures(c: &mut Criterion) {
         .queries
         .iter()
         .filter_map(|q| {
-            let answer = prep.beas.answer(&q.query, 0.05).ok()?;
-            let exact = exact_answers(&q.query, &prep.dataset.db).ok()?;
-            let kinds = q.query.output_distances(&prep.dataset.db.schema).ok()?;
+            let answer = prep.beas.answer(&q.query, ResourceSpec::Ratio(0.05)).ok()?;
+            let exact = exact_answers(&q.query, prep.db()).ok()?;
+            let kinds = q.query.output_distances(&prep.db().schema).ok()?;
             Some((q.query.clone(), answer.answers, exact, kinds))
         })
         .collect();
@@ -35,7 +37,7 @@ fn bench_accuracy_measures(c: &mut Criterion) {
     group.bench_function("rc_measure", |b| {
         b.iter(|| {
             for (query, approx, _, _) in &cases {
-                let r = rc_accuracy(approx, query, &prep.dataset.db, &cfg).expect("rc");
+                let r = rc_accuracy(approx, query, prep.db(), &cfg).expect("rc");
                 std::hint::black_box(r.accuracy);
             }
         });

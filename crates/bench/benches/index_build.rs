@@ -20,7 +20,10 @@ fn bench_catalog_build(c: &mut Criterion) {
             &dataset,
             |b, dataset| {
                 b.iter(|| {
-                    let beas = Beas::build(&dataset.db, &dataset.constraints).expect("build");
+                    let beas = Beas::builder(dataset.db.clone())
+                        .constraints(dataset.constraints.iter().cloned())
+                        .build()
+                        .expect("build");
                     std::hint::black_box(beas.catalog().index_size_report().total_tuples());
                 });
             },

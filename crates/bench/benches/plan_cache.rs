@@ -1,0 +1,64 @@
+//! The serving-path benchmark: answering a repeated query by planning from
+//! scratch on every request (`Beas::answer`) vs. through a `PreparedQuery`
+//! whose per-budget plan cache skips C3 on repeat budgets.
+//!
+//! This is the experiment behind the prepare-then-execute API: plan
+//! generation is pure in (query, catalog, budget), so a serving system should
+//! pay it once per (query, budget) and amortize it across every later
+//! request.
+
+use beas_bench::harness::{prepare, BenchProfile};
+use beas_core::ResourceSpec;
+use beas_workloads::tpch::tpch_lite;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_cache");
+    group.sample_size(10);
+    // scale 1 with a small ratio keeps execution cheap, so the measured gap
+    // is the planning work the cache elides
+    let profile = BenchProfile::quick();
+    let prep = prepare(tpch_lite(1, profile.seed), &profile);
+    let spec = ResourceSpec::Ratio(0.01);
+
+    group.bench_with_input(
+        BenchmarkId::new("plan_from_scratch", "0.01"),
+        &prep,
+        |b, prep| {
+            b.iter(|| {
+                for gq in &prep.queries {
+                    if let Ok(answer) = prep.beas.answer(&gq.query, spec) {
+                        std::hint::black_box(answer.answers.len());
+                    }
+                }
+            });
+        },
+    );
+
+    // prepare once, answer many: repeat budgets hit the plan cache
+    let prepared: Vec<_> = prep
+        .queries
+        .iter()
+        .filter_map(|gq| prep.beas.prepare(&gq.query).ok())
+        .collect();
+    for p in &prepared {
+        let _ = p.answer(spec); // warm the cache
+    }
+    group.bench_with_input(
+        BenchmarkId::new("prepared_cached", "0.01"),
+        &prepared,
+        |b, prepared| {
+            b.iter(|| {
+                for p in prepared.iter() {
+                    if let Ok(answer) = p.answer(spec) {
+                        std::hint::black_box(answer.answers.len());
+                    }
+                }
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_cache);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 //! shape appears as a widening gap between the two series as |D| grows.
 
 use beas_bench::harness::{prepare, BenchProfile};
+use beas_core::ResourceSpec;
 use beas_relal::eval_query;
 use beas_workloads::tpch::tpch_lite;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -21,7 +22,7 @@ fn bench_bounded_vs_full(c: &mut Criterion) {
         let plans: Vec<_> = prep
             .queries
             .iter()
-            .filter_map(|q| prep.beas.plan(&q.query, 0.05).ok())
+            .filter_map(|q| prep.beas.plan(&q.query, ResourceSpec::Ratio(0.05)).ok())
             .collect();
         group.bench_with_input(BenchmarkId::new("bounded", scale), &prep, |b, prep| {
             b.iter(|| {
@@ -34,8 +35,8 @@ fn bench_bounded_vs_full(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("full_eval", scale), &prep, |b, prep| {
             b.iter(|| {
                 for q in &prep.queries {
-                    let expr = q.query.to_query_expr(&prep.dataset.db.schema).expect("expr");
-                    let out = eval_query(&expr, &prep.dataset.db).expect("eval");
+                    let expr = q.query.to_query_expr(&prep.db().schema).expect("expr");
+                    let out = eval_query(&expr, prep.db()).expect("eval");
                     std::hint::black_box(out.len());
                 }
             });

@@ -3,6 +3,7 @@
 //! time per query class and dataset scale.
 
 use beas_bench::harness::{prepare, BenchProfile};
+use beas_core::ResourceSpec;
 use beas_workloads::tpch::tpch_lite;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -18,7 +19,10 @@ fn bench_plan_generation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tpch", scale), &prep, |b, prep| {
             b.iter(|| {
                 for q in &prep.queries {
-                    let plan = prep.beas.plan(&q.query, 0.05).expect("plan");
+                    let plan = prep
+                        .beas
+                        .plan(&q.query, ResourceSpec::Ratio(0.05))
+                        .expect("plan");
                     std::hint::black_box(plan.eta);
                 }
             });

@@ -8,7 +8,7 @@
 use beas_workloads::{airca::airca_lite, tfacc::tfacc_lite, tpch::tpch_lite, Dataset};
 
 use crate::harness::{
-    average, evaluate_at_alpha, measure_timings, prepare, BenchProfile, EvalRow,
+    average, evaluate_at, measure_plan_cache, measure_timings, prepare, BenchProfile, EvalRow,
     Metric, QueryClass,
 };
 use crate::table::Table;
@@ -93,13 +93,13 @@ fn accuracy_vs_alpha(
         format!(
             "{}: {label}, varying alpha (|D| = {})",
             dataset.name(),
-            prep.dataset.size()
+            prep.size()
         ),
         headers,
     );
-    for &alpha in &profile.alphas {
-        let rows = evaluate_at_alpha(&prep, alpha, &profile.accuracy, true);
-        let mut cells = vec![format!("{alpha}")];
+    for &spec in &profile.specs {
+        let rows = evaluate_at(&prep, spec, &profile.accuracy, true);
+        let mut cells = vec![format!("{spec}")];
         cells.extend(method_cells(&rows, metric));
         table.push_row(cells);
     }
@@ -113,17 +113,17 @@ pub fn fig6ef_accuracy_vs_scale(profile: &BenchProfile, metric: Metric) -> Table
         Metric::Mac => "MAC accuracy",
         _ => "RC accuracy",
     };
-    let alpha = profile.alphas.last().copied().unwrap_or(0.1);
+    let spec = profile.last_spec();
     let mut headers = vec!["scale", "|D|"];
     headers.extend(METHOD_HEADERS);
     let mut table = Table::new(
-        format!("TPCH: {label}, varying |D| (alpha = {alpha})"),
+        format!("TPCH: {label}, varying |D| (spec = {spec})"),
         headers,
     );
     for &scale in &profile.scales {
         let prep = prepare(tpch_lite(scale, profile.seed), profile);
-        let rows = evaluate_at_alpha(&prep, alpha, &profile.accuracy, true);
-        let mut cells = vec![scale.to_string(), prep.dataset.size().to_string()];
+        let rows = evaluate_at(&prep, spec, &profile.accuracy, true);
+        let mut cells = vec![scale.to_string(), prep.size().to_string()];
         cells.extend(method_cells(&rows, metric));
         table.push_row(cells);
     }
@@ -153,8 +153,8 @@ fn accuracy_vs_knob(profile: &BenchProfile, knob: Knob) -> Table {
     let mut wide = profile.clone();
     wide.queries = (profile.queries * 3).max(12);
     let prep = prepare(tfacc_lite(profile.scale, profile.seed), &wide);
-    let alpha = profile.alphas.last().copied().unwrap_or(0.1);
-    let rows = evaluate_at_alpha(&prep, alpha, &profile.accuracy, true);
+    let spec = profile.last_spec();
+    let rows = evaluate_at(&prep, spec, &profile.accuracy, true);
 
     let (name, values): (&str, Vec<usize>) = match knob {
         Knob::Sel => ("#-sel", vec![3, 4, 5, 6, 7]),
@@ -163,7 +163,7 @@ fn accuracy_vs_knob(profile: &BenchProfile, knob: Knob) -> Table {
     let mut headers = vec![name, "BEAS", "BEAS(eta)", "BlinkDB", "Histo", "Sampl"];
     headers.insert(1, "queries");
     let mut table = Table::new(
-        format!("TFACC: RC accuracy, varying {name} (alpha = {alpha})"),
+        format!("TFACC: RC accuracy, varying {name} (spec = {spec})"),
         headers,
     );
     for v in values {
@@ -194,11 +194,11 @@ pub fn fig6i_accuracy_vs_kind(profile: &BenchProfile) -> Table {
     let mut wide = profile.clone();
     wide.queries = (profile.queries * 2).max(10);
     let prep = prepare(tfacc_lite(profile.scale, profile.seed), &wide);
-    let alpha = profile.alphas.last().copied().unwrap_or(0.1);
-    let rows = evaluate_at_alpha(&prep, alpha, &profile.accuracy, true);
+    let spec = profile.last_spec();
+    let rows = evaluate_at(&prep, spec, &profile.accuracy, true);
 
     let mut table = Table::new(
-        format!("TFACC: RC accuracy by query type (alpha = {alpha})"),
+        format!("TFACC: RC accuracy by query type (spec = {spec})"),
         vec!["type", "BEAS", "BEAS(eta)", "BlinkDB", "Histo", "Sampl"],
     );
     for (label, class) in [
@@ -239,7 +239,7 @@ pub fn fig6j_exact_ratio(profile: &BenchProfile) -> Table {
     );
     for &scale in &profile.scales {
         let prep = prepare(tpch_lite(scale, profile.seed), profile);
-        let schema = &prep.dataset.db.schema;
+        let schema = &prep.db().schema;
 
         // SPC: the orders of one customer, with their totals.
         let spc_query: BeasQuery = {
@@ -261,7 +261,8 @@ pub fn fig6j_exact_ratio(profile: &BenchProfile) -> Table {
                 let o = b.atom("orders", "o").unwrap();
                 b.join((o, "o_custkey"), (c, "c_custkey")).unwrap();
                 b.filter_const(c, "c_custkey", CompareOp::Eq, 7i64).unwrap();
-                b.filter_const(o, "o_totalprice", CompareOp::Le, max_total).unwrap();
+                b.filter_const(o, "o_totalprice", CompareOp::Le, max_total)
+                    .unwrap();
                 b.output(o, "o_totalprice", "total").unwrap();
                 b.output(o, "o_year", "year").unwrap();
                 RaQuery::spc(b.build().unwrap())
@@ -283,7 +284,7 @@ pub fn fig6j_exact_ratio(profile: &BenchProfile) -> Table {
             .unwrap_or(f64::NAN);
         table.push_row(vec![
             scale.to_string(),
-            prep.dataset.size().to_string(),
+            prep.size().to_string(),
             format!("{spc:.5}"),
             format!("{ra:.5}"),
         ]);
@@ -308,10 +309,10 @@ pub fn fig6k_index_size(profile: &BenchProfile) -> Table {
         let report = prep.beas.catalog().index_size_report();
         // "used" templates: the families actually referenced by the workload's
         // plans at the largest α of the profile
-        let alpha = profile.alphas.last().copied().unwrap_or(0.1);
+        let spec = profile.last_spec();
         let mut used = std::collections::BTreeSet::new();
         for gq in &prep.queries {
-            if let Ok(plan) = prep.beas.plan(&gq.query, alpha) {
+            if let Ok(plan) = prep.beas.plan(&gq.query, spec) {
                 used.extend(plan.used_families());
             }
         }
@@ -319,10 +320,10 @@ pub fn fig6k_index_size(profile: &BenchProfile) -> Table {
             .beas
             .catalog()
             .index_size_of(&used.iter().copied().collect::<Vec<_>>());
-        let d = prep.dataset.size().max(1) as f64;
+        let d = prep.size().max(1) as f64;
         table.push_row(vec![
             dataset.name().to_string(),
-            prep.dataset.size().to_string(),
+            prep.size().to_string(),
             Table::num(report.constraint_index_tuples as f64 / d),
             Table::num(used_size as f64 / d),
             Table::num(report.total_tuples() as f64 / d),
@@ -334,9 +335,9 @@ pub fn fig6k_index_size(profile: &BenchProfile) -> Table {
 /// Fig. 6(l) + Exp-5: plan generation time, bounded execution time and full
 /// exact evaluation time while varying |D|.
 pub fn fig6l_efficiency(profile: &BenchProfile) -> Table {
-    let alpha = profile.alphas.last().copied().unwrap_or(0.1);
+    let spec = profile.last_spec();
     let mut table = Table::new(
-        format!("TPCH: efficiency, varying |D| (alpha = {alpha})"),
+        format!("TPCH: efficiency, varying |D| (spec = {spec})"),
         vec![
             "scale",
             "|D|",
@@ -348,17 +349,49 @@ pub fn fig6l_efficiency(profile: &BenchProfile) -> Table {
     );
     for &scale in &profile.scales {
         let prep = prepare(tpch_lite(scale, profile.seed), profile);
-        let t = measure_timings(&prep, alpha);
+        let t = measure_timings(&prep, spec);
         let bounded = t.plan_execution.as_secs_f64() * 1e3;
         let full = t.full_evaluation.as_secs_f64() * 1e3;
-        let speedup = if bounded > 0.0 { full / bounded } else { f64::NAN };
+        let speedup = if bounded > 0.0 {
+            full / bounded
+        } else {
+            f64::NAN
+        };
         table.push_row(vec![
             scale.to_string(),
-            prep.dataset.size().to_string(),
+            prep.size().to_string(),
             format!("{:.3}", t.plan_generation.as_secs_f64() * 1e3),
             format!("{bounded:.3}"),
             format!("{full:.3}"),
             format!("{speedup:.1}x"),
+        ]);
+    }
+    table
+}
+
+/// Beyond the paper: the serving-path experiment. Answers every workload
+/// query repeatedly at each spec of the profile, planning from scratch per
+/// request vs. through a cached [`PreparedQuery`], and reports the speedup
+/// the per-budget plan cache buys.
+///
+/// [`PreparedQuery`]: beas_core::PreparedQuery
+pub fn fig_plan_cache(profile: &BenchProfile) -> Table {
+    const ROUNDS: usize = 30;
+    let prep = prepare(tpch_lite(profile.scale, profile.seed), profile);
+    let mut table = Table::new(
+        format!(
+            "TPCH: repeated answering, plan-from-scratch vs PreparedQuery cache ({} answers/spec)",
+            ROUNDS * prep.queries.len()
+        ),
+        vec!["spec", "scratch_ms", "prepared_ms", "speedup"],
+    );
+    for &spec in &profile.specs {
+        let t = measure_plan_cache(&prep, spec, ROUNDS);
+        table.push_row(vec![
+            format!("{spec}"),
+            format!("{:.3}", t.scratch.as_secs_f64() * 1e3),
+            format!("{:.3}", t.prepared.as_secs_f64() * 1e3),
+            format!("{:.2}x", t.speedup()),
         ]);
     }
     table
@@ -379,6 +412,7 @@ pub fn all_figures(profile: &BenchProfile) -> Vec<Table> {
         fig6j_exact_ratio(profile),
         fig6k_index_size(profile),
         fig6l_efficiency(profile),
+        fig_plan_cache(profile),
     ]
 }
 
@@ -391,7 +425,10 @@ mod tests {
             scale: 1,
             scales: vec![1, 2],
             queries: 4,
-            alphas: vec![0.02, 0.1],
+            specs: vec![
+                beas_core::ResourceSpec::Ratio(0.02),
+                beas_core::ResourceSpec::Ratio(0.1),
+            ],
             seed: 7,
             accuracy: beas_core::AccuracyConfig {
                 relax_grid: 2,
@@ -438,6 +475,23 @@ mod tests {
             let gen_ms: f64 = row[2].parse().unwrap();
             assert!(gen_ms >= 0.0);
             assert!(gen_ms < 1000.0, "plan generation should be far below 1s");
+        }
+    }
+
+    #[test]
+    fn plan_cache_table_reports_speedups_per_spec() {
+        let t = fig_plan_cache(&tiny_profile());
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let scratch: f64 = row[1].parse().unwrap();
+            let prepared: f64 = row[2].parse().unwrap();
+            assert!(scratch > 0.0 && prepared > 0.0);
+            // wall-clock comparison with 25% noise slack (see the harness
+            // plan-cache test); a broken cache re-plans and overshoots this
+            assert!(
+                prepared <= scratch * 1.25,
+                "cached answering must not be slower: {prepared} vs {scratch}"
+            );
         }
     }
 

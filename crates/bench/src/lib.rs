@@ -27,5 +27,5 @@ pub mod figures;
 pub mod harness;
 pub mod table;
 
-pub use harness::{BenchProfile, Metric, MethodAccuracy, QueryClass};
+pub use harness::{BenchProfile, MethodAccuracy, Metric, QueryClass};
 pub use table::Table;

@@ -170,11 +170,27 @@ pub fn rc_accuracy(
                 // min/max: distances inherit from the inner query (Sec. 3.2
                 // case (1)); the aggregate value is in the active domain so the
                 // plain row distance applies.
-                rc_for_rows(approx, &exact, &kinds, query, db, cfg, Some(agg.group_by.len()))
+                rc_for_rows(
+                    approx,
+                    &exact,
+                    &kinds,
+                    query,
+                    db,
+                    cfg,
+                    Some(agg.group_by.len()),
+                )
             } else {
                 // sum/count/avg (Sec. 3.2 case (2)): relevance is judged on
                 // the group key only; coverage adds the aggregate-value gap.
-                rc_for_rows(approx, &exact, &kinds, query, db, cfg, Some(agg.group_by.len()))
+                rc_for_rows(
+                    approx,
+                    &exact,
+                    &kinds,
+                    query,
+                    db,
+                    cfg,
+                    Some(agg.group_by.len()),
+                )
             }
         }
     }
@@ -387,7 +403,7 @@ pub fn mac_accuracy(approx: &Relation, exact: &Relation, kinds: &[DistanceKind])
     let arity = kinds.len();
     // per-attribute normalisation ranges over both sets
     let mut ranges = vec![0.0f64; arity];
-    for j in 0..arity {
+    for (j, range) in ranges.iter_mut().enumerate() {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         for row in exact.rows.iter().chain(approx.rows.iter()) {
@@ -396,7 +412,7 @@ pub fn mac_accuracy(approx: &Relation, exact: &Relation, kinds: &[DistanceKind])
                 hi = hi.max(v);
             }
         }
-        ranges[j] = if hi > lo { hi - lo } else { 0.0 };
+        *range = if hi > lo { hi - lo } else { 0.0 };
     }
     let norm_dist = |a: &Row, b: &Row| -> f64 {
         let mut total = 0.0;
@@ -433,7 +449,7 @@ pub fn mac_accuracy(approx: &Relation, exact: &Relation, kinds: &[DistanceKind])
 /// The classical F-measure under exact tuple membership.
 pub fn f_measure(approx: &Relation, exact: &Relation) -> FMeasure {
     if approx.is_empty() || exact.is_empty() {
-        let precision = if approx.is_empty() { 0.0 } else { 0.0 };
+        let precision = 0.0;
         let recall = if exact.is_empty() { 1.0 } else { 0.0 };
         return FMeasure {
             precision,
@@ -443,7 +459,10 @@ pub fn f_measure(approx: &Relation, exact: &Relation) -> FMeasure {
     }
     let exact_set: HashSet<&Row> = exact.rows.iter().collect();
     let approx_set: HashSet<&Row> = approx.rows.iter().collect();
-    let inter = approx_set.iter().filter(|r| exact_set.contains(**r)).count() as f64;
+    let inter = approx_set
+        .iter()
+        .filter(|r| exact_set.contains(**r))
+        .count() as f64;
     let precision = inter / approx_set.len() as f64;
     let recall = inter / exact_set.len() as f64;
     let f1 = if precision + recall == 0.0 {
@@ -508,7 +527,12 @@ mod tests {
         ] {
             db.insert_row(
                 "poi",
-                vec![Value::from(addr), Value::from(ty), Value::from(city), Value::Double(price)],
+                vec![
+                    Value::from(addr),
+                    Value::from(ty),
+                    Value::from(city),
+                    Value::Double(price),
+                ],
             )
             .unwrap();
         }
@@ -611,8 +635,7 @@ mod tests {
         b.filter_const(h, "price", CompareOp::Le, 10i64).unwrap();
         b.output(h, "price", "price").unwrap();
         let q: BeasQuery = b.build().unwrap().into();
-        let approx =
-            Relation::new(vec!["price".into()], vec![vec![Value::Double(20.0)]]).unwrap();
+        let approx = Relation::new(vec!["price".into()], vec![vec![Value::Double(20.0)]]).unwrap();
         let report = rc_accuracy(&approx, &q, &db, &AccuracyConfig::default()).unwrap();
         assert_eq!(report.coverage, 1.0);
         assert!(report.relevance > 0.0);

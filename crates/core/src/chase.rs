@@ -107,9 +107,14 @@ pub fn chase_leaf(
                 if !covers_new {
                     continue;
                 }
-                let Some((sources, input_node)) =
-                    key_sources_for(leaf, ai, &attr_names[ai], &family.x, &exact_vars, &const_vars)
-                else {
+                let Some((sources, input_node)) = key_sources_for(
+                    leaf,
+                    ai,
+                    &attr_names[ai],
+                    &family.x,
+                    &exact_vars,
+                    &const_vars,
+                ) else {
                     continue;
                 };
                 // tariff check against the global budget, reserving one tuple
@@ -317,15 +322,31 @@ fn select_completion_family(
     let current_tariff = plan.total_tariff(catalog)?;
 
     // candidate = (priority, tariff, family, level, sources, input, exact)
-    let mut best: Option<(u8, usize, FamilyId, usize, Vec<KeySource>, Option<usize>, bool)> = None;
+    let mut best: Option<(
+        u8,
+        usize,
+        FamilyId,
+        usize,
+        Vec<KeySource>,
+        Option<usize>,
+        bool,
+    )> = None;
     let consider = |priority: u8,
-                        tariff: usize,
-                        fam: FamilyId,
-                        level: usize,
-                        sources: Vec<KeySource>,
-                        input: Option<usize>,
-                        exact: bool,
-                        best: &mut Option<(u8, usize, FamilyId, usize, Vec<KeySource>, Option<usize>, bool)>| {
+                    tariff: usize,
+                    fam: FamilyId,
+                    level: usize,
+                    sources: Vec<KeySource>,
+                    input: Option<usize>,
+                    exact: bool,
+                    best: &mut Option<(
+        u8,
+        usize,
+        FamilyId,
+        usize,
+        Vec<KeySource>,
+        Option<usize>,
+        bool,
+    )>| {
         let better = match best {
             None => true,
             Some((bp, bt, ..)) => (priority, tariff) < (*bp, *bt),
@@ -358,7 +379,16 @@ fn select_completion_family(
                 .min(family.level(exact_level)?.stored_tuples().max(1));
             let priority = if family.x.is_empty() { 1 } else { 0 };
             if current_tariff.saturating_add(tariff) <= budget {
-                consider(priority, tariff, fam_id, exact_level, sources.clone(), input_node, true, &mut best);
+                consider(
+                    priority,
+                    tariff,
+                    fam_id,
+                    exact_level,
+                    sources.clone(),
+                    input_node,
+                    true,
+                    &mut best,
+                );
             }
         }
         // (b) coarsest level of a multi-level family → priority 2 when keyed,
@@ -415,7 +445,8 @@ mod tests {
         let mut db = Database::new(schema);
         let cities = ["NYC", "LA", "Chicago", "Boston"];
         for i in 0..n {
-            db.insert_row("friend", vec![Value::Int(i % 10), Value::Int(i)]).unwrap();
+            db.insert_row("friend", vec![Value::Int(i % 10), Value::Int(i)])
+                .unwrap();
             db.insert_row(
                 "person",
                 vec![Value::Int(i), Value::from(cities[(i % 4) as usize])],
@@ -480,7 +511,11 @@ mod tests {
         let outcome = chase_leaf(&q, 0, &catalog, &mut plan, 500, 0).unwrap();
         // every atom got a completion node
         assert_eq!(outcome.leaf_plan.atom_nodes.len(), 3);
-        assert!(outcome.leaf_plan.atom_nodes.iter().all(|&n| n != usize::MAX));
+        assert!(outcome
+            .leaf_plan
+            .atom_nodes
+            .iter()
+            .all(|&n| n != usize::MAX));
         // the poi atom should be served by the keyed extended template, not A_t
         let poi_node = plan.node(outcome.leaf_plan.atom_nodes[2]).unwrap();
         let poi_family = catalog.family(poi_node.family).unwrap();
@@ -523,7 +558,11 @@ mod tests {
         let outcome = chase_leaf(&q, 0, &catalog, &mut plan, 3, 0).unwrap();
         assert!(!outcome.all_exact);
         // all atoms still get completion nodes (the A_t fallback)
-        assert!(outcome.leaf_plan.atom_nodes.iter().all(|&n| n != usize::MAX));
+        assert!(outcome
+            .leaf_plan
+            .atom_nodes
+            .iter()
+            .all(|&n| n != usize::MAX));
         for &node_id in &outcome.leaf_plan.atom_nodes {
             let node = plan.node(node_id).unwrap();
             let fam = catalog.family(node.family).unwrap();
@@ -571,6 +610,9 @@ mod tests {
         // preferred → exact coverage
         assert!(fam.level(node.level).unwrap().is_exact());
         assert!(outcome.all_exact);
-        assert!(node.key_sources.iter().all(|k| matches!(k, KeySource::Const(_))));
+        assert!(node
+            .key_sources
+            .iter()
+            .all(|k| matches!(k, KeySource::Const(_))));
     }
 }

@@ -7,17 +7,32 @@
 //!              │ C2 maintain I_A under updates         │
 //!              └───────────────────────────────────────┘
 //!              ┌─ online ──────────────────────────────┐
-//!   (Q, α)  ──▶│ C3 generate α-bounded plan ξ_α, bound η│──▶ (ξ_α(D), η)
+//!   (Q, spec)─▶│ C3 generate α-bounded plan ξ_α, bound η│──▶ (ξ_α(D), η)
 //!              │ C4 execute ξ_α, accessing ≤ α·|D|     │
 //!              └───────────────────────────────────────┘
 //! ```
+//!
+//! The engine is *session-oriented*: it is constructed through the fluent
+//! [`BeasBuilder`] (constraints, `A_t` options, budget policy), owns its
+//! database behind an [`Arc`], answers queries under a typed
+//! [`ResourceSpec`], hands out re-usable [`PreparedQuery`] handles that cache
+//! bounded plans per budget (amortizing C3 across repeated requests), and
+//! maintains its indices incrementally under inserts ([`Beas::insert_row`],
+//! [`Beas::apply_update`] — component C2) instead of requiring an offline
+//! rebuild.
 
-use beas_access::{build_constraint, build_extended, AtOptions, Catalog, FamilyId};
-use beas_relal::{Database, Relation};
+use std::sync::Arc;
 
+use beas_access::{
+    build_constraint, build_extended, AtOptions, BudgetPolicy, Catalog, FamilyId, ResourceSpec,
+};
+use beas_relal::{Database, Relation, Row};
+
+use crate::accuracy::{exact_answers, rc_accuracy, AccuracyConfig, RcReport};
 use crate::error::Result;
 use crate::executor::{execute_plan, ExecutionOutcome};
 use crate::planner::{BoundedPlan, Planner};
+use crate::prepared::PreparedQuery;
 use crate::query::BeasQuery;
 
 /// A declarative description of an access constraint to register with the
@@ -65,7 +80,7 @@ pub struct BeasAnswer {
     pub eta: f64,
     /// Whether the answers are exact (`Q(D)`).
     pub exact: bool,
-    /// Tuples accessed during execution (≤ `α·|D|`).
+    /// Tuples accessed during execution (≤ the budget the spec resolved to).
     pub accessed: usize,
     /// The estimated tariff of the plan.
     pub planned_tariff: usize,
@@ -73,29 +88,112 @@ pub struct BeasAnswer {
     pub budget: usize,
 }
 
-/// The BEAS engine: owns the access-schema catalog built over a database and
-/// answers queries under a resource ratio.
-#[derive(Debug)]
-pub struct Beas {
-    catalog: Catalog,
+/// A batch of database updates for [`Beas::apply_update`] (component C2).
+///
+/// The batch is validated as a whole before any row is applied, so a bad row
+/// leaves the engine untouched.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    inserts: Vec<(String, Row)>,
 }
 
-impl Beas {
-    /// Offline component: builds the canonical `A_t` catalog for the database
-    /// and registers the given access constraints (plus their derived extended
-    /// templates).
-    pub fn build(db: &Database, constraints: &[ConstraintSpec]) -> Result<Self> {
-        Self::build_with_options(db, constraints, &AtOptions::default())
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
     }
 
-    /// [`Beas::build`] with explicit `A_t` options.
-    pub fn build_with_options(
-        db: &Database,
-        constraints: &[ConstraintSpec],
-        opts: &AtOptions,
-    ) -> Result<Self> {
-        let mut catalog = Catalog::for_database(db, opts)?;
-        for spec in constraints {
+    /// Adds an insert of `row` into `relation`.
+    pub fn insert(mut self, relation: &str, row: Row) -> Self {
+        self.inserts.push((relation.to_string(), row));
+        self
+    }
+
+    /// Number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len()
+    }
+
+    /// `true` when the batch holds no updates.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty()
+    }
+
+    /// The buffered inserts, in application order.
+    pub fn inserts(&self) -> &[(String, Row)] {
+        &self.inserts
+    }
+}
+
+/// Fluent construction of a [`Beas`] engine (offline component C1).
+///
+/// ```
+/// use beas_core::{Beas, ConstraintSpec};
+/// use beas_relal::{Attribute, Database, DatabaseSchema, RelationSchema};
+///
+/// let schema = DatabaseSchema::new(vec![RelationSchema::new(
+///     "poi",
+///     vec![Attribute::categorical("type"), Attribute::double("price")],
+/// )]);
+/// let engine = Beas::builder(Database::new(schema))
+///     .constraint(ConstraintSpec::new("poi", &["type"], &["price"]))
+///     .build()
+///     .unwrap();
+/// assert_eq!(engine.database().total_tuples(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BeasBuilder {
+    db: Arc<Database>,
+    constraints: Vec<ConstraintSpec>,
+    options: AtOptions,
+    policy: BudgetPolicy,
+}
+
+impl BeasBuilder {
+    /// A builder over a database the engine will own. Accepts either a
+    /// [`Database`] or an existing [`Arc<Database>`] (shared snapshots stay
+    /// cheap: maintenance copies-on-write only when another handle is alive).
+    pub fn new(db: impl Into<Arc<Database>>) -> Self {
+        BeasBuilder {
+            db: db.into(),
+            constraints: Vec::new(),
+            options: AtOptions::default(),
+            policy: BudgetPolicy::default(),
+        }
+    }
+
+    /// Registers one access constraint.
+    pub fn constraint(mut self, spec: ConstraintSpec) -> Self {
+        self.constraints.push(spec);
+        self
+    }
+
+    /// Registers several access constraints.
+    pub fn constraints<I: IntoIterator<Item = ConstraintSpec>>(mut self, specs: I) -> Self {
+        self.constraints.extend(specs);
+        self
+    }
+
+    /// Sets the `A_t` construction options (e.g. the level cap).
+    pub fn at_options(mut self, options: AtOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the budget policy used to resolve [`ResourceSpec`]s.
+    pub fn budget_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Offline component C1: builds the canonical `A_t` catalog plus the
+    /// registered constraints (and their derived extended templates), and
+    /// returns the engine owning the database.
+    pub fn build(self) -> Result<Beas> {
+        let db = &*self.db;
+        let mut catalog = Catalog::for_database(db, &self.options)?;
+        catalog.policy = self.policy;
+        for spec in &self.constraints {
             let x: Vec<&str> = spec.x.iter().map(|s| s.as_str()).collect();
             let y: Vec<&str> = spec.y.iter().map(|s| s.as_str()).collect();
             catalog.add_family(build_constraint(db, &spec.relation, &x, &y)?);
@@ -119,12 +217,64 @@ impl Beas {
                 }
             }
         }
-        Ok(Beas { catalog })
+        Ok(Beas {
+            db: self.db,
+            catalog,
+        })
+    }
+}
+
+/// The BEAS engine: owns its database and the access-schema catalog built
+/// over it, answers queries under typed resource specs, and maintains the
+/// catalog incrementally under inserts.
+#[derive(Debug, Clone)]
+pub struct Beas {
+    db: Arc<Database>,
+    catalog: Catalog,
+}
+
+impl Beas {
+    /// Starts building an engine over `db` (see [`BeasBuilder`]).
+    pub fn builder(db: impl Into<Arc<Database>>) -> BeasBuilder {
+        BeasBuilder::new(db)
     }
 
-    /// Wraps an existing catalog (e.g. one maintained incrementally).
-    pub fn from_catalog(catalog: Catalog) -> Self {
-        Beas { catalog }
+    /// Builds an engine over a borrowed database (clones it).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Beas::builder(db).constraints(..).build()`"
+    )]
+    pub fn build(db: &Database, constraints: &[ConstraintSpec]) -> Result<Self> {
+        BeasBuilder::new(db.clone())
+            .constraints(constraints.iter().cloned())
+            .build()
+    }
+
+    /// [`Beas::build`] with explicit `A_t` options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Beas::builder(db).constraints(..).at_options(opts).build()`"
+    )]
+    pub fn build_with_options(
+        db: &Database,
+        constraints: &[ConstraintSpec],
+        opts: &AtOptions,
+    ) -> Result<Self> {
+        BeasBuilder::new(db.clone())
+            .constraints(constraints.iter().cloned())
+            .at_options(opts.clone())
+            .build()
+    }
+
+    /// The database the engine owns.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// A shared handle to the engine's database (e.g. for accuracy tooling
+    /// that outlives a borrow of the engine).
+    pub fn database_arc(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
     }
 
     /// The catalog (access schema + indices).
@@ -137,25 +287,50 @@ impl Beas {
         self.catalog.add_family(family)
     }
 
-    /// Online component C3: generates the α-bounded plan and its bound η
-    /// without accessing the database.
-    pub fn plan(&self, query: &BeasQuery, alpha: f64) -> Result<BoundedPlan> {
-        Planner::new(&self.catalog).plan(query, alpha)
+    /// Online component C3: generates the bounded plan and its bound η for a
+    /// resource spec, without accessing the database. Zero specs are an error
+    /// here (no plan can access zero tuples); [`Beas::answer`] maps them to an
+    /// empty answer instead.
+    pub fn plan(&self, query: &BeasQuery, spec: ResourceSpec) -> Result<BoundedPlan> {
+        Planner::new(&self.catalog).plan(query, spec)
     }
 
-    /// Online components C3 + C4: plans and executes the query under resource
-    /// ratio `alpha`, returning the answers, the bound η and the accounting.
-    pub fn answer(&self, query: &BeasQuery, alpha: f64) -> Result<BeasAnswer> {
-        let plan = self.plan(query, alpha)?;
+    /// Online components C3 + C4: plans and executes the query under a
+    /// resource spec, returning the answers, the bound η and the accounting.
+    pub fn answer(&self, query: &BeasQuery, spec: ResourceSpec) -> Result<BeasAnswer> {
+        let budget = self.catalog.budget(&spec)?;
+        if budget == 0 {
+            query.validate(&self.catalog.schema)?;
+            return Ok(empty_answer(query.output_columns()));
+        }
+        let plan = Planner::new(&self.catalog).plan_with_budget(query, budget)?;
         let outcome: ExecutionOutcome = execute_plan(&plan, &self.catalog)?;
-        Ok(BeasAnswer {
-            answers: outcome.answers,
-            eta: outcome.eta,
-            exact: plan.exact,
-            accessed: outcome.accessed,
-            planned_tariff: plan.tariff,
-            budget: plan.budget,
-        })
+        Ok(answer_from(&plan, outcome))
+    }
+
+    /// Caches validation and per-budget plans for a query that will be asked
+    /// repeatedly: `prepare` once, then [`PreparedQuery::answer`] per request
+    /// — re-planning is skipped whenever the budget was seen before.
+    pub fn prepare(&self, query: &BeasQuery) -> Result<PreparedQuery<'_>> {
+        PreparedQuery::new(self, query)
+    }
+
+    /// Plans under resource ratio `alpha`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `plan(query, ResourceSpec::Ratio(alpha))`"
+    )]
+    pub fn plan_ratio(&self, query: &BeasQuery, alpha: f64) -> Result<BoundedPlan> {
+        self.plan(query, ResourceSpec::Ratio(alpha))
+    }
+
+    /// Plans and executes under resource ratio `alpha`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `answer(query, ResourceSpec::Ratio(alpha))`"
+    )]
+    pub fn answer_ratio(&self, query: &BeasQuery, alpha: f64) -> Result<BeasAnswer> {
+        self.answer(query, ResourceSpec::Ratio(alpha))
     }
 
     /// Executes a previously generated plan.
@@ -167,6 +342,73 @@ impl Beas {
     /// (Exp-3, Fig. 6(j)).
     pub fn exact_ratio(&self, query: &BeasQuery) -> Result<Option<f64>> {
         Planner::new(&self.catalog).exact_ratio(query)
+    }
+
+    /// Ground truth `Q(D)` over the owned database (full evaluation — ignores
+    /// every resource bound).
+    pub fn exact_answers(&self, query: &BeasQuery) -> Result<Relation> {
+        exact_answers(query, &self.db)
+    }
+
+    /// Measures the RC accuracy of an answer set against the owned database.
+    pub fn accuracy(
+        &self,
+        approx: &Relation,
+        query: &BeasQuery,
+        config: &AccuracyConfig,
+    ) -> Result<RcReport> {
+        rc_accuracy(approx, query, &self.db, config)
+    }
+
+    /// Offline component C2: inserts one row into the owned database and
+    /// propagates it through every affected family index — updating
+    /// representatives, cardinality bounds, `|D|` and therefore budget
+    /// accounting — without rebuilding the catalog.
+    ///
+    /// Existing level resolutions never change, so η bounds computed before
+    /// the insert remain valid; answers at the full spec match a freshly
+    /// rebuilt engine because exact levels absorb inserts exactly.
+    pub fn insert_row(&mut self, relation: &str, row: Row) -> Result<()> {
+        self.catalog.insert_row(relation, &row)?;
+        Arc::make_mut(&mut self.db).insert_row(relation, row)?;
+        Ok(())
+    }
+
+    /// Batched component C2: validates the whole batch, then applies every
+    /// insert through [`Beas::insert_row`]'s incremental path. Returns the
+    /// number of rows applied.
+    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<usize> {
+        // the catalog validates the whole batch before touching any index
+        self.catalog.insert_rows(batch.inserts())?;
+        let db = Arc::make_mut(&mut self.db);
+        for (relation, row) in batch.inserts() {
+            db.insert_row(relation, row.clone())?;
+        }
+        Ok(batch.len())
+    }
+}
+
+/// The answer for a zero-budget spec: no access, no answers, no bound.
+pub(crate) fn empty_answer(columns: Vec<String>) -> BeasAnswer {
+    BeasAnswer {
+        answers: Relation::empty(columns),
+        eta: 0.0,
+        exact: false,
+        accessed: 0,
+        planned_tariff: 0,
+        budget: 0,
+    }
+}
+
+/// Assembles a [`BeasAnswer`] from a plan and its execution outcome.
+pub(crate) fn answer_from(plan: &BoundedPlan, outcome: ExecutionOutcome) -> BeasAnswer {
+    BeasAnswer {
+        answers: outcome.answers,
+        eta: outcome.eta,
+        exact: plan.exact,
+        accessed: outcome.accessed,
+        planned_tariff: plan.tariff,
+        budget: plan.budget,
     }
 }
 
@@ -200,7 +442,8 @@ mod tests {
         let mut db = Database::new(schema);
         let cities = ["NYC", "LA", "Chicago", "Boston"];
         for i in 0..n {
-            db.insert_row("friend", vec![Value::Int(i % 10), Value::Int(i)]).unwrap();
+            db.insert_row("friend", vec![Value::Int(i % 10), Value::Int(i)])
+                .unwrap();
             db.insert_row(
                 "person",
                 vec![Value::Int(i), Value::from(cities[(i % 4) as usize])],
@@ -226,6 +469,13 @@ mod tests {
             ConstraintSpec::new("person", &["pid"], &["city"]).without_extension(),
             ConstraintSpec::new("poi", &["type", "city"], &["price"]),
         ]
+    }
+
+    fn engine(n: i64) -> Beas {
+        Beas::builder(example_db(n))
+            .constraints(constraints())
+            .build()
+            .unwrap()
     }
 
     /// Q1 of Example 1 with (city, price) output.
@@ -263,7 +513,8 @@ mod tests {
         let h = b.atom("poi", "h").unwrap();
         b.bind_const(h, "type", "hotel").unwrap();
         b.filter_const(h, "city", CompareOp::Eq, city).unwrap();
-        b.filter_const(h, "price", CompareOp::Le, max_price).unwrap();
+        b.filter_const(h, "price", CompareOp::Le, max_price)
+            .unwrap();
         b.output(h, "city", "city").unwrap();
         b.output(h, "price", "price").unwrap();
         b.build().unwrap().into()
@@ -271,25 +522,24 @@ mod tests {
 
     #[test]
     fn boundedly_evaluable_query_is_answered_exactly() {
-        let db = example_db(400);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let q = q2(&db);
-        let answer = beas.answer(&q, 0.1).unwrap();
+        let beas = engine(400);
+        let q = q2(beas.database());
+        let answer = beas.answer(&q, ResourceSpec::Ratio(0.1)).unwrap();
         assert!(answer.exact);
         assert_eq!(answer.eta, 1.0);
-        let truth = exact_answers(&q, &db).unwrap();
+        let truth = beas.exact_answers(&q).unwrap();
         assert_eq!(answer.answers.clone().sorted(), truth.sorted());
         assert!(answer.accessed <= answer.budget);
     }
 
     #[test]
     fn execution_respects_the_budget() {
-        let db = example_db(400);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let q = q1(&db);
+        let beas = engine(400);
+        let q = q1(beas.database());
         for alpha in [0.05, 0.1, 0.3] {
-            let answer = beas.answer(&q, alpha).unwrap();
-            let budget = beas.catalog().budget_for(alpha);
+            let spec = ResourceSpec::ratio(alpha).unwrap();
+            let answer = beas.answer(&q, spec).unwrap();
+            let budget = beas.catalog().budget(&spec).unwrap();
             assert!(
                 answer.accessed <= budget,
                 "accessed {} > budget {budget} at α={alpha}",
@@ -300,23 +550,23 @@ mod tests {
 
     #[test]
     fn q1_answers_become_exact_with_enough_budget() {
-        let db = example_db(400);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let q = q1(&db);
-        let answer = beas.answer(&q, 1.0).unwrap();
+        let beas = engine(400);
+        let q = q1(beas.database());
+        let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
         assert!(answer.exact, "α = 1 must allow the exact plan");
-        let truth = exact_answers(&q, &db).unwrap();
+        let truth = beas.exact_answers(&q).unwrap();
         assert_eq!(answer.answers.clone().sorted(), truth.sorted());
     }
 
     #[test]
     fn approximate_answers_satisfy_the_reported_bound() {
-        let db = example_db(400);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let q = q1(&db);
+        let beas = engine(400);
+        let q = q1(beas.database());
         for alpha in [0.03, 0.08, 0.2, 0.5] {
-            let answer = beas.answer(&q, alpha).unwrap();
-            let report = rc_accuracy(&answer.answers, &q, &db, &AccuracyConfig::default()).unwrap();
+            let answer = beas.answer(&q, ResourceSpec::Ratio(alpha)).unwrap();
+            let report = beas
+                .accuracy(&answer.answers, &q, &AccuracyConfig::default())
+                .unwrap();
             assert!(
                 report.accuracy + 1e-9 >= answer.eta,
                 "α={alpha}: measured accuracy {} below promised η {}",
@@ -328,63 +578,106 @@ mod tests {
 
     #[test]
     fn eta_is_monotone_in_alpha() {
-        let db = example_db(400);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let q = q1(&db);
+        let beas = engine(400);
+        let q = q1(beas.database());
         let mut last = -1.0;
         for alpha in [0.02, 0.05, 0.1, 0.25, 0.6, 1.0] {
-            let answer = beas.answer(&q, alpha).unwrap();
+            let answer = beas.answer(&q, ResourceSpec::Ratio(alpha)).unwrap();
             assert!(answer.eta >= last - 1e-12);
             last = answer.eta;
         }
     }
 
     #[test]
+    fn tuple_specs_and_ratio_specs_share_the_budget_vocabulary() {
+        let beas = engine(400);
+        let q = q1(beas.database());
+        let db_size = beas.database().total_tuples();
+        let by_ratio = beas.answer(&q, ResourceSpec::Ratio(0.1)).unwrap();
+        let by_tuples = beas.answer(&q, ResourceSpec::Tuples(db_size / 10)).unwrap();
+        assert_eq!(by_ratio.budget, by_tuples.budget);
+        assert_eq!(
+            by_ratio.answers.clone().sorted(),
+            by_tuples.answers.clone().sorted()
+        );
+    }
+
+    #[test]
+    fn zero_spec_answers_empty_without_access() {
+        let beas = engine(100);
+        let q = q1(beas.database());
+        let answer = beas.answer(&q, ResourceSpec::Ratio(0.0)).unwrap();
+        assert_eq!(answer.accessed, 0);
+        assert_eq!(answer.budget, 0);
+        assert!(answer.answers.is_empty());
+        assert_eq!(answer.answers.columns, vec!["city", "price"]);
+        assert_eq!(answer.eta, 0.0);
+        // planning a zero spec is an error: no plan can access zero tuples
+        assert!(beas.plan(&q, ResourceSpec::Tuples(0)).is_err());
+        // invalid specs are rejected outright
+        assert!(beas.answer(&q, ResourceSpec::Ratio(-1.0)).is_err());
+        assert!(beas.answer(&q, ResourceSpec::Ratio(2.0)).is_err());
+    }
+
+    #[test]
+    fn builder_applies_options_and_policy() {
+        let beas = Beas::builder(example_db(200))
+            .constraints(constraints())
+            .at_options(AtOptions { level_cap: Some(2) })
+            .budget_policy(BudgetPolicy::capped(25))
+            .build()
+            .unwrap();
+        let at = beas.catalog().at_family_for("poi").unwrap();
+        assert!(beas.catalog().family(at).unwrap().num_levels() <= 2);
+        assert_eq!(beas.catalog().budget(&ResourceSpec::FULL).unwrap(), 25);
+        let q = hotels_in(beas.database(), "NYC", 200);
+        let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
+        assert!(answer.accessed <= 25, "capped policy must bound access");
+    }
+
+    #[test]
     fn single_relation_selection_query_end_to_end() {
-        let db = example_db(300);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let q = hotels_in(&db, "NYC", 90);
-        let answer = beas.answer(&q, 0.5).unwrap();
-        let truth = exact_answers(&q, &db).unwrap();
+        let beas = engine(300);
+        let q = hotels_in(beas.database(), "NYC", 90);
+        let answer = beas.answer(&q, ResourceSpec::Ratio(0.5)).unwrap();
+        let truth = beas.exact_answers(&q).unwrap();
         assert!(answer.exact);
         assert_eq!(answer.answers.clone().sorted(), truth.sorted());
     }
 
     #[test]
     fn union_query_combines_branches() {
-        let db = example_db(300);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let a = match hotels_in(&db, "NYC", 200) {
+        let beas = engine(300);
+        let a = match hotels_in(beas.database(), "NYC", 200) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
-        let b = match hotels_in(&db, "Chicago", 200) {
+        let b = match hotels_in(beas.database(), "Chicago", 200) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
         let q: BeasQuery = BeasQuery::Ra(a.union(b));
-        let answer = beas.answer(&q, 1.0).unwrap();
-        let truth = exact_answers(&q, &db).unwrap();
+        let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
+        let truth = beas.exact_answers(&q).unwrap();
         assert_eq!(answer.answers.clone().sorted(), truth.sorted());
     }
 
     #[test]
     fn difference_never_returns_excluded_tuples() {
         // Theorem 6(5): if t ∈ Q2(D) then t ∉ ξ_α(D)
-        let db = example_db(300);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let all = match hotels_in(&db, "NYC", 1000) {
+        let beas = engine(300);
+        let all = match hotels_in(beas.database(), "NYC", 1000) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
-        let cheap = match hotels_in(&db, "NYC", 90) {
+        let cheap = match hotels_in(beas.database(), "NYC", 90) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
         let q: BeasQuery = BeasQuery::Ra(all.difference(cheap.clone()));
-        let cheap_exact = exact_answers(&BeasQuery::Ra(cheap), &db).unwrap();
+        let cheap_exact = beas.exact_answers(&BeasQuery::Ra(cheap)).unwrap();
         for alpha in [0.05, 0.2, 1.0] {
-            let answer = beas.answer(&q, alpha).unwrap();
+            let answer = beas.answer(&q, ResourceSpec::Ratio(alpha)).unwrap();
             for row in &answer.answers.rows {
                 assert!(
                     !cheap_exact.rows.contains(row),
@@ -396,63 +689,61 @@ mod tests {
 
     #[test]
     fn aggregate_count_query_end_to_end() {
-        let db = example_db(300);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let inner = match q1(&db) {
+        let beas = engine(300);
+        let inner = match q1(beas.database()) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
         let q: BeasQuery = AggQuery::new(inner, vec!["city".into()], AggFunc::Count, "price", "n")
             .unwrap()
             .into();
-        let answer = beas.answer(&q, 1.0).unwrap();
-        let truth = exact_answers(&q, &db).unwrap();
+        let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
+        let truth = beas.exact_answers(&q).unwrap();
         // counts grouped by city must match exactly under the exact plan
         assert_eq!(answer.answers.clone().sorted(), truth.sorted());
 
         // under a small ratio the answer is approximate but non-empty and the
         // group keys are valid cities
-        let approx = beas.answer(&q, 0.1).unwrap();
+        let approx = beas.answer(&q, ResourceSpec::Ratio(0.1)).unwrap();
         assert!(approx.eta <= 1.0);
-        let report = rc_accuracy(&approx.answers, &q, &db, &AccuracyConfig::default()).unwrap();
+        let report = beas
+            .accuracy(&approx.answers, &q, &AccuracyConfig::default())
+            .unwrap();
         assert!(report.accuracy >= 0.0);
     }
 
     #[test]
     fn aggregate_min_and_avg_queries_run() {
-        let db = example_db(200);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let inner = match hotels_in(&db, "NYC", 1000) {
+        let beas = engine(200);
+        let inner = match hotels_in(beas.database(), "NYC", 1000) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
+        let small = ResourceSpec::Ratio(0.05);
         for agg in [AggFunc::Min, AggFunc::Max, AggFunc::Avg, AggFunc::Sum] {
-            let q: BeasQuery =
-                AggQuery::new(inner.clone(), vec!["city".into()], agg, "price", "v")
-                    .unwrap()
-                    .into();
-            let exact = beas.answer(&q, 1.0).unwrap();
-            let truth = exact_answers(&q, &db).unwrap();
+            let q: BeasQuery = AggQuery::new(inner.clone(), vec!["city".into()], agg, "price", "v")
+                .unwrap()
+                .into();
+            let exact = beas.answer(&q, ResourceSpec::FULL).unwrap();
+            let truth = beas.exact_answers(&q).unwrap();
             assert_eq!(exact.answers.clone().sorted(), truth.sorted(), "agg {agg}");
-            let approx = beas.answer(&q, 0.05).unwrap();
-            assert!(approx.accessed <= beas.catalog().budget_for(0.05));
+            let approx = beas.answer(&q, small).unwrap();
+            assert!(approx.accessed <= beas.catalog().budget(&small).unwrap());
         }
     }
 
     #[test]
     fn exact_ratio_is_small_for_bounded_queries() {
-        let db = example_db(500);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let r = beas.exact_ratio(&q2(&db)).unwrap().unwrap();
+        let beas = engine(500);
+        let r = beas.exact_ratio(&q2(beas.database())).unwrap().unwrap();
         assert!(r < 0.2, "Q2 exact ratio should be small, got {r}");
-        let r1 = beas.exact_ratio(&q1(&db)).unwrap().unwrap();
+        let r1 = beas.exact_ratio(&q1(beas.database())).unwrap().unwrap();
         assert!(r1 >= r);
     }
 
     #[test]
     fn catalog_reports_index_sizes() {
-        let db = example_db(200);
-        let beas = Beas::build(&db, &constraints()).unwrap();
+        let beas = engine(200);
         let report = beas.catalog().index_size_report();
         assert!(report.constraint_index_tuples > 0);
         assert!(report.template_index_tuples > 0);
@@ -461,13 +752,98 @@ mod tests {
 
     #[test]
     fn answer_rejects_invalid_query() {
-        let db = example_db(50);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let mut bad = match q2(&db) {
+        let beas = engine(50);
+        let mut bad = match q2(beas.database()) {
             BeasQuery::Ra(RaQuery::Spc(q)) => q,
             _ => unreachable!(),
         };
         bad.output.clear();
-        assert!(beas.answer(&bad.into(), 0.5).is_err());
+        assert!(beas.answer(&bad.into(), ResourceSpec::Ratio(0.5)).is_err());
+    }
+
+    #[test]
+    fn insert_row_keeps_answers_consistent_with_a_rebuild() {
+        let mut beas = engine(200);
+        // insert a batch of new NYC hotels through the incremental C2 path
+        for i in 0..25i64 {
+            beas.insert_row(
+                "poi",
+                vec![
+                    Value::from(format!("new{i}")),
+                    Value::from("hotel"),
+                    Value::from("NYC"),
+                    Value::Double(50.0 + i as f64),
+                ],
+            )
+            .unwrap();
+        }
+        assert_eq!(beas.catalog().db_size, beas.database().total_tuples());
+
+        // a freshly rebuilt engine over the same (updated) data
+        let rebuilt = Beas::builder(beas.database_arc())
+            .constraints(constraints())
+            .build()
+            .unwrap();
+        let q = hotels_in(beas.database(), "NYC", 70);
+        let incremental = beas.answer(&q, ResourceSpec::FULL).unwrap();
+        let fresh = rebuilt.answer(&q, ResourceSpec::FULL).unwrap();
+        assert!(incremental.exact && fresh.exact);
+        assert_eq!(
+            incremental.answers.clone().sorted(),
+            fresh.answers.clone().sorted()
+        );
+        // the new tuples are actually visible
+        let truth = beas.exact_answers(&q).unwrap();
+        assert_eq!(incremental.answers.clone().sorted(), truth.sorted());
+
+        // budgets keep being respected after the size change
+        let spec = ResourceSpec::Ratio(0.1);
+        let approx = beas.answer(&q, spec).unwrap();
+        assert!(approx.accessed <= beas.catalog().budget(&spec).unwrap());
+    }
+
+    #[test]
+    fn apply_update_batches_inserts_atomically() {
+        let mut beas = engine(100);
+        let before = beas.database().total_tuples();
+        let bad = UpdateBatch::new()
+            .insert("poi", vec![Value::from("x"), Value::from("hotel")])
+            .insert("friend", vec![Value::Int(1), Value::Int(2)]);
+        assert!(beas.apply_update(&bad).is_err());
+        assert_eq!(
+            beas.database().total_tuples(),
+            before,
+            "bad batch must not apply"
+        );
+
+        let good = UpdateBatch::new()
+            .insert("friend", vec![Value::Int(1), Value::Int(500)])
+            .insert("person", vec![Value::Int(500), Value::from("NYC")]);
+        assert_eq!(beas.apply_update(&good).unwrap(), 2);
+        assert_eq!(beas.database().total_tuples(), before + 2);
+        assert_eq!(beas.catalog().db_size, before + 2);
+
+        // the inserted friend edge is visible through a bounded answer
+        let q = q2(beas.database());
+        let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
+        let truth = beas.exact_answers(&q).unwrap();
+        assert_eq!(answer.answers.clone().sorted(), truth.sorted());
+        assert!(answer.answers.rows.contains(&vec![Value::from("NYC")]));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        let db = example_db(200);
+        let beas = Beas::build(&db, &constraints()).unwrap();
+        let q = q2(&db);
+        let answer = beas.answer_ratio(&q, 0.1).unwrap();
+        assert!(answer.exact);
+        let plan = beas.plan_ratio(&q, 0.1).unwrap();
+        assert!(plan.exact);
+        let truth = exact_answers(&q, &db).unwrap();
+        assert_eq!(answer.answers.clone().sorted(), truth.sorted());
+        let report = rc_accuracy(&answer.answers, &q, &db, &AccuracyConfig::default()).unwrap();
+        assert!(report.accuracy >= answer.eta - 1e-9);
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use beas_access::{Catalog, FetchSession, WEIGHT_COLUMN};
+use beas_access::{Catalog, FetchSession, ResourceSpec, WEIGHT_COLUMN};
 use beas_relal::{
     aggregate_relation, eval_bag, eval_set, CompareOp, GroupByQuery, Predicate, PredicateAtom,
     RaExpr, Relation, Row, SelCond, SpcQuery, Value,
@@ -43,6 +43,18 @@ pub struct ExecutionOutcome {
 /// the minimum the query needs.
 pub fn execute_plan(plan: &BoundedPlan, catalog: &Catalog) -> Result<ExecutionOutcome> {
     execute_plan_with_budget(plan, catalog, Some(plan.budget.max(plan.tariff)))
+}
+
+/// Executes `plan` under the budget a [`ResourceSpec`] resolves to for the
+/// catalog — e.g. re-running a cached plan under a different (larger) spec
+/// than it was generated for.
+pub fn execute_plan_with_spec(
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+    spec: ResourceSpec,
+) -> Result<ExecutionOutcome> {
+    let budget = catalog.budget(&spec)?;
+    execute_plan_with_budget(plan, catalog, Some(budget.max(plan.tariff)))
 }
 
 /// Executes `plan` with an explicit budget (`None` disables enforcement; used
@@ -152,7 +164,11 @@ pub fn execute_plan_with_budget(
         let ncols = ra.output_columns().len();
         let d_prime = max_min_distance(&s_hat, &ra_result, &output_kinds, ncols);
         let worst = plan.d_rel.max(d_prime + plan.d_cov);
-        eta = if worst.is_infinite() { 0.0 } else { 1.0 / (1.0 + worst) };
+        eta = if worst.is_infinite() {
+            0.0
+        } else {
+            1.0 / (1.0 + worst)
+        };
         // the planner's special cases (e.g. sum/count/avg aggregates without
         // an exact plan) declare no bound at all; keep that
         if plan.eta == 0.0 {
@@ -239,8 +255,7 @@ fn evaluate_leaf(
             Some(e) => e.product(scan),
         });
     }
-    let mut expr =
-        expr.ok_or_else(|| BeasError::Planning("leaf without atoms".to_string()))?;
+    let mut expr = expr.ok_or_else(|| BeasError::Planning("leaf without atoms".to_string()))?;
 
     // relaxed selection conditions
     let mut atoms_pred: Vec<PredicateAtom> = Vec::new();
@@ -443,8 +458,24 @@ fn exec_indexed(
     match node {
         IndexedRa::Leaf(i) => Ok(leaf_results[*i].clone()),
         IndexedRa::Union(l, r) => {
-            let mut a = exec_indexed(l, leaf_results, leaf_out_res, leaf_exact, kinds, want_weights, ncols)?;
-            let b = exec_indexed(r, leaf_results, leaf_out_res, leaf_exact, kinds, want_weights, ncols)?;
+            let mut a = exec_indexed(
+                l,
+                leaf_results,
+                leaf_out_res,
+                leaf_exact,
+                kinds,
+                want_weights,
+                ncols,
+            )?;
+            let b = exec_indexed(
+                r,
+                leaf_results,
+                leaf_out_res,
+                leaf_exact,
+                kinds,
+                want_weights,
+                ncols,
+            )?;
             a.rows.extend(b.rows);
             if !want_weights {
                 a.dedup();
@@ -452,11 +483,27 @@ fn exec_indexed(
             Ok(a)
         }
         IndexedRa::Difference(l, r) => {
-            let a = exec_indexed(l, leaf_results, leaf_out_res, leaf_exact, kinds, want_weights, ncols)?;
+            let a = exec_indexed(
+                l,
+                leaf_results,
+                leaf_out_res,
+                leaf_exact,
+                kinds,
+                want_weights,
+                ncols,
+            )?;
             let right_exact = subtree_leaves(r).iter().all(|&i| leaf_exact[i]);
             if right_exact {
                 // exact set difference on the output columns
-                let b = exec_indexed(r, leaf_results, leaf_out_res, leaf_exact, kinds, false, ncols)?;
+                let b = exec_indexed(
+                    r,
+                    leaf_results,
+                    leaf_out_res,
+                    leaf_exact,
+                    kinds,
+                    false,
+                    ncols,
+                )?;
                 let remove: std::collections::HashSet<Vec<Value>> = b
                     .rows
                     .iter()
@@ -465,7 +512,7 @@ fn exec_indexed(
                 let rows = a
                     .rows
                     .into_iter()
-                    .filter(|row| !remove.contains(&row[..ncols.min(row.len())].to_vec()))
+                    .filter(|row| !remove.contains(&row[..ncols.min(row.len())]))
                     .collect();
                 Ok(Relation {
                     columns: a.columns,
@@ -476,17 +523,23 @@ fn exec_indexed(
                 // positive side that are within the combined resolution of an
                 // answer to the maximal induced negated query
                 let induced = induce(r);
-                let b_hat =
-                    exec_indexed(&induced, leaf_results, leaf_out_res, leaf_exact, kinds, false, ncols)?;
+                let b_hat = exec_indexed(
+                    &induced,
+                    leaf_results,
+                    leaf_out_res,
+                    leaf_exact,
+                    kinds,
+                    false,
+                    ncols,
+                )?;
                 let delta = dangerous_distances(l, r, leaf_out_res, ncols);
                 let rows = a
                     .rows
                     .into_iter()
                     .filter(|row| {
                         !b_hat.rows.iter().any(|neg| {
-                            (0..ncols).all(|j| {
-                                kinds[j].distance(&row[j], &neg[j]) <= delta[j] + 1e-12
-                            })
+                            (0..ncols)
+                                .all(|j| kinds[j].distance(&row[j], &neg[j]) <= delta[j] + 1e-12)
                         })
                     })
                     .collect();
@@ -530,18 +583,18 @@ fn dangerous_distances(
 ) -> Vec<f64> {
     let mut delta = vec![0.0f64; ncols];
     for &i in &subtree_leaves(left) {
-        for j in 0..ncols {
-            delta[j] = delta[j].max(leaf_out_res[i].get(j).copied().unwrap_or(0.0));
+        for (j, d) in delta.iter_mut().enumerate() {
+            *d = d.max(leaf_out_res[i].get(j).copied().unwrap_or(0.0));
         }
     }
     let mut right_part = vec![0.0f64; ncols];
     for &i in &subtree_leaves(&induce(right)) {
-        for j in 0..ncols {
-            right_part[j] = right_part[j].max(leaf_out_res[i].get(j).copied().unwrap_or(0.0));
+        for (j, r) in right_part.iter_mut().enumerate() {
+            *r = r.max(leaf_out_res[i].get(j).copied().unwrap_or(0.0));
         }
     }
-    for j in 0..ncols {
-        delta[j] += right_part[j];
+    for (d, r) in delta.iter_mut().zip(&right_part) {
+        *d += r;
     }
     delta
 }
@@ -603,4 +656,3 @@ fn has_approx_difference(node: &IndexedRa, leaf_exact: &[bool]) -> bool {
         }
     }
 }
-

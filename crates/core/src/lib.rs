@@ -10,15 +10,19 @@
 //!
 //! The main entry points are:
 //!
-//! * [`Beas`] — the framework facade (offline index construction + online
-//!   query answering, Fig. 2 of the paper);
+//! * [`Beas`] — the session-oriented engine (built through [`BeasBuilder`],
+//!   owns its database, Fig. 2 of the paper), with [`Beas::prepare`] for
+//!   plan-cached repeated queries and [`Beas::insert_row`] /
+//!   [`Beas::apply_update`] for incremental maintenance (component C2);
+//! * [`ResourceSpec`] (re-exported from `beas-access`) — the typed budget
+//!   vocabulary used by engine, planner and baselines alike;
 //! * [`Planner`] — the approximation scheme `Γ_A` (chase + `chAT`);
 //! * [`execute_plan`] — runs a bounded plan under a budget-enforcing fetch
 //!   session;
 //! * [`accuracy`] — the RC measure, MAC and F-measure used in the evaluation.
 //!
 //! ```
-//! use beas_core::{Beas, ConstraintSpec, BeasQuery};
+//! use beas_core::{Beas, ConstraintSpec, BeasQuery, ResourceSpec};
 //! use beas_relal::{Attribute, Database, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value};
 //!
 //! // a tiny database of points of interest
@@ -35,20 +39,30 @@
 //!     ]).unwrap();
 //! }
 //!
-//! // offline: build the access schema (A_t plus one constraint)
-//! let beas = Beas::build(&db, &[ConstraintSpec::new("poi", &["type", "city"], &["price"])]).unwrap();
+//! // offline: build the access schema (A_t plus one constraint); the engine
+//! // takes ownership of the database
+//! let beas = Beas::builder(db)
+//!     .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+//!     .build()
+//!     .unwrap();
 //!
 //! // online: ask for hotels in NYC under a 20% resource ratio
-//! let mut b = SpcQueryBuilder::new(&db.schema);
+//! let mut b = SpcQueryBuilder::new(&beas.database().schema);
 //! let h = b.atom("poi", "h").unwrap();
 //! b.bind_const(h, "type", "hotel").unwrap();
 //! b.bind_const(h, "city", "NYC").unwrap();
 //! b.output(h, "price", "price").unwrap();
 //! let query: BeasQuery = b.build().unwrap().into();
 //!
-//! let answer = beas.answer(&query, 0.2).unwrap();
+//! let spec = ResourceSpec::Ratio(0.2);
+//! let prepared = beas.prepare(&query).unwrap();
+//! let answer = prepared.answer(spec).unwrap();
 //! assert!(answer.eta > 0.0 && answer.eta <= 1.0);
-//! assert!(answer.accessed <= beas.catalog().budget_for(0.2));
+//! assert!(answer.accessed <= beas.catalog().budget(&spec).unwrap());
+//! // the second answer at the same budget reuses the cached plan
+//! let again = prepared.answer(spec).unwrap();
+//! assert_eq!(prepared.cached_plans(), 1);
+//! assert_eq!(answer.answers.sorted(), again.answers.sorted());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -61,15 +75,20 @@ pub mod error;
 pub mod executor;
 pub mod plan;
 pub mod planner;
+pub mod prepared;
 pub mod query;
 
 pub use accuracy::{
     coverage_ratio, exact_answers, f_measure, mac_accuracy, rc_accuracy, relax_ra, AccuracyConfig,
     FMeasure, RcReport,
 };
-pub use engine::{Beas, BeasAnswer, ConstraintSpec};
+pub use beas_access::{BudgetPolicy, ResourceSpec};
+pub use engine::{Beas, BeasAnswer, BeasBuilder, ConstraintSpec, UpdateBatch};
 pub use error::{BeasError, Result};
-pub use executor::{execute_plan, execute_plan_with_budget, ExecutionOutcome};
+pub use executor::{
+    execute_plan, execute_plan_with_budget, execute_plan_with_spec, ExecutionOutcome,
+};
 pub use plan::{FetchNode, FetchPlan, KeySource, LeafPlan};
 pub use planner::{BoundedPlan, DistanceBounds, Planner};
+pub use prepared::PreparedQuery;
 pub use query::{AggQuery, BeasQuery, RaQuery};

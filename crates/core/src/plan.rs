@@ -74,7 +74,7 @@ impl FetchPlan {
     /// Adds a node, assigning its id, and returns the id.
     pub fn push(&mut self, mut node: FetchNode) -> usize {
         node.id = self.nodes.len();
-        debug_assert!(node.input_node.map_or(true, |i| i < node.id));
+        debug_assert!(node.input_node.is_none_or(|i| i < node.id));
         self.nodes.push(node);
         node_id_of(&self.nodes)
     }
@@ -172,9 +172,10 @@ impl LeafPlan {
         leaf: &SpcQuery,
         pos: beas_relal::Position,
     ) -> Result<f64> {
-        let node_id = *self.atom_nodes.get(pos.0).ok_or_else(|| {
-            BeasError::Planning(format!("no completion node for atom {}", pos.0))
-        })?;
+        let node_id = *self
+            .atom_nodes
+            .get(pos.0)
+            .ok_or_else(|| BeasError::Planning(format!("no completion node for atom {}", pos.0)))?;
         let atom = &leaf.atoms[pos.0];
         let rel_schema = schema.relation(&atom.relation)?;
         let attr = rel_schema
@@ -262,10 +263,14 @@ mod tests {
         ]);
         let mut db = Database::new(schema);
         for i in 0..40i64 {
-            db.insert_row("friend", vec![Value::Int(i % 8), Value::Int(i)]).unwrap();
+            db.insert_row("friend", vec![Value::Int(i % 8), Value::Int(i)])
+                .unwrap();
             db.insert_row(
                 "person",
-                vec![Value::Int(i), Value::from(if i % 2 == 0 { "NYC" } else { "LA" })],
+                vec![
+                    Value::Int(i),
+                    Value::from(if i % 2 == 0 { "NYC" } else { "LA" }),
+                ],
             )
             .unwrap();
             db.insert_row(

@@ -5,8 +5,8 @@
 //! Planning never touches the database: it only uses the query, the catalog
 //! (access schema) and the budget `B = α·|D|`, per property (2) of the scheme.
 
-use beas_access::Catalog;
-use beas_relal::{CompareOp, SelCond, SpcQuery};
+use beas_access::{Catalog, ResourceSpec};
+use beas_relal::{SelCond, SpcQuery};
 
 use crate::chase::chase_leaf;
 use crate::error::{BeasError, Result};
@@ -98,15 +98,36 @@ impl<'a> Planner<'a> {
         self.catalog
     }
 
-    /// Plans `query` under resource ratio `alpha` (Algorithm BEAS_SPC /
-    /// BEAS_RA / BEAS_agg, dispatched on the query kind).
-    pub fn plan(&self, query: &BeasQuery, alpha: f64) -> Result<BoundedPlan> {
-        self.plan_with_budget(query, self.catalog.budget_for(alpha))
+    /// Plans `query` under a resource spec (Algorithm BEAS_SPC / BEAS_RA /
+    /// BEAS_agg, dispatched on the query kind). The spec is validated and
+    /// resolved to a tuple budget via the catalog's budget policy.
+    ///
+    /// A zero spec is an error here: no plan can honour a budget of zero
+    /// tuples. [`Beas::answer`](crate::Beas::answer) maps zero specs to an
+    /// empty answer instead.
+    pub fn plan(&self, query: &BeasQuery, spec: ResourceSpec) -> Result<BoundedPlan> {
+        let budget = self.catalog.budget(&spec)?;
+        if budget == 0 {
+            return Err(BeasError::Planning(format!(
+                "resource spec {spec} resolves to a zero budget; no plan can access zero tuples"
+            )));
+        }
+        self.plan_with_budget(query, budget)
     }
 
     /// Plans `query` under an explicit tuple budget `B`.
     pub fn plan_with_budget(&self, query: &BeasQuery, budget: usize) -> Result<BoundedPlan> {
         query.validate(&self.catalog.schema)?;
+        self.plan_prevalidated(query, budget)
+    }
+
+    /// Planning entry for callers that already validated the query (the
+    /// prepared-query fast path skips re-validation on every budget).
+    pub(crate) fn plan_prevalidated(
+        &self,
+        query: &BeasQuery,
+        budget: usize,
+    ) -> Result<BoundedPlan> {
         let ra = query.ra().clone();
         let leaves: Vec<&SpcQuery> = ra.spc_leaves();
 
@@ -288,12 +309,13 @@ impl<'a> Planner<'a> {
             }
             for sel in &leaf.selections {
                 match sel {
-                    SelCond::VarConst { var, op, .. } => {
+                    SelCond::VarConst { var, .. } => {
                         let pos = leaf.var_first_position(*var).ok_or_else(|| {
                             BeasError::Planning(format!("selection variable {var} unbound"))
                         })?;
-                        let factor = if matches!(op, CompareOp::Eq) { 2.0 } else { 2.0 };
-                        d_sel = d_sel.max(factor * res(pos)?);
+                        // equality and inequality selections both relax by
+                        // twice the position's resolution
+                        d_sel = d_sel.max(2.0 * res(pos)?);
                     }
                     SelCond::VarVar { left, right, .. } => {
                         let lpos = leaf.var_first_position(*left).ok_or_else(|| {
@@ -386,7 +408,8 @@ mod tests {
         let mut db = Database::new(schema);
         let cities = ["NYC", "LA", "Chicago", "Boston"];
         for i in 0..n {
-            db.insert_row("friend", vec![Value::Int(i % 10), Value::Int(i)]).unwrap();
+            db.insert_row("friend", vec![Value::Int(i % 10), Value::Int(i)])
+                .unwrap();
             db.insert_row(
                 "person",
                 vec![Value::Int(i), Value::from(cities[(i % 4) as usize])],
@@ -425,7 +448,8 @@ mod tests {
         b.join((f, "fid"), (p, "pid")).unwrap();
         b.join((p, "city"), (h, "city")).unwrap();
         b.bind_const(h, "type", "hotel").unwrap();
-        b.filter_const(h, "price", beas_relal::CompareOp::Le, 95i64).unwrap();
+        b.filter_const(h, "price", beas_relal::CompareOp::Le, 95i64)
+            .unwrap();
         b.output(h, "city", "city").unwrap();
         b.output(h, "price", "price").unwrap();
         b.build().unwrap().into()
@@ -541,10 +565,15 @@ mod tests {
             _ => unreachable!(),
         };
         // min/max aggregates inherit the RA bounds (Corollary 7)
-        let agg: BeasQuery =
-            AggQuery::new(inner.clone(), vec!["city".into()], AggFunc::Min, "price", "n")
-                .unwrap()
-                .into();
+        let agg: BeasQuery = AggQuery::new(
+            inner.clone(),
+            vec!["city".into()],
+            AggFunc::Min,
+            "price",
+            "n",
+        )
+        .unwrap()
+        .into();
         let plan = planner.plan_with_budget(&agg, 150).unwrap();
         assert!(plan.tariff <= 150);
         assert!(plan.eta > 0.0);

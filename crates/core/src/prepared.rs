@@ -1,0 +1,238 @@
+//! Prepared queries: the prepare-once / answer-many fast path of the engine.
+//!
+//! Repeated queries dominate a serving workload, and plan generation (C3) is
+//! pure — it depends only on the query, the catalog and the resolved tuple
+//! budget. A [`PreparedQuery`] therefore caches, per query:
+//!
+//! * the validation of the query against the schema (done once in
+//!   [`Beas::prepare`]),
+//! * the compiled output shape (column names, used for zero-budget answers),
+//! * one [`BoundedPlan`] per *resolved budget*, so answering again at a
+//!   repeated [`ResourceSpec`] skips planning entirely and goes straight to
+//!   execution (C4).
+//!
+//! This mirrors the offline/online split the paper's data-driven scheme is
+//! built on: pay the analysis once, amortize it across every later request.
+//!
+//! Borrowing the engine (rather than cloning the catalog) means Rust's
+//! borrow rules make staleness impossible: maintenance ([`Beas::insert_row`])
+//! needs `&mut Beas`, which cannot coexist with a live `PreparedQuery`, so a
+//! cached plan can never outlive the catalog state it was planned against.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use beas_access::ResourceSpec;
+
+use crate::engine::{answer_from, empty_answer, Beas, BeasAnswer};
+use crate::error::Result;
+use crate::executor::execute_plan;
+use crate::planner::{BoundedPlan, Planner};
+use crate::query::BeasQuery;
+
+/// A validated query handle with a per-budget plan cache (see the module
+/// docs). Created by [`Beas::prepare`].
+#[derive(Debug)]
+pub struct PreparedQuery<'e> {
+    engine: &'e Beas,
+    query: BeasQuery,
+    /// Output column names, compiled once at prepare time.
+    output_columns: Vec<String>,
+    /// Budget → plan. Budgets are the cache key (not specs) so that
+    /// `Ratio(0.1)` and `Tuples(α·|D|)` share one entry.
+    plans: Mutex<HashMap<usize, Arc<BoundedPlan>>>,
+}
+
+impl<'e> PreparedQuery<'e> {
+    /// Validates `query` once and wraps it with an empty plan cache.
+    pub(crate) fn new(engine: &'e Beas, query: &BeasQuery) -> Result<Self> {
+        query.validate(&engine.catalog().schema)?;
+        Ok(PreparedQuery {
+            engine,
+            query: query.clone(),
+            output_columns: query.output_columns(),
+            plans: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The prepared query.
+    pub fn query(&self) -> &BeasQuery {
+        &self.query
+    }
+
+    /// The engine the query was prepared against.
+    pub fn engine(&self) -> &Beas {
+        self.engine
+    }
+
+    /// Number of distinct budgets with a cached plan.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// The bounded plan for `spec`: returned from the cache when the resolved
+    /// budget was planned before, generated (and cached) otherwise. Zero
+    /// specs are an error, as in [`Planner::plan`].
+    pub fn plan(&self, spec: ResourceSpec) -> Result<Arc<BoundedPlan>> {
+        let budget = self.engine.catalog().budget(&spec)?;
+        if budget == 0 {
+            // delegate for the uniform zero-budget error message
+            return Planner::new(self.engine.catalog())
+                .plan(&self.query, spec)
+                .map(Arc::new);
+        }
+        self.plan_for_budget(budget)
+    }
+
+    /// Cache lookup / fill for an already-resolved non-zero budget. A cache
+    /// hit takes the lock once; planning on a miss happens outside the lock.
+    fn plan_for_budget(&self, budget: usize) -> Result<Arc<BoundedPlan>> {
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&budget) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan =
+            Arc::new(Planner::new(self.engine.catalog()).plan_prevalidated(&self.query, budget)?);
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .insert(budget, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Answers under `spec`, re-using the cached plan for repeated budgets
+    /// (only execution — C4 — runs again). Zero specs yield an empty answer,
+    /// exactly like [`Beas::answer`].
+    pub fn answer(&self, spec: ResourceSpec) -> Result<BeasAnswer> {
+        let budget = self.engine.catalog().budget(&spec)?;
+        if budget == 0 {
+            return Ok(empty_answer(self.output_columns.clone()));
+        }
+        let plan = self.plan_for_budget(budget)?;
+        let outcome = execute_plan(&plan, self.engine.catalog())?;
+        Ok(answer_from(&plan, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ConstraintSpec;
+    use beas_relal::{
+        Attribute, CompareOp, Database, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value,
+    };
+
+    fn poi_engine(n: i64) -> Beas {
+        let schema = DatabaseSchema::new(vec![RelationSchema::new(
+            "poi",
+            vec![
+                Attribute::categorical("type"),
+                Attribute::text("city"),
+                Attribute::double("price"),
+            ],
+        )]);
+        let mut db = Database::new(schema);
+        let cities = ["NYC", "LA", "Chicago"];
+        for i in 0..n {
+            db.insert_row(
+                "poi",
+                vec![
+                    Value::from(if i % 2 == 0 { "hotel" } else { "museum" }),
+                    Value::from(cities[(i % 3) as usize]),
+                    Value::Double(30.0 + (i % 80) as f64),
+                ],
+            )
+            .unwrap();
+        }
+        Beas::builder(db)
+            .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+            .build()
+            .unwrap()
+    }
+
+    fn hotels(engine: &Beas) -> BeasQuery {
+        let mut b = SpcQueryBuilder::new(&engine.database().schema);
+        let h = b.atom("poi", "h").unwrap();
+        b.bind_const(h, "type", "hotel").unwrap();
+        b.bind_const(h, "city", "NYC").unwrap();
+        b.filter_const(h, "price", CompareOp::Le, 80i64).unwrap();
+        b.output(h, "price", "price").unwrap();
+        b.build().unwrap().into()
+    }
+
+    #[test]
+    fn prepare_validates_once_and_rejects_bad_queries() {
+        let engine = poi_engine(120);
+        let q = hotels(&engine);
+        assert!(engine.prepare(&q).is_ok());
+        let mut bad = match q {
+            BeasQuery::Ra(crate::query::RaQuery::Spc(q)) => q,
+            _ => unreachable!(),
+        };
+        bad.output.clear();
+        assert!(engine.prepare(&bad.into()).is_err());
+    }
+
+    #[test]
+    fn repeated_budgets_reuse_the_cached_plan() {
+        let engine = poi_engine(240);
+        let q = hotels(&engine);
+        let prepared = engine.prepare(&q).unwrap();
+        assert_eq!(prepared.cached_plans(), 0);
+
+        let first = prepared.plan(ResourceSpec::Ratio(0.1)).unwrap();
+        assert_eq!(prepared.cached_plans(), 1);
+        let second = prepared.plan(ResourceSpec::Ratio(0.1)).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "repeat budget must hit the cache"
+        );
+
+        // a spec in tuples resolving to the same budget shares the entry
+        let budget = engine.catalog().budget(&ResourceSpec::Ratio(0.1)).unwrap();
+        let third = prepared.plan(ResourceSpec::Tuples(budget)).unwrap();
+        assert!(Arc::ptr_eq(&first, &third));
+        assert_eq!(prepared.cached_plans(), 1);
+
+        // a different budget plans afresh
+        let other = prepared.plan(ResourceSpec::Ratio(0.5)).unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(prepared.cached_plans(), 2);
+    }
+
+    #[test]
+    fn prepared_answers_match_engine_answers() {
+        let engine = poi_engine(240);
+        let q = hotels(&engine);
+        let prepared = engine.prepare(&q).unwrap();
+        for alpha in [0.05, 0.1, 0.5, 1.0] {
+            let spec = ResourceSpec::Ratio(alpha);
+            let via_engine = engine.answer(&q, spec).unwrap();
+            let via_prepared = prepared.answer(spec).unwrap();
+            assert_eq!(
+                via_engine.answers.clone().sorted(),
+                via_prepared.answers.clone().sorted(),
+                "α={alpha}"
+            );
+            assert_eq!(via_engine.eta, via_prepared.eta);
+            assert_eq!(via_engine.budget, via_prepared.budget);
+        }
+        // answering again at a seen budget still hits the cache
+        assert_eq!(prepared.cached_plans(), 4);
+        prepared.answer(ResourceSpec::Ratio(0.1)).unwrap();
+        assert_eq!(prepared.cached_plans(), 4);
+    }
+
+    #[test]
+    fn zero_and_invalid_specs_behave_like_the_engine() {
+        let engine = poi_engine(60);
+        let q = hotels(&engine);
+        let prepared = engine.prepare(&q).unwrap();
+        let empty = prepared.answer(ResourceSpec::Ratio(0.0)).unwrap();
+        assert!(empty.answers.is_empty());
+        assert_eq!(empty.accessed, 0);
+        assert_eq!(empty.answers.columns, vec!["price"]);
+        assert!(prepared.plan(ResourceSpec::Ratio(0.0)).is_err());
+        assert!(prepared.answer(ResourceSpec::Ratio(7.0)).is_err());
+        assert_eq!(prepared.cached_plans(), 0);
+    }
+}

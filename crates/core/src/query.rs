@@ -95,10 +95,9 @@ impl RaQuery {
     pub fn maximal_induced(&self) -> RaQuery {
         match self {
             RaQuery::Spc(q) => RaQuery::Spc(q.clone()),
-            RaQuery::Union(l, r) => RaQuery::Union(
-                Box::new(l.maximal_induced()),
-                Box::new(r.maximal_induced()),
-            ),
+            RaQuery::Union(l, r) => {
+                RaQuery::Union(Box::new(l.maximal_induced()), Box::new(r.maximal_induced()))
+            }
             RaQuery::Difference(l, _) => l.maximal_induced(),
         }
     }
@@ -436,10 +435,23 @@ mod tests {
     fn agg_query_validates_columns() {
         let s = schema();
         let base = RaQuery::spc(hotels_below(&s, 95));
-        let agg = AggQuery::new(base.clone(), vec!["city".into()], AggFunc::Count, "price", "n")
-            .unwrap();
+        let agg = AggQuery::new(
+            base.clone(),
+            vec!["city".into()],
+            AggFunc::Count,
+            "price",
+            "n",
+        )
+        .unwrap();
         assert_eq!(agg.output_columns(), vec!["city", "n"]);
-        assert!(AggQuery::new(base.clone(), vec!["nope".into()], AggFunc::Count, "price", "n").is_err());
+        assert!(AggQuery::new(
+            base.clone(),
+            vec!["nope".into()],
+            AggFunc::Count,
+            "price",
+            "n"
+        )
+        .is_err());
         assert!(AggQuery::new(base, vec!["city".into()], AggFunc::Count, "nope", "n").is_err());
     }
 
@@ -465,7 +477,10 @@ mod tests {
         assert_eq!(agg.output_columns(), vec!["city", "avg_price"]);
         let dists = agg.output_distances(&s).unwrap();
         assert_eq!(dists, vec![DistanceKind::Trivial, DistanceKind::Numeric]);
-        assert!(matches!(agg.to_query_expr(&s).unwrap(), QueryExpr::Aggregate(_)));
+        assert!(matches!(
+            agg.to_query_expr(&s).unwrap(),
+            QueryExpr::Aggregate(_)
+        ));
     }
 
     #[test]

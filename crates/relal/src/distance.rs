@@ -139,7 +139,9 @@ mod tests {
     #[test]
     fn numeric_distance_on_strings_is_infinite() {
         let d = DistanceKind::Numeric;
-        assert!(d.distance(&Value::from("a"), &Value::from("b")).is_infinite());
+        assert!(d
+            .distance(&Value::from("a"), &Value::from("b"))
+            .is_infinite());
         assert!(d.distance(&Value::from("a"), &Value::Int(1)).is_infinite());
     }
 
@@ -147,20 +149,31 @@ mod tests {
     fn trivial_distance_is_zero_or_infinity() {
         let d = DistanceKind::Trivial;
         assert_eq!(d.distance(&Value::from("x"), &Value::from("x")), 0.0);
-        assert!(d.distance(&Value::from("x"), &Value::from("y")).is_infinite());
+        assert!(d
+            .distance(&Value::from("x"), &Value::from("y"))
+            .is_infinite());
         assert!(d.distance(&Value::Int(1), &Value::Int(2)).is_infinite());
     }
 
     #[test]
     fn categorical_distance_is_zero_or_one() {
         let d = DistanceKind::Categorical;
-        assert_eq!(d.distance(&Value::from("hotel"), &Value::from("hotel")), 0.0);
-        assert_eq!(d.distance(&Value::from("hotel"), &Value::from("motel")), 1.0);
+        assert_eq!(
+            d.distance(&Value::from("hotel"), &Value::from("hotel")),
+            0.0
+        );
+        assert_eq!(
+            d.distance(&Value::from("hotel"), &Value::from("motel")),
+            1.0
+        );
     }
 
     #[test]
     fn null_distance_behaviour() {
-        assert_eq!(DistanceKind::Numeric.distance(&Value::Null, &Value::Null), 0.0);
+        assert_eq!(
+            DistanceKind::Numeric.distance(&Value::Null, &Value::Null),
+            0.0
+        );
         assert!(DistanceKind::Numeric
             .distance(&Value::Null, &Value::Int(0))
             .is_infinite());

@@ -89,11 +89,7 @@ fn eval_inner<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relati
                 .provide(relation)
                 .ok_or_else(|| RelalError::UnknownRelation(relation.clone()))?;
             let mut out = rel.clone();
-            out.columns = out
-                .columns
-                .iter()
-                .map(|c| qualify(alias, c))
-                .collect();
+            out.columns = out.columns.iter().map(|c| qualify(alias, c)).collect();
             Ok(out)
         }
         RaExpr::Select { input, predicate } => {
@@ -230,7 +226,7 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
         }
         pending.push(atom);
     }
-    for (rel, rel_atoms) in relations.into_iter().zip(per_rel_atoms.into_iter()) {
+    for (rel, rel_atoms) in relations.into_iter().zip(per_rel_atoms) {
         if rel_atoms.is_empty() {
             filtered.push(rel);
         } else {
@@ -244,9 +240,9 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
     // the smallest remaining relation by nested-loop product.
     filtered.sort_by_key(|r| r.len());
     let mut iter = filtered.into_iter();
-    let mut current = iter.next().ok_or_else(|| {
-        RelalError::InvalidQuery("join of zero relations".into())
-    })?;
+    let mut current = iter
+        .next()
+        .ok_or_else(|| RelalError::InvalidQuery("join of zero relations".into()))?;
     let mut remaining: Vec<Relation> = iter.collect();
 
     while !remaining.is_empty() {
@@ -271,7 +267,10 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
         let mut applicable = Vec::new();
         for atom in pending {
             let cols = atom.columns();
-            if cols.iter().all(|c| current.columns.iter().any(|rc| rc == c)) {
+            if cols
+                .iter()
+                .all(|c| current.columns.iter().any(|rc| rc == c))
+            {
                 applicable.push(atom.clone());
             } else {
                 still_pending.push(atom);
@@ -472,10 +471,12 @@ mod tests {
         ]);
         let mut db = Database::new(schema);
         for (pid, city) in [(1, "NYC"), (2, "NYC"), (3, "Chicago"), (4, "Boston")] {
-            db.insert_row("person", vec![Value::Int(pid), Value::from(city)]).unwrap();
+            db.insert_row("person", vec![Value::Int(pid), Value::from(city)])
+                .unwrap();
         }
         for (pid, fid) in [(1, 2), (1, 3), (2, 1), (3, 4)] {
-            db.insert_row("friend", vec![Value::Int(pid), Value::Int(fid)]).unwrap();
+            db.insert_row("friend", vec![Value::Int(pid), Value::Int(fid)])
+                .unwrap();
         }
         for (addr, ty, city, price) in [
             ("a1", "hotel", "NYC", 90.0),
@@ -486,7 +487,12 @@ mod tests {
         ] {
             db.insert_row(
                 "poi",
-                vec![Value::from(addr), Value::from(ty), Value::from(city), Value::Double(price)],
+                vec![
+                    Value::from(addr),
+                    Value::from(ty),
+                    Value::from(city),
+                    Value::Double(price),
+                ],
             )
             .unwrap();
         }
@@ -552,7 +558,10 @@ mod tests {
             ]))
             .project(vec![("address".into(), "h.address".into())]);
         let out = eval_set(&expr, &db).unwrap().sorted();
-        assert_eq!(out.rows, vec![vec![Value::from("a1")], vec![Value::from("a2")]]);
+        assert_eq!(
+            out.rows,
+            vec![vec![Value::from("a1")], vec![Value::from("a2")]]
+        );
     }
 
     #[test]
@@ -593,7 +602,8 @@ mod tests {
     #[test]
     fn difference_removes_matching_rows() {
         let db = example_db();
-        let all_cities = RaExpr::scan("person", "p").project(vec![("city".into(), "p.city".into())]);
+        let all_cities =
+            RaExpr::scan("person", "p").project(vec![("city".into(), "p.city".into())]);
         let poi_cities = RaExpr::scan("poi", "h").project(vec![("city".into(), "h.city".into())]);
         // cities of persons that have no POI: none (all three appear in poi)
         let out = eval_set(&all_cities.clone().difference(poi_cities), &db).unwrap();
@@ -626,7 +636,9 @@ mod tests {
     fn count_hotels_by_city() {
         let db = example_db();
         let inner = RaExpr::scan("poi", "h")
-            .select(Predicate::all(vec![PredicateAtom::col_eq_const("h.type", "hotel")]))
+            .select(Predicate::all(vec![PredicateAtom::col_eq_const(
+                "h.type", "hotel",
+            )]))
             .project(vec![
                 ("city".into(), "h.city".into()),
                 ("address".into(), "h.address".into()),
@@ -704,7 +716,9 @@ mod tests {
     fn global_aggregate_over_empty_input() {
         let db = example_db();
         let none = RaExpr::scan("poi", "h")
-            .select(Predicate::all(vec![PredicateAtom::col_eq_const("h.type", "airport")]))
+            .select(Predicate::all(vec![PredicateAtom::col_eq_const(
+                "h.type", "airport",
+            )]))
             .project(vec![("price".into(), "h.price".into())]);
         let count = GroupByQuery::new(none.clone(), vec![], AggFunc::Count, "price", "n");
         let out = eval_aggregate(&count, &db).unwrap();
@@ -733,8 +747,11 @@ mod tests {
         let mut overlay = HashMap::new();
         overlay.insert(
             "person".to_string(),
-            Relation::new(vec!["pid".into(), "city".into()], vec![vec![Value::Int(9), Value::from("LA")]])
-                .unwrap(),
+            Relation::new(
+                vec!["pid".into(), "city".into()],
+                vec![vec![Value::Int(9), Value::from("LA")]],
+            )
+            .unwrap(),
         );
         let provider = OverlayProvider {
             overlay: &overlay,
@@ -789,7 +806,9 @@ mod tests {
         let db = example_db();
         let expr = RaExpr::scan("person", "p")
             .product(RaExpr::scan("friend", "f"))
-            .select(Predicate::all(vec![PredicateAtom::col_eq_col("p.pid", "zzz.col")]));
+            .select(Predicate::all(vec![PredicateAtom::col_eq_col(
+                "p.pid", "zzz.col",
+            )]));
         assert!(eval_set(&expr, &db).is_err());
     }
 }

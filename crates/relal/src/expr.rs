@@ -94,7 +94,11 @@ impl RaExpr {
     /// Convenience projection that keeps the given columns under their own
     /// names.
     pub fn project_cols(self, cols: &[&str]) -> Self {
-        self.project(cols.iter().map(|c| (c.to_string(), c.to_string())).collect())
+        self.project(
+            cols.iter()
+                .map(|c| (c.to_string(), c.to_string()))
+                .collect(),
+        )
     }
 
     /// self × other
@@ -351,7 +355,9 @@ mod tests {
         // π(σ(friend × person))
         RaExpr::scan("friend", "f")
             .product(RaExpr::scan("person", "p"))
-            .select(Predicate::all(vec![PredicateAtom::col_eq_col("f.fid", "p.pid")]))
+            .select(Predicate::all(vec![PredicateAtom::col_eq_col(
+                "f.fid", "p.pid",
+            )]))
             .project(vec![("city".into(), "p.city".into())])
     }
 

@@ -164,8 +164,12 @@ impl PredicateAtom {
     /// Returns the same atom with relaxation tolerance `tol` and distance `dk`.
     pub fn relaxed(mut self, dk: DistanceKind, tol: f64) -> Self {
         match &mut self {
-            PredicateAtom::ColConst { distance, tol: t, .. }
-            | PredicateAtom::ColCol { distance, tol: t, .. } => {
+            PredicateAtom::ColConst {
+                distance, tol: t, ..
+            }
+            | PredicateAtom::ColCol {
+                distance, tol: t, ..
+            } => {
                 *distance = dk;
                 *t = tol;
             }
@@ -278,10 +282,7 @@ impl Predicate {
 
     /// The maximum relaxation tolerance across all atoms (0 when exact).
     pub fn max_tolerance(&self) -> f64 {
-        self.atoms
-            .iter()
-            .map(|a| a.tolerance())
-            .fold(0.0, f64::max)
+        self.atoms.iter().map(|a| a.tolerance()).fold(0.0, f64::max)
     }
 }
 
@@ -309,7 +310,12 @@ mod tests {
     fn relaxed_equality_uses_distance() {
         let op = CompareOp::Eq;
         assert!(op.eval_relaxed(&Value::Int(99), &Value::Int(95), DistanceKind::Numeric, 4.0));
-        assert!(!op.eval_relaxed(&Value::Int(100), &Value::Int(95), DistanceKind::Numeric, 4.0));
+        assert!(!op.eval_relaxed(
+            &Value::Int(100),
+            &Value::Int(95),
+            DistanceKind::Numeric,
+            4.0
+        ));
         // tol = 0 falls back to exact equality
         assert!(!op.eval_relaxed(&Value::Int(96), &Value::Int(95), DistanceKind::Numeric, 0.0));
     }
@@ -319,7 +325,12 @@ mod tests {
         // price ≤ 95 relaxed by 4 accepts 99 (the Example 1 hotel at $99)
         let op = CompareOp::Le;
         assert!(op.eval_relaxed(&Value::Int(99), &Value::Int(95), DistanceKind::Numeric, 4.0));
-        assert!(!op.eval_relaxed(&Value::Int(100), &Value::Int(95), DistanceKind::Numeric, 4.0));
+        assert!(!op.eval_relaxed(
+            &Value::Int(100),
+            &Value::Int(95),
+            DistanceKind::Numeric,
+            4.0
+        ));
         let op = CompareOp::Ge;
         assert!(op.eval_relaxed(&Value::Int(91), &Value::Int(95), DistanceKind::Numeric, 4.0));
         assert!(!op.eval_relaxed(&Value::Int(90), &Value::Int(95), DistanceKind::Numeric, 4.0));
@@ -328,8 +339,18 @@ mod tests {
     #[test]
     fn ne_is_never_relaxed() {
         let op = CompareOp::Ne;
-        assert!(op.eval_relaxed(&Value::Int(99), &Value::Int(95), DistanceKind::Numeric, 100.0));
-        assert!(!op.eval_relaxed(&Value::Int(95), &Value::Int(95), DistanceKind::Numeric, 100.0));
+        assert!(op.eval_relaxed(
+            &Value::Int(99),
+            &Value::Int(95),
+            DistanceKind::Numeric,
+            100.0
+        ));
+        assert!(!op.eval_relaxed(
+            &Value::Int(95),
+            &Value::Int(95),
+            DistanceKind::Numeric,
+            100.0
+        ));
     }
 
     #[test]

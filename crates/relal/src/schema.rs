@@ -189,8 +189,14 @@ mod tests {
     #[test]
     fn attribute_lookup_returns_distance_kind() {
         let s = poi_schema();
-        assert_eq!(s.attribute("price").unwrap().distance, DistanceKind::Numeric);
-        assert_eq!(s.attribute("type").unwrap().distance, DistanceKind::Categorical);
+        assert_eq!(
+            s.attribute("price").unwrap().distance,
+            DistanceKind::Numeric
+        );
+        assert_eq!(
+            s.attribute("type").unwrap().distance,
+            DistanceKind::Categorical
+        );
         assert_eq!(s.attribute("city").unwrap().distance, DistanceKind::Trivial);
     }
 

@@ -108,7 +108,9 @@ impl SpcQuery {
         }
         for s in &self.selections {
             match s {
-                SelCond::VarConst { var, .. } => max = Some(max.map_or(*var, |m: usize| m.max(*var))),
+                SelCond::VarConst { var, .. } => {
+                    max = Some(max.map_or(*var, |m: usize| m.max(*var)))
+                }
                 SelCond::VarVar { left, right, .. } => {
                     let v = (*left).max(*right);
                     max = Some(max.map_or(v, |m: usize| m.max(v)));
@@ -176,7 +178,11 @@ impl SpcQuery {
     }
 
     /// The distance kind of the attribute at a position.
-    pub fn position_distance(&self, schema: &DatabaseSchema, pos: Position) -> Result<DistanceKind> {
+    pub fn position_distance(
+        &self,
+        schema: &DatabaseSchema,
+        pos: Position,
+    ) -> Result<DistanceKind> {
         let atom = &self.atoms[pos.0];
         let rel = schema.relation(&atom.relation)?;
         Ok(rel
@@ -190,12 +196,7 @@ impl SpcQuery {
     /// explicit selection conditions, and one per extra occurrence of a shared
     /// variable (equality joins). This is the `#-sel` knob of the evaluation.
     pub fn selection_count(&self) -> usize {
-        let consts = self
-            .terms
-            .iter()
-            .flatten()
-            .filter(|t| t.is_const())
-            .count();
+        let consts = self.terms.iter().flatten().filter(|t| t.is_const()).count();
         let joins: usize = self
             .var_positions()
             .values()
@@ -351,9 +352,9 @@ impl SpcQuery {
         // output projection
         let mut proj = Vec::new();
         for out in &self.output {
-            let pos = self
-                .var_first_position(out.var)
-                .ok_or_else(|| RelalError::InvalidQuery(format!("unbound output var {}", out.var)))?;
+            let pos = self.var_first_position(out.var).ok_or_else(|| {
+                RelalError::InvalidQuery(format!("unbound output var {}", out.var))
+            })?;
             proj.push((out.name.clone(), self.position_column_named(schema, pos)?));
         }
         Ok(expr.project(proj))
@@ -428,7 +429,12 @@ impl<'a> SpcQueryBuilder<'a> {
 
     /// Binds an attribute of an atom to a constant (`σ_{A=c}` folded into the
     /// tableau).
-    pub fn bind_const(&mut self, atom: usize, attr: &str, value: impl Into<Value>) -> Result<&mut Self> {
+    pub fn bind_const(
+        &mut self,
+        atom: usize,
+        attr: &str,
+        value: impl Into<Value>,
+    ) -> Result<&mut Self> {
         let rel = self.schema.relation(&self.atoms[atom].relation)?;
         let idx = rel.attr_index(attr)?;
         self.terms[atom][idx] = Term::Const(value.into());
@@ -535,7 +541,11 @@ mod tests {
         DatabaseSchema::new(vec![
             RelationSchema::new(
                 "person",
-                vec![Attribute::id("pid"), Attribute::text("city"), Attribute::text("address")],
+                vec![
+                    Attribute::id("pid"),
+                    Attribute::text("city"),
+                    Attribute::text("address"),
+                ],
             ),
             RelationSchema::new("friend", vec![Attribute::id("pid"), Attribute::id("fid")]),
             RelationSchema::new(

@@ -227,8 +227,11 @@ mod tests {
     #[test]
     fn relation_new_validates_arity() {
         assert!(Relation::new(vec!["a".into()], vec![vec![Value::Int(1), Value::Int(2)]]).is_err());
-        let r = Relation::new(vec!["a".into(), "b".into()], vec![vec![Value::Int(1), Value::Int(2)]])
-            .unwrap();
+        let r = Relation::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![Value::Int(1), Value::Int(2)]],
+        )
+        .unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.arity(), 2);
     }
@@ -255,7 +258,10 @@ mod tests {
     fn project_selects_and_renames_columns() {
         let r = Relation::new(
             vec!["a".into(), "b".into()],
-            vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(20)]],
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
         )
         .unwrap();
         let p = r
@@ -269,8 +275,10 @@ mod tests {
     #[test]
     fn database_insert_and_lookup() {
         let mut db = friend_db();
-        db.insert_row("friend", vec![Value::Int(1), Value::Int(2)]).unwrap();
-        db.insert_row("friend", vec![Value::Int(1), Value::Int(3)]).unwrap();
+        db.insert_row("friend", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        db.insert_row("friend", vec![Value::Int(1), Value::Int(3)])
+            .unwrap();
         assert_eq!(db.relation("friend").unwrap().len(), 2);
         assert_eq!(db.total_tuples(), 2);
         assert!(db.relation("poi").is_err());
@@ -289,8 +297,10 @@ mod tests {
     #[test]
     fn column_values_extracts_one_column() {
         let mut db = friend_db();
-        db.insert_row("friend", vec![Value::Int(1), Value::Int(2)]).unwrap();
-        db.insert_row("friend", vec![Value::Int(1), Value::Int(3)]).unwrap();
+        db.insert_row("friend", vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        db.insert_row("friend", vec![Value::Int(1), Value::Int(3)])
+            .unwrap();
         let vals = db.relation("friend").unwrap().column_values("fid").unwrap();
         assert_eq!(vals, vec![Value::Int(2), Value::Int(3)]);
     }
@@ -306,10 +316,21 @@ mod tests {
     fn sorted_orders_rows_deterministically() {
         let r = Relation::new(
             vec!["a".into()],
-            vec![vec![Value::Int(3)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(3)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         )
         .unwrap()
         .sorted();
-        assert_eq!(r.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)]
+            ]
+        );
     }
 }

@@ -310,7 +310,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::from("z"),
             Value::Int(1),
             Value::Null,

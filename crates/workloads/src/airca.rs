@@ -158,13 +158,21 @@ pub fn airca_lite(scale: usize, seed: u64) -> Dataset {
         constraints: vec![
             ConstraintSpec::new("carriers", &["carrier_id"], &["region", "fleet_size"]),
             ConstraintSpec::new("airports", &["airport_id"], &["state", "traffic_rank"]),
-            ConstraintSpec::new("carrier_stats", &["carrier_id"], &["year", "on_time_pct", "total_flights"]),
+            ConstraintSpec::new(
+                "carrier_stats",
+                &["carrier_id"],
+                &["year", "on_time_pct", "total_flights"],
+            ),
             ConstraintSpec::new(
                 "flights",
                 &["carrier_id", "year"],
                 &["origin_id", "dest_id", "dep_delay", "arr_delay", "distance"],
             ),
-            ConstraintSpec::new("flights", &["origin_id"], &["carrier_id", "dep_delay", "distance"]),
+            ConstraintSpec::new(
+                "flights",
+                &["origin_id"],
+                &["carrier_id", "dep_delay", "distance"],
+            ),
         ],
         join_edges: vec![
             JoinEdge::new("flights", "carrier_id", "carriers", "carrier_id"),
@@ -173,7 +181,10 @@ pub fn airca_lite(scale: usize, seed: u64) -> Dataset {
             JoinEdge::new("carrier_stats", "carrier_id", "carriers", "carrier_id"),
         ],
         qcs: vec![
-            ("flights".to_string(), vec!["carrier_id".to_string(), "year".to_string()]),
+            (
+                "flights".to_string(),
+                vec!["carrier_id".to_string(), "year".to_string()],
+            ),
             ("carrier_stats".to_string(), vec!["carrier_id".to_string()]),
         ],
     }
@@ -200,20 +211,22 @@ mod tests {
         }
         let max = *per_carrier.iter().max().unwrap();
         let min = *per_carrier.iter().min().unwrap();
-        assert!(max > 3 * min.max(1), "expected skewed carrier volumes: {per_carrier:?}");
+        assert!(
+            max > 3 * min.max(1),
+            "expected skewed carrier volumes: {per_carrier:?}"
+        );
     }
 
     #[test]
     fn delays_have_heavy_tail() {
         let d = airca_lite(2, 9);
-        let delays: Vec<f64> = d
-            .db
-            .relation("flights")
-            .unwrap()
-            .rows
-            .iter()
-            .map(|r| r[6].as_f64().unwrap())
-            .collect();
+        let delays: Vec<f64> =
+            d.db.relation("flights")
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| r[6].as_f64().unwrap())
+                .collect();
         let on_time = delays.iter().filter(|&&x| x < 15.0).count();
         let very_late = delays.iter().filter(|&&x| x > 60.0).count();
         assert!(on_time > delays.len() / 2);
@@ -230,8 +243,16 @@ mod tests {
             }
         }
         for e in &d.join_edges {
-            d.db.schema.relation(&e.left_rel).unwrap().attr_index(&e.left_attr).unwrap();
-            d.db.schema.relation(&e.right_rel).unwrap().attr_index(&e.right_attr).unwrap();
+            d.db.schema
+                .relation(&e.left_rel)
+                .unwrap()
+                .attr_index(&e.left_attr)
+                .unwrap();
+            d.db.schema
+                .relation(&e.right_rel)
+                .unwrap()
+                .attr_index(&e.right_attr)
+                .unwrap();
         }
     }
 

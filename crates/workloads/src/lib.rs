@@ -95,8 +95,14 @@ mod tests {
     #[test]
     fn join_edge_other_end_resolves_both_directions() {
         let e = JoinEdge::new("orders", "o_custkey", "customer", "c_custkey");
-        assert_eq!(e.other_end("orders"), Some(("customer", "c_custkey", "o_custkey")));
-        assert_eq!(e.other_end("customer"), Some(("orders", "o_custkey", "c_custkey")));
+        assert_eq!(
+            e.other_end("orders"),
+            Some(("customer", "c_custkey", "o_custkey"))
+        );
+        assert_eq!(
+            e.other_end("customer"),
+            Some(("orders", "o_custkey", "c_custkey"))
+        );
         assert_eq!(e.other_end("lineitem"), None);
     }
 

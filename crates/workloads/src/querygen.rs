@@ -146,7 +146,11 @@ fn generate_ra(
         let variant = tighten(rng)?;
         query = query.difference(RaQuery::spc(variant));
     }
-    let kind = if diffs == 0 { QueryKind::Spc } else { QueryKind::Ra };
+    let kind = if diffs == 0 {
+        QueryKind::Spc
+    } else {
+        QueryKind::Ra
+    };
     Some(GeneratedQuery {
         query: BeasQuery::Ra(query),
         kind,
@@ -179,13 +183,20 @@ fn generate_aggregate(
         .map(|k| k.is_numeric())
         .unwrap_or(false);
     let agg = if agg_col_numeric {
-        *[AggFunc::Count, AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max]
-            .choose(rng)
-            .unwrap()
+        *[
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ]
+        .choose(rng)
+        .unwrap()
     } else {
         AggFunc::Count
     };
-    let agg_query = AggQuery::new(RaQuery::spc(base), vec![group], agg, agg_col, "agg_value").ok()?;
+    let agg_query =
+        AggQuery::new(RaQuery::spc(base), vec![group], agg, agg_col, "agg_value").ok()?;
     Some(GeneratedQuery {
         query: BeasQuery::Aggregate(agg_query),
         kind: QueryKind::AggregateSpc,
@@ -230,7 +241,12 @@ fn build_spc(
             for edge in &dataset.join_edges {
                 if let Some((other_rel, other_attr, this_attr)) = edge.other_end(rel) {
                     if !relations.iter().any(|r| r == other_rel) {
-                        options.push((ai, this_attr.to_string(), other_rel.to_string(), other_attr.to_string()));
+                        options.push((
+                            ai,
+                            this_attr.to_string(),
+                            other_rel.to_string(),
+                            other_attr.to_string(),
+                        ));
                     }
                 }
             }
@@ -238,7 +254,8 @@ fn build_spc(
         if options.is_empty() {
             break;
         }
-        let (ai, this_attr, other_rel, other_attr) = options[rng.gen_range(0..options.len())].clone();
+        let (ai, this_attr, other_rel, other_attr) =
+            options[rng.gen_range(0..options.len())].clone();
         relations.push(other_rel);
         joins.push((ai, this_attr, relations.len() - 1, other_attr));
     }
@@ -251,7 +268,10 @@ fn build_spc(
     }
     for (a, a_attr, b, b_attr) in &joins {
         builder
-            .join((atom_ids[*a], a_attr.as_str()), (atom_ids[*b], b_attr.as_str()))
+            .join(
+                (atom_ids[*a], a_attr.as_str()),
+                (atom_ids[*b], b_attr.as_str()),
+            )
             .ok()?;
     }
 
@@ -297,11 +317,22 @@ fn build_spc(
             &candidates
         };
         let cand = &pool[rng.gen_range(0..pool.len())];
-        let value = sample_value(db, &relations_of(&cand.atom, &atom_ids, &relations), &cand.attr, rng)?;
+        let value = sample_value(
+            db,
+            &relations_of(&cand.atom, &atom_ids, &relations),
+            &cand.attr,
+            rng,
+        )?;
         match cand.kind {
             k if k.is_numeric() => {
-                let op = if rng.gen_bool(0.5) { CompareOp::Le } else { CompareOp::Ge };
-                builder.filter_const(cand.atom, &cand.attr, op, value.clone()).ok()?;
+                let op = if rng.gen_bool(0.5) {
+                    CompareOp::Le
+                } else {
+                    CompareOp::Ge
+                };
+                builder
+                    .filter_const(cand.atom, &cand.attr, op, value.clone())
+                    .ok()?;
                 if numeric_sel.is_none() {
                     if let Some(v) = value.as_f64() {
                         numeric_sel = Some((cand.atom, cand.attr.clone(), v));
@@ -321,13 +352,14 @@ fn build_spc(
         .iter()
         .filter(|c| matches!(c.kind, DistanceKind::Categorical))
         .collect();
-    let numeric: Vec<&AttrRef> = candidates
-        .iter()
-        .filter(|c| c.kind.is_numeric())
-        .collect();
+    let numeric: Vec<&AttrRef> = candidates.iter().filter(|c| c.kind.is_numeric()).collect();
     let mut used_names: Vec<String> = Vec::new();
     if let Some(cat) = categorical.first() {
-        let name = format!("{}_{}", relations[cat.atom.min(relations.len() - 1)], cat.attr);
+        let name = format!(
+            "{}_{}",
+            relations[cat.atom.min(relations.len() - 1)],
+            cat.attr
+        );
         builder.output(cat.atom, &cat.attr, &name).ok()?;
         used_names.push(name);
     }
@@ -418,7 +450,10 @@ mod tests {
         };
         let queries = generate_workload(&dataset, &cfg);
         assert_eq!(queries.len(), 30);
-        let aggregates = queries.iter().filter(|q| q.kind == QueryKind::AggregateSpc).count();
+        let aggregates = queries
+            .iter()
+            .filter(|q| q.kind == QueryKind::AggregateSpc)
+            .count();
         assert!(aggregates > 0, "expected some aggregate queries");
         assert!(aggregates < 30, "expected some non-aggregate queries");
         for q in &queries {

@@ -17,7 +17,14 @@ use crate::{Dataset, JoinEdge};
 /// Road classes.
 const ROAD_CLASSES: [&str; 4] = ["Motorway", "A", "B", "Unclassified"];
 /// Regions.
-const REGIONS: [&str; 6] = ["London", "SouthEast", "Midlands", "North", "Scotland", "Wales"];
+const REGIONS: [&str; 6] = [
+    "London",
+    "SouthEast",
+    "Midlands",
+    "North",
+    "Scotland",
+    "Wales",
+];
 /// Weather conditions.
 const WEATHER: [&str; 4] = ["Fine", "Rain", "Snow", "Fog"];
 /// Vehicle types.
@@ -82,7 +89,7 @@ pub fn tfacc_lite(scale: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new(tfacc_schema());
 
-    let n_roads = 60 * scale.min(4).max(1);
+    let n_roads = 60 * scale.clamp(1, 4);
     let n_accidents = 400 * scale;
 
     for i in 0..n_roads {
@@ -160,9 +167,21 @@ pub fn tfacc_lite(scale: usize, seed: u64) -> Dataset {
         name: "TFACC".to_string(),
         db,
         constraints: vec![
-            ConstraintSpec::new("roads", &["road_id"], &["road_class", "speed_limit", "region"]),
-            ConstraintSpec::new("vehicles", &["accident_id"], &["vehicle_type", "driver_age"]),
-            ConstraintSpec::new("casualties", &["accident_id"], &["casualty_class", "age", "severity"]),
+            ConstraintSpec::new(
+                "roads",
+                &["road_id"],
+                &["road_class", "speed_limit", "region"],
+            ),
+            ConstraintSpec::new(
+                "vehicles",
+                &["accident_id"],
+                &["vehicle_type", "driver_age"],
+            ),
+            ConstraintSpec::new(
+                "casualties",
+                &["accident_id"],
+                &["casualty_class", "age", "severity"],
+            ),
             ConstraintSpec::new(
                 "accidents",
                 &["road_id"],
@@ -171,7 +190,13 @@ pub fn tfacc_lite(scale: usize, seed: u64) -> Dataset {
             ConstraintSpec::new(
                 "accidents",
                 &["year", "weather"],
-                &["accident_id", "road_id", "severity", "num_vehicles", "num_casualties"],
+                &[
+                    "accident_id",
+                    "road_id",
+                    "severity",
+                    "num_vehicles",
+                    "num_casualties",
+                ],
             ),
         ],
         join_edges: vec![
@@ -180,7 +205,10 @@ pub fn tfacc_lite(scale: usize, seed: u64) -> Dataset {
             JoinEdge::new("casualties", "accident_id", "accidents", "accident_id"),
         ],
         qcs: vec![
-            ("accidents".to_string(), vec!["year".to_string(), "weather".to_string()]),
+            (
+                "accidents".to_string(),
+                vec!["year".to_string(), "weather".to_string()],
+            ),
             ("vehicles".to_string(), vec!["vehicle_type".to_string()]),
             ("casualties".to_string(), vec!["casualty_class".to_string()]),
         ],
@@ -197,8 +225,14 @@ mod tests {
         let accidents = d.db.relation("accidents").unwrap();
         let total_vehicles: i64 = accidents.rows.iter().map(|r| r[5].as_i64().unwrap()).sum();
         let total_casualties: i64 = accidents.rows.iter().map(|r| r[6].as_i64().unwrap()).sum();
-        assert_eq!(d.db.relation("vehicles").unwrap().len() as i64, total_vehicles);
-        assert_eq!(d.db.relation("casualties").unwrap().len() as i64, total_casualties);
+        assert_eq!(
+            d.db.relation("vehicles").unwrap().len() as i64,
+            total_vehicles
+        );
+        assert_eq!(
+            d.db.relation("casualties").unwrap().len() as i64,
+            total_casualties
+        );
     }
 
     #[test]
@@ -234,8 +268,16 @@ mod tests {
             }
         }
         for e in &d.join_edges {
-            d.db.schema.relation(&e.left_rel).unwrap().attr_index(&e.left_attr).unwrap();
-            d.db.schema.relation(&e.right_rel).unwrap().attr_index(&e.right_attr).unwrap();
+            d.db.schema
+                .relation(&e.left_rel)
+                .unwrap()
+                .attr_index(&e.left_attr)
+                .unwrap();
+            d.db.schema
+                .relation(&e.right_rel)
+                .unwrap()
+                .attr_index(&e.right_attr)
+                .unwrap();
         }
     }
 

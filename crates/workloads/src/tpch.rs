@@ -17,7 +17,13 @@ use crate::{Dataset, JoinEdge};
 /// Regions of the TPCH-lite world.
 const REGIONS: [&str; 5] = ["AMERICA", "EUROPE", "ASIA", "AFRICA", "MIDDLE EAST"];
 /// Market segments.
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 /// Order statuses.
 const STATUSES: [&str; 3] = ["O", "F", "P"];
 /// Order priorities.
@@ -30,7 +36,10 @@ pub fn tpch_schema() -> DatabaseSchema {
     DatabaseSchema::new(vec![
         RelationSchema::new(
             "region",
-            vec![Attribute::id("r_regionkey"), Attribute::categorical("r_name")],
+            vec![
+                Attribute::id("r_regionkey"),
+                Attribute::categorical("r_name"),
+            ],
         ),
         RelationSchema::new(
             "nation",
@@ -201,10 +210,22 @@ pub fn tpch_lite(scale: usize, seed: u64) -> Dataset {
         db,
         constraints: vec![
             ConstraintSpec::new("nation", &["n_nationkey"], &["n_regionkey", "n_name"]),
-            ConstraintSpec::new("customer", &["c_custkey"], &["c_nationkey", "c_segment", "c_acctbal"]),
-            ConstraintSpec::new("part", &["p_partkey"], &["p_brand", "p_size", "p_retailprice"]),
+            ConstraintSpec::new(
+                "customer",
+                &["c_custkey"],
+                &["c_nationkey", "c_segment", "c_acctbal"],
+            ),
+            ConstraintSpec::new(
+                "part",
+                &["p_partkey"],
+                &["p_brand", "p_size", "p_retailprice"],
+            ),
             ConstraintSpec::new("supplier", &["s_suppkey"], &["s_nationkey", "s_acctbal"]),
-            ConstraintSpec::new("orders", &["o_custkey"], &["o_orderkey", "o_totalprice", "o_year"]),
+            ConstraintSpec::new(
+                "orders",
+                &["o_custkey"],
+                &["o_orderkey", "o_totalprice", "o_year"],
+            ),
             ConstraintSpec::new(
                 "lineitem",
                 &["l_orderkey"],
@@ -217,11 +238,21 @@ pub fn tpch_lite(scale: usize, seed: u64) -> Dataset {
                 &["o_status", "o_year"],
                 &["o_orderkey", "o_custkey", "o_totalprice"],
             ),
-            ConstraintSpec::new("part", &["p_brand"], &["p_partkey", "p_size", "p_retailprice"]),
+            ConstraintSpec::new(
+                "part",
+                &["p_brand"],
+                &["p_partkey", "p_size", "p_retailprice"],
+            ),
             ConstraintSpec::new(
                 "lineitem",
                 &["l_shipyear"],
-                &["l_orderkey", "l_partkey", "l_quantity", "l_extendedprice", "l_discount"],
+                &[
+                    "l_orderkey",
+                    "l_partkey",
+                    "l_quantity",
+                    "l_extendedprice",
+                    "l_discount",
+                ],
             ),
         ],
         join_edges: vec![
@@ -234,7 +265,10 @@ pub fn tpch_lite(scale: usize, seed: u64) -> Dataset {
             JoinEdge::new("lineitem", "l_suppkey", "supplier", "s_suppkey"),
         ],
         qcs: vec![
-            ("orders".to_string(), vec!["o_status".to_string(), "o_year".to_string()]),
+            (
+                "orders".to_string(),
+                vec!["o_status".to_string(), "o_year".to_string()],
+            ),
             ("lineitem".to_string(), vec!["l_shipyear".to_string()]),
             ("part".to_string(), vec!["p_brand".to_string()]),
             ("customer".to_string(), vec!["c_segment".to_string()]),
@@ -296,8 +330,16 @@ mod tests {
             }
         }
         for e in &d.join_edges {
-            d.db.schema.relation(&e.left_rel).unwrap().attr_index(&e.left_attr).unwrap();
-            d.db.schema.relation(&e.right_rel).unwrap().attr_index(&e.right_attr).unwrap();
+            d.db.schema
+                .relation(&e.left_rel)
+                .unwrap()
+                .attr_index(&e.left_attr)
+                .unwrap();
+            d.db.schema
+                .relation(&e.right_rel)
+                .unwrap()
+                .attr_index(&e.right_attr)
+                .unwrap();
         }
         for (rel, cols) in &d.qcs {
             let schema = d.db.schema.relation(rel).unwrap();
@@ -310,14 +352,13 @@ mod tests {
     #[test]
     fn skewed_order_totals_have_a_long_tail() {
         let d = tpch_lite(5, 2);
-        let totals: Vec<f64> = d
-            .db
-            .relation("orders")
-            .unwrap()
-            .rows
-            .iter()
-            .map(|r| r[3].as_f64().unwrap())
-            .collect();
+        let totals: Vec<f64> =
+            d.db.relation("orders")
+                .unwrap()
+                .rows
+                .iter()
+                .map(|r| r[3].as_f64().unwrap())
+                .collect();
         let mean = totals.iter().sum::<f64>() / totals.len() as f64;
         let max = totals.iter().cloned().fold(0.0f64, f64::max);
         assert!(max > 3.0 * mean, "expected a skewed distribution");

@@ -10,13 +10,16 @@ use beas::prelude::*;
 
 fn main() {
     let dataset = tfacc_lite(3, 7);
-    let db = &dataset.db;
     println!(
         "TFACC-lite: {} tuples across {} relations",
-        db.total_tuples(),
-        db.schema.relations.len()
+        dataset.db.total_tuples(),
+        dataset.db.schema.relations.len()
     );
-    let engine = Beas::build(db, &dataset.constraints).expect("catalog");
+    let engine = Beas::builder(dataset.db.clone())
+        .constraints(dataset.constraints.iter().cloned())
+        .build()
+        .expect("catalog");
+    let db = engine.database();
 
     // ----------------------------------------------------------------------
     // accidents on fast roads (speed limit ≥ 60), reporting severity and
@@ -27,8 +30,10 @@ fn main() {
         let a = b.atom("accidents", "a").unwrap();
         let r = b.atom("roads", "r").unwrap();
         b.join((a, "road_id"), (r, "road_id")).unwrap();
-        b.filter_const(r, "speed_limit", CompareOp::Ge, 60i64).unwrap();
-        b.filter_const(a, "num_casualties", CompareOp::Ge, min_casualties).unwrap();
+        b.filter_const(r, "speed_limit", CompareOp::Ge, 60i64)
+            .unwrap();
+        b.filter_const(a, "num_casualties", CompareOp::Ge, min_casualties)
+            .unwrap();
         b.output(a, "severity", "severity").unwrap();
         b.output(a, "num_casualties", "num_casualties").unwrap();
         b.output(a, "year", "year").unwrap();
@@ -36,13 +41,13 @@ fn main() {
     };
 
     // … minus the single-casualty ones: an RA query with set difference.
-    let query: BeasQuery = BeasQuery::Ra(
-        RaQuery::spc(fast_roads(1)).difference(RaQuery::spc(fast_roads(1)).difference(
+    let query: BeasQuery = BeasQuery::Ra(RaQuery::spc(fast_roads(1)).difference(
+        RaQuery::spc(fast_roads(1)).difference(
             // (X − (X − Y)) keeps only multi-casualty accidents; the nested
             // difference exercises the maximal-induced-query machinery
             RaQuery::spc(fast_roads(2)),
-        )),
-    );
+        ),
+    ));
 
     let exact = exact_answers(&query, db).unwrap();
     println!(
@@ -51,7 +56,9 @@ fn main() {
     );
 
     for alpha in [0.02, 0.1, 0.5] {
-        let answer = engine.answer(&query, alpha).expect("answer");
+        let answer = engine
+            .answer(&query, ResourceSpec::Ratio(alpha))
+            .expect("answer");
         let acc = rc_accuracy(&answer.answers, &query, db, &AccuracyConfig::default()).unwrap();
         println!(
             "alpha = {:<4} | accessed {:>5}/{:<6} | answers {:>4} | eta = {:.3} | RC = {:.3}{}",
@@ -69,11 +76,10 @@ fn main() {
     // The set-difference guarantee (Theorem 6(5)): excluded tuples never leak
     // into the answer, even at tiny ratios.
     // ----------------------------------------------------------------------
-    let excluded: BeasQuery = BeasQuery::Ra(
-        RaQuery::spc(fast_roads(1)).difference(RaQuery::spc(fast_roads(2))),
-    );
+    let excluded: BeasQuery =
+        BeasQuery::Ra(RaQuery::spc(fast_roads(1)).difference(RaQuery::spc(fast_roads(2))));
     let excluded_exact = exact_answers(&excluded, db).unwrap();
-    let answer = engine.answer(&query, 0.02).unwrap();
+    let answer = engine.answer(&query, ResourceSpec::Ratio(0.02)).unwrap();
     let leaked = answer
         .answers
         .rows
@@ -104,15 +110,16 @@ fn main() {
     .unwrap()
     .into();
 
-    let alpha = 0.05;
-    let budget = engine.catalog().budget_for(alpha);
-    let beas_answer = engine.answer(&agg, alpha).unwrap();
-    let histo = Histo::build(db, budget).expect("histogram");
-    let histo_answer = histo.answer(&agg.to_query_expr(&db.schema).unwrap()).unwrap();
+    let spec = ResourceSpec::Ratio(0.05);
+    let beas_answer = engine.answer(&agg, spec).unwrap();
+    let histo = Histo::build(db, &spec).expect("histogram");
+    let histo_answer = histo
+        .answer(&agg.to_query_expr(&db.schema).unwrap())
+        .unwrap();
     let beas_acc = rc_accuracy(&beas_answer.answers, &agg, db, &AccuracyConfig::default()).unwrap();
     let histo_acc = rc_accuracy(&histo_answer, &agg, db, &AccuracyConfig::default()).unwrap();
     println!(
-        "\ncasualties per weather since 1990 at alpha = {alpha}: BEAS RC = {:.3} (eta = {:.3}) vs Histo RC = {:.3}",
+        "\ncasualties per weather since 1990 at spec = {spec}: BEAS RC = {:.3} (eta = {:.3}) vs Histo RC = {:.3}",
         beas_acc.accuracy, beas_answer.eta, histo_acc.accuracy
     );
 }

@@ -12,22 +12,27 @@ use beas::prelude::*;
 fn main() {
     // a synthetic stand-in for the paper's AIRCA dataset (see DESIGN.md §4)
     let dataset = airca_lite(4, 2024);
-    let db = &dataset.db;
     println!(
         "AIRCA-lite: {} tuples across {} relations",
-        db.total_tuples(),
-        db.schema.relations.len()
+        dataset.db.total_tuples(),
+        dataset.db.schema.relations.len()
     );
 
-    let engine = Beas::build(db, &dataset.constraints).expect("catalog");
+    let engine = Beas::builder(dataset.db.clone())
+        .constraints(dataset.constraints.iter().cloned())
+        .build()
+        .expect("catalog");
+    let db = engine.database();
 
     // ----------------------------------------------------------------------
     // Q: average arrival delay per year for one carrier's delayed flights.
     // ----------------------------------------------------------------------
     let mut b = SpcQueryBuilder::new(&db.schema);
     let f = b.atom("flights", "f").unwrap();
-    b.filter_const(f, "carrier_id", CompareOp::Eq, 2i64).unwrap();
-    b.filter_const(f, "dep_delay", CompareOp::Ge, 15i64).unwrap();
+    b.filter_const(f, "carrier_id", CompareOp::Eq, 2i64)
+        .unwrap();
+    b.filter_const(f, "dep_delay", CompareOp::Ge, 15i64)
+        .unwrap();
     b.output(f, "year", "year").unwrap();
     b.output(f, "arr_delay", "arr_delay").unwrap();
     let inner: RaQuery = RaQuery::spc(b.build().unwrap());
@@ -45,33 +50,44 @@ fn main() {
     println!("\navg arrival delay of delayed flights of carrier 2, per year");
     println!("exact answer ({} groups):", exact.len());
     for row in exact.clone().sorted().rows.iter().take(5) {
-        println!("  year {} -> {:.1} min", row[0], row[1].as_f64().unwrap_or(f64::NAN));
+        println!(
+            "  year {} -> {:.1} min",
+            row[0],
+            row[1].as_f64().unwrap_or(f64::NAN)
+        );
     }
 
     for alpha in [0.01, 0.05, 0.2] {
-        let answer = engine.answer(&query, alpha).expect("answer");
+        let answer = engine
+            .answer(&query, ResourceSpec::Ratio(alpha))
+            .expect("answer");
         let acc = rc_accuracy(&answer.answers, &query, db, &AccuracyConfig::default()).unwrap();
         println!(
             "\nalpha = {alpha}: accessed {}/{} tuples, eta = {:.3}, measured RC = {:.3}",
             answer.accessed, answer.budget, answer.eta, acc.accuracy
         );
         for row in answer.answers.clone().sorted().rows.iter().take(5) {
-            println!("  year {} -> {:.1} min", row[0], row[1].as_f64().unwrap_or(f64::NAN));
+            println!(
+                "  year {} -> {:.1} min",
+                row[0],
+                row[1].as_f64().unwrap_or(f64::NAN)
+            );
         }
     }
 
     // ----------------------------------------------------------------------
     // Compare against the uniform-sampling baseline at the same budget.
     // ----------------------------------------------------------------------
-    let alpha = 0.05;
-    let budget = engine.catalog().budget_for(alpha);
-    let sampl = Sampl::build(db, budget, 7).expect("sample");
+    let spec = ResourceSpec::Ratio(0.05);
+    let budget = engine.catalog().budget(&spec).unwrap();
+    let sampl = Sampl::build(db, &spec, 7).expect("sample");
     let sampl_answer = sampl
         .answer(&query.to_query_expr(&db.schema).unwrap())
         .expect("baseline answer");
     let sampl_acc = rc_accuracy(&sampl_answer, &query, db, &AccuracyConfig::default()).unwrap();
-    let beas_answer = engine.answer(&query, alpha).unwrap();
-    let beas_acc = rc_accuracy(&beas_answer.answers, &query, db, &AccuracyConfig::default()).unwrap();
+    let beas_answer = engine.answer(&query, spec).unwrap();
+    let beas_acc =
+        rc_accuracy(&beas_answer.answers, &query, db, &AccuracyConfig::default()).unwrap();
     println!(
         "\nat the same budget ({budget} tuples): BEAS RC = {:.3} vs uniform sampling RC = {:.3}",
         beas_acc.accuracy, sampl_acc.accuracy

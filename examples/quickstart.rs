@@ -1,5 +1,6 @@
-//! Quickstart: build an access schema over a small table and answer a query
-//! under a resource ratio, exactly when possible and approximately otherwise.
+//! Quickstart: the session-oriented engine lifecycle end to end —
+//! build (C1) → prepare + answer under typed resource specs (C3/C4) →
+//! maintain under inserts without a rebuild (C2).
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -37,11 +38,14 @@ fn main() {
     }
     println!("|D| = {} tuples", db.total_tuples());
 
-    // ------------------------------------------------- offline: access schema
+    // --------------------------------------------- offline (C1): build once
     // One access constraint poi({type, city} -> {price}); BEAS derives the
     // multi-resolution templates psi_1..psi_m from it and also builds the
-    // canonical schema A_t, so every query is answerable under any ratio.
-    let engine = Beas::build(&db, &[ConstraintSpec::new("poi", &["type", "city"], &["price"])])
+    // canonical schema A_t, so every query is answerable under any spec. The
+    // engine owns the database from here on.
+    let mut engine = Beas::builder(db)
+        .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+        .build()
         .expect("catalog construction");
     let report = engine.catalog().index_size_report();
     println!(
@@ -52,7 +56,7 @@ fn main() {
 
     // ------------------------------------------------------ online: the query
     // "hotels in NYC costing at most $95 per night"
-    let mut b = SpcQueryBuilder::new(&db.schema);
+    let mut b = SpcQueryBuilder::new(&engine.database().schema);
     let h = b.atom("poi", "h").unwrap();
     b.bind_const(h, "type", "hotel").unwrap();
     b.bind_const(h, "city", "NYC").unwrap();
@@ -60,28 +64,71 @@ fn main() {
     b.output(h, "price", "price").unwrap();
     let query: BeasQuery = b.build().unwrap().into();
 
-    let exact = exact_answers(&query, &db).unwrap();
+    let exact = engine.exact_answers(&query).unwrap();
     println!("\nexact answers: {} hotels under $95 in NYC", exact.len());
 
-    // ----------------------------------------------- vary the resource ratio
-    for alpha in [0.002, 0.01, 0.05, 0.3] {
-        let answer = engine.answer(&query, alpha).expect("bounded answering");
-        let accuracy = rc_accuracy(&answer.answers, &query, &db, &AccuracyConfig::default())
-            .expect("accuracy");
+    // -------------------------- online (C3 + C4): prepare once, answer many
+    // A serving system sees the same query under many budgets; prepare it
+    // once so each budget is planned at most once and repeats skip planning.
+    {
+        let prepared = engine.prepare(&query).expect("prepare");
+        for spec in [
+            ResourceSpec::Ratio(0.002),
+            ResourceSpec::Ratio(0.01),
+            ResourceSpec::Ratio(0.05),
+            ResourceSpec::Tuples(900), // absolute budgets share the vocabulary
+        ] {
+            let answer = prepared.answer(spec).expect("bounded answering");
+            let accuracy = engine
+                .accuracy(&answer.answers, &query, &AccuracyConfig::default())
+                .expect("accuracy");
+            println!(
+                "spec = {:<6} budget = {:>5} tuples | accessed = {:>5} | answers = {:>3} | eta = {:.3} | measured RC accuracy = {:.3}{}",
+                spec.to_string(),
+                answer.budget,
+                answer.accessed,
+                answer.answers.len(),
+                answer.eta,
+                accuracy.accuracy,
+                if answer.exact { " (exact)" } else { "" },
+            );
+        }
+        // the second round at the same budgets is execution-only
+        prepared.answer(ResourceSpec::Ratio(0.05)).unwrap();
         println!(
-            "alpha = {:<6} budget = {:>5} tuples | accessed = {:>5} | answers = {:>3} | eta = {:.3} | measured RC accuracy = {:.3}{}",
-            alpha,
-            engine.catalog().budget_for(alpha),
-            answer.accessed,
-            answer.answers.len(),
-            answer.eta,
-            accuracy.accuracy,
-            if answer.exact { " (exact)" } else { "" },
+            "plan cache: {} distinct budgets planned",
+            prepared.cached_plans()
         );
     }
 
+    // ------------------------------------- maintenance (C2): no rebuild
+    let before = engine.database().total_tuples();
+    let batch = (0..50i64).fold(UpdateBatch::new(), |batch, i| {
+        batch.insert(
+            "poi",
+            vec![
+                Value::from(format!("{} New Hotel Rd", i)),
+                Value::from("hotel"),
+                Value::from("NYC"),
+                Value::Double(40.0 + i as f64),
+            ],
+        )
+    });
+    engine
+        .apply_update(&batch)
+        .expect("incremental maintenance");
+    let after = engine.answer(&query, ResourceSpec::FULL).unwrap();
+    println!(
+        "\nafter inserting 50 hotels (|D| {before} -> {}): {} answers (was {}), still exact = {}",
+        engine.database().total_tuples(),
+        after.answers.len(),
+        exact.len(),
+        after.exact,
+    );
+
     println!(
         "\nThe guarantee: the measured RC accuracy is never below the reported eta,\n\
-         and the number of accessed tuples never exceeds alpha * |D|."
+         the number of accessed tuples never exceeds the spec's budget, and\n\
+         inserts flow into the indices without an offline rebuild."
     );
 }

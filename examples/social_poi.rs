@@ -19,7 +19,11 @@ fn build_database(n_people: i64, n_poi: i64) -> Database {
     let schema = DatabaseSchema::new(vec![
         RelationSchema::new(
             "person",
-            vec![Attribute::id("pid"), Attribute::text("city"), Attribute::text("address")],
+            vec![
+                Attribute::id("pid"),
+                Attribute::text("city"),
+                Attribute::text("address"),
+            ],
         ),
         RelationSchema::new("friend", vec![Attribute::id("pid"), Attribute::id("fid")]),
         RelationSchema::new(
@@ -46,8 +50,11 @@ fn build_database(n_people: i64, n_poi: i64) -> Database {
         .unwrap();
         // every person has up to 8 friends (the paper's Facebook limit is 5000)
         for k in 1..=(i % 8) {
-            db.insert_row("friend", vec![Value::Int(i), Value::Int((i + k * 13) % n_people)])
-                .unwrap();
+            db.insert_row(
+                "friend",
+                vec![Value::Int(i), Value::Int((i + k * 13) % n_people)],
+            )
+            .unwrap();
         }
     }
     for i in 0..n_poi {
@@ -98,24 +105,21 @@ fn main() {
 
     // The access schema A_0 of Example 1: friend(pid -> fid), person(pid ->
     // city) as constraints, poi({type, city} -> {price, address}) with its
-    // multi-resolution templates.
-    let engine = Beas::build(
-        &db,
-        &[
-            ConstraintSpec::new("friend", &["pid"], &["fid"]),
-            ConstraintSpec::new("person", &["pid"], &["city"]),
-            ConstraintSpec::new("poi", &["type", "city"], &["price"]),
-        ],
-    )
-    .expect("catalog");
+    // multi-resolution templates. The engine takes ownership of the database.
+    let engine = Beas::builder(db)
+        .constraint(ConstraintSpec::new("friend", &["pid"], &["fid"]))
+        .constraint(ConstraintSpec::new("person", &["pid"], &["city"]))
+        .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+        .build()
+        .expect("catalog");
 
     let me = 1234i64;
 
     // ------------------------------------------------------------------- Q2
-    let query2 = q2(&db, me);
-    let exact2 = exact_answers(&query2, &db).unwrap();
+    let query2 = q2(engine.database(), me);
+    let exact2 = engine.exact_answers(&query2).unwrap();
     let ratio = engine.exact_ratio(&query2).unwrap().unwrap_or(f64::NAN);
-    let answer2 = engine.answer(&query2, 0.01).unwrap();
+    let answer2 = engine.answer(&query2, ResourceSpec::Ratio(0.01)).unwrap();
     println!("\nQ2 (cities of my friends) — boundedly evaluable");
     println!("  exact ratio alpha_exact   = {ratio:.5}");
     println!(
@@ -128,12 +132,20 @@ fn main() {
     assert_eq!(answer2.answers.clone().sorted(), exact2.sorted());
 
     // ------------------------------------------------------------------- Q1
-    let query1 = q1(&db, me);
-    let exact1 = exact_answers(&query1, &db).unwrap();
-    println!("\nQ1 (cheap hotels near friends) — {} exact answers", exact1.len());
+    // The hotel query is asked repeatedly under different budgets — prepare it
+    // once so every budget plans at most once and repeats hit the plan cache.
+    let query1 = q1(engine.database(), me);
+    let exact1 = engine.exact_answers(&query1).unwrap();
+    println!(
+        "\nQ1 (cheap hotels near friends) — {} exact answers",
+        exact1.len()
+    );
+    let prepared = engine.prepare(&query1).expect("prepare");
     for alpha in [0.005, 0.02, 0.1, 0.5] {
-        let answer = engine.answer(&query1, alpha).unwrap();
-        let acc = rc_accuracy(&answer.answers, &query1, &db, &AccuracyConfig::default()).unwrap();
+        let answer = prepared.answer(ResourceSpec::Ratio(alpha)).unwrap();
+        let acc = engine
+            .accuracy(&answer.answers, &query1, &AccuracyConfig::default())
+            .unwrap();
         println!(
             "  alpha = {:<5} | accessed {:>5}/{:<5} | answers {:>3} | eta = {:.3} | RC = {:.3}{}",
             alpha,
@@ -145,5 +157,6 @@ fn main() {
             if answer.exact { " (exact)" } else { "" }
         );
     }
+    println!("  cached plans: {}", prepared.cached_plans());
     println!("\nLike the paper's Example 1, the plan fetches friends and their cities\nthrough access constraints and hotel prices through the ψ_k template whose\nresolution the budget can afford; raising α upgrades ψ_k towards exactness.");
 }

@@ -9,12 +9,25 @@
 //!
 //! * [`relal`] — the relational substrate (values, schemas, RA, evaluation);
 //! * [`access`] — access schemas: templates, constraints, K-D tree indices,
-//!   budget-enforcing fetch;
-//! * [`core`] — the BEAS planner/executor/engine and the RC accuracy measure;
+//!   typed resource specs, budget-enforcing fetch;
+//! * [`core`] — the session-oriented BEAS engine (builder, planner, executor,
+//!   prepared queries, incremental maintenance) and the RC accuracy measure;
 //! * [`baselines`] — uniform sampling, histograms and BlinkDB-style stratified
 //!   sampling, for comparison;
 //! * [`workloads`] — synthetic TPCH/AIRCA/TFACC-like datasets and a random
 //!   query workload generator.
+//!
+//! The engine API follows the paper's offline/online split (Fig. 2) as a
+//! session lifecycle:
+//!
+//! 1. **Build** (C1): [`Beas::builder`] takes ownership of the database,
+//!    registers access constraints and produces the engine with its indices.
+//! 2. **Maintain** (C2): [`Beas::insert_row`] / [`Beas::apply_update`]
+//!    propagate inserts into every index incrementally — no rebuild.
+//! 3. **Prepare + answer** (C3/C4): [`Beas::prepare`] validates a query once
+//!    and caches one bounded plan per budget, so answering again at a
+//!    repeated [`ResourceSpec`] skips planning and goes straight to bounded
+//!    execution.
 //!
 //! The most convenient entry point is [`prelude`]:
 //!
@@ -35,18 +48,37 @@
 //!     ]).unwrap();
 //! }
 //!
-//! // offline: access schema; online: bounded answering
-//! let engine = Beas::build(&db, &[ConstraintSpec::new("poi", &["type", "city"], &["price"])]).unwrap();
-//! let mut q = SpcQueryBuilder::new(&db.schema);
+//! // offline (C1): the engine owns the database and its access schema
+//! let mut engine = Beas::builder(db)
+//!     .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut q = SpcQueryBuilder::new(&engine.database().schema);
 //! let h = q.atom("poi", "h").unwrap();
 //! q.bind_const(h, "type", "hotel").unwrap();
 //! q.bind_const(h, "city", "NYC").unwrap();
 //! q.output(h, "price", "price").unwrap();
 //! let query: BeasQuery = q.build().unwrap().into();
 //!
-//! let answer = engine.answer(&query, 0.1).unwrap();
-//! assert!(answer.accessed <= engine.catalog().budget_for(0.1));
-//! assert!(answer.eta > 0.0);
+//! // online (C3 + C4): prepare once, answer under typed resource specs;
+//! // repeated budgets reuse the cached plan
+//! let spec = ResourceSpec::Ratio(0.1);
+//! {
+//!     let prepared = engine.prepare(&query).unwrap();
+//!     let answer = prepared.answer(spec).unwrap();
+//!     assert!(answer.accessed <= engine.catalog().budget(&spec).unwrap());
+//!     assert!(answer.eta > 0.0);
+//!     prepared.answer(spec).unwrap();
+//!     assert_eq!(prepared.cached_plans(), 1);
+//! }
+//!
+//! // maintenance (C2): inserts flow into the indices without a rebuild
+//! engine.insert_row("poi", vec![
+//!     Value::from("hotel"), Value::from("NYC"), Value::Double(55.0),
+//! ]).unwrap();
+//! let after = engine.answer(&query, ResourceSpec::FULL).unwrap();
+//! assert!(after.answers.rows.contains(&vec![Value::Double(55.0)]));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -60,11 +92,15 @@ pub use beas_workloads as workloads;
 
 /// Commonly used items from across the workspace.
 pub mod prelude {
-    pub use beas_access::{build_at, build_constraint, build_extended, AtOptions, Catalog, FetchSession};
+    pub use beas_access::{
+        build_at, build_constraint, build_extended, AtOptions, BudgetPolicy, Catalog, FetchSession,
+        ResourceSpec,
+    };
     pub use beas_baselines::{Baseline, BlinkSim, Histo, Sampl};
     pub use beas_core::{
         exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery, Beas,
-        BeasAnswer, BeasQuery, BoundedPlan, ConstraintSpec, Planner, RaQuery,
+        BeasAnswer, BeasBuilder, BeasQuery, BoundedPlan, ConstraintSpec, Planner, PreparedQuery,
+        RaQuery, UpdateBatch,
     };
     pub use beas_relal::{
         AggFunc, Attribute, CompareOp, Database, DatabaseSchema, DistanceKind, Relation,
