@@ -19,7 +19,8 @@ use beas_relal::{Database, DistanceKind, Value};
 
 use crate::error::{AccessError, Result};
 use crate::family::{Level, Rep, TemplateFamily};
-use crate::kdtree::multilevel_partition;
+use crate::kdtree::{multilevel_partition_threaded, LevelReps};
+use crate::par::par_map;
 
 /// Options controlling `A_t` construction.
 #[derive(Debug, Clone, Default)]
@@ -34,6 +35,17 @@ pub struct AtOptions {
 /// Builds the canonical access schema `A_t`: for every relation `R` of the
 /// database, a family `R(∅ → attr(R), 2^k, d̄_k)` with `k = 0..M_R`.
 pub fn build_at(db: &Database, opts: &AtOptions) -> Result<Vec<TemplateFamily>> {
+    build_at_threaded(db, opts, 1)
+}
+
+/// [`build_at`] with the per-relation K-D tree builds spread over up to
+/// `threads` scoped threads. The resulting families are byte-identical to the
+/// sequential build (see [`multilevel_partition_threaded`]).
+pub fn build_at_threaded(
+    db: &Database,
+    opts: &AtOptions,
+    threads: usize,
+) -> Result<Vec<TemplateFamily>> {
     let mut families = Vec::new();
     for rel_schema in &db.schema.relations {
         let attrs: Vec<&str> = rel_schema
@@ -41,7 +53,7 @@ pub fn build_at(db: &Database, opts: &AtOptions) -> Result<Vec<TemplateFamily>> 
             .iter()
             .map(|a| a.name.as_str())
             .collect();
-        let mut family = build_family(db, &rel_schema.name, &[], &attrs, opts.level_cap)?;
+        let mut family = build_family(db, &rel_schema.name, &[], &attrs, opts.level_cap, threads)?;
         family.from_constraint = false;
         families.push(family);
     }
@@ -123,17 +135,38 @@ pub fn build_extended(
     x_attrs: &[&str],
     y_attrs: &[&str],
 ) -> Result<TemplateFamily> {
-    build_family(db, relation, x_attrs, y_attrs, None)
+    build_family(db, relation, x_attrs, y_attrs, None, 1)
+}
+
+/// [`build_extended`] with the per-group K-D tree builds spread over up to
+/// `threads` scoped threads; byte-identical to the sequential build.
+pub fn build_extended_threaded(
+    db: &Database,
+    relation: &str,
+    x_attrs: &[&str],
+    y_attrs: &[&str],
+    threads: usize,
+) -> Result<TemplateFamily> {
+    build_family(db, relation, x_attrs, y_attrs, None, threads)
 }
 
 /// Shared implementation: groups rows by X and partitions each group's
 /// Y-projection at multiple resolutions.
+///
+/// Parallelism splits two ways, keyed to the family's shape: when there are
+/// many X-groups (extended templates), the groups themselves run across
+/// threads with sequential trees; when there are few large groups (the `A_t`
+/// whole-relation families have exactly one), each tree's own levels run
+/// threaded instead. Level assembly then fans the per-level representative
+/// tables out across threads. Every step preserves order, so the family is
+/// identical for any thread count.
 fn build_family(
     db: &Database,
     relation: &str,
     x_attrs: &[&str],
     y_attrs: &[&str],
     level_cap: Option<usize>,
+    threads: usize,
 ) -> Result<TemplateFamily> {
     let (x_idx, _) = resolve_attrs(db, relation, x_attrs)?;
     let (y_idx, y_dists) = resolve_attrs(db, relation, y_attrs)?;
@@ -166,11 +199,15 @@ fn build_family(
         });
     }
 
-    // partition each group
-    let partitions: Vec<(Vec<Value>, Vec<crate::kdtree::LevelReps>)> = groups
-        .into_iter()
-        .map(|(key, tuples)| (key, multilevel_partition(&tuples, &y_dists)))
-        .collect();
+    // partition each group: across threads when groups are plentiful, with
+    // threaded trees when one big group (the A_t shape) dominates
+    let group_vec: Vec<(Vec<Value>, Vec<Vec<Value>>)> = groups.into_iter().collect();
+    let inner_threads = (threads / group_vec.len().max(1)).max(1);
+    let partitions: Vec<(Vec<Value>, Vec<LevelReps>)> =
+        par_map(group_vec, threads, |(key, tuples)| {
+            let levels = multilevel_partition_threaded(&tuples, &y_dists, inner_threads);
+            (key, levels)
+        });
 
     let mut num_levels = partitions
         .iter()
@@ -181,8 +218,9 @@ fn build_family(
         num_levels = num_levels.min(cap.max(1));
     }
 
-    let mut levels = Vec::with_capacity(num_levels);
-    for k in 0..num_levels {
+    // per-level representative tables are independent — assemble them across
+    // threads too
+    let levels = par_map((0..num_levels).collect(), threads, |k| {
         let mut buckets: HashMap<Vec<Value>, Vec<Rep>> = HashMap::new();
         let mut resolution = vec![0.0f64; y_attrs.len()];
         let mut n = 0usize;
@@ -198,12 +236,12 @@ fn build_family(
             }
             buckets.insert(key.clone(), lr.reps.clone());
         }
-        levels.push(Level {
+        Level {
             n: n.max(1),
             resolution,
             buckets,
-        });
-    }
+        }
+    });
 
     Ok(TemplateFamily {
         relation: relation.to_string(),
@@ -358,6 +396,29 @@ mod tests {
         assert_eq!(f.levels[0].stored_tuples(), 0);
         let at = build_at(&db, &AtOptions::default()).unwrap();
         assert_eq!(at[0].levels[0].stored_tuples(), 0);
+    }
+
+    #[test]
+    fn threaded_builds_are_identical_to_sequential() {
+        let db = poi_db(150);
+        let seq_at = build_at(&db, &AtOptions::default()).unwrap();
+        let seq_ext = build_extended(&db, "poi", &["type", "city"], &["price", "address"]).unwrap();
+        for threads in [2, 4, 16] {
+            let par_at = build_at_threaded(&db, &AtOptions::default(), threads).unwrap();
+            assert_eq!(par_at, seq_at, "A_t differs at {threads} threads");
+            let par_ext = build_extended_threaded(
+                &db,
+                "poi",
+                &["type", "city"],
+                &["price", "address"],
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                par_ext, seq_ext,
+                "extended family differs at {threads} threads"
+            );
+        }
     }
 
     #[test]

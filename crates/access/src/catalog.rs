@@ -4,7 +4,7 @@
 
 use beas_relal::{Database, DatabaseSchema, DistanceKind, Row};
 
-use crate::builder::{build_at, AtOptions};
+use crate::builder::{build_at_threaded, AtOptions};
 use crate::error::{AccessError, Result};
 use crate::family::{FamilyId, TemplateFamily};
 use crate::resource::{BudgetPolicy, ResourceSpec};
@@ -20,6 +20,10 @@ pub struct Catalog {
     pub db_size: usize,
     /// How resource specs resolve to tuple budgets for this catalog.
     pub policy: BudgetPolicy,
+    /// Monotonic change counter: bumped by every mutation (inserts, new
+    /// families). Plan caches compare it to detect that a cached plan was
+    /// generated against an older state of this catalog lineage.
+    pub version: u64,
     families: Vec<TemplateFamily>,
 }
 
@@ -30,6 +34,7 @@ impl Catalog {
             schema,
             db_size,
             policy: BudgetPolicy::default(),
+            version: 0,
             families: Vec::new(),
         }
     }
@@ -38,8 +43,15 @@ impl Catalog {
     /// (offline component C1 of Fig. 2). Additional constraints and extended
     /// templates can be added afterwards with [`Catalog::add_family`].
     pub fn for_database(db: &Database, opts: &AtOptions) -> Result<Self> {
+        Catalog::for_database_threaded(db, opts, 1)
+    }
+
+    /// [`Catalog::for_database`] with the index build spread over up to
+    /// `threads` scoped threads (byte-identical result, see
+    /// [`build_at_threaded`]).
+    pub fn for_database_threaded(db: &Database, opts: &AtOptions, threads: usize) -> Result<Self> {
         let mut catalog = Catalog::new(db.schema.clone(), db.total_tuples());
-        for family in build_at(db, opts)? {
+        for family in build_at_threaded(db, opts, threads)? {
             catalog.add_family(family);
         }
         Ok(catalog)
@@ -48,6 +60,7 @@ impl Catalog {
     /// Adds a family and returns its id.
     pub fn add_family(&mut self, family: TemplateFamily) -> FamilyId {
         self.families.push(family);
+        self.version += 1;
         self.families.len() - 1
     }
 
@@ -110,20 +123,6 @@ impl Catalog {
         spec.budget(self.db_size, &self.policy)
     }
 
-    /// The total resource ratio budget `α·|D|` in tuples.
-    ///
-    /// This shim keeps the seed behaviour of granting at least one tuple for
-    /// *any* α — including `α ≤ 0`, which silently authorizes access the
-    /// caller never asked for. Use [`Catalog::budget`] with a validated
-    /// [`ResourceSpec`] instead.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Catalog::budget(&ResourceSpec::Ratio(alpha))`"
-    )]
-    pub fn budget_for(&self, alpha: f64) -> usize {
-        ((alpha * self.db_size as f64).floor() as usize).max(1)
-    }
-
     /// Component C2 (Fig. 2): propagates one base-table insert into every
     /// family defined on `relation` and updates `|D|`, without rebuilding any
     /// index. The resolutions of existing levels never change, so every bound
@@ -157,6 +156,7 @@ impl Catalog {
             family.absorb(&xkey, &yval, &dists);
         }
         self.db_size += 1;
+        self.version += 1;
         Ok(())
     }
 
@@ -316,12 +316,29 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_budget_for_keeps_seed_behaviour() {
+    fn version_tracks_every_mutation() {
         let db = small_db();
-        let catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
-        assert_eq!(catalog.budget_for(0.5), 20);
-        assert_eq!(catalog.budget_for(1e-9), 1);
+        let mut catalog = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        let v0 = catalog.version;
+        catalog
+            .insert_row("friend", &vec![Value::Int(1), Value::Int(77)])
+            .unwrap();
+        assert_eq!(catalog.version, v0 + 1);
+        catalog.add_family(build_constraint(&db, "friend", &["pid"], &["fid"]).unwrap());
+        assert_eq!(catalog.version, v0 + 2);
+        // failed mutations leave the version untouched
+        assert!(catalog.insert_row("friend", &vec![Value::Int(1)]).is_err());
+        assert_eq!(catalog.version, v0 + 2);
+    }
+
+    #[test]
+    fn threaded_catalog_build_is_identical() {
+        let db = small_db();
+        let seq = Catalog::for_database(&db, &AtOptions::default()).unwrap();
+        let par = Catalog::for_database_threaded(&db, &AtOptions::default(), 8).unwrap();
+        assert_eq!(par.families(), seq.families());
+        assert_eq!(par.db_size, seq.db_size);
+        assert_eq!(par.version, seq.version);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use beas_relal::{DistanceKind, Value};
 
 use crate::family::Rep;
+use crate::par::par_map;
 
 /// The representatives of one level together with the level's resolution.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +47,22 @@ struct Cluster {
 /// representative), so the last level always has resolution `0̄` and plays the
 /// role of an access constraint.
 pub fn multilevel_partition(tuples: &[Vec<Value>], distances: &[DistanceKind]) -> Vec<LevelReps> {
+    multilevel_partition_threaded(tuples, distances, 1)
+}
+
+/// [`multilevel_partition`] with the per-level work (representative election
+/// and cluster splitting) spread over up to `threads` scoped threads.
+///
+/// Clusters are independent, and the fork-join helpers preserve cluster
+/// order, so the result is **byte-identical** to the sequential build for any
+/// thread count — level resolutions (and thus every η bound derived from
+/// them) never depend on the machine's core count. Property-tested in
+/// `tests/properties.rs`.
+pub fn multilevel_partition_threaded(
+    tuples: &[Vec<Value>],
+    distances: &[DistanceKind],
+    threads: usize,
+) -> Vec<LevelReps> {
     if tuples.is_empty() {
         return vec![LevelReps {
             reps: Vec::new(),
@@ -85,53 +102,72 @@ pub fn multilevel_partition(tuples: &[Vec<Value>], distances: &[DistanceKind]) -
             &distinct,
             &multiplicity,
             distances,
+            threads,
         ));
         if clusters.iter().all(|c| c.members.len() <= 1) {
             break;
         }
-        clusters = clusters
-            .into_iter()
-            .flat_map(|c| split_cluster(c, &distinct, distances))
-            .collect();
+        let splits = par_map(clusters, threads, |c| {
+            split_cluster(c, &distinct, distances)
+        });
+        clusters = splits.into_iter().flatten().collect();
     }
     levels
 }
 
-/// Builds the representative list and resolution of one level.
+/// Builds the representative list and resolution of one level. Clusters are
+/// independent, so their representatives are elected on up to `threads`
+/// scoped threads; per-cluster resolutions merge by elementwise max, which is
+/// order-independent, so the level is identical for any thread count.
 fn level_from_clusters(
     clusters: &[Cluster],
     distinct: &[Vec<Value>],
     multiplicity: &[u64],
     distances: &[DistanceKind],
+    threads: usize,
 ) -> LevelReps {
     let arity = distances.len();
-    let mut reps = Vec::with_capacity(clusters.len());
-    let mut resolution = vec![0.0f64; arity];
-    for cluster in clusters {
-        let rep_idx = representative_of(cluster, distinct, distances);
-        let rep_values = distinct[rep_idx].clone();
-        let mut count = 0u64;
-        let mut sums: Vec<Option<f64>> = vec![Some(0.0); arity];
-        for &m in &cluster.members {
-            let mult = multiplicity[m];
-            count += mult;
-            for a in 0..arity {
-                match (&mut sums[a], distinct[m][a].as_f64()) {
-                    (Some(acc), Some(v)) => *acc += v * mult as f64,
-                    (s, None) => *s = None,
-                    _ => {}
-                }
-                let d = distances[a].distance(&distinct[m][a], &rep_values[a]);
-                if d > resolution[a] {
-                    resolution[a] = d;
+    let per_cluster: Vec<(Rep, Vec<f64>)> =
+        par_map(clusters.iter().collect(), threads, |cluster| {
+            let rep_idx = representative_of(cluster, distinct, distances);
+            let rep_values = distinct[rep_idx].clone();
+            let mut count = 0u64;
+            let mut sums: Vec<Option<f64>> = vec![Some(0.0); arity];
+            let mut local_res = vec![0.0f64; arity];
+            for &m in &cluster.members {
+                let mult = multiplicity[m];
+                count += mult;
+                for a in 0..arity {
+                    match (&mut sums[a], distinct[m][a].as_f64()) {
+                        (Some(acc), Some(v)) => *acc += v * mult as f64,
+                        (s, None) => *s = None,
+                        _ => {}
+                    }
+                    let d = distances[a].distance(&distinct[m][a], &rep_values[a]);
+                    if d > local_res[a] {
+                        local_res[a] = d;
+                    }
                 }
             }
-        }
-        reps.push(Rep {
-            values: rep_values,
-            count,
-            sums,
+            (
+                Rep {
+                    values: rep_values,
+                    count,
+                    sums,
+                },
+                local_res,
+            )
         });
+
+    let mut reps = Vec::with_capacity(clusters.len());
+    let mut resolution = vec![0.0f64; arity];
+    for (rep, local_res) in per_cluster {
+        reps.push(rep);
+        for (r, l) in resolution.iter_mut().zip(&local_res) {
+            if *l > *r {
+                *r = *l;
+            }
+        }
     }
     LevelReps { reps, resolution }
 }
@@ -374,6 +410,24 @@ mod tests {
         // the wide dimension (second) must shrink fastest
         assert!(levels[2].resolution[1] < levels[0].resolution[1]);
         assert!(levels.last().unwrap().is_exact());
+    }
+
+    #[test]
+    fn threaded_partition_is_byte_identical_to_sequential() {
+        let tuples: Vec<Vec<Value>> = (0..257)
+            .map(|i| {
+                vec![
+                    Value::Double(((i * 37) % 113) as f64),
+                    Value::from(if i % 3 == 0 { "a" } else { "b" }),
+                ]
+            })
+            .collect();
+        let dists = [DistanceKind::Numeric, DistanceKind::Categorical];
+        let sequential = multilevel_partition(&tuples, &dists);
+        for threads in [2, 3, 8, 64] {
+            let parallel = multilevel_partition_threaded(&tuples, &dists, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -31,12 +31,16 @@ pub mod error;
 pub mod family;
 pub mod fetch;
 pub mod kdtree;
+mod par;
 pub mod resource;
 
-pub use builder::{build_at, build_constraint, build_extended, AtOptions};
+pub use builder::{
+    build_at, build_at_threaded, build_constraint, build_extended, build_extended_threaded,
+    AtOptions,
+};
 pub use catalog::{Catalog, IndexSizeReport};
 pub use error::{AccessError, Result};
 pub use family::{FamilyId, Level, Rep, TemplateFamily, WEIGHT_COLUMN};
 pub use fetch::{AccessCounter, FetchSession};
-pub use kdtree::{multilevel_partition, LevelReps};
+pub use kdtree::{multilevel_partition, multilevel_partition_threaded, LevelReps};
 pub use resource::{BudgetPolicy, ResourceSpec};

@@ -1,0 +1,75 @@
+//! Deterministic fork-join helpers for parallel index construction.
+//!
+//! Index builds must be *byte-identical* to their sequential counterparts (so
+//! that level resolutions — and therefore every η bound derived from them —
+//! do not depend on the machine's core count). The helpers here only
+//! parallelise order-preserving maps over independent items: items are split
+//! into contiguous chunks, each chunk is processed on its own scoped thread,
+//! and the per-chunk outputs are concatenated in chunk order. The result is
+//! the same `Vec` a sequential `map` would produce.
+//!
+//! Plain `std::thread::scope` keeps the crate std-only (the build environment
+//! has no registry access for rayon).
+
+/// The effective number of worker threads: `threads` clamped to `[1, items]`,
+/// with `0` meaning "one thread" (callers resolve "auto" before this point).
+fn effective_threads(threads: usize, items: usize) -> usize {
+    threads.max(1).min(items.max(1))
+}
+
+/// Order-preserving parallel map: applies `f` to every item on up to
+/// `threads` scoped threads and returns the outputs in input order.
+///
+/// With `threads <= 1` (or a single item) this degenerates to a plain
+/// sequential map with no thread overhead.
+pub(crate) fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_size));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("index-build worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u32> = (0..103).collect();
+        let expected: Vec<u64> = items.iter().map(|&i| (i as u64) * 3 + 1).collect();
+        for threads in [0, 1, 2, 3, 7, 64, 1000] {
+            let got = par_map(items.clone(), threads, |i| (i as u64) * 3 + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton_inputs() {
+        assert!(par_map(Vec::<u8>::new(), 8, |x| x).is_empty());
+        assert_eq!(par_map(vec![42u8], 8, |x| x + 1), vec![43]);
+    }
+}

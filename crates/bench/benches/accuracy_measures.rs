@@ -22,7 +22,7 @@ fn bench_accuracy_measures(c: &mut Criterion) {
         .iter()
         .filter_map(|q| {
             let answer = prep.beas.answer(&q.query, ResourceSpec::Ratio(0.05)).ok()?;
-            let exact = exact_answers(&q.query, prep.db()).ok()?;
+            let exact = exact_answers(&q.query, &prep.db()).ok()?;
             let kinds = q.query.output_distances(&prep.db().schema).ok()?;
             Some((q.query.clone(), answer.answers, exact, kinds))
         })
@@ -37,7 +37,7 @@ fn bench_accuracy_measures(c: &mut Criterion) {
     group.bench_function("rc_measure", |b| {
         b.iter(|| {
             for (query, approx, _, _) in &cases {
-                let r = rc_accuracy(approx, query, prep.db(), &cfg).expect("rc");
+                let r = rc_accuracy(approx, query, &prep.db(), &cfg).expect("rc");
                 std::hint::black_box(r.accuracy);
             }
         });

@@ -1,0 +1,44 @@
+//! The concurrent-serving benchmark: a fixed batch of `PreparedQuery::answer`
+//! calls against one shared `Send + Sync` engine, driven by one client thread
+//! vs. all available cores.
+//!
+//! This is the experiment behind the snapshot/swap concurrency model: answer
+//! calls take no exclusive lock anywhere on the hot path (snapshot grab +
+//! plan-cache read lock + execution over immutable indices), so throughput
+//! should scale with the client count until the machine runs out of cores.
+
+use beas_bench::harness::{measure_concurrent_serving, prepare_with_threads, BenchProfile};
+use beas_core::ResourceSpec;
+use beas_workloads::tpch::tpch_lite;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_concurrent_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_serving");
+    group.sample_size(10);
+    let profile = BenchProfile::quick();
+    // engine pinned to one intra-query thread: the benchmark varies client
+    // concurrency alone, without shard threads oversubscribing the cores
+    let prep = prepare_with_threads(tpch_lite(2, profile.seed), &profile, Some(1));
+    let spec = ResourceSpec::Ratio(0.05);
+    const ROUNDS: usize = 10;
+
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for clients in [1usize, available.max(2)] {
+        group.bench_with_input(
+            BenchmarkId::new("serve", format!("{clients}-clients")),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let run = measure_concurrent_serving(&prep, spec, clients, ROUNDS);
+                    std::hint::black_box(run.digest);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_serving);
+criterion_main!(benches);

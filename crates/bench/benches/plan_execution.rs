@@ -36,7 +36,7 @@ fn bench_bounded_vs_full(c: &mut Criterion) {
             b.iter(|| {
                 for q in &prep.queries {
                     let expr = q.query.to_query_expr(&prep.db().schema).expect("expr");
-                    let out = eval_query(&expr, prep.db()).expect("eval");
+                    let out = eval_query(&expr, &*prep.db()).expect("eval");
                     std::hint::black_box(out.len());
                 }
             });

@@ -8,8 +8,8 @@
 use beas_workloads::{airca::airca_lite, tfacc::tfacc_lite, tpch::tpch_lite, Dataset};
 
 use crate::harness::{
-    average, evaluate_at, measure_plan_cache, measure_timings, prepare, BenchProfile, EvalRow,
-    Metric, QueryClass,
+    average, evaluate_at, measure_build, measure_concurrent_serving, measure_plan_cache,
+    measure_timings, prepare, prepare_with_threads, BenchProfile, EvalRow, Metric, QueryClass,
 };
 use crate::table::Table;
 
@@ -397,6 +397,82 @@ pub fn fig_plan_cache(profile: &BenchProfile) -> Table {
     table
 }
 
+/// Beyond the paper: the concurrency experiment behind the `Send + Sync`
+/// serving core. One table, two measurements per thread count on the TPCH
+/// workload:
+///
+/// * **serving throughput** — a fixed batch of `PreparedQuery::answer` calls
+///   driven by 1 / 2 / … client threads against one shared engine (warmed
+///   plan caches, so the numbers are execution-dominated). The serving
+///   engine is pinned to one intra-query thread, so the rows vary *client*
+///   concurrency alone instead of multiplying it with shard threads;
+/// * **index build time** — the offline C1 build at the row's thread count.
+///
+/// The `identical` column checks an order-independent digest of every answer
+/// against the single-threaded run: concurrency never changes the answers,
+/// so the throughput comparison is at equal accuracy by construction.
+pub fn fig_concurrency(profile: &BenchProfile) -> Table {
+    const ROUNDS: usize = 40;
+    let spec = profile.last_spec();
+    // always measure 1/2/4 clients plus the full machine: client concurrency
+    // may exceed cores (the speedup column then simply reports ~1x)
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, 4, available];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    // a bigger instance than the accuracy figures so per-answer work is real;
+    // generated once — the build rows clone it, the serving engine takes it
+    let scale = profile.scale.max(2);
+    let dataset = tpch_lite(scale, profile.seed);
+    let prep = prepare_with_threads(dataset.clone(), profile, Some(1));
+
+    let mut table = Table::new(
+        format!(
+            "TPCH: concurrent serving and parallel build, varying threads (spec = {spec}, |D| = {})",
+            prep.size()
+        ),
+        vec![
+            "threads",
+            "serve_ms",
+            "answers/s",
+            "serve_speedup",
+            "build_ms",
+            "build_speedup",
+            "identical",
+        ],
+    );
+
+    let mut baseline_serve: Option<f64> = None;
+    let mut baseline_build: Option<f64> = None;
+    let mut baseline_digest: Option<u64> = None;
+    for &threads in &thread_counts {
+        let run = measure_concurrent_serving(&prep, spec, threads, ROUNDS);
+        let build = measure_build(&dataset, threads).as_secs_f64() * 1e3;
+        let serve_ms = run.elapsed.as_secs_f64() * 1e3;
+        let serve_base = *baseline_serve.get_or_insert(serve_ms);
+        let build_base = *baseline_build.get_or_insert(build);
+        let digest_base = *baseline_digest.get_or_insert(run.digest);
+        table.push_row(vec![
+            threads.to_string(),
+            format!("{serve_ms:.3}"),
+            format!("{:.0}", run.throughput()),
+            format!("{:.2}x", serve_base / serve_ms.max(1e-9)),
+            format!("{build:.3}"),
+            format!("{:.2}x", build_base / build.max(1e-9)),
+            if run.digest == digest_base {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        ]);
+    }
+    table
+}
+
 /// All figures, in paper order (used by `figures all`).
 pub fn all_figures(profile: &BenchProfile) -> Vec<Table> {
     vec![
@@ -413,6 +489,7 @@ pub fn all_figures(profile: &BenchProfile) -> Vec<Table> {
         fig6k_index_size(profile),
         fig6l_efficiency(profile),
         fig_plan_cache(profile),
+        fig_concurrency(profile),
     ]
 }
 
@@ -491,6 +568,24 @@ mod tests {
             assert!(
                 prepared <= scratch * 1.25,
                 "cached answering must not be slower: {prepared} vs {scratch}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrency_table_reports_identical_answers_per_thread_count() {
+        let t = fig_concurrency(&tiny_profile());
+        assert!(
+            t.rows.len() >= 2,
+            "at least single- and multi-threaded rows"
+        );
+        assert_eq!(t.rows[0][0], "1");
+        for row in &t.rows {
+            let throughput: f64 = row[2].parse().unwrap();
+            assert!(throughput > 0.0);
+            assert_eq!(
+                row[6], "yes",
+                "answers must be identical at every thread count"
             );
         }
     }

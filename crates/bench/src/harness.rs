@@ -1,6 +1,10 @@
 //! Shared evaluation machinery for the figure harness: dataset preparation,
-//! per-query accuracy evaluation of BEAS and of the baselines, aggregation.
+//! per-query accuracy evaluation of BEAS and of the baselines, aggregation —
+//! plus the timing probes for the serving-path experiments (plan cache,
+//! concurrent serving, parallel index build).
 
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use beas_baselines::{stratified::Qcs, Baseline, BlinkSim, Histo, Sampl};
@@ -157,8 +161,8 @@ pub struct PreparedDataset {
 }
 
 impl PreparedDataset {
-    /// The dataset's database (owned by the engine).
-    pub fn db(&self) -> &beas_relal::Database {
+    /// The dataset's database (a snapshot owned by the engine).
+    pub fn db(&self) -> std::sync::Arc<beas_relal::Database> {
         self.beas.database()
     }
 
@@ -169,8 +173,22 @@ impl PreparedDataset {
 }
 
 /// Prepares a dataset: builds the BEAS catalog and generates the workload.
-/// The database is moved into the engine (no copy is retained).
-pub fn prepare(mut dataset: Dataset, profile: &BenchProfile) -> PreparedDataset {
+/// The database is moved into the engine (no copy is retained). The engine
+/// uses its default thread count; see [`prepare_with_threads`] when an
+/// experiment needs to pin it.
+pub fn prepare(dataset: Dataset, profile: &BenchProfile) -> PreparedDataset {
+    prepare_with_threads(dataset, profile, None)
+}
+
+/// [`prepare`] with an explicit engine thread count. The concurrency
+/// experiments pin the engine to one thread so that varying *client* threads
+/// measures serving concurrency alone, without intra-query shard threads
+/// oversubscribing the cores.
+pub fn prepare_with_threads(
+    mut dataset: Dataset,
+    profile: &BenchProfile,
+    threads: Option<usize>,
+) -> PreparedDataset {
     let queries = generate_workload(
         &dataset,
         &QueryGenConfig {
@@ -180,10 +198,11 @@ pub fn prepare(mut dataset: Dataset, profile: &BenchProfile) -> PreparedDataset 
         },
     );
     let db = std::mem::take(&mut dataset.db);
-    let beas = Beas::builder(db)
-        .constraints(dataset.constraints.iter().cloned())
-        .build()
-        .expect("catalog construction");
+    let mut builder = Beas::builder(db).constraints(dataset.constraints.iter().cloned());
+    if let Some(threads) = threads {
+        builder = builder.num_threads(threads);
+    }
+    let beas = builder.build().expect("catalog construction");
     PreparedDataset {
         dataset,
         beas,
@@ -242,9 +261,9 @@ pub fn evaluate_at(
         let budget_spec = ResourceSpec::Tuples(budget);
         let seed = budget as u64 + 17;
         vec![
-            Box::new(Sampl::build(db, &budget_spec, seed).expect("sampl")),
-            Box::new(Histo::build(db, &budget_spec).expect("histo")),
-            Box::new(BlinkSim::build(db, &qcss, &budget_spec, seed).expect("blinksim")),
+            Box::new(Sampl::build(&db, &budget_spec, seed).expect("sampl")),
+            Box::new(Histo::build(&db, &budget_spec).expect("histo")),
+            Box::new(BlinkSim::build(&db, &qcss, &budget_spec, seed).expect("blinksim")),
         ]
     } else {
         Vec::new()
@@ -252,7 +271,7 @@ pub fn evaluate_at(
 
     let mut rows = Vec::new();
     for (qi, gq) in prep.queries.iter().enumerate() {
-        let exact = match exact_answers(&gq.query, db) {
+        let exact = match exact_answers(&gq.query, &db) {
             Ok(e) => e,
             Err(_) => continue,
         };
@@ -264,7 +283,7 @@ pub fn evaluate_at(
 
         // ------------------------------------------------------------- BEAS
         if let Ok(answer) = prep.beas.answer(&gq.query, spec) {
-            let acc = score(&answer.answers, &exact, &gq.query, db, &kinds, accuracy);
+            let acc = score(&answer.answers, &exact, &gq.query, &db, &kinds, accuracy);
             rows.push(EvalRow {
                 query: qi,
                 class,
@@ -287,7 +306,7 @@ pub fn evaluate_at(
             let Ok(approx) = baseline.answer(&expr) else {
                 continue;
             };
-            let acc = score(&approx, &exact, &gq.query, db, &kinds, accuracy);
+            let acc = score(&approx, &exact, &gq.query, &db, &kinds, accuracy);
             rows.push(EvalRow {
                 query: qi,
                 class,
@@ -395,7 +414,7 @@ pub fn measure_timings(prep: &PreparedDataset, spec: ResourceSpec) -> Timings {
         let Ok(expr) = gq.query.to_query_expr(&db.schema) else {
             continue;
         };
-        if eval_query(&expr, db).is_err() {
+        if eval_query(&expr, &*db).is_err() {
             continue;
         }
         let full_evaluation = start.elapsed();
@@ -473,6 +492,119 @@ pub fn measure_plan_cache(
         timings.answers += rounds;
     }
     timings
+}
+
+/// One measured concurrent-serving run: wall-clock time for a fixed batch of
+/// answers driven by a number of client threads, plus an order-independent
+/// digest of every returned answer set (equal digests across runs prove the
+/// answers were identical at every thread count).
+#[derive(Debug, Clone, Copy)]
+pub struct ServingRun {
+    /// Number of client threads that drove the batch.
+    pub client_threads: usize,
+    /// Answers completed (queries × rounds, minus any planning failures).
+    pub answers: usize,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+    /// Wrapping sum of per-answer digests: commutative and associative, so
+    /// independent of which thread served which request — and, unlike XOR,
+    /// repeated identical answers do not cancel out, so the digest stays
+    /// discriminating for any round count.
+    pub digest: u64,
+}
+
+impl ServingRun {
+    /// Answer throughput in answers per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.answers as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Order-independent digest of one answer relation (rows are sorted first).
+fn digest_relation(rel: &beas_relal::Relation) -> u64 {
+    let mut rows: Vec<_> = rel.rows.iter().collect();
+    rows.sort();
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    rel.columns.hash(&mut hasher);
+    for row in rows {
+        row.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Drives `rounds × queries` answers through shared [`PreparedQuery`] handles
+/// from `client_threads` threads pulling work off one atomic queue — the
+/// concurrent-serving experiment behind the `Send + Sync` engine. Plan caches
+/// are warmed first so the measurement is execution-dominated, as in a
+/// serving steady state.
+///
+/// [`PreparedQuery`]: beas_core::PreparedQuery
+pub fn measure_concurrent_serving(
+    prep: &PreparedDataset,
+    spec: ResourceSpec,
+    client_threads: usize,
+    rounds: usize,
+) -> ServingRun {
+    let client_threads = client_threads.max(1);
+    let prepared: Vec<_> = prep
+        .queries
+        .iter()
+        .filter_map(|gq| prep.beas.prepare(&gq.query).ok())
+        .filter(|p| p.answer(spec).is_ok()) // warm the plan cache
+        .collect();
+    let total = prepared.len() * rounds;
+    let next = AtomicUsize::new(0);
+    let answered = AtomicUsize::new(0);
+
+    let start = Instant::now();
+    let digest = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..client_threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        if let Ok(answer) = prepared[i % prepared.len()].answer(spec) {
+                            local = local.wrapping_add(digest_relation(&answer.answers));
+                            answered.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serving client panicked"))
+            .fold(0u64, |acc, d| acc.wrapping_add(d))
+    });
+    ServingRun {
+        client_threads,
+        answers: answered.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        digest,
+    }
+}
+
+/// Wall-clock time of one offline build (C1) of the dataset's access schema
+/// at the given thread count.
+pub fn measure_build(dataset: &Dataset, threads: usize) -> Duration {
+    let start = Instant::now();
+    let engine = Beas::builder(dataset.db.clone())
+        .constraints(dataset.constraints.iter().cloned())
+        .num_threads(threads)
+        .build()
+        .expect("catalog construction");
+    std::hint::black_box(engine.catalog().len());
+    start.elapsed()
 }
 
 /// Average smallest exact resource ratio over the workload, split into the
@@ -582,6 +714,33 @@ mod tests {
             t.prepared,
             t.scratch
         );
+    }
+
+    #[test]
+    fn concurrent_serving_answers_are_identical_across_client_counts() {
+        let prep = tiny_prep();
+        let spec = ResourceSpec::Ratio(0.05);
+        let single = measure_concurrent_serving(&prep, spec, 1, 5);
+        let multi = measure_concurrent_serving(&prep, spec, 4, 5);
+        assert!(single.answers > 0);
+        assert_eq!(
+            single.answers, multi.answers,
+            "every request must complete under either client count"
+        );
+        assert_eq!(
+            single.digest, multi.digest,
+            "concurrent serving must return the same answers as sequential serving"
+        );
+        assert!(single.throughput() > 0.0);
+    }
+
+    #[test]
+    fn build_time_is_measured_at_any_thread_count() {
+        let dataset = tpch_lite(1, 7);
+        for threads in [1, 4] {
+            let t = measure_build(&dataset, threads);
+            assert!(t > Duration::ZERO);
+        }
     }
 
     #[test]

@@ -12,25 +12,45 @@
 //!              └───────────────────────────────────────┘
 //! ```
 //!
-//! The engine is *session-oriented*: it is constructed through the fluent
-//! [`BeasBuilder`] (constraints, `A_t` options, budget policy), owns its
-//! database behind an [`Arc`], answers queries under a typed
-//! [`ResourceSpec`], hands out re-usable [`PreparedQuery`] handles that cache
-//! bounded plans per budget (amortizing C3 across repeated requests), and
-//! maintains its indices incrementally under inserts ([`Beas::insert_row`],
-//! [`Beas::apply_update`] — component C2) instead of requiring an offline
-//! rebuild.
+//! The engine is *session-oriented and concurrent*: it is constructed through
+//! the fluent [`BeasBuilder`] (constraints, `A_t` options, budget policy,
+//! thread count), answers queries under a typed [`ResourceSpec`], hands out
+//! re-usable [`PreparedQuery`] handles that cache bounded plans per budget
+//! (amortizing C3 across repeated requests), and maintains its indices
+//! incrementally under inserts ([`Beas::insert_row`], [`Beas::apply_update`]
+//! — component C2) instead of requiring an offline rebuild.
+//!
+//! # Concurrency model
+//!
+//! The engine is `Send + Sync` and built for many readers and occasional
+//! writers:
+//!
+//! * **Readers** (`answer`, `plan`, `prepare`, `execute`, …) grab an
+//!   [`EngineSnapshot`] — two `Arc` clones taken under a briefly-held read
+//!   lock — and run entirely against that immutable snapshot. They are never
+//!   blocked by an in-progress update batch, and each request sees one
+//!   consistent `(database, catalog)` pair.
+//! * **Writers** (`insert_row`, `apply_update`, `add_family`, all `&self`)
+//!   serialize among themselves on a writer mutex, apply the batch to a
+//!   *private copy-on-write clone* of the state, and publish it with one
+//!   atomic snapshot swap (epoch style). A reader holding the previous
+//!   snapshot keeps serving it until it drops its `Arc`s.
+//!
+//! Intra-query parallelism (sharded plan execution, parallel index build) is
+//! governed by [`BeasBuilder::num_threads`], which defaults to the machine's
+//! available parallelism.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use beas_access::{
-    build_constraint, build_extended, AtOptions, BudgetPolicy, Catalog, FamilyId, ResourceSpec,
+    build_constraint, build_extended_threaded, AtOptions, BudgetPolicy, Catalog, FamilyId,
+    ResourceSpec,
 };
-use beas_relal::{Database, Relation, Row};
+use beas_relal::{Database, DatabaseSchema, Relation, Row};
 
 use crate::accuracy::{exact_answers, rc_accuracy, AccuracyConfig, RcReport};
 use crate::error::Result;
-use crate::executor::{execute_plan, ExecutionOutcome};
+use crate::executor::{execute_plan_with_options, ExecOptions, ExecutionOutcome};
 use crate::planner::{BoundedPlan, Planner};
 use crate::prepared::PreparedQuery;
 use crate::query::BeasQuery;
@@ -147,6 +167,7 @@ pub struct BeasBuilder {
     constraints: Vec<ConstraintSpec>,
     options: AtOptions,
     policy: BudgetPolicy,
+    threads: Option<usize>,
 }
 
 impl BeasBuilder {
@@ -159,7 +180,18 @@ impl BeasBuilder {
             constraints: Vec::new(),
             options: AtOptions::default(),
             policy: BudgetPolicy::default(),
+            threads: None,
         }
+    }
+
+    /// Sets the engine's thread count, used for the parallel index build (C1)
+    /// and for sharded plan execution (C4). Clamped to at least 1; the
+    /// default is the machine's available parallelism. Thread count never
+    /// affects results: index builds and sharded execution are bit-for-bit
+    /// deterministic.
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// Registers one access constraint.
@@ -187,11 +219,13 @@ impl BeasBuilder {
     }
 
     /// Offline component C1: builds the canonical `A_t` catalog plus the
-    /// registered constraints (and their derived extended templates), and
-    /// returns the engine owning the database.
+    /// registered constraints (and their derived extended templates) across
+    /// the configured number of threads, and returns the engine owning the
+    /// database.
     pub fn build(self) -> Result<Beas> {
+        let threads = self.threads.unwrap_or_else(default_threads);
         let db = &*self.db;
-        let mut catalog = Catalog::for_database(db, &self.options)?;
+        let mut catalog = Catalog::for_database_threaded(db, &self.options, threads)?;
         catalog.policy = self.policy;
         for spec in &self.constraints {
             let x: Vec<&str> = spec.x.iter().map(|s| s.as_str()).collect();
@@ -201,7 +235,13 @@ impl BeasBuilder {
                 // the multi-resolution counterpart of the constraint itself:
                 // given an X-value, up to 2^i representative Y-values (the ψ_i
                 // templates of Example 1)
-                catalog.add_family(build_extended(db, &spec.relation, &x, &y)?);
+                catalog.add_family(build_extended_threaded(
+                    db,
+                    &spec.relation,
+                    &x,
+                    &y,
+                    threads,
+                )?);
                 // derived template: key on X ∪ Y, return the remaining attributes
                 let schema = db.schema.relation(&spec.relation)?;
                 let xy: Vec<String> = spec.x.iter().chain(spec.y.iter()).cloned().collect();
@@ -213,24 +253,87 @@ impl BeasBuilder {
                 if !rest.is_empty() {
                     let xy_ref: Vec<&str> = xy.iter().map(|s| s.as_str()).collect();
                     let rest_ref: Vec<&str> = rest.iter().map(|s| s.as_str()).collect();
-                    catalog.add_family(build_extended(db, &spec.relation, &xy_ref, &rest_ref)?);
+                    catalog.add_family(build_extended_threaded(
+                        db,
+                        &spec.relation,
+                        &xy_ref,
+                        &rest_ref,
+                        threads,
+                    )?);
                 }
             }
         }
+        let schema = db.schema.clone();
         Ok(Beas {
-            db: self.db,
-            catalog,
+            state: RwLock::new(EngineSnapshot {
+                db: self.db,
+                catalog: Arc::new(catalog),
+            }),
+            writer: Mutex::new(()),
+            schema,
+            threads,
         })
+    }
+}
+
+/// The engine's default thread count: the machine's available parallelism.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One consistent `(database, catalog)` pair published by the engine.
+///
+/// Snapshots are cheap to take (two `Arc` clones) and immutable: a request
+/// that grabbed one keeps seeing exactly that state even while update batches
+/// publish newer snapshots concurrently.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    db: Arc<Database>,
+    catalog: Arc<Catalog>,
+}
+
+impl EngineSnapshot {
+    /// The snapshot's database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The snapshot's catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
     }
 }
 
 /// The BEAS engine: owns its database and the access-schema catalog built
 /// over it, answers queries under typed resource specs, and maintains the
-/// catalog incrementally under inserts.
-#[derive(Debug, Clone)]
+/// catalog incrementally under inserts. `Send + Sync` — share it behind an
+/// `Arc` (or plain references within a scope) and call [`Beas::answer`] /
+/// [`Beas::apply_update`] from any number of threads; see the module docs for
+/// the snapshot/swap concurrency model.
+#[derive(Debug)]
 pub struct Beas {
-    db: Arc<Database>,
-    catalog: Catalog,
+    /// The published state; readers clone it under a briefly-held read lock.
+    state: RwLock<EngineSnapshot>,
+    /// Serializes writers (copy-on-write + swap), so concurrent update
+    /// batches cannot lose each other's rows. Readers never take this lock.
+    writer: Mutex<()>,
+    /// The schema, immutable for the engine's lifetime (no DDL), so query
+    /// building and validation need no snapshot.
+    schema: DatabaseSchema,
+    threads: usize,
+}
+
+impl Clone for Beas {
+    fn clone(&self) -> Self {
+        Beas {
+            state: RwLock::new(self.snapshot()),
+            writer: Mutex::new(()),
+            schema: self.schema.clone(),
+            threads: self.threads,
+        }
+    }
 }
 
 impl Beas {
@@ -239,52 +342,48 @@ impl Beas {
         BeasBuilder::new(db)
     }
 
-    /// Builds an engine over a borrowed database (clones it).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Beas::builder(db).constraints(..).build()`"
-    )]
-    pub fn build(db: &Database, constraints: &[ConstraintSpec]) -> Result<Self> {
-        BeasBuilder::new(db.clone())
-            .constraints(constraints.iter().cloned())
-            .build()
+    /// The engine's current consistent `(database, catalog)` snapshot.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.state.read().expect("engine state poisoned").clone()
     }
 
-    /// [`Beas::build`] with explicit `A_t` options.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Beas::builder(db).constraints(..).at_options(opts).build()`"
-    )]
-    pub fn build_with_options(
-        db: &Database,
-        constraints: &[ConstraintSpec],
-        opts: &AtOptions,
-    ) -> Result<Self> {
-        BeasBuilder::new(db.clone())
-            .constraints(constraints.iter().cloned())
-            .at_options(opts.clone())
-            .build()
-    }
-
-    /// The database the engine owns.
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// The current database snapshot.
+    pub fn database(&self) -> Arc<Database> {
+        self.snapshot().db
     }
 
     /// A shared handle to the engine's database (e.g. for accuracy tooling
-    /// that outlives a borrow of the engine).
+    /// that outlives a borrow of the engine). Alias of [`Beas::database`].
     pub fn database_arc(&self) -> Arc<Database> {
-        Arc::clone(&self.db)
+        self.database()
     }
 
-    /// The catalog (access schema + indices).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The current catalog snapshot (access schema + indices).
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.snapshot().catalog
+    }
+
+    /// The database schema (immutable for the engine's lifetime).
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// The engine's thread count for index building and sharded execution.
+    pub fn num_threads(&self) -> usize {
+        self.threads
     }
 
     /// Registers an additional template family and returns its id.
-    pub fn add_family(&mut self, family: beas_access::TemplateFamily) -> FamilyId {
-        self.catalog.add_family(family)
+    pub fn add_family(&self, family: beas_access::TemplateFamily) -> FamilyId {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let snapshot = self.snapshot();
+        let mut catalog = (*snapshot.catalog).clone();
+        let id = catalog.add_family(family);
+        self.publish(EngineSnapshot {
+            db: snapshot.db,
+            catalog: Arc::new(catalog),
+        });
+        id
     }
 
     /// Online component C3: generates the bounded plan and its bound η for a
@@ -292,62 +391,63 @@ impl Beas {
     /// here (no plan can access zero tuples); [`Beas::answer`] maps them to an
     /// empty answer instead.
     pub fn plan(&self, query: &BeasQuery, spec: ResourceSpec) -> Result<BoundedPlan> {
-        Planner::new(&self.catalog).plan(query, spec)
+        Planner::new(&self.snapshot().catalog).plan(query, spec)
     }
 
     /// Online components C3 + C4: plans and executes the query under a
     /// resource spec, returning the answers, the bound η and the accounting.
+    /// Safe to call from many threads at once; each call runs against one
+    /// consistent snapshot.
     pub fn answer(&self, query: &BeasQuery, spec: ResourceSpec) -> Result<BeasAnswer> {
-        let budget = self.catalog.budget(&spec)?;
+        let snapshot = self.snapshot();
+        let budget = snapshot.catalog.budget(&spec)?;
         if budget == 0 {
-            query.validate(&self.catalog.schema)?;
+            query.validate(&snapshot.catalog.schema)?;
             return Ok(empty_answer(query.output_columns()));
         }
-        let plan = Planner::new(&self.catalog).plan_with_budget(query, budget)?;
-        let outcome: ExecutionOutcome = execute_plan(&plan, &self.catalog)?;
+        let plan = Planner::new(&snapshot.catalog).plan_with_budget(query, budget)?;
+        let outcome = self.execute_on(&plan, &snapshot)?;
         Ok(answer_from(&plan, outcome))
     }
 
     /// Caches validation and per-budget plans for a query that will be asked
     /// repeatedly: `prepare` once, then [`PreparedQuery::answer`] per request
-    /// — re-planning is skipped whenever the budget was seen before.
+    /// — re-planning is skipped whenever the budget was seen before (and the
+    /// catalog has not changed since).
     pub fn prepare(&self, query: &BeasQuery) -> Result<PreparedQuery<'_>> {
         PreparedQuery::new(self, query)
     }
 
-    /// Plans under resource ratio `alpha`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `plan(query, ResourceSpec::Ratio(alpha))`"
-    )]
-    pub fn plan_ratio(&self, query: &BeasQuery, alpha: f64) -> Result<BoundedPlan> {
-        self.plan(query, ResourceSpec::Ratio(alpha))
-    }
-
-    /// Plans and executes under resource ratio `alpha`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `answer(query, ResourceSpec::Ratio(alpha))`"
-    )]
-    pub fn answer_ratio(&self, query: &BeasQuery, alpha: f64) -> Result<BeasAnswer> {
-        self.answer(query, ResourceSpec::Ratio(alpha))
-    }
-
-    /// Executes a previously generated plan.
+    /// Executes a previously generated plan against the current snapshot.
     pub fn execute(&self, plan: &BoundedPlan) -> Result<ExecutionOutcome> {
-        execute_plan(plan, &self.catalog)
+        let snapshot = self.snapshot();
+        self.execute_on(plan, &snapshot)
+    }
+
+    /// Executes a plan against an explicit snapshot with the engine's thread
+    /// count (the prepared-query path re-uses the snapshot it budgeted with).
+    pub(crate) fn execute_on(
+        &self,
+        plan: &BoundedPlan,
+        snapshot: &EngineSnapshot,
+    ) -> Result<ExecutionOutcome> {
+        execute_plan_with_options(
+            plan,
+            &snapshot.catalog,
+            ExecOptions::budgeted(plan.budget.max(plan.tariff)).with_threads(self.threads),
+        )
     }
 
     /// The smallest resource ratio for which the query is answered exactly
     /// (Exp-3, Fig. 6(j)).
     pub fn exact_ratio(&self, query: &BeasQuery) -> Result<Option<f64>> {
-        Planner::new(&self.catalog).exact_ratio(query)
+        Planner::new(&self.snapshot().catalog).exact_ratio(query)
     }
 
     /// Ground truth `Q(D)` over the owned database (full evaluation — ignores
     /// every resource bound).
     pub fn exact_answers(&self, query: &BeasQuery) -> Result<Relation> {
-        exact_answers(query, &self.db)
+        exact_answers(query, &self.snapshot().db)
     }
 
     /// Measures the RC accuracy of an answer set against the owned database.
@@ -357,7 +457,7 @@ impl Beas {
         query: &BeasQuery,
         config: &AccuracyConfig,
     ) -> Result<RcReport> {
-        rc_accuracy(approx, query, &self.db, config)
+        rc_accuracy(approx, query, &self.snapshot().db, config)
     }
 
     /// Offline component C2: inserts one row into the owned database and
@@ -368,23 +468,44 @@ impl Beas {
     /// Existing level resolutions never change, so η bounds computed before
     /// the insert remain valid; answers at the full spec match a freshly
     /// rebuilt engine because exact levels absorb inserts exactly.
-    pub fn insert_row(&mut self, relation: &str, row: Row) -> Result<()> {
-        self.catalog.insert_row(relation, &row)?;
-        Arc::make_mut(&mut self.db).insert_row(relation, row)?;
-        Ok(())
+    ///
+    /// Takes `&self`: the row is absorbed into a private copy of the state
+    /// and published with one snapshot swap, so concurrent readers are never
+    /// blocked (they keep serving the previous snapshot). Prefer
+    /// [`Beas::apply_update`] for more than a handful of rows — every call
+    /// pays one copy-on-write of the state.
+    pub fn insert_row(&self, relation: &str, row: Row) -> Result<()> {
+        self.apply_update(&UpdateBatch::new().insert(relation, row))
+            .map(|_| ())
     }
 
-    /// Batched component C2: validates the whole batch, then applies every
-    /// insert through [`Beas::insert_row`]'s incremental path. Returns the
-    /// number of rows applied.
-    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<usize> {
+    /// Batched component C2: validates the whole batch against a private
+    /// copy-on-write clone of the state, applies every insert through the
+    /// incremental index maintenance path, and publishes the result with one
+    /// atomic snapshot swap. A bad row leaves the engine untouched; readers
+    /// are never blocked. Returns the number of rows applied.
+    pub fn apply_update(&self, batch: &UpdateBatch) -> Result<usize> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let snapshot = self.snapshot();
+        // copy-on-write: all mutation happens on a private clone, so readers
+        // keep serving the published snapshot until the swap below
+        let mut catalog = (*snapshot.catalog).clone();
         // the catalog validates the whole batch before touching any index
-        self.catalog.insert_rows(batch.inserts())?;
-        let db = Arc::make_mut(&mut self.db);
+        catalog.insert_rows(batch.inserts())?;
+        let mut db = (*snapshot.db).clone();
         for (relation, row) in batch.inserts() {
             db.insert_row(relation, row.clone())?;
         }
+        self.publish(EngineSnapshot {
+            db: Arc::new(db),
+            catalog: Arc::new(catalog),
+        });
         Ok(batch.len())
+    }
+
+    /// Atomically swaps in a new snapshot (callers hold the writer lock).
+    fn publish(&self, snapshot: EngineSnapshot) {
+        *self.state.write().expect("engine state poisoned") = snapshot;
     }
 }
 
@@ -415,7 +536,7 @@ pub(crate) fn answer_from(plan: &BoundedPlan, outcome: ExecutionOutcome) -> Beas
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::accuracy::{exact_answers, rc_accuracy, AccuracyConfig};
+    use crate::accuracy::AccuracyConfig;
     use crate::query::{AggQuery, RaQuery};
     use beas_relal::{
         AggFunc, Attribute, CompareOp, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value,
@@ -523,7 +644,7 @@ mod tests {
     #[test]
     fn boundedly_evaluable_query_is_answered_exactly() {
         let beas = engine(400);
-        let q = q2(beas.database());
+        let q = q2(&beas.database());
         let answer = beas.answer(&q, ResourceSpec::Ratio(0.1)).unwrap();
         assert!(answer.exact);
         assert_eq!(answer.eta, 1.0);
@@ -535,7 +656,7 @@ mod tests {
     #[test]
     fn execution_respects_the_budget() {
         let beas = engine(400);
-        let q = q1(beas.database());
+        let q = q1(&beas.database());
         for alpha in [0.05, 0.1, 0.3] {
             let spec = ResourceSpec::ratio(alpha).unwrap();
             let answer = beas.answer(&q, spec).unwrap();
@@ -551,7 +672,7 @@ mod tests {
     #[test]
     fn q1_answers_become_exact_with_enough_budget() {
         let beas = engine(400);
-        let q = q1(beas.database());
+        let q = q1(&beas.database());
         let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
         assert!(answer.exact, "α = 1 must allow the exact plan");
         let truth = beas.exact_answers(&q).unwrap();
@@ -561,7 +682,7 @@ mod tests {
     #[test]
     fn approximate_answers_satisfy_the_reported_bound() {
         let beas = engine(400);
-        let q = q1(beas.database());
+        let q = q1(&beas.database());
         for alpha in [0.03, 0.08, 0.2, 0.5] {
             let answer = beas.answer(&q, ResourceSpec::Ratio(alpha)).unwrap();
             let report = beas
@@ -579,7 +700,7 @@ mod tests {
     #[test]
     fn eta_is_monotone_in_alpha() {
         let beas = engine(400);
-        let q = q1(beas.database());
+        let q = q1(&beas.database());
         let mut last = -1.0;
         for alpha in [0.02, 0.05, 0.1, 0.25, 0.6, 1.0] {
             let answer = beas.answer(&q, ResourceSpec::Ratio(alpha)).unwrap();
@@ -591,7 +712,7 @@ mod tests {
     #[test]
     fn tuple_specs_and_ratio_specs_share_the_budget_vocabulary() {
         let beas = engine(400);
-        let q = q1(beas.database());
+        let q = q1(&beas.database());
         let db_size = beas.database().total_tuples();
         let by_ratio = beas.answer(&q, ResourceSpec::Ratio(0.1)).unwrap();
         let by_tuples = beas.answer(&q, ResourceSpec::Tuples(db_size / 10)).unwrap();
@@ -605,7 +726,7 @@ mod tests {
     #[test]
     fn zero_spec_answers_empty_without_access() {
         let beas = engine(100);
-        let q = q1(beas.database());
+        let q = q1(&beas.database());
         let answer = beas.answer(&q, ResourceSpec::Ratio(0.0)).unwrap();
         assert_eq!(answer.accessed, 0);
         assert_eq!(answer.budget, 0);
@@ -630,7 +751,7 @@ mod tests {
         let at = beas.catalog().at_family_for("poi").unwrap();
         assert!(beas.catalog().family(at).unwrap().num_levels() <= 2);
         assert_eq!(beas.catalog().budget(&ResourceSpec::FULL).unwrap(), 25);
-        let q = hotels_in(beas.database(), "NYC", 200);
+        let q = hotels_in(&beas.database(), "NYC", 200);
         let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
         assert!(answer.accessed <= 25, "capped policy must bound access");
     }
@@ -638,7 +759,7 @@ mod tests {
     #[test]
     fn single_relation_selection_query_end_to_end() {
         let beas = engine(300);
-        let q = hotels_in(beas.database(), "NYC", 90);
+        let q = hotels_in(&beas.database(), "NYC", 90);
         let answer = beas.answer(&q, ResourceSpec::Ratio(0.5)).unwrap();
         let truth = beas.exact_answers(&q).unwrap();
         assert!(answer.exact);
@@ -648,11 +769,11 @@ mod tests {
     #[test]
     fn union_query_combines_branches() {
         let beas = engine(300);
-        let a = match hotels_in(beas.database(), "NYC", 200) {
+        let a = match hotels_in(&beas.database(), "NYC", 200) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
-        let b = match hotels_in(beas.database(), "Chicago", 200) {
+        let b = match hotels_in(&beas.database(), "Chicago", 200) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
@@ -666,11 +787,11 @@ mod tests {
     fn difference_never_returns_excluded_tuples() {
         // Theorem 6(5): if t ∈ Q2(D) then t ∉ ξ_α(D)
         let beas = engine(300);
-        let all = match hotels_in(beas.database(), "NYC", 1000) {
+        let all = match hotels_in(&beas.database(), "NYC", 1000) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
-        let cheap = match hotels_in(beas.database(), "NYC", 90) {
+        let cheap = match hotels_in(&beas.database(), "NYC", 90) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
@@ -690,7 +811,7 @@ mod tests {
     #[test]
     fn aggregate_count_query_end_to_end() {
         let beas = engine(300);
-        let inner = match q1(beas.database()) {
+        let inner = match q1(&beas.database()) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
@@ -715,7 +836,7 @@ mod tests {
     #[test]
     fn aggregate_min_and_avg_queries_run() {
         let beas = engine(200);
-        let inner = match hotels_in(beas.database(), "NYC", 1000) {
+        let inner = match hotels_in(&beas.database(), "NYC", 1000) {
             BeasQuery::Ra(q) => q,
             _ => unreachable!(),
         };
@@ -735,9 +856,9 @@ mod tests {
     #[test]
     fn exact_ratio_is_small_for_bounded_queries() {
         let beas = engine(500);
-        let r = beas.exact_ratio(&q2(beas.database())).unwrap().unwrap();
+        let r = beas.exact_ratio(&q2(&beas.database())).unwrap().unwrap();
         assert!(r < 0.2, "Q2 exact ratio should be small, got {r}");
-        let r1 = beas.exact_ratio(&q1(beas.database())).unwrap().unwrap();
+        let r1 = beas.exact_ratio(&q1(&beas.database())).unwrap().unwrap();
         assert!(r1 >= r);
     }
 
@@ -753,7 +874,7 @@ mod tests {
     #[test]
     fn answer_rejects_invalid_query() {
         let beas = engine(50);
-        let mut bad = match q2(beas.database()) {
+        let mut bad = match q2(&beas.database()) {
             BeasQuery::Ra(RaQuery::Spc(q)) => q,
             _ => unreachable!(),
         };
@@ -763,7 +884,7 @@ mod tests {
 
     #[test]
     fn insert_row_keeps_answers_consistent_with_a_rebuild() {
-        let mut beas = engine(200);
+        let beas = engine(200);
         // insert a batch of new NYC hotels through the incremental C2 path
         for i in 0..25i64 {
             beas.insert_row(
@@ -784,7 +905,7 @@ mod tests {
             .constraints(constraints())
             .build()
             .unwrap();
-        let q = hotels_in(beas.database(), "NYC", 70);
+        let q = hotels_in(&beas.database(), "NYC", 70);
         let incremental = beas.answer(&q, ResourceSpec::FULL).unwrap();
         let fresh = rebuilt.answer(&q, ResourceSpec::FULL).unwrap();
         assert!(incremental.exact && fresh.exact);
@@ -804,7 +925,7 @@ mod tests {
 
     #[test]
     fn apply_update_batches_inserts_atomically() {
-        let mut beas = engine(100);
+        let beas = engine(100);
         let before = beas.database().total_tuples();
         let bad = UpdateBatch::new()
             .insert("poi", vec![Value::from("x"), Value::from("hotel")])
@@ -824,7 +945,7 @@ mod tests {
         assert_eq!(beas.catalog().db_size, before + 2);
 
         // the inserted friend edge is visible through a bounded answer
-        let q = q2(beas.database());
+        let q = q2(&beas.database());
         let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
         let truth = beas.exact_answers(&q).unwrap();
         assert_eq!(answer.answers.clone().sorted(), truth.sorted());
@@ -832,18 +953,50 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
-        let db = example_db(200);
-        let beas = Beas::build(&db, &constraints()).unwrap();
-        let q = q2(&db);
-        let answer = beas.answer_ratio(&q, 0.1).unwrap();
-        assert!(answer.exact);
-        let plan = beas.plan_ratio(&q, 0.1).unwrap();
-        assert!(plan.exact);
-        let truth = exact_answers(&q, &db).unwrap();
+    fn maintenance_takes_shared_references_and_swaps_snapshots() {
+        // writers are &self: an engine shared behind an Arc keeps accepting
+        // updates, and a snapshot taken before an update keeps serving the
+        // state it saw
+        let beas = std::sync::Arc::new(engine(100));
+        let q = q2(&beas.database());
+        let before_snapshot = beas.snapshot();
+        let before_size = before_snapshot.database().total_tuples();
+
+        beas.insert_row("friend", vec![Value::Int(1), Value::Int(900)])
+            .unwrap();
+        assert_eq!(beas.database().total_tuples(), before_size + 1);
+        // the pre-update snapshot is immutable
+        assert_eq!(before_snapshot.database().total_tuples(), before_size);
+        assert_eq!(
+            before_snapshot.catalog().version + 1,
+            beas.catalog().version
+        );
+
+        // the new edge is served by post-update answers
+        let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
+        let truth = beas.exact_answers(&q).unwrap();
         assert_eq!(answer.answers.clone().sorted(), truth.sorted());
-        let report = rc_accuracy(&answer.answers, &q, &db, &AccuracyConfig::default()).unwrap();
-        assert!(report.accuracy >= answer.eta - 1e-9);
+    }
+
+    #[test]
+    fn num_threads_is_configurable_and_defaults_to_available_parallelism() {
+        let single = Beas::builder(example_db(50))
+            .constraints(constraints())
+            .num_threads(1)
+            .build()
+            .unwrap();
+        assert_eq!(single.num_threads(), 1);
+        let auto = Beas::builder(example_db(50))
+            .constraints(constraints())
+            .build()
+            .unwrap();
+        assert!(auto.num_threads() >= 1);
+        // zero is clamped to one
+        let clamped = Beas::builder(example_db(50))
+            .constraints(constraints())
+            .num_threads(0)
+            .build()
+            .unwrap();
+        assert_eq!(clamped.num_threads(), 1);
     }
 }

@@ -7,6 +7,21 @@
 //! fall within the *dangerous distance* of the negated side's maximal induced
 //! query are excluded, and the coverage part of the accuracy bound is
 //! re-estimated from the two executed answer sets (`d'` of Fig. 5).
+//!
+//! # Sharded parallel evaluation
+//!
+//! Fetching stays sequential (budget enforcement is a serial accounting
+//! decision), but the evaluation plan `ξ_E` is embarrassingly parallel: with
+//! [`ExecOptions::threads`] > 1, each SPC leaf partitions its largest fetched
+//! atom relation into per-core row shards, evaluates the leaf expression per
+//! shard on `std::thread::scope` threads, and merges the shard outputs.
+//! Sharding one atom partitions the set of atom-row combinations exactly, so
+//! the merged result is the same (multi)set the sequential evaluation
+//! produces; leaf results are then canonicalised (sorted / deduplicated)
+//! before RA composition and aggregation, which makes the final answers
+//! **bit-for-bit identical for every thread count** — including the
+//! floating-point aggregate sums, whose accumulation order is fixed by the
+//! canonical row order.
 
 use std::collections::HashMap;
 
@@ -35,6 +50,42 @@ pub struct ExecutionOutcome {
     pub fetches: usize,
 }
 
+/// Execution knobs: the enforced budget and the shard parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Tuple budget to enforce (`None` disables enforcement; used by tests
+    /// and by the exact-answer path).
+    pub budget: Option<usize>,
+    /// Number of threads for sharded leaf evaluation (1 = sequential). The
+    /// answers are identical for every value — see the module docs.
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            budget: None,
+            threads: 1,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options enforcing `budget` on a single thread.
+    pub fn budgeted(budget: usize) -> Self {
+        ExecOptions {
+            budget: Some(budget),
+            threads: 1,
+        }
+    }
+
+    /// Sets the shard parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
 /// Executes `plan` against `catalog`, enforcing the plan's budget.
 ///
 /// When the budget is smaller than one tuple per relation atom (a degenerate
@@ -42,7 +93,11 @@ pub struct ExecutionOutcome {
 /// that case its own tariff is enforced instead, so execution still accesses
 /// the minimum the query needs.
 pub fn execute_plan(plan: &BoundedPlan, catalog: &Catalog) -> Result<ExecutionOutcome> {
-    execute_plan_with_budget(plan, catalog, Some(plan.budget.max(plan.tariff)))
+    execute_plan_with_options(
+        plan,
+        catalog,
+        ExecOptions::budgeted(plan.budget.max(plan.tariff)),
+    )
 }
 
 /// Executes `plan` under the budget a [`ResourceSpec`] resolves to for the
@@ -54,7 +109,11 @@ pub fn execute_plan_with_spec(
     spec: ResourceSpec,
 ) -> Result<ExecutionOutcome> {
     let budget = catalog.budget(&spec)?;
-    execute_plan_with_budget(plan, catalog, Some(budget.max(plan.tariff)))
+    execute_plan_with_options(
+        plan,
+        catalog,
+        ExecOptions::budgeted(budget.max(plan.tariff)),
+    )
 }
 
 /// Executes `plan` with an explicit budget (`None` disables enforcement; used
@@ -64,6 +123,18 @@ pub fn execute_plan_with_budget(
     catalog: &Catalog,
     budget: Option<usize>,
 ) -> Result<ExecutionOutcome> {
+    execute_plan_with_options(plan, catalog, ExecOptions { budget, threads: 1 })
+}
+
+/// Executes `plan` with explicit [`ExecOptions`] (budget enforcement and
+/// shard parallelism). This is the path the engine drives with its configured
+/// thread count.
+pub fn execute_plan_with_options(
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+    options: ExecOptions,
+) -> Result<ExecutionOutcome> {
+    let budget = options.budget;
     let mut session = FetchSession::new(catalog, budget);
     let schema = &catalog.schema;
 
@@ -126,7 +197,21 @@ pub fn execute_plan_with_budget(
     let mut leaf_exact: Vec<bool> = Vec::with_capacity(leaves.len());
     for (i, leaf) in leaves.iter().enumerate() {
         let leaf_plan = &plan.leaves[i];
-        let rel = evaluate_leaf(leaf, leaf_plan, plan, catalog, &node_outputs, want_weights)?;
+        let mut rel = evaluate_leaf(
+            leaf,
+            leaf_plan,
+            plan,
+            catalog,
+            &node_outputs,
+            want_weights,
+            options.threads,
+        )?;
+        // canonical row order: makes the downstream composition (including
+        // the accumulation order of weighted aggregate sums) independent of
+        // both sharding and join order
+        if want_weights {
+            rel.rows.sort();
+        }
         leaf_results.push(rel);
         let out_res = output_resolutions(leaf, leaf_plan, plan, catalog)?;
         leaf_exact.push(leaf_is_exact(leaf, leaf_plan, plan, catalog)?);
@@ -223,8 +308,16 @@ pub fn execute_plan_with_budget(
 // leaf evaluation
 // --------------------------------------------------------------------------
 
+/// Minimum number of rows in the sharded atom relation before the leaf is
+/// evaluated in parallel: below this, thread spawn overhead dominates the
+/// actual evaluation work.
+const MIN_SHARD_ROWS: usize = 64;
+
 /// Evaluates one SPC leaf over its fetched atom relations, applying the
-/// targeted relaxation of selection conditions (Sec. 5, "Evaluation plan ξ_E").
+/// targeted relaxation of selection conditions (Sec. 5, "Evaluation plan ξ_E")
+/// — across `threads` row shards of the largest atom relation when the input
+/// is big enough (see the module docs).
+#[allow(clippy::too_many_arguments)]
 fn evaluate_leaf(
     leaf: &SpcQuery,
     leaf_plan: &LeafPlan,
@@ -232,6 +325,7 @@ fn evaluate_leaf(
     catalog: &Catalog,
     node_outputs: &[Relation],
     want_weights: bool,
+    threads: usize,
 ) -> Result<Relation> {
     let schema = &catalog.schema;
     let res = |pos: beas_relal::Position| -> Result<f64> {
@@ -343,11 +437,123 @@ fn evaluate_leaf(
     }
     let expr = expr.project(proj);
 
+    let rel = eval_leaf_expr(&expr, &mut overlay, want_weights, threads)?;
     if want_weights {
-        let rel = eval_bag(&expr, &overlay)?;
         Ok(combine_weights(rel, leaf.output.len()))
     } else {
-        Ok(eval_set(&expr, &overlay)?)
+        Ok(rel)
+    }
+}
+
+/// Evaluates a leaf expression over its fetched overlay, sharding the largest
+/// atom relation across `threads` scoped threads when it is big enough. The
+/// overlay is mutable so the shard target's rows can be *moved* into the
+/// shards (no per-answer deep copy of the largest fetched relation).
+fn eval_leaf_expr(
+    expr: &RaExpr,
+    overlay: &mut HashMap<String, Relation>,
+    want_weights: bool,
+    threads: usize,
+) -> Result<Relation> {
+    // the shard target: the atom relation with the most rows
+    let shard_target = overlay
+        .iter()
+        .max_by(|a, b| a.1.len().cmp(&b.1.len()).then(a.0.cmp(b.0)))
+        .map(|(name, rel)| (name.clone(), rel.len()));
+    let (shard_name, rows) = match shard_target {
+        Some((name, rows)) => (name, rows),
+        None => return eval_any(expr, &*overlay, want_weights),
+    };
+    let threads = threads.max(1).min(rows / MIN_SHARD_ROWS.max(1) + 1);
+    if threads <= 1 || rows < 2 {
+        return eval_any(expr, &*overlay, want_weights);
+    }
+
+    // move the target's rows out of the overlay and split them zero-copy;
+    // the shard provider serves them back under the same name
+    let base = overlay
+        .remove(&shard_name)
+        .expect("shard target chosen from the overlay");
+    let columns = base.columns;
+    let chunk_size = rows.div_ceil(threads);
+    let mut remaining = base.rows;
+    let mut shards: Vec<Relation> = Vec::with_capacity(threads);
+    while !remaining.is_empty() {
+        let rest = remaining.split_off(remaining.len().min(chunk_size));
+        shards.push(Relation {
+            columns: columns.clone(),
+            rows: std::mem::replace(&mut remaining, rest),
+        });
+    }
+    let overlay = &*overlay;
+
+    let results: Vec<Result<Relation>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let shard_name = shard_name.as_str();
+                scope.spawn(move || {
+                    let provider = ShardProvider {
+                        base: overlay,
+                        name: shard_name,
+                        shard,
+                    };
+                    eval_any(expr, &provider, want_weights)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard evaluation panicked"))
+            .collect()
+    });
+
+    // deterministic merge: concatenate in shard order (the hot path asserts
+    // shape compatibility in debug builds only), then canonicalise the set
+    // path so the result equals the unsharded evaluation exactly
+    let mut merged: Option<Relation> = None;
+    for result in results {
+        let shard_rel = result?;
+        match &mut merged {
+            None => merged = Some(shard_rel),
+            Some(acc) => acc.append(shard_rel),
+        }
+    }
+    let mut merged = merged.expect("at least one shard");
+    if !want_weights {
+        merged.dedup();
+    }
+    Ok(merged)
+}
+
+/// Bag/set dispatch shared by the sharded and unsharded paths.
+fn eval_any<P: beas_relal::RelationProvider>(
+    expr: &RaExpr,
+    provider: &P,
+    bag: bool,
+) -> Result<Relation> {
+    if bag {
+        Ok(eval_bag(expr, provider)?)
+    } else {
+        Ok(eval_set(expr, provider)?)
+    }
+}
+
+/// A provider that serves one atom's rows from a shard and everything else
+/// from the shared overlay.
+struct ShardProvider<'a> {
+    base: &'a HashMap<String, Relation>,
+    name: &'a str,
+    shard: Relation,
+}
+
+impl beas_relal::RelationProvider for ShardProvider<'_> {
+    fn provide(&self, name: &str) -> Option<&Relation> {
+        if name == self.name {
+            Some(&self.shard)
+        } else {
+            self.base.get(name)
+        }
     }
 }
 

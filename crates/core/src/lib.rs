@@ -10,10 +10,13 @@
 //!
 //! The main entry points are:
 //!
-//! * [`Beas`] — the session-oriented engine (built through [`BeasBuilder`],
-//!   owns its database, Fig. 2 of the paper), with [`Beas::prepare`] for
-//!   plan-cached repeated queries and [`Beas::insert_row`] /
-//!   [`Beas::apply_update`] for incremental maintenance (component C2);
+//! * [`Beas`] — the session-oriented, `Send + Sync` engine (built through
+//!   [`BeasBuilder`], owns its database, Fig. 2 of the paper), with
+//!   [`Beas::prepare`] for plan-cached repeated queries and
+//!   [`Beas::insert_row`] / [`Beas::apply_update`] for incremental
+//!   maintenance (component C2) — readers run on immutable snapshots and are
+//!   never blocked by writers, execution shards across
+//!   [`BeasBuilder::num_threads`] cores deterministically;
 //! * [`ResourceSpec`] (re-exported from `beas-access`) — the typed budget
 //!   vocabulary used by engine, planner and baselines alike;
 //! * [`Planner`] — the approximation scheme `Γ_A` (chase + `chAT`);
@@ -47,7 +50,7 @@
 //!     .unwrap();
 //!
 //! // online: ask for hotels in NYC under a 20% resource ratio
-//! let mut b = SpcQueryBuilder::new(&beas.database().schema);
+//! let mut b = SpcQueryBuilder::new(beas.schema());
 //! let h = b.atom("poi", "h").unwrap();
 //! b.bind_const(h, "type", "hotel").unwrap();
 //! b.bind_const(h, "city", "NYC").unwrap();
@@ -83,10 +86,11 @@ pub use accuracy::{
     FMeasure, RcReport,
 };
 pub use beas_access::{BudgetPolicy, ResourceSpec};
-pub use engine::{Beas, BeasAnswer, BeasBuilder, ConstraintSpec, UpdateBatch};
+pub use engine::{Beas, BeasAnswer, BeasBuilder, ConstraintSpec, EngineSnapshot, UpdateBatch};
 pub use error::{BeasError, Result};
 pub use executor::{
-    execute_plan, execute_plan_with_budget, execute_plan_with_spec, ExecutionOutcome,
+    execute_plan, execute_plan_with_budget, execute_plan_with_options, execute_plan_with_spec,
+    ExecOptions, ExecutionOutcome,
 };
 pub use plan::{FetchNode, FetchPlan, KeySource, LeafPlan};
 pub use planner::{BoundedPlan, DistanceBounds, Planner};

@@ -14,21 +14,40 @@
 //! This mirrors the offline/online split the paper's data-driven scheme is
 //! built on: pay the analysis once, amortize it across every later request.
 //!
-//! Borrowing the engine (rather than cloning the catalog) means Rust's
-//! borrow rules make staleness impossible: maintenance ([`Beas::insert_row`])
-//! needs `&mut Beas`, which cannot coexist with a live `PreparedQuery`, so a
-//! cached plan can never outlive the catalog state it was planned against.
+//! # Concurrency
+//!
+//! `PreparedQuery` is `Send + Sync`: any number of threads may call
+//! [`PreparedQuery::answer`] on one shared handle. The plan cache sits behind
+//! an `RwLock` — concurrent cache hits take a read lock and never serialize;
+//! only a cache miss (a budget planned for the first time) briefly takes the
+//! write lock to publish its plan, and planning itself happens outside any
+//! lock.
+//!
+//! Because maintenance ([`Beas::apply_update`]) is allowed to run while
+//! prepared handles are live, every cached plan is tagged with the catalog
+//! [`version`](beas_access::Catalog::version) it was planned against. An
+//! answer call grabs one engine snapshot, and a version mismatch (the catalog
+//! changed since the cache was filled) drops the stale plans and replans —
+//! so a prepared answer always reflects a consistent, current snapshot.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 use beas_access::ResourceSpec;
 
-use crate::engine::{answer_from, empty_answer, Beas, BeasAnswer};
+use crate::engine::{answer_from, empty_answer, Beas, BeasAnswer, EngineSnapshot};
 use crate::error::Result;
-use crate::executor::execute_plan;
 use crate::planner::{BoundedPlan, Planner};
 use crate::query::BeasQuery;
+
+/// Budget → plan cache, tagged with the catalog version it was filled
+/// against. Budgets are the cache key (not specs) so that `Ratio(0.1)` and
+/// `Tuples(α·|D|)` share one entry.
+#[derive(Debug, Default)]
+struct PlanCache {
+    version: u64,
+    by_budget: HashMap<usize, Arc<BoundedPlan>>,
+}
 
 /// A validated query handle with a per-budget plan cache (see the module
 /// docs). Created by [`Beas::prepare`].
@@ -38,20 +57,18 @@ pub struct PreparedQuery<'e> {
     query: BeasQuery,
     /// Output column names, compiled once at prepare time.
     output_columns: Vec<String>,
-    /// Budget → plan. Budgets are the cache key (not specs) so that
-    /// `Ratio(0.1)` and `Tuples(α·|D|)` share one entry.
-    plans: Mutex<HashMap<usize, Arc<BoundedPlan>>>,
+    plans: RwLock<PlanCache>,
 }
 
 impl<'e> PreparedQuery<'e> {
     /// Validates `query` once and wraps it with an empty plan cache.
     pub(crate) fn new(engine: &'e Beas, query: &BeasQuery) -> Result<Self> {
-        query.validate(&engine.catalog().schema)?;
+        query.validate(engine.schema())?;
         Ok(PreparedQuery {
             engine,
             query: query.clone(),
             output_columns: query.output_columns(),
-            plans: Mutex::new(HashMap::new()),
+            plans: RwLock::new(PlanCache::default()),
         })
     }
 
@@ -65,50 +82,79 @@ impl<'e> PreparedQuery<'e> {
         self.engine
     }
 
-    /// Number of distinct budgets with a cached plan.
+    /// Number of distinct budgets with a cached plan (for the current catalog
+    /// version).
     pub fn cached_plans(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
+        self.plans
+            .read()
+            .expect("plan cache poisoned")
+            .by_budget
+            .len()
     }
 
     /// The bounded plan for `spec`: returned from the cache when the resolved
-    /// budget was planned before, generated (and cached) otherwise. Zero
-    /// specs are an error, as in [`Planner::plan`].
+    /// budget was planned before (against the current catalog), generated
+    /// (and cached) otherwise. Zero specs are an error, as in
+    /// [`Planner::plan`].
     pub fn plan(&self, spec: ResourceSpec) -> Result<Arc<BoundedPlan>> {
-        let budget = self.engine.catalog().budget(&spec)?;
+        let snapshot = self.engine.snapshot();
+        let budget = snapshot.catalog().budget(&spec)?;
         if budget == 0 {
             // delegate for the uniform zero-budget error message
-            return Planner::new(self.engine.catalog())
+            return Planner::new(snapshot.catalog())
                 .plan(&self.query, spec)
                 .map(Arc::new);
         }
-        self.plan_for_budget(budget)
+        self.plan_for_budget(&snapshot, budget)
     }
 
-    /// Cache lookup / fill for an already-resolved non-zero budget. A cache
-    /// hit takes the lock once; planning on a miss happens outside the lock.
-    fn plan_for_budget(&self, budget: usize) -> Result<Arc<BoundedPlan>> {
-        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&budget) {
-            return Ok(Arc::clone(plan));
+    /// Cache lookup / fill for an already-resolved non-zero budget against
+    /// one engine snapshot. Hits share a read lock (concurrent `answer`
+    /// calls never serialize); planning on a miss happens outside any lock,
+    /// and a catalog version change invalidates all stale entries.
+    fn plan_for_budget(
+        &self,
+        snapshot: &EngineSnapshot,
+        budget: usize,
+    ) -> Result<Arc<BoundedPlan>> {
+        let version = snapshot.catalog().version;
+        {
+            let cache = self.plans.read().expect("plan cache poisoned");
+            if cache.version == version {
+                if let Some(plan) = cache.by_budget.get(&budget) {
+                    return Ok(Arc::clone(plan));
+                }
+            }
         }
         let plan =
-            Arc::new(Planner::new(self.engine.catalog()).plan_prevalidated(&self.query, budget)?);
-        self.plans
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(budget, Arc::clone(&plan));
+            Arc::new(Planner::new(snapshot.catalog()).plan_prevalidated(&self.query, budget)?);
+        let mut cache = self.plans.write().expect("plan cache poisoned");
+        // versions are monotonic per engine: move the cache forward (dropping
+        // plans of older catalogs), but never roll it back — a reader that
+        // stalled on an old snapshot must not evict plans a newer snapshot
+        // just published
+        if cache.version < version {
+            cache.by_budget.clear();
+            cache.version = version;
+        }
+        if cache.version == version {
+            cache.by_budget.insert(budget, Arc::clone(&plan));
+        }
         Ok(plan)
     }
 
     /// Answers under `spec`, re-using the cached plan for repeated budgets
     /// (only execution — C4 — runs again). Zero specs yield an empty answer,
-    /// exactly like [`Beas::answer`].
+    /// exactly like [`Beas::answer`]. Thread-safe: the plan and the execution
+    /// share one consistent engine snapshot.
     pub fn answer(&self, spec: ResourceSpec) -> Result<BeasAnswer> {
-        let budget = self.engine.catalog().budget(&spec)?;
+        let snapshot = self.engine.snapshot();
+        let budget = snapshot.catalog().budget(&spec)?;
         if budget == 0 {
             return Ok(empty_answer(self.output_columns.clone()));
         }
-        let plan = self.plan_for_budget(budget)?;
-        let outcome = execute_plan(&plan, self.engine.catalog())?;
+        let plan = self.plan_for_budget(&snapshot, budget)?;
+        let outcome = self.engine.execute_on(&plan, &snapshot)?;
         Ok(answer_from(&plan, outcome))
     }
 }
@@ -150,7 +196,7 @@ mod tests {
     }
 
     fn hotels(engine: &Beas) -> BeasQuery {
-        let mut b = SpcQueryBuilder::new(&engine.database().schema);
+        let mut b = SpcQueryBuilder::new(engine.schema());
         let h = b.atom("poi", "h").unwrap();
         b.bind_const(h, "type", "hotel").unwrap();
         b.bind_const(h, "city", "NYC").unwrap();
@@ -234,5 +280,39 @@ mod tests {
         assert!(prepared.plan(ResourceSpec::Ratio(0.0)).is_err());
         assert!(prepared.answer(ResourceSpec::Ratio(7.0)).is_err());
         assert_eq!(prepared.cached_plans(), 0);
+    }
+
+    #[test]
+    fn maintenance_invalidates_cached_plans() {
+        let engine = poi_engine(240);
+        let q = hotels(&engine);
+        let prepared = engine.prepare(&q).unwrap();
+        let before = prepared.answer(ResourceSpec::FULL).unwrap();
+        assert_eq!(prepared.cached_plans(), 1);
+
+        // insert a matching row through C2 while the handle stays live
+        engine
+            .insert_row(
+                "poi",
+                vec![
+                    Value::from("hotel"),
+                    Value::from("NYC"),
+                    Value::Double(41.5),
+                ],
+            )
+            .unwrap();
+
+        // the stale plan is dropped and the new tuple is visible
+        let after = prepared.answer(ResourceSpec::FULL).unwrap();
+        assert_eq!(after.answers.len(), before.answers.len() + 1);
+        assert!(after.answers.rows.contains(&vec![Value::Double(41.5)]));
+        assert_eq!(prepared.cached_plans(), 1, "stale entries must be dropped");
+
+        // and it must agree with planning from scratch on the updated engine
+        let direct = engine.answer(&q, ResourceSpec::FULL).unwrap();
+        assert_eq!(
+            after.answers.clone().sorted(),
+            direct.answers.clone().sorted()
+        );
     }
 }

@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use crate::distance::DistanceKind;
 use crate::error::{RelalError, Result};
 use crate::expr::{AggFunc, GroupByQuery, QueryExpr, RaExpr};
 use crate::predicate::{Predicate, PredicateAtom};
@@ -236,8 +237,9 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
     }
 
     // Greedy join order: start from the smallest relation, repeatedly attach a
-    // relation connected through an exact equality conjunct; otherwise attach
-    // the smallest remaining relation by nested-loop product.
+    // relation connected through a hash-joinable equality conjunct, then one
+    // connected through a relaxed numeric equality (band join); only
+    // unconnected relations fall back to a nested-loop product.
     filtered.sort_by_key(|r| r.len());
     let mut iter = filtered.into_iter();
     let mut current = iter
@@ -246,7 +248,8 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
     let mut remaining: Vec<Relation> = iter.collect();
 
     while !remaining.is_empty() {
-        // find a remaining relation connected to `current` via exact equality
+        // prefer a remaining relation connected to `current` via a hashable
+        // equality, then via a numeric band, then the nested-loop fallback
         let mut chosen: Option<usize> = None;
         for (i, rel) in remaining.iter().enumerate() {
             if !equality_keys(&pending, &current, rel).is_empty() {
@@ -254,13 +257,23 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
                 break;
             }
         }
+        if chosen.is_none() {
+            for (i, rel) in remaining.iter().enumerate() {
+                if band_key(&pending, &current, rel).is_some() {
+                    chosen = Some(i);
+                    break;
+                }
+            }
+        }
         let idx = chosen.unwrap_or(0);
         let rel = remaining.remove(idx);
         let keys = equality_keys(&pending, &current, &rel);
-        current = if keys.is_empty() {
-            cross_product(&current, &rel)?
-        } else {
+        current = if !keys.is_empty() {
             hash_join(&current, &rel, &keys)?
+        } else if let Some(band) = band_key(&pending, &current, &rel) {
+            band_join(&current, &rel, &band)?
+        } else {
+            cross_product(&current, &rel)?
         };
         // apply every pending atom that is now fully evaluable
         let mut still_pending = Vec::new();
@@ -289,8 +302,19 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
     Ok(current)
 }
 
-/// The exact-equality join keys between `left` and `right` among `atoms`
-/// (tolerance 0 only — relaxed equalities cannot be hash joined).
+/// `true` when a relaxed equality under `dk` with tolerance `tol` admits
+/// exactly the value-equal pairs, making it hash-joinable: tolerance 0 always
+/// qualifies; the trivial distance (0 or ∞) qualifies at any finite
+/// tolerance; the categorical distance (0 or 1) qualifies below 1.
+fn is_hashable_eq(dk: DistanceKind, tol: f64) -> bool {
+    tol <= 0.0
+        || matches!(dk, DistanceKind::Trivial)
+        || (matches!(dk, DistanceKind::Categorical) && tol < 1.0)
+}
+
+/// The hash-joinable equality join keys between `left` and `right` among
+/// `atoms` (exact equalities, plus relaxed equalities whose distance kind
+/// still only admits equal values — see [`is_hashable_eq`]).
 fn equality_keys(
     atoms: &[&PredicateAtom],
     left: &Relation,
@@ -302,11 +326,11 @@ fn equality_keys(
             left: lc,
             op,
             right: rc,
+            distance,
             tol,
-            ..
         } = atom
         {
-            if !op.is_eq() || *tol > 0.0 {
+            if !op.is_eq() || !is_hashable_eq(*distance, *tol) {
                 continue;
             }
             let (li, ri) = (left.column_index(lc), right.column_index(rc));
@@ -349,6 +373,121 @@ fn hash_join(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Resu
                 row.extend(right.rows[ri].iter().cloned());
                 rows.push(row);
             }
+        }
+    }
+    Ok(Relation { columns, rows })
+}
+
+/// A relaxed numeric equality conjunct usable as a band-join condition.
+struct BandKey {
+    left_col: usize,
+    right_col: usize,
+    distance: DistanceKind,
+    tol: f64,
+}
+
+/// Finds a relaxed numeric equality conjunct between `left` and `right`: a
+/// `ColCol` `=` atom with tolerance `> 0` over a numeric distance. Such joins
+/// cannot be hashed (nearby values must match) but can be answered by sorting
+/// one side and probing a value band per row.
+fn band_key(atoms: &[&PredicateAtom], left: &Relation, right: &Relation) -> Option<BandKey> {
+    for atom in atoms {
+        if let PredicateAtom::ColCol {
+            left: lc,
+            op,
+            right: rc,
+            distance,
+            tol,
+        } = atom
+        {
+            if !op.is_eq() || *tol <= 0.0 || !distance.is_numeric() {
+                continue;
+            }
+            if let (Ok(li), Ok(ri)) = (left.column_index(lc), right.column_index(rc)) {
+                return Some(BandKey {
+                    left_col: li,
+                    right_col: ri,
+                    distance: *distance,
+                    tol: *tol,
+                });
+            }
+            if let (Ok(li), Ok(ri)) = (left.column_index(rc), right.column_index(lc)) {
+                return Some(BandKey {
+                    left_col: li,
+                    right_col: ri,
+                    distance: *distance,
+                    tol: *tol,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Band join of two relations under a relaxed numeric equality: matches every
+/// pair with `dis(l, r) ≤ tol`. Finite numeric right values are sorted and
+/// probed by binary search over the band `[l − tol·unit, l + tol·unit]`;
+/// non-numeric (and NaN) values can only match at distance 0, i.e. equality,
+/// and go through a hash lookup. Produces exactly the rows (and row order) of
+/// the filtered nested-loop product it replaces.
+fn band_join(left: &Relation, right: &Relation, key: &BandKey) -> Result<Relation> {
+    for c in &right.columns {
+        if left.columns.contains(c) {
+            return Err(RelalError::SchemaMismatch(format!(
+                "duplicate column {c} in join"
+            )));
+        }
+    }
+    let mut columns = left.columns.clone();
+    columns.extend(right.columns.clone());
+
+    // split the right side: finite numeric values sorted by value, the rest
+    // (strings, bools, nulls, NaNs) reachable only through exact equality
+    let mut numeric: Vec<(f64, usize)> = Vec::new();
+    let mut by_value: HashMap<&Value, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows.iter().enumerate() {
+        match row[key.right_col].as_f64() {
+            Some(x) if !x.is_nan() => numeric.push((x, i)),
+            _ => by_value.entry(&row[key.right_col]).or_default().push(i),
+        }
+    }
+    numeric.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let slack = key.tol * key.distance.unit();
+
+    let mut rows = Vec::new();
+    let mut matches: Vec<usize> = Vec::new();
+    for lrow in &left.rows {
+        let lval = &lrow[key.left_col];
+        matches.clear();
+        match lval.as_f64() {
+            Some(x) if !x.is_nan() => {
+                let lo = numeric.partition_point(|(v, _)| *v < x - slack);
+                for &(_, ri) in &numeric[lo..] {
+                    // the explicit distance check keeps the band semantics
+                    // bit-identical to the nested-loop filter it replaces
+                    let d = key.distance.distance(lval, &right.rows[ri][key.right_col]);
+                    if d <= key.tol {
+                        matches.push(ri);
+                    } else if right.rows[ri][key.right_col]
+                        .as_f64()
+                        .is_some_and(|v| v > x + slack)
+                    {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                if let Some(eq) = by_value.get(lval) {
+                    matches.extend(eq.iter().copied());
+                }
+            }
+        }
+        // right matches in row order reproduce the nested-loop output order
+        matches.sort_unstable();
+        for &ri in &matches {
+            let mut row = lrow.clone();
+            row.extend(right.rows[ri].iter().cloned());
+            rows.push(row);
         }
     }
     Ok(Relation { columns, rows })
@@ -799,6 +938,131 @@ mod tests {
             .project_cols(&["p.pid", "h.address"]);
         let out = eval_set(&expr, &db).unwrap();
         assert_eq!(out.len(), 20); // every pid (1..4) ≤ every price
+    }
+
+    /// Nested-loop reference for the join fast paths: cross product + relaxed
+    /// filter, the semantics band/hash joins must reproduce exactly.
+    fn nested_loop_reference(l: &Relation, r: &Relation, atom: &PredicateAtom) -> Relation {
+        let prod = cross_product(l, r).unwrap();
+        Predicate::all(vec![atom.clone()]).filter(&prod).unwrap()
+    }
+
+    #[test]
+    fn band_join_matches_nested_loop_on_relaxed_numeric_equality() {
+        let l = Relation::new(
+            vec!["l.v".into()],
+            vec![
+                vec![Value::Double(10.0)],
+                vec![Value::Int(25)],
+                vec![Value::from("x")],
+                vec![Value::Double(f64::NAN)],
+                vec![Value::Null],
+            ],
+        )
+        .unwrap();
+        let r = Relation::new(
+            vec!["r.v".into()],
+            vec![
+                vec![Value::Double(12.0)],
+                vec![Value::Double(24.0)],
+                vec![Value::Int(10)],
+                vec![Value::from("x")],
+                vec![Value::Double(f64::NAN)],
+                vec![Value::Null],
+                vec![Value::Double(100.0)],
+            ],
+        )
+        .unwrap();
+        let atom = PredicateAtom::ColCol {
+            left: "l.v".into(),
+            op: CompareOp::Eq,
+            right: "r.v".into(),
+            distance: crate::distance::DistanceKind::Numeric,
+            tol: 3.0,
+        };
+        let key = band_key(&[&atom], &l, &r).expect("band key");
+        let fast = band_join(&l, &r, &key).unwrap();
+        let slow = nested_loop_reference(&l, &r, &atom);
+        assert_eq!(fast, slow, "band join must reproduce the nested loop");
+        // sanity: nearby numerics matched, NaN/Null matched only themselves
+        assert!(fast
+            .rows
+            .iter()
+            .any(|row| row[0] == Value::Double(10.0) && row[1] == Value::Double(12.0)));
+        assert!(fast
+            .rows
+            .iter()
+            .any(|row| row[0] == Value::Null && row[1] == Value::Null));
+    }
+
+    #[test]
+    fn band_join_handles_scaled_distances() {
+        let l = Relation::new(
+            vec!["l.v".into()],
+            vec![vec![Value::Double(100.0)], vec![Value::Double(500.0)]],
+        )
+        .unwrap();
+        let r = Relation::new(
+            vec!["r.v".into()],
+            vec![
+                vec![Value::Double(140.0)],
+                vec![Value::Double(180.0)],
+                vec![Value::Double(480.0)],
+            ],
+        )
+        .unwrap();
+        // scale 100: tolerance 0.5 ⇔ |l − r| ≤ 50
+        let atom = PredicateAtom::ColCol {
+            left: "l.v".into(),
+            op: CompareOp::Eq,
+            right: "r.v".into(),
+            distance: crate::distance::DistanceKind::Scaled(100),
+            tol: 0.5,
+        };
+        let key = band_key(&[&atom], &l, &r).expect("band key");
+        let fast = band_join(&l, &r, &key).unwrap();
+        assert_eq!(fast, nested_loop_reference(&l, &r, &atom));
+        assert_eq!(fast.len(), 2); // (100,140) and (500,480)
+    }
+
+    #[test]
+    fn relaxed_trivial_and_categorical_equalities_are_hash_joinable() {
+        use crate::distance::DistanceKind;
+        assert!(is_hashable_eq(DistanceKind::Trivial, 5.0));
+        assert!(is_hashable_eq(DistanceKind::Categorical, 0.5));
+        assert!(!is_hashable_eq(DistanceKind::Categorical, 1.0));
+        assert!(!is_hashable_eq(DistanceKind::Numeric, 0.5));
+        assert!(is_hashable_eq(DistanceKind::Numeric, 0.0));
+
+        // a relaxed trivial-distance join still picks the hash path and
+        // agrees with the nested loop
+        let l = Relation::new(
+            vec!["l.v".into()],
+            vec![vec![Value::from("a")], vec![Value::from("b")]],
+        )
+        .unwrap();
+        let r = Relation::new(
+            vec!["r.v".into()],
+            vec![
+                vec![Value::from("b")],
+                vec![Value::from("c")],
+                vec![Value::from("b")],
+            ],
+        )
+        .unwrap();
+        let atom = PredicateAtom::ColCol {
+            left: "l.v".into(),
+            op: CompareOp::Eq,
+            right: "r.v".into(),
+            distance: DistanceKind::Trivial,
+            tol: 2.0,
+        };
+        let keys = equality_keys(&[&atom], &l, &r);
+        assert_eq!(keys, vec![(0, 0)]);
+        let fast = hash_join(&l, &r, &keys).unwrap();
+        let slow = nested_loop_reference(&l, &r, &atom);
+        assert_eq!(fast.clone().sorted(), slow.sorted());
+        assert_eq!(fast.len(), 2);
     }
 
     #[test]

@@ -32,12 +32,14 @@ impl Relation {
         }
     }
 
-    /// Creates a relation from columns and rows, validating row arity.
+    /// Creates a relation from columns and rows, validating row arity. The
+    /// error names the first offending row by index so a bad bulk load can be
+    /// traced back to its source record.
     pub fn new(columns: Vec<String>, rows: Vec<Row>) -> Result<Self> {
         let arity = columns.len();
-        if let Some(bad) = rows.iter().find(|r| r.len() != arity) {
+        if let Some((i, bad)) = rows.iter().enumerate().find(|(_, r)| r.len() != arity) {
             return Err(RelalError::SchemaMismatch(format!(
-                "row of arity {} in relation of arity {}",
+                "row {i} of arity {} in relation of arity {}",
                 bad.len(),
                 arity
             )));
@@ -79,6 +81,24 @@ impl Relation {
         }
         self.rows.push(row);
         Ok(())
+    }
+
+    /// Appends all rows of `other` to this relation.
+    ///
+    /// This is the hot shard-merge path of parallel plan execution: arity
+    /// compatibility is only debug-asserted (shards are produced by evaluating
+    /// the same expression, so their shapes agree by construction) and the
+    /// release build pays no per-row validation.
+    pub fn append(&mut self, other: Relation) {
+        debug_assert_eq!(
+            self.arity(),
+            other.arity(),
+            "appending a {}-ary shard to a {}-ary relation",
+            other.arity(),
+            self.arity()
+        );
+        debug_assert!(other.rows.iter().all(|r| r.len() == other.columns.len()));
+        self.rows.extend(other.rows);
     }
 
     /// Removes duplicate rows (set semantics). Row order is not preserved.
@@ -234,6 +254,35 @@ mod tests {
         .unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn relation_new_reports_offending_row_index() {
+        let err = Relation::new(
+            vec!["a".into(), "b".into()],
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(3), Value::Int(4)],
+                vec![Value::Int(5)], // arity 1 at index 2
+            ],
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("row 2"), "message should name row 2: {msg}");
+        assert!(msg.contains("arity 1"), "message should name arity: {msg}");
+    }
+
+    #[test]
+    fn append_merges_shards_without_revalidation() {
+        let mut a = Relation::new(vec!["v".into()], vec![vec![Value::Int(1)]]).unwrap();
+        let b = Relation::new(
+            vec!["v".into()],
+            vec![vec![Value::Int(2)], vec![Value::Int(3)]],
+        )
+        .unwrap();
+        a.append(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.rows[2], vec![Value::Int(3)]);
     }
 
     #[test]

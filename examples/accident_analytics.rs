@@ -19,7 +19,7 @@ fn main() {
         .constraints(dataset.constraints.iter().cloned())
         .build()
         .expect("catalog");
-    let db = engine.database();
+    let db = &*engine.database();
 
     // ----------------------------------------------------------------------
     // accidents on fast roads (speed limit ≥ 60), reporting severity and

@@ -22,7 +22,7 @@ fn main() {
         .constraints(dataset.constraints.iter().cloned())
         .build()
         .expect("catalog");
-    let db = engine.database();
+    let db = &*engine.database();
 
     // ----------------------------------------------------------------------
     // Q: average arrival delay per year for one carrier's delayed flights.

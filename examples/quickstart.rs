@@ -1,6 +1,7 @@
 //! Quickstart: the session-oriented engine lifecycle end to end —
-//! build (C1) → prepare + answer under typed resource specs (C3/C4) →
-//! maintain under inserts without a rebuild (C2).
+//! build (C1, parallel index build) → prepare + answer under typed resource
+//! specs (C3/C4, concurrent serving) → maintain under inserts without a
+//! rebuild (C2, snapshot swap).
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -42,21 +43,26 @@ fn main() {
     // One access constraint poi({type, city} -> {price}); BEAS derives the
     // multi-resolution templates psi_1..psi_m from it and also builds the
     // canonical schema A_t, so every query is answerable under any spec. The
-    // engine owns the database from here on.
-    let mut engine = Beas::builder(db)
+    // engine owns the database from here on. `num_threads` controls the
+    // parallel K-D tree build and sharded plan execution; it defaults to the
+    // machine's core count and never changes any result — index levels and
+    // answers are bit-identical at every thread count.
+    let engine = Beas::builder(db)
         .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+        .num_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
         .build()
         .expect("catalog construction");
     let report = engine.catalog().index_size_report();
     println!(
-        "access schema: {} families, total index = {:.2} x |D|",
+        "access schema: {} families, total index = {:.2} x |D| (built on {} threads)",
         engine.catalog().len(),
-        report.total_ratio()
+        report.total_ratio(),
+        engine.num_threads(),
     );
 
     // ------------------------------------------------------ online: the query
     // "hotels in NYC costing at most $95 per night"
-    let mut b = SpcQueryBuilder::new(&engine.database().schema);
+    let mut b = SpcQueryBuilder::new(engine.schema());
     let h = b.atom("poi", "h").unwrap();
     b.bind_const(h, "type", "hotel").unwrap();
     b.bind_const(h, "city", "NYC").unwrap();
@@ -99,6 +105,29 @@ fn main() {
             "plan cache: {} distinct budgets planned",
             prepared.cached_plans()
         );
+    }
+
+    // ------------------- concurrent serving: the engine is Send + Sync
+    // Share one engine (and one prepared handle) across client threads; each
+    // answer runs against a consistent snapshot, cache hits never serialize.
+    {
+        let prepared = engine.prepare(&query).expect("prepare");
+        let served: usize = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let prepared = &prepared;
+                    scope.spawn(move || {
+                        (0..25)
+                            .filter(|_| prepared.answer(ResourceSpec::Ratio(0.05)).is_ok())
+                            .count()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("serving thread"))
+                .sum()
+        });
+        println!("\nconcurrent serving: {served} answers from 4 client threads, one shared engine");
     }
 
     // ------------------------------------- maintenance (C2): no rebuild

@@ -116,7 +116,7 @@ fn main() {
     let me = 1234i64;
 
     // ------------------------------------------------------------------- Q2
-    let query2 = q2(engine.database(), me);
+    let query2 = q2(&engine.database(), me);
     let exact2 = engine.exact_answers(&query2).unwrap();
     let ratio = engine.exact_ratio(&query2).unwrap().unwrap_or(f64::NAN);
     let answer2 = engine.answer(&query2, ResourceSpec::Ratio(0.01)).unwrap();
@@ -134,7 +134,7 @@ fn main() {
     // ------------------------------------------------------------------- Q1
     // The hotel query is asked repeatedly under different budgets — prepare it
     // once so every budget plans at most once and repeats hit the plan cache.
-    let query1 = q1(engine.database(), me);
+    let query1 = q1(&engine.database(), me);
     let exact1 = engine.exact_answers(&query1).unwrap();
     println!(
         "\nQ1 (cheap hotels near friends) — {} exact answers",

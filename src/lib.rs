@@ -18,16 +18,21 @@
 //!   query workload generator.
 //!
 //! The engine API follows the paper's offline/online split (Fig. 2) as a
-//! session lifecycle:
+//! session lifecycle, and the engine is `Send + Sync` — share it across
+//! threads, readers run on immutable snapshots and are never blocked by
+//! writers (see the `beas-core` docs for the concurrency model):
 //!
-//! 1. **Build** (C1): [`Beas::builder`] takes ownership of the database,
-//!    registers access constraints and produces the engine with its indices.
-//! 2. **Maintain** (C2): [`Beas::insert_row`] / [`Beas::apply_update`]
-//!    propagate inserts into every index incrementally — no rebuild.
-//! 3. **Prepare + answer** (C3/C4): [`Beas::prepare`] validates a query once
+//! 1. **Build** (C1): [`Beas::builder`](core::Beas::builder) takes ownership of the database,
+//!    registers access constraints and produces the engine with its indices,
+//!    built in parallel across `BeasBuilder::num_threads` cores with
+//!    bit-identical results.
+//! 2. **Maintain** (C2): [`Beas::insert_row`](core::Beas::insert_row) / [`Beas::apply_update`](core::Beas::apply_update)
+//!    (both `&self`) propagate inserts into every index incrementally — no
+//!    rebuild — and publish the result with one atomic snapshot swap.
+//! 3. **Prepare + answer** (C3/C4): [`Beas::prepare`](core::Beas::prepare) validates a query once
 //!    and caches one bounded plan per budget, so answering again at a
-//!    repeated [`ResourceSpec`] skips planning and goes straight to bounded
-//!    execution.
+//!    repeated [`ResourceSpec`](access::ResourceSpec) skips planning and goes straight to bounded
+//!    execution, sharded across the engine's threads deterministically.
 //!
 //! The most convenient entry point is [`prelude`]:
 //!
@@ -49,12 +54,12 @@
 //! }
 //!
 //! // offline (C1): the engine owns the database and its access schema
-//! let mut engine = Beas::builder(db)
+//! let engine = Beas::builder(db)
 //!     .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
 //!     .build()
 //!     .unwrap();
 //!
-//! let mut q = SpcQueryBuilder::new(&engine.database().schema);
+//! let mut q = SpcQueryBuilder::new(engine.schema());
 //! let h = q.atom("poi", "h").unwrap();
 //! q.bind_const(h, "type", "hotel").unwrap();
 //! q.bind_const(h, "city", "NYC").unwrap();
@@ -93,14 +98,14 @@ pub use beas_workloads as workloads;
 /// Commonly used items from across the workspace.
 pub mod prelude {
     pub use beas_access::{
-        build_at, build_constraint, build_extended, AtOptions, BudgetPolicy, Catalog, FetchSession,
-        ResourceSpec,
+        build_at, build_at_threaded, build_constraint, build_extended, build_extended_threaded,
+        AtOptions, BudgetPolicy, Catalog, FetchSession, ResourceSpec,
     };
     pub use beas_baselines::{Baseline, BlinkSim, Histo, Sampl};
     pub use beas_core::{
         exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery, Beas,
-        BeasAnswer, BeasBuilder, BeasQuery, BoundedPlan, ConstraintSpec, Planner, PreparedQuery,
-        RaQuery, UpdateBatch,
+        BeasAnswer, BeasBuilder, BeasQuery, BoundedPlan, ConstraintSpec, EngineSnapshot,
+        ExecOptions, Planner, PreparedQuery, RaQuery, UpdateBatch,
     };
     pub use beas_relal::{
         AggFunc, Attribute, CompareOp, Database, DatabaseSchema, DistanceKind, Relation,

@@ -1,0 +1,272 @@
+//! Concurrency tests of the serving core:
+//!
+//! * compile-time `Send + Sync` assertions for every type the serving path
+//!   shares across threads;
+//! * a concurrency oracle: N client threads calling `PreparedQuery::answer`
+//!   while a writer thread applies update batches — every observed answer
+//!   must equal the single-threaded answer of *some* consistent state (the
+//!   snapshot isolation guarantee), and the final state must agree with a
+//!   freshly built single-threaded engine;
+//! * determinism: sharded execution returns bit-identical answers for every
+//!   thread count, on plain and aggregate queries alike.
+
+use std::sync::Arc;
+
+use beas::core::EngineSnapshot;
+use beas::prelude::*;
+
+/// Compile-time proof that the serving path is `Send + Sync`: the engine,
+/// prepared handles, snapshots, the catalog and its families, and plans.
+#[test]
+fn serving_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Beas>();
+    assert_send_sync::<PreparedQuery<'static>>();
+    assert_send_sync::<EngineSnapshot>();
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<beas::access::TemplateFamily>();
+    assert_send_sync::<beas::access::Level>();
+    assert_send_sync::<BoundedPlan>();
+    assert_send_sync::<BeasAnswer>();
+    assert_send_sync::<UpdateBatch>();
+    assert_send_sync::<Database>();
+    assert_send_sync::<Relation>();
+}
+
+fn poi_db(n: i64) -> Database {
+    let schema = DatabaseSchema::new(vec![RelationSchema::new(
+        "poi",
+        vec![
+            Attribute::categorical("type"),
+            Attribute::text("city"),
+            Attribute::double("price"),
+        ],
+    )]);
+    let mut db = Database::new(schema);
+    let cities = ["NYC", "LA", "Chicago"];
+    for i in 0..n {
+        db.insert_row(
+            "poi",
+            vec![
+                Value::from(if i % 2 == 0 { "hotel" } else { "museum" }),
+                Value::from(cities[(i % 3) as usize]),
+                Value::Double(30.0 + ((i * 7) % 160) as f64 / 2.0),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn constraint() -> ConstraintSpec {
+    ConstraintSpec::new("poi", &["type", "city"], &["price"])
+}
+
+fn nyc_hotels(schema: &DatabaseSchema) -> BeasQuery {
+    let mut b = SpcQueryBuilder::new(schema);
+    let h = b.atom("poi", "h").unwrap();
+    b.bind_const(h, "type", "hotel").unwrap();
+    b.bind_const(h, "city", "NYC").unwrap();
+    b.output(h, "price", "price").unwrap();
+    b.build().unwrap().into()
+}
+
+/// The concurrency oracle. Readers answer at the full spec (exact answers,
+/// so each answer characterizes one database state) while a writer applies
+/// update batches; snapshot isolation means every observed answer must match
+/// the exact answers of one of the `k + 1` states the writer steps through.
+#[test]
+fn concurrent_answers_agree_with_some_consistent_state() {
+    const READERS: usize = 4;
+    const ANSWERS_PER_READER: usize = 40;
+    const BATCHES: usize = 8;
+
+    let base = poi_db(600);
+    let query = nyc_hotels(&base.schema);
+
+    // the writer's batches: distinct new NYC hotels so every state has a
+    // distinct exact answer set
+    let batches: Vec<UpdateBatch> = (0..BATCHES as i64)
+        .map(|b| {
+            (0..5i64).fold(UpdateBatch::new(), |batch, i| {
+                batch.insert(
+                    "poi",
+                    vec![
+                        Value::from("hotel"),
+                        Value::from("NYC"),
+                        Value::Double(1000.0 + (b * 5 + i) as f64 + 0.25),
+                    ],
+                )
+            })
+        })
+        .collect();
+
+    // expected exact answers at every state the engine can pass through
+    let mut expected: Vec<Relation> = Vec::with_capacity(BATCHES + 1);
+    let mut state = base.clone();
+    expected.push(beas::core::exact_answers(&query, &state).unwrap().sorted());
+    for batch in &batches {
+        for (relation, row) in batch.inserts() {
+            state.insert_row(relation, row.clone()).unwrap();
+        }
+        expected.push(beas::core::exact_answers(&query, &state).unwrap().sorted());
+    }
+
+    let engine = Arc::new(
+        Beas::builder(base)
+            .constraint(constraint())
+            .num_threads(2)
+            .build()
+            .unwrap(),
+    );
+    let prepared = engine.prepare(&query).unwrap();
+
+    std::thread::scope(|scope| {
+        // the writer: applies every batch through the C2 snapshot-swap path
+        let writer_engine = Arc::clone(&engine);
+        let writer_batches = &batches;
+        scope.spawn(move || {
+            for batch in writer_batches {
+                writer_engine.apply_update(batch).unwrap();
+                std::thread::yield_now();
+            }
+        });
+        // the readers: concurrent prepared answers, each checked against the
+        // set of consistent states
+        for _ in 0..READERS {
+            let prepared = &prepared;
+            let expected = &expected;
+            scope.spawn(move || {
+                for _ in 0..ANSWERS_PER_READER {
+                    let answer = prepared.answer(ResourceSpec::FULL).unwrap();
+                    assert!(answer.exact, "full-spec answers must be exact");
+                    let sorted = answer.answers.sorted();
+                    assert!(
+                        expected.contains(&sorted),
+                        "a concurrent answer matches no consistent database state \
+                         ({} rows observed)",
+                        sorted.len()
+                    );
+                }
+            });
+        }
+    });
+
+    // quiesced: the engine agrees with a fresh single-threaded engine built
+    // over the final data
+    let rebuilt = Beas::builder(engine.database())
+        .constraint(constraint())
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let final_live = engine.answer(&query, ResourceSpec::FULL).unwrap();
+    let final_rebuilt = rebuilt.answer(&query, ResourceSpec::FULL).unwrap();
+    assert_eq!(
+        final_live.answers.clone().sorted(),
+        final_rebuilt.answers.clone().sorted()
+    );
+    assert_eq!(
+        final_live.answers.clone().sorted(),
+        expected.last().unwrap().clone()
+    );
+}
+
+/// Sharded execution must be bit-for-bit deterministic: the same query under
+/// the same spec returns identical relations (rows, order, floats) for every
+/// thread count, on selection and aggregate queries alike.
+#[test]
+fn sharded_execution_is_identical_across_thread_counts() {
+    let db = poi_db(3000);
+    let query = nyc_hotels(&db.schema);
+    let agg: BeasQuery = {
+        let inner = match nyc_hotels(&db.schema) {
+            BeasQuery::Ra(q) => q,
+            _ => unreachable!(),
+        };
+        beas::core::AggQuery::new(inner, vec![], AggFunc::Sum, "price", "total")
+            .unwrap()
+            .into()
+    };
+
+    let engines: Vec<Beas> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            Beas::builder(db.clone())
+                .constraint(constraint())
+                .num_threads(threads)
+                .build()
+                .unwrap()
+        })
+        .collect();
+
+    for q in [&query, &agg] {
+        for spec in [
+            ResourceSpec::Ratio(0.02),
+            ResourceSpec::Ratio(0.2),
+            ResourceSpec::FULL,
+        ] {
+            let reference = engines[0].answer(q, spec).unwrap();
+            for engine in &engines[1..] {
+                let answer = engine.answer(q, spec).unwrap();
+                assert_eq!(
+                    answer.answers,
+                    reference.answers,
+                    "answers differ at {} threads (spec {spec})",
+                    engine.num_threads()
+                );
+                assert_eq!(answer.eta, reference.eta);
+                assert_eq!(answer.accessed, reference.accessed);
+                assert_eq!(answer.budget, reference.budget);
+                assert_eq!(answer.exact, reference.exact);
+            }
+        }
+    }
+}
+
+/// Concurrent plan-cache fills on one prepared handle must stay consistent:
+/// many threads racing on the same budgets end with one plan per budget and
+/// identical answers.
+#[test]
+fn racing_plan_cache_fills_stay_consistent() {
+    let db = poi_db(500);
+    let query = nyc_hotels(&db.schema);
+    let engine = Beas::builder(db)
+        .constraint(constraint())
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let prepared = engine.prepare(&query).unwrap();
+    let specs = [
+        ResourceSpec::Ratio(0.05),
+        ResourceSpec::Ratio(0.2),
+        ResourceSpec::FULL,
+    ];
+
+    let reference: Vec<Relation> = specs
+        .iter()
+        .map(|&s| engine.answer(&query, s).unwrap().answers.sorted())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let prepared = &prepared;
+            let reference = &reference;
+            scope.spawn(move || {
+                for round in 0..20 {
+                    let which = (t + round) % specs.len();
+                    let answer = prepared.answer(specs[which]).unwrap();
+                    assert_eq!(
+                        answer.answers.sorted(),
+                        reference[which],
+                        "thread {t} round {round}"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(
+        prepared.cached_plans(),
+        specs.len(),
+        "racing fills must end with exactly one plan per budget"
+    );
+}

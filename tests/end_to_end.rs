@@ -150,7 +150,7 @@ fn inserts_after_build_keep_serving_without_a_rebuild() {
     // freshly rebuilt engine over the same data.
     let dataset = tpch_lite(1, 42);
     let constraints = dataset.constraints.clone();
-    let mut engine = Beas::builder(dataset.db)
+    let engine = Beas::builder(dataset.db)
         .constraints(constraints.clone())
         .build()
         .expect("catalog");
@@ -176,7 +176,7 @@ fn inserts_after_build_keep_serving_without_a_rebuild() {
 
     // customer 7's orders — the inserted rows must be visible
     let query: BeasQuery = {
-        let mut b = SpcQueryBuilder::new(&engine.database().schema);
+        let mut b = SpcQueryBuilder::new(engine.schema());
         let o = b.atom("orders", "o").unwrap();
         b.filter_const(o, "o_custkey", CompareOp::Eq, 7i64).unwrap();
         b.output(o, "o_orderkey", "key").unwrap();
@@ -234,11 +234,11 @@ fn beas_beats_uniform_sampling_on_selective_queries() {
         .unwrap()
         .accuracy;
 
-    let sampl = Sampl::build(db, &spec, 3).expect("sample");
+    let sampl = Sampl::build(&db, &spec, 3).expect("sample");
     let sampl_answer = sampl
         .answer(&query.to_query_expr(&db.schema).unwrap())
         .expect("sampl answer");
-    let sampl_rc = rc_accuracy(&sampl_answer, &query, db, &cfg)
+    let sampl_rc = rc_accuracy(&sampl_answer, &query, &db, &cfg)
         .unwrap()
         .accuracy;
 
@@ -278,7 +278,7 @@ fn exact_ratio_shrinks_relative_to_growing_data() {
             .constraints(dataset.constraints)
             .build()
             .expect("catalog");
-        let mut q = SpcQueryBuilder::new(&engine.database().schema);
+        let mut q = SpcQueryBuilder::new(engine.schema());
         let c = q.atom("customer", "c").unwrap();
         let o = q.atom("orders", "o").unwrap();
         q.join((o, "o_custkey"), (c, "c_custkey")).unwrap();

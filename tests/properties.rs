@@ -18,7 +18,9 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-use beas::access::{build_extended, multilevel_partition};
+use beas::access::{
+    build_extended, build_extended_threaded, multilevel_partition, multilevel_partition_threaded,
+};
 use beas::prelude::*;
 use rand::prelude::*;
 
@@ -142,7 +144,7 @@ fn budget_and_eta_hold_on_random_data() {
             .build()
             .unwrap();
 
-        let mut b = SpcQueryBuilder::new(&engine.database().schema);
+        let mut b = SpcQueryBuilder::new(engine.schema());
         let h = b.atom("poi", "h").unwrap();
         b.bind_const(h, "type", "hotel").unwrap();
         b.bind_const(h, "city", "NYC").unwrap();
@@ -175,7 +177,7 @@ fn eta_monotone_in_alpha() {
             .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
             .build()
             .unwrap();
-        let mut b = SpcQueryBuilder::new(&engine.database().schema);
+        let mut b = SpcQueryBuilder::new(engine.schema());
         let h = b.atom("poi", "h").unwrap();
         b.bind_const(h, "type", "museum").unwrap();
         b.bind_const(h, "city", "LA").unwrap();
@@ -200,7 +202,7 @@ fn incremental_inserts_agree_with_rebuild_and_keep_bounds() {
     forall_seeds(16, |seed, rng| {
         let base = random_rows(rng, 15, 60);
         let constraint = || ConstraintSpec::new("poi", &["type", "city"], &["price"]);
-        let mut engine = Beas::builder(poi_db(&base))
+        let engine = Beas::builder(poi_db(&base))
             .constraint(constraint())
             .build()
             .unwrap();
@@ -224,7 +226,7 @@ fn incremental_inserts_agree_with_rebuild_and_keep_bounds() {
             .build()
             .unwrap();
 
-        let mut b = SpcQueryBuilder::new(&engine.database().schema);
+        let mut b = SpcQueryBuilder::new(engine.schema());
         let h = b.atom("poi", "h").unwrap();
         b.bind_const(h, "type", "hotel").unwrap();
         b.bind_const(h, "city", "NYC").unwrap();
@@ -297,6 +299,63 @@ fn extended_families_conform_before_and_after_absorb() {
                 assert!(covered, "seed {seed}: level {level} lost conformance");
             }
         }
+    });
+}
+
+/// Parallel index builds are byte-identical to sequential ones: the K-D tree
+/// partitioning and the extended-family construction return the same levels,
+/// resolutions and representatives for every thread count — so η bounds never
+/// depend on the machine's core count.
+#[test]
+fn parallel_index_build_is_byte_identical_to_sequential() {
+    forall_seeds(12, |seed, rng| {
+        let rows = random_rows(rng, 10, 150);
+        let db = poi_db(&rows);
+        let threads = *[2usize, 3, 5, 8].choose(rng).unwrap();
+
+        // raw K-D tree partitioning of one random numeric group
+        let tuples: Vec<Vec<Value>> = rows
+            .iter()
+            .map(|&(_, _, p)| vec![Value::Double(p as f64)])
+            .collect();
+        let seq_levels = multilevel_partition(&tuples, &[DistanceKind::Numeric]);
+        let par_levels = multilevel_partition_threaded(&tuples, &[DistanceKind::Numeric], threads);
+        assert_eq!(par_levels, seq_levels, "seed {seed}: partition differs");
+
+        // extended family build over grouped data
+        let seq_family = build_extended(&db, "poi", &["type", "city"], &["price"]).unwrap();
+        let par_family =
+            build_extended_threaded(&db, "poi", &["type", "city"], &["price"], threads).unwrap();
+        assert_eq!(par_family, seq_family, "seed {seed}: family differs");
+
+        // whole engines built at different thread counts answer identically
+        let constraint = || ConstraintSpec::new("poi", &["type", "city"], &["price"]);
+        let seq_engine = Beas::builder(db.clone())
+            .constraint(constraint())
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let par_engine = Beas::builder(db)
+            .constraint(constraint())
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let mut b = SpcQueryBuilder::new(seq_engine.schema());
+        let h = b.atom("poi", "h").unwrap();
+        b.bind_const(h, "type", "hotel").unwrap();
+        b.bind_const(h, "city", "NYC").unwrap();
+        b.output(h, "price", "price").unwrap();
+        let query: BeasQuery = b.build().unwrap().into();
+        let alpha = rng.gen_range(10u32..1000) as f64 / 1000.0;
+        let spec = ResourceSpec::ratio(alpha).unwrap();
+        let seq_answer = seq_engine.answer(&query, spec).unwrap();
+        let par_answer = par_engine.answer(&query, spec).unwrap();
+        assert_eq!(
+            seq_answer.answers, par_answer.answers,
+            "seed {seed}: answers differ at {threads} threads (α = {alpha})"
+        );
+        assert_eq!(seq_answer.eta, par_answer.eta, "seed {seed}");
+        assert_eq!(seq_answer.accessed, par_answer.accessed, "seed {seed}");
     });
 }
 
