@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use beas_relal::{Database, DistanceKind, Value};
+use beas_relal::{Database, DistanceKind, FxHashMap, Value};
 
 use crate::error::{AccessError, Result};
 use crate::family::{Level, Rep, TemplateFamily};
@@ -76,9 +76,9 @@ pub fn build_constraint(
     // X-value → Y-value → (multiplicity, per-attribute sums)
     type GroupStats = HashMap<Vec<Value>, (u64, Vec<Option<f64>>)>;
     let mut buckets: HashMap<Vec<Value>, GroupStats> = HashMap::new();
-    for row in &rel.rows {
-        let key: Vec<Value> = x_idx.iter().map(|&i| row[i].clone()).collect();
-        let yval: Vec<Value> = y_idx.iter().map(|&i| row[i].clone()).collect();
+    for r in 0..rel.len() {
+        let key: Vec<Value> = x_idx.iter().map(|&i| rel.value_at(r, i)).collect();
+        let yval: Vec<Value> = y_idx.iter().map(|&i| rel.value_at(r, i)).collect();
         let entry = buckets.entry(key).or_default();
         let stats = entry.entry(yval.clone()).or_insert_with(|| {
             (
@@ -96,7 +96,7 @@ pub fn build_constraint(
         }
     }
 
-    let mut out_buckets: HashMap<Vec<Value>, Vec<Rep>> = HashMap::new();
+    let mut out_buckets: FxHashMap<Vec<Value>, Vec<Rep>> = FxHashMap::default();
     let mut max_group = 0usize;
     for (key, group) in buckets {
         let mut reps: Vec<Rep> = group
@@ -177,11 +177,11 @@ fn build_family(
     }
     let rel = db.relation(relation)?;
 
-    // group Y-projections by X-value
+    // group Y-projections by X-value (gathered straight off the columns)
     let mut groups: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
-    for row in &rel.rows {
-        let key: Vec<Value> = x_idx.iter().map(|&i| row[i].clone()).collect();
-        let yval: Vec<Value> = y_idx.iter().map(|&i| row[i].clone()).collect();
+    for r in 0..rel.len() {
+        let key: Vec<Value> = x_idx.iter().map(|&i| rel.value_at(r, i)).collect();
+        let yval: Vec<Value> = y_idx.iter().map(|&i| rel.value_at(r, i)).collect();
         groups.entry(key).or_default().push(yval);
     }
     if groups.is_empty() {
@@ -193,7 +193,7 @@ fn build_family(
             levels: vec![Level {
                 n: 0,
                 resolution: vec![0.0; y_attrs.len()],
-                buckets: HashMap::new(),
+                buckets: FxHashMap::default(),
             }],
             from_constraint: false,
         });
@@ -221,7 +221,7 @@ fn build_family(
     // per-level representative tables are independent — assemble them across
     // threads too
     let levels = par_map((0..num_levels).collect(), threads, |k| {
-        let mut buckets: HashMap<Vec<Value>, Vec<Rep>> = HashMap::new();
+        let mut buckets: FxHashMap<Vec<Value>, Vec<Rep>> = FxHashMap::default();
         let mut resolution = vec![0.0f64; y_attrs.len()];
         let mut n = 0usize;
         for (key, group_levels) in &partitions {
@@ -365,7 +365,7 @@ mod tests {
         let key = vec![Value::from("hotel"), Value::from("NYC")];
         for (k, level) in f.levels.iter().enumerate() {
             let reps = f.lookup(k, &key).unwrap();
-            for row in &db.relation("poi").unwrap().rows {
+            for row in db.relation("poi").unwrap().rows() {
                 if row[type_i] == key[0] && row[city_i] == key[1] {
                     let covered = reps.iter().any(|r| {
                         (r.values[0].as_f64().unwrap() - row[price_i].as_f64().unwrap()).abs()

@@ -2,6 +2,8 @@
 //! index-size accounting used by Exp-4 (Fig. 6(k)) and the incremental
 //! maintenance hooks of component C2 (Fig. 2).
 
+use std::sync::Arc;
+
 use beas_relal::{Database, DatabaseSchema, DistanceKind, Row};
 
 use crate::builder::{build_at_threaded, AtOptions};
@@ -24,7 +26,10 @@ pub struct Catalog {
     /// families). Plan caches compare it to detect that a cached plan was
     /// generated against an older state of this catalog lineage.
     pub version: u64,
-    families: Vec<TemplateFamily>,
+    /// Families behind `Arc`s: cloning the catalog for a copy-on-write
+    /// update batch shares every family structurally, and `insert_row`
+    /// deep-copies only the families defined on the touched relation.
+    families: Vec<Arc<TemplateFamily>>,
 }
 
 impl Catalog {
@@ -59,18 +64,27 @@ impl Catalog {
 
     /// Adds a family and returns its id.
     pub fn add_family(&mut self, family: TemplateFamily) -> FamilyId {
-        self.families.push(family);
+        self.families.push(Arc::new(family));
         self.version += 1;
         self.families.len() - 1
     }
 
     /// The family with the given id.
     pub fn family(&self, id: FamilyId) -> Result<&TemplateFamily> {
+        self.families
+            .get(id)
+            .map(|f| f.as_ref())
+            .ok_or(AccessError::UnknownFamily(id))
+    }
+
+    /// The shared handle of the family with the given id (used to verify
+    /// structural sharing across copy-on-write clones).
+    pub fn family_arc(&self, id: FamilyId) -> Result<&Arc<TemplateFamily>> {
         self.families.get(id).ok_or(AccessError::UnknownFamily(id))
     }
 
     /// All families.
-    pub fn families(&self) -> &[TemplateFamily] {
+    pub fn families(&self) -> &[Arc<TemplateFamily>] {
         &self.families
     }
 
@@ -142,6 +156,9 @@ impl Catalog {
             )));
         }
         for family in self.families.iter_mut().filter(|f| f.relation == relation) {
+            // copy-on-write: only families on the touched relation detach
+            // from clones sharing this catalog's lineage
+            let family = Arc::make_mut(family);
             let mut xkey = Vec::with_capacity(family.x.len());
             for attr in &family.x {
                 xkey.push(row[rel_schema.attr_index(attr)?].clone());

@@ -11,9 +11,7 @@
 //! — this is what lets BEAS return exact answers for boundedly evaluable
 //! queries.
 
-use std::collections::HashMap;
-
-use beas_relal::{DistanceKind, Relation, Value};
+use beas_relal::{Column, DistanceKind, FxHashMap, Relation, Value};
 
 use crate::error::{AccessError, Result};
 
@@ -46,8 +44,9 @@ pub struct Level {
     pub n: usize,
     /// Per-Y-attribute resolution `d̄_Y`.
     pub resolution: Vec<f64>,
-    /// Index: X-value → representatives.
-    pub buckets: HashMap<Vec<Value>, Vec<Rep>>,
+    /// Index: X-value → representatives (fast-hashed: lookups are the hot
+    /// path of every fetch).
+    pub buckets: FxHashMap<Vec<Value>, Vec<Rep>>,
 }
 
 impl Level {
@@ -150,18 +149,60 @@ impl TemplateFamily {
     /// Materialises the fetch result for a set of X-keys at level `k`, without
     /// any budget accounting (used by tests and by [`FetchSession`]).
     ///
+    /// Columnar construction: each X-key value is interned/typed once and
+    /// repeated for all representatives under its key, Y values are appended
+    /// column by column, and the weight column is built directly as an
+    /// integer vector.
+    ///
     /// [`FetchSession`]: crate::fetch::FetchSession
     pub fn materialize(&self, k: usize, xkeys: &[Vec<Value>]) -> Result<Relation> {
-        let mut out = Relation::empty(self.output_columns());
-        for key in xkeys {
-            for rep in self.lookup(k, key)? {
-                let mut row = key.clone();
-                row.extend(rep.values.iter().cloned());
-                row.push(Value::Int(rep.count as i64));
-                out.rows.push(row);
+        let level = self.level(k)?;
+        let hits: Vec<(&Vec<Value>, &[Rep])> = xkeys
+            .iter()
+            .map(|key| {
+                let reps = level.buckets.get(key).map(|v| v.as_slice()).unwrap_or(&[]);
+                (key, reps)
+            })
+            .collect();
+        let total: usize = hits.iter().map(|(_, reps)| reps.len()).sum();
+
+        // type each column from the first materialised value (identical to
+        // push-typing, since that value would have typed the column anyway)
+        // so the exact capacity can be reserved up front
+        let first_hit = hits.iter().find(|(_, reps)| !reps.is_empty());
+        let mut cols: Vec<Column> = Vec::with_capacity(self.x.len() + self.y.len() + 1);
+        for j in 0..self.x.len() {
+            let mut col = match first_hit {
+                Some((key, _)) => Column::for_value(&key[j]),
+                None => Column::untyped(),
+            };
+            col.reserve(total);
+            for (key, reps) in &hits {
+                col.push_repeat(key[j].clone(), reps.len());
             }
+            cols.push(col);
         }
-        Ok(out)
+        for j in 0..self.y.len() {
+            let mut col = match first_hit {
+                Some((_, reps)) => Column::for_value(&reps[0].values[j]),
+                None => Column::untyped(),
+            };
+            col.reserve(total);
+            for (_, reps) in &hits {
+                for rep in *reps {
+                    col.push_ref(&rep.values[j]);
+                }
+            }
+            cols.push(col);
+        }
+        let mut weights: Vec<i64> = Vec::with_capacity(total);
+        for (_, reps) in &hits {
+            weights.extend(reps.iter().map(|r| r.count as i64));
+        }
+        cols.push(Column::Int(weights));
+
+        Ok(Relation::from_columns(self.output_columns(), cols)
+            .expect("per-column materialisation keeps all columns aligned"))
     }
 
     /// Component C2 (Fig. 2): absorbs one new base tuple into every level of
@@ -247,7 +288,7 @@ mod tests {
     use super::*;
 
     fn family_with_two_levels() -> TemplateFamily {
-        let mut coarse = HashMap::new();
+        let mut coarse = FxHashMap::default();
         coarse.insert(
             vec![Value::from("NYC")],
             vec![Rep {
@@ -256,7 +297,7 @@ mod tests {
                 sums: vec![Some(190.0)],
             }],
         );
-        let mut exact = HashMap::new();
+        let mut exact = FxHashMap::default();
         exact.insert(
             vec![Value::from("NYC")],
             vec![
@@ -328,7 +369,7 @@ mod tests {
         let rel = f.materialize(1, &[vec![Value::from("NYC")]]).unwrap();
         assert_eq!(rel.columns, vec!["city", "price", WEIGHT_COLUMN]);
         assert_eq!(rel.len(), 2);
-        assert_eq!(rel.rows[0].len(), 3);
+        assert_eq!(rel.row(0).len(), 3);
     }
 
     #[test]

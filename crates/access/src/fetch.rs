@@ -91,9 +91,9 @@ impl<'a> FetchSession<'a> {
         // dedupe keys to avoid double-counting accesses for repeated lookups
         let mut unique: Vec<Vec<Value>> = Vec::with_capacity(xkeys.len());
         {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = beas_relal::FxHashSet::default();
             for k in xkeys {
-                if seen.insert(k.clone()) {
+                if seen.insert(k) {
                     unique.push(k.clone());
                 }
             }

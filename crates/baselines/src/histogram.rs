@@ -59,7 +59,7 @@ impl Histo {
             size += rows.len();
             let mut columns = relation.columns.clone();
             columns.push(COUNT_COLUMN.to_string());
-            synopsis.insert_relation(name, Relation { columns, rows })?;
+            synopsis.insert_relation(name, Relation::new(columns, rows)?)?;
         }
         Ok(Histo { synopsis, size })
     }
@@ -79,9 +79,10 @@ fn build_histogram(relation: &Relation, kinds: &[DistanceKind], buckets: usize) 
         .collect();
     let mut lo = vec![f64::INFINITY; arity];
     let mut hi = vec![f64::NEG_INFINITY; arity];
-    for row in &relation.rows {
-        for &j in &numeric {
-            if let Some(v) = row[j].as_f64() {
+    for &j in &numeric {
+        let col = relation.col(j);
+        for i in 0..relation.len() {
+            if let Some(v) = col.f64_at(i) {
                 lo[j] = lo[j].min(v);
                 hi[j] = hi[j].max(v);
             }
@@ -93,10 +94,10 @@ fn build_histogram(relation: &Relation, kinds: &[DistanceKind], buckets: usize) 
 
     // group rows by their bucket key (numeric bucket ids + categorical values)
     let mut groups: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
-    for (i, row) in relation.rows.iter().enumerate() {
+    for i in 0..relation.len() {
         let mut key = Vec::with_capacity(numeric.len());
         for &j in &numeric {
-            let v = row[j].as_f64().unwrap_or(lo[j]);
+            let v = relation.col(j).f64_at(i).unwrap_or(lo[j]);
             let width = (hi[j] - lo[j]).max(f64::EPSILON);
             let b = (((v - lo[j]) / width) * per_dim as f64).floor() as u64;
             key.push(b.min(per_dim as u64 - 1));
@@ -116,19 +117,19 @@ fn build_histogram(relation: &Relation, kinds: &[DistanceKind], buckets: usize) 
             if numeric.contains(&j) {
                 let mean: f64 = members
                     .iter()
-                    .filter_map(|&i| relation.rows[i][j].as_f64())
+                    .filter_map(|&i| relation.col(j).f64_at(i))
                     .sum::<f64>()
                     / members.len() as f64;
                 rep.push(Value::Double(mean));
             } else {
-                let mut counts: HashMap<&Value, usize> = HashMap::new();
+                let mut counts: HashMap<Value, usize> = HashMap::new();
                 for &i in members {
-                    *counts.entry(&relation.rows[i][j]).or_insert(0) += 1;
+                    *counts.entry(relation.value_at(i, j)).or_insert(0) += 1;
                 }
                 let most = counts
                     .into_iter()
                     .max_by_key(|(_, c)| *c)
-                    .map(|(v, _)| v.clone())
+                    .map(|(v, _)| v)
                     .unwrap_or(Value::Null);
                 rep.push(most);
             }
@@ -190,14 +191,15 @@ impl Baseline for Histo {
                         .chain(std::iter::once("__weight".to_string()))
                         .collect(),
                 );
-                for row in &rel.rows {
+                for r in 0..rel.len() {
                     let w: f64 = count_cols
                         .iter()
-                        .map(|&i| row[i].as_f64().unwrap_or(1.0))
+                        .map(|&i| rel.col(i).f64_at(r).unwrap_or(1.0))
                         .product();
-                    let mut new_row: Vec<Value> = keep.iter().map(|&i| row[i].clone()).collect();
+                    let mut new_row: Vec<Value> =
+                        keep.iter().map(|&i| rel.value_at(r, i)).collect();
                     new_row.push(Value::Double(w));
-                    weighted.rows.push(new_row);
+                    weighted.push_row_unchecked(new_row);
                 }
                 rel = weighted;
                 let mut gq2 = gq.clone();
@@ -257,7 +259,7 @@ mod tests {
         // synopsis rows carry the count column
         let rel = h.synopsis().relation("orders").unwrap();
         assert_eq!(rel.arity(), 4);
-        let total: f64 = rel.rows.iter().map(|r| r[3].as_f64().unwrap()).sum();
+        let total: f64 = rel.rows().map(|r| r[3].as_f64().unwrap()).sum();
         assert_eq!(total, 1000.0, "bucket counts partition the relation");
     }
 
@@ -274,7 +276,7 @@ mod tests {
             .project(vec![("total".into(), "o.total".into())]);
         let approx = h.answer(&QueryExpr::Ra(expr)).unwrap();
         // representatives returned must themselves satisfy the predicate
-        for row in &approx.rows {
+        for row in approx.rows() {
             assert!(row[0].as_f64().unwrap() <= 30.0 + 1e-9);
         }
     }
@@ -294,7 +296,7 @@ mod tests {
             "n",
         );
         let approx = h.answer(&QueryExpr::Aggregate(gq)).unwrap();
-        let total: f64 = approx.rows.iter().map(|r| r[1].as_f64().unwrap()).sum();
+        let total: f64 = approx.rows().map(|r| r[1].as_f64().unwrap()).sum();
         assert!(
             (total - 800.0).abs() < 1e-6,
             "bucket counts preserve totals, got {total}"
@@ -318,7 +320,7 @@ mod tests {
         let approx = h.answer(&QueryExpr::Aggregate(gq)).unwrap();
         assert_eq!(approx.len(), 1);
         // bucket means cannot exceed the true maximum
-        assert!(approx.rows[0][0].as_f64().unwrap() <= 109.0 + 1e-9);
+        assert!(approx.value_at(0, 0).as_f64().unwrap() <= 109.0 + 1e-9);
     }
 
     #[test]

@@ -65,15 +65,26 @@ pub(crate) fn resolve_budget(db: &Database, spec: &ResourceSpec) -> Result<usize
 /// `factor` (used by the sampling-based baselines to extrapolate from the
 /// sample to the full data).
 pub(crate) fn scale_aggregate_column(rel: &mut Relation, column: &str, factor: f64) {
+    use beas_relal::{Column, Value};
     if factor == 1.0 {
         return;
     }
     if let Ok(idx) = rel.column_index(column) {
-        for row in &mut rel.rows {
-            if let Some(v) = row[idx].as_f64() {
-                row[idx] = beas_relal::Value::Double(v * factor);
-            }
-        }
+        let scaled = match rel.col(idx) {
+            Column::Int(v) => Column::Float(v.iter().map(|&x| x as f64 * factor).collect()),
+            Column::Float(v) => Column::Float(v.iter().map(|&x| x * factor).collect()),
+            Column::Mixed(v) => Column::Mixed(
+                v.iter()
+                    .map(|val| match val.as_f64() {
+                        Some(x) => Value::Double(x * factor),
+                        None => val.clone(),
+                    })
+                    .collect(),
+            ),
+            // non-numeric columns have no numeric values to scale
+            Column::Bool(_) | Column::Str { .. } => return,
+        };
+        *rel.col_mut(idx) = scaled;
     }
 }
 
@@ -93,10 +104,10 @@ mod tests {
         )
         .unwrap();
         scale_aggregate_column(&mut rel, "n", 2.0);
-        assert_eq!(rel.rows[0][1], Value::Double(6.0));
-        assert_eq!(rel.rows[1][1], Value::Double(10.0));
+        assert_eq!(rel.value_at(0, 1), Value::Double(6.0));
+        assert_eq!(rel.value_at(1, 1), Value::Double(10.0));
         // unknown column: no-op
         scale_aggregate_column(&mut rel, "zzz", 10.0);
-        assert_eq!(rel.rows[0][1], Value::Double(6.0));
+        assert_eq!(rel.value_at(0, 1), Value::Double(6.0));
     }
 }

@@ -50,11 +50,7 @@ impl Sampl {
             indices.shuffle(&mut rng);
             indices.truncate(take);
             indices.sort_unstable();
-            let rows = indices.iter().map(|&i| relation.rows[i].clone()).collect();
-            let sampled = Relation {
-                columns: relation.columns.clone(),
-                rows,
-            };
+            let sampled = relation.take_rows(&indices);
             size += sampled.len();
             inverse_rates.insert(name.to_string(), relation.len() as f64 / take as f64);
             sample.insert_relation(name, sampled)?;
@@ -144,13 +140,13 @@ mod tests {
         assert!(s1.synopsis_size() <= 51);
         assert!(s1.synopsis_size() >= 45);
         assert_eq!(
-            s1.sample().relation("orders").unwrap().rows,
-            s2.sample().relation("orders").unwrap().rows
+            s1.sample().relation("orders").unwrap(),
+            s2.sample().relation("orders").unwrap()
         );
         let s3 = Sampl::build(&db, &ResourceSpec::Tuples(50), 8).unwrap();
         assert_ne!(
-            s1.sample().relation("orders").unwrap().rows,
-            s3.sample().relation("orders").unwrap().rows
+            s1.sample().relation("orders").unwrap(),
+            s3.sample().relation("orders").unwrap()
         );
     }
 
@@ -165,8 +161,8 @@ mod tests {
             .project(vec![("id".into(), "o.id".into())]);
         let approx = s.answer(&QueryExpr::Ra(expr.clone())).unwrap();
         let exact = eval_set(&expr, &database).unwrap();
-        let exact_ids: std::collections::HashSet<_> = exact.rows.into_iter().collect();
-        assert!(approx.rows.iter().all(|r| exact_ids.contains(r)));
+        let exact_ids: std::collections::HashSet<_> = exact.to_rows().into_iter().collect();
+        assert!(approx.rows().all(|r| exact_ids.contains(&r)));
         assert!(approx.len() <= exact_ids.len());
     }
 
@@ -187,7 +183,7 @@ mod tests {
         let approx = s.answer(&QueryExpr::Aggregate(gq)).unwrap();
         // exact counts: 250 open, 750 closed; the scaled estimate should land
         // in the right ballpark (within a factor of 2)
-        for row in &approx.rows {
+        for row in approx.rows() {
             let n = row[1].as_f64().unwrap();
             let expected = if row[0] == Value::from("open") {
                 250.0
@@ -216,7 +212,7 @@ mod tests {
             "m",
         );
         let approx = s.answer(&QueryExpr::Aggregate(gq)).unwrap();
-        for row in &approx.rows {
+        for row in approx.rows() {
             let m = row[1].as_f64().unwrap();
             assert!(m <= 409.0 + 1e-9, "max cannot exceed the true maximum");
         }

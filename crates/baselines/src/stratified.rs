@@ -89,7 +89,7 @@ impl BlinkSim {
             size += rows.len();
             let mut columns = relation.columns.clone();
             columns.push(RATE_COLUMN.to_string());
-            synopsis.insert_relation(name, Relation { columns, rows })?;
+            synopsis.insert_relation(name, Relation::new(columns, rows)?)?;
         }
         Ok(BlinkSim { synopsis, size })
     }
@@ -114,8 +114,8 @@ fn stratified_rows(
         .map(|c| relation.column_index(c))
         .collect::<Result<_>>()?;
     let mut strata: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    for (i, row) in relation.rows.iter().enumerate() {
-        let key: Vec<Value> = idx.iter().map(|&j| row[j].clone()).collect();
+    for i in 0..relation.len() {
+        let key: Vec<Value> = idx.iter().map(|&j| relation.value_at(i, j)).collect();
         strata.entry(key).or_default().push(i);
     }
     let k = (share / strata.len().max(1)).max(1);
@@ -130,7 +130,7 @@ fn stratified_rows(
         picked.sort_unstable();
         let rate = members.len() as f64 / picked.len() as f64;
         for &i in &picked {
-            let mut row = relation.rows[i].clone();
+            let mut row = relation.row(i);
             row.push(Value::Double(rate));
             out.push(row);
         }
@@ -148,7 +148,7 @@ fn uniform_rows(relation: &Relation, share: usize, rng: &mut StdRng) -> Vec<Vec<
     indices
         .iter()
         .map(|&i| {
-            let mut row = relation.rows[i].clone();
+            let mut row = relation.row(i);
             row.push(Value::Double(rate));
             row
         })
@@ -193,14 +193,15 @@ impl Baseline for BlinkSim {
                         .chain(std::iter::once("__weight".to_string()))
                         .collect(),
                 );
-                for row in &rel.rows {
+                for r in 0..rel.len() {
                     let w: f64 = rate_cols
                         .iter()
-                        .map(|&i| row[i].as_f64().unwrap_or(1.0))
+                        .map(|&i| rel.col(i).f64_at(r).unwrap_or(1.0))
                         .product();
-                    let mut new_row: Vec<Value> = keep.iter().map(|&i| row[i].clone()).collect();
+                    let mut new_row: Vec<Value> =
+                        keep.iter().map(|&i| rel.value_at(r, i)).collect();
                     new_row.push(Value::Double(w));
-                    weighted.rows.push(new_row);
+                    weighted.push_row_unchecked(new_row);
                 }
                 let mut gq2 = gq.clone();
                 if matches!(gq.agg, AggFunc::Count | AggFunc::Sum | AggFunc::Avg) {
@@ -264,8 +265,7 @@ mod tests {
         .unwrap();
         let rel = b.synopsis().relation("orders").unwrap();
         let statuses: std::collections::HashSet<String> = rel
-            .rows
-            .iter()
+            .rows()
             .map(|r| r[1].as_str().unwrap().to_string())
             .collect();
         assert!(
@@ -298,7 +298,7 @@ mod tests {
         );
         let approx = b.answer(&QueryExpr::Aggregate(gq)).unwrap();
         let mut by_status: HashMap<String, f64> = HashMap::new();
-        for row in &approx.rows {
+        for row in approx.rows() {
             by_status.insert(
                 row[0].as_str().unwrap().to_string(),
                 row[1].as_f64().unwrap(),
@@ -332,8 +332,8 @@ mod tests {
             ]);
         let approx = b.answer(&QueryExpr::Ra(expr.clone())).unwrap();
         let exact = eval_set(&expr, &database).unwrap();
-        let exact_set: std::collections::HashSet<_> = exact.rows.into_iter().collect();
-        assert!(approx.rows.iter().all(|r| exact_set.contains(r)));
+        let exact_set: std::collections::HashSet<_> = exact.to_rows().into_iter().collect();
+        assert!(approx.rows().all(|r| exact_set.contains(&r)));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Writes a small JSON perf snapshot of the two serving-critical benchmarks
+//! (`plan_execution` and `concurrent_serving`) with short, fixed iteration
+//! counts — a CI-friendly smoke run whose output (`BENCH_pr3.json` by
+//! default) gives future changes a wall-clock trajectory to compare against.
+//!
+//! ```text
+//! cargo run --release -p beas-bench --bin perf_snapshot -- [OUT.json]
+//! ```
+//!
+//! The snapshot records mean/min wall-clock per measurement plus the answer
+//! digest of the concurrent run, so a regression in either speed *or*
+//! results is visible from the artifact alone.
+
+use std::time::Instant;
+
+use beas_bench::harness::{
+    measure_concurrent_serving, prepare, prepare_with_threads, BenchProfile,
+};
+use beas_core::ResourceSpec;
+use beas_workloads::tpch::tpch_lite;
+
+/// One named measurement: mean and min seconds over `iters` runs.
+struct Sample {
+    name: String,
+    mean_s: f64,
+    min_s: f64,
+    extra: Vec<(String, String)>,
+}
+
+fn measure(name: &str, iters: usize, mut f: impl FnMut()) -> Sample {
+    // one warmup iteration, then `iters` timed ones
+    f();
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        let s = t.elapsed().as_secs_f64();
+        total += s;
+        min = min.min(s);
+    }
+    Sample {
+        name: name.to_string(),
+        mean_s: total / iters as f64,
+        min_s: min,
+        extra: Vec::new(),
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    const ITERS: usize = 5;
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // ------------------------------------------------ plan_execution (bounded)
+    for scale in [1usize, 3] {
+        let profile = BenchProfile {
+            scale,
+            queries: 5,
+            ..BenchProfile::quick()
+        };
+        let prep = prepare(tpch_lite(scale, 42), &profile);
+        let plans: Vec<_> = prep
+            .queries
+            .iter()
+            .filter_map(|q| prep.beas.plan(&q.query, ResourceSpec::Ratio(0.05)).ok())
+            .collect();
+        samples.push(measure(
+            &format!("plan_execution/bounded/{scale}"),
+            ITERS,
+            || {
+                for plan in &plans {
+                    let out = prep.beas.execute(plan).expect("execute");
+                    std::hint::black_box(out.answers.len());
+                }
+            },
+        ));
+    }
+
+    // --------------------------------------------------- concurrent_serving
+    let profile = BenchProfile::quick();
+    let prep = prepare_with_threads(tpch_lite(2, profile.seed), &profile, Some(1));
+    let spec = ResourceSpec::Ratio(0.05);
+    const ROUNDS: usize = 10;
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for clients in [1usize, available.max(2)] {
+        let mut digest = 0u64;
+        let mut s = measure(
+            &format!("concurrent_serving/serve/{clients}-clients"),
+            ITERS,
+            || {
+                let run = measure_concurrent_serving(&prep, spec, clients, ROUNDS);
+                digest = run.digest;
+            },
+        );
+        s.extra
+            .push(("digest".to_string(), format!("\"{digest:016x}\"")));
+        samples.push(s);
+    }
+
+    // --------------------------------------------------------------- output
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_s\": {:.6}, \"min_s\": {:.6}",
+            s.name, s.mean_s, s.min_s
+        ));
+        for (k, v) in &s.extra {
+            json.push_str(&format!(", \"{k}\": {v}"));
+        }
+        json.push('}');
+        json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

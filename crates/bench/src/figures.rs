@@ -431,8 +431,9 @@ pub fn fig_concurrency(profile: &BenchProfile) -> Table {
 
     let mut table = Table::new(
         format!(
-            "TPCH: concurrent serving and parallel build, varying threads (spec = {spec}, |D| = {})",
-            prep.size()
+            "TPCH: concurrent serving and parallel build, varying threads (spec = {spec}, |D| = {}, min_shard_rows = {})",
+            prep.size(),
+            beas_core::DEFAULT_MIN_SHARD_ROWS
         ),
         vec![
             "threads",

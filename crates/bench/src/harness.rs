@@ -527,7 +527,7 @@ impl ServingRun {
 
 /// Order-independent digest of one answer relation (rows are sorted first).
 fn digest_relation(rel: &beas_relal::Relation) -> u64 {
-    let mut rows: Vec<_> = rel.rows.iter().collect();
+    let mut rows = rel.to_rows();
     rows.sort();
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     rel.columns.hash(&mut hasher);

@@ -144,8 +144,13 @@ pub fn relax_ra(expr: &RaExpr, r: f64) -> RaExpr {
 
 /// Coverage distance of one exact answer `t` w.r.t. the approximate answers.
 pub fn coverage_distance(kinds: &[DistanceKind], approx: &Relation, t: &Row) -> f64 {
+    coverage_distance_rows(kinds, &approx.to_rows(), t)
+}
+
+/// [`coverage_distance`] over already-materialised answer rows (callers that
+/// loop over many `t`s materialise the approximate side once).
+fn coverage_distance_rows(kinds: &[DistanceKind], approx: &[Row], t: &Row) -> f64 {
     approx
-        .rows
         .iter()
         .map(|s| row_distance(kinds, s, t))
         .fold(f64::INFINITY, f64::min)
@@ -211,6 +216,11 @@ fn rc_for_rows(
     cfg: &AccuracyConfig,
     group_cols: Option<usize>,
 ) -> Result<RcReport> {
+    // rows are materialised once at this boundary; every pairwise loop below
+    // runs over the same two row sets
+    let approx_rows = approx.to_rows();
+    let exact_rows = exact.to_rows();
+
     // ------------------------------------------------------------------ coverage
     let max_cov = if exact.is_empty() {
         0.0 // F_cov = 1 when Q(D) = ∅ (paper's special case (1))
@@ -218,17 +228,16 @@ fn rc_for_rows(
         f64::INFINITY // F_cov = 0 when S = ∅ but Q(D) ≠ ∅ (special case (2))
     } else {
         let mut worst: f64 = 0.0;
-        for t in &exact.rows {
+        for t in &exact_rows {
             let d = match (group_cols, query) {
                 (Some(g), BeasQuery::Aggregate(agg)) if !agg.agg.is_extremum() => {
                     // d_agg(s, t) = max_{A ∈ X} dis_A(s[A], t[A]) + |t[V] − s[V]|
-                    approx
-                        .rows
+                    approx_rows
                         .iter()
                         .map(|s| agg_coverage_distance(kinds, g, s, t))
                         .fold(f64::INFINITY, f64::min)
                 }
-                _ => coverage_distance(kinds, approx, t),
+                _ => coverage_distance_rows(kinds, &approx_rows, t),
             };
             worst = worst.max(d);
         }
@@ -253,8 +262,7 @@ fn rc_for_rows(
         let has_duplicate_keys = if duplicate_penalty {
             let g = group_cols.unwrap_or(0);
             let mut seen = HashSet::new();
-            approx
-                .rows
+            approx_rows
                 .iter()
                 .any(|r| !seen.insert(r[..g.min(r.len())].to_vec()))
         } else {
@@ -263,13 +271,11 @@ fn rc_for_rows(
         if has_duplicate_keys {
             f64::INFINITY
         } else {
-            let projected_approx: Vec<Row> = approx
-                .rows
+            let projected_approx: Vec<Row> = approx_rows
                 .iter()
                 .map(|r| r[..rel_cols.min(r.len())].to_vec())
                 .collect();
-            let projected_exact: Vec<Row> = exact
-                .rows
+            let projected_exact: Vec<Row> = exact_rows
                 .iter()
                 .map(|r| r[..rel_cols.min(r.len())].to_vec())
                 .collect();
@@ -363,8 +369,7 @@ fn relevance_distances(
             continue;
         }
         let projected: Vec<Row> = answers
-            .rows
-            .iter()
+            .rows()
             .map(|row| row[..rel_cols.min(row.len())].to_vec())
             .collect();
         for (s, b) in approx.iter().zip(best.iter_mut()) {
@@ -401,12 +406,14 @@ pub fn mac_accuracy(approx: &Relation, exact: &Relation, kinds: &[DistanceKind])
         return 0.0;
     }
     let arity = kinds.len();
+    let exact_rows = exact.to_rows();
+    let approx_rows = approx.to_rows();
     // per-attribute normalisation ranges over both sets
     let mut ranges = vec![0.0f64; arity];
     for (j, range) in ranges.iter_mut().enumerate() {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for row in exact.rows.iter().chain(approx.rows.iter()) {
+        for row in exact_rows.iter().chain(approx_rows.iter()) {
             if let Some(v) = row.get(j).and_then(|v| v.as_f64()) {
                 lo = lo.min(v);
                 hi = hi.max(v);
@@ -429,20 +436,18 @@ pub fn mac_accuracy(approx: &Relation, exact: &Relation, kinds: &[DistanceKind])
         }
         total / arity as f64
     };
-    let dir = |from: &Relation, to: &Relation| -> f64 {
+    let dir = |from: &[Row], to: &[Row]| -> f64 {
         let sum: f64 = from
-            .rows
             .iter()
             .map(|a| {
-                to.rows
-                    .iter()
+                to.iter()
                     .map(|b| norm_dist(a, b))
                     .fold(f64::INFINITY, f64::min)
             })
             .sum();
         sum / from.len() as f64
     };
-    let d = 0.5 * (dir(exact, approx) + dir(approx, exact));
+    let d = 0.5 * (dir(&exact_rows, &approx_rows) + dir(&approx_rows, &exact_rows));
     (1.0 - d).clamp(0.0, 1.0)
 }
 
@@ -457,12 +462,9 @@ pub fn f_measure(approx: &Relation, exact: &Relation) -> FMeasure {
             f1: 0.0,
         };
     }
-    let exact_set: HashSet<&Row> = exact.rows.iter().collect();
-    let approx_set: HashSet<&Row> = approx.rows.iter().collect();
-    let inter = approx_set
-        .iter()
-        .filter(|r| exact_set.contains(**r))
-        .count() as f64;
+    let exact_set: HashSet<Row> = exact.rows().collect();
+    let approx_set: HashSet<Row> = approx.rows().collect();
+    let inter = approx_set.iter().filter(|r| exact_set.contains(*r)).count() as f64;
     let precision = inter / approx_set.len() as f64;
     let recall = inter / exact_set.len() as f64;
     let f1 = if precision + recall == 0.0 {
@@ -491,10 +493,10 @@ pub fn coverage_ratio(approx: &Relation, exact: &Relation, kinds: &[DistanceKind
     if approx.is_empty() {
         return 0.0;
     }
+    let approx_rows = approx.to_rows();
     let worst = exact
-        .rows
-        .iter()
-        .map(|t| coverage_distance(kinds, approx, t))
+        .rows()
+        .map(|t| coverage_distance_rows(kinds, &approx_rows, &t))
         .fold(0.0f64, f64::max);
     ratio_of_distance(worst)
 }

@@ -484,6 +484,11 @@ impl Beas {
     /// incremental index maintenance path, and publishes the result with one
     /// atomic snapshot swap. A bad row leaves the engine untouched; readers
     /// are never blocked. Returns the number of rows applied.
+    ///
+    /// The copy-on-write is *structural*: database relations and catalog
+    /// families sit behind `Arc`s, so cloning the state shares everything and
+    /// only the relations/families of the relations named in the batch are
+    /// deep-copied — a small batch costs O(touched relation), not O(|D|).
     pub fn apply_update(&self, batch: &UpdateBatch) -> Result<usize> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let snapshot = self.snapshot();
@@ -799,9 +804,10 @@ mod tests {
         let cheap_exact = beas.exact_answers(&BeasQuery::Ra(cheap)).unwrap();
         for alpha in [0.05, 0.2, 1.0] {
             let answer = beas.answer(&q, ResourceSpec::Ratio(alpha)).unwrap();
-            for row in &answer.answers.rows {
+            let excluded = cheap_exact.to_rows();
+            for row in answer.answers.rows() {
                 assert!(
-                    !cheap_exact.rows.contains(row),
+                    !excluded.contains(&row),
                     "excluded tuple {row:?} returned at α={alpha}"
                 );
             }
@@ -949,7 +955,49 @@ mod tests {
         let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
         let truth = beas.exact_answers(&q).unwrap();
         assert_eq!(answer.answers.clone().sorted(), truth.sorted());
-        assert!(answer.answers.rows.contains(&vec![Value::from("NYC")]));
+        assert!(answer.answers.rows().any(|r| r == vec![Value::from("NYC")]));
+    }
+
+    #[test]
+    fn apply_update_shares_untouched_relations_and_families() {
+        use std::sync::Arc as StdArc;
+        let beas = engine(150);
+        let before = beas.snapshot();
+
+        // a batch touching only `friend`
+        let batch = UpdateBatch::new().insert("friend", vec![Value::Int(1), Value::Int(777)]);
+        beas.apply_update(&batch).unwrap();
+        let after = beas.snapshot();
+
+        // untouched relations are structurally shared with the old snapshot…
+        for rel in ["person", "poi"] {
+            assert!(
+                StdArc::ptr_eq(
+                    before.database().relation_arc(rel).unwrap(),
+                    after.database().relation_arc(rel).unwrap()
+                ),
+                "{rel} must be shared, not deep-copied"
+            );
+        }
+        // …while the touched one detached
+        assert!(!StdArc::ptr_eq(
+            before.database().relation_arc("friend").unwrap(),
+            after.database().relation_arc("friend").unwrap()
+        ));
+
+        // same for catalog families: only families on `friend` detach
+        for id in 0..before.catalog().len() {
+            let fam = before.catalog().family(id).unwrap();
+            let shared = StdArc::ptr_eq(
+                before.catalog().family_arc(id).unwrap(),
+                after.catalog().family_arc(id).unwrap(),
+            );
+            if fam.relation == "friend" {
+                assert!(!shared, "family {id} on friend must detach");
+            } else {
+                assert!(shared, "family {id} on {} must stay shared", fam.relation);
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::collections::HashMap;
 use beas_access::{Catalog, FetchSession, ResourceSpec, WEIGHT_COLUMN};
 use beas_relal::{
     aggregate_relation, eval_bag, eval_set, CompareOp, GroupByQuery, Predicate, PredicateAtom,
-    RaExpr, Relation, Row, SelCond, SpcQuery, Value,
+    RaExpr, Relation, SelCond, SpcQuery, Value,
 };
 
 use crate::error::{BeasError, Result};
@@ -50,6 +50,13 @@ pub struct ExecutionOutcome {
     pub fetches: usize,
 }
 
+/// Default for [`ExecOptions::min_shard_rows`]: the smallest sharded-atom row
+/// count for which parallel leaf evaluation is engaged. Below it, thread
+/// spawn overhead dominates the evaluation work on typical hardware; override
+/// it per execution (e.g. from a startup calibration) via
+/// [`ExecOptions::with_min_shard_rows`].
+pub const DEFAULT_MIN_SHARD_ROWS: usize = 64;
+
 /// Execution knobs: the enforced budget and the shard parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
@@ -59,6 +66,10 @@ pub struct ExecOptions {
     /// Number of threads for sharded leaf evaluation (1 = sequential). The
     /// answers are identical for every value — see the module docs.
     pub threads: usize,
+    /// Minimum number of rows in the sharded atom relation before a leaf is
+    /// evaluated in parallel (defaults to [`DEFAULT_MIN_SHARD_ROWS`]).
+    /// Thread count and threshold never affect answers, only wall-clock.
+    pub min_shard_rows: usize,
 }
 
 impl Default for ExecOptions {
@@ -66,6 +77,7 @@ impl Default for ExecOptions {
         ExecOptions {
             budget: None,
             threads: 1,
+            min_shard_rows: DEFAULT_MIN_SHARD_ROWS,
         }
     }
 }
@@ -75,13 +87,20 @@ impl ExecOptions {
     pub fn budgeted(budget: usize) -> Self {
         ExecOptions {
             budget: Some(budget),
-            threads: 1,
+            ..ExecOptions::default()
         }
     }
 
     /// Sets the shard parallelism.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the minimum sharded-atom size for parallel leaf evaluation
+    /// (clamped to at least 1).
+    pub fn with_min_shard_rows(mut self, rows: usize) -> Self {
+        self.min_shard_rows = rows.max(1);
         self
     }
 }
@@ -123,7 +142,14 @@ pub fn execute_plan_with_budget(
     catalog: &Catalog,
     budget: Option<usize>,
 ) -> Result<ExecutionOutcome> {
-    execute_plan_with_options(plan, catalog, ExecOptions { budget, threads: 1 })
+    execute_plan_with_options(
+        plan,
+        catalog,
+        ExecOptions {
+            budget,
+            ..ExecOptions::default()
+        },
+    )
 }
 
 /// Executes `plan` with explicit [`ExecOptions`] (budget enforcement and
@@ -168,14 +194,14 @@ pub fn execute_plan_with_options(
                     }
                 }
                 let mut keys = Vec::with_capacity(input_rel.len());
-                for row in &input_rel.rows {
+                for row in 0..input_rel.len() {
                     let key: Vec<Value> = node
                         .key_sources
                         .iter()
                         .zip(col_idx.iter())
                         .map(|(k, idx)| match (k, idx) {
                             (KeySource::Const(v), _) => v.clone(),
-                            (KeySource::Column(_), Some(i)) => row[*i].clone(),
+                            (KeySource::Column(_), Some(i)) => input_rel.value_at(row, *i),
                             (KeySource::Column(_), None) => unreachable!(),
                         })
                         .collect();
@@ -204,13 +230,13 @@ pub fn execute_plan_with_options(
             catalog,
             &node_outputs,
             want_weights,
-            options.threads,
+            &options,
         )?;
         // canonical row order: makes the downstream composition (including
         // the accumulation order of weighted aggregate sums) independent of
         // both sharding and join order
         if want_weights {
-            rel.rows.sort();
+            rel.sort_rows();
         }
         leaf_results.push(rel);
         let out_res = output_resolutions(leaf, leaf_plan, plan, catalog)?;
@@ -308,15 +334,10 @@ pub fn execute_plan_with_options(
 // leaf evaluation
 // --------------------------------------------------------------------------
 
-/// Minimum number of rows in the sharded atom relation before the leaf is
-/// evaluated in parallel: below this, thread spawn overhead dominates the
-/// actual evaluation work.
-const MIN_SHARD_ROWS: usize = 64;
-
 /// Evaluates one SPC leaf over its fetched atom relations, applying the
 /// targeted relaxation of selection conditions (Sec. 5, "Evaluation plan ξ_E")
-/// — across `threads` row shards of the largest atom relation when the input
-/// is big enough (see the module docs).
+/// — across [`ExecOptions::threads`] row shards of the largest atom relation
+/// when the input is big enough (see the module docs).
 #[allow(clippy::too_many_arguments)]
 fn evaluate_leaf(
     leaf: &SpcQuery,
@@ -325,7 +346,7 @@ fn evaluate_leaf(
     catalog: &Catalog,
     node_outputs: &[Relation],
     want_weights: bool,
-    threads: usize,
+    options: &ExecOptions,
 ) -> Result<Relation> {
     let schema = &catalog.schema;
     let res = |pos: beas_relal::Position| -> Result<f64> {
@@ -437,7 +458,7 @@ fn evaluate_leaf(
     }
     let expr = expr.project(proj);
 
-    let rel = eval_leaf_expr(&expr, &mut overlay, want_weights, threads)?;
+    let rel = eval_leaf_expr(&expr, &mut overlay, want_weights, options)?;
     if want_weights {
         Ok(combine_weights(rel, leaf.output.len()))
     } else {
@@ -446,14 +467,15 @@ fn evaluate_leaf(
 }
 
 /// Evaluates a leaf expression over its fetched overlay, sharding the largest
-/// atom relation across `threads` scoped threads when it is big enough. The
-/// overlay is mutable so the shard target's rows can be *moved* into the
-/// shards (no per-answer deep copy of the largest fetched relation).
+/// atom relation across [`ExecOptions::threads`] scoped threads when it is
+/// big enough. The overlay is mutable so the shard target's columns can be
+/// *moved* into the shards: each shard takes a contiguous range of every
+/// typed column vector (string dictionaries are `Arc`-shared, not copied).
 fn eval_leaf_expr(
     expr: &RaExpr,
     overlay: &mut HashMap<String, Relation>,
     want_weights: bool,
-    threads: usize,
+    options: &ExecOptions,
 ) -> Result<Relation> {
     // the shard target: the atom relation with the most rows
     let shard_target = overlay
@@ -464,26 +486,24 @@ fn eval_leaf_expr(
         Some((name, rows)) => (name, rows),
         None => return eval_any(expr, &*overlay, want_weights),
     };
-    let threads = threads.max(1).min(rows / MIN_SHARD_ROWS.max(1) + 1);
+    let threads = options
+        .threads
+        .max(1)
+        .min(rows / options.min_shard_rows.max(1) + 1);
     if threads <= 1 || rows < 2 {
         return eval_any(expr, &*overlay, want_weights);
     }
 
-    // move the target's rows out of the overlay and split them zero-copy;
-    // the shard provider serves them back under the same name
-    let base = overlay
+    // move the target out of the overlay and split it per column, range by
+    // range; the shard provider serves the ranges back under the same name
+    let mut remaining = overlay
         .remove(&shard_name)
         .expect("shard target chosen from the overlay");
-    let columns = base.columns;
     let chunk_size = rows.div_ceil(threads);
-    let mut remaining = base.rows;
     let mut shards: Vec<Relation> = Vec::with_capacity(threads);
     while !remaining.is_empty() {
         let rest = remaining.split_off(remaining.len().min(chunk_size));
-        shards.push(Relation {
-            columns: columns.clone(),
-            rows: std::mem::replace(&mut remaining, rest),
-        });
+        shards.push(std::mem::replace(&mut remaining, rest));
     }
     let overlay = &*overlay;
 
@@ -558,25 +578,29 @@ impl beas_relal::RelationProvider for ShardProvider<'_> {
 }
 
 /// Replaces the per-atom weight columns by a single combined weight column
-/// (the product of the per-atom representative counts).
+/// (the product of the per-atom representative counts). Columnar: the output
+/// columns are moved over unchanged and the combined weights are computed
+/// into one fresh `f64` column.
 fn combine_weights(rel: Relation, output_cols: usize) -> Relation {
-    let mut out = Relation::empty(
-        rel.columns[..output_cols]
-            .iter()
-            .cloned()
-            .chain(std::iter::once(WEIGHT_COLUMN.to_string()))
-            .collect(),
-    );
-    for row in rel.rows {
-        let weight: f64 = row[output_cols..]
-            .iter()
-            .map(|v| v.as_f64().unwrap_or(1.0).max(0.0))
-            .product();
-        let mut new_row: Row = row[..output_cols].to_vec();
-        new_row.push(Value::Double(weight));
-        out.rows.push(new_row);
+    let n = rel.len();
+    let mut weights: Vec<f64> = Vec::with_capacity(n);
+    for i in 0..n {
+        weights.push(
+            rel.cols()[output_cols..]
+                .iter()
+                .map(|c| c.f64_at(i).unwrap_or(1.0).max(0.0))
+                .product(),
+        );
     }
-    out
+    let (names, cols) = rel.into_parts();
+    let out_names: Vec<String> = names[..output_cols]
+        .iter()
+        .cloned()
+        .chain(std::iter::once(WEIGHT_COLUMN.to_string()))
+        .collect();
+    let mut out_cols: Vec<beas_relal::Column> = cols.into_iter().take(output_cols).collect();
+    out_cols.push(beas_relal::Column::Float(weights));
+    Relation::from_columns(out_names, out_cols).expect("weight column matches row count")
 }
 
 /// The resolution of each output column of a leaf under the plan.
@@ -682,7 +706,7 @@ fn exec_indexed(
                 want_weights,
                 ncols,
             )?;
-            a.rows.extend(b.rows);
+            a.append(b);
             if !want_weights {
                 a.dedup();
             }
@@ -710,20 +734,18 @@ fn exec_indexed(
                     false,
                     ncols,
                 )?;
-                let remove: std::collections::HashSet<Vec<Value>> = b
-                    .rows
-                    .iter()
-                    .map(|row| row[..ncols.min(row.len())].to_vec())
+                let bcols = ncols.min(b.arity());
+                let remove: std::collections::HashSet<Vec<Value>> = (0..b.len())
+                    .map(|i| (0..bcols).map(|j| b.value_at(i, j)).collect())
                     .collect();
-                let rows = a
-                    .rows
-                    .into_iter()
-                    .filter(|row| !remove.contains(&row[..ncols.min(row.len())]))
+                let acols = ncols.min(a.arity());
+                let keep: Vec<usize> = (0..a.len())
+                    .filter(|&i| {
+                        let prefix: Vec<Value> = (0..acols).map(|j| a.value_at(i, j)).collect();
+                        !remove.contains(&prefix)
+                    })
                     .collect();
-                Ok(Relation {
-                    columns: a.columns,
-                    rows,
-                })
+                Ok(a.take_rows(&keep))
             } else {
                 // dangerous-distance exclusion (Sec. 6): drop answers of the
                 // positive side that are within the combined resolution of an
@@ -739,20 +761,17 @@ fn exec_indexed(
                     ncols,
                 )?;
                 let delta = dangerous_distances(l, r, leaf_out_res, ncols);
-                let rows = a
-                    .rows
-                    .into_iter()
-                    .filter(|row| {
-                        !b_hat.rows.iter().any(|neg| {
+                let neg_rows = b_hat.to_rows();
+                let keep: Vec<usize> = (0..a.len())
+                    .filter(|&i| {
+                        let row: Vec<Value> = (0..ncols).map(|j| a.value_at(i, j)).collect();
+                        !neg_rows.iter().any(|neg| {
                             (0..ncols)
                                 .all(|j| kinds[j].distance(&row[j], &neg[j]) <= delta[j] + 1e-12)
                         })
                     })
                     .collect();
-                Ok(Relation {
-                    columns: a.columns,
-                    rows,
-                })
+                Ok(a.take_rows(&keep))
             }
         }
     }
@@ -818,10 +837,10 @@ fn max_min_distance(
     if to.is_empty() {
         return f64::INFINITY;
     }
+    let to_rows = to.to_rows();
     let mut worst: f64 = 0.0;
-    for t in &from.rows {
-        let best = to
-            .rows
+    for t in from.rows() {
+        let best = to_rows
             .iter()
             .map(|s| {
                 (0..ncols)
@@ -834,16 +853,12 @@ fn max_min_distance(
     worst
 }
 
-/// Keeps only the first `ncols` columns of a relation.
+/// Keeps only the first `ncols` columns of a relation — a columnar prefix
+/// selection (whole column clones, no per-row copying).
 fn project_outputs(rel: &Relation, ncols: usize) -> Relation {
-    Relation {
-        columns: rel.columns[..ncols.min(rel.columns.len())].to_vec(),
-        rows: rel
-            .rows
-            .iter()
-            .map(|r| r[..ncols.min(r.len())].to_vec())
-            .collect(),
-    }
+    let n = ncols.min(rel.arity());
+    let idx: Vec<usize> = (0..n).collect();
+    rel.select_columns(&idx, rel.columns[..n].to_vec())
 }
 
 /// Whether the indexed tree contains a difference whose negated side was

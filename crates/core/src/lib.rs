@@ -90,9 +90,9 @@ pub use engine::{Beas, BeasAnswer, BeasBuilder, ConstraintSpec, EngineSnapshot, 
 pub use error::{BeasError, Result};
 pub use executor::{
     execute_plan, execute_plan_with_budget, execute_plan_with_options, execute_plan_with_spec,
-    ExecOptions, ExecutionOutcome,
+    ExecOptions, ExecutionOutcome, DEFAULT_MIN_SHARD_ROWS,
 };
 pub use plan::{FetchNode, FetchPlan, KeySource, LeafPlan};
 pub use planner::{BoundedPlan, DistanceBounds, Planner};
-pub use prepared::PreparedQuery;
+pub use prepared::{PreparedQuery, PLAN_CACHE_CAPACITY};
 pub use query::{AggQuery, BeasQuery, RaQuery};

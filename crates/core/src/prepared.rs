@@ -7,8 +7,11 @@
 //! * the validation of the query against the schema (done once in
 //!   [`Beas::prepare`]),
 //! * the compiled output shape (column names, used for zero-budget answers),
-//! * one [`BoundedPlan`] per *resolved budget*, so answering again at a
-//!   repeated [`ResourceSpec`] skips planning entirely and goes straight to
+//! * one [`BoundedPlan`] per *resolved budget* — capped at
+//!   [`PLAN_CACHE_CAPACITY`] entries with least-recently-used eviction, so a
+//!   workload cycling through many distinct `Tuples(n)` specs cannot grow
+//!   the cache without bound — so answering again at a repeated
+//!   [`ResourceSpec`] skips planning entirely and goes straight to
 //!   execution (C4).
 //!
 //! This mirrors the offline/online split the paper's data-driven scheme is
@@ -31,6 +34,7 @@
 //! so a prepared answer always reflects a consistent, current snapshot.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use beas_access::ResourceSpec;
@@ -40,13 +44,28 @@ use crate::error::Result;
 use crate::planner::{BoundedPlan, Planner};
 use crate::query::BeasQuery;
 
+/// Maximum number of per-budget plans a [`PreparedQuery`] retains. Serving
+/// many distinct `Tuples(n)` specs previously grew the cache without bound;
+/// beyond this capacity the least-recently-used budget's plan is evicted
+/// (and simply re-planned if that budget returns).
+pub const PLAN_CACHE_CAPACITY: usize = 32;
+
+/// One cached plan with its last-use tick (atomic so cache *hits* can stay
+/// under the shared read lock).
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<BoundedPlan>,
+    last_used: AtomicU64,
+}
+
 /// Budget → plan cache, tagged with the catalog version it was filled
 /// against. Budgets are the cache key (not specs) so that `Ratio(0.1)` and
-/// `Tuples(α·|D|)` share one entry.
+/// `Tuples(α·|D|)` share one entry. Bounded by [`PLAN_CACHE_CAPACITY`] with
+/// LRU eviction.
 #[derive(Debug, Default)]
 struct PlanCache {
     version: u64,
-    by_budget: HashMap<usize, Arc<BoundedPlan>>,
+    by_budget: HashMap<usize, CacheEntry>,
 }
 
 /// A validated query handle with a per-budget plan cache (see the module
@@ -58,6 +77,9 @@ pub struct PreparedQuery<'e> {
     /// Output column names, compiled once at prepare time.
     output_columns: Vec<String>,
     plans: RwLock<PlanCache>,
+    /// Monotonic use counter driving the LRU order (atomic so hits can bump
+    /// recency under the shared read lock).
+    tick: AtomicU64,
 }
 
 impl<'e> PreparedQuery<'e> {
@@ -69,6 +91,7 @@ impl<'e> PreparedQuery<'e> {
             query: query.clone(),
             output_columns: query.output_columns(),
             plans: RwLock::new(PlanCache::default()),
+            tick: AtomicU64::new(0),
         })
     }
 
@@ -121,8 +144,13 @@ impl<'e> PreparedQuery<'e> {
         {
             let cache = self.plans.read().expect("plan cache poisoned");
             if cache.version == version {
-                if let Some(plan) = cache.by_budget.get(&budget) {
-                    return Ok(Arc::clone(plan));
+                if let Some(entry) = cache.by_budget.get(&budget) {
+                    // bump recency without upgrading to the write lock
+                    entry.last_used.store(
+                        self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+                        Ordering::Relaxed,
+                    );
+                    return Ok(Arc::clone(&entry.plan));
                 }
             }
         }
@@ -138,7 +166,26 @@ impl<'e> PreparedQuery<'e> {
             cache.version = version;
         }
         if cache.version == version {
-            cache.by_budget.insert(budget, Arc::clone(&plan));
+            // LRU cap: serving many distinct budgets must not grow the cache
+            // without bound
+            if cache.by_budget.len() >= PLAN_CACHE_CAPACITY
+                && !cache.by_budget.contains_key(&budget)
+            {
+                if let Some((&lru, _)) = cache
+                    .by_budget
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                {
+                    cache.by_budget.remove(&lru);
+                }
+            }
+            cache.by_budget.insert(
+                budget,
+                CacheEntry {
+                    plan: Arc::clone(&plan),
+                    last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed) + 1),
+                },
+            );
         }
         Ok(plan)
     }
@@ -283,6 +330,32 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_is_capped_with_lru_eviction() {
+        let engine = poi_engine(600);
+        let q = hotels(&engine);
+        let prepared = engine.prepare(&q).unwrap();
+        // cycle through more distinct budgets than the cache may hold
+        let budgets: Vec<usize> = (1..=PLAN_CACHE_CAPACITY + 8).collect();
+        for &b in &budgets {
+            prepared.plan(ResourceSpec::Tuples(b)).unwrap();
+        }
+        assert!(
+            prepared.cached_plans() <= PLAN_CACHE_CAPACITY,
+            "cache grew to {} entries (cap {PLAN_CACHE_CAPACITY})",
+            prepared.cached_plans()
+        );
+        // the most recent budget survives and still hits
+        let last = *budgets.last().unwrap();
+        let a = prepared.plan(ResourceSpec::Tuples(last)).unwrap();
+        let b = prepared.plan(ResourceSpec::Tuples(last)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "recent budget must stay cached");
+        // the oldest budget was evicted, so re-planning yields a fresh Arc —
+        // and keeps working
+        let again = prepared.plan(ResourceSpec::Tuples(budgets[0])).unwrap();
+        assert_eq!(again.budget, budgets[0]);
+    }
+
+    #[test]
     fn maintenance_invalidates_cached_plans() {
         let engine = poi_engine(240);
         let q = hotels(&engine);
@@ -305,7 +378,7 @@ mod tests {
         // the stale plan is dropped and the new tuple is visible
         let after = prepared.answer(ResourceSpec::FULL).unwrap();
         assert_eq!(after.answers.len(), before.answers.len() + 1);
-        assert!(after.answers.rows.contains(&vec![Value::Double(41.5)]));
+        assert!(after.answers.rows().any(|r| r == vec![Value::Double(41.5)]));
         assert_eq!(prepared.cached_plans(), 1, "stale entries must be dropped");
 
         // and it must agree with planning from scratch on the updated engine

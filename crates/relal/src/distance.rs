@@ -65,6 +65,20 @@ impl DistanceKind {
         matches!(self, DistanceKind::Numeric | DistanceKind::Scaled(_))
     }
 
+    /// The distance contributed by two *value-unequal* numeric operands —
+    /// the non-equal branch of [`DistanceKind::distance`] on floats. Used by
+    /// the columnar kernels, which test value equality on the raw column
+    /// data before falling into this.
+    #[inline]
+    pub fn numeric_gap(&self, x: f64, y: f64) -> f64 {
+        match self {
+            DistanceKind::Numeric => (x - y).abs(),
+            DistanceKind::Scaled(scale) => (x - y).abs() / (*scale).max(1) as f64,
+            DistanceKind::Trivial => f64::INFINITY,
+            DistanceKind::Categorical => 1.0,
+        }
+    }
+
     /// The length (in raw value units) that corresponds to a distance of 1.
     /// Used to convert distance-space tolerances back into value-space slack
     /// when relaxing inequality comparisons.

@@ -14,13 +14,16 @@
 //! hash-join planner (equality conjuncts become join keys); this keeps ground
 //! truth evaluation tractable on the workloads used by the benchmark harness.
 
+use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::distance::DistanceKind;
 use crate::error::{RelalError, Result};
 use crate::expr::{AggFunc, GroupByQuery, QueryExpr, RaExpr};
+use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::predicate::{Predicate, PredicateAtom};
-use crate::storage::{Database, Relation, Row};
+use crate::storage::{Column, Database, Relation, Row};
 use crate::value::Value;
 
 /// Resolves base relation names to relation instances during evaluation.
@@ -131,7 +134,7 @@ fn eval_inner<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relati
                 )));
             }
             let mut out = l;
-            out.rows.extend(r.rows);
+            out.append(r);
             Ok(out)
         }
         RaExpr::Difference { left, right } => {
@@ -144,17 +147,11 @@ fn eval_inner<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relati
                     r.arity()
                 )));
             }
-            let remove: std::collections::HashSet<&Row> = r.rows.iter().collect();
-            let rows = l
-                .rows
-                .iter()
-                .filter(|row| !remove.contains(row))
-                .cloned()
+            let remove: FxHashSet<Row> = r.rows().collect();
+            let keep: Vec<usize> = (0..l.len())
+                .filter(|&i| !remove.contains(&l.row(i)))
                 .collect();
-            Ok(Relation {
-                columns: l.columns,
-                rows,
-            })
+            Ok(l.take_rows(&keep))
         }
         RaExpr::Rename { input, columns } => {
             let mut rel = eval_inner(input, provider)?;
@@ -184,26 +181,53 @@ fn flatten_products<'a>(expr: &'a RaExpr, out: &mut Vec<&'a RaExpr>) {
     }
 }
 
-/// Plain Cartesian product of two relations (column names must be disjoint).
-fn cross_product(l: &Relation, r: &Relation) -> Result<Relation> {
+/// Checks that the column names of a binary operator's operands are disjoint
+/// and returns the concatenated output names.
+fn disjoint_columns(l: &Relation, r: &Relation, what: &str) -> Result<Vec<String>> {
     for c in &r.columns {
         if l.columns.contains(c) {
             return Err(RelalError::SchemaMismatch(format!(
-                "duplicate column {c} in Cartesian product"
+                "duplicate column {c} in {what}"
             )));
         }
     }
     let mut columns = l.columns.clone();
     columns.extend(r.columns.clone());
-    let mut rows = Vec::with_capacity(l.len() * r.len());
-    for lr in &l.rows {
-        for rr in &r.rows {
-            let mut row = lr.clone();
-            row.extend(rr.iter().cloned());
-            rows.push(row);
+    Ok(columns)
+}
+
+/// Materialises the join output `left[li] ++ right[ri]` for each index pair,
+/// as one typed gather per column.
+fn gather_join(
+    left: &Relation,
+    right: &Relation,
+    lidx: &[usize],
+    ridx: &[usize],
+    columns: Vec<String>,
+) -> Relation {
+    let mut cols = Vec::with_capacity(left.arity() + right.arity());
+    for c in left.cols() {
+        cols.push(c.gather(lidx));
+    }
+    for c in right.cols() {
+        cols.push(c.gather(ridx));
+    }
+    Relation::from_columns(columns, cols).expect("join operand shapes agree by construction")
+}
+
+/// Plain Cartesian product of two relations (column names must be disjoint).
+fn cross_product(l: &Relation, r: &Relation) -> Result<Relation> {
+    let columns = disjoint_columns(l, r, "Cartesian product")?;
+    let pairs = l.len() * r.len();
+    let mut lidx = Vec::with_capacity(pairs);
+    let mut ridx = Vec::with_capacity(pairs);
+    for li in 0..l.len() {
+        for ri in 0..r.len() {
+            lidx.push(li);
+            ridx.push(ri);
         }
     }
-    Ok(Relation { columns, rows })
+    Ok(gather_join(l, r, &lidx, &ridx, columns))
 }
 
 /// Greedy join of `relations` under the conjunction `atoms`:
@@ -347,35 +371,92 @@ fn equality_keys(
     keys
 }
 
-/// Hash join of two relations on the given `(left column, right column)` keys.
-fn hash_join(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Result<Relation> {
-    for c in &right.columns {
-        if left.columns.contains(c) {
-            return Err(RelalError::SchemaMismatch(format!(
-                "duplicate column {c} in join"
-            )));
-        }
-    }
-    let mut columns = left.columns.clone();
-    columns.extend(right.columns.clone());
+/// One component of a hash-join key: a dictionary code when both key columns
+/// are dictionary-coded strings (codes translated into one id space), a
+/// materialised [`Value`] otherwise. `Value`'s equality/hash make numeric
+/// cross-type matches (`Int(3) = Double(3.0)`) behave exactly as in the row
+/// representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyCell {
+    Code(u32),
+    Val(Value),
+}
 
-    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    for (i, row) in right.rows.iter().enumerate() {
-        let key: Vec<Value> = keys.iter().map(|&(_, ri)| row[ri].clone()).collect();
-        index.entry(key).or_default().push(i);
+type KeyFn<'a> = Box<dyn Fn(usize) -> KeyCell + 'a>;
+
+/// Builds the per-side key extractors for one `(left, right)` key column
+/// pair. String/string pairs key on dictionary codes: the right dictionary is
+/// translated into the left id space once (unmatched right strings get fresh
+/// ids past the left dictionary), so probing never touches string bytes.
+fn key_cell_fns<'a>(l: &'a Column, r: &'a Column) -> (KeyFn<'a>, KeyFn<'a>) {
+    if let (Some((lc, ld)), Some((rc, rd))) = (l.as_str_codes(), r.as_str_codes()) {
+        if Arc::ptr_eq(ld, rd) {
+            return (
+                Box::new(move |i| KeyCell::Code(lc[i])),
+                Box::new(move |i| KeyCell::Code(rc[i])),
+            );
+        }
+        let llen = ld.len() as u32;
+        let map: Vec<u32> = rd
+            .strings()
+            .iter()
+            .enumerate()
+            .map(|(c, s)| ld.code_of(s).unwrap_or(llen + c as u32))
+            .collect();
+        return (
+            Box::new(move |i| KeyCell::Code(lc[i])),
+            Box::new(move |i| KeyCell::Code(map[rc[i] as usize])),
+        );
     }
-    let mut rows = Vec::new();
-    for lrow in &left.rows {
-        let key: Vec<Value> = keys.iter().map(|&(li, _)| lrow[li].clone()).collect();
-        if let Some(matches) = index.get(&key) {
-            for &ri in matches {
-                let mut row = lrow.clone();
-                row.extend(right.rows[ri].iter().cloned());
-                rows.push(row);
+    (
+        Box::new(move |i| KeyCell::Val(l.value(i))),
+        Box::new(move |i| KeyCell::Val(r.value(i))),
+    )
+}
+
+/// Hash join of two relations on the given `(left column, right column)` keys.
+/// Single-key joins (the common case) index bare [`KeyCell`]s; multi-key
+/// joins fall back to `Vec<KeyCell>` keys.
+fn hash_join(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Result<Relation> {
+    let columns = disjoint_columns(left, right, "join")?;
+
+    let (lfns, rfns): (Vec<KeyFn<'_>>, Vec<KeyFn<'_>>) = keys
+        .iter()
+        .map(|&(li, ri)| key_cell_fns(left.col(li), right.col(ri)))
+        .unzip();
+
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    if let ([lf], [rf]) = (lfns.as_slice(), rfns.as_slice()) {
+        let mut index: FxHashMap<KeyCell, Vec<usize>> = FxHashMap::default();
+        for i in 0..right.len() {
+            index.entry(rf(i)).or_default().push(i);
+        }
+        for li in 0..left.len() {
+            if let Some(matches) = index.get(&lf(li)) {
+                for &ri in matches {
+                    lidx.push(li);
+                    ridx.push(ri);
+                }
+            }
+        }
+    } else {
+        let mut index: FxHashMap<Vec<KeyCell>, Vec<usize>> = FxHashMap::default();
+        for i in 0..right.len() {
+            let key: Vec<KeyCell> = rfns.iter().map(|f| f(i)).collect();
+            index.entry(key).or_default().push(i);
+        }
+        for li in 0..left.len() {
+            let key: Vec<KeyCell> = lfns.iter().map(|f| f(li)).collect();
+            if let Some(matches) = index.get(&key) {
+                for &ri in matches {
+                    lidx.push(li);
+                    ridx.push(ri);
+                }
             }
         }
     }
-    Ok(Relation { columns, rows })
+    Ok(gather_join(left, right, &lidx, &ridx, columns))
 }
 
 /// A relaxed numeric equality conjunct usable as a band-join condition.
@@ -431,53 +512,50 @@ fn band_key(atoms: &[&PredicateAtom], left: &Relation, right: &Relation) -> Opti
 /// and go through a hash lookup. Produces exactly the rows (and row order) of
 /// the filtered nested-loop product it replaces.
 fn band_join(left: &Relation, right: &Relation, key: &BandKey) -> Result<Relation> {
-    for c in &right.columns {
-        if left.columns.contains(c) {
-            return Err(RelalError::SchemaMismatch(format!(
-                "duplicate column {c} in join"
-            )));
-        }
-    }
-    let mut columns = left.columns.clone();
-    columns.extend(right.columns.clone());
+    let columns = disjoint_columns(left, right, "join")?;
+    let lcol = left.col(key.left_col);
+    let rcol = right.col(key.right_col);
 
-    // split the right side: finite numeric values sorted by value, the rest
-    // (strings, bools, nulls, NaNs) reachable only through exact equality
+    // split the right side: finite numeric values sorted by value (read
+    // straight off the typed column), the rest (strings, bools, nulls, NaNs)
+    // reachable only through exact equality
     let mut numeric: Vec<(f64, usize)> = Vec::new();
-    let mut by_value: HashMap<&Value, Vec<usize>> = HashMap::new();
-    for (i, row) in right.rows.iter().enumerate() {
-        match row[key.right_col].as_f64() {
+    let mut by_value: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+    for i in 0..right.len() {
+        match rcol.f64_at(i) {
             Some(x) if !x.is_nan() => numeric.push((x, i)),
-            _ => by_value.entry(&row[key.right_col]).or_default().push(i),
+            _ => by_value.entry(rcol.value(i)).or_default().push(i),
         }
     }
     numeric.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let slack = key.tol * key.distance.unit();
 
-    let mut rows = Vec::new();
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
     let mut matches: Vec<usize> = Vec::new();
-    for lrow in &left.rows {
-        let lval = &lrow[key.left_col];
+    for li in 0..left.len() {
         matches.clear();
-        match lval.as_f64() {
+        match lcol.f64_at(li) {
             Some(x) if !x.is_nan() => {
                 let lo = numeric.partition_point(|(v, _)| *v < x - slack);
-                for &(_, ri) in &numeric[lo..] {
-                    // the explicit distance check keeps the band semantics
-                    // bit-identical to the nested-loop filter it replaces
-                    let d = key.distance.distance(lval, &right.rows[ri][key.right_col]);
+                for &(y, ri) in &numeric[lo..] {
+                    // value equality short-circuits to distance 0 (exactly as
+                    // DistanceKind::distance does): both operands are finite
+                    // numerics here, where value equality is float equality
+                    let d = if x.total_cmp(&y) == Ordering::Equal {
+                        0.0
+                    } else {
+                        key.distance.numeric_gap(x, y)
+                    };
                     if d <= key.tol {
                         matches.push(ri);
-                    } else if right.rows[ri][key.right_col]
-                        .as_f64()
-                        .is_some_and(|v| v > x + slack)
-                    {
+                    } else if y > x + slack {
                         break;
                     }
                 }
             }
             _ => {
-                if let Some(eq) = by_value.get(lval) {
+                if let Some(eq) = by_value.get(&lcol.value(li)) {
                     matches.extend(eq.iter().copied());
                 }
             }
@@ -485,12 +563,11 @@ fn band_join(left: &Relation, right: &Relation, key: &BandKey) -> Result<Relatio
         // right matches in row order reproduce the nested-loop output order
         matches.sort_unstable();
         for &ri in &matches {
-            let mut row = lrow.clone();
-            row.extend(right.rows[ri].iter().cloned());
-            rows.push(row);
+            lidx.push(li);
+            ridx.push(ri);
         }
     }
-    Ok(Relation { columns, rows })
+    Ok(gather_join(left, right, &lidx, &ridx, columns))
 }
 
 /// Groups and aggregates an already-evaluated input relation.
@@ -515,25 +592,36 @@ pub fn aggregate_relation(input: &Relation, q: &GroupByQuery) -> Result<Relation
         non_numeric: bool,
     }
 
-    let mut groups: HashMap<Vec<Value>, Acc> = HashMap::new();
-    for row in &input.rows {
-        let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
-        let weight = match weight_idx {
-            Some(i) => row[i].as_f64().unwrap_or(1.0).max(0.0),
+    // typed-column accessors: sums and weights read `f64`s straight off the
+    // columns; group keys and extrema materialise values only when needed
+    let acol = input.col(agg_idx);
+    let wcol = weight_idx.map(|i| input.col(i));
+    let mut groups: FxHashMap<Vec<Value>, Acc> = FxHashMap::default();
+    for i in 0..input.len() {
+        let key: Vec<Value> = group_idx.iter().map(|&j| input.value_at(i, j)).collect();
+        let weight = match wcol {
+            Some(c) => c.f64_at(i).unwrap_or(1.0).max(0.0),
             None => 1.0,
         };
-        let v = &row[agg_idx];
         let acc = groups.entry(key).or_default();
         acc.count += weight;
-        match v.as_f64() {
+        match acol.f64_at(i) {
             Some(x) => acc.sum += x * weight,
             None => acc.non_numeric = true,
         }
-        if acc.min.as_ref().is_none_or(|m| v < m) {
-            acc.min = Some(v.clone());
+        if acc
+            .min
+            .as_ref()
+            .is_none_or(|m| acol.cmp_value(i, m) == Ordering::Less)
+        {
+            acc.min = Some(acol.value(i));
         }
-        if acc.max.as_ref().is_none_or(|m| v > m) {
-            acc.max = Some(v.clone());
+        if acc
+            .max
+            .as_ref()
+            .is_none_or(|m| acol.cmp_value(i, m) == Ordering::Greater)
+        {
+            acc.max = Some(acol.value(i));
         }
     }
 
@@ -542,8 +630,8 @@ pub fn aggregate_relation(input: &Relation, q: &GroupByQuery) -> Result<Relation
     // row for count/sum, matching SQL semantics.
     if groups.is_empty() && q.group_by.is_empty() {
         match q.agg {
-            AggFunc::Count => out.rows.push(vec![Value::Int(0)]),
-            AggFunc::Sum => out.rows.push(vec![Value::Double(0.0)]),
+            AggFunc::Count => out.push_row_unchecked(vec![Value::Int(0)]),
+            AggFunc::Sum => out.push_row_unchecked(vec![Value::Double(0.0)]),
             _ => {}
         }
         return Ok(out);
@@ -578,9 +666,9 @@ pub fn aggregate_relation(input: &Relation, q: &GroupByQuery) -> Result<Relation
         };
         let mut row = key;
         row.push(agg_value);
-        out.rows.push(row);
+        out.push_row_unchecked(row);
     }
-    out.rows.sort();
+    out.sort_rows();
     Ok(out)
 }
 
@@ -676,7 +764,7 @@ mod tests {
         let out = eval_set(&q1_expr(), &db).unwrap().sorted();
         // friends of 1: {2 (NYC), 3 (Chicago)} → hotels ≤95: a1 (NYC, 90), a3 (Chicago, 80)
         assert_eq!(
-            out.rows,
+            out.to_rows(),
             vec![
                 vec![Value::from("a1"), Value::Double(90.0)],
                 vec![Value::from("a3"), Value::Double(80.0)],
@@ -698,7 +786,7 @@ mod tests {
             .project(vec![("address".into(), "h.address".into())]);
         let out = eval_set(&expr, &db).unwrap().sorted();
         assert_eq!(
-            out.rows,
+            out.to_rows(),
             vec![vec![Value::from("a1")], vec![Value::from("a2")]]
         );
     }
@@ -784,7 +872,7 @@ mod tests {
             ]);
         let q = GroupByQuery::new(inner, vec!["city".into()], AggFunc::Count, "address", "n");
         let out = eval_aggregate(&q, &db).unwrap();
-        let mut rows = out.rows.clone();
+        let mut rows = out.to_rows();
         rows.sort();
         assert_eq!(
             rows,
@@ -816,7 +904,7 @@ mod tests {
         );
         q.weight_col = Some("w".into());
         let out = aggregate_relation(&rel, &q).unwrap();
-        let mut rows = out.rows;
+        let mut rows = out.to_rows();
         rows.sort();
         assert_eq!(
             rows,
@@ -842,11 +930,7 @@ mod tests {
         ] {
             let q = GroupByQuery::new(prices.clone(), vec!["type".into()], agg, "price", "v");
             let out = eval_aggregate(&q, &db).unwrap();
-            let hotel_row = out
-                .rows
-                .iter()
-                .find(|r| r[0] == Value::from("hotel"))
-                .unwrap();
+            let hotel_row = out.rows().find(|r| r[0] == Value::from("hotel")).unwrap();
             assert_eq!(hotel_row[1], expected_hotel, "agg {agg}");
         }
     }
@@ -861,7 +945,7 @@ mod tests {
             .project(vec![("price".into(), "h.price".into())]);
         let count = GroupByQuery::new(none.clone(), vec![], AggFunc::Count, "price", "n");
         let out = eval_aggregate(&count, &db).unwrap();
-        assert_eq!(out.rows, vec![vec![Value::Int(0)]]);
+        assert_eq!(out.to_rows(), vec![vec![Value::Int(0)]]);
         let min = GroupByQuery::new(none, vec![], AggFunc::Min, "price", "m");
         let out = eval_aggregate(&min, &db).unwrap();
         assert!(out.is_empty());
@@ -986,12 +1070,10 @@ mod tests {
         assert_eq!(fast, slow, "band join must reproduce the nested loop");
         // sanity: nearby numerics matched, NaN/Null matched only themselves
         assert!(fast
-            .rows
-            .iter()
+            .rows()
             .any(|row| row[0] == Value::Double(10.0) && row[1] == Value::Double(12.0)));
         assert!(fast
-            .rows
-            .iter()
+            .rows()
             .any(|row| row[0] == Value::Null && row[1] == Value::Null));
     }
 

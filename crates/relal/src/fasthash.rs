@@ -1,0 +1,127 @@
+//! A fast, non-cryptographic hasher for the columnar hot paths.
+//!
+//! The evaluator's inner loops are dominated by hash-map operations over
+//! short keys: dictionary interning (`&str` of a few bytes), join keys
+//! (small `Vec`s of codes/values), group-by keys and index-bucket lookups.
+//! `std`'s default SipHash is DoS-resistant but pays several rounds per
+//! word, which is the wrong trade for these process-internal, short-lived
+//! maps. This module provides the rustc-style multiply-rotate hash (FxHash):
+//! one rotate + xor + multiply per word, with specialised integer methods so
+//! `Value`'s `write_u64`/`write_i64` calls never fall back to byte loops.
+//!
+//! Quality is adequate for `HashMap` bucketing of the key shapes above; none
+//! of these maps is exposed to untrusted input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style multiply-rotate hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_ne_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            word[7] = rest.len() as u8; // length tag disambiguates padding
+            self.add(u64::from_ne_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_short_strings_hash_differently() {
+        let words = ["NYC", "LA", "Chicago", "Boston", "", "a", "b", "ab", "ba"];
+        let hashes: FxHashSet<u64> = words.iter().map(hash_of).collect();
+        assert_eq!(hashes.len(), words.len());
+    }
+
+    #[test]
+    fn padding_is_length_tagged() {
+        fn raw(bytes: &[u8]) -> u64 {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        }
+        // a trailing zero byte must not collide with its absence
+        assert_ne!(raw(&[0u8]), raw(&[]));
+        assert_ne!(raw(&[1u8, 0]), raw(&[1u8]));
+    }
+
+    #[test]
+    fn equal_values_hash_equal_in_fx_maps() {
+        use crate::value::Value;
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Double(42.0)));
+        let mut m: FxHashMap<Value, i32> = FxHashMap::default();
+        m.insert(Value::Int(7), 1);
+        assert_eq!(m.get(&Value::Double(7.0)), Some(&1));
+    }
+}

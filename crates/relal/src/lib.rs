@@ -2,11 +2,15 @@
 //!
 //! This crate provides the relational machinery that the BEAS reproduction is
 //! built on: typed [`Value`]s, per-attribute [`distance`] functions, relation
-//! and database [`schema`]s, in-memory [`storage`], relational-algebra
-//! [`expr`]essions (selection, projection, Cartesian product, union, set
-//! difference, renaming), conjunctive ([`spc`]) queries, aggregate queries and
-//! an exact [`eval`]uator used both for ground truth and for executing the
-//! evaluation part of bounded query plans.
+//! and database [`schema`]s, **columnar** in-memory [`storage`] (one typed
+//! [`Column`] vector per attribute, dictionary-coded strings, rows only at
+//! the conversion boundary), relational-algebra [`expr`]essions (selection,
+//! projection, Cartesian product, union, set difference, renaming),
+//! conjunctive ([`spc`]) queries, aggregate queries and an exact
+//! [`eval`]uator used both for ground truth and for executing the evaluation
+//! part of bounded query plans. Selection predicates compile to vectorized
+//! per-column kernels ([`predicate`]), hash joins key on dictionary codes,
+//! and numeric band joins sort raw `f64` columns.
 //!
 //! The paper ("Data Driven Approximation with Bounded Resources", VLDB 2017)
 //! runs BEAS on top of a commercial DBMS; this crate plays that role here so
@@ -19,6 +23,7 @@ pub mod distance;
 pub mod error;
 pub mod eval;
 pub mod expr;
+pub mod fasthash;
 pub mod predicate;
 pub mod schema;
 pub mod spc;
@@ -32,8 +37,9 @@ pub use eval::{
     RelationProvider,
 };
 pub use expr::{AggFunc, GroupByQuery, QueryExpr, RaExpr};
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use predicate::{CompareOp, Predicate, PredicateAtom};
 pub use schema::{Attribute, DatabaseSchema, RelationSchema};
 pub use spc::{OutputCol, Position, SelCond, SpcAtom, SpcQuery, SpcQueryBuilder, Term};
-pub use storage::{Database, Relation, Row};
+pub use storage::{Column, Database, Relation, Row, StrDict};
 pub use value::{Value, ValueType};

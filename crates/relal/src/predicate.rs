@@ -7,9 +7,12 @@
 //! relaxed condition `|dis_A(A, c)| ≤ r` of Sec. 3.1 / Sec. 5 ("evaluation
 //! plan ξ_E").
 
+use std::cmp::Ordering;
+use std::sync::Arc;
+
 use crate::distance::DistanceKind;
 use crate::error::{RelalError, Result};
-use crate::storage::Relation;
+use crate::storage::{Column, Relation};
 use crate::value::Value;
 
 /// Comparison operators supported in selection conditions.
@@ -223,6 +226,203 @@ impl PredicateAtom {
             }
         }
     }
+
+    /// Compiles the atom into a per-row test over the typed columns of `rel`:
+    /// column names are resolved once, and the returned kernel reads the
+    /// column vectors directly (dictionary codes for strings, raw `i64`/`f64`
+    /// slices for numerics) instead of materialising rows. Semantically
+    /// identical to calling [`PredicateAtom::eval`] on every row.
+    pub fn kernel<'a>(&'a self, rel: &'a Relation) -> Result<Box<dyn Fn(usize) -> bool + 'a>> {
+        match self {
+            PredicateAtom::ColConst {
+                col,
+                op,
+                value,
+                distance,
+                tol,
+            } => {
+                let c = rel.col(rel.column_index(col)?);
+                Ok(const_kernel(c, *op, value, *distance, *tol))
+            }
+            PredicateAtom::ColCol {
+                left,
+                op,
+                right,
+                distance,
+                tol,
+            } => {
+                let lc = rel.col(rel.column_index(left)?);
+                let rc = rel.col(rel.column_index(right)?);
+                Ok(col_col_kernel(lc, rc, *op, *distance, *tol))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// vectorized predicate kernels
+// ---------------------------------------------------------------------------
+
+/// `op` applied to a total-order comparison result — exactly how
+/// [`CompareOp::eval`] reads [`Value::cmp`].
+#[inline]
+fn op_on_ordering(op: CompareOp, o: Ordering) -> bool {
+    match op {
+        CompareOp::Eq => o == Ordering::Equal,
+        CompareOp::Ne => o != Ordering::Equal,
+        CompareOp::Lt => o == Ordering::Less,
+        CompareOp::Le => o != Ordering::Greater,
+        CompareOp::Gt => o == Ordering::Greater,
+        CompareOp::Ge => o != Ordering::Less,
+    }
+}
+
+/// Relaxed comparison of two numeric values given their value-equality and
+/// float interpretations — mirrors [`CompareOp::eval_relaxed`] on the numeric
+/// paths bit for bit.
+#[inline]
+fn numeric_relaxed(
+    op: CompareOp,
+    eq: Ordering,
+    x: f64,
+    y: f64,
+    dk: DistanceKind,
+    tol: f64,
+) -> bool {
+    if tol <= 0.0 {
+        return op_on_ordering(op, eq);
+    }
+    match op {
+        CompareOp::Eq => {
+            let d = if eq == Ordering::Equal {
+                0.0
+            } else {
+                dk.numeric_gap(x, y)
+            };
+            d <= tol
+        }
+        CompareOp::Ne => eq != Ordering::Equal,
+        CompareOp::Lt => x < y + tol * dk.unit(),
+        CompareOp::Le => x <= y + tol * dk.unit(),
+        CompareOp::Gt => x > y - tol * dk.unit(),
+        CompareOp::Ge => x >= y - tol * dk.unit(),
+    }
+}
+
+/// Relaxed comparison of two strings (with the equality precomputed, e.g.
+/// from dictionary codes) — mirrors [`CompareOp::eval_relaxed`] on `(Str,
+/// Str)` operands: equality relaxes through the distance kind, inequalities
+/// fall back to the strict lexicographic order.
+#[inline]
+fn str_relaxed(op: CompareOp, eq: bool, a: &str, b: &str, dk: DistanceKind, tol: f64) -> bool {
+    if tol <= 0.0 {
+        return match op {
+            CompareOp::Eq => eq,
+            CompareOp::Ne => !eq,
+            _ => op_on_ordering(op, a.cmp(b)),
+        };
+    }
+    match op {
+        CompareOp::Eq => {
+            eq || match dk {
+                DistanceKind::Categorical => 1.0 <= tol,
+                // numeric distances on strings and the trivial distance are
+                // +∞ across distinct strings
+                _ => false,
+            }
+        }
+        CompareOp::Ne => !eq,
+        // non-numeric inequality: strict order, as in eval_relaxed
+        _ => op_on_ordering(op, a.cmp(b)),
+    }
+}
+
+/// Kernel for `column op constant`.
+fn const_kernel<'a>(
+    c: &'a Column,
+    op: CompareOp,
+    value: &'a Value,
+    dk: DistanceKind,
+    tol: f64,
+) -> Box<dyn Fn(usize) -> bool + 'a> {
+    match c {
+        // dictionary-coded strings: evaluate once per distinct string and
+        // look the verdict up by code
+        Column::Str { codes, dict } => {
+            let table: Vec<bool> = dict
+                .strings()
+                .iter()
+                .map(|s| op.eval_relaxed(&Value::Str(s.clone()), value, dk, tol))
+                .collect();
+            Box::new(move |i| table[codes[i] as usize])
+        }
+        Column::Int(xs) => match value {
+            Value::Int(c0) => {
+                let (ci, cf) = (*c0, *c0 as f64);
+                Box::new(move |i| numeric_relaxed(op, xs[i].cmp(&ci), xs[i] as f64, cf, dk, tol))
+            }
+            Value::Double(c0) => {
+                let cf = *c0;
+                Box::new(move |i| {
+                    let x = xs[i] as f64;
+                    numeric_relaxed(op, x.total_cmp(&cf), x, cf, dk, tol)
+                })
+            }
+            _ => Box::new(move |i| op.eval_relaxed(&Value::Int(xs[i]), value, dk, tol)),
+        },
+        Column::Float(xs) => match value.as_f64() {
+            Some(cf) if value.is_numeric() => {
+                Box::new(move |i| numeric_relaxed(op, xs[i].total_cmp(&cf), xs[i], cf, dk, tol))
+            }
+            _ => Box::new(move |i| op.eval_relaxed(&Value::Double(xs[i]), value, dk, tol)),
+        },
+        Column::Bool(xs) => Box::new(move |i| op.eval_relaxed(&Value::Bool(xs[i]), value, dk, tol)),
+        Column::Mixed(vals) => Box::new(move |i| op.eval_relaxed(&vals[i], value, dk, tol)),
+    }
+}
+
+/// Kernel for `left-column op right-column`.
+fn col_col_kernel<'a>(
+    lc: &'a Column,
+    rc: &'a Column,
+    op: CompareOp,
+    dk: DistanceKind,
+    tol: f64,
+) -> Box<dyn Fn(usize) -> bool + 'a> {
+    match (lc, rc) {
+        (Column::Int(xs), Column::Int(ys)) => Box::new(move |i| {
+            numeric_relaxed(op, xs[i].cmp(&ys[i]), xs[i] as f64, ys[i] as f64, dk, tol)
+        }),
+        (Column::Int(xs), Column::Float(ys)) => Box::new(move |i| {
+            let (x, y) = (xs[i] as f64, ys[i]);
+            numeric_relaxed(op, x.total_cmp(&y), x, y, dk, tol)
+        }),
+        (Column::Float(xs), Column::Int(ys)) => Box::new(move |i| {
+            let (x, y) = (xs[i], ys[i] as f64);
+            numeric_relaxed(op, x.total_cmp(&y), x, y, dk, tol)
+        }),
+        (Column::Float(xs), Column::Float(ys)) => {
+            Box::new(move |i| numeric_relaxed(op, xs[i].total_cmp(&ys[i]), xs[i], ys[i], dk, tol))
+        }
+        (
+            Column::Str {
+                codes: la,
+                dict: ld,
+            },
+            Column::Str {
+                codes: ra,
+                dict: rd,
+            },
+        ) => {
+            let same_dict = Arc::ptr_eq(ld, rd);
+            Box::new(move |i| {
+                let (a, b) = (ld.get(la[i]), rd.get(ra[i]));
+                let eq = if same_dict { la[i] == ra[i] } else { a == b };
+                str_relaxed(op, eq, a, b, dk, tol)
+            })
+        }
+        _ => Box::new(move |i| op.eval_relaxed(&lc.value(i), &rc.value(i), dk, tol)),
+    }
 }
 
 /// A conjunction of [`PredicateAtom`]s. The empty conjunction is `true`.
@@ -264,15 +464,36 @@ impl Predicate {
         Ok(true)
     }
 
-    /// Filters a relation, keeping the rows on which the predicate holds.
-    pub fn filter(&self, rel: &Relation) -> Result<Relation> {
-        let mut out = Relation::empty(rel.columns.clone());
-        for row in &rel.rows {
-            if self.eval(&rel.columns, row)? {
-                out.rows.push(row.clone());
-            }
+    /// The indices of the rows on which the predicate holds, in row order.
+    /// Atoms are compiled into per-column kernels once (see
+    /// [`PredicateAtom::kernel`]) and the conjunction is evaluated in one
+    /// pass — later kernels only run on rows that survived the earlier ones
+    /// (`all` short-circuits), with no intermediate selection vectors.
+    pub fn selection(&self, rel: &Relation) -> Result<Vec<usize>> {
+        if rel.is_empty() {
+            // preserve the row representation's lazy column resolution: with
+            // no rows, unknown columns are not an error (the per-row
+            // evaluator never ran on any row)
+            return Ok(Vec::new());
         }
-        Ok(out)
+        let kernels: Vec<_> = self
+            .atoms
+            .iter()
+            .map(|a| a.kernel(rel))
+            .collect::<Result<_>>()?;
+        Ok((0..rel.len())
+            .filter(|&i| kernels.iter().all(|k| k(i)))
+            .collect())
+    }
+
+    /// Filters a relation, keeping the rows on which the predicate holds.
+    /// Runs as a columnar selection followed by one per-column gather.
+    pub fn filter(&self, rel: &Relation) -> Result<Relation> {
+        if self.atoms.is_empty() || rel.is_empty() {
+            return Ok(rel.clone());
+        }
+        let sel = self.selection(rel)?;
+        Ok(rel.take_rows(&sel))
     }
 
     /// All columns referenced by the predicate.
@@ -402,7 +623,7 @@ mod tests {
         )
         .unwrap();
         let out = pred.filter(&rel).unwrap();
-        assert_eq!(out.rows, vec![vec![Value::Int(6), Value::Int(50)]]);
+        assert_eq!(out.to_rows(), vec![vec![Value::Int(6), Value::Int(50)]]);
         assert!(Predicate::always_true().is_trivial());
         assert_eq!(pred.max_tolerance(), 0.0);
     }

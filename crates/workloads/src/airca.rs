@@ -206,7 +206,7 @@ mod tests {
     fn carrier_volumes_are_skewed() {
         let d = airca_lite(3, 5);
         let mut per_carrier = vec![0usize; 10];
-        for row in &d.db.relation("flights").unwrap().rows {
+        for row in d.db.relation("flights").unwrap().rows() {
             per_carrier[row[1].as_i64().unwrap() as usize] += 1;
         }
         let max = *per_carrier.iter().max().unwrap();
@@ -223,8 +223,7 @@ mod tests {
         let delays: Vec<f64> =
             d.db.relation("flights")
                 .unwrap()
-                .rows
-                .iter()
+                .rows()
                 .map(|r| r[6].as_f64().unwrap())
                 .collect();
         let on_time = delays.iter().filter(|&&x| x < 15.0).count();
@@ -261,8 +260,8 @@ mod tests {
         let a = airca_lite(1, 3);
         let b = airca_lite(1, 3);
         assert_eq!(
-            a.db.relation("flights").unwrap().rows,
-            b.db.relation("flights").unwrap().rows
+            a.db.relation("flights").unwrap(),
+            b.db.relation("flights").unwrap()
         );
     }
 }

@@ -430,8 +430,7 @@ fn sample_value(db: &Database, relation: &str, attr: &str, rng: &mut StdRng) -> 
         return None;
     }
     let idx = rel.column_index(attr).ok()?;
-    let row = &rel.rows[rng.gen_range(0..rel.len())];
-    Some(row[idx].clone())
+    Some(rel.value_at(rng.gen_range(0..rel.len()), idx))
 }
 
 #[cfg(test)]

@@ -223,8 +223,8 @@ mod tests {
     fn detail_tables_are_consistent_with_accident_counters() {
         let d = tfacc_lite(1, 4);
         let accidents = d.db.relation("accidents").unwrap();
-        let total_vehicles: i64 = accidents.rows.iter().map(|r| r[5].as_i64().unwrap()).sum();
-        let total_casualties: i64 = accidents.rows.iter().map(|r| r[6].as_i64().unwrap()).sum();
+        let total_vehicles: i64 = accidents.rows().map(|r| r[5].as_i64().unwrap()).sum();
+        let total_casualties: i64 = accidents.rows().map(|r| r[6].as_i64().unwrap()).sum();
         assert_eq!(
             d.db.relation("vehicles").unwrap().len() as i64,
             total_vehicles
@@ -239,7 +239,7 @@ mod tests {
     fn accident_road_references_exist() {
         let d = tfacc_lite(2, 6);
         let n_roads = d.db.relation("roads").unwrap().len() as i64;
-        for row in &d.db.relation("accidents").unwrap().rows {
+        for row in d.db.relation("accidents").unwrap().rows() {
             let rid = row[1].as_i64().unwrap();
             assert!(rid >= 0 && rid < n_roads);
         }
@@ -250,7 +250,7 @@ mod tests {
         let d = tfacc_lite(3, 8);
         let n_roads = d.db.relation("roads").unwrap().len();
         let mut per_road = vec![0usize; n_roads];
-        for row in &d.db.relation("accidents").unwrap().rows {
+        for row in d.db.relation("accidents").unwrap().rows() {
             per_road[row[1].as_i64().unwrap() as usize] += 1;
         }
         let max = *per_road.iter().max().unwrap();

@@ -296,13 +296,13 @@ mod tests {
         let a = tpch_lite(2, 7);
         let b = tpch_lite(2, 7);
         assert_eq!(
-            a.db.relation("lineitem").unwrap().rows,
-            b.db.relation("lineitem").unwrap().rows
+            a.db.relation("lineitem").unwrap(),
+            b.db.relation("lineitem").unwrap()
         );
         let c = tpch_lite(2, 8);
         assert_ne!(
-            a.db.relation("lineitem").unwrap().rows,
-            c.db.relation("lineitem").unwrap().rows
+            a.db.relation("lineitem").unwrap(),
+            c.db.relation("lineitem").unwrap()
         );
     }
 
@@ -310,12 +310,12 @@ mod tests {
     fn foreign_keys_reference_existing_rows() {
         let d = tpch_lite(2, 3);
         let customers = d.db.relation("customer").unwrap().len() as i64;
-        for row in &d.db.relation("orders").unwrap().rows {
+        for row in d.db.relation("orders").unwrap().rows() {
             let custkey = row[1].as_i64().unwrap();
             assert!(custkey >= 0 && custkey < customers);
         }
         let orders = d.db.relation("orders").unwrap().len() as i64;
-        for row in &d.db.relation("lineitem").unwrap().rows {
+        for row in d.db.relation("lineitem").unwrap().rows() {
             assert!(row[0].as_i64().unwrap() < orders);
         }
     }
@@ -355,8 +355,7 @@ mod tests {
         let totals: Vec<f64> =
             d.db.relation("orders")
                 .unwrap()
-                .rows
-                .iter()
+                .rows()
                 .map(|r| r[3].as_f64().unwrap())
                 .collect();
         let mean = totals.iter().sum::<f64>() / totals.len() as f64;

@@ -80,11 +80,11 @@ fn main() {
         BeasQuery::Ra(RaQuery::spc(fast_roads(1)).difference(RaQuery::spc(fast_roads(2))));
     let excluded_exact = exact_answers(&excluded, db).unwrap();
     let answer = engine.answer(&query, ResourceSpec::Ratio(0.02)).unwrap();
+    let excluded_rows = excluded_exact.to_rows();
     let leaked = answer
         .answers
-        .rows
-        .iter()
-        .filter(|row| excluded_exact.rows.contains(row))
+        .rows()
+        .filter(|row| excluded_rows.contains(row))
         .count();
     println!(
         "\nat alpha = 0.02, {} of {} returned tuples belong to the excluded set (must be 0)",

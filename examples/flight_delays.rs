@@ -49,7 +49,7 @@ fn main() {
     let exact = exact_answers(&query, db).unwrap();
     println!("\navg arrival delay of delayed flights of carrier 2, per year");
     println!("exact answer ({} groups):", exact.len());
-    for row in exact.clone().sorted().rows.iter().take(5) {
+    for row in exact.clone().sorted().rows().take(5) {
         println!(
             "  year {} -> {:.1} min",
             row[0],
@@ -66,7 +66,7 @@ fn main() {
             "\nalpha = {alpha}: accessed {}/{} tuples, eta = {:.3}, measured RC = {:.3}",
             answer.accessed, answer.budget, answer.eta, acc.accuracy
         );
-        for row in answer.answers.clone().sorted().rows.iter().take(5) {
+        for row in answer.answers.clone().sorted().rows().take(5) {
             println!(
                 "  year {} -> {:.1} min",
                 row[0],

@@ -83,7 +83,7 @@
 //!     Value::from("hotel"), Value::from("NYC"), Value::Double(55.0),
 //! ]).unwrap();
 //! let after = engine.answer(&query, ResourceSpec::FULL).unwrap();
-//! assert!(after.answers.rows.contains(&vec![Value::Double(55.0)]));
+//! assert!(after.answers.rows().any(|r| r == vec![Value::Double(55.0)]));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -108,8 +108,9 @@ pub mod prelude {
         ExecOptions, Planner, PreparedQuery, RaQuery, UpdateBatch,
     };
     pub use beas_relal::{
-        AggFunc, Attribute, CompareOp, Database, DatabaseSchema, DistanceKind, Relation,
-        RelationSchema, SpcQuery, SpcQueryBuilder, Value,
+        aggregate_relation, AggFunc, Attribute, Column, CompareOp, Database, DatabaseSchema,
+        DistanceKind, GroupByQuery, Predicate, PredicateAtom, RaExpr, Relation, RelationSchema,
+        SpcQuery, SpcQueryBuilder, StrDict, Value,
     };
     pub use beas_workloads::{
         airca::airca_lite,
