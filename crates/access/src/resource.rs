@@ -85,10 +85,46 @@ impl From<usize> for ResourceSpec {
 }
 
 impl fmt::Display for ResourceSpec {
+    /// The canonical textual form, `ratio:<alpha>` or `tuples:<n>` — shared by
+    /// the serving wire protocol and the bench CLIs, and guaranteed to
+    /// round-trip through the [`std::str::FromStr`] impl.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ResourceSpec::Ratio(a) => write!(f, "{a}"),
-            ResourceSpec::Tuples(n) => write!(f, "{n}t"),
+            ResourceSpec::Ratio(a) => write!(f, "ratio:{a}"),
+            ResourceSpec::Tuples(n) => write!(f, "tuples:{n}"),
+        }
+    }
+}
+
+impl std::str::FromStr for ResourceSpec {
+    type Err = AccessError;
+
+    /// Parses the canonical `ratio:<alpha>` / `tuples:<n>` form (e.g.
+    /// `ratio:0.1`, `tuples:500`), validating the value: ratios must be finite
+    /// and within `[0, 1]`, tuple counts must be non-negative integers.
+    fn from_str(s: &str) -> Result<Self> {
+        let s = s.trim();
+        let Some((kind, value)) = s.split_once(':') else {
+            return Err(AccessError::InvalidSpec(format!(
+                "expected `ratio:<alpha>` or `tuples:<n>`, got `{s}`"
+            )));
+        };
+        match kind.trim() {
+            "ratio" => {
+                let alpha: f64 = value.trim().parse().map_err(|_| {
+                    AccessError::InvalidSpec(format!("`{value}` is not a valid ratio"))
+                })?;
+                ResourceSpec::ratio(alpha)
+            }
+            "tuples" => {
+                let n: usize = value.trim().parse().map_err(|_| {
+                    AccessError::InvalidSpec(format!("`{value}` is not a valid tuple count"))
+                })?;
+                Ok(ResourceSpec::Tuples(n))
+            }
+            other => Err(AccessError::InvalidSpec(format!(
+                "unknown resource spec kind `{other}` (expected `ratio` or `tuples`)"
+            ))),
         }
     }
 }
@@ -168,8 +204,47 @@ mod tests {
     }
 
     #[test]
-    fn display_is_compact() {
-        assert_eq!(ResourceSpec::Ratio(0.05).to_string(), "0.05");
-        assert_eq!(ResourceSpec::Tuples(200).to_string(), "200t");
+    fn display_round_trips_through_from_str() {
+        assert_eq!(ResourceSpec::Ratio(0.05).to_string(), "ratio:0.05");
+        assert_eq!(ResourceSpec::Tuples(200).to_string(), "tuples:200");
+        for spec in [
+            ResourceSpec::Ratio(0.0),
+            ResourceSpec::Ratio(0.1),
+            ResourceSpec::FULL,
+            ResourceSpec::Tuples(0),
+            ResourceSpec::Tuples(12345),
+        ] {
+            let parsed: ResourceSpec = spec.to_string().parse().unwrap();
+            assert_eq!(parsed, spec, "round-trip of {spec}");
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_whitespace_and_rejects_garbage() {
+        assert_eq!(
+            " ratio: 0.25 ".parse::<ResourceSpec>().unwrap(),
+            ResourceSpec::Ratio(0.25)
+        );
+        assert_eq!(
+            "tuples:500".parse::<ResourceSpec>().unwrap(),
+            ResourceSpec::Tuples(500)
+        );
+        for bad in [
+            "",
+            "0.1",
+            "500t",
+            "ratio",
+            "ratio:",
+            "ratio:x",
+            "ratio:1.5",
+            "ratio:-0.1",
+            "ratio:nan",
+            "ratio:inf",
+            "tuples:-3",
+            "tuples:1.5",
+            "pct:10",
+        ] {
+            assert!(bad.parse::<ResourceSpec>().is_err(), "`{bad}` accepted");
+        }
     }
 }

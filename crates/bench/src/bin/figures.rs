@@ -11,20 +11,54 @@
 use beas_bench::figures::{
     all_figures, fig6_accuracy_vs_alpha, fig6d_mac_vs_alpha, fig6ef_accuracy_vs_scale,
     fig6g_accuracy_vs_sel, fig6h_accuracy_vs_prod, fig6i_accuracy_vs_kind, fig6j_exact_ratio,
-    fig6k_index_size, fig6l_efficiency, fig_concurrency, fig_plan_cache, DatasetId,
+    fig6k_index_size, fig6l_efficiency, fig_concurrency, fig_plan_cache, fig_serving, DatasetId,
 };
 use beas_bench::harness::Metric;
 use beas_bench::{BenchProfile, Table};
+use beas_core::ResourceSpec;
 
 fn main() {
+    // one pass over the arguments: flags (`--full`, repeated
+    // `--spec ratio:0.05` overriding the profile's sweep through the
+    // canonical ResourceSpec grammar) and positional figure ids
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let profile = if full {
+    let mut full = false;
+    let mut specs: Vec<ResourceSpec> = Vec::new();
+    let mut requested: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => full = true,
+            "--spec" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--spec needs a value (e.g. --spec ratio:0.05)");
+                    std::process::exit(2);
+                };
+                match value.parse::<ResourceSpec>() {
+                    Ok(spec) => specs.push(spec),
+                    Err(e) => {
+                        eprintln!("bad --spec value `{value}`: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                i += 1;
+            }
+            id if !id.starts_with("--") => requested.push(&args[i]),
+            other => {
+                eprintln!("unknown flag `{other}` (known: --full, --spec <ratio:A|tuples:N>)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let mut profile = if full {
         BenchProfile::full()
     } else {
         BenchProfile::quick()
     };
-    let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if !specs.is_empty() {
+        profile.specs = specs;
+    }
 
     let mut tables: Vec<Table> = Vec::new();
     if requested.is_empty() || requested.iter().any(|a| a.as_str() == "all") {
@@ -46,10 +80,11 @@ fn main() {
                 "fig6l" => tables.push(fig6l_efficiency(&profile)),
                 "plancache" => tables.push(fig_plan_cache(&profile)),
                 "concurrency" => tables.push(fig_concurrency(&profile)),
+                "serving" => tables.push(fig_serving(&profile)),
                 other => {
                     eprintln!("unknown figure id: {other}");
                     eprintln!(
-                        "known ids: fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h fig6i fig6j fig6k fig6l plancache concurrency all"
+                        "known ids: fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h fig6i fig6j fig6k fig6l plancache concurrency serving all"
                     );
                     std::process::exit(2);
                 }

@@ -1,0 +1,245 @@
+//! A closed-loop load generator for a running `beas-serve` server.
+//!
+//! ```text
+//! # against a running server
+//! cargo run --release -p beas-bench --bin loadgen -- \
+//!     --url 127.0.0.1:8642 --tenant gold --spec ratio:0.05 --clients 4 --requests 200
+//!
+//! # self-hosted: starts the demo engine + server in process first
+//! cargo run --release -p beas-bench --bin loadgen -- --self-host --clients 4 --requests 200
+//! ```
+//!
+//! Each client keeps one HTTP/1.1 keep-alive connection and issues
+//! `POST /query` requests back-to-back (closed loop) with the demo query;
+//! the report shows per-status counts, throughput and the latency
+//! distribution, plus whether every served answer's re-computed digest
+//! matched across the run. Specs are parsed with the canonical
+//! [`ResourceSpec`] grammar (`ratio:<alpha>` / `tuples:<n>`).
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use beas_bench::serving::{demo_engine, demo_query_json};
+use beas_core::{ResourceSpec, ServeHandle};
+use beas_serve::{query_body, serve, Client, Json, ServeConfig, TenantPolicy};
+
+struct Args {
+    url: Option<String>,
+    self_host: bool,
+    tenant: Option<String>,
+    spec: ResourceSpec,
+    clients: usize,
+    requests: usize,
+    rows: i64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        url: None,
+        self_host: false,
+        tenant: None,
+        spec: ResourceSpec::Ratio(0.05),
+        clients: 4,
+        requests: 100,
+        rows: 10_000,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> String {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--url" => {
+                args.url = Some(value(&argv, i, "--url"));
+                i += 2;
+            }
+            "--self-host" => {
+                args.self_host = true;
+                i += 1;
+            }
+            "--tenant" => {
+                args.tenant = Some(value(&argv, i, "--tenant"));
+                i += 2;
+            }
+            "--spec" => {
+                let text = value(&argv, i, "--spec");
+                args.spec = text.parse().unwrap_or_else(|e| {
+                    eprintln!("bad --spec `{text}`: {e}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--clients" => {
+                args.clients = value(&argv, i, "--clients").parse().expect("--clients");
+                i += 2;
+            }
+            "--requests" => {
+                args.requests = value(&argv, i, "--requests").parse().expect("--requests");
+                i += 2;
+            }
+            "--rows" => {
+                args.rows = value(&argv, i, "--rows").parse().expect("--rows");
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: loadgen [--url host:port | --self-host] [--tenant NAME] \
+                     [--spec ratio:0.05] [--clients N] [--requests N] [--rows N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    // self-hosted mode: demo engine + server in process; the requested
+    // tenant name (if any) is registered so `--tenant` keeps working
+    let hosted = if args.self_host || args.url.is_none() {
+        let demo = demo_engine(args.rows);
+        let tenant = args.tenant.as_deref().unwrap_or("loadgen");
+        let server = serve(
+            ServeHandle::new(demo.engine),
+            ServeConfig::default()
+                .workers(args.clients.max(2) + 2)
+                .tenant(tenant, TenantPolicy::with_rate(1e12, 1e12))
+                .default_tenant(tenant),
+        )
+        .expect("start self-hosted server");
+        println!("self-hosted demo server on http://{}", server.addr());
+        Some(server)
+    } else {
+        None
+    };
+    let addr: SocketAddr = match (&hosted, &args.url) {
+        (Some(server), _) => server.addr(),
+        (None, Some(url)) => {
+            // ToSocketAddrs resolves hostnames (`localhost:8642`), not just
+            // IP literals
+            use std::net::ToSocketAddrs;
+            let host_port = url.trim_start_matches("http://").trim_end_matches('/');
+            host_port
+                .to_socket_addrs()
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot resolve --url `{host_port}`: {e}");
+                    std::process::exit(2);
+                })
+                .next()
+                .unwrap_or_else(|| {
+                    eprintln!("--url `{host_port}` resolved to no address");
+                    std::process::exit(2);
+                })
+        }
+        _ => unreachable!(),
+    };
+
+    let body = query_body(args.tenant.as_deref(), args.spec, &demo_query_json());
+    let status_counts = Mutex::new(std::collections::BTreeMap::<u16, usize>::new());
+    let latencies = Mutex::new(Vec::<Duration>::new());
+    let digests = Mutex::new(std::collections::BTreeSet::<String>::new());
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.clients.max(1) {
+            scope.spawn(|| {
+                let mut client = Client::connect(addr, Duration::from_secs(30)).expect("connect");
+                let mut local_latencies = Vec::with_capacity(args.requests);
+                let mut local_counts = std::collections::BTreeMap::<u16, usize>::new();
+                let mut local_digests = std::collections::BTreeSet::new();
+                for _ in 0..args.requests {
+                    let t = Instant::now();
+                    match client.post("/query", &body) {
+                        Ok(response) => {
+                            local_latencies.push(t.elapsed());
+                            *local_counts.entry(response.status).or_default() += 1;
+                            if response.status == 200 {
+                                if let Some(digest) = response.json().ok().and_then(|v| {
+                                    v.get("digest").and_then(Json::as_str).map(String::from)
+                                }) {
+                                    local_digests.insert(digest);
+                                }
+                            }
+                        }
+                        Err(e) => {
+                            local_latencies.push(t.elapsed());
+                            eprintln!("transport error: {e}");
+                            *local_counts.entry(0).or_default() += 1;
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(local_latencies);
+                let mut counts = status_counts.lock().unwrap();
+                for (status, n) in local_counts {
+                    *counts.entry(status).or_default() += n;
+                }
+                digests.lock().unwrap().extend(local_digests);
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort();
+    let counts = status_counts.into_inner().unwrap();
+    let digests = digests.into_inner().unwrap();
+    let total: usize = counts.values().sum();
+    let ok = counts.get(&200).copied().unwrap_or(0);
+    let quantile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1].as_secs_f64() * 1e3
+    };
+
+    println!(
+        "\nloadgen: {} clients x {} requests, tenant {}, spec {}",
+        args.clients,
+        args.requests,
+        args.tenant.as_deref().unwrap_or("(default)"),
+        args.spec
+    );
+    println!("  elapsed      {:.3}s", elapsed.as_secs_f64());
+    println!(
+        "  throughput   {:.0} answers/s ({ok}/{total} OK)",
+        ok as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    for (status, n) in &counts {
+        match status {
+            0 => println!("  ERR          {n}"),
+            s => println!("  {s}          {n}"),
+        }
+    }
+    println!(
+        "  latency ms   p50 {:.3} | p90 {:.3} | p99 {:.3} | max {:.3}",
+        quantile(0.50),
+        quantile(0.90),
+        quantile(0.99),
+        latencies
+            .last()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    );
+    println!(
+        "  digests      {} distinct over {} OK answers{}",
+        digests.len(),
+        ok,
+        if digests.len() <= 1 {
+            " (stable)"
+        } else {
+            " (answers changed mid-run: updates?)"
+        }
+    );
+    if let Some(server) = hosted {
+        server.shutdown();
+    }
+}

@@ -1,17 +1,18 @@
-//! Writes a small JSON perf snapshot of the two serving-critical benchmarks
-//! (`plan_execution` and `concurrent_serving`) with short, fixed iteration
-//! counts — a CI-friendly smoke run whose output (`BENCH_pr3.json` by
-//! default) gives future changes a wall-clock trajectory to compare against.
+//! Writes a small JSON perf snapshot of the serving-critical benchmarks
+//! (`plan_execution`, `concurrent_serving` and the HTTP serving path) with
+//! short, fixed iteration counts — a CI-friendly smoke run whose output
+//! (`BENCH_pr4.json` by default) gives future changes a wall-clock
+//! trajectory to compare against.
 //!
 //! ```text
 //! cargo run --release -p beas-bench --bin perf_snapshot -- [OUT.json]
 //! ```
 //!
 //! The snapshot records mean/min wall-clock per measurement plus the answer
-//! digest of the concurrent run, so a regression in either speed *or*
-//! results is visible from the artifact alone.
+//! digests of the concurrent and network runs, so a regression in either
+//! speed *or* results is visible from the artifact alone.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use beas_bench::harness::{
     measure_concurrent_serving, prepare, prepare_with_threads, BenchProfile,
@@ -50,7 +51,7 @@ fn measure(name: &str, iters: usize, mut f: impl FnMut()) -> Sample {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
     const ITERS: usize = 5;
     let mut samples: Vec<Sample> = Vec::new();
 
@@ -100,6 +101,49 @@ fn main() {
         s.extra
             .push(("digest".to_string(), format!("\"{digest:016x}\"")));
         samples.push(s);
+    }
+
+    // ------------------------------------------------------- serving (HTTP)
+    // one keep-alive connection issuing the demo query against an in-process
+    // beas-serve server: the end-to-end network-path latency per answer
+    {
+        use beas_bench::serving::{demo_engine, demo_query_json};
+        use beas_core::ServeHandle;
+        use beas_serve::{query_body, serve, Client, Json, ServeConfig, TenantPolicy};
+
+        let demo = demo_engine(10_000);
+        let server = serve(
+            ServeHandle::new(std::sync::Arc::clone(&demo.engine)),
+            ServeConfig::default()
+                .workers(2)
+                .tenant("snapshot", TenantPolicy::with_rate(1e12, 1e12))
+                .default_tenant("snapshot"),
+        )
+        .expect("start server");
+        let body = query_body(None, ResourceSpec::Ratio(0.05), &demo_query_json());
+        let mut client = Client::connect(server.addr(), Duration::from_secs(30)).expect("connect");
+        const REQUESTS: usize = 50;
+        let mut digest = String::new();
+        let mut s = measure("serving/http_query/keepalive", ITERS, || {
+            for _ in 0..REQUESTS {
+                let response = client.post("/query", &body).expect("query");
+                assert_eq!(response.status, 200, "{}", response.body);
+                digest = response
+                    .json()
+                    .expect("answer json")
+                    .get("digest")
+                    .and_then(Json::as_str)
+                    .expect("digest")
+                    .to_string();
+            }
+        });
+        // per-request means are more comparable than per-batch
+        s.mean_s /= REQUESTS as f64;
+        s.min_s /= REQUESTS as f64;
+        s.extra
+            .push(("digest".to_string(), format!("\"{digest}\"")));
+        samples.push(s);
+        server.shutdown();
     }
 
     // --------------------------------------------------------------- output

@@ -431,9 +431,9 @@ pub fn fig_concurrency(profile: &BenchProfile) -> Table {
 
     let mut table = Table::new(
         format!(
-            "TPCH: concurrent serving and parallel build, varying threads (spec = {spec}, |D| = {}, min_shard_rows = {})",
+            "TPCH: concurrent serving and parallel build, varying threads (spec = {spec}, |D| = {}, min_shard_rows = {} [calibrated])",
             prep.size(),
-            beas_core::DEFAULT_MIN_SHARD_ROWS
+            prep.beas.min_shard_rows()
         ),
         vec![
             "threads",
@@ -474,6 +474,85 @@ pub fn fig_concurrency(profile: &BenchProfile) -> Table {
     table
 }
 
+/// Beyond the paper: the network-serving experiment behind `beas-serve`.
+/// Three tenant classes share one server — a generously provisioned `gold`
+/// tenant at a small spec, a `silver` tenant at a mid spec, and a `free`
+/// tenant whose token bucket only covers a couple of the maximal-budget
+/// queries it hammers the server with. Per class: throughput, p50/p99
+/// latency, `429` counts, and a digest column proving every served answer
+/// matched the in-process `PreparedQuery::answer` relation bit-for-bit —
+/// resource bounds enforced at the door, at equal accuracy.
+pub fn fig_serving(profile: &BenchProfile) -> Table {
+    use crate::serving::{demo_engine, measure_serving, TenantClass};
+    use beas_serve::TenantPolicy;
+
+    let rows = 2000 * profile.scale.max(1) as i64;
+    let demo = demo_engine(rows);
+    let full_budget = demo
+        .engine
+        .catalog()
+        .budget(&beas_core::ResourceSpec::FULL)
+        .expect("full budget") as f64;
+    let per_client = (profile.queries * 5).max(20);
+    let classes = [
+        TenantClass {
+            name: "gold".into(),
+            policy: TenantPolicy::with_rate(1e12, 1e12),
+            spec: beas_core::ResourceSpec::Ratio(0.05),
+            clients: 2,
+            requests_per_client: per_client,
+        },
+        TenantClass {
+            name: "silver".into(),
+            policy: TenantPolicy::with_rate(1e12, 1e12),
+            spec: beas_core::ResourceSpec::Ratio(0.2),
+            clients: 2,
+            requests_per_client: per_client,
+        },
+        TenantClass {
+            name: "free".into(),
+            policy: TenantPolicy::with_rate(full_budget / 20.0, full_budget * 1.5),
+            spec: beas_core::ResourceSpec::FULL,
+            clients: 2,
+            requests_per_client: per_client,
+        },
+    ];
+    let results = measure_serving(&demo, &classes, 8);
+
+    let mut table = Table::new(
+        format!(
+            "Serving over HTTP: per-tenant-class admission, latency and throughput (|D| = {rows}, one shared server)"
+        ),
+        vec![
+            "tenant",
+            "spec",
+            "clients",
+            "requests",
+            "ok",
+            "429",
+            "answers/s",
+            "p50_ms",
+            "p99_ms",
+            "digest",
+        ],
+    );
+    for r in &results {
+        table.push_row(vec![
+            r.name.clone(),
+            r.spec.to_string(),
+            r.clients.to_string(),
+            r.requests.to_string(),
+            r.ok.to_string(),
+            r.rejected.to_string(),
+            format!("{:.0}", r.throughput()),
+            format!("{:.3}", r.quantile_ms(0.5)),
+            format!("{:.3}", r.quantile_ms(0.99)),
+            if r.digest_ok { "ok" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    table
+}
+
 /// All figures, in paper order (used by `figures all`).
 pub fn all_figures(profile: &BenchProfile) -> Vec<Table> {
     vec![
@@ -491,6 +570,7 @@ pub fn all_figures(profile: &BenchProfile) -> Vec<Table> {
         fig6l_efficiency(profile),
         fig_plan_cache(profile),
         fig_concurrency(profile),
+        fig_serving(profile),
     ]
 }
 
@@ -589,6 +669,29 @@ mod tests {
                 "answers must be identical at every thread count"
             );
         }
+    }
+
+    #[test]
+    fn serving_table_proves_isolation_at_equal_accuracy() {
+        let t = fig_serving(&tiny_profile());
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            assert_eq!(row[9], "ok", "served answers must match in-process digests");
+        }
+        let gold = &t.rows[0];
+        let free = &t.rows[2];
+        // the compliant tenant is fully served …
+        assert_eq!(gold[4], gold[3], "gold: every request answered");
+        assert_eq!(gold[5], "0", "gold: no rejections");
+        // … while the saturator is bounded by its own budget
+        let free_429: usize = free[5].parse().unwrap();
+        assert!(free_429 > 0, "free: the saturator must see 429s");
+        // and its pressure does not push gold's p99 beyond a generous bound
+        let gold_p99_ms: f64 = gold[8].parse().unwrap();
+        assert!(
+            gold_p99_ms < 2000.0,
+            "gold p99 {gold_p99_ms}ms pushed past its bound"
+        );
     }
 
     #[test]

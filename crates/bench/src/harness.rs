@@ -3,7 +3,6 @@
 //! plus the timing probes for the serving-path experiments (plan cache,
 //! concurrent serving, parallel index build).
 
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -526,15 +525,10 @@ impl ServingRun {
 }
 
 /// Order-independent digest of one answer relation (rows are sorted first).
+/// Delegates to [`Relation::digest`], which the serving wire protocol shares,
+/// so a digest measured here is directly comparable to one served over HTTP.
 fn digest_relation(rel: &beas_relal::Relation) -> u64 {
-    let mut rows = rel.to_rows();
-    rows.sort();
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    rel.columns.hash(&mut hasher);
-    for row in rows {
-        row.hash(&mut hasher);
-    }
-    hasher.finish()
+    rel.digest()
 }
 
 /// Drives `rounds × queries` answers through shared [`PreparedQuery`] handles

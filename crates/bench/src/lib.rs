@@ -25,6 +25,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod serving;
 pub mod table;
 
 pub use harness::{BenchProfile, MethodAccuracy, Metric, QueryClass};

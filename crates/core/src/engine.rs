@@ -40,6 +40,7 @@
 //! governed by [`BeasBuilder::num_threads`], which defaults to the machine's
 //! available parallelism.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use beas_access::{
@@ -50,7 +51,9 @@ use beas_relal::{Database, DatabaseSchema, Relation, Row};
 
 use crate::accuracy::{exact_answers, rc_accuracy, AccuracyConfig, RcReport};
 use crate::error::Result;
-use crate::executor::{execute_plan_with_options, ExecOptions, ExecutionOutcome};
+use crate::executor::{
+    calibrated_min_shard_rows, execute_plan_with_options, ExecOptions, ExecutionOutcome,
+};
 use crate::planner::{BoundedPlan, Planner};
 use crate::prepared::PreparedQuery;
 use crate::query::BeasQuery;
@@ -168,6 +171,7 @@ pub struct BeasBuilder {
     options: AtOptions,
     policy: BudgetPolicy,
     threads: Option<usize>,
+    min_shard_rows: Option<usize>,
 }
 
 impl BeasBuilder {
@@ -181,6 +185,7 @@ impl BeasBuilder {
             options: AtOptions::default(),
             policy: BudgetPolicy::default(),
             threads: None,
+            min_shard_rows: None,
         }
     }
 
@@ -191,6 +196,15 @@ impl BeasBuilder {
     /// deterministic.
     pub fn num_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Pins the smallest sharded-atom row count for which plan execution
+    /// engages parallel leaf evaluation, overriding the startup calibration
+    /// ([`calibrated_min_shard_rows`]) the builder performs otherwise.
+    /// Clamped to at least 1; never affects answers, only wall-clock.
+    pub fn min_shard_rows(mut self, rows: usize) -> Self {
+        self.min_shard_rows = Some(rows.max(1));
         self
     }
 
@@ -272,6 +286,10 @@ impl BeasBuilder {
             writer: Mutex::new(()),
             schema,
             threads,
+            min_shard_rows: self
+                .min_shard_rows
+                .unwrap_or_else(calibrated_min_shard_rows),
+            stats: StatsCounters::default(),
         })
     }
 }
@@ -281,6 +299,55 @@ fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Internal atomic request counters of one [`Beas`] handle. Bumped lock-free
+/// on the hot paths; read as one [`EngineStats`] snapshot.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCounters {
+    pub(crate) queries: AtomicU64,
+    pub(crate) tuples_accessed: AtomicU64,
+    pub(crate) updates: AtomicU64,
+    pub(crate) rows_inserted: AtomicU64,
+    pub(crate) plan_cache_hits: AtomicU64,
+    pub(crate) plan_cache_misses: AtomicU64,
+}
+
+impl StatsCounters {
+    /// Records one answered query and its access accounting.
+    pub(crate) fn record_answer(&self, accessed: usize) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.tuples_accessed
+            .fetch_add(accessed as u64, Ordering::Relaxed);
+    }
+
+    /// Records one applied update batch.
+    pub(crate) fn record_update(&self, rows: usize) {
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        self.rows_inserted.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of an engine handle's request statistics — the
+/// request-stats hook a serving front-end exposes under `GET /metrics`.
+/// Counters are per [`Beas`] handle (a [`Beas::clone`] starts at zero) and
+/// cover both the direct [`Beas::answer`] path and every [`PreparedQuery`]
+/// created from the handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Queries answered (including zero-budget empty answers).
+    pub queries: u64,
+    /// Total tuples accessed by answered queries.
+    pub tuples_accessed: u64,
+    /// Update batches applied (component C2).
+    pub updates: u64,
+    /// Rows inserted across all applied batches.
+    pub rows_inserted: u64,
+    /// Prepared-query plan-cache hits (answers that skipped planning).
+    pub plan_cache_hits: u64,
+    /// Prepared-query plan-cache misses (budgets planned for the first time,
+    /// or re-planned after maintenance invalidated the cache).
+    pub plan_cache_misses: u64,
 }
 
 /// One consistent `(database, catalog)` pair published by the engine.
@@ -323,15 +390,25 @@ pub struct Beas {
     /// building and validation need no snapshot.
     schema: DatabaseSchema,
     threads: usize,
+    /// Parallel-leaf threshold for sharded execution, resolved at build time
+    /// (startup calibration unless the builder pinned it).
+    min_shard_rows: usize,
+    /// Request statistics (see [`Beas::stats`]); plain atomics so the hot
+    /// paths bump them without any lock.
+    pub(crate) stats: StatsCounters,
 }
 
 impl Clone for Beas {
+    /// Clones the engine handle over the current snapshot. The clone starts
+    /// with fresh request statistics — stats are per-handle, not per-data.
     fn clone(&self) -> Self {
         Beas {
             state: RwLock::new(self.snapshot()),
             writer: Mutex::new(()),
             schema: self.schema.clone(),
             threads: self.threads,
+            min_shard_rows: self.min_shard_rows,
+            stats: StatsCounters::default(),
         }
     }
 }
@@ -373,6 +450,27 @@ impl Beas {
         self.threads
     }
 
+    /// The parallel-leaf threshold sharded execution runs with: the startup
+    /// calibration's pick ([`calibrated_min_shard_rows`]) unless
+    /// [`BeasBuilder::min_shard_rows`] pinned a value.
+    pub fn min_shard_rows(&self) -> usize {
+        self.min_shard_rows
+    }
+
+    /// A snapshot of this handle's request statistics (queries answered,
+    /// tuples accessed, updates applied, plan-cache hits/misses). Lock-free
+    /// on both the read and the write side.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            queries: self.stats.queries.load(Ordering::Relaxed),
+            tuples_accessed: self.stats.tuples_accessed.load(Ordering::Relaxed),
+            updates: self.stats.updates.load(Ordering::Relaxed),
+            rows_inserted: self.stats.rows_inserted.load(Ordering::Relaxed),
+            plan_cache_hits: self.stats.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.stats.plan_cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
     /// Registers an additional template family and returns its id.
     pub fn add_family(&self, family: beas_access::TemplateFamily) -> FamilyId {
         let _writer = self.writer.lock().expect("writer lock poisoned");
@@ -403,10 +501,12 @@ impl Beas {
         let budget = snapshot.catalog.budget(&spec)?;
         if budget == 0 {
             query.validate(&snapshot.catalog.schema)?;
+            self.stats.record_answer(0);
             return Ok(empty_answer(query.output_columns()));
         }
         let plan = Planner::new(&snapshot.catalog).plan_with_budget(query, budget)?;
         let outcome = self.execute_on(&plan, &snapshot)?;
+        self.stats.record_answer(outcome.accessed);
         Ok(answer_from(&plan, outcome))
     }
 
@@ -415,7 +515,15 @@ impl Beas {
     /// — re-planning is skipped whenever the budget was seen before (and the
     /// catalog has not changed since).
     pub fn prepare(&self, query: &BeasQuery) -> Result<PreparedQuery<'_>> {
-        PreparedQuery::new(self, query)
+        PreparedQuery::borrowed(self, query)
+    }
+
+    /// [`Beas::prepare`] for an engine shared behind an `Arc`: the returned
+    /// handle owns an `Arc` clone instead of a borrow, so it is `'static` and
+    /// can be stored in long-lived serving state (a connection pool, a
+    /// prepared-statement registry) that outlives any one stack frame.
+    pub fn prepare_shared(self: &Arc<Self>, query: &BeasQuery) -> Result<PreparedQuery<'static>> {
+        PreparedQuery::shared(Arc::clone(self), query)
     }
 
     /// Executes a previously generated plan against the current snapshot.
@@ -434,7 +542,9 @@ impl Beas {
         execute_plan_with_options(
             plan,
             &snapshot.catalog,
-            ExecOptions::budgeted(plan.budget.max(plan.tariff)).with_threads(self.threads),
+            ExecOptions::budgeted(plan.budget.max(plan.tariff))
+                .with_threads(self.threads)
+                .with_min_shard_rows(self.min_shard_rows),
         )
     }
 
@@ -505,12 +615,49 @@ impl Beas {
             db: Arc::new(db),
             catalog: Arc::new(catalog),
         });
+        self.stats.record_update(batch.len());
         Ok(batch.len())
     }
 
     /// Atomically swaps in a new snapshot (callers hold the writer lock).
     fn publish(&self, snapshot: EngineSnapshot) {
         *self.state.write().expect("engine state poisoned") = snapshot;
+    }
+}
+
+/// A cheaply cloneable serving handle over a shared engine: the hook a
+/// network front-end builds on. It wraps `Arc<Beas>`, hands out owned
+/// (`'static`) [`PreparedQuery`] handles via [`ServeHandle::prepare`], and
+/// exposes the engine's request statistics for a `/metrics` endpoint —
+/// without the front-end having to thread lifetimes through its connection
+/// state.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    engine: Arc<Beas>,
+}
+
+impl ServeHandle {
+    /// A serving handle over `engine`. Accepts a [`Beas`] or an existing
+    /// `Arc<Beas>`; clones of the handle share the engine (and its stats).
+    pub fn new(engine: impl Into<Arc<Beas>>) -> Self {
+        ServeHandle {
+            engine: engine.into(),
+        }
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Beas> {
+        &self.engine
+    }
+
+    /// Prepares a query into an owned handle (see [`Beas::prepare_shared`]).
+    pub fn prepare(&self, query: &BeasQuery) -> Result<PreparedQuery<'static>> {
+        self.engine.prepare_shared(query)
+    }
+
+    /// The engine's request statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 }
 
@@ -1024,6 +1171,102 @@ mod tests {
         let answer = beas.answer(&q, ResourceSpec::FULL).unwrap();
         let truth = beas.exact_answers(&q).unwrap();
         assert_eq!(answer.answers.clone().sorted(), truth.sorted());
+    }
+
+    #[test]
+    fn min_shard_rows_is_calibrated_and_overridable() {
+        let calibrated = Beas::builder(example_db(50))
+            .constraints(constraints())
+            .build()
+            .unwrap();
+        assert_eq!(
+            calibrated.min_shard_rows(),
+            crate::executor::calibrated_min_shard_rows(),
+            "builder default must be the startup calibration"
+        );
+        assert!(calibrated.min_shard_rows() >= 16);
+        let pinned = Beas::builder(example_db(50))
+            .constraints(constraints())
+            .min_shard_rows(128)
+            .build()
+            .unwrap();
+        assert_eq!(pinned.min_shard_rows(), 128);
+        // zero is clamped
+        let clamped = Beas::builder(example_db(50))
+            .constraints(constraints())
+            .min_shard_rows(0)
+            .build()
+            .unwrap();
+        assert_eq!(clamped.min_shard_rows(), 1);
+        // the threshold never affects answers
+        let q = hotels_in(&pinned.database(), "NYC", 200);
+        let a = pinned.answer(&q, ResourceSpec::FULL).unwrap();
+        let b = calibrated.answer(&q, ResourceSpec::FULL).unwrap();
+        assert_eq!(a.answers, b.answers);
+    }
+
+    #[test]
+    fn stats_hook_counts_queries_updates_and_cache_traffic() {
+        let beas = engine(200);
+        assert_eq!(beas.stats(), crate::engine::EngineStats::default());
+        let q = hotels_in(&beas.database(), "NYC", 200);
+
+        let answer = beas.answer(&q, ResourceSpec::Ratio(0.2)).unwrap();
+        let after_answer = beas.stats();
+        assert_eq!(after_answer.queries, 1);
+        assert_eq!(after_answer.tuples_accessed, answer.accessed as u64);
+
+        // prepared path: first answer misses the plan cache, repeat hits
+        let prepared = beas.prepare(&q).unwrap();
+        prepared.answer(ResourceSpec::Ratio(0.2)).unwrap();
+        prepared.answer(ResourceSpec::Ratio(0.2)).unwrap();
+        let after_prepared = beas.stats();
+        assert_eq!(after_prepared.queries, 3);
+        assert_eq!(after_prepared.plan_cache_misses, 1);
+        assert_eq!(after_prepared.plan_cache_hits, 1);
+
+        // zero-budget answers count as queries with zero access
+        beas.answer(&q, ResourceSpec::Ratio(0.0)).unwrap();
+        assert_eq!(beas.stats().queries, 4);
+        assert_eq!(beas.stats().tuples_accessed, after_prepared.tuples_accessed);
+
+        // updates
+        beas.insert_row(
+            "poi",
+            vec![
+                Value::from("x"),
+                Value::from("hotel"),
+                Value::from("NYC"),
+                Value::Double(50.0),
+            ],
+        )
+        .unwrap();
+        let after_update = beas.stats();
+        assert_eq!(after_update.updates, 1);
+        assert_eq!(after_update.rows_inserted, 1);
+
+        // a cloned handle starts fresh
+        assert_eq!(beas.clone().stats(), crate::engine::EngineStats::default());
+    }
+
+    #[test]
+    fn prepare_shared_hands_out_static_handles() {
+        let beas = Arc::new(engine(150));
+        let q = hotels_in(&beas.database(), "NYC", 200);
+        let direct = beas.answer(&q, ResourceSpec::Ratio(0.5)).unwrap();
+
+        // the prepared handle may outlive every borrow of the engine
+        let prepared: PreparedQuery<'static> = beas.prepare_shared(&q).unwrap();
+        let handle = std::thread::spawn(move || prepared.answer(ResourceSpec::Ratio(0.5)).unwrap());
+        let via_shared = handle.join().unwrap();
+        assert_eq!(via_shared.answers.sorted(), direct.answers.clone().sorted());
+
+        // the ServeHandle facade wraps the same machinery
+        let serve = crate::engine::ServeHandle::new(Arc::clone(&beas));
+        let prepared = serve.prepare(&q).unwrap();
+        prepared.answer(ResourceSpec::Ratio(0.5)).unwrap();
+        assert!(serve.stats().queries >= 3);
+        assert!(Arc::ptr_eq(serve.engine(), &beas));
     }
 
     #[test]

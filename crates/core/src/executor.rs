@@ -57,6 +57,61 @@ pub struct ExecutionOutcome {
 /// [`ExecOptions::with_min_shard_rows`].
 pub const DEFAULT_MIN_SHARD_ROWS: usize = 64;
 
+/// The startup-calibrated value for [`ExecOptions::min_shard_rows`]: the
+/// sharded-atom row count at which the measured per-row leaf-evaluation work
+/// amortizes the measured cost of spawning and joining scoped worker threads.
+///
+/// Measured once per process (a few hundred microseconds) on first use —
+/// `BeasBuilder::build` reads it unless the builder pinned an explicit
+/// threshold. The threshold only gates when parallelism engages; answers are
+/// bit-for-bit identical for every value, so a noisy calibration can cost
+/// wall-clock but never correctness.
+pub fn calibrated_min_shard_rows() -> usize {
+    use std::sync::OnceLock;
+    static CALIBRATED: OnceLock<usize> = OnceLock::new();
+    *CALIBRATED.get_or_init(measure_min_shard_rows)
+}
+
+/// One spawn/steal + per-row work measurement (see
+/// [`calibrated_min_shard_rows`]).
+fn measure_min_shard_rows() -> usize {
+    use std::time::Instant;
+
+    // cost of engaging parallelism: spawn + join one scoped worker
+    const SPAWN_ITERS: usize = 16;
+    let start = Instant::now();
+    for _ in 0..SPAWN_ITERS {
+        std::thread::scope(|s| {
+            s.spawn(|| std::hint::black_box(0u64));
+        });
+    }
+    let spawn_s = start.elapsed().as_secs_f64() / SPAWN_ITERS as f64;
+
+    // representative per-row leaf work: a predicate kernel over a typed
+    // column producing a selection index vector, applied as a gather — the
+    // shape of the columnar scan path the shards actually run
+    const ROWS: usize = 8 * 1024;
+    const EVAL_ITERS: usize = 8;
+    let col: Vec<i64> = (0..ROWS as i64).map(|i| (i * 37) % 1024).collect();
+    let start = Instant::now();
+    for _ in 0..EVAL_ITERS {
+        let sel: Vec<usize> = col
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v < 512)
+            .map(|(i, _)| i)
+            .collect();
+        let gathered: Vec<i64> = sel.iter().map(|&i| col[i]).collect();
+        std::hint::black_box(gathered.len());
+    }
+    let per_row_s = start.elapsed().as_secs_f64() / (EVAL_ITERS * ROWS) as f64;
+
+    // engage threads once a shard's work amortizes ~4 spawns; clamp away
+    // both degenerate timer readings and pathological calibrations
+    let rows = (4.0 * spawn_s / per_row_s.max(1e-12)).ceil() as usize;
+    rows.clamp(16, 16 * 1024)
+}
+
 /// Execution knobs: the enforced budget and the shard parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {

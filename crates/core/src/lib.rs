@@ -86,11 +86,14 @@ pub use accuracy::{
     FMeasure, RcReport,
 };
 pub use beas_access::{BudgetPolicy, ResourceSpec};
-pub use engine::{Beas, BeasAnswer, BeasBuilder, ConstraintSpec, EngineSnapshot, UpdateBatch};
+pub use engine::{
+    Beas, BeasAnswer, BeasBuilder, ConstraintSpec, EngineSnapshot, EngineStats, ServeHandle,
+    UpdateBatch,
+};
 pub use error::{BeasError, Result};
 pub use executor::{
-    execute_plan, execute_plan_with_budget, execute_plan_with_options, execute_plan_with_spec,
-    ExecOptions, ExecutionOutcome, DEFAULT_MIN_SHARD_ROWS,
+    calibrated_min_shard_rows, execute_plan, execute_plan_with_budget, execute_plan_with_options,
+    execute_plan_with_spec, ExecOptions, ExecutionOutcome, DEFAULT_MIN_SHARD_ROWS,
 };
 pub use plan::{FetchNode, FetchPlan, KeySource, LeafPlan};
 pub use planner::{BoundedPlan, DistanceBounds, Planner};

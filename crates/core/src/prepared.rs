@@ -68,11 +68,30 @@ struct PlanCache {
     by_budget: HashMap<usize, CacheEntry>,
 }
 
+/// How a [`PreparedQuery`] refers to its engine: borrowed for the classic
+/// scoped lifecycle ([`Beas::prepare`]), shared (`Arc`) for `'static` handles
+/// stored in serving state ([`Beas::prepare_shared`]).
+#[derive(Debug)]
+enum EngineRef<'e> {
+    Borrowed(&'e Beas),
+    Shared(Arc<Beas>),
+}
+
+impl EngineRef<'_> {
+    fn get(&self) -> &Beas {
+        match self {
+            EngineRef::Borrowed(e) => e,
+            EngineRef::Shared(e) => e,
+        }
+    }
+}
+
 /// A validated query handle with a per-budget plan cache (see the module
-/// docs). Created by [`Beas::prepare`].
+/// docs). Created by [`Beas::prepare`] (borrowing the engine) or
+/// [`Beas::prepare_shared`] (owning an `Arc` of it, `'static`).
 #[derive(Debug)]
 pub struct PreparedQuery<'e> {
-    engine: &'e Beas,
+    engine: EngineRef<'e>,
     query: BeasQuery,
     /// Output column names, compiled once at prepare time.
     output_columns: Vec<String>,
@@ -84,14 +103,18 @@ pub struct PreparedQuery<'e> {
 
 impl<'e> PreparedQuery<'e> {
     /// Validates `query` once and wraps it with an empty plan cache.
-    pub(crate) fn new(engine: &'e Beas, query: &BeasQuery) -> Result<Self> {
-        query.validate(engine.schema())?;
+    pub(crate) fn borrowed(engine: &'e Beas, query: &BeasQuery) -> Result<Self> {
+        Self::new(EngineRef::Borrowed(engine), query)
+    }
+
+    fn new(engine: EngineRef<'e>, query: &BeasQuery) -> Result<Self> {
+        query.validate(engine.get().schema())?;
         Ok(PreparedQuery {
-            engine,
             query: query.clone(),
             output_columns: query.output_columns(),
             plans: RwLock::new(PlanCache::default()),
             tick: AtomicU64::new(0),
+            engine,
         })
     }
 
@@ -102,7 +125,7 @@ impl<'e> PreparedQuery<'e> {
 
     /// The engine the query was prepared against.
     pub fn engine(&self) -> &Beas {
-        self.engine
+        self.engine.get()
     }
 
     /// Number of distinct budgets with a cached plan (for the current catalog
@@ -120,7 +143,7 @@ impl<'e> PreparedQuery<'e> {
     /// (and cached) otherwise. Zero specs are an error, as in
     /// [`Planner::plan`].
     pub fn plan(&self, spec: ResourceSpec) -> Result<Arc<BoundedPlan>> {
-        let snapshot = self.engine.snapshot();
+        let snapshot = self.engine().snapshot();
         let budget = snapshot.catalog().budget(&spec)?;
         if budget == 0 {
             // delegate for the uniform zero-budget error message
@@ -150,10 +173,18 @@ impl<'e> PreparedQuery<'e> {
                         self.tick.fetch_add(1, Ordering::Relaxed) + 1,
                         Ordering::Relaxed,
                     );
+                    self.engine()
+                        .stats
+                        .plan_cache_hits
+                        .fetch_add(1, Ordering::Relaxed);
                     return Ok(Arc::clone(&entry.plan));
                 }
             }
         }
+        self.engine()
+            .stats
+            .plan_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
         let plan =
             Arc::new(Planner::new(snapshot.catalog()).plan_prevalidated(&self.query, budget)?);
         let mut cache = self.plans.write().expect("plan cache poisoned");
@@ -195,14 +226,25 @@ impl<'e> PreparedQuery<'e> {
     /// exactly like [`Beas::answer`]. Thread-safe: the plan and the execution
     /// share one consistent engine snapshot.
     pub fn answer(&self, spec: ResourceSpec) -> Result<BeasAnswer> {
-        let snapshot = self.engine.snapshot();
+        let engine = self.engine();
+        let snapshot = engine.snapshot();
         let budget = snapshot.catalog().budget(&spec)?;
         if budget == 0 {
+            engine.stats.record_answer(0);
             return Ok(empty_answer(self.output_columns.clone()));
         }
         let plan = self.plan_for_budget(&snapshot, budget)?;
-        let outcome = self.engine.execute_on(&plan, &snapshot)?;
+        let outcome = engine.execute_on(&plan, &snapshot)?;
+        engine.stats.record_answer(outcome.accessed);
         Ok(answer_from(&plan, outcome))
+    }
+}
+
+impl PreparedQuery<'static> {
+    /// Validates `query` once against a shared engine; the handle owns an
+    /// `Arc` clone, so it can be stored in `'static` serving state.
+    pub(crate) fn shared(engine: Arc<Beas>, query: &BeasQuery) -> Result<Self> {
+        Self::new(EngineRef::Shared(engine), query)
     }
 }
 

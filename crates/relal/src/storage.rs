@@ -891,6 +891,29 @@ impl Relation {
         self.sort_rows();
         self
     }
+
+    /// Order-independent digest of the relation: rows are sorted first, so two
+    /// relations with the same column names and the same row multiset digest
+    /// equal regardless of physical row order or column layout. Used by the
+    /// serving wire protocol and the bench harness to prove that answers
+    /// delivered over the network (or across thread counts) are bit-for-bit
+    /// the relations produced in process.
+    ///
+    /// Built on the in-repo [`FxHasher`](crate::FxHasher) — a fully specified
+    /// algorithm, unlike std's `DefaultHasher` — so digests are stable across
+    /// Rust toolchains: a client and a server from different builds agree on
+    /// the digest of identical answers.
+    pub fn digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut rows = self.to_rows();
+        rows.sort();
+        let mut hasher = crate::fasthash::FxHasher::default();
+        self.columns.hash(&mut hasher);
+        for row in rows {
+            row.hash(&mut hasher);
+        }
+        hasher.finish()
+    }
 }
 
 /// Iterator over the materialised rows of a [`Relation`].

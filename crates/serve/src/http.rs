@@ -1,0 +1,212 @@
+//! A deliberately small HTTP/1.1 layer over `std::net::TcpStream`: request
+//! parsing with a hard body cap, `Expect: 100-continue` handling, keep-alive,
+//! and response writing. Just enough protocol for the JSON wire — TLS, HTTP/2
+//! and gRPC are ROADMAP follow-ups.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted size of the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The request target (path only; any query string is kept verbatim).
+    pub path: String,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The request body.
+    pub body: Vec<u8>,
+    /// Whether the connection should be kept open after responding.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The first value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Bad("request body is not valid UTF-8".into()))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The client closed the connection (normal end of keep-alive).
+    Closed,
+    /// An I/O error (timeout, reset).
+    Io(std::io::Error),
+    /// A malformed request head or body (HTTP 400).
+    Bad(String),
+    /// The declared body exceeds the configured cap (HTTP 413).
+    TooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+/// Reads one request from the connection. `max_body` caps the accepted
+/// `Content-Length`; an oversized declaration is reported *before* reading
+/// the body so the server can reject without buffering it.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, HttpError> {
+    // ---- request line
+    let line = read_line(reader)?;
+    if line.is_empty() {
+        return Err(HttpError::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Bad(format!("malformed request line `{line}`")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!("unsupported version `{version}`")));
+    }
+    let http_10 = version == "HTTP/1.0";
+
+    // ---- headers
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        let line = read_line(reader)?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::Bad("request head too large".into()));
+        }
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Bad(format!("malformed header `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    let connection = header("connection").unwrap_or("").to_ascii_lowercase();
+    let keep_alive = if http_10 {
+        connection.contains("keep-alive")
+    } else {
+        !connection.contains("close")
+    };
+
+    // ---- body
+    if header("transfer-encoding").is_some() {
+        return Err(HttpError::Bad(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    let content_length: usize = match header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Bad(format!("bad content-length `{v}`")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::TooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    // curl sends `Expect: 100-continue` for non-trivial bodies and waits for
+    // the interim response before transmitting them
+    if header("expect")
+        .map(|v| v.eq_ignore_ascii_case("100-continue"))
+        .unwrap_or(false)
+    {
+        reader
+            .get_mut()
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(HttpError::Io)?;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path: target.to_string(),
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reads one CRLF-terminated line (without the terminator).
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    // cap pathological lines at the head limit
+    let mut limited = reader.by_ref().take(MAX_HEAD_BYTES as u64 + 2);
+    let n = limited
+        .read_until(b'\n', &mut line)
+        .map_err(HttpError::Io)?;
+    if n == 0 {
+        return Ok(String::new()); // EOF
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Bad("non-UTF-8 request head".into()))
+}
+
+/// The reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one JSON response. `extra_headers` lets handlers attach e.g.
+/// `Retry-After`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if !keep_alive {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,193 @@
+//! Per-tenant serving metrics: request counters, tuple accounting and a
+//! fixed-bucket latency histogram cheap enough to bump on every request
+//! (atomics only, no locks on the hot path).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Number of logarithmic latency buckets: bucket `i` covers latencies below
+/// `2^i` microseconds, the last bucket is a catch-all.
+const BUCKETS: usize = 28;
+
+/// A lock-free latency histogram over power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observed latency.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.total_us.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile latency in microseconds: the upper
+    /// edge of the bucket containing the quantile observation (0 when
+    /// empty). Resolution is a factor of two — plenty for spotting a tenant
+    /// pushed from microseconds to milliseconds.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Counters for one tenant.
+#[derive(Debug, Default)]
+pub struct TenantMetrics {
+    /// Requests admitted (including ones that later failed in the engine).
+    pub admitted: AtomicU64,
+    /// Requests rejected over budget (token bucket).
+    pub rejected_budget: AtomicU64,
+    /// Requests rejected because the in-flight cap / queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests that failed in the engine (HTTP 4xx/5xx after admission).
+    pub failed: AtomicU64,
+    /// Budget tuples charged against the token bucket.
+    pub tuples_charged: AtomicU64,
+    /// Tuples actually accessed by completed queries.
+    pub tuples_accessed: AtomicU64,
+    /// End-to-end handler latency of admitted requests.
+    pub latency: LatencyHistogram,
+}
+
+impl TenantMetrics {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records an admitted request's charge.
+    pub fn record_admitted(&self, charged: f64) {
+        Self::add(&self.admitted, 1);
+        Self::add(&self.tuples_charged, charged.max(0.0) as u64);
+    }
+
+    /// Records a completed request.
+    pub fn record_completed(&self, accessed: usize, latency: Duration) {
+        Self::add(&self.completed, 1);
+        Self::add(&self.tuples_accessed, accessed as u64);
+        self.latency.record(latency);
+    }
+
+    /// Records a post-admission failure.
+    pub fn record_failed(&self, latency: Duration) {
+        Self::add(&self.failed, 1);
+        self.latency.record(latency);
+    }
+
+    /// Renders the tenant's counters as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let get = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+        Json::obj(vec![
+            ("admitted", get(&self.admitted)),
+            ("rejected_budget", get(&self.rejected_budget)),
+            ("rejected_busy", get(&self.rejected_busy)),
+            ("completed", get(&self.completed)),
+            ("failed", get(&self.failed)),
+            ("tuples_charged", get(&self.tuples_charged)),
+            ("tuples_accessed", get(&self.tuples_accessed)),
+            ("latency_count", Json::Int(self.latency.count() as i64)),
+            ("latency_mean_us", Json::Num(self.latency.mean_us())),
+            (
+                "latency_p50_us",
+                Json::Int(self.latency.quantile_us(0.50) as i64),
+            ),
+            (
+                "latency_p99_us",
+                Json::Int(self.latency.quantile_us(0.99) as i64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        // p50 of mostly ~tens of µs sits in a small bucket …
+        assert!(h.quantile_us(0.5) <= 128, "p50 = {}", h.quantile_us(0.5));
+        // … while p99 must see the 10 ms outlier
+        assert!(h.quantile_us(0.99) >= 10_000);
+        assert!(h.mean_us() > 0.0);
+        // quantiles are upper bounds
+        assert!(h.quantile_us(1.0) >= 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn tenant_metrics_render_to_json() {
+        let m = TenantMetrics::default();
+        m.record_admitted(150.0);
+        m.record_completed(120, Duration::from_micros(500));
+        m.record_failed(Duration::from_micros(100));
+        let json = m.to_json();
+        assert_eq!(json.get("admitted").and_then(Json::as_i64), Some(1));
+        assert_eq!(json.get("completed").and_then(Json::as_i64), Some(1));
+        assert_eq!(json.get("failed").and_then(Json::as_i64), Some(1));
+        assert_eq!(json.get("tuples_charged").and_then(Json::as_i64), Some(150));
+        assert_eq!(
+            json.get("tuples_accessed").and_then(Json::as_i64),
+            Some(120)
+        );
+        assert_eq!(json.get("latency_count").and_then(Json::as_i64), Some(2));
+    }
+}

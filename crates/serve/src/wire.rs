@@ -1,0 +1,511 @@
+//! The JSON wire protocol: queries, resource specs, update batches and
+//! answers as JSON values.
+//!
+//! A wire query mirrors the tableau form the planner works on — SPC blocks
+//! (`atoms` / `binds` / `joins` / `filters` / `outputs`) composed with
+//! `union` / `difference` and optionally wrapped in an `aggregate`:
+//!
+//! ```json
+//! {"type": "spc",
+//!  "atoms":   [{"relation": "poi", "alias": "h"}],
+//!  "binds":   [{"atom": "h", "attr": "type", "value": "hotel"}],
+//!  "filters": [{"atom": "h", "attr": "price", "op": "<=", "value": 95}],
+//!  "outputs": [{"atom": "h", "attr": "price", "name": "price"}]}
+//! ```
+//!
+//! Resource specs travel in the canonical [`ResourceSpec`] string form
+//! (`"ratio:0.1"`, `"tuples:500"`), so the server, the bench CLIs and the
+//! docs all share one vocabulary. Answers carry the relation (columns +
+//! rows), the accuracy bound η, the access accounting and an
+//! order-independent [`Relation::digest`] so clients can verify — and the
+//! bench harness does verify — that the served answers are bit-for-bit the
+//! relations `PreparedQuery::answer` produces in process.
+
+use std::fmt;
+
+use beas_access::ResourceSpec;
+use beas_core::{AggQuery, BeasAnswer, BeasQuery, RaQuery, UpdateBatch};
+use beas_relal::{AggFunc, CompareOp, DatabaseSchema, Relation, Row, SpcQueryBuilder, Value};
+
+use crate::json::Json;
+
+/// A wire-protocol decoding error (maps to HTTP 400).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl WireError {
+    fn new(msg: impl Into<String>) -> Self {
+        WireError(msg.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type Result<T> = std::result::Result<T, WireError>;
+
+fn field<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a Json> {
+    obj.get(key)
+        .ok_or_else(|| WireError::new(format!("{ctx}: missing field `{key}`")))
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str> {
+    field(obj, key, ctx)?
+        .as_str()
+        .ok_or_else(|| WireError::new(format!("{ctx}: field `{key}` must be a string")))
+}
+
+// ---------------------------------------------------------------- values
+
+/// Decodes one JSON value into a database [`Value`]. Tagged objects carry
+/// the non-finite floats JSON cannot represent.
+pub fn value_from_json(v: &Json) -> Result<Value> {
+    match v {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::Num(f) => Ok(Value::Double(*f)),
+        Json::Str(s) => Ok(Value::Str(s.clone())),
+        Json::Obj(_) => match v.get("$f").and_then(Json::as_str) {
+            Some("nan") => Ok(Value::Double(f64::NAN)),
+            Some("inf") => Ok(Value::Double(f64::INFINITY)),
+            Some("-inf") => Ok(Value::Double(f64::NEG_INFINITY)),
+            _ => Err(WireError::new("objects are not valid cell values")),
+        },
+        Json::Arr(_) => Err(WireError::new("arrays are not valid cell values")),
+    }
+}
+
+/// Encodes a database [`Value`] as JSON (see [`value_from_json`]).
+pub fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Int(i) => Json::Int(*i),
+        Value::Double(d) => Json::Num(*d),
+        Value::Str(s) => Json::Str(s.clone()),
+    }
+}
+
+// ---------------------------------------------------------------- queries
+
+fn compare_op(s: &str) -> Result<CompareOp> {
+    Ok(match s {
+        "=" | "==" => CompareOp::Eq,
+        "!=" | "<>" => CompareOp::Ne,
+        "<" => CompareOp::Lt,
+        "<=" => CompareOp::Le,
+        ">" => CompareOp::Gt,
+        ">=" => CompareOp::Ge,
+        other => return Err(WireError::new(format!("unknown comparison op `{other}`"))),
+    })
+}
+
+fn agg_func(s: &str) -> Result<AggFunc> {
+    Ok(match s {
+        "count" => AggFunc::Count,
+        "sum" => AggFunc::Sum,
+        "avg" => AggFunc::Avg,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        other => return Err(WireError::new(format!("unknown aggregate `{other}`"))),
+    })
+}
+
+/// Decodes a wire query against `schema` into a validated [`BeasQuery`].
+pub fn query_from_json(v: &Json, schema: &DatabaseSchema) -> Result<BeasQuery> {
+    Ok(match ra_or_agg(v, schema, 0)? {
+        Decoded::Ra(q) => BeasQuery::Ra(q),
+        Decoded::Agg(q) => BeasQuery::Aggregate(q),
+    })
+}
+
+enum Decoded {
+    Ra(RaQuery),
+    Agg(AggQuery),
+}
+
+const MAX_QUERY_DEPTH: usize = 16;
+
+fn ra_or_agg(v: &Json, schema: &DatabaseSchema, depth: usize) -> Result<Decoded> {
+    if depth > MAX_QUERY_DEPTH {
+        return Err(WireError::new("query nesting too deep"));
+    }
+    let ty = str_field(v, "type", "query")?;
+    match ty {
+        "spc" => Ok(Decoded::Ra(RaQuery::Spc(spc_from_json(v, schema)?))),
+        "union" | "difference" => {
+            let left = match ra_or_agg(field(v, "left", ty)?, schema, depth + 1)? {
+                Decoded::Ra(q) => q,
+                Decoded::Agg(_) => {
+                    return Err(WireError::new(format!(
+                        "`{ty}` branches must not aggregate"
+                    )))
+                }
+            };
+            let right = match ra_or_agg(field(v, "right", ty)?, schema, depth + 1)? {
+                Decoded::Ra(q) => q,
+                Decoded::Agg(_) => {
+                    return Err(WireError::new(format!(
+                        "`{ty}` branches must not aggregate"
+                    )))
+                }
+            };
+            Ok(Decoded::Ra(if ty == "union" {
+                left.union(right)
+            } else {
+                left.difference(right)
+            }))
+        }
+        "aggregate" => {
+            let input = match ra_or_agg(field(v, "input", "aggregate")?, schema, depth + 1)? {
+                Decoded::Ra(q) => q,
+                Decoded::Agg(_) => {
+                    return Err(WireError::new("nested aggregates are not supported"))
+                }
+            };
+            let group_by = match v.get("group_by") {
+                None => Vec::new(),
+                Some(g) => g
+                    .as_arr()
+                    .ok_or_else(|| WireError::new("aggregate: `group_by` must be an array"))?
+                    .iter()
+                    .map(|c| {
+                        c.as_str().map(str::to_string).ok_or_else(|| {
+                            WireError::new("aggregate: group-by columns must be strings")
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            };
+            let agg = agg_func(str_field(v, "agg", "aggregate")?)?;
+            let col = str_field(v, "col", "aggregate")?;
+            let name = str_field(v, "name", "aggregate")?;
+            AggQuery::new(input, group_by, agg, col, name)
+                .map(Decoded::Agg)
+                .map_err(|e| WireError::new(e.to_string()))
+        }
+        other => Err(WireError::new(format!(
+            "unknown query type `{other}` (expected spc/union/difference/aggregate)"
+        ))),
+    }
+}
+
+fn spc_from_json(v: &Json, schema: &DatabaseSchema) -> Result<beas_relal::SpcQuery> {
+    let mut b = SpcQueryBuilder::new(schema);
+    let atoms = field(v, "atoms", "spc")?
+        .as_arr()
+        .ok_or_else(|| WireError::new("spc: `atoms` must be an array"))?;
+    if atoms.is_empty() {
+        return Err(WireError::new("spc: at least one atom is required"));
+    }
+    // alias -> builder atom index
+    let mut alias_of = Vec::new();
+    for atom in atoms {
+        let relation = str_field(atom, "relation", "atom")?;
+        let alias = atom.get("alias").and_then(Json::as_str).unwrap_or(relation);
+        if alias_of.iter().any(|(a, _)| a == alias) {
+            return Err(WireError::new(format!(
+                "spc: duplicate atom alias `{alias}`"
+            )));
+        }
+        let idx = b
+            .atom(relation, alias)
+            .map_err(|e| WireError::new(e.to_string()))?;
+        alias_of.push((alias.to_string(), idx));
+    }
+    let resolve = |alias: &str| -> Result<usize> {
+        alias_of
+            .iter()
+            .find(|(a, _)| a == alias)
+            .map(|&(_, i)| i)
+            .ok_or_else(|| WireError::new(format!("spc: unknown atom alias `{alias}`")))
+    };
+
+    for bind in opt_array(v, "binds")? {
+        let atom = resolve(str_field(bind, "atom", "bind")?)?;
+        let attr = str_field(bind, "attr", "bind")?;
+        let value = value_from_json(field(bind, "value", "bind")?)?;
+        b.bind_const(atom, attr, value)
+            .map_err(|e| WireError::new(e.to_string()))?;
+    }
+    for join in opt_array(v, "joins")? {
+        let (la, lattr) = endpoint(field(join, "left", "join")?)?;
+        let (ra, rattr) = endpoint(field(join, "right", "join")?)?;
+        b.join((resolve(&la)?, &lattr), (resolve(&ra)?, &rattr))
+            .map_err(|e| WireError::new(e.to_string()))?;
+    }
+    for filter in opt_array(v, "filters")? {
+        let atom = resolve(str_field(filter, "atom", "filter")?)?;
+        let attr = str_field(filter, "attr", "filter")?;
+        let op = compare_op(str_field(filter, "op", "filter")?)?;
+        let value = value_from_json(field(filter, "value", "filter")?)?;
+        b.filter_const(atom, attr, op, value)
+            .map_err(|e| WireError::new(e.to_string()))?;
+    }
+    for output in opt_array(v, "outputs")? {
+        let atom = resolve(str_field(output, "atom", "output")?)?;
+        let attr = str_field(output, "attr", "output")?;
+        let name = output.get("name").and_then(Json::as_str).unwrap_or(attr);
+        b.output(atom, attr, name)
+            .map_err(|e| WireError::new(e.to_string()))?;
+    }
+    b.build().map_err(|e| WireError::new(e.to_string()))
+}
+
+/// A join endpoint: `["h", "city"]` or `{"atom": "h", "attr": "city"}`.
+fn endpoint(v: &Json) -> Result<(String, String)> {
+    if let Some(items) = v.as_arr() {
+        if let [a, b] = items {
+            if let (Some(a), Some(b)) = (a.as_str(), b.as_str()) {
+                return Ok((a.to_string(), b.to_string()));
+            }
+        }
+        return Err(WireError::new(
+            "join endpoints must be [alias, attr] string pairs",
+        ));
+    }
+    Ok((
+        str_field(v, "atom", "join endpoint")?.to_string(),
+        str_field(v, "attr", "join endpoint")?.to_string(),
+    ))
+}
+
+fn opt_array<'a>(v: &'a Json, key: &str) -> Result<&'a [Json]> {
+    match v.get(key) {
+        None => Ok(&[]),
+        Some(a) => a
+            .as_arr()
+            .ok_or_else(|| WireError::new(format!("spc: `{key}` must be an array"))),
+    }
+}
+
+// ---------------------------------------------------------------- specs
+
+/// Decodes a `"spec"` string field (canonical [`ResourceSpec`] form).
+pub fn spec_from_json(v: &Json) -> Result<ResourceSpec> {
+    let text = str_field(v, "spec", "request")?;
+    text.parse::<ResourceSpec>()
+        .map_err(|e| WireError::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------- updates
+
+/// Decodes an update request body into an [`UpdateBatch`]:
+/// `{"inserts": [{"relation": "poi", "row": ["a", "hotel", "NYC", 95.0]}]}`.
+pub fn update_from_json(v: &Json) -> Result<UpdateBatch> {
+    let inserts = field(v, "inserts", "update")?
+        .as_arr()
+        .ok_or_else(|| WireError::new("update: `inserts` must be an array"))?;
+    let mut batch = UpdateBatch::new();
+    for insert in inserts {
+        let relation = str_field(insert, "relation", "insert")?;
+        let row: Row = field(insert, "row", "insert")?
+            .as_arr()
+            .ok_or_else(|| WireError::new("insert: `row` must be an array"))?
+            .iter()
+            .map(value_from_json)
+            .collect::<Result<_>>()?;
+        batch = batch.insert(relation, row);
+    }
+    Ok(batch)
+}
+
+// ---------------------------------------------------------------- answers
+
+/// Encodes a relation as `{"columns": [...], "rows": [[...], ...]}` pairs
+/// merged into the enclosing object.
+fn relation_fields(rel: &Relation) -> Vec<(&'static str, Json)> {
+    let rows: Vec<Json> = rel
+        .rows()
+        .map(|row| Json::Arr(row.iter().map(value_to_json).collect()))
+        .collect();
+    vec![
+        (
+            "columns",
+            Json::Arr(rel.columns.iter().map(|c| Json::Str(c.clone())).collect()),
+        ),
+        ("rows", Json::Arr(rows)),
+    ]
+}
+
+/// Encodes a [`BeasAnswer`] for the wire, including the answer digest.
+pub fn answer_to_json(answer: &BeasAnswer) -> Json {
+    let mut pairs = relation_fields(&answer.answers);
+    pairs.push(("eta", Json::Num(answer.eta)));
+    pairs.push(("exact", Json::Bool(answer.exact)));
+    pairs.push(("accessed", Json::Int(answer.accessed as i64)));
+    pairs.push(("budget", Json::Int(answer.budget as i64)));
+    pairs.push(("planned_tariff", Json::Int(answer.planned_tariff as i64)));
+    pairs.push((
+        "digest",
+        Json::Str(format!("{:016x}", answer.answers.digest())),
+    ));
+    Json::obj(pairs)
+}
+
+/// Decodes the `columns` / `rows` fields of an answer back into a
+/// [`Relation`] — the client half of the digest round-trip.
+pub fn relation_from_json(v: &Json) -> Result<Relation> {
+    let columns: Vec<String> = field(v, "columns", "answer")?
+        .as_arr()
+        .ok_or_else(|| WireError::new("answer: `columns` must be an array"))?
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| WireError::new("answer: column names must be strings"))
+        })
+        .collect::<Result<_>>()?;
+    let rows: Vec<Row> = field(v, "rows", "answer")?
+        .as_arr()
+        .ok_or_else(|| WireError::new("answer: `rows` must be an array"))?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or_else(|| WireError::new("answer: each row must be an array"))?
+                .iter()
+                .map(value_from_json)
+                .collect::<Result<Row>>()
+        })
+        .collect::<Result<_>>()?;
+    Relation::new(columns, rows).map_err(|e| WireError::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use beas_relal::{Attribute, Database, DatabaseSchema, RelationSchema};
+
+    fn schema() -> DatabaseSchema {
+        DatabaseSchema::new(vec![
+            RelationSchema::new(
+                "poi",
+                vec![
+                    Attribute::categorical("type"),
+                    Attribute::text("city"),
+                    Attribute::double("price"),
+                ],
+            ),
+            RelationSchema::new("friend", vec![Attribute::id("pid"), Attribute::id("fid")]),
+        ])
+    }
+
+    #[test]
+    fn decodes_an_spc_query() {
+        let q = parse(
+            r#"{"type":"spc",
+                "atoms":[{"relation":"poi","alias":"h"}],
+                "binds":[{"atom":"h","attr":"type","value":"hotel"}],
+                "filters":[{"atom":"h","attr":"price","op":"<=","value":95}],
+                "outputs":[{"atom":"h","attr":"price","name":"price"}]}"#,
+        )
+        .unwrap();
+        let query = query_from_json(&q, &schema()).unwrap();
+        assert!(query.is_spc());
+        assert_eq!(query.output_columns(), vec!["price"]);
+    }
+
+    #[test]
+    fn decodes_joins_unions_and_aggregates() {
+        let branch = r#"{"type":"spc",
+            "atoms":[{"relation":"poi","alias":"h"},{"relation":"friend","alias":"f"}],
+            "joins":[{"left":["h","price"],"right":["f","pid"]}],
+            "outputs":[{"atom":"h","attr":"city"}]}"#;
+        let q = parse(&format!(
+            r#"{{"type":"aggregate",
+                "input":{{"type":"union","left":{branch},"right":{branch}}},
+                "group_by":["city"],"agg":"count","col":"city","name":"n"}}"#
+        ))
+        .unwrap();
+        let query = query_from_json(&q, &schema()).unwrap();
+        assert!(query.is_aggregate());
+        assert_eq!(query.output_columns(), vec!["city", "n"]);
+        assert_eq!(query.relation_count(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        let s = schema();
+        for bad in [
+            r#"{"atoms":[]}"#,
+            r#"{"type":"nope"}"#,
+            r#"{"type":"spc","atoms":[]}"#,
+            r#"{"type":"spc","atoms":[{"relation":"missing"}]}"#,
+            r#"{"type":"spc","atoms":[{"relation":"poi"}],"outputs":[{"atom":"x","attr":"price"}]}"#,
+            r#"{"type":"spc","atoms":[{"relation":"poi"}],"filters":[{"atom":"poi","attr":"price","op":"~","value":1}]}"#,
+            r#"{"type":"spc","atoms":[{"relation":"poi"},{"relation":"poi"}]}"#,
+        ] {
+            let v = parse(bad).unwrap();
+            assert!(query_from_json(&v, &s).is_err(), "`{bad}` accepted");
+        }
+    }
+
+    #[test]
+    fn update_round_trip() {
+        let v = parse(
+            r#"{"inserts":[
+                {"relation":"poi","row":["hotel","NYC",95.5]},
+                {"relation":"friend","row":[1,2]}]}"#,
+        )
+        .unwrap();
+        let batch = update_from_json(&v).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch.inserts()[0].1,
+            vec![
+                Value::from("hotel"),
+                Value::from("NYC"),
+                Value::Double(95.5)
+            ]
+        );
+        assert_eq!(batch.inserts()[1].1, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn relation_digest_survives_the_wire() {
+        let mut db = Database::new(schema());
+        for i in 0..40i64 {
+            db.insert_row(
+                "poi",
+                vec![
+                    Value::from(if i % 2 == 0 { "hotel" } else { "museum" }),
+                    Value::from("NYC"),
+                    Value::Double(30.0 + i as f64 / 3.0),
+                ],
+            )
+            .unwrap();
+        }
+        let rel = db.relation("poi").unwrap().clone();
+        let json = Json::obj(relation_fields(&rel));
+        let back = relation_from_json(&parse(&json.to_string()).unwrap()).unwrap();
+        assert_eq!(back.digest(), rel.digest());
+        assert_eq!(back.sorted(), rel.sorted());
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_wire() {
+        for v in [
+            Value::Double(f64::NAN),
+            Value::Double(f64::INFINITY),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Double(-0.0),
+            Value::Null,
+            Value::Bool(true),
+        ] {
+            let json = value_to_json(&v);
+            let back = value_from_json(&parse(&json.to_string()).unwrap()).unwrap();
+            match (&v, &back) {
+                (Value::Double(a), Value::Double(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{v:?}")
+                }
+                _ => assert_eq!(v, back),
+            }
+        }
+    }
+}

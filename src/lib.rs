@@ -12,6 +12,11 @@
 //!   typed resource specs, budget-enforcing fetch;
 //! * [`core`] — the session-oriented BEAS engine (builder, planner, executor,
 //!   prepared queries, incremental maintenance) and the RC accuracy measure;
+//! * [`serve`] — the multi-tenant network serving front-end: a std-only
+//!   HTTP/1.1 server exposing the engine over a JSON wire protocol, with
+//!   per-tenant budget-aware admission control (token buckets in budget
+//!   tuples per second, in-flight caps, bounded queues → `429` +
+//!   `Retry-After`);
 //! * [`baselines`] — uniform sampling, histograms and BlinkDB-style stratified
 //!   sampling, for comparison;
 //! * [`workloads`] — synthetic TPCH/AIRCA/TFACC-like datasets and a random
@@ -93,6 +98,7 @@ pub use beas_access as access;
 pub use beas_baselines as baselines;
 pub use beas_core as core;
 pub use beas_relal as relal;
+pub use beas_serve as serve;
 pub use beas_workloads as workloads;
 
 /// Commonly used items from across the workspace.
@@ -105,13 +111,14 @@ pub mod prelude {
     pub use beas_core::{
         exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery, Beas,
         BeasAnswer, BeasBuilder, BeasQuery, BoundedPlan, ConstraintSpec, EngineSnapshot,
-        ExecOptions, Planner, PreparedQuery, RaQuery, UpdateBatch,
+        EngineStats, ExecOptions, Planner, PreparedQuery, RaQuery, ServeHandle, UpdateBatch,
     };
     pub use beas_relal::{
         aggregate_relation, AggFunc, Attribute, Column, CompareOp, Database, DatabaseSchema,
         DistanceKind, GroupByQuery, Predicate, PredicateAtom, RaExpr, Relation, RelationSchema,
         SpcQuery, SpcQueryBuilder, StrDict, Value,
     };
+    pub use beas_serve::{serve, RunningServer, ServeConfig, TenantPolicy};
     pub use beas_workloads::{
         airca::airca_lite,
         querygen::{generate_workload, QueryGenConfig},
