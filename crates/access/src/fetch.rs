@@ -121,6 +121,28 @@ impl<'a> FetchSession<'a> {
     pub fn fetch_all(&mut self, family: FamilyId, level: usize) -> Result<Relation> {
         self.fetch(family, level, &[Vec::new()])
     }
+
+    /// Charges `tuples` for a fetch served from a caller-side fragment cache
+    /// (the resumable execution state of a refinement session) instead of a
+    /// fresh materialization. The accounting — budget enforcement included —
+    /// is exactly that of [`FetchSession::fetch`], so a resumed execution
+    /// bills the same access a fresh one would; only the materialization work
+    /// is skipped. Fails with [`AccessError::BudgetExceeded`] without
+    /// consuming budget, like a real fetch.
+    pub fn record_cached(&mut self, tuples: usize) -> Result<()> {
+        let new_total = self.counter.tuples + tuples;
+        if let Some(budget) = self.budget {
+            if new_total > budget {
+                return Err(AccessError::BudgetExceeded {
+                    accessed: new_total,
+                    budget,
+                });
+            }
+        }
+        self.counter.tuples = new_total;
+        self.counter.fetches += 1;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@
 use beas_bench::figures::{
     all_figures, fig6_accuracy_vs_alpha, fig6d_mac_vs_alpha, fig6ef_accuracy_vs_scale,
     fig6g_accuracy_vs_sel, fig6h_accuracy_vs_prod, fig6i_accuracy_vs_kind, fig6j_exact_ratio,
-    fig6k_index_size, fig6l_efficiency, fig_concurrency, fig_plan_cache, fig_serving, DatasetId,
+    fig6k_index_size, fig6l_efficiency, fig_concurrency, fig_plan_cache, fig_refinement,
+    fig_serving, DatasetId,
 };
 use beas_bench::harness::Metric;
 use beas_bench::{BenchProfile, Table};
@@ -81,10 +82,11 @@ fn main() {
                 "plancache" => tables.push(fig_plan_cache(&profile)),
                 "concurrency" => tables.push(fig_concurrency(&profile)),
                 "serving" => tables.push(fig_serving(&profile)),
+                "refinement" => tables.push(fig_refinement(&profile)),
                 other => {
                     eprintln!("unknown figure id: {other}");
                     eprintln!(
-                        "known ids: fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h fig6i fig6j fig6k fig6l plancache concurrency serving all"
+                        "known ids: fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h fig6i fig6j fig6k fig6l plancache concurrency serving refinement all"
                     );
                     std::process::exit(2);
                 }

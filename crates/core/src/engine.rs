@@ -172,6 +172,7 @@ pub struct BeasBuilder {
     policy: BudgetPolicy,
     threads: Option<usize>,
     min_shard_rows: Option<usize>,
+    plan_cache_capacity: usize,
 }
 
 impl BeasBuilder {
@@ -186,7 +187,17 @@ impl BeasBuilder {
             policy: BudgetPolicy::default(),
             threads: None,
             min_shard_rows: None,
+            plan_cache_capacity: crate::prepared::PLAN_CACHE_CAPACITY,
         }
+    }
+
+    /// Sets the capacity of the engine's shared plan cache (entries, one per
+    /// `(query fingerprint, budget)` pair; least-recently-used eviction
+    /// beyond it). Clamped to at least 1. Defaults to
+    /// [`PLAN_CACHE_CAPACITY`](crate::prepared::PLAN_CACHE_CAPACITY).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity.max(1);
+        self
     }
 
     /// Sets the engine's thread count, used for the parallel index build (C1)
@@ -289,6 +300,7 @@ impl BeasBuilder {
             min_shard_rows: self
                 .min_shard_rows
                 .unwrap_or_else(calibrated_min_shard_rows),
+            plan_cache: crate::prepared::SharedPlanCache::new(self.plan_cache_capacity),
             stats: StatsCounters::default(),
         })
     }
@@ -393,6 +405,10 @@ pub struct Beas {
     /// Parallel-leaf threshold for sharded execution, resolved at build time
     /// (startup calibration unless the builder pinned it).
     min_shard_rows: usize,
+    /// The shared plan cache: one per engine, keyed on
+    /// `(query fingerprint, budget)` and shared by every [`PreparedQuery`]
+    /// handle — independent handles for the same query share plans.
+    pub(crate) plan_cache: crate::prepared::SharedPlanCache,
     /// Request statistics (see [`Beas::stats`]); plain atomics so the hot
     /// paths bump them without any lock.
     pub(crate) stats: StatsCounters,
@@ -408,6 +424,7 @@ impl Clone for Beas {
             schema: self.schema.clone(),
             threads: self.threads,
             min_shard_rows: self.min_shard_rows,
+            plan_cache: crate::prepared::SharedPlanCache::new(self.plan_cache.capacity()),
             stats: StatsCounters::default(),
         }
     }
@@ -455,6 +472,24 @@ impl Beas {
     /// [`BeasBuilder::min_shard_rows`] pinned a value.
     pub fn min_shard_rows(&self) -> usize {
         self.min_shard_rows
+    }
+
+    /// The shared plan cache (internal hook for prepared queries and
+    /// sessions).
+    pub(crate) fn plan_cache(&self) -> &crate::prepared::SharedPlanCache {
+        &self.plan_cache
+    }
+
+    /// Capacity of the engine's shared plan cache
+    /// ([`BeasBuilder::plan_cache_capacity`], default
+    /// [`PLAN_CACHE_CAPACITY`](crate::prepared::PLAN_CACHE_CAPACITY)).
+    pub fn plan_cache_capacity(&self) -> usize {
+        self.plan_cache.capacity()
+    }
+
+    /// Plans currently held by the shared plan cache (across all queries).
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// A snapshot of this handle's request statistics (queries answered,

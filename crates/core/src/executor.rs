@@ -22,8 +22,32 @@
 //! **bit-for-bit identical for every thread count** — including the
 //! floating-point aggregate sums, whose accumulation order is fixed by the
 //! canonical row order.
+//!
+//! # Resumable execution
+//!
+//! Multi-resolution template families make refinement cheap in the *dual*
+//! direction too: the fragments a plan fetches at a coarse budget are exactly
+//! the fragments a finer-budget plan re-fetches (same family, same level,
+//! same keys) whenever `chAT` kept that level. An [`ExecState`] therefore
+//! carries, across executions of *plans for the same query against the same
+//! catalog snapshot*:
+//!
+//! * the **fetched fragment set**, keyed by `(family, level, keys)` — a
+//!   repeated fetch is served from the state (and billed against the budget
+//!   through [`FetchSession::record_cached`], so the access accounting is
+//!   identical to a fresh run) instead of re-materialized;
+//! * **partial SPC leaf results**, keyed by the leaf and the fragment
+//!   identities of its completion nodes — a leaf whose inputs did not change
+//!   between budgets skips relaxation, join and canonicalisation entirely.
+//!
+//! Because a state hit returns exactly what a fresh fetch/evaluation would
+//! return, [`execute_plan_with_state`] is **bit-for-bit identical** to
+//! [`execute_plan_with_options`] — answers, η, float aggregate sums and the
+//! `accessed` accounting; only wall-clock differs. This is the foundation of
+//! the [`AnswerSession`](crate::AnswerSession) refinement loop.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use beas_access::{Catalog, FetchSession, ResourceSpec, WEIGHT_COLUMN};
 use beas_relal::{
@@ -160,6 +184,120 @@ impl ExecOptions {
     }
 }
 
+/// One cached fetched fragment of an [`ExecState`]: the output of
+/// `fetch(X ∈ keys, family, ψ_level)`. Identified by the full fetch identity
+/// (family, level and the exact key list, compared for equality — no hash
+/// collisions can alias two different fetches).
+#[derive(Debug, Clone)]
+struct FragmentEntry {
+    family: beas_access::FamilyId,
+    level: usize,
+    keys: Vec<Vec<Value>>,
+    /// `Arc`-shared so a state hit hands the fragment back without copying
+    /// its column data.
+    rel: Arc<Relation>,
+}
+
+/// One cached SPC leaf result: the canonicalised output of `evaluate_leaf`
+/// for a leaf whose completion nodes resolved to exactly these fragments.
+#[derive(Debug, Clone)]
+struct LeafEntry {
+    leaf: usize,
+    /// Indices into [`ExecState::fragments`] of the leaf's completion nodes,
+    /// in atom order.
+    atom_fragments: Vec<usize>,
+    rel: Arc<Relation>,
+    out_res: Vec<f64>,
+    exact: bool,
+}
+
+/// Resumable execution state shared by the steps of a refinement session
+/// (see the module docs): the fetched fragment set plus partial SPC leaf
+/// results. Only meaningful across plans *for the same query against the
+/// same catalog snapshot* — [`AnswerSession`](crate::AnswerSession) pins one
+/// [`EngineSnapshot`](crate::EngineSnapshot) for its whole lifetime to
+/// guarantee that.
+#[derive(Debug, Default)]
+pub struct ExecState {
+    fragments: Vec<FragmentEntry>,
+    leaves: Vec<LeafEntry>,
+    /// Tuples actually materialized (not served from the fragment set) over
+    /// the state's lifetime.
+    new_tuples: usize,
+    /// Tuples served from the fragment set over the state's lifetime.
+    reused_tuples: usize,
+}
+
+impl ExecState {
+    /// A fresh state (no fragments, no partial results).
+    pub fn new() -> Self {
+        ExecState::default()
+    }
+
+    /// Cumulative tuples actually fetched (materialized) through this state —
+    /// the real access cost of a refinement session so far. Tuples served
+    /// from the fragment set are *charged* against each step's budget but not
+    /// re-counted here.
+    pub fn fetched_tuples(&self) -> usize {
+        self.new_tuples
+    }
+
+    /// Cumulative tuples served from the fragment set instead of being
+    /// re-materialized.
+    pub fn reused_tuples(&self) -> usize {
+        self.reused_tuples
+    }
+
+    /// Number of distinct fragments held.
+    pub fn fragments(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Number of cached SPC leaf results held.
+    pub fn cached_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Serves one fetch from the fragment set when its exact identity was
+    /// fetched before (billing the budget like a fresh fetch), materializing
+    /// and recording it otherwise. Returns the fragment index and the
+    /// relation.
+    fn fetch_or_reuse(
+        &mut self,
+        session: &mut FetchSession<'_>,
+        family: beas_access::FamilyId,
+        level: usize,
+        keys: Vec<Vec<Value>>,
+    ) -> Result<(usize, Arc<Relation>)> {
+        if let Some(i) = self
+            .fragments
+            .iter()
+            .position(|f| f.family == family && f.level == level && f.keys == keys)
+        {
+            session.record_cached(self.fragments[i].rel.len())?;
+            self.reused_tuples += self.fragments[i].rel.len();
+            return Ok((i, Arc::clone(&self.fragments[i].rel)));
+        }
+        let rel = Arc::new(session.fetch(family, level, &keys)?);
+        self.new_tuples += rel.len();
+        self.fragments.push(FragmentEntry {
+            family,
+            level,
+            keys,
+            rel: Arc::clone(&rel),
+        });
+        Ok((self.fragments.len() - 1, rel))
+    }
+
+    /// The cached result of leaf `leaf` over exactly these completion
+    /// fragments, if present.
+    fn leaf(&self, leaf: usize, atom_fragments: &[usize]) -> Option<&LeafEntry> {
+        self.leaves
+            .iter()
+            .find(|e| e.leaf == leaf && e.atom_fragments == atom_fragments)
+    }
+}
+
 /// Executes `plan` against `catalog`, enforcing the plan's budget.
 ///
 /// When the budget is smaller than one tuple per relation atom (a degenerate
@@ -209,18 +347,40 @@ pub fn execute_plan_with_budget(
 
 /// Executes `plan` with explicit [`ExecOptions`] (budget enforcement and
 /// shard parallelism). This is the path the engine drives with its configured
-/// thread count.
+/// thread count. Equivalent to [`execute_plan_with_state`] over a throwaway
+/// fresh [`ExecState`].
 pub fn execute_plan_with_options(
     plan: &BoundedPlan,
     catalog: &Catalog,
     options: ExecOptions,
+) -> Result<ExecutionOutcome> {
+    execute_plan_with_state(plan, catalog, options, &mut ExecState::new())
+}
+
+/// Executes `plan` like [`execute_plan_with_options`], threading a resumable
+/// [`ExecState`] through the fetch and leaf-evaluation phases: fragments and
+/// leaf results already in the state are reused (and billed against the
+/// budget exactly like fresh fetches), new ones are recorded into it for the
+/// next step of a refinement session.
+///
+/// The state must only carry over between plans **for the same query against
+/// the same catalog snapshot** (an [`AnswerSession`](crate::AnswerSession)
+/// guarantees this); under that contract the outcome — answers, η, float
+/// aggregate sums and the `accessed` accounting — is bit-for-bit identical to
+/// a fresh execution.
+pub fn execute_plan_with_state(
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+    options: ExecOptions,
+    state: &mut ExecState,
 ) -> Result<ExecutionOutcome> {
     let budget = options.budget;
     let mut session = FetchSession::new(catalog, budget);
     let schema = &catalog.schema;
 
     // ------------------------------------------------------------- fetch phase
-    let mut node_outputs: Vec<Relation> = Vec::with_capacity(plan.fetch.nodes.len());
+    let mut node_outputs: Vec<Arc<Relation>> = Vec::with_capacity(plan.fetch.nodes.len());
+    let mut node_fragments: Vec<usize> = Vec::with_capacity(plan.fetch.nodes.len());
     for node in &plan.fetch.nodes {
         let keys: Vec<Vec<Value>> = match node.input_node {
             None => {
@@ -265,7 +425,9 @@ pub fn execute_plan_with_options(
                 keys
             }
         };
-        let fetched = session.fetch(node.family, node.level, &keys)?;
+        let (fragment, fetched) =
+            state.fetch_or_reuse(&mut session, node.family, node.level, keys)?;
+        node_fragments.push(fragment);
         node_outputs.push(fetched);
     }
 
@@ -273,11 +435,26 @@ pub fn execute_plan_with_options(
     let ra = plan.query.ra();
     let leaves = ra.spc_leaves();
     let want_weights = plan.query.is_aggregate();
-    let mut leaf_results: Vec<Relation> = Vec::with_capacity(leaves.len());
+    let mut leaf_results: Vec<Arc<Relation>> = Vec::with_capacity(leaves.len());
     let mut leaf_out_res: Vec<Vec<f64>> = Vec::with_capacity(leaves.len());
     let mut leaf_exact: Vec<bool> = Vec::with_capacity(leaves.len());
     for (i, leaf) in leaves.iter().enumerate() {
         let leaf_plan = &plan.leaves[i];
+        // the fragment identities of the leaf's completion nodes fully
+        // determine its (canonicalised) result for a fixed query and catalog:
+        // the inputs are those fragments and every relaxation tolerance
+        // derives from their (family, level) pairs
+        let atom_fragments: Vec<usize> = leaf_plan
+            .atom_nodes
+            .iter()
+            .map(|&n| node_fragments[n])
+            .collect();
+        if let Some(entry) = state.leaf(i, &atom_fragments) {
+            leaf_results.push(Arc::clone(&entry.rel));
+            leaf_out_res.push(entry.out_res.clone());
+            leaf_exact.push(entry.exact);
+            continue;
+        }
         let mut rel = evaluate_leaf(
             leaf,
             leaf_plan,
@@ -293,9 +470,18 @@ pub fn execute_plan_with_options(
         if want_weights {
             rel.sort_rows();
         }
-        leaf_results.push(rel);
         let out_res = output_resolutions(leaf, leaf_plan, plan, catalog)?;
-        leaf_exact.push(leaf_is_exact(leaf, leaf_plan, plan, catalog)?);
+        let exact = leaf_is_exact(leaf, leaf_plan, plan, catalog)?;
+        let rel = Arc::new(rel);
+        state.leaves.push(LeafEntry {
+            leaf: i,
+            atom_fragments,
+            rel: Arc::clone(&rel),
+            out_res: out_res.clone(),
+            exact,
+        });
+        leaf_results.push(rel);
+        leaf_exact.push(exact);
         leaf_out_res.push(out_res);
     }
 
@@ -399,7 +585,7 @@ fn evaluate_leaf(
     leaf_plan: &LeafPlan,
     plan: &BoundedPlan,
     catalog: &Catalog,
-    node_outputs: &[Relation],
+    node_outputs: &[Arc<Relation>],
     want_weights: bool,
     options: &ExecOptions,
 ) -> Result<Relation> {
@@ -415,8 +601,8 @@ fn evaluate_leaf(
         let node_id = leaf_plan.atom_nodes[ai];
         let rel = node_outputs
             .get(node_id)
-            .ok_or_else(|| BeasError::Planning(format!("missing output of node {node_id}")))?
-            .clone();
+            .map(|rel| Relation::clone(rel))
+            .ok_or_else(|| BeasError::Planning(format!("missing output of node {node_id}")))?;
         let name = format!("__atom_{}_{}", leaf_plan.leaf, ai);
         overlay.insert(name.clone(), rel);
         let scan = RaExpr::scan(name, atom.alias.clone());
@@ -733,7 +919,7 @@ fn index_leaves(ra: &RaQuery, next: &mut usize) -> IndexedRa {
 #[allow(clippy::too_many_arguments)]
 fn exec_indexed(
     node: &IndexedRa,
-    leaf_results: &[Relation],
+    leaf_results: &[Arc<Relation>],
     leaf_out_res: &[Vec<f64>],
     leaf_exact: &[bool],
     kinds: &[beas_relal::DistanceKind],
@@ -741,7 +927,7 @@ fn exec_indexed(
     ncols: usize,
 ) -> Result<Relation> {
     match node {
-        IndexedRa::Leaf(i) => Ok(leaf_results[*i].clone()),
+        IndexedRa::Leaf(i) => Ok(Relation::clone(&leaf_results[*i])),
         IndexedRa::Union(l, r) => {
             let mut a = exec_indexed(
                 l,

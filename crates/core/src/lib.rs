@@ -76,10 +76,12 @@ pub mod chase;
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod fingerprint;
 pub mod plan;
 pub mod planner;
 pub mod prepared;
 pub mod query;
+pub mod session;
 
 pub use accuracy::{
     coverage_ratio, exact_answers, f_measure, mac_accuracy, rc_accuracy, relax_ra, AccuracyConfig,
@@ -93,9 +95,12 @@ pub use engine::{
 pub use error::{BeasError, Result};
 pub use executor::{
     calibrated_min_shard_rows, execute_plan, execute_plan_with_budget, execute_plan_with_options,
-    execute_plan_with_spec, ExecOptions, ExecutionOutcome, DEFAULT_MIN_SHARD_ROWS,
+    execute_plan_with_spec, execute_plan_with_state, ExecOptions, ExecState, ExecutionOutcome,
+    DEFAULT_MIN_SHARD_ROWS,
 };
+pub use fingerprint::QueryFingerprint;
 pub use plan::{FetchNode, FetchPlan, KeySource, LeafPlan};
 pub use planner::{BoundedPlan, DistanceBounds, Planner};
 pub use prepared::{PreparedQuery, PLAN_CACHE_CAPACITY};
 pub use query::{AggQuery, BeasQuery, RaQuery};
+pub use session::{AnswerSession, RefinementSchedule, RefinementStep, DEFAULT_RATIO_LADDER};

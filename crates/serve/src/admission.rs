@@ -237,10 +237,13 @@ impl Tenant {
         }
     }
 
-    /// Returns tokens to the bucket (a request charged but never served).
-    fn refund(&self, cost: f64) {
+    /// Returns tokens to the bucket: work that was charged but never
+    /// performed. Used internally when a queued request times out, and by
+    /// the streaming endpoint to refund the unconsumed steps of a refinement
+    /// schedule whose client disconnected early.
+    pub fn refund(&self, cost: f64) {
         let mut bucket = self.bucket.lock().expect("bucket poisoned");
-        bucket.tokens = (bucket.tokens + cost).min(self.policy.burst_tuples);
+        bucket.tokens = (bucket.tokens + cost.max(0.0)).min(self.policy.burst_tuples);
     }
 
     /// The current token balance (refilled to now); for tests and metrics.

@@ -113,13 +113,21 @@ impl Client {
         if status == 100 {
             return self.read_response();
         }
-        let length: usize = headers
+        let chunked = headers
             .iter()
-            .find(|(k, _)| k == "content-length")
-            .and_then(|(_, v)| v.parse().ok())
-            .unwrap_or(0);
-        let mut body = vec![0u8; length];
-        self.reader.read_exact(&mut body)?;
+            .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        let body = if chunked {
+            self.read_chunked_body()?
+        } else {
+            let length: usize = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(0);
+            let mut body = vec![0u8; length];
+            self.reader.read_exact(&mut body)?;
+            body
+        };
         let body = String::from_utf8(body)
             .map_err(|_| std::io::Error::other("non-UTF-8 response body"))?;
         Ok(Response {
@@ -127,5 +135,29 @@ impl Client {
             headers,
             body,
         })
+    }
+
+    /// Decodes a `Transfer-Encoding: chunked` body (the streamed refinement
+    /// frames of `POST /query/stream`). The concatenated chunks are returned
+    /// as the body; since the server writes one newline-terminated JSON frame
+    /// per chunk, `body.lines()` recovers the frames.
+    fn read_chunked_body(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            let size_line = self.read_line()?;
+            let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                std::io::Error::other(format!("malformed chunk size `{size_line}`"))
+            })?;
+            if size == 0 {
+                // the terminating chunk's trailing CRLF
+                self.read_line()?;
+                return Ok(body);
+            }
+            let mut chunk = vec![0u8; size];
+            self.reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            // the CRLF after each chunk's data
+            self.read_line()?;
+        }
     }
 }

@@ -22,6 +22,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the connection should be kept open after responding.
     pub keep_alive: bool,
+    /// Whether the request was HTTP/1.0 (which must not receive chunked
+    /// transfer encoding — RFC 9112 §7.1.1).
+    pub http1_0: bool,
 }
 
 impl Request {
@@ -150,6 +153,7 @@ pub fn read_request(
         headers,
         body,
         keep_alive,
+        http1_0: http_10,
     })
 }
 
@@ -183,6 +187,49 @@ fn reason(status: u16) -> &'static str {
         500 => "Internal Server Error",
         _ => "Unknown",
     }
+}
+
+/// Writes the head of a `Transfer-Encoding: chunked` response (for the
+/// streamed refinement frames of `POST /query/stream`). Frames follow via
+/// [`write_chunk`]; the body ends with [`finish_chunked`].
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    keep_alive: bool,
+    extra_headers: &[(&str, String)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ntransfer-encoding: chunked\r\n",
+        reason(status),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    if !keep_alive {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one chunk of a chunked response and flushes it, so the client sees
+/// the frame as soon as it is produced (anytime answers must not sit in a
+/// buffer until the final step).
+pub fn write_chunk(stream: &mut TcpStream, data: &str) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(()); // an empty chunk would terminate the body
+    }
+    stream.write_all(format!("{:x}\r\n", data.len()).as_bytes())?;
+    stream.write_all(data.as_bytes())?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response (the zero-size chunk).
+pub fn finish_chunked(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
 }
 
 /// Writes one JSON response. `extra_headers` lets handlers attach e.g.

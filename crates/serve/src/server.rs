@@ -7,6 +7,7 @@
 //! | Route                        | Effect                                              |
 //! |------------------------------|-----------------------------------------------------|
 //! | `POST /query`                | plan + execute one query under a spec               |
+//! | `POST /query/stream`         | anytime answers: one chunked frame per refinement step |
 //! | `POST /prepare`              | register a prepared query, returns `{"id": n}`      |
 //! | `POST /prepared/{id}/answer` | answer through the shared plan cache                |
 //! | `POST /update`               | apply a batched update (component C2)               |
@@ -21,6 +22,19 @@
 //! unboundedly in front of the engine. A request whose cost exceeds the
 //! tenant's burst capacity outright can never be admitted and gets a
 //! non-retryable `400` instead.
+//!
+//! `POST /query/stream` answers through a [progressive refinement
+//! session](beas_core::AnswerSession): the response is
+//! `Transfer-Encoding: chunked`, one newline-terminated JSON frame per step
+//! of the schedule (each carrying η, the cumulative budget spent and the
+//! step's answer digest), and the *final* frame is bit-for-bit the answer a
+//! one-shot `POST /query` at the same spec returns. Admission charges the
+//! schedule's **total** budget up front; if the client disconnects before
+//! the schedule finishes, the unconsumed steps are refunded to the tenant's
+//! bucket. Its non-streamed twin is bounded the other way: a `/query` (or
+//! `/prepared/{id}/answer`) response larger than
+//! [`ServeConfig::max_response_bytes`] gets `413` with a hint to use the
+//! stream.
 
 use std::collections::HashMap;
 use std::io::BufReader;
@@ -34,7 +48,10 @@ use beas_core::{PreparedQuery, ServeHandle, UpdateBatch};
 use beas_relal::ValueType;
 
 use crate::admission::{Rejection, TenantPolicy, TenantRegistry};
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{
+    finish_chunked, read_request, write_chunk, write_chunked_head, write_response, HttpError,
+    Request,
+};
 use crate::json::{parse, Json};
 use crate::metrics::TenantMetrics;
 use crate::wire;
@@ -50,6 +67,12 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Hard cap on request bodies (bytes); larger declarations get `413`.
     pub max_body_bytes: usize,
+    /// The response twin of `max_body_bytes`: a non-streamed query response
+    /// (`/query`, `/prepared/{id}/answer`) whose JSON body exceeds this many
+    /// bytes gets `413` with a hint to use `POST /query/stream` (chunked
+    /// delivery) or a smaller spec instead of materializing the whole body
+    /// at once.
+    pub max_response_bytes: usize,
     /// Per-connection read timeout (an idle keep-alive connection is closed
     /// after this long).
     pub read_timeout: Duration,
@@ -68,6 +91,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 8,
             max_body_bytes: 1 << 20,
+            max_response_bytes: 1 << 20,
             read_timeout: Duration::from_secs(10),
             tenants: Vec::new(),
             default_tenant: None,
@@ -104,6 +128,13 @@ impl ServeConfig {
     /// Sets the request-body cap.
     pub fn max_body_bytes(mut self, bytes: usize) -> Self {
         self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Sets the non-streamed response-body cap (see
+    /// [`ServeConfig::max_response_bytes`]).
+    pub fn max_response_bytes(mut self, bytes: usize) -> Self {
+        self.max_response_bytes = bytes;
         self
     }
 }
@@ -303,7 +334,18 @@ fn serve_connection(
             }
         };
         let keep_alive = request.keep_alive;
-        let reply = handle(state, &request);
+        let path = request.path.split('?').next().unwrap_or("");
+        if request.method == "POST" && path == "/query/stream" {
+            // the streamed route writes its chunked frames directly; a write
+            // failure below means the client disconnected mid-session (the
+            // handler has already refunded the unconsumed steps)
+            stream_query(state, &request, &mut stream)?;
+            if !keep_alive {
+                return Ok(());
+            }
+            continue;
+        }
+        let reply = cap_response(state, path, handle(state, &request));
         write_response(
             &mut stream,
             reply.status,
@@ -315,6 +357,27 @@ fn serve_connection(
             return Ok(());
         }
     }
+}
+
+/// The response twin of the request-body cap: a successful non-streamed
+/// query response larger than [`ServeConfig::max_response_bytes`] becomes
+/// `413` with a hint to use the streamed route (which chunks frames instead
+/// of materializing one giant body).
+fn cap_response(state: &ServerState, path: &str, reply: Reply) -> Reply {
+    let is_query_route =
+        path == "/query" || (path.starts_with("/prepared/") && path.ends_with("/answer"));
+    if reply.status == 200 && is_query_route && reply.body.len() > state.config.max_response_bytes {
+        return Reply::error(
+            413,
+            &format!(
+                "response of {} bytes exceeds the {}-byte response limit; \
+                 use POST /query/stream for chunked delivery or lower the spec",
+                reply.body.len(),
+                state.config.max_response_bytes
+            ),
+        );
+    }
+    reply
 }
 
 /// A handler's reply.
@@ -405,46 +468,7 @@ fn admitted<F: FnOnce() -> (Reply, usize)>(
     };
     let metrics = &state.metrics[&tenant.name];
     match tenant.admit(cost) {
-        Err(rejection) => {
-            match rejection {
-                Rejection::OverBudget { .. } | Rejection::TooExpensive { .. } => {
-                    metrics.rejected_budget.fetch_add(1, Ordering::Relaxed);
-                }
-                Rejection::Busy { .. } => {
-                    metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            match rejection {
-                // waiting cannot help: the request exceeds the tenant's
-                // burst capacity outright, so no Retry-After is advertised
-                Rejection::TooExpensive { cost, burst } => Reply::error(
-                    400,
-                    &format!(
-                        "request cost of {cost:.0} budget tuples exceeds tenant `{}`'s burst capacity of {burst:.0}; lower the spec or raise the tenant's burst",
-                        tenant.name
-                    ),
-                ),
-                Rejection::OverBudget { .. } | Rejection::Busy { .. } => {
-                    let message = match rejection {
-                        Rejection::OverBudget { .. } => format!(
-                            "tenant `{}` is over its tuple budget; retry after {}s",
-                            tenant.name,
-                            rejection.retry_after_secs()
-                        ),
-                        _ => format!(
-                            "tenant `{}` has too many requests in flight; retry after {}s",
-                            tenant.name,
-                            rejection.retry_after_secs()
-                        ),
-                    };
-                    Reply {
-                        status: 429,
-                        body: error_body(&message),
-                        headers: vec![("retry-after", rejection.retry_after_secs().to_string())],
-                    }
-                }
-            }
-        }
+        Err(rejection) => rejection_reply(&tenant.name, metrics, rejection, "request"),
         Ok(guard) => {
             metrics.record_admitted(cost);
             let start = Instant::now();
@@ -456,6 +480,54 @@ fn admitted<F: FnOnce() -> (Reply, usize)>(
                 metrics.record_failed(start.elapsed());
             }
             reply
+        }
+    }
+}
+
+/// Maps an admission [`Rejection`] to its HTTP reply, bumping the tenant's
+/// rejection counters — the one place the rejection→status/message/headers
+/// mapping lives, shared by the one-shot handlers (`what` = "request") and
+/// the streamed route (`what` = "schedule", whose cost is the schedule's
+/// total budget).
+fn rejection_reply(
+    tenant_name: &str,
+    metrics: &TenantMetrics,
+    rejection: Rejection,
+    what: &str,
+) -> Reply {
+    match rejection {
+        Rejection::OverBudget { .. } | Rejection::TooExpensive { .. } => {
+            metrics.rejected_budget.fetch_add(1, Ordering::Relaxed);
+        }
+        Rejection::Busy { .. } => {
+            metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    match rejection {
+        // waiting cannot help: the cost exceeds the tenant's burst capacity
+        // outright, so no Retry-After is advertised
+        Rejection::TooExpensive { cost, burst } => Reply::error(
+            400,
+            &format!(
+                "{what} cost of {cost:.0} budget tuples exceeds tenant                  `{tenant_name}`'s burst capacity of {burst:.0}; lower the                  {what}'s budget or raise the tenant's burst",
+            ),
+        ),
+        Rejection::OverBudget { .. } | Rejection::Busy { .. } => {
+            let message = match rejection {
+                Rejection::OverBudget { .. } => format!(
+                    "tenant `{tenant_name}` is over its tuple budget ({what}                      cost not covered); retry after {}s",
+                    rejection.retry_after_secs()
+                ),
+                _ => format!(
+                    "tenant `{tenant_name}` has too many requests in flight;                      retry after {}s",
+                    rejection.retry_after_secs()
+                ),
+            };
+            Reply {
+                status: 429,
+                body: error_body(&message),
+                headers: vec![("retry-after", rejection.retry_after_secs().to_string())],
+            }
         }
     }
 }
@@ -484,6 +556,148 @@ fn query_handler(state: &ServerState, body: &Json) -> Reply {
             Err(e) => (Reply::error(400, &e.to_string()), 0),
         }
     })
+}
+
+/// `POST /query/stream`: anytime answers over chunked transfer encoding.
+///
+/// Body: `{"tenant": …, "query": {…}, "schedule": ["ratio:0.01", …]}` — or
+/// `"spec"` instead of `"schedule"` for the default ladder leading to that
+/// spec, or neither for the full default ladder. The response streams one
+/// newline-terminated JSON frame per refinement step (see
+/// [`wire::step_to_json`]); the final frame is bit-for-bit the one-shot
+/// `POST /query` answer at the schedule's last spec.
+///
+/// Admission charges the schedule's *total* resolved budget up front (a
+/// refinement session bills every step's plan, even though reused fragments
+/// are fetched only once). If the client disconnects before the schedule
+/// finishes, the budgets of the steps that never executed are refunded to
+/// the tenant's bucket.
+fn stream_query(
+    state: &ServerState,
+    request: &Request,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    let keep_alive = request.keep_alive;
+    // early failures answer as a plain (non-chunked) JSON error
+    let fail = |stream: &mut TcpStream,
+                status: u16,
+                message: &str,
+                headers: &[(&str, String)]|
+     -> std::io::Result<()> {
+        write_response(stream, status, &error_body(message), keep_alive, headers)
+    };
+
+    // chunked transfer encoding does not exist in HTTP/1.0 — a 1.0 client
+    // would read the chunk-size lines as body bytes (RFC 9112 §7.1.1)
+    if request.http1_0 {
+        return fail(
+            stream,
+            400,
+            "streamed responses require HTTP/1.1 (chunked transfer encoding); \
+             use POST /query for a single-body answer",
+            &[],
+        );
+    }
+    let body = match request.body_str() {
+        Ok(text) => match parse(text) {
+            Ok(body) => body,
+            Err(e) => return fail(stream, 400, &format!("malformed JSON body: {e}"), &[]),
+        },
+        Err(_) => return fail(stream, 400, "request body is not valid UTF-8", &[]),
+    };
+    let schedule = match wire::schedule_from_json(&body) {
+        Ok(schedule) => schedule,
+        Err(e) => return fail(stream, 400, &e.to_string(), &[]),
+    };
+    let Some(query_json) = body.get("query") else {
+        return fail(stream, 400, "request: missing field `query`", &[]);
+    };
+    let engine = state.engine.engine();
+    let query = match wire::query_from_json(query_json, engine.schema()) {
+        Ok(query) => query,
+        Err(e) => return fail(stream, 400, &e.to_string(), &[]),
+    };
+    // prepare + open the session before admission, so the charge is the
+    // session's actual resolved total (equal-budget steps deduplicated)
+    let prepared = match engine.prepare(&query) {
+        Ok(prepared) => prepared,
+        Err(e) => return fail(stream, 400, &e.to_string(), &[]),
+    };
+    let mut session = match prepared.session(schedule) {
+        Ok(session) => session,
+        Err(e) => return fail(stream, 400, &e.to_string(), &[]),
+    };
+    let total = session.total_budget();
+
+    // ---- admission: the schedule's total budget, charged up front
+    let name = body.get("tenant").and_then(Json::as_str);
+    let Some(tenant) = state.tenants.resolve(name) else {
+        return match name {
+            Some(n) => fail(stream, 403, &format!("unknown tenant `{n}`"), &[]),
+            None => fail(
+                stream,
+                403,
+                "no tenant named and no default tenant configured",
+                &[],
+            ),
+        };
+    };
+    let metrics = &state.metrics[&tenant.name];
+    let guard = match tenant.admit(total as f64) {
+        Err(rejection) => {
+            let reply = rejection_reply(&tenant.name, metrics, rejection, "schedule");
+            return write_response(
+                stream,
+                reply.status,
+                &reply.body,
+                keep_alive,
+                &reply.headers,
+            );
+        }
+        Ok(guard) => guard,
+    };
+    metrics.record_admitted(total as f64);
+    let start = Instant::now();
+
+    // ---- the frames; every write failure from here on means the client
+    // disconnected mid-session, so the unconsumed steps are refunded
+    let mut consumed = 0usize; // budgets of the steps that actually executed
+    let mut fetched = 0usize; // cumulative tuples the session really fetched
+    if let Err(e) = write_chunked_head(stream, 200, keep_alive, &[]) {
+        tenant.refund(total.saturating_sub(consumed) as f64);
+        metrics.record_failed(start.elapsed());
+        drop(guard);
+        return Err(e);
+    }
+    while let Some(result) = session.next_step() {
+        match result {
+            Ok(step) => {
+                consumed += step.budget;
+                fetched = step.budget_spent;
+                let frame = format!("{}\n", wire::step_to_json(&step));
+                if let Err(e) = write_chunk(stream, &frame) {
+                    tenant.refund(total.saturating_sub(consumed) as f64);
+                    metrics.record_failed(start.elapsed());
+                    drop(guard);
+                    return Err(e);
+                }
+            }
+            Err(e) => {
+                // an engine-side failure mid-stream: emit a terminal error
+                // frame (the status line already went out) and stop
+                let frame = format!("{}\n", error_body(&e.to_string()));
+                let write = write_chunk(stream, &frame).and_then(|()| finish_chunked(stream));
+                tenant.refund(total.saturating_sub(consumed) as f64);
+                metrics.record_failed(start.elapsed());
+                drop(guard);
+                return write;
+            }
+        }
+    }
+    let finish = finish_chunked(stream);
+    metrics.record_completed(fetched, start.elapsed());
+    drop(guard);
+    finish
 }
 
 /// `POST /prepare`: `{"tenant": …, "query": {…}}` → `{"id": n}`.
@@ -629,6 +843,14 @@ fn metrics_json(state: &ServerState) -> Json {
                 (
                     "plan_cache_misses",
                     Json::Int(stats.plan_cache_misses as i64),
+                ),
+                (
+                    "plan_cache_capacity",
+                    Json::Int(state.engine.engine().plan_cache_capacity() as i64),
+                ),
+                (
+                    "plan_cache_size",
+                    Json::Int(state.engine.engine().plan_cache_len() as i64),
                 ),
             ]),
         ),

@@ -24,7 +24,9 @@
 use std::fmt;
 
 use beas_access::ResourceSpec;
-use beas_core::{AggQuery, BeasAnswer, BeasQuery, RaQuery, UpdateBatch};
+use beas_core::{
+    AggQuery, BeasAnswer, BeasQuery, RaQuery, RefinementSchedule, RefinementStep, UpdateBatch,
+};
 use beas_relal::{AggFunc, CompareOp, DatabaseSchema, Relation, Row, SpcQueryBuilder, Value};
 
 use crate::json::Json;
@@ -293,6 +295,44 @@ pub fn spec_from_json(v: &Json) -> Result<ResourceSpec> {
         .map_err(|e| WireError::new(e.to_string()))
 }
 
+/// Decodes the refinement schedule of a `POST /query/stream` request body:
+///
+/// * `"schedule": ["ratio:0.01", "ratio:0.1", "ratio:1"]` — explicit steps in
+///   the canonical [`ResourceSpec`] grammar;
+/// * only `"spec"` — the default ladder [leading to that
+///   spec](RefinementSchedule::leading_to), so the final frame equals a
+///   one-shot `POST /query` at the same spec;
+/// * neither — the full [default ladder](RefinementSchedule::default_ladder).
+pub fn schedule_from_json(v: &Json) -> Result<RefinementSchedule> {
+    match v.get("schedule") {
+        Some(s) => {
+            let steps = s
+                .as_arr()
+                .ok_or_else(|| WireError::new("request: `schedule` must be an array"))?;
+            let specs: Vec<ResourceSpec> = steps
+                .iter()
+                .map(|step| {
+                    step.as_str()
+                        .ok_or_else(|| {
+                            WireError::new(
+                                "request: schedule steps must be spec strings \
+                                 (e.g. \"ratio:0.1\")",
+                            )
+                        })?
+                        .parse::<ResourceSpec>()
+                        .map_err(|e| WireError::new(e.to_string()))
+                })
+                .collect::<Result<_>>()?;
+            RefinementSchedule::from_specs(specs).map_err(|e| WireError::new(e.to_string()))
+        }
+        None => match v.get("spec") {
+            Some(_) => RefinementSchedule::leading_to(spec_from_json(v)?)
+                .map_err(|e| WireError::new(e.to_string())),
+            None => Ok(RefinementSchedule::default_ladder()),
+        },
+    }
+}
+
 // ---------------------------------------------------------------- updates
 
 /// Decodes an update request body into an [`UpdateBatch`]:
@@ -346,6 +386,28 @@ pub fn answer_to_json(answer: &BeasAnswer) -> Json {
         Json::Str(format!("{:016x}", answer.answers.digest())),
     ));
     Json::obj(pairs)
+}
+
+/// Encodes one [`RefinementStep`] as a streamed frame: the full answer
+/// encoding of [`answer_to_json`] (columns, rows, η, access accounting,
+/// digest) plus the session accounting — `step`/`steps`, the step's `spec`,
+/// the cumulative `budget_spent` and the tuples `reused` from earlier steps.
+/// The final frame of a session carries exactly the digest a one-shot
+/// `POST /query` at the same spec returns.
+pub fn step_to_json(step: &RefinementStep) -> Json {
+    let mut pairs = match answer_to_json(&step.answer) {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!("answers encode as objects"),
+    };
+    pairs.push(("step".to_string(), Json::Int(step.step as i64)));
+    pairs.push(("steps".to_string(), Json::Int(step.steps as i64)));
+    pairs.push(("spec".to_string(), Json::Str(step.spec.to_string())));
+    pairs.push((
+        "budget_spent".to_string(),
+        Json::Int(step.budget_spent as i64),
+    ));
+    pairs.push(("reused".to_string(), Json::Int(step.reused_tuples as i64)));
+    Json::Obj(pairs)
 }
 
 /// Decodes the `columns` / `rows` fields of an answer back into a

@@ -678,3 +678,206 @@ fn http10_and_connection_close_are_honoured() {
     assert!(response.contains("\"status\":\"ok\""), "{response}");
     server.shutdown();
 }
+
+#[test]
+fn streamed_query_refines_and_final_frame_matches_one_shot() {
+    let engine = engine(600);
+    let server = start(
+        Arc::clone(&engine),
+        ServeConfig::default()
+            .tenant("t", open_tenant())
+            .default_tenant("t"),
+    );
+    let mut c = client(&server);
+
+    // the one-shot reference at the schedule's final spec
+    let spec = ResourceSpec::Ratio(0.5);
+    let one_shot = c
+        .post("/query", &query_body(None, spec, &nyc_hotels_json()))
+        .unwrap();
+    assert_eq!(one_shot.status, 200, "{}", one_shot.body);
+    let one_shot_digest = one_shot
+        .json()
+        .unwrap()
+        .get("digest")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+
+    // the streamed session: explicit schedule ending at the same spec
+    let body = format!(
+        r#"{{"schedule":["ratio:0.02","ratio:0.1","ratio:0.5"],"query":{}}}"#,
+        nyc_hotels_json()
+    );
+    let streamed = c.post("/query/stream", &body).unwrap();
+    assert_eq!(streamed.status, 200, "{}", streamed.body);
+    assert_eq!(
+        streamed.header("transfer-encoding"),
+        Some("chunked"),
+        "the stream must be chunked"
+    );
+    let frames: Vec<Json> = streamed
+        .body
+        .lines()
+        .map(|line| parse_json(line).expect("frame JSON"))
+        .collect();
+    assert!(frames.len() >= 2, "got {} frames", frames.len());
+
+    // frames carry eta / cumulative budget / digest, monotonically
+    let mut last_eta = -1.0;
+    let mut last_spent = 0i64;
+    for frame in &frames {
+        let eta = frame.get("eta").and_then(Json::as_f64).unwrap();
+        let spent = frame.get("budget_spent").and_then(Json::as_i64).unwrap();
+        assert!(eta >= last_eta, "eta must not decrease across the stream");
+        assert!(spent >= last_spent, "budget_spent must not decrease");
+        assert!(frame.get("digest").and_then(Json::as_str).is_some());
+        last_eta = eta;
+        last_spent = spent;
+    }
+    // the final frame is bit-for-bit the one-shot answer
+    let last = frames.last().unwrap();
+    assert_eq!(
+        last.get("digest").and_then(Json::as_str),
+        Some(one_shot_digest.as_str()),
+        "final frame must equal the one-shot digest"
+    );
+    assert_eq!(last.get("spec").and_then(Json::as_str), Some("ratio:0.5"));
+    assert_eq!(
+        last.get("steps").and_then(Json::as_i64),
+        Some(frames.len() as i64)
+    );
+
+    // a "spec"-only body streams the default ladder leading to that spec,
+    // and the connection stays usable (keep-alive survives chunked bodies)
+    let streamed = c
+        .post("/query/stream", &query_body(None, spec, &nyc_hotels_json()))
+        .unwrap();
+    assert_eq!(streamed.status, 200);
+    let lines: Vec<&str> = streamed.body.lines().collect();
+    assert!(lines.len() >= 2);
+    assert!(lines.last().unwrap().contains(&one_shot_digest));
+    server.shutdown();
+}
+
+#[test]
+fn streamed_query_rejects_bad_schedules_and_is_admission_controlled() {
+    let engine = engine(400);
+    let full_budget = engine.catalog().budget(&ResourceSpec::FULL).unwrap() as f64;
+    let server = start(
+        Arc::clone(&engine),
+        ServeConfig::default()
+            .tenant("t", open_tenant())
+            // the tiny tenant's burst cannot cover a full default ladder
+            .tenant(
+                "tiny",
+                TenantPolicy::with_rate(full_budget / 10.0, full_budget),
+            )
+            .default_tenant("t"),
+    );
+    let mut c = client(&server);
+
+    // malformed schedules are non-chunked 400s
+    for bad in [
+        r#"{"schedule":["ratio:0.5","ratio:0.1"],"query":{}}"#.to_string(),
+        format!(r#"{{"schedule":[],"query":{}}}"#, nyc_hotels_json()),
+        format!(r#"{{"schedule":["nope"],"query":{}}}"#, nyc_hotels_json()),
+        format!(
+            r#"{{"schedule":["ratio:0"],"query":{}}}"#,
+            nyc_hotels_json()
+        ),
+    ] {
+        let r = c.post("/query/stream", &bad).unwrap();
+        assert_eq!(r.status, 400, "`{bad}` accepted: {}", r.body);
+    }
+    // missing query
+    let r = c
+        .post("/query/stream", r#"{"schedule":["ratio:0.1"]}"#)
+        .unwrap();
+    assert_eq!(r.status, 400);
+
+    // the schedule's *total* budget is charged: a ladder summing past the
+    // tiny tenant's burst is rejected outright as too expensive
+    let body = format!(
+        r#"{{"tenant":"tiny","schedule":["ratio:0.5","ratio:1"],"query":{}}}"#,
+        nyc_hotels_json()
+    );
+    let r = c.post("/query/stream", &body).unwrap();
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("burst"), "{}", r.body);
+
+    // a single-step full schedule fits the burst and works; draining the
+    // bucket then yields 429 + Retry-After
+    let body = format!(
+        r#"{{"tenant":"tiny","schedule":["ratio:1"],"query":{}}}"#,
+        nyc_hotels_json()
+    );
+    let mut saw_429 = false;
+    for _ in 0..4 {
+        let r = c.post("/query/stream", &body).unwrap();
+        if r.status == 429 {
+            assert!(r.header("retry-after").is_some());
+            saw_429 = true;
+            break;
+        }
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+    assert!(saw_429, "the tiny tenant must eventually see a 429");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_responses_get_413_with_a_stream_hint() {
+    let engine = engine(500);
+    let server = start(
+        Arc::clone(&engine),
+        ServeConfig::default()
+            .tenant("t", open_tenant())
+            .default_tenant("t")
+            // far below any real answer body
+            .max_response_bytes(64),
+    );
+    let mut c = client(&server);
+
+    let r = c
+        .post(
+            "/query",
+            &query_body(None, ResourceSpec::FULL, &nyc_hotels_json()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 413, "{}", r.body);
+    assert!(
+        r.body.contains("/query/stream"),
+        "the 413 must hint at the streamed route: {}",
+        r.body
+    );
+
+    // the streamed route itself is exempt: frames are chunked, never one body
+    let streamed = c
+        .post(
+            "/query/stream",
+            &query_body(None, ResourceSpec::FULL, &nyc_hotels_json()),
+        )
+        .unwrap();
+    assert_eq!(streamed.status, 200);
+    assert!(streamed.body.lines().count() >= 2);
+
+    // metrics surface the shared plan cache
+    let metrics = c.get("/metrics").unwrap().json().unwrap();
+    let engine_stats = metrics.get("engine").unwrap();
+    assert!(
+        engine_stats
+            .get("plan_cache_capacity")
+            .and_then(Json::as_i64)
+            .unwrap()
+            > 0
+    );
+    assert!(
+        engine_stats
+            .get("plan_cache_size")
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 1
+    );
+    server.shutdown();
+}

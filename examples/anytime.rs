@@ -1,0 +1,119 @@
+//! Anytime answers: a progressive refinement session over a ratio ladder.
+//!
+//! Builds a poi engine whose (hotel, NYC) fragment is large enough that the
+//! coarse rungs of the ladder genuinely approximate it, opens an
+//! [`AnswerSession`] over `[0.01, 0.05, 0.1, 0.5, 1.0]`, and prints the
+//! η / latency trajectory: how fast a usable answer arrives, how η climbs
+//! towards 1, and how much fetched data later steps reuse. Finishes by
+//! asserting the session's final step is bit-for-bit the one-shot answer at
+//! the same spec — the determinism guarantee of the session API.
+//!
+//! ```text
+//! cargo run --release --example anytime
+//! ```
+
+use std::time::Instant;
+
+use beas::prelude::*;
+
+fn main() {
+    // ---- build (offline C1): 30k rows, all prices distinct
+    let schema = DatabaseSchema::new(vec![RelationSchema::new(
+        "poi",
+        vec![
+            Attribute::categorical("type"),
+            Attribute::text("city"),
+            Attribute::double("price"),
+        ],
+    )]);
+    let mut db = Database::new(schema);
+    let cities = ["NYC", "LA", "Chicago", "Boston", "Seattle"];
+    let types = ["hotel", "museum", "restaurant"];
+    for i in 0..30_000i64 {
+        db.insert_row(
+            "poi",
+            vec![
+                Value::from(types[(i % 3) as usize]),
+                Value::from(cities[(i % 5) as usize]),
+                Value::Double(20.0 + i as f64 / 7.0),
+            ],
+        )
+        .unwrap();
+    }
+    let engine = Beas::builder(db)
+        .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+        .build()
+        .unwrap();
+    println!(
+        "engine: |D| = {} tuples, shared plan cache capacity {}",
+        engine.database().total_tuples(),
+        engine.plan_cache_capacity(),
+    );
+
+    // ---- the query: all NYC hotel prices
+    let mut b = SpcQueryBuilder::new(engine.schema());
+    let h = b.atom("poi", "h").unwrap();
+    b.bind_const(h, "type", "hotel").unwrap();
+    b.bind_const(h, "city", "NYC").unwrap();
+    b.output(h, "price", "price").unwrap();
+    let query: BeasQuery = b.build().unwrap().into();
+    let prepared = engine.prepare(&query).unwrap();
+
+    // ---- one-shot reference at the full spec
+    let start = Instant::now();
+    let one_shot = prepared.answer(ResourceSpec::FULL).unwrap();
+    let one_shot_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "one-shot at ratio:1 — {} answers, eta = {:.3}, {} tuples accessed, {:.3} ms\n",
+        one_shot.answers.len(),
+        one_shot.eta,
+        one_shot.accessed,
+        one_shot_ms,
+    );
+
+    // ---- the refinement session: the default ladder, every step reusing
+    // the fragments and leaf results of the previous one
+    println!("refinement session over the default ladder:");
+    println!("  step        spec    eta  answers  budget  spent_cum  reused  t_cum_ms");
+    let session = prepared
+        .session(RefinementSchedule::default_ladder())
+        .unwrap();
+    let start = Instant::now();
+    let mut last = None;
+    for step in session {
+        let step = step.unwrap();
+        let cum_ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {:>2}/{}  {:>10}  {:.3}  {:>7}  {:>6}  {:>9}  {:>6}  {:>8.3}",
+            step.step,
+            step.steps,
+            step.spec.to_string(),
+            step.eta,
+            step.answer.answers.len(),
+            step.budget,
+            step.budget_spent,
+            step.reused_tuples,
+            cum_ms,
+        );
+        last = Some(step);
+    }
+
+    // ---- the determinism guarantee: final step == one-shot, bit for bit
+    let last = last.expect("the ladder has steps");
+    assert_eq!(
+        last.answer.answers.digest(),
+        one_shot.answers.digest(),
+        "final session step must equal the one-shot answer"
+    );
+    assert_eq!(last.answer.eta, one_shot.eta);
+    println!(
+        "\nfinal step digest {:016x} == one-shot digest {:016x} (bit-for-bit)",
+        last.answer.answers.digest(),
+        one_shot.answers.digest(),
+    );
+    let stats = engine.stats();
+    println!(
+        "shared plan cache: {} hits / {} misses across the run",
+        stats.plan_cache_hits, stats.plan_cache_misses,
+    );
+}

@@ -109,9 +109,10 @@ pub mod prelude {
     };
     pub use beas_baselines::{Baseline, BlinkSim, Histo, Sampl};
     pub use beas_core::{
-        exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery, Beas,
-        BeasAnswer, BeasBuilder, BeasQuery, BoundedPlan, ConstraintSpec, EngineSnapshot,
-        EngineStats, ExecOptions, Planner, PreparedQuery, RaQuery, ServeHandle, UpdateBatch,
+        exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery,
+        AnswerSession, Beas, BeasAnswer, BeasBuilder, BeasQuery, BoundedPlan, ConstraintSpec,
+        EngineSnapshot, EngineStats, ExecOptions, Planner, PreparedQuery, QueryFingerprint,
+        RaQuery, RefinementSchedule, RefinementStep, ServeHandle, UpdateBatch,
     };
     pub use beas_relal::{
         aggregate_relation, AggFunc, Attribute, Column, CompareOp, Database, DatabaseSchema,

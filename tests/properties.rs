@@ -726,6 +726,185 @@ fn columnar_engine_identical_across_build_paths_and_threads() {
     });
 }
 
+// ---------------------------------------------------------------------------
+// progressive refinement sessions
+// ---------------------------------------------------------------------------
+
+/// Random `(type, city, price)` rows whose price column includes non-finite
+/// floats (NaN, ±∞) — the refinement guarantees must hold bit-for-bit even
+/// when resolutions and η degrade to their non-finite edge cases.
+fn random_float_rows(rng: &mut StdRng, min: usize, max: usize) -> Vec<(u8, u8, f64)> {
+    let n = rng.gen_range(min..=max);
+    (0..n)
+        .map(|_| {
+            let price = match rng.gen_range(0u8..20) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => rng.gen_range(-4000i32..4000) as f64 / 8.0,
+            };
+            (rng.gen_range(0u8..3), rng.gen_range(0u8..4), price)
+        })
+        .collect()
+}
+
+fn poi_db_f64(rows: &[(u8, u8, f64)]) -> Database {
+    let schema = DatabaseSchema::new(vec![RelationSchema::new(
+        "poi",
+        vec![
+            Attribute::categorical("type"),
+            Attribute::text("city"),
+            Attribute::double("price"),
+        ],
+    )]);
+    let mut db = Database::new(schema);
+    let types = ["hotel", "museum", "cafe"];
+    let cities = ["NYC", "LA", "Chicago", "Boston"];
+    for &(t, c, p) in rows {
+        db.insert_row(
+            "poi",
+            vec![
+                Value::from(types[(t as usize) % types.len()]),
+                Value::from(cities[(c as usize) % cities.len()]),
+                Value::Double(p),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// A random SPC or aggregate query over the float db (aggregates exercise
+/// the weighted float-sum accumulation the bit-for-bit claim covers).
+fn random_session_query(rng: &mut StdRng, engine: &Beas) -> BeasQuery {
+    let mut b = SpcQueryBuilder::new(engine.schema());
+    let h = b.atom("poi", "h").unwrap();
+    b.bind_const(h, "type", *["hotel", "museum"].choose(rng).unwrap())
+        .unwrap();
+    b.bind_const(h, "city", *["NYC", "LA"].choose(rng).unwrap())
+        .unwrap();
+    b.output(h, "price", "price").unwrap();
+    let spc = b.build().unwrap();
+    if rng.gen_bool(0.4) {
+        AggQuery::new(RaQuery::spc(spc), vec![], AggFunc::Sum, "price", "total")
+            .unwrap()
+            .into()
+    } else {
+        spc.into()
+    }
+}
+
+/// A random strictly-increasing ratio schedule ending at `final_alpha`.
+fn random_schedule(rng: &mut StdRng, final_alpha: f64) -> RefinementSchedule {
+    let mut ratios: Vec<f64> = (0..rng.gen_range(1usize..4))
+        .map(|_| rng.gen_range(5u32..800) as f64 / 1000.0 * final_alpha)
+        .filter(|&a| a > 0.0 && a < final_alpha)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ratios.push(final_alpha);
+    RefinementSchedule::ratios(&ratios).unwrap()
+}
+
+/// **Session determinism:** the final step of a refinement session is
+/// bit-for-bit equal — relation digest, float aggregate sums, η — to a
+/// one-shot `PreparedQuery::answer` at the same spec, at thread counts 1 and
+/// 4, on random databases including NaN/∞ float columns. This is the
+/// anytime-API guarantee: refining is never a different computation, only a
+/// cheaper route to the same one.
+#[test]
+fn refinement_session_final_step_is_bit_for_bit_one_shot() {
+    forall_seeds(12, |seed, rng| {
+        let rows = random_float_rows(rng, 40, 200);
+        let final_alpha = rng.gen_range(300u32..=1000) as f64 / 1000.0;
+        let constraint = || ConstraintSpec::new("poi", &["type", "city"], &["price"]);
+        for threads in [1usize, 4] {
+            let engine = Beas::builder(poi_db_f64(&rows))
+                .constraint(constraint())
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let query = random_session_query(rng, &engine);
+            let prepared = engine.prepare(&query).unwrap();
+            let one_shot = prepared.answer(ResourceSpec::Ratio(final_alpha)).unwrap();
+
+            let session = prepared.session(random_schedule(rng, final_alpha)).unwrap();
+            let steps: Vec<_> = session.map(|s| s.unwrap()).collect();
+            let last = steps.last().expect("non-empty schedule");
+
+            // Value equality on Doubles is IEEE-754 total-order equality, so
+            // this compares relations (including NaN cells and float sums)
+            // bit for bit; the digest doubles as the wire-visible witness
+            assert_eq!(
+                last.answer.answers, one_shot.answers,
+                "seed {seed} threads {threads}: final step diverged from one-shot"
+            );
+            assert_eq!(
+                last.answer.answers.digest(),
+                one_shot.answers.digest(),
+                "seed {seed} threads {threads}: digest diverged"
+            );
+            assert_eq!(
+                last.answer.eta.to_bits(),
+                one_shot.eta.to_bits(),
+                "seed {seed} threads {threads}: eta diverged"
+            );
+            assert_eq!(
+                last.answer.accessed, one_shot.accessed,
+                "seed {seed} threads {threads}: access accounting diverged"
+            );
+            assert_eq!(last.answer.exact, one_shot.exact, "seed {seed}");
+        }
+    });
+}
+
+/// **Session monotonicity:** across a refinement session, η never decreases
+/// (answers only get more accurate as the budget grows) and the cumulative
+/// tuple spend never decreases — on random databases including NaN/∞ float
+/// columns, where η may sit at its degenerate 0 for coarse steps.
+#[test]
+fn refinement_session_eta_and_spend_are_monotone() {
+    forall_seeds(16, |seed, rng| {
+        let rows = random_float_rows(rng, 30, 160);
+        let engine = Beas::builder(poi_db_f64(&rows))
+            .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+            .build()
+            .unwrap();
+        let query = random_session_query(rng, &engine);
+        let prepared = engine.prepare(&query).unwrap();
+        let session = prepared.session(random_schedule(rng, 1.0)).unwrap();
+        let mut last_eta = -1.0f64;
+        let mut last_spent = 0usize;
+        let mut last_budget = 0usize;
+        let mut steps = 0usize;
+        for step in session {
+            let step = step.unwrap();
+            assert!(
+                step.eta >= last_eta,
+                "seed {seed}: eta decreased {last_eta} -> {} at step {}",
+                step.eta,
+                step.step
+            );
+            assert!(
+                step.budget_spent >= last_spent,
+                "seed {seed}: spend decreased {last_spent} -> {} at step {}",
+                step.budget_spent,
+                step.step
+            );
+            assert!(
+                step.budget > last_budget,
+                "seed {seed}: budgets must strictly increase after dedup"
+            );
+            // every step's own answer honours its budget
+            assert!(step.answer.accessed <= step.budget.max(step.answer.planned_tariff));
+            last_eta = step.eta;
+            last_spent = step.budget_spent;
+            last_budget = step.budget;
+            steps = step.step;
+        }
+        assert!(steps >= 1, "seed {seed}: the session must run");
+    });
+}
+
 /// Value ordering is antisymmetric and consistent with equality/hashing.
 #[test]
 fn value_order_and_hash_consistent() {
