@@ -64,7 +64,15 @@ impl Catalog {
 
     /// Adds a family and returns its id.
     pub fn add_family(&mut self, family: TemplateFamily) -> FamilyId {
-        self.families.push(Arc::new(family));
+        self.add_family_arc(Arc::new(family))
+    }
+
+    /// Adds an already-shared family and returns its id. Sharing the `Arc`
+    /// lets several catalogs serve the same index without copying it — e.g. a
+    /// cluster coordinator assembling its global planning catalog from the
+    /// families its shard engines built.
+    pub fn add_family_arc(&mut self, family: Arc<TemplateFamily>) -> FamilyId {
+        self.families.push(family);
         self.version += 1;
         self.families.len() - 1
     }

@@ -83,10 +83,11 @@ fn main() {
                 "concurrency" => tables.push(fig_concurrency(&profile)),
                 "serving" => tables.push(fig_serving(&profile)),
                 "refinement" => tables.push(fig_refinement(&profile)),
+                "cluster" => tables.push(beas_bench::cluster::fig_cluster(&profile)),
                 other => {
                     eprintln!("unknown figure id: {other}");
                     eprintln!(
-                        "known ids: fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h fig6i fig6j fig6k fig6l plancache concurrency serving refinement all"
+                        "known ids: fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h fig6i fig6j fig6k fig6l plancache concurrency serving refinement cluster all"
                     );
                     std::process::exit(2);
                 }

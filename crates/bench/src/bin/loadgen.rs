@@ -7,6 +7,11 @@
 //!
 //! # self-hosted: starts the demo engine + server in process first
 //! cargo run --release -p beas-bench --bin loadgen -- --self-host --clients 4 --requests 200
+//!
+//! # distributed: closed loop against an in-process 3-shard cluster
+//! # coordinator (budget-proportional scatter-gather; the digest is checked
+//! # against the single-node engine every request)
+//! cargo run --release -p beas-bench --bin loadgen -- --cluster 3 --clients 4 --requests 200
 //! ```
 //!
 //! Each client keeps one HTTP/1.1 keep-alive connection and issues
@@ -27,6 +32,7 @@ use beas_serve::{query_body, serve, Client, Json, ServeConfig, TenantPolicy};
 struct Args {
     url: Option<String>,
     self_host: bool,
+    cluster: Option<usize>,
     tenant: Option<String>,
     spec: ResourceSpec,
     clients: usize,
@@ -38,6 +44,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         url: None,
         self_host: false,
+        cluster: None,
         tenant: None,
         spec: ResourceSpec::Ratio(0.05),
         clients: 4,
@@ -61,6 +68,10 @@ fn parse_args() -> Args {
             "--self-host" => {
                 args.self_host = true;
                 i += 1;
+            }
+            "--cluster" => {
+                args.cluster = Some(value(&argv, i, "--cluster").parse().expect("--cluster"));
+                i += 2;
             }
             "--tenant" => {
                 args.tenant = Some(value(&argv, i, "--tenant"));
@@ -89,8 +100,8 @@ fn parse_args() -> Args {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: loadgen [--url host:port | --self-host] [--tenant NAME] \
-                     [--spec ratio:0.05] [--clients N] [--requests N] [--rows N]"
+                    "usage: loadgen [--url host:port | --self-host | --cluster N] \
+                     [--tenant NAME] [--spec ratio:0.05] [--clients N] [--requests N] [--rows N]"
                 );
                 std::process::exit(2);
             }
@@ -101,6 +112,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if let Some(shards) = args.cluster {
+        run_cluster(&args, shards);
+        return;
+    }
 
     // self-hosted mode: demo engine + server in process; the requested
     // tenant name (if any) is registered so `--tenant` keeps working
@@ -241,5 +256,100 @@ fn main() {
     );
     if let Some(server) = hosted {
         server.shutdown();
+    }
+}
+
+/// Closed-loop load against an in-process cluster coordinator: each client
+/// thread answers the demo cross-shard join back-to-back through
+/// `ClusterHandle::answer`, and every answer's digest is checked against the
+/// single-node engine's answer at the same spec. The per-shard budget
+/// allocation and latency metrics the coordinator exposes under
+/// `GET /metrics` are printed at the end.
+fn run_cluster(args: &Args, shards: usize) {
+    use beas_bench::cluster::{
+        demo_cluster, demo_cluster_constraint, demo_cluster_db, demo_cluster_join,
+    };
+    use beas_core::Beas;
+
+    let cluster = demo_cluster(args.rows, shards.max(1));
+    let single = Beas::builder(demo_cluster_db(args.rows))
+        .constraint(demo_cluster_constraint())
+        .build()
+        .expect("single-node reference");
+    let query = demo_cluster_join(cluster.schema());
+    let reference = single.answer(&query, args.spec).expect("reference answer");
+    let expected = reference.answers.digest();
+    println!(
+        "cluster loadgen: {} shards (partition sizes {:?}), single-node digest {expected:016x}",
+        cluster.shards(),
+        cluster.partition_sizes()
+    );
+
+    let latencies = Mutex::new(Vec::<Duration>::new());
+    let mismatches = Mutex::new(0usize);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..args.clients.max(1) {
+            scope.spawn(|| {
+                let mut local = Vec::with_capacity(args.requests);
+                let mut bad = 0usize;
+                for _ in 0..args.requests {
+                    let t = Instant::now();
+                    let answer = cluster.answer(&query, args.spec).expect("cluster answer");
+                    local.push(t.elapsed());
+                    if answer.answers.digest() != expected
+                        || answer.eta.to_bits() != reference.eta.to_bits()
+                    {
+                        bad += 1;
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+                *mismatches.lock().unwrap() += bad;
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut latencies = latencies.into_inner().unwrap();
+    latencies.sort();
+    let mismatches = mismatches.into_inner().unwrap();
+    let total = latencies.len();
+    let quantile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1].as_secs_f64() * 1e3
+    };
+    println!(
+        "\ncluster loadgen: {} clients x {} requests, spec {}",
+        args.clients, args.requests, args.spec
+    );
+    println!("  elapsed      {:.3}s", elapsed.as_secs_f64());
+    println!(
+        "  throughput   {:.0} answers/s ({total} answered)",
+        total as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  latency ms   p50 {:.3} | p90 {:.3} | p99 {:.3} | max {:.3}",
+        quantile(0.50),
+        quantile(0.90),
+        quantile(0.99),
+        latencies
+            .last()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    );
+    println!(
+        "  digest       {}",
+        if mismatches == 0 {
+            format!("all {total} answers == single-node answer (bit-for-bit)")
+        } else {
+            format!("{mismatches}/{total} answers DIVERGED from single-node")
+        }
+    );
+    println!("  metrics      {}", cluster.metrics().to_json());
+    if mismatches > 0 {
+        std::process::exit(1);
     }
 }

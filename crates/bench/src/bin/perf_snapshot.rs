@@ -5,12 +5,19 @@
 //! trajectory to compare against.
 //!
 //! ```text
-//! cargo run --release -p beas-bench --bin perf_snapshot -- [OUT.json]
+//! cargo run --release -p beas-bench --bin perf_snapshot -- [OUT.json] [--check BASELINE.json]
 //! ```
 //!
 //! The snapshot records mean/min wall-clock per measurement plus the answer
 //! digests of the concurrent and network runs, so a regression in either
 //! speed *or* results is visible from the artifact alone.
+//!
+//! With `--check BASELINE.json`, the run additionally compares its
+//! `plan_execution/bounded/*` measurements against the committed baseline
+//! and exits non-zero when a mean regresses beyond the noise allowance
+//! ([`CHECK_TOLERANCE`]×) — the CI perf gate. Best-of-run (`min_s`) is
+//! compared rather than the mean: means absorb scheduler hiccups on shared
+//! CI runners, minima are the repeatable cost.
 
 use std::time::{Duration, Instant};
 
@@ -48,10 +55,88 @@ fn measure(name: &str, iters: usize, mut f: impl FnMut()) -> Sample {
     }
 }
 
+/// Noise allowance of the `--check` gate: a bounded-execution minimum may
+/// drift up to this factor over the committed baseline before the gate
+/// fails. Generous because baseline and gate may run on different machines;
+/// genuine algorithmic regressions (no longer O(budget)) blow well past it.
+const CHECK_TOLERANCE: f64 = 2.0;
+
+/// Compares this run's `plan_execution/bounded/*` minima against `baseline`
+/// (a previous snapshot file); returns the failure messages.
+fn check_against_baseline(samples: &[Sample], baseline_path: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let json = beas_serve::parse_json(&text)
+        .unwrap_or_else(|e| panic!("bad baseline JSON in {baseline_path}: {e}"));
+    let entries = json
+        .get("benchmarks")
+        .and_then(beas_serve::Json::as_arr)
+        .unwrap_or_else(|| panic!("baseline {baseline_path} has no `benchmarks` array"));
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for entry in entries {
+        let Some(name) = entry.get("name").and_then(beas_serve::Json::as_str) else {
+            continue;
+        };
+        if !name.starts_with("plan_execution/bounded/") {
+            continue;
+        }
+        let Some(base_min) = entry.get("min_s").and_then(beas_serve::Json::as_f64) else {
+            continue;
+        };
+        let Some(current) = samples.iter().find(|s| s.name == name) else {
+            failures.push(format!(
+                "baseline entry `{name}` was not measured by this run"
+            ));
+            continue;
+        };
+        checked += 1;
+        let limit = base_min * CHECK_TOLERANCE;
+        if current.min_s > limit {
+            failures.push(format!(
+                "{name}: min {:.6}s exceeds baseline {:.6}s x{CHECK_TOLERANCE} = {:.6}s",
+                current.min_s, base_min, limit
+            ));
+        } else {
+            println!(
+                "check {name}: min {:.6}s vs baseline {:.6}s (limit {:.6}s) ok",
+                current.min_s, base_min, limit
+            );
+        }
+    }
+    if checked == 0 {
+        failures.push(format!(
+            "baseline {baseline_path} contains no plan_execution/bounded/* entries"
+        ));
+    }
+    failures
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let mut out_path: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--check" => {
+                baseline = Some(argv.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--check needs a baseline file");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            other if !other.starts_with("--") && out_path.is_none() => {
+                out_path = Some(other.to_string());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (usage: perf_snapshot [OUT.json] [--check BASELINE.json])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr6.json".to_string());
     const ITERS: usize = 5;
     let mut samples: Vec<Sample> = Vec::new();
 
@@ -146,6 +231,26 @@ fn main() {
         server.shutdown();
     }
 
+    // --------------------------------------------------------------- cluster
+    // scatter-gather through the 3-shard coordinator: the cross-shard demo
+    // join at a bounded spec, digest recorded (it must match single-node —
+    // asserted by the crate's tests; here it documents the answer identity)
+    {
+        use beas_bench::cluster::{demo_cluster, demo_cluster_join};
+        let cluster = demo_cluster(4_000, 3);
+        let query = demo_cluster_join(cluster.schema());
+        let mut digest = 0u64;
+        let mut s = measure("cluster/answer/3-shards", ITERS, || {
+            let answer = cluster
+                .answer(&query, ResourceSpec::Ratio(0.05))
+                .expect("cluster answer");
+            digest = answer.answers.digest();
+        });
+        s.extra
+            .push(("digest".to_string(), format!("\"{digest:016x}\"")));
+        samples.push(s);
+    }
+
     // --------------------------------------------------------------- output
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, s) in samples.iter().enumerate() {
@@ -163,4 +268,17 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("{json}");
     println!("wrote {out_path}");
+
+    // ------------------------------------------------------------ perf gate
+    if let Some(baseline_path) = baseline {
+        let failures = check_against_baseline(&samples, &baseline_path);
+        if failures.is_empty() {
+            println!("perf gate: all bounded-execution measurements within {CHECK_TOLERANCE}x of {baseline_path}");
+        } else {
+            for f in &failures {
+                eprintln!("perf gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

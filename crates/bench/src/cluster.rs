@@ -1,0 +1,213 @@
+//! The distributed-serving experiment: budget-proportional scatter-gather
+//! over a `beas-cluster` coordinator, checked against the single-node
+//! engine.
+//!
+//! The demo workload is a three-relation database (people, points of
+//! interest, visits) so a three-shard cluster owns one relation per node and
+//! the demo join query forces a cross-shard merge at the coordinator. Every
+//! helper here is deterministic — the same `rows` argument always produces
+//! the same database — so digests are stable across runs and processes:
+//! `figures cluster` and the `cluster-smoke` CI job both lean on that.
+
+use std::time::Instant;
+
+use beas_cluster::ClusterHandle;
+use beas_core::{Beas, BeasQuery, ConstraintSpec, ResourceSpec};
+use beas_relal::{Attribute, Database, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value};
+
+use crate::{BenchProfile, Table};
+
+/// The demo cluster database: `person`, `poi` and `visit`, sized so `poi`
+/// holds about `rows` tuples (the other relations scale along).
+pub fn demo_cluster_db(rows: i64) -> Database {
+    let schema = DatabaseSchema::new(vec![
+        RelationSchema::new(
+            "person",
+            vec![Attribute::categorical("city"), Attribute::int("age")],
+        ),
+        RelationSchema::new(
+            "poi",
+            vec![
+                Attribute::categorical("city"),
+                Attribute::categorical("type"),
+                Attribute::double("price"),
+            ],
+        ),
+        RelationSchema::new(
+            "visit",
+            vec![Attribute::categorical("city"), Attribute::double("spend")],
+        ),
+    ]);
+    let cities = ["NYC", "LA", "Chicago", "Boston", "Seattle"];
+    let types = ["hotel", "museum", "restaurant"];
+    let mut db = Database::new(schema);
+    for i in 0..(rows / 2) {
+        db.insert_row(
+            "person",
+            vec![
+                Value::from(cities[(i % 5) as usize]),
+                Value::Int(18 + (i * 13) % 60),
+            ],
+        )
+        .expect("insert person");
+    }
+    for i in 0..rows {
+        db.insert_row(
+            "poi",
+            vec![
+                Value::from(cities[(i % 5) as usize]),
+                Value::from(types[(i % 3) as usize]),
+                Value::Double(30.0 + ((i * 37) % 400) as f64),
+            ],
+        )
+        .expect("insert poi");
+    }
+    for i in 0..(rows / 2) {
+        db.insert_row(
+            "visit",
+            vec![
+                Value::from(cities[(i % 5) as usize]),
+                Value::Double(5.0 + ((i * 29) % 250) as f64 / 4.0),
+            ],
+        )
+        .expect("insert visit");
+    }
+    db
+}
+
+/// The demo access constraint: `poi({city, type} → {price})`, extended.
+pub fn demo_cluster_constraint() -> ConstraintSpec {
+    ConstraintSpec::new("poi", &["city", "type"], &["price"])
+}
+
+/// The demo cluster query: NYC hotel prices — a single-atom bounded
+/// selection every shard count answers identically.
+pub fn demo_cluster_query(schema: &DatabaseSchema) -> BeasQuery {
+    let mut b = SpcQueryBuilder::new(schema);
+    let h = b.atom("poi", "h").expect("atom");
+    b.bind_const(h, "city", "NYC").expect("bind");
+    b.bind_const(h, "type", "hotel").expect("bind");
+    b.output(h, "price", "price").expect("output");
+    b.build().expect("query").into()
+}
+
+/// The demo cross-shard join: people × pois in the same city — its atoms
+/// live on different shards, so the leaf merges at the coordinator.
+pub fn demo_cluster_join(schema: &DatabaseSchema) -> BeasQuery {
+    let mut b = SpcQueryBuilder::new(schema);
+    let p = b.atom("person", "p").expect("atom");
+    let h = b.atom("poi", "h").expect("atom");
+    b.join((p, "city"), (h, "city")).expect("join");
+    b.bind_const(h, "type", "hotel").expect("bind");
+    b.output(p, "age", "age").expect("output");
+    b.output(h, "price", "price").expect("output");
+    b.build().expect("query").into()
+}
+
+/// Builds the demo cluster over `shards` nodes.
+pub fn demo_cluster(rows: i64, shards: usize) -> ClusterHandle {
+    ClusterHandle::builder(demo_cluster_db(rows), shards)
+        .constraint(demo_cluster_constraint())
+        .build()
+        .expect("demo cluster")
+}
+
+/// The `figures cluster` table: for shard counts {1, 2, 3} and a budget
+/// sweep, the cluster answer's η, accessed tuples, wall-clock and answer
+/// digest next to the single-node digest — with the equality asserted, not
+/// just printed.
+pub fn fig_cluster(profile: &BenchProfile) -> Table {
+    let rows = 4_000 * profile.scale.max(1) as i64;
+    let db = demo_cluster_db(rows);
+    let single = Beas::builder(db)
+        .constraint(demo_cluster_constraint())
+        .build()
+        .expect("single-node reference");
+    let queries = [
+        ("select", demo_cluster_query(single.schema())),
+        ("join", demo_cluster_join(single.schema())),
+    ];
+    let specs = [
+        ResourceSpec::Ratio(0.05),
+        ResourceSpec::Ratio(0.25),
+        ResourceSpec::FULL,
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "figures cluster — scatter-gather vs single node (|poi| = {rows}, \
+             budget split = tariff floor + size-proportional slack)"
+        ),
+        vec![
+            "shards",
+            "query",
+            "spec",
+            "budget",
+            "accessed",
+            "eta",
+            "ms",
+            "digest",
+            "= single-node",
+        ],
+    );
+    for shards in [1usize, 2, 3] {
+        let cluster = demo_cluster(rows, shards);
+        for (label, query) in &queries {
+            for &spec in &specs {
+                let reference = single.answer(query, spec).expect("single-node answer");
+                let start = Instant::now();
+                let answer = cluster.answer(query, spec).expect("cluster answer");
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                let digest = answer.answers.digest();
+                let matches = digest == reference.answers.digest()
+                    && answer.eta.to_bits() == reference.eta.to_bits()
+                    && answer.accessed == reference.accessed;
+                assert!(
+                    matches,
+                    "cluster diverged from single node: shards {shards}, \
+                     query {label}, spec {spec}"
+                );
+                table.push_row(vec![
+                    shards.to_string(),
+                    (*label).to_string(),
+                    spec.to_string(),
+                    answer.budget.to_string(),
+                    answer.accessed.to_string(),
+                    format!("{:.4}", answer.eta),
+                    format!("{ms:.2}"),
+                    format!("{digest:016x}"),
+                    "yes".to_string(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_cluster_runs_and_asserts_equality_internally() {
+        let mut profile = BenchProfile::quick();
+        profile.scale = 1;
+        let table = fig_cluster(&profile);
+        let rendered = table.render();
+        assert!(rendered.contains("yes"));
+        // 3 shard counts × 2 queries × 3 specs
+        assert_eq!(rendered.matches("yes").count(), 18);
+    }
+
+    #[test]
+    fn demo_cluster_db_is_deterministic() {
+        let a = demo_cluster_db(500);
+        let b = demo_cluster_db(500);
+        for name in ["person", "poi", "visit"] {
+            assert_eq!(
+                a.relation(name).unwrap().digest(),
+                b.relation(name).unwrap().digest()
+            );
+        }
+    }
+}

@@ -15,6 +15,11 @@
 //! | Fig. 6(k) index sizes | [`figures::fig6k_index_size`] | `figures fig6k` |
 //! | Fig. 6(l) + Exp-5 efficiency | [`figures::fig6l_efficiency`] | `figures fig6l` |
 //!
+//! Beyond the paper's figures, `figures cluster` reports the distributed
+//! scatter-gather experiment of [`cluster::fig_cluster`]: cluster answers at
+//! shard counts {1, 2, 3} with their digests asserted bit-for-bit equal to
+//! the single-node engine's.
+//!
 //! The η series of Exp-2 is reported alongside every accuracy figure. Absolute
 //! numbers differ from the paper (synthetic data at laptop scale instead of
 //! 60 GB on EC2); EXPERIMENTS.md records the measured values and compares the
@@ -23,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod figures;
 pub mod harness;
 pub mod serving;

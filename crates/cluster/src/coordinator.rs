@@ -1,0 +1,985 @@
+//! The cluster coordinator: query-facing API, catalog assembly, and the
+//! scatter-gather driver.
+//!
+//! [`ClusterBuilder::build`] partitions the database round-robin by relation,
+//! builds one full [`Beas`] engine per shard over its partition (offline
+//! component C1 runs where the data is), then assembles the **cluster
+//! catalog**: the shards' template families, `Arc`-shared, re-registered in
+//! the exact order a single node building over the whole database would
+//! produce — `A_t` families in schema order, then each constraint's families
+//! in registration order. Planning over that catalog is therefore
+//! *identical* to single-node planning, which is what makes shard-side
+//! self-planning (no plan serialization) and bit-for-bit answer equality
+//! possible.
+//!
+//! [`ClusterHandle::answer`] then drives one scatter-gather execution:
+//! budget split (tariff floor + largest-remainder slack, see
+//! [`crate::budget`]), per-node fetches routed to the owning shard,
+//! shard-local evaluation of single-shard leaves, coordinator-side
+//! evaluation of cross-shard leaves over the gathered fragments, and a
+//! deterministic merge through the same composition the single-node
+//! executor uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use beas_access::{AtOptions, BudgetPolicy, Catalog};
+use beas_core::{
+    calibrated_min_shard_rows, compose_plan_answer, evaluate_plan_leaf, node_keys, Beas,
+    BeasAnswer, BeasQuery, BoundedPlan, ConstraintSpec, ExecOptions, ExecState, ExecutionOutcome,
+    LeafEval, LeafPlan, PlanFragments, Planner, RefinementSchedule, ResourceSpec,
+};
+use beas_relal::{Database, DatabaseSchema};
+use beas_serve::{query_from_json, query_to_json, relation_from_json, Json};
+
+use crate::budget::split_budget;
+use crate::error::{ClusterError, Result};
+use crate::metrics::{serve_metrics, ClusterMetrics, MetricsServer};
+use crate::partition::Partitioning;
+use crate::protocol;
+use crate::shard::ShardNode;
+use crate::transport::{InProcessTransport, ShardTransport};
+
+/// Builds a cluster: N shard engines over a relation partitioning plus the
+/// coordinator handle.
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    db: Database,
+    shards: usize,
+    constraints: Vec<ConstraintSpec>,
+    threads: Option<usize>,
+    min_shard_rows: Option<usize>,
+    policy: BudgetPolicy,
+    options: AtOptions,
+}
+
+impl ClusterBuilder {
+    /// A builder over `db` with `shards` shard nodes.
+    pub fn new(db: Database, shards: usize) -> Self {
+        ClusterBuilder {
+            db,
+            shards,
+            constraints: Vec::new(),
+            threads: None,
+            min_shard_rows: None,
+            policy: BudgetPolicy::default(),
+            options: AtOptions::default(),
+        }
+    }
+
+    /// Registers an access constraint (owned by the shard owning its
+    /// relation).
+    pub fn constraint(mut self, spec: ConstraintSpec) -> Self {
+        self.constraints.push(spec);
+        self
+    }
+
+    /// Registers several constraints in order.
+    pub fn constraints<I: IntoIterator<Item = ConstraintSpec>>(mut self, specs: I) -> Self {
+        self.constraints.extend(specs);
+        self
+    }
+
+    /// Per-shard execution threads (defaults to available parallelism, like
+    /// a single-node engine).
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Minimum sharded-atom size for parallel leaf evaluation (propagated to
+    /// every shard so all nodes evaluate identically).
+    pub fn min_shard_rows(mut self, rows: usize) -> Self {
+        self.min_shard_rows = Some(rows.max(1));
+        self
+    }
+
+    /// The cluster-wide budget policy.
+    pub fn budget_policy(mut self, policy: BudgetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Access-template build options (propagated to every shard).
+    pub fn at_options(mut self, options: AtOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Builds the shard engines, assembles the cluster catalog and returns
+    /// the coordinator handle (in-process transport).
+    pub fn build(self) -> Result<ClusterHandle> {
+        let schema = self.db.schema.clone();
+        let total_tuples = self.db.total_tuples();
+        let partitioning = Partitioning::round_robin(&schema, self.shards)?;
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let min_shard_rows = self
+            .min_shard_rows
+            .unwrap_or_else(calibrated_min_shard_rows);
+
+        // offline C1, per shard: a full engine over the shard's partition,
+        // with the constraints whose relations it owns (registration order
+        // preserved within each shard)
+        let mut engines: Vec<Beas> = Vec::with_capacity(self.shards);
+        let mut partition_sizes: Vec<usize> = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let sub = partitioning.sub_database(&self.db, shard)?;
+            partition_sizes.push(sub.total_tuples());
+            let mut owned_specs: Vec<ConstraintSpec> = Vec::new();
+            for spec in &self.constraints {
+                if partitioning.owner_of(&schema, &spec.relation)? == shard {
+                    owned_specs.push(spec.clone());
+                }
+            }
+            engines.push(
+                Beas::builder(sub)
+                    .constraints(owned_specs)
+                    .num_threads(threads)
+                    .min_shard_rows(min_shard_rows)
+                    .budget_policy(self.policy)
+                    .at_options(self.options.clone())
+                    .build()?,
+            );
+        }
+
+        // assemble the cluster catalog in canonical single-node order,
+        // Arc-sharing each shard's families, and record family ownership
+        let shard_catalogs: Vec<Arc<Catalog>> = engines.iter().map(|e| e.catalog()).collect();
+        let mut catalog = Catalog::new(schema.clone(), total_tuples);
+        catalog.policy = self.policy;
+        let mut family_owner: Vec<usize> = Vec::new();
+        // A_t families, one per relation in schema order
+        for (rel_idx, rel) in schema.relations.iter().enumerate() {
+            let shard = partitioning.owner_of_relation(rel_idx)?;
+            let fid = shard_catalogs[shard]
+                .at_family_for(&rel.name)
+                .ok_or_else(|| {
+                    ClusterError::Config(format!(
+                        "shard {shard} built no A_t family for `{}`",
+                        rel.name
+                    ))
+                })?;
+            catalog.add_family_arc(Arc::clone(shard_catalogs[shard].family_arc(fid)?));
+            family_owner.push(shard);
+        }
+        // constraint families in registration order; each shard's catalog
+        // lists its spec families after its A_t block, in the same order
+        let mut cursors: Vec<usize> = (0..self.shards)
+            .map(|s| partitioning.owned_relations(s).len())
+            .collect();
+        for spec in &self.constraints {
+            let shard = partitioning.owner_of(&schema, &spec.relation)?;
+            for _ in 0..families_per_spec(&schema, spec)? {
+                let fid = cursors[shard];
+                cursors[shard] += 1;
+                catalog.add_family_arc(Arc::clone(shard_catalogs[shard].family_arc(fid)?));
+                family_owner.push(shard);
+            }
+        }
+        debug_assert_eq!(
+            catalog.len(),
+            shard_catalogs.iter().map(|c| c.len()).sum::<usize>()
+        );
+
+        let catalog = Arc::new(catalog);
+        let nodes: Vec<Arc<ShardNode>> = engines
+            .into_iter()
+            .enumerate()
+            .map(|(shard, engine)| {
+                let owned: Vec<bool> = family_owner.iter().map(|&o| o == shard).collect();
+                Arc::new(ShardNode::new(shard, engine, Arc::clone(&catalog), owned))
+            })
+            .collect();
+        let metrics = Arc::new(ClusterMetrics::new(self.shards));
+        let transport: Arc<dyn ShardTransport> = Arc::new(InProcessTransport::new(nodes.clone()));
+        Ok(ClusterHandle {
+            catalog,
+            nodes,
+            transport,
+            family_owner,
+            partition_sizes,
+            threads,
+            min_shard_rows,
+            metrics,
+            next_session: AtomicU64::new(1),
+        })
+    }
+}
+
+/// Number of families `BeasBuilder::build` derives from one constraint spec:
+/// the constraint itself, plus (when extending) the multi-resolution
+/// template on `X → Y` and — if attributes remain — the derived template on
+/// `X ∪ Y → rest`.
+fn families_per_spec(schema: &DatabaseSchema, spec: &ConstraintSpec) -> Result<usize> {
+    if !spec.extend {
+        return Ok(1);
+    }
+    let rel = schema
+        .relation(&spec.relation)
+        .map_err(beas_core::BeasError::from)?;
+    let rest = rel
+        .attr_names()
+        .into_iter()
+        .any(|a| !spec.x.contains(&a) && !spec.y.contains(&a));
+    Ok(if rest { 3 } else { 2 })
+}
+
+/// This step's accounting, gathered from the shards.
+#[derive(Debug, Clone, Copy, Default)]
+struct StepStats {
+    /// Tuples billed against this step's shares (fresh + reused).
+    accessed: usize,
+    /// Fetch operations executed this step.
+    fetches: usize,
+    /// Cumulative tuples materialized by the shards' session states.
+    fetched_cum: usize,
+    /// Cumulative tuples served from the shards' session states.
+    reused_cum: usize,
+}
+
+/// The query-facing handle of a cluster: scatter-gather answering with the
+/// single-node answer contract (see the crate docs for the determinism
+/// guarantee).
+pub struct ClusterHandle {
+    catalog: Arc<Catalog>,
+    nodes: Vec<Arc<ShardNode>>,
+    transport: Arc<dyn ShardTransport>,
+    /// Cluster family id → owning shard.
+    family_owner: Vec<usize>,
+    /// Per-shard partition tuple counts (the slack-split weights).
+    partition_sizes: Vec<usize>,
+    threads: usize,
+    min_shard_rows: usize,
+    metrics: Arc<ClusterMetrics>,
+    next_session: AtomicU64,
+}
+
+impl std::fmt::Debug for ClusterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterHandle")
+            .field("shards", &self.nodes.len())
+            .field("catalog_families", &self.catalog.len())
+            .field("partition_sizes", &self.partition_sizes)
+            .finish()
+    }
+}
+
+impl ClusterHandle {
+    /// Starts a cluster builder (round-robin relation partitioning over
+    /// `shards` nodes).
+    pub fn builder(db: Database, shards: usize) -> ClusterBuilder {
+        ClusterBuilder::new(db, shards)
+    }
+
+    /// Number of shard nodes.
+    pub fn shards(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shard nodes (in-process handles).
+    pub fn nodes(&self) -> &[Arc<ShardNode>] {
+        &self.nodes
+    }
+
+    /// The assembled cluster catalog (identical planning surface to a single
+    /// node over the whole database).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The cluster schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.catalog.schema
+    }
+
+    /// Per-shard partition sizes (tuples).
+    pub fn partition_sizes(&self) -> &[usize] {
+        &self.partition_sizes
+    }
+
+    /// Coordinator metrics (per-shard allocation/latency, merge time).
+    pub fn metrics(&self) -> &Arc<ClusterMetrics> {
+        &self.metrics
+    }
+
+    /// Serves [`ClusterMetrics`] under `GET /metrics` on `bind`.
+    pub fn serve_metrics(&self, bind: &str) -> Result<MetricsServer> {
+        serve_metrics(Arc::clone(&self.metrics), bind)
+    }
+
+    /// Answers `query` under `spec` with one scatter-gather execution.
+    ///
+    /// Bit-for-bit equal — relation, η, `accessed`, the lot — to
+    /// [`Beas::answer`] on a single node holding the whole database, at the
+    /// same total budget.
+    pub fn answer(&self, query: &BeasQuery, spec: ResourceSpec) -> Result<BeasAnswer> {
+        let (qjson, normalized) = self.normalize(query)?;
+        let budget = self.catalog.budget(&spec)?;
+        if budget == 0 {
+            // zero budget: no plan may access any tuple — the canonical
+            // empty answer, exactly like a single node
+            return Ok(BeasAnswer::empty(normalized.output_columns()));
+        }
+        let plan = Planner::new(&self.catalog).plan_with_budget(&normalized, budget)?;
+        let session = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let mut state = ExecState::new();
+        let result = self.run_step(session, &qjson, &plan, &mut state);
+        self.close_all(session);
+        result.map(|(answer, _)| answer)
+    }
+
+    /// Opens a progressive refinement session over `schedule`: each step
+    /// answers at the next budget, reusing fragments fetched by earlier
+    /// steps on every shard — the distributed counterpart of
+    /// [`beas_core::AnswerSession`].
+    pub fn session(
+        &self,
+        query: &BeasQuery,
+        schedule: RefinementSchedule,
+    ) -> Result<ClusterSession<'_>> {
+        let (qjson, normalized) = self.normalize(query)?;
+        let mut steps: Vec<(ResourceSpec, usize)> = Vec::with_capacity(schedule.len());
+        for &spec in schedule.specs() {
+            let budget = self.catalog.budget(&spec)?;
+            if budget == 0 {
+                return Err(ClusterError::Config(format!(
+                    "refinement schedule step {spec} resolves to a zero budget"
+                )));
+            }
+            match steps.last_mut() {
+                Some((last_spec, last_budget)) if *last_budget == budget => *last_spec = spec,
+                Some((_, last_budget)) if budget < *last_budget => {
+                    return Err(ClusterError::Config(format!(
+                        "refinement schedule budgets must not decrease: \
+                         {spec} resolves to {budget} after {last_budget}"
+                    )));
+                }
+                _ => steps.push((spec, budget)),
+            }
+        }
+        Ok(ClusterSession {
+            handle: self,
+            qjson,
+            query: normalized,
+            steps,
+            state: ExecState::new(),
+            session: self.next_session.fetch_add(1, Ordering::Relaxed),
+            next: 0,
+            last_reused_cum: 0,
+        })
+    }
+
+    /// Canonicalises a query by a round-trip through the wire encoding: the
+    /// form the coordinator plans is byte-identical to the form every shard
+    /// decodes, so self-planned shard plans can never diverge on query
+    /// representation.
+    fn normalize(&self, query: &BeasQuery) -> Result<(Json, BeasQuery)> {
+        let qjson = query_to_json(query, &self.catalog.schema)?;
+        let normalized = query_from_json(&qjson, &self.catalog.schema)?;
+        normalized
+            .validate(&self.catalog.schema)
+            .map_err(ClusterError::from)?;
+        Ok((qjson, normalized))
+    }
+
+    /// One scatter-gather execution of `plan` under session `session`.
+    fn run_step(
+        &self,
+        session: u64,
+        qjson: &Json,
+        plan: &BoundedPlan,
+        state: &mut ExecState,
+    ) -> Result<(BeasAnswer, StepStats)> {
+        let split = split_budget(
+            plan,
+            &self.catalog,
+            &self.family_owner,
+            &self.partition_sizes,
+        )?;
+        self.metrics
+            .record_allocation(&split.shares, &split.tariffs);
+
+        // open every shard: each plans the query for itself and must land on
+        // the coordinator's plan (cross-checked by shape)
+        for shard in 0..self.shards() {
+            let request = protocol::open_request(
+                session,
+                qjson,
+                plan.budget,
+                split.shares[shard],
+                self.threads,
+                self.min_shard_rows,
+            );
+            let response = self.call(shard, &request)?;
+            let tariff = protocol::req_usize(&response, "tariff")?;
+            let nodes = protocol::req_usize(&response, "nodes")?;
+            let leaves = protocol::req_usize(&response, "leaves")?;
+            if tariff != plan.tariff
+                || nodes != plan.fetch.nodes.len()
+                || leaves != plan.leaves.len()
+            {
+                return Err(ClusterError::Protocol(format!(
+                    "shard {shard} planned divergently: tariff {tariff} vs {}, \
+                     {nodes} nodes vs {}, {leaves} leaves vs {}",
+                    plan.tariff,
+                    plan.fetch.nodes.len(),
+                    plan.leaves.len()
+                )));
+            }
+        }
+
+        // scatter: stream every fetch node from its owning shard, adopting
+        // the returned fragments into the coordinator state (no re-billing —
+        // the shard billed its share)
+        let mut fragments = PlanFragments::for_plan(plan);
+        for node in &plan.fetch.nodes {
+            let keys = node_keys(node, &fragments)?;
+            let owner = self.owner_of_family(node.family)?;
+            let response = self.call(owner, &protocol::fetch_request(session, node.id, &keys))?;
+            let rel = Arc::new(relation_from_json(protocol::req_field(
+                &response, "relation",
+            )?)?);
+            let fragment = state.adopt_fragment(node.family, node.level, keys, Arc::clone(&rel));
+            fragments.set(node.id, fragment, rel);
+        }
+
+        // gather: leaves whose atoms all live on one shard are evaluated
+        // there (canonical leaf result + η contribution over the wire);
+        // cross-shard leaves are evaluated here over the gathered fragments
+        let options = ExecOptions::budgeted(split.resolved)
+            .with_threads(self.threads)
+            .with_min_shard_rows(self.min_shard_rows);
+        let mut leaves: Vec<LeafEval> = Vec::with_capacity(plan.leaves.len());
+        for (index, leaf_plan) in plan.leaves.iter().enumerate() {
+            match self.sole_owner(plan, leaf_plan)? {
+                Some(shard) => {
+                    let response = self.call(shard, &protocol::leaf_request(session, index))?;
+                    let rel = Arc::new(relation_from_json(protocol::req_field(
+                        &response, "relation",
+                    )?)?);
+                    let out_res = protocol::resolutions_from_json(protocol::req_field(
+                        &response, "out_res",
+                    )?)?;
+                    let exact = protocol::req_field(&response, "exact")?
+                        .as_bool()
+                        .ok_or_else(|| ClusterError::Wire("exact must be a bool".to_string()))?;
+                    leaves.push(LeafEval {
+                        rel,
+                        out_res,
+                        exact,
+                    });
+                }
+                None => leaves.push(evaluate_plan_leaf(
+                    index,
+                    plan,
+                    &self.catalog,
+                    &fragments,
+                    &options,
+                    state,
+                )?),
+            }
+        }
+
+        // merge: deterministic composition, same path as a single node
+        let merge_start = Instant::now();
+        let (answers, eta) = compose_plan_answer(plan, &self.catalog, &leaves)?;
+        self.metrics.record_merge(merge_start.elapsed());
+
+        // accounting: the cluster accessed what its shards billed
+        let mut stats = StepStats::default();
+        for shard in 0..self.shards() {
+            let response = self.call(shard, &protocol::stats_request(session, false))?;
+            stats.accessed += protocol::req_usize(&response, "accessed")?;
+            stats.fetches += protocol::req_usize(&response, "fetches")?;
+            stats.fetched_cum += protocol::req_usize(&response, "fetched_tuples")?;
+            stats.reused_cum += protocol::req_usize(&response, "reused_tuples")?;
+        }
+        let outcome = ExecutionOutcome {
+            answers,
+            eta,
+            accessed: stats.accessed,
+            fetches: stats.fetches,
+        };
+        Ok((BeasAnswer::from_execution(plan, outcome), stats))
+    }
+
+    /// One timed transport call, with `ok` checking.
+    fn call(&self, shard: usize, request: &Json) -> Result<Json> {
+        let start = Instant::now();
+        let response = self.transport.call(shard, request)?;
+        self.metrics.record_shard_call(shard, start.elapsed());
+        protocol::expect_ok(&response)?;
+        Ok(response)
+    }
+
+    fn owner_of_family(&self, family: usize) -> Result<usize> {
+        self.family_owner
+            .get(family)
+            .copied()
+            .ok_or_else(|| ClusterError::Config(format!("family {family} has no owning shard")))
+    }
+
+    /// The single shard owning every atom node of `leaf_plan`, if any.
+    fn sole_owner(&self, plan: &BoundedPlan, leaf_plan: &LeafPlan) -> Result<Option<usize>> {
+        let mut owner: Option<usize> = None;
+        for &node in &leaf_plan.atom_nodes {
+            let family = plan.fetch.node(node)?.family;
+            let shard = self.owner_of_family(family)?;
+            match owner {
+                None => owner = Some(shard),
+                Some(s) if s == shard => {}
+                Some(_) => return Ok(None),
+            }
+        }
+        Ok(owner)
+    }
+
+    /// Closes session `session` on every shard, ignoring per-shard errors
+    /// (a shard that never opened it answers with a protocol error).
+    fn close_all(&self, session: u64) {
+        for shard in 0..self.shards() {
+            let _ = self
+                .transport
+                .call(shard, &protocol::stats_request(session, true));
+        }
+    }
+}
+
+/// One step of a [`ClusterSession`]: the answer at this budget plus the
+/// session's distributed accounting (mirrors
+/// [`beas_core::RefinementStep`]).
+#[derive(Debug, Clone)]
+pub struct ClusterStep {
+    /// The spec this step answered under.
+    pub spec: ResourceSpec,
+    /// The answer — bit-for-bit what a single-node session step returns.
+    pub answer: BeasAnswer,
+    /// The accuracy lower bound η of this step.
+    pub eta: f64,
+    /// The tuple budget this step's plan complied with.
+    pub budget: usize,
+    /// Cumulative tuples actually materialized across all shards up to and
+    /// including this step.
+    pub budget_spent: usize,
+    /// Tuples this step served from shard session states instead of
+    /// re-fetching.
+    pub reused_tuples: usize,
+    /// This step's position (1-based).
+    pub step: usize,
+    /// Total steps in the schedule.
+    pub steps: usize,
+}
+
+/// A progressive refinement session against a cluster: shard `ExecState`s
+/// stay open across steps, so refinement reuses fragments where they were
+/// fetched. Dropping the session closes it on every shard.
+pub struct ClusterSession<'h> {
+    handle: &'h ClusterHandle,
+    qjson: Json,
+    query: BeasQuery,
+    steps: Vec<(ResourceSpec, usize)>,
+    state: ExecState,
+    session: u64,
+    next: usize,
+    last_reused_cum: usize,
+}
+
+impl ClusterSession<'_> {
+    /// The resolved `(spec, budget)` trajectory.
+    pub fn trajectory(&self) -> &[(ResourceSpec, usize)] {
+        &self.steps
+    }
+
+    /// Steps remaining.
+    pub fn remaining(&self) -> usize {
+        self.steps.len() - self.next
+    }
+
+    /// Runs the next step; `None` when the schedule is exhausted.
+    pub fn next_step(&mut self) -> Option<Result<ClusterStep>> {
+        if self.next >= self.steps.len() {
+            return None;
+        }
+        let (spec, budget) = self.steps[self.next];
+        self.next += 1;
+        Some(self.run(spec, budget))
+    }
+
+    fn run(&mut self, spec: ResourceSpec, budget: usize) -> Result<ClusterStep> {
+        let plan = Planner::new(&self.handle.catalog).plan_with_budget(&self.query, budget)?;
+        let (answer, stats) =
+            self.handle
+                .run_step(self.session, &self.qjson, &plan, &mut self.state)?;
+        let reused = stats.reused_cum.saturating_sub(self.last_reused_cum);
+        self.last_reused_cum = stats.reused_cum;
+        Ok(ClusterStep {
+            spec,
+            eta: answer.eta,
+            budget: answer.budget,
+            budget_spent: stats.fetched_cum,
+            reused_tuples: reused,
+            step: self.next,
+            steps: self.steps.len(),
+            answer,
+        })
+    }
+}
+
+impl Drop for ClusterSession<'_> {
+    fn drop(&mut self) {
+        self.handle.close_all(self.session);
+    }
+}
+
+impl std::fmt::Debug for ClusterSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSession")
+            .field("session", &self.session)
+            .field("steps", &self.steps)
+            .field("next", &self.next)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_relal::{
+        AggFunc, Attribute, Database, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value,
+    };
+
+    /// Three relations so a 3-shard cluster owns one each: people, pois and
+    /// visits (the float column carries NaN and ±∞).
+    fn demo_db() -> Database {
+        let schema = DatabaseSchema::new(vec![
+            RelationSchema::new(
+                "person",
+                vec![Attribute::categorical("city"), Attribute::int("age")],
+            ),
+            RelationSchema::new(
+                "poi",
+                vec![Attribute::categorical("city"), Attribute::int("stars")],
+            ),
+            RelationSchema::new(
+                "visit",
+                vec![Attribute::categorical("city"), Attribute::double("spend")],
+            ),
+        ]);
+        let cities = ["nyc", "la", "chi", "bos"];
+        let mut db = Database::new(schema);
+        for i in 0..32i64 {
+            db.insert_row(
+                "person",
+                vec![Value::from(cities[(i % 4) as usize]), Value::Int(20 + i)],
+            )
+            .unwrap();
+        }
+        for i in 0..40i64 {
+            db.insert_row(
+                "poi",
+                vec![Value::from(cities[(i % 3) as usize]), Value::Int(i % 5)],
+            )
+            .unwrap();
+        }
+        for i in 0..28i64 {
+            let spend = match i % 9 {
+                7 => f64::NAN,
+                8 => f64::INFINITY,
+                3 => f64::NEG_INFINITY,
+                _ => 10.0 + i as f64 * 0.5,
+            };
+            db.insert_row(
+                "visit",
+                vec![Value::from(cities[(i % 4) as usize]), Value::Double(spend)],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn single_atom_query(schema: &DatabaseSchema) -> BeasQuery {
+        let mut b = SpcQueryBuilder::new(schema);
+        let p = b.atom("poi", "p").unwrap();
+        b.bind_const(p, "city", "nyc").unwrap();
+        b.output(p, "stars", "stars").unwrap();
+        b.build().unwrap().into()
+    }
+
+    fn join_query(schema: &DatabaseSchema) -> BeasQuery {
+        let mut b = SpcQueryBuilder::new(schema);
+        let p = b.atom("person", "p").unwrap();
+        let q = b.atom("poi", "q").unwrap();
+        b.join((p, "city"), (q, "city")).unwrap();
+        b.output(p, "age", "age").unwrap();
+        b.output(q, "stars", "stars").unwrap();
+        b.build().unwrap().into()
+    }
+
+    fn sum_query(schema: &DatabaseSchema) -> BeasQuery {
+        let mut b = SpcQueryBuilder::new(schema);
+        let v = b.atom("visit", "v").unwrap();
+        b.output(v, "city", "city").unwrap();
+        b.output(v, "spend", "spend").unwrap();
+        let inner = beas_core::RaQuery::Spc(b.build().unwrap());
+        beas_core::AggQuery::new(
+            inner,
+            vec!["city".to_string()],
+            AggFunc::Sum,
+            "spend",
+            "total",
+        )
+        .unwrap()
+        .into()
+    }
+
+    fn cluster_and_single(shards: usize) -> (ClusterHandle, Beas) {
+        let db = demo_db();
+        let spec = ConstraintSpec::new("poi", &["city"], &["stars"]);
+        let cluster = ClusterHandle::builder(db.clone(), shards)
+            .constraint(spec.clone())
+            .num_threads(2)
+            .min_shard_rows(2)
+            .build()
+            .unwrap();
+        let single = Beas::builder(db)
+            .constraint(spec)
+            .num_threads(2)
+            .min_shard_rows(2)
+            .build()
+            .unwrap();
+        (cluster, single)
+    }
+
+    fn assert_same(a: &BeasAnswer, b: &BeasAnswer) {
+        assert_eq!(a.answers.digest(), b.answers.digest());
+        assert_eq!(a.eta.to_bits(), b.eta.to_bits());
+        assert_eq!(a.exact, b.exact);
+        assert_eq!(a.accessed, b.accessed);
+        assert_eq!(a.budget, b.budget);
+    }
+
+    #[test]
+    fn cluster_catalog_mirrors_single_node_layout() {
+        let (cluster, single) = cluster_and_single(3);
+        assert_eq!(cluster.catalog().len(), single.catalog().len());
+        for (c, s) in cluster
+            .catalog()
+            .families()
+            .iter()
+            .zip(single.catalog().families().iter())
+        {
+            assert_eq!(c.relation, s.relation);
+            assert_eq!(c.levels.len(), s.levels.len());
+        }
+    }
+
+    #[test]
+    fn shard_local_and_cross_shard_leaves_match_single_node() {
+        let (cluster, single) = cluster_and_single(3);
+        for query in [
+            single_atom_query(cluster.schema()),
+            join_query(cluster.schema()),
+            sum_query(cluster.schema()),
+        ] {
+            for spec in [
+                ResourceSpec::Tuples(9),
+                ResourceSpec::Ratio(0.3),
+                ResourceSpec::FULL,
+            ] {
+                let a = cluster.answer(&query, spec).unwrap();
+                let b = single.answer(&query, spec).unwrap();
+                assert_same(&a, &b);
+            }
+        }
+        // every shard session was closed again
+        for node in cluster.nodes() {
+            assert_eq!(node.open_sessions(), 0);
+        }
+    }
+
+    #[test]
+    fn zero_budget_yields_the_canonical_empty_answer() {
+        let (cluster, single) = cluster_and_single(2);
+        let query = join_query(cluster.schema());
+        let a = cluster.answer(&query, ResourceSpec::Tuples(0)).unwrap();
+        let b = single.answer(&query, ResourceSpec::Tuples(0)).unwrap();
+        assert_eq!(a.answers.digest(), b.answers.digest());
+        assert_eq!(a.answers.len(), 0);
+        assert_eq!(a.eta.to_bits(), b.eta.to_bits());
+        assert_eq!(a.accessed, 0);
+    }
+
+    #[test]
+    fn cluster_session_mirrors_single_node_refinement() {
+        let (cluster, single) = cluster_and_single(3);
+        let query = join_query(cluster.schema());
+        let schedule = RefinementSchedule::tuples(&[8, 24, 72]).unwrap();
+        let mut cs = cluster.session(&query, schedule.clone()).unwrap();
+        let prepared = single.prepare(&query).unwrap();
+        let mut ss = prepared.session(schedule).unwrap();
+        let mut steps = 0;
+        while let Some(cstep) = cs.next_step() {
+            let cstep = cstep.unwrap();
+            let sstep = ss.next_step().unwrap().unwrap();
+            assert_eq!(cstep.answer.answers.digest(), sstep.answer.answers.digest());
+            assert_eq!(cstep.eta.to_bits(), sstep.eta.to_bits());
+            assert_eq!(cstep.budget, sstep.budget);
+            assert_eq!(cstep.budget_spent, sstep.budget_spent);
+            assert_eq!(cstep.reused_tuples, sstep.reused_tuples);
+            assert_eq!((cstep.step, cstep.steps), (sstep.step, sstep.steps));
+            steps += 1;
+        }
+        assert!(ss.next_step().is_none());
+        assert!(steps >= 2, "schedule should resolve to multiple steps");
+        // later steps must actually have reused earlier fragments somewhere
+        drop(cs);
+        for node in cluster.nodes() {
+            assert_eq!(node.open_sessions(), 0);
+        }
+    }
+
+    #[test]
+    fn shards_refuse_foreign_family_fetches() {
+        let (cluster, _) = cluster_and_single(3);
+        let query = single_atom_query(cluster.schema());
+        let (qjson, normalized) = cluster.normalize(&query).unwrap();
+        let budget = cluster.catalog().budget(&ResourceSpec::Ratio(0.3)).unwrap();
+        let plan = Planner::new(cluster.catalog())
+            .plan_with_budget(&normalized, budget)
+            .unwrap();
+        let owner = cluster.owner_of_family(plan.fetch.nodes[0].family).unwrap();
+        let wrong = (owner + 1) % cluster.shards();
+        let wrong_node = &cluster.nodes()[wrong];
+        let open = wrong_node.handle(&protocol::open_request(99, &qjson, budget, 10, 1, 2));
+        protocol::expect_ok(&open).unwrap();
+        let fetch = wrong_node.handle(&protocol::fetch_request(99, plan.fetch.nodes[0].id, &[]));
+        let err = protocol::expect_ok(&fetch).unwrap_err();
+        assert!(err.to_string().contains("does not own"), "{err}");
+    }
+
+    #[test]
+    fn metrics_capture_allocation_latency_and_merge() {
+        let (cluster, _) = cluster_and_single(3);
+        let query = join_query(cluster.schema());
+        cluster.answer(&query, ResourceSpec::Ratio(0.4)).unwrap();
+        let metrics = cluster.metrics();
+        assert_eq!(metrics.queries(), 1);
+        let json = metrics.to_json();
+        let shards = json.get("shards").and_then(Json::as_arr).unwrap();
+        assert_eq!(shards.len(), 3);
+        let share_sum: i64 = shards
+            .iter()
+            .map(|s| s.get("budget_last_share").and_then(Json::as_i64).unwrap())
+            .sum();
+        let budget = cluster.catalog().budget(&ResourceSpec::Ratio(0.4)).unwrap();
+        let plan = Planner::new(cluster.catalog())
+            .plan_with_budget(&query, budget)
+            .unwrap();
+        assert_eq!(share_sum as usize, plan.budget.max(plan.tariff));
+        for s in shards {
+            assert!(s.get("calls").and_then(Json::as_i64).unwrap() > 0);
+        }
+        let merge = json.get("merge").unwrap();
+        assert_eq!(merge.get("count").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn tiny_shard_with_zero_proportional_share_still_serves_its_levels() {
+        // shard 1 owns a 3-row relation next to shard 0's 400-row one: any
+        // proportional split of a small budget rounds shard 1's share to
+        // zero, so only the tariff floor lets it serve its exact levels
+        let schema = DatabaseSchema::new(vec![
+            RelationSchema::new(
+                "big",
+                vec![Attribute::categorical("city"), Attribute::int("v")],
+            ),
+            RelationSchema::new(
+                "tiny",
+                vec![Attribute::categorical("city"), Attribute::int("w")],
+            ),
+        ]);
+        let mut db = Database::new(schema);
+        for i in 0..400i64 {
+            db.insert_row(
+                "big",
+                vec![Value::from(["a", "b"][(i % 2) as usize]), Value::Int(i)],
+            )
+            .unwrap();
+        }
+        for i in 0..3i64 {
+            db.insert_row("tiny", vec![Value::from("a"), Value::Int(100 + i)])
+                .unwrap();
+        }
+        let cluster = ClusterHandle::builder(db.clone(), 2).build().unwrap();
+        let single = Beas::builder(db).build().unwrap();
+        let mut b = SpcQueryBuilder::new(cluster.schema());
+        let t = b.atom("tiny", "t").unwrap();
+        b.bind_const(t, "city", "a").unwrap();
+        b.output(t, "w", "w").unwrap();
+        let query: BeasQuery = b.build().unwrap().into();
+        let spec = ResourceSpec::Tuples(5);
+        let a = cluster.answer(&query, spec).unwrap();
+        let b = single.answer(&query, spec).unwrap();
+        assert_same(&a, &b);
+        assert!(!a.answers.is_empty(), "the tiny shard must have answered");
+        // and the recorded split shows the rounding story: the proportional
+        // share of shard 1 is 0, its tariff floor is not
+        let plan = Planner::new(cluster.catalog())
+            .plan_with_budget(&query, 5)
+            .unwrap();
+        let split = split_budget(
+            &plan,
+            cluster.catalog(),
+            &(0..cluster.catalog().len())
+                .map(|f| if cluster.nodes()[1].owns(f) { 1 } else { 0 })
+                .collect::<Vec<_>>(),
+            cluster.partition_sizes(),
+        )
+        .unwrap();
+        assert!(split.tariffs[1] > 0, "tiny shard's tariff floor: {split:?}");
+        assert_eq!(
+            split.shares.iter().sum::<usize>(),
+            split.resolved,
+            "shares must sum to the resolved budget: {split:?}"
+        );
+        assert!(
+            split.shares[1] >= split.tariffs[1],
+            "share must never fall below the tariff floor: {split:?}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards_and_session_rejects_zero_budget_steps() {
+        let db = demo_db();
+        assert!(ClusterHandle::builder(db.clone(), 0).build().is_err());
+        let cluster = ClusterHandle::builder(db, 2).build().unwrap();
+        let query = single_atom_query(cluster.schema());
+        // mixed-unit schedules can resolve to decreasing budgets even though
+        // the schedule itself cannot compare them — the session must catch it
+        let decreasing =
+            RefinementSchedule::from_specs(vec![ResourceSpec::Ratio(0.9), ResourceSpec::Tuples(2)])
+                .unwrap();
+        let err = cluster.session(&query, decreasing).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("must not decrease"), "{err}");
+        // a capped policy can resolve every spec to zero — the session must
+        // refuse rather than open shard sessions that may never fetch
+        let capped = ClusterHandle::builder(demo_db(), 2)
+            .budget_policy(BudgetPolicy::capped(0))
+            .build()
+            .unwrap();
+        let query = single_atom_query(capped.schema());
+        let err = capped
+            .session(
+                &query,
+                RefinementSchedule::from_specs(vec![ResourceSpec::Ratio(0.5)]).unwrap(),
+            )
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.to_string().contains("zero budget"), "{err}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type of the cluster layer.
+
+use std::fmt;
+
+use beas_core::BeasError;
+use beas_serve::WireError;
+
+/// Anything that can go wrong between a coordinator and its shards.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// An engine-side failure (planning, execution, budget enforcement).
+    Engine(BeasError),
+    /// A malformed wire message (query, relation or value encoding).
+    Wire(String),
+    /// A protocol violation: a shard answered something the coordinator did
+    /// not expect (missing field, divergent plan, unknown session).
+    Protocol(String),
+    /// A bad cluster configuration (zero shards, unknown relation in a
+    /// constraint spec).
+    Config(String),
+    /// An I/O failure of the metrics endpoint.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Engine(e) => write!(f, "engine error: {e}"),
+            ClusterError::Wire(msg) => write!(f, "wire error: {msg}"),
+            ClusterError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClusterError::Config(msg) => write!(f, "config error: {msg}"),
+            ClusterError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Engine(e) => Some(e),
+            ClusterError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BeasError> for ClusterError {
+    fn from(e: BeasError) -> Self {
+        ClusterError::Engine(e)
+    }
+}
+
+impl From<beas_access::AccessError> for ClusterError {
+    fn from(e: beas_access::AccessError) -> Self {
+        ClusterError::Engine(BeasError::from(e))
+    }
+}
+
+impl From<WireError> for ClusterError {
+    fn from(e: WireError) -> Self {
+        ClusterError::Wire(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+/// Cluster result alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;

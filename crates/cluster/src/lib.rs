@@ -1,0 +1,102 @@
+//! # beas-cluster — distributed bounded execution with budget-proportional
+//! scatter-gather
+//!
+//! Distributes BEAS (VLDB'17 "Data Driven Approximation with Bounded
+//! Resources", Cao & Fan) across shard nodes while keeping the paper's
+//! contract intact: a cluster answer is **bit-for-bit equal** — answer
+//! relation, accuracy bound η, tuples accessed — to the answer a single node
+//! holding the whole database would produce at the same total budget.
+//!
+//! ## Topology
+//!
+//! * A **coordinator** ([`ClusterHandle`]) owns the query-facing API
+//!   ([`ClusterHandle::answer`], [`ClusterHandle::session`]) and the
+//!   assembled cluster catalog.
+//! * N **shard nodes** ([`ShardNode`]), each wrapping a full single-node
+//!   engine over a partition of the data ([`Partitioning::round_robin`]
+//!   assigns whole relations to shards). Each shard builds its own access
+//!   templates — offline component C1 runs where the data lives — and the
+//!   coordinator re-registers those `Arc`-shared families in canonical
+//!   single-node order, so planning over the cluster catalog is *identical*
+//!   to single-node planning.
+//! * Messages use `beas-serve`'s wire encoding (see [`crate::protocol`]);
+//!   [`InProcessTransport`] round-trips every message through its serialized
+//!   text form, so tests exercise the exact bytes a TCP transport would
+//!   carry.
+//!
+//! ## Budget split
+//!
+//! A resolved budget B is divided per query ([`split_budget`]): every shard
+//! first receives the **tariff floor** — the estimated cost of the fetch
+//! nodes it owns, which provably upper-bounds what executing them bills — so
+//! no shard can run out of budget mid-plan regardless of rounding; the
+//! remaining slack is split across shards **proportionally to partition
+//! sizes** by largest remainder, so shares always sum to exactly B. A shard
+//! whose proportional share would round to zero tuples still gets its tariff
+//! floor and serves its exact small levels.
+//!
+//! ## Determinism guarantee
+//!
+//! Shards plan the (wire-canonicalised) query themselves against the shared
+//! catalog — planning is deterministic, so no plan is ever serialized — and
+//! the coordinator cross-checks the plan shape at `open`. Fetch results are
+//! the exact level fragments a single node would read; leaf evaluation and
+//! the final merge run the *same* executor code
+//! ([`beas_core::evaluate_plan_leaf`], [`beas_core::compose_plan_answer`])
+//! whether a leaf is computed on a shard or at the coordinator. Thread
+//! counts only parallelise commutative folds over fixed row orders, so the
+//! equality holds across shard counts and thread counts alike.
+//!
+//! ## Example
+//!
+//! ```
+//! use beas_cluster::ClusterHandle;
+//! use beas_core::{Beas, BeasQuery, ResourceSpec};
+//! use beas_relal::{Attribute, Database, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value};
+//!
+//! let schema = DatabaseSchema::new(vec![
+//!     RelationSchema::new("poi", vec![Attribute::categorical("city"), Attribute::int("stars")]),
+//!     RelationSchema::new("city", vec![Attribute::text("name"), Attribute::int("pop")]),
+//! ]);
+//! let mut db = Database::new(schema);
+//! for (city, stars) in [("ll", 5), ("sf", 4), ("ll", 3), ("sf", 2)] {
+//!     db.insert_row("poi", vec![Value::from(city), Value::Int(stars)]).unwrap();
+//! }
+//! db.insert_row("city", vec![Value::from("ll"), Value::Int(4_000_000)]).unwrap();
+//! db.insert_row("city", vec![Value::from("sf"), Value::Int(900_000)]).unwrap();
+//!
+//! // two shards, one relation each — and a single node with everything
+//! let cluster = ClusterHandle::builder(db.clone(), 2).build().unwrap();
+//! let single = Beas::builder(db).build().unwrap();
+//!
+//! let mut b = SpcQueryBuilder::new(cluster.schema());
+//! let p = b.atom("poi", "p").unwrap();
+//! b.bind_const(p, "city", "ll").unwrap();
+//! b.output(p, "stars", "stars").unwrap();
+//! let query: BeasQuery = b.build().unwrap().into();
+//!
+//! let a = cluster.answer(&query, ResourceSpec::FULL).unwrap();
+//! let b = single.answer(&query, ResourceSpec::FULL).unwrap();
+//! assert_eq!(a.answers.digest(), b.answers.digest());
+//! assert_eq!(a.eta.to_bits(), b.eta.to_bits());
+//! assert_eq!(a.accessed, b.accessed);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod coordinator;
+pub mod error;
+pub mod metrics;
+pub mod partition;
+pub mod protocol;
+pub mod shard;
+pub mod transport;
+
+pub use budget::{split_budget, BudgetSplit};
+pub use coordinator::{ClusterBuilder, ClusterHandle, ClusterSession, ClusterStep};
+pub use error::{ClusterError, Result};
+pub use metrics::{serve_metrics, ClusterMetrics, MetricsServer};
+pub use partition::Partitioning;
+pub use shard::ShardNode;
+pub use transport::{InProcessTransport, ShardTransport};

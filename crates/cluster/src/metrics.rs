@@ -1,0 +1,296 @@
+//! Coordinator-side cluster metrics and the `GET /metrics` endpoint.
+//!
+//! The coordinator records, per query: the budget allocation handed to each
+//! shard (tariff floor + proportional slack), the latency of every shard
+//! call (open/fetch/leaf/stats alike, as observed from the coordinator), and
+//! the time spent merging shard leaf results into the final answer. The
+//! [`MetricsServer`] exposes the whole snapshot as JSON over a tiny
+//! single-threaded HTTP listener built on `beas-serve`'s http module.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use beas_serve::http::{read_request, write_response, HttpError};
+use beas_serve::{Json, LatencyHistogram};
+
+use crate::error::Result;
+
+/// Per-shard counters of one [`ClusterMetrics`].
+#[derive(Debug, Default)]
+struct ShardCounters {
+    /// Protocol calls routed to this shard.
+    calls: u64,
+    /// Latency of those calls as observed by the coordinator.
+    latency: LatencyHistogram,
+    /// Sum of budget shares allocated to this shard across queries.
+    allocated_total: u64,
+    /// The share of the most recent query.
+    last_share: usize,
+    /// The tariff floor of the most recent query.
+    last_tariff: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queries: u64,
+    shards: Vec<ShardCounters>,
+}
+
+/// Coordinator metrics: per-shard budget allocation and latency, plus merge
+/// time. Cheap to record (one mutex around per-shard counters; the merge
+/// histogram is lock-free).
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    inner: Mutex<Inner>,
+    merge: LatencyHistogram,
+}
+
+impl ClusterMetrics {
+    /// Metrics for a cluster of `shards` nodes.
+    pub fn new(shards: usize) -> Self {
+        ClusterMetrics {
+            inner: Mutex::new(Inner {
+                queries: 0,
+                shards: (0..shards).map(|_| ShardCounters::default()).collect(),
+            }),
+            merge: LatencyHistogram::default(),
+        }
+    }
+
+    /// Records one query's budget allocation (`shares[s]`, with `tariffs[s]`
+    /// the enforced floor).
+    pub fn record_allocation(&self, shares: &[usize], tariffs: &[usize]) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.queries += 1;
+        for (s, counters) in inner.shards.iter_mut().enumerate() {
+            let share = shares.get(s).copied().unwrap_or(0);
+            counters.allocated_total += share as u64;
+            counters.last_share = share;
+            counters.last_tariff = tariffs.get(s).copied().unwrap_or(0);
+        }
+    }
+
+    /// Records one protocol call to shard `shard`.
+    pub fn record_shard_call(&self, shard: usize, latency: Duration) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        if let Some(counters) = inner.shards.get_mut(shard) {
+            counters.calls += 1;
+            counters.latency.record(latency);
+        }
+    }
+
+    /// Records one merge (leaf composition) duration.
+    pub fn record_merge(&self, latency: Duration) {
+        self.merge.record(latency);
+    }
+
+    /// Queries recorded so far.
+    pub fn queries(&self) -> u64 {
+        self.inner.lock().expect("metrics poisoned").queries
+    }
+
+    /// The full snapshot served under `GET /metrics`.
+    pub fn to_json(&self) -> Json {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let shards: Vec<Json> = inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, c)| {
+                Json::obj(vec![
+                    ("shard", Json::Int(s as i64)),
+                    ("calls", Json::Int(c.calls as i64)),
+                    ("latency_mean_us", Json::Num(c.latency.mean_us())),
+                    (
+                        "latency_p99_us",
+                        Json::Int(c.latency.quantile_us(0.99) as i64),
+                    ),
+                    ("budget_last_share", Json::Int(c.last_share as i64)),
+                    ("budget_last_tariff", Json::Int(c.last_tariff as i64)),
+                    (
+                        "budget_allocated_total",
+                        Json::Int(c.allocated_total as i64),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("queries", Json::Int(inner.queries as i64)),
+            (
+                "merge",
+                Json::obj(vec![
+                    ("count", Json::Int(self.merge.count() as i64)),
+                    ("mean_us", Json::Num(self.merge.mean_us())),
+                    ("p99_us", Json::Int(self.merge.quantile_us(0.99) as i64)),
+                ]),
+            ),
+            ("shards", Json::Arr(shards)),
+        ])
+    }
+}
+
+/// A running `GET /metrics` endpoint. Shut down explicitly with
+/// [`MetricsServer::shutdown`] or implicitly on drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful with a `:0` bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // unblock the accept loop
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serves `metrics` as JSON under `GET /metrics` on `bind`
+/// (e.g. `"127.0.0.1:0"`).
+pub fn serve_metrics(metrics: Arc<ClusterMetrics>, bind: &str) -> Result<MetricsServer> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("cluster-metrics".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                serve_one(&metrics, stream);
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Answers requests on one connection until it closes.
+fn serve_one(metrics: &ClusterMetrics, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = stream;
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let request = match read_request(&mut reader, 16 * 1024) {
+            Ok(request) => request,
+            Err(HttpError::Closed) => return,
+            Err(_) => {
+                let _ = write_response(
+                    &mut write_half,
+                    400,
+                    "{\"error\":\"bad request\"}",
+                    false,
+                    &[],
+                );
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let (status, body) = if request.method == "GET" && request.path == "/metrics" {
+            (200, metrics.to_json().to_string())
+        } else {
+            (404, "{\"error\":\"not found\"}".to_string())
+        };
+        if write_response(&mut write_half, status, &body, keep_alive, &[]).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_snapshot_carries_allocation_latency_and_merge() {
+        let metrics = ClusterMetrics::new(2);
+        metrics.record_allocation(&[70, 30], &[60, 0]);
+        metrics.record_shard_call(0, Duration::from_micros(120));
+        metrics.record_shard_call(1, Duration::from_micros(80));
+        metrics.record_merge(Duration::from_micros(40));
+        let json = metrics.to_json();
+        assert_eq!(json.get("queries").and_then(Json::as_i64), Some(1));
+        let shards = json.get("shards").and_then(Json::as_arr).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(
+            shards[0].get("budget_last_share").and_then(Json::as_i64),
+            Some(70)
+        );
+        assert_eq!(
+            shards[0].get("budget_last_tariff").and_then(Json::as_i64),
+            Some(60)
+        );
+        assert_eq!(shards[1].get("calls").and_then(Json::as_i64), Some(1));
+        let merge = json.get("merge").unwrap();
+        assert_eq!(merge.get("count").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_get_metrics_and_404s_elsewhere() {
+        let metrics = Arc::new(ClusterMetrics::new(1));
+        metrics.record_allocation(&[42], &[12]);
+        let server = serve_metrics(Arc::clone(&metrics), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let fetch = |path: &str| -> (u16, String) {
+            use std::io::{Read, Write};
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(
+                stream,
+                "GET {path} HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n"
+            )
+            .unwrap();
+            let mut text = String::new();
+            stream.read_to_string(&mut text).unwrap();
+            let status: u16 = text
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let body = text
+                .split("\r\n\r\n")
+                .nth(1)
+                .unwrap_or_default()
+                .to_string();
+            (status, body)
+        };
+
+        let (status, body) = fetch("/metrics");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"budget_last_share\":42"), "{body}");
+        assert!(body.contains("\"shards\""), "{body}");
+        let (status, _) = fetch("/nope");
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,158 @@
+//! Relation-granularity partitioning of a database across shard nodes.
+//!
+//! The cluster partitions *by template family*: every relation — and with it
+//! every access-schema family built over that relation — lives wholly on one
+//! shard. Relations are assigned round-robin in schema order, so the
+//! assignment is a pure function of `(schema, shard count)` and both the
+//! coordinator and every shard can recompute it without coordination.
+//!
+//! Finer partitionings (X-key ranges within a family via the K-D split) can
+//! slot in behind the same owner function later; the protocol only ever asks
+//! "which shard serves fetches against family `f`?".
+
+use beas_relal::{Database, DatabaseSchema};
+
+use crate::error::{ClusterError, Result};
+
+/// The deterministic relation → shard assignment of a cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    shards: usize,
+    /// `owners[i]` is the shard owning relation `i` of the schema.
+    owners: Vec<usize>,
+}
+
+impl Partitioning {
+    /// Round-robin assignment of the schema's relations over `shards` nodes
+    /// (relation `i` goes to shard `i % shards`). Errors on zero shards.
+    pub fn round_robin(schema: &DatabaseSchema, shards: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(ClusterError::Config(
+                "a cluster needs at least one shard".to_string(),
+            ));
+        }
+        Ok(Partitioning {
+            shards,
+            owners: (0..schema.relations.len()).map(|i| i % shards).collect(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning relation index `rel_idx`.
+    pub fn owner_of_relation(&self, rel_idx: usize) -> Result<usize> {
+        self.owners.get(rel_idx).copied().ok_or_else(|| {
+            ClusterError::Config(format!("relation index {rel_idx} outside the schema"))
+        })
+    }
+
+    /// The shard owning the named relation of `schema`.
+    pub fn owner_of(&self, schema: &DatabaseSchema, relation: &str) -> Result<usize> {
+        let idx = schema
+            .relations
+            .iter()
+            .position(|r| r.name == relation)
+            .ok_or_else(|| {
+                ClusterError::Config(format!("unknown relation `{relation}` in partitioning"))
+            })?;
+        self.owner_of_relation(idx)
+    }
+
+    /// Indices (schema order) of the relations shard `shard` owns.
+    pub fn owned_relations(&self, shard: usize) -> Vec<usize> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The sub-database of shard `shard`: the owned relations (schema order
+    /// preserved) with their rows in original insertion order, so families
+    /// built over the partition are bit-for-bit the families a single node
+    /// would build over the same relations.
+    pub fn sub_database(&self, db: &Database, shard: usize) -> Result<Database> {
+        let owned = self.owned_relations(shard);
+        let sub_schema = DatabaseSchema::new(
+            owned
+                .iter()
+                .map(|&i| db.schema.relations[i].clone())
+                .collect(),
+        );
+        let mut sub = Database::new(sub_schema);
+        for &i in &owned {
+            let name = db.schema.relations[i].name.clone();
+            let rel = db.relation(&name).map_err(beas_core::BeasError::from)?;
+            for row in rel.rows() {
+                sub.insert_row(&name, row)
+                    .map_err(beas_core::BeasError::from)?;
+            }
+        }
+        Ok(sub)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beas_relal::{Attribute, RelationSchema, Value};
+
+    fn schema3() -> DatabaseSchema {
+        DatabaseSchema::new(vec![
+            RelationSchema::new("a", vec![Attribute::id("x")]),
+            RelationSchema::new("b", vec![Attribute::id("x")]),
+            RelationSchema::new("c", vec![Attribute::id("x")]),
+        ])
+    }
+
+    #[test]
+    fn round_robin_covers_every_relation_exactly_once() {
+        let schema = schema3();
+        for shards in 1..=4 {
+            let part = Partitioning::round_robin(&schema, shards).unwrap();
+            let mut seen = vec![0usize; schema.relations.len()];
+            for s in 0..shards {
+                for i in part.owned_relations(s) {
+                    seen[i] += 1;
+                    assert_eq!(part.owner_of_relation(i).unwrap(), s);
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "shards={shards}: {seen:?}");
+        }
+        assert!(Partitioning::round_robin(&schema, 0).is_err());
+    }
+
+    #[test]
+    fn sub_database_preserves_row_order_and_owned_relations_only() {
+        let schema = schema3();
+        let mut db = Database::new(schema.clone());
+        for i in 0..6i64 {
+            db.insert_row("a", vec![Value::Int(i)]).unwrap();
+            db.insert_row("b", vec![Value::Int(10 + i)]).unwrap();
+            db.insert_row("c", vec![Value::Int(20 + i)]).unwrap();
+        }
+        let part = Partitioning::round_robin(&schema, 2).unwrap();
+        // shard 0 owns a (idx 0) and c (idx 2); shard 1 owns b
+        let sub0 = part.sub_database(&db, 0).unwrap();
+        assert_eq!(
+            sub0.schema
+                .relations
+                .iter()
+                .map(|r| r.name.as_str())
+                .collect::<Vec<_>>(),
+            ["a", "c"]
+        );
+        let a = sub0.relation("a").unwrap();
+        let rows: Vec<_> = a.rows().collect();
+        assert_eq!(rows[0], vec![Value::Int(0)]);
+        assert_eq!(rows[5], vec![Value::Int(5)]);
+        assert!(sub0.relation("b").is_err());
+        let sub1 = part.sub_database(&db, 1).unwrap();
+        assert_eq!(sub1.total_tuples(), 6);
+        assert_eq!(sub0.total_tuples() + sub1.total_tuples(), db.total_tuples());
+    }
+}

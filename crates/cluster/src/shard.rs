@@ -1,0 +1,257 @@
+//! A shard node: one full [`Beas`] engine over a partition of the data, plus
+//! the session machinery serving the coordinator's `open`/`fetch`/`leaf`
+//! protocol against the shared cluster catalog.
+//!
+//! A shard never sees another shard's data: it refuses fetches against
+//! families it does not own, and it evaluates a leaf only when every atom of
+//! that leaf completes from its own families. Budget enforcement is local —
+//! each open session enforces the share the coordinator allocated, through
+//! the same [`FetchSession`] accounting a single node uses.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use beas_access::{Catalog, FamilyId, FetchSession};
+use beas_core::{
+    evaluate_plan_leaf, Beas, BoundedPlan, ExecOptions, ExecState, PlanFragments, Planner,
+};
+use beas_serve::{parse_json, query_from_json, relation_to_json, Json};
+
+use crate::error::{ClusterError, Result};
+use crate::protocol;
+
+/// One open query session on a shard: the shard's own (deterministically
+/// identical) plan, its fragment/leaf state, and the step's budget share.
+/// The [`ExecState`] survives re-`open`s of the same session id, so a
+/// refinement session's later steps reuse fragments fetched by earlier ones
+/// — exactly like a single-node `AnswerSession`.
+#[derive(Debug)]
+struct ShardSession {
+    plan: BoundedPlan,
+    state: ExecState,
+    fragments: PlanFragments,
+    options: ExecOptions,
+    /// The budget share this step enforces.
+    share: usize,
+    /// Tuples billed against `share` this step (fresh and reused alike).
+    billed: usize,
+    /// Fetch operations executed this step.
+    fetch_ops: usize,
+}
+
+/// A cluster shard node. See the module docs.
+#[derive(Debug)]
+pub struct ShardNode {
+    shard: usize,
+    engine: Beas,
+    catalog: Arc<Catalog>,
+    /// `owned[f]` — whether this shard owns (cluster-wide) family `f`.
+    owned: Vec<bool>,
+    sessions: Mutex<HashMap<u64, ShardSession>>,
+}
+
+impl ShardNode {
+    /// Wraps a partition engine as shard `shard` of a cluster whose
+    /// assembled catalog is `catalog`; `owned` flags the global family ids
+    /// this shard's engine materialized.
+    pub(crate) fn new(shard: usize, engine: Beas, catalog: Arc<Catalog>, owned: Vec<bool>) -> Self {
+        ShardNode {
+            shard,
+            engine,
+            catalog,
+            owned,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// This node's shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The partition engine (a full [`Beas`] over this shard's relations).
+    pub fn engine(&self) -> &Beas {
+        &self.engine
+    }
+
+    /// Whether this shard owns (cluster-wide) family `family`.
+    pub fn owns(&self, family: FamilyId) -> bool {
+        self.owned.get(family).copied().unwrap_or(false)
+    }
+
+    /// Number of open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.lock().expect("sessions poisoned").len()
+    }
+
+    /// Handles one protocol request, never panicking: errors become
+    /// `{ok: false, error}` responses.
+    pub fn handle(&self, request: &Json) -> Json {
+        match self.dispatch(request) {
+            Ok(response) => response,
+            Err(e) => protocol::err_response(&e.to_string()),
+        }
+    }
+
+    /// Text-level entry point: parses the request, handles it, serializes
+    /// the response — the full wire path an in-process transport exercises.
+    pub fn handle_text(&self, request: &str) -> String {
+        match parse_json(request) {
+            Ok(v) => self.handle(&v).to_string(),
+            Err(e) => protocol::err_response(&format!("bad request JSON: {e}")).to_string(),
+        }
+    }
+
+    fn dispatch(&self, request: &Json) -> Result<Json> {
+        let op = request
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ClusterError::Wire("missing op".to_string()))?;
+        let session = protocol::req_usize(request, "session")? as u64;
+        match op {
+            "open" => self.op_open(session, request),
+            "fetch" => self.op_fetch(session, request),
+            "leaf" => self.op_leaf(session, request),
+            "stats" => self.op_stats(session, false),
+            "close" => self.op_stats(session, true),
+            other => Err(ClusterError::Wire(format!("unknown op `{other}`"))),
+        }
+    }
+
+    fn op_open(&self, session: u64, request: &Json) -> Result<Json> {
+        let budget = protocol::req_usize(request, "budget")?;
+        let share = protocol::req_usize(request, "share")?;
+        let threads = protocol::req_usize(request, "threads")?.max(1);
+        let min_shard_rows = protocol::req_usize(request, "min_shard_rows")?.max(1);
+        let query = query_from_json(protocol::req_field(request, "query")?, &self.catalog.schema)?;
+        // the shard plans for itself: planning is deterministic over the
+        // shared catalog, so this is the coordinator's plan without a plan
+        // ever being serialized
+        let plan = Planner::new(&self.catalog).plan_with_budget(&query, budget)?;
+        let (tariff, nodes, leaves) = (plan.tariff, plan.fetch.nodes.len(), plan.leaves.len());
+        let fragments = PlanFragments::for_plan(&plan);
+        let options = ExecOptions::budgeted(share)
+            .with_threads(threads)
+            .with_min_shard_rows(min_shard_rows);
+        let mut sessions = self.sessions.lock().expect("sessions poisoned");
+        match sessions.get_mut(&session) {
+            // re-open = next refinement step: keep the fragment/leaf state,
+            // swap the plan and reset the step accounting
+            Some(open) => {
+                open.plan = plan;
+                open.fragments = fragments;
+                open.options = options;
+                open.share = share;
+                open.billed = 0;
+                open.fetch_ops = 0;
+            }
+            None => {
+                sessions.insert(
+                    session,
+                    ShardSession {
+                        plan,
+                        state: ExecState::new(),
+                        fragments,
+                        options,
+                        share,
+                        billed: 0,
+                        fetch_ops: 0,
+                    },
+                );
+            }
+        }
+        Ok(protocol::ok_response(vec![
+            ("shard", Json::Int(self.shard as i64)),
+            ("tariff", Json::Int(tariff as i64)),
+            ("nodes", Json::Int(nodes as i64)),
+            ("leaves", Json::Int(leaves as i64)),
+        ]))
+    }
+
+    fn op_fetch(&self, session: u64, request: &Json) -> Result<Json> {
+        let node_id = protocol::req_usize(request, "node")?;
+        let keys = protocol::keys_from_json(protocol::req_field(request, "keys")?)?;
+        let mut sessions = self.sessions.lock().expect("sessions poisoned");
+        let open = sessions
+            .get_mut(&session)
+            .ok_or_else(|| ClusterError::Protocol(format!("no open session {session}")))?;
+        let node = open.plan.fetch.node(node_id)?.clone();
+        if !self.owns(node.family) {
+            return Err(ClusterError::Protocol(format!(
+                "shard {} does not own family {} (fetch node {node_id})",
+                self.shard, node.family
+            )));
+        }
+        // bill against the remaining share; reuse of a fragment fetched by an
+        // earlier step re-bills it, exactly like a single-node session
+        let remaining = open.share.saturating_sub(open.billed);
+        let mut fetch = FetchSession::new(&self.catalog, Some(remaining));
+        let (fragment, rel) =
+            open.state
+                .fetch_or_reuse(&mut fetch, node.family, node.level, keys)?;
+        open.billed += fetch.accessed();
+        open.fetch_ops += fetch.counter().fetches;
+        open.fragments.set(node_id, fragment, Arc::clone(&rel));
+        Ok(protocol::ok_response(vec![(
+            "relation",
+            relation_to_json(&rel),
+        )]))
+    }
+
+    fn op_leaf(&self, session: u64, request: &Json) -> Result<Json> {
+        let leaf = protocol::req_usize(request, "leaf")?;
+        let mut sessions = self.sessions.lock().expect("sessions poisoned");
+        let open = sessions
+            .get_mut(&session)
+            .ok_or_else(|| ClusterError::Protocol(format!("no open session {session}")))?;
+        let ShardSession {
+            plan,
+            state,
+            fragments,
+            options,
+            ..
+        } = open;
+        let leaf_plan = plan
+            .leaves
+            .get(leaf)
+            .ok_or_else(|| ClusterError::Protocol(format!("no leaf {leaf} in the plan")))?;
+        for &n in &leaf_plan.atom_nodes {
+            let family = plan.fetch.node(n)?.family;
+            if !self.owns(family) {
+                return Err(ClusterError::Protocol(format!(
+                    "shard {} cannot evaluate leaf {leaf}: atom node {n} uses foreign family {family}",
+                    self.shard
+                )));
+            }
+        }
+        let eval = evaluate_plan_leaf(leaf, plan, &self.catalog, fragments, options, state)?;
+        Ok(protocol::ok_response(vec![
+            ("relation", relation_to_json(&eval.rel)),
+            ("out_res", protocol::resolutions_to_json(&eval.out_res)),
+            ("exact", Json::Bool(eval.exact)),
+        ]))
+    }
+
+    fn op_stats(&self, session: u64, close: bool) -> Result<Json> {
+        let mut sessions = self.sessions.lock().expect("sessions poisoned");
+        let open = sessions
+            .get_mut(&session)
+            .ok_or_else(|| ClusterError::Protocol(format!("no open session {session}")))?;
+        let response = protocol::ok_response(vec![
+            ("accessed", Json::Int(open.billed as i64)),
+            ("fetches", Json::Int(open.fetch_ops as i64)),
+            (
+                "fetched_tuples",
+                Json::Int(open.state.fetched_tuples() as i64),
+            ),
+            (
+                "reused_tuples",
+                Json::Int(open.state.reused_tuples() as i64),
+            ),
+        ]);
+        if close {
+            sessions.remove(&session);
+        }
+        Ok(response)
+    }
+}

@@ -1,0 +1,59 @@
+//! Transport abstraction between coordinator and shards.
+//!
+//! The protocol is transport-agnostic JSON (see [`crate::protocol`]); a
+//! transport only moves one request to one shard and brings its response
+//! back. [`InProcessTransport`] — the reference implementation used by
+//! tests, examples and the load generator — still serializes every message
+//! to wire text and parses it back, so the full encode/decode path is
+//! exercised even without sockets: a TCP transport sees byte-identical
+//! traffic.
+
+use std::sync::Arc;
+
+use beas_serve::{parse_json, Json};
+
+use crate::error::{ClusterError, Result};
+use crate::shard::ShardNode;
+
+/// Moves protocol messages between the coordinator and shard `shard`.
+pub trait ShardTransport: Send + Sync {
+    /// Sends `request` to shard `shard` and returns its response.
+    fn call(&self, shard: usize, request: &Json) -> Result<Json>;
+    /// Number of reachable shards.
+    fn shards(&self) -> usize;
+}
+
+/// In-process transport over a set of [`ShardNode`]s, round-tripping every
+/// message through its serialized wire form.
+#[derive(Debug, Clone)]
+pub struct InProcessTransport {
+    nodes: Vec<Arc<ShardNode>>,
+}
+
+impl InProcessTransport {
+    /// A transport over `nodes` (shard `i` is `nodes[i]`).
+    pub fn new(nodes: Vec<Arc<ShardNode>>) -> Self {
+        InProcessTransport { nodes }
+    }
+
+    /// The shard nodes behind this transport.
+    pub fn nodes(&self) -> &[Arc<ShardNode>] {
+        &self.nodes
+    }
+}
+
+impl ShardTransport for InProcessTransport {
+    fn call(&self, shard: usize, request: &Json) -> Result<Json> {
+        let node = self
+            .nodes
+            .get(shard)
+            .ok_or_else(|| ClusterError::Config(format!("no shard {shard}")))?;
+        let response = node.handle_text(&request.to_string());
+        parse_json(&response)
+            .map_err(|e| ClusterError::Wire(format!("bad response from shard {shard}: {e}")))
+    }
+
+    fn shards(&self) -> usize {
+        self.nodes.len()
+    }
+}

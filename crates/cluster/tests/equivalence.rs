@@ -1,0 +1,210 @@
+//! Seeded property test for the cluster determinism guarantee: for random
+//! databases (with NaN/±∞ float columns) and random queries, a cluster answer
+//! is bit-for-bit equal to the single-node answer at the same total budget —
+//! answer relation (row-wise, bit-level floats), η, tuples accessed and
+//! exactness — across shard counts {1, 2, 3} × thread counts {1, 4}.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use beas_cluster::ClusterHandle;
+use beas_core::{AggQuery, Beas, BeasAnswer, BeasQuery, ConstraintSpec, RaQuery, ResourceSpec};
+use beas_relal::{
+    AggFunc, Attribute, Database, DatabaseSchema, Relation, RelationSchema, SpcQueryBuilder, Value,
+};
+
+const CITIES: [&str; 5] = ["nyc", "la", "chi", "bos", "sea"];
+const KINDS: [&str; 3] = ["hotel", "museum", "cafe"];
+
+/// A random 3-relation database; `spend` floats include NaN, ±∞ and -0.0.
+fn random_db(rng: &mut StdRng) -> Database {
+    let schema = DatabaseSchema::new(vec![
+        RelationSchema::new(
+            "person",
+            vec![Attribute::categorical("city"), Attribute::int("age")],
+        ),
+        RelationSchema::new(
+            "poi",
+            vec![
+                Attribute::categorical("city"),
+                Attribute::categorical("kind"),
+                Attribute::int("stars"),
+            ],
+        ),
+        RelationSchema::new(
+            "visit",
+            vec![Attribute::categorical("city"), Attribute::double("spend")],
+        ),
+    ]);
+    let mut db = Database::new(schema);
+    for _ in 0..rng.gen_range(20..60) {
+        db.insert_row(
+            "person",
+            vec![
+                Value::from(CITIES[rng.gen_range(0..CITIES.len())]),
+                Value::Int(rng.gen_range(18..80)),
+            ],
+        )
+        .unwrap();
+    }
+    for _ in 0..rng.gen_range(30..80) {
+        db.insert_row(
+            "poi",
+            vec![
+                Value::from(CITIES[rng.gen_range(0..CITIES.len())]),
+                Value::from(KINDS[rng.gen_range(0..KINDS.len())]),
+                Value::Int(rng.gen_range(0..6)),
+            ],
+        )
+        .unwrap();
+    }
+    for _ in 0..rng.gen_range(20..60) {
+        let spend = match rng.gen_range(0..10) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => -0.0,
+            _ => (rng.gen_range(-500.0..500.0f64) * 8.0).round() / 8.0,
+        };
+        db.insert_row(
+            "visit",
+            vec![
+                Value::from(CITIES[rng.gen_range(0..CITIES.len())]),
+                Value::Double(spend),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// A random query: a bounded single-atom selection, a two-atom join, or a
+/// float SUM aggregate over the NaN/∞-bearing column.
+fn random_query(rng: &mut StdRng, schema: &DatabaseSchema) -> BeasQuery {
+    match rng.gen_range(0..3) {
+        0 => {
+            let mut b = SpcQueryBuilder::new(schema);
+            let p = b.atom("poi", "p").unwrap();
+            b.bind_const(p, "city", CITIES[rng.gen_range(0..CITIES.len())])
+                .unwrap();
+            if rng.gen_bool(0.5) {
+                b.bind_const(p, "kind", KINDS[rng.gen_range(0..KINDS.len())])
+                    .unwrap();
+            }
+            b.output(p, "stars", "stars").unwrap();
+            b.build().unwrap().into()
+        }
+        1 => {
+            let mut b = SpcQueryBuilder::new(schema);
+            let p = b.atom("person", "p").unwrap();
+            let q = b.atom("poi", "q").unwrap();
+            b.join((p, "city"), (q, "city")).unwrap();
+            b.output(p, "age", "age").unwrap();
+            b.output(q, "stars", "stars").unwrap();
+            b.build().unwrap().into()
+        }
+        _ => {
+            let mut b = SpcQueryBuilder::new(schema);
+            let v = b.atom("visit", "v").unwrap();
+            b.output(v, "city", "city").unwrap();
+            b.output(v, "spend", "spend").unwrap();
+            let inner = RaQuery::Spc(b.build().unwrap());
+            AggQuery::new(
+                inner,
+                vec!["city".to_string()],
+                AggFunc::Sum,
+                "spend",
+                "total",
+            )
+            .unwrap()
+            .into()
+        }
+    }
+}
+
+/// Row-wise, bit-level comparison of the two (canonically sorted) answer
+/// relations. `digest()` already hashes float bits, but comparing rows
+/// directly gives a far better failure message and rules out digest
+/// collisions.
+fn assert_rows_bit_equal(a: &Relation, b: &Relation, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: row counts differ");
+    let (sa, sb) = (a.clone().sorted(), b.clone().sorted());
+    for (i, (ra, rb)) in sa.rows().zip(sb.rows()).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "{ctx}: row {i} arity");
+        for (va, vb) in ra.iter().zip(rb.iter()) {
+            match (va, vb) {
+                (Value::Double(x), Value::Double(y)) => assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{ctx}: row {i} floats differ ({x} vs {y})"
+                ),
+                _ => assert_eq!(va, vb, "{ctx}: row {i} values differ"),
+            }
+        }
+    }
+}
+
+fn assert_bit_equal(cluster: &BeasAnswer, single: &BeasAnswer, ctx: &str) {
+    assert_eq!(
+        cluster.answers.digest(),
+        single.answers.digest(),
+        "{ctx}: digests differ"
+    );
+    assert_rows_bit_equal(&cluster.answers, &single.answers, ctx);
+    assert_eq!(
+        cluster.eta.to_bits(),
+        single.eta.to_bits(),
+        "{ctx}: eta differs ({} vs {})",
+        cluster.eta,
+        single.eta
+    );
+    assert_eq!(cluster.exact, single.exact, "{ctx}: exactness differs");
+    assert_eq!(cluster.accessed, single.accessed, "{ctx}: accessed differs");
+    assert_eq!(cluster.budget, single.budget, "{ctx}: budget differs");
+}
+
+#[test]
+fn cluster_answers_are_bit_for_bit_single_node_across_shards_and_threads() {
+    let mut rng = StdRng::seed_from_u64(0xBEA5_C105);
+    for round in 0..6 {
+        let db = random_db(&mut rng);
+        let spec = ConstraintSpec::new("poi", &["city", "kind"], &["stars"]);
+        // the reference: one node holding everything, single-threaded
+        let single = Beas::builder(db.clone())
+            .constraint(spec.clone())
+            .num_threads(1)
+            .min_shard_rows(2)
+            .build()
+            .unwrap();
+        let queries: Vec<BeasQuery> = (0..3)
+            .map(|_| random_query(&mut rng, single.schema()))
+            .collect();
+        let budgets = [
+            ResourceSpec::Tuples(rng.gen_range(1..8)),
+            ResourceSpec::Tuples(rng.gen_range(8..64)),
+            ResourceSpec::Ratio(rng.gen_range(0.05..0.6)),
+            ResourceSpec::FULL,
+        ];
+        for shards in [1usize, 2, 3] {
+            for threads in [1usize, 4] {
+                let cluster = ClusterHandle::builder(db.clone(), shards)
+                    .constraint(spec.clone())
+                    .num_threads(threads)
+                    .min_shard_rows(2)
+                    .build()
+                    .unwrap();
+                for (qi, query) in queries.iter().enumerate() {
+                    for (bi, &budget) in budgets.iter().enumerate() {
+                        let ctx = format!(
+                            "round {round}, shards {shards}, threads {threads}, \
+                             query {qi}, budget {bi} ({budget})"
+                        );
+                        let a = cluster.answer(query, budget).unwrap();
+                        let b = single.answer(query, budget).unwrap();
+                        assert_bit_equal(&a, &b, &ctx);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -111,6 +111,22 @@ pub struct BeasAnswer {
     pub budget: usize,
 }
 
+impl BeasAnswer {
+    /// Assembles an answer from a plan and its execution outcome — the same
+    /// packaging [`Beas::answer`] applies, exposed so other drivers of plan
+    /// execution (e.g. a cluster coordinator composing shard results) return
+    /// answers with identical semantics.
+    pub fn from_execution(plan: &BoundedPlan, outcome: ExecutionOutcome) -> Self {
+        answer_from(plan, outcome)
+    }
+
+    /// The answer for a zero-budget spec: no access, no answers, no bound.
+    /// [`Beas::answer`] returns this for specs resolving to zero tuples.
+    pub fn empty(columns: Vec<String>) -> Self {
+        empty_answer(columns)
+    }
+}
+
 /// A batch of database updates for [`Beas::apply_update`] (component C2).
 ///
 /// The batch is validated as a whole before any row is applied, so a bad row

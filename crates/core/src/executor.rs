@@ -45,6 +45,27 @@
 //! [`execute_plan_with_options`] — answers, η, float aggregate sums and the
 //! `accessed` accounting; only wall-clock differs. This is the foundation of
 //! the [`AnswerSession`](crate::AnswerSession) refinement loop.
+//!
+//! # Fragment streams
+//!
+//! Execution is factored into three public phases so a leaf never cares
+//! *where* its input fragments came from — a local fetch, a session's reuse
+//! cache, or a peer node of a cluster:
+//!
+//! 1. [`stream_plan_fragments`] drives the fetching plan `ξ_F` node by node
+//!    (each node's keys derive from already-streamed fragments via
+//!    [`node_keys`]) and fills a [`PlanFragments`] — the local source. A
+//!    distributed coordinator instead gathers fragments from shard nodes and
+//!    registers them with [`ExecState::adopt_fragment`] +
+//!    [`PlanFragments::set`].
+//! 2. [`evaluate_plan_leaf`] evaluates one SPC leaf over whatever fragments
+//!    its completion nodes resolved to, returning a canonical [`LeafEval`].
+//! 3. [`compose_plan_answer`] combines the per-leaf results along the RA
+//!    structure, applies the `d'` correction and the final aggregation.
+//!
+//! [`execute_plan_with_state`] is exactly the composition of the three, so
+//! any other driver of the phases (e.g. a cluster coordinator) inherits the
+//! bit-for-bit determinism for free.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -56,7 +77,7 @@ use beas_relal::{
 };
 
 use crate::error::{BeasError, Result};
-use crate::plan::{KeySource, LeafPlan};
+use crate::plan::{FetchNode, KeySource, LeafPlan};
 use crate::planner::BoundedPlan;
 use crate::query::{BeasQuery, RaQuery};
 
@@ -261,8 +282,10 @@ impl ExecState {
     /// Serves one fetch from the fragment set when its exact identity was
     /// fetched before (billing the budget like a fresh fetch), materializing
     /// and recording it otherwise. Returns the fragment index and the
-    /// relation.
-    fn fetch_or_reuse(
+    /// relation. This is the local fragment source of
+    /// [`stream_plan_fragments`]; a cluster shard node drives it directly to
+    /// serve fetch requests with per-session reuse.
+    pub fn fetch_or_reuse(
         &mut self,
         session: &mut FetchSession<'_>,
         family: beas_access::FamilyId,
@@ -289,6 +312,34 @@ impl ExecState {
         Ok((self.fragments.len() - 1, rel))
     }
 
+    /// Registers a fragment that was materialized *elsewhere* (e.g. fetched
+    /// by a peer node of a cluster and shipped over the wire), returning its
+    /// fragment index. Deduplicates on the full fetch identity like
+    /// [`ExecState::fetch_or_reuse`], but performs no budget billing — the
+    /// node that materialized the fragment already accounted for it.
+    pub fn adopt_fragment(
+        &mut self,
+        family: beas_access::FamilyId,
+        level: usize,
+        keys: Vec<Vec<Value>>,
+        rel: Arc<Relation>,
+    ) -> usize {
+        if let Some(i) = self
+            .fragments
+            .iter()
+            .position(|f| f.family == family && f.level == level && f.keys == keys)
+        {
+            return i;
+        }
+        self.fragments.push(FragmentEntry {
+            family,
+            level,
+            keys,
+            rel,
+        });
+        self.fragments.len() - 1
+    }
+
     /// The cached result of leaf `leaf` over exactly these completion
     /// fragments, if present.
     fn leaf(&self, leaf: usize, atom_fragments: &[usize]) -> Option<&LeafEntry> {
@@ -296,6 +347,315 @@ impl ExecState {
             .iter()
             .find(|e| e.leaf == leaf && e.atom_fragments == atom_fragments)
     }
+}
+
+/// The per-node fragment inputs of a plan execution: one slot per node of the
+/// fetching plan `ξ_F`, holding the node's output relation and its fragment
+/// identity in the driving [`ExecState`]. Filled by [`stream_plan_fragments`]
+/// locally, or slot by slot (via [`PlanFragments::set`]) by a coordinator
+/// gathering fragments from cluster shards — downstream leaf evaluation
+/// ([`evaluate_plan_leaf`]) cannot tell the difference.
+#[derive(Debug, Clone)]
+pub struct PlanFragments {
+    outputs: Vec<Option<Arc<Relation>>>,
+    fragments: Vec<Option<usize>>,
+}
+
+impl PlanFragments {
+    /// Empty fragment slots for every node of `plan`'s fetching plan.
+    pub fn for_plan(plan: &BoundedPlan) -> Self {
+        let n = plan.fetch.nodes.len();
+        PlanFragments {
+            outputs: vec![None; n],
+            fragments: vec![None; n],
+        }
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// `true` when the plan has no fetch nodes.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Fills node `node`'s slot with its fragment identity and output.
+    pub fn set(&mut self, node: usize, fragment: usize, rel: Arc<Relation>) {
+        self.outputs[node] = Some(rel);
+        self.fragments[node] = Some(fragment);
+    }
+
+    /// The output relation of node `node`, if streamed already.
+    pub fn output(&self, node: usize) -> Option<&Arc<Relation>> {
+        self.outputs.get(node).and_then(|o| o.as_ref())
+    }
+
+    /// The fragment identity of node `node`, if streamed already.
+    pub fn fragment(&self, node: usize) -> Option<usize> {
+        self.fragments.get(node).and_then(|f| *f)
+    }
+
+    fn require_output(&self, node: usize) -> Result<&Arc<Relation>> {
+        self.output(node)
+            .ok_or_else(|| BeasError::Planning(format!("missing output of fetch node {node}")))
+    }
+}
+
+/// The keys fetch node `node` asks its template family for, derived from the
+/// already-streamed fragments: the constant key for root nodes, one key per
+/// input row (via the node's [`KeySource`]s) otherwise. This is the planner's
+/// key-provenance contract made executable — a cluster coordinator uses it to
+/// compute the key list it sends to the shard owning the node's family.
+pub fn node_keys(node: &FetchNode, fragments: &PlanFragments) -> Result<Vec<Vec<Value>>> {
+    match node.input_node {
+        None => {
+            let key: Vec<Value> = node
+                .key_sources
+                .iter()
+                .map(|k| match k {
+                    KeySource::Const(v) => Ok(v.clone()),
+                    KeySource::Column(c) => Err(BeasError::Planning(format!(
+                        "fetch node {} references column {c} but has no input node",
+                        node.id
+                    ))),
+                })
+                .collect::<Result<_>>()?;
+            Ok(vec![key])
+        }
+        Some(input) => {
+            let input_rel = fragments.require_output(input)?;
+            let mut col_idx: Vec<Option<usize>> = Vec::with_capacity(node.key_sources.len());
+            for k in &node.key_sources {
+                match k {
+                    KeySource::Const(_) => col_idx.push(None),
+                    KeySource::Column(c) => {
+                        col_idx.push(Some(input_rel.column_index(c).map_err(BeasError::from)?))
+                    }
+                }
+            }
+            let mut keys = Vec::with_capacity(input_rel.len());
+            for row in 0..input_rel.len() {
+                let key: Vec<Value> = node
+                    .key_sources
+                    .iter()
+                    .zip(col_idx.iter())
+                    .map(|(k, idx)| match (k, idx) {
+                        (KeySource::Const(v), _) => v.clone(),
+                        (KeySource::Column(_), Some(i)) => input_rel.value_at(row, *i),
+                        (KeySource::Column(_), None) => unreachable!(),
+                    })
+                    .collect();
+                keys.push(key);
+            }
+            Ok(keys)
+        }
+    }
+}
+
+/// Streams every fragment of `plan`'s fetching plan from the local catalog
+/// behind `session`, reusing (and re-billing) fragments already held by
+/// `state`. The local source of the fragment-stream phases (see the module
+/// docs).
+pub fn stream_plan_fragments(
+    plan: &BoundedPlan,
+    session: &mut FetchSession<'_>,
+    state: &mut ExecState,
+) -> Result<PlanFragments> {
+    let mut fragments = PlanFragments::for_plan(plan);
+    for node in &plan.fetch.nodes {
+        let keys = node_keys(node, &fragments)?;
+        let (fragment, fetched) = state.fetch_or_reuse(session, node.family, node.level, keys)?;
+        fragments.set(node.id, fragment, fetched);
+    }
+    Ok(fragments)
+}
+
+/// The canonicalised result of one SPC leaf: its relation (sorted when the
+/// query aggregates, so weighted float sums accumulate in a fixed order), the
+/// resolution of each output column, and whether every needed position was
+/// fetched exactly.
+#[derive(Debug, Clone)]
+pub struct LeafEval {
+    /// The leaf's canonical result relation.
+    pub rel: Arc<Relation>,
+    /// Resolution of each output column under the plan.
+    pub out_res: Vec<f64>,
+    /// `true` when every needed position of the leaf is fetched exactly.
+    pub exact: bool,
+}
+
+/// Evaluates SPC leaf `index` of `plan` over the fragments its completion
+/// nodes resolved to, serving and feeding the leaf cache of `state` (keyed on
+/// the fragment identities, so a leaf whose inputs did not change between
+/// refinement steps is skipped entirely). Phase 2 of the fragment-stream
+/// factoring; callable for any leaf whose atom-node slots are filled, which
+/// is how a cluster shard evaluates its locally-owned leaves.
+pub fn evaluate_plan_leaf(
+    index: usize,
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+    fragments: &PlanFragments,
+    options: &ExecOptions,
+    state: &mut ExecState,
+) -> Result<LeafEval> {
+    let ra = plan.query.ra();
+    let leaves = ra.spc_leaves();
+    let leaf = *leaves
+        .get(index)
+        .ok_or_else(|| BeasError::Planning(format!("no SPC leaf {index} in the query")))?;
+    let leaf_plan = plan
+        .leaves
+        .get(index)
+        .ok_or_else(|| BeasError::Planning(format!("no leaf plan {index} in the bounded plan")))?;
+    let want_weights = plan.query.is_aggregate();
+    // the fragment identities of the leaf's completion nodes fully determine
+    // its (canonicalised) result for a fixed query and catalog: the inputs
+    // are those fragments and every relaxation tolerance derives from their
+    // (family, level) pairs
+    let atom_fragments: Vec<usize> = leaf_plan
+        .atom_nodes
+        .iter()
+        .map(|&n| {
+            fragments.fragment(n).ok_or_else(|| {
+                BeasError::Planning(format!("leaf {index} needs unstreamed fetch node {n}"))
+            })
+        })
+        .collect::<Result<_>>()?;
+    if let Some(entry) = state.leaf(index, &atom_fragments) {
+        return Ok(LeafEval {
+            rel: Arc::clone(&entry.rel),
+            out_res: entry.out_res.clone(),
+            exact: entry.exact,
+        });
+    }
+    let mut rel = evaluate_leaf(
+        leaf,
+        leaf_plan,
+        plan,
+        catalog,
+        fragments,
+        want_weights,
+        options,
+    )?;
+    // canonical row order: makes the downstream composition (including the
+    // accumulation order of weighted aggregate sums) independent of both
+    // sharding and join order
+    if want_weights {
+        rel.sort_rows();
+    }
+    let out_res = output_resolutions(leaf, leaf_plan, plan, catalog)?;
+    let exact = leaf_is_exact(leaf, leaf_plan, plan, catalog)?;
+    let rel = Arc::new(rel);
+    state.leaves.push(LeafEntry {
+        leaf: index,
+        atom_fragments,
+        rel: Arc::clone(&rel),
+        out_res: out_res.clone(),
+        exact,
+    });
+    Ok(LeafEval {
+        rel,
+        out_res,
+        exact,
+    })
+}
+
+/// Combines canonical per-leaf results along the query's RA structure,
+/// re-estimates η through the `d'` correction when a set difference was
+/// fetched approximately, and applies the final aggregation. Phase 3 of the
+/// fragment-stream factoring: the merge a cluster coordinator runs over leaf
+/// results gathered from shards. Returns the answers and the final η.
+pub fn compose_plan_answer(
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+    leaves: &[LeafEval],
+) -> Result<(Relation, f64)> {
+    let schema = &catalog.schema;
+    let ra = plan.query.ra();
+    let want_weights = plan.query.is_aggregate();
+    if leaves.len() != plan.leaves.len() {
+        return Err(BeasError::Planning(format!(
+            "compose needs {} leaf results, got {}",
+            plan.leaves.len(),
+            leaves.len()
+        )));
+    }
+
+    let indexed = index_leaves(ra, &mut 0);
+    let output_kinds = ra.output_distances(schema)?;
+    let ra_result = exec_indexed(
+        &indexed,
+        leaves,
+        &output_kinds,
+        want_weights,
+        ra.output_columns().len(),
+    )?;
+
+    // final eta
+    let mut eta = plan.eta;
+    if has_approx_difference(&indexed, leaves) {
+        // induce over the *indexed* tree so that leaf indices keep referring
+        // to the original per-leaf results
+        let induced = induce(&indexed);
+        let s_hat = exec_indexed(
+            &induced,
+            leaves,
+            &output_kinds,
+            false,
+            ra.output_columns().len(),
+        )?;
+        let ncols = ra.output_columns().len();
+        let d_prime = max_min_distance(&s_hat, &ra_result, &output_kinds, ncols);
+        let worst = plan.d_rel.max(d_prime + plan.d_cov);
+        eta = if worst.is_infinite() {
+            0.0
+        } else {
+            1.0 / (1.0 + worst)
+        };
+        // the planner's special cases (e.g. sum/count/avg aggregates without
+        // an exact plan) declare no bound at all; keep that
+        if plan.eta == 0.0 {
+            eta = 0.0;
+        }
+    }
+
+    // aggregation
+    let answers = match &plan.query {
+        BeasQuery::Ra(_) => {
+            let mut rel = project_outputs(&ra_result, ra.output_columns().len());
+            rel.columns = ra.output_columns();
+            rel.dedup();
+            rel
+        }
+        BeasQuery::Aggregate(agg) => {
+            let mut input = ra_result;
+            // name the columns so the aggregate can address them
+            let mut cols = ra.output_columns();
+            if input.arity() == cols.len() + 1 {
+                cols.push(WEIGHT_COLUMN.to_string());
+            }
+            input.columns = cols;
+            let weight_col = if agg.agg.is_extremum() {
+                None
+            } else if input.columns.iter().any(|c| c == WEIGHT_COLUMN) {
+                Some(WEIGHT_COLUMN.to_string())
+            } else {
+                None
+            };
+            let gq = GroupByQuery {
+                input: RaExpr::scan("__unused", "__unused"),
+                group_by: agg.group_by.clone(),
+                agg: agg.agg,
+                agg_col: agg.agg_col.clone(),
+                out_name: agg.out_name.clone(),
+                weight_col,
+            };
+            aggregate_relation(&input, &gq)?
+        }
+    };
+    Ok((answers, eta))
 }
 
 /// Executes `plan` against `catalog`, enforcing the plan's budget.
@@ -376,192 +736,20 @@ pub fn execute_plan_with_state(
 ) -> Result<ExecutionOutcome> {
     let budget = options.budget;
     let mut session = FetchSession::new(catalog, budget);
-    let schema = &catalog.schema;
 
-    // ------------------------------------------------------------- fetch phase
-    let mut node_outputs: Vec<Arc<Relation>> = Vec::with_capacity(plan.fetch.nodes.len());
-    let mut node_fragments: Vec<usize> = Vec::with_capacity(plan.fetch.nodes.len());
-    for node in &plan.fetch.nodes {
-        let keys: Vec<Vec<Value>> = match node.input_node {
-            None => {
-                let key: Vec<Value> = node
-                    .key_sources
-                    .iter()
-                    .map(|k| match k {
-                        KeySource::Const(v) => Ok(v.clone()),
-                        KeySource::Column(c) => Err(BeasError::Planning(format!(
-                            "fetch node {} references column {c} but has no input node",
-                            node.id
-                        ))),
-                    })
-                    .collect::<Result<_>>()?;
-                vec![key]
-            }
-            Some(input) => {
-                let input_rel = &node_outputs[input];
-                let mut col_idx: Vec<Option<usize>> = Vec::with_capacity(node.key_sources.len());
-                for k in &node.key_sources {
-                    match k {
-                        KeySource::Const(_) => col_idx.push(None),
-                        KeySource::Column(c) => {
-                            col_idx.push(Some(input_rel.column_index(c).map_err(BeasError::from)?))
-                        }
-                    }
-                }
-                let mut keys = Vec::with_capacity(input_rel.len());
-                for row in 0..input_rel.len() {
-                    let key: Vec<Value> = node
-                        .key_sources
-                        .iter()
-                        .zip(col_idx.iter())
-                        .map(|(k, idx)| match (k, idx) {
-                            (KeySource::Const(v), _) => v.clone(),
-                            (KeySource::Column(_), Some(i)) => input_rel.value_at(row, *i),
-                            (KeySource::Column(_), None) => unreachable!(),
-                        })
-                        .collect();
-                    keys.push(key);
-                }
-                keys
-            }
-        };
-        let (fragment, fetched) =
-            state.fetch_or_reuse(&mut session, node.family, node.level, keys)?;
-        node_fragments.push(fragment);
-        node_outputs.push(fetched);
+    // phase 1: stream every fragment of ξ_F from the local catalog
+    let fragments = stream_plan_fragments(plan, &mut session, state)?;
+
+    // phase 2: canonical per-leaf results
+    let mut leaves: Vec<LeafEval> = Vec::with_capacity(plan.leaves.len());
+    for i in 0..plan.leaves.len() {
+        leaves.push(evaluate_plan_leaf(
+            i, plan, catalog, &fragments, &options, state,
+        )?);
     }
 
-    // -------------------------------------------------------- per-leaf results
-    let ra = plan.query.ra();
-    let leaves = ra.spc_leaves();
-    let want_weights = plan.query.is_aggregate();
-    let mut leaf_results: Vec<Arc<Relation>> = Vec::with_capacity(leaves.len());
-    let mut leaf_out_res: Vec<Vec<f64>> = Vec::with_capacity(leaves.len());
-    let mut leaf_exact: Vec<bool> = Vec::with_capacity(leaves.len());
-    for (i, leaf) in leaves.iter().enumerate() {
-        let leaf_plan = &plan.leaves[i];
-        // the fragment identities of the leaf's completion nodes fully
-        // determine its (canonicalised) result for a fixed query and catalog:
-        // the inputs are those fragments and every relaxation tolerance
-        // derives from their (family, level) pairs
-        let atom_fragments: Vec<usize> = leaf_plan
-            .atom_nodes
-            .iter()
-            .map(|&n| node_fragments[n])
-            .collect();
-        if let Some(entry) = state.leaf(i, &atom_fragments) {
-            leaf_results.push(Arc::clone(&entry.rel));
-            leaf_out_res.push(entry.out_res.clone());
-            leaf_exact.push(entry.exact);
-            continue;
-        }
-        let mut rel = evaluate_leaf(
-            leaf,
-            leaf_plan,
-            plan,
-            catalog,
-            &node_outputs,
-            want_weights,
-            &options,
-        )?;
-        // canonical row order: makes the downstream composition (including
-        // the accumulation order of weighted aggregate sums) independent of
-        // both sharding and join order
-        if want_weights {
-            rel.sort_rows();
-        }
-        let out_res = output_resolutions(leaf, leaf_plan, plan, catalog)?;
-        let exact = leaf_is_exact(leaf, leaf_plan, plan, catalog)?;
-        let rel = Arc::new(rel);
-        state.leaves.push(LeafEntry {
-            leaf: i,
-            atom_fragments,
-            rel: Arc::clone(&rel),
-            out_res: out_res.clone(),
-            exact,
-        });
-        leaf_results.push(rel);
-        leaf_exact.push(exact);
-        leaf_out_res.push(out_res);
-    }
-
-    // ------------------------------------------------ combine per RA structure
-    let indexed = index_leaves(ra, &mut 0);
-    let output_kinds = ra.output_distances(schema)?;
-    let ra_result = exec_indexed(
-        &indexed,
-        &leaf_results,
-        &leaf_out_res,
-        &leaf_exact,
-        &output_kinds,
-        want_weights,
-        ra.output_columns().len(),
-    )?;
-
-    // --------------------------------------------------------------- final eta
-    let mut eta = plan.eta;
-    if has_approx_difference(&indexed, &leaf_exact) {
-        // induce over the *indexed* tree so that leaf indices keep referring
-        // to the original per-leaf results
-        let induced = induce(&indexed);
-        let s_hat = exec_indexed(
-            &induced,
-            &leaf_results,
-            &leaf_out_res,
-            &leaf_exact,
-            &output_kinds,
-            false,
-            ra.output_columns().len(),
-        )?;
-        let ncols = ra.output_columns().len();
-        let d_prime = max_min_distance(&s_hat, &ra_result, &output_kinds, ncols);
-        let worst = plan.d_rel.max(d_prime + plan.d_cov);
-        eta = if worst.is_infinite() {
-            0.0
-        } else {
-            1.0 / (1.0 + worst)
-        };
-        // the planner's special cases (e.g. sum/count/avg aggregates without
-        // an exact plan) declare no bound at all; keep that
-        if plan.eta == 0.0 {
-            eta = 0.0;
-        }
-    }
-
-    // ------------------------------------------------------------- aggregation
-    let answers = match &plan.query {
-        BeasQuery::Ra(_) => {
-            let mut rel = project_outputs(&ra_result, ra.output_columns().len());
-            rel.columns = ra.output_columns();
-            rel.dedup();
-            rel
-        }
-        BeasQuery::Aggregate(agg) => {
-            let mut input = ra_result;
-            // name the columns so the aggregate can address them
-            let mut cols = ra.output_columns();
-            if input.arity() == cols.len() + 1 {
-                cols.push(WEIGHT_COLUMN.to_string());
-            }
-            input.columns = cols;
-            let weight_col = if agg.agg.is_extremum() {
-                None
-            } else if input.columns.iter().any(|c| c == WEIGHT_COLUMN) {
-                Some(WEIGHT_COLUMN.to_string())
-            } else {
-                None
-            };
-            let gq = GroupByQuery {
-                input: RaExpr::scan("__unused", "__unused"),
-                group_by: agg.group_by.clone(),
-                agg: agg.agg,
-                agg_col: agg.agg_col.clone(),
-                out_name: agg.out_name.clone(),
-                weight_col,
-            };
-            aggregate_relation(&input, &gq)?
-        }
-    };
+    // phase 3: RA composition, d' correction, aggregation
+    let (answers, eta) = compose_plan_answer(plan, catalog, &leaves)?;
 
     Ok(ExecutionOutcome {
         answers,
@@ -585,7 +773,7 @@ fn evaluate_leaf(
     leaf_plan: &LeafPlan,
     plan: &BoundedPlan,
     catalog: &Catalog,
-    node_outputs: &[Arc<Relation>],
+    fragments: &PlanFragments,
     want_weights: bool,
     options: &ExecOptions,
 ) -> Result<Relation> {
@@ -599,10 +787,7 @@ fn evaluate_leaf(
     let mut expr: Option<RaExpr> = None;
     for (ai, atom) in leaf.atoms.iter().enumerate() {
         let node_id = leaf_plan.atom_nodes[ai];
-        let rel = node_outputs
-            .get(node_id)
-            .map(|rel| Relation::clone(rel))
-            .ok_or_else(|| BeasError::Planning(format!("missing output of node {node_id}")))?;
+        let rel = Relation::clone(fragments.require_output(node_id)?);
         let name = format!("__atom_{}_{}", leaf_plan.leaf, ai);
         overlay.insert(name.clone(), rel);
         let scan = RaExpr::scan(name, atom.alias.clone());
@@ -916,37 +1101,18 @@ fn index_leaves(ra: &RaQuery, next: &mut usize) -> IndexedRa {
 }
 
 /// Evaluates the indexed RA tree over the per-leaf results.
-#[allow(clippy::too_many_arguments)]
 fn exec_indexed(
     node: &IndexedRa,
-    leaf_results: &[Arc<Relation>],
-    leaf_out_res: &[Vec<f64>],
-    leaf_exact: &[bool],
+    leaves: &[LeafEval],
     kinds: &[beas_relal::DistanceKind],
     want_weights: bool,
     ncols: usize,
 ) -> Result<Relation> {
     match node {
-        IndexedRa::Leaf(i) => Ok(Relation::clone(&leaf_results[*i])),
+        IndexedRa::Leaf(i) => Ok(Relation::clone(&leaves[*i].rel)),
         IndexedRa::Union(l, r) => {
-            let mut a = exec_indexed(
-                l,
-                leaf_results,
-                leaf_out_res,
-                leaf_exact,
-                kinds,
-                want_weights,
-                ncols,
-            )?;
-            let b = exec_indexed(
-                r,
-                leaf_results,
-                leaf_out_res,
-                leaf_exact,
-                kinds,
-                want_weights,
-                ncols,
-            )?;
+            let mut a = exec_indexed(l, leaves, kinds, want_weights, ncols)?;
+            let b = exec_indexed(r, leaves, kinds, want_weights, ncols)?;
             a.append(b);
             if !want_weights {
                 a.dedup();
@@ -954,27 +1120,11 @@ fn exec_indexed(
             Ok(a)
         }
         IndexedRa::Difference(l, r) => {
-            let a = exec_indexed(
-                l,
-                leaf_results,
-                leaf_out_res,
-                leaf_exact,
-                kinds,
-                want_weights,
-                ncols,
-            )?;
-            let right_exact = subtree_leaves(r).iter().all(|&i| leaf_exact[i]);
+            let a = exec_indexed(l, leaves, kinds, want_weights, ncols)?;
+            let right_exact = subtree_leaves(r).iter().all(|&i| leaves[i].exact);
             if right_exact {
                 // exact set difference on the output columns
-                let b = exec_indexed(
-                    r,
-                    leaf_results,
-                    leaf_out_res,
-                    leaf_exact,
-                    kinds,
-                    false,
-                    ncols,
-                )?;
+                let b = exec_indexed(r, leaves, kinds, false, ncols)?;
                 let bcols = ncols.min(b.arity());
                 let remove: std::collections::HashSet<Vec<Value>> = (0..b.len())
                     .map(|i| (0..bcols).map(|j| b.value_at(i, j)).collect())
@@ -992,16 +1142,8 @@ fn exec_indexed(
                 // positive side that are within the combined resolution of an
                 // answer to the maximal induced negated query
                 let induced = induce(r);
-                let b_hat = exec_indexed(
-                    &induced,
-                    leaf_results,
-                    leaf_out_res,
-                    leaf_exact,
-                    kinds,
-                    false,
-                    ncols,
-                )?;
-                let delta = dangerous_distances(l, r, leaf_out_res, ncols);
+                let b_hat = exec_indexed(&induced, leaves, kinds, false, ncols)?;
+                let delta = dangerous_distances(l, r, leaves, ncols);
                 let neg_rows = b_hat.to_rows();
                 let keep: Vec<usize> = (0..a.len())
                     .filter(|&i| {
@@ -1044,19 +1186,19 @@ fn subtree_leaves(node: &IndexedRa) -> Vec<usize> {
 fn dangerous_distances(
     left: &IndexedRa,
     right: &IndexedRa,
-    leaf_out_res: &[Vec<f64>],
+    leaves: &[LeafEval],
     ncols: usize,
 ) -> Vec<f64> {
     let mut delta = vec![0.0f64; ncols];
     for &i in &subtree_leaves(left) {
         for (j, d) in delta.iter_mut().enumerate() {
-            *d = d.max(leaf_out_res[i].get(j).copied().unwrap_or(0.0));
+            *d = d.max(leaves[i].out_res.get(j).copied().unwrap_or(0.0));
         }
     }
     let mut right_part = vec![0.0f64; ncols];
     for &i in &subtree_leaves(&induce(right)) {
         for (j, r) in right_part.iter_mut().enumerate() {
-            *r = r.max(leaf_out_res[i].get(j).copied().unwrap_or(0.0));
+            *r = r.max(leaves[i].out_res.get(j).copied().unwrap_or(0.0));
         }
     }
     for (d, r) in delta.iter_mut().zip(&right_part) {
@@ -1104,17 +1246,15 @@ fn project_outputs(rel: &Relation, ncols: usize) -> Relation {
 
 /// Whether the indexed tree contains a difference whose negated side was
 /// fetched approximately (requiring the `d'` correction of Fig. 5).
-fn has_approx_difference(node: &IndexedRa, leaf_exact: &[bool]) -> bool {
+fn has_approx_difference(node: &IndexedRa, leaves: &[LeafEval]) -> bool {
     match node {
         IndexedRa::Leaf(_) => false,
         IndexedRa::Union(l, r) => {
-            has_approx_difference(l, leaf_exact) || has_approx_difference(r, leaf_exact)
+            has_approx_difference(l, leaves) || has_approx_difference(r, leaves)
         }
         IndexedRa::Difference(l, r) => {
-            let right_approx = subtree_leaves(r).iter().any(|&i| !leaf_exact[i]);
-            right_approx
-                || has_approx_difference(l, leaf_exact)
-                || has_approx_difference(r, leaf_exact)
+            let right_approx = subtree_leaves(r).iter().any(|&i| !leaves[i].exact);
+            right_approx || has_approx_difference(l, leaves) || has_approx_difference(r, leaves)
         }
     }
 }

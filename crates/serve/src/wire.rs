@@ -27,7 +27,10 @@ use beas_access::ResourceSpec;
 use beas_core::{
     AggQuery, BeasAnswer, BeasQuery, RaQuery, RefinementSchedule, RefinementStep, UpdateBatch,
 };
-use beas_relal::{AggFunc, CompareOp, DatabaseSchema, Relation, Row, SpcQueryBuilder, Value};
+use beas_relal::{
+    AggFunc, CompareOp, DatabaseSchema, Relation, Row, SelCond, SpcQuery, SpcQueryBuilder, Term,
+    Value,
+};
 
 use crate::json::Json;
 
@@ -259,6 +262,176 @@ fn spc_from_json(v: &Json, schema: &DatabaseSchema) -> Result<beas_relal::SpcQue
     b.build().map_err(|e| WireError::new(e.to_string()))
 }
 
+/// Encodes a validated [`BeasQuery`] in the wire grammar [`query_from_json`]
+/// decodes — the inter-node form a cluster coordinator ships to its shards.
+///
+/// The encoding is *canonical*: atoms in query order, constant binds in
+/// tableau position order, one join per extra occurrence of a shared variable
+/// (anchored at the variable's first position), then filters and outputs in
+/// query order. For queries assembled through [`SpcQueryBuilder`] in that
+/// same shape (joins anchored at the earlier position — the natural pattern),
+/// decode ∘ encode is the identity on the query structure, so two nodes that
+/// plan the decoded query derive bit-identical plans. Queries carrying
+/// variable-to-variable selections ([`SelCond::VarVar`]) have no wire form
+/// and are rejected.
+pub fn query_to_json(query: &BeasQuery, schema: &DatabaseSchema) -> Result<Json> {
+    match query {
+        BeasQuery::Ra(q) => ra_to_json(q, schema),
+        BeasQuery::Aggregate(a) => Ok(Json::obj(vec![
+            ("type", Json::Str("aggregate".to_string())),
+            ("input", ra_to_json(&a.input, schema)?),
+            (
+                "group_by",
+                Json::Arr(a.group_by.iter().map(|g| Json::Str(g.clone())).collect()),
+            ),
+            ("agg", Json::Str(agg_func_name(a.agg).to_string())),
+            ("col", Json::Str(a.agg_col.clone())),
+            ("name", Json::Str(a.out_name.clone())),
+        ])),
+    }
+}
+
+fn agg_func_name(f: AggFunc) -> &'static str {
+    match f {
+        AggFunc::Count => "count",
+        AggFunc::Sum => "sum",
+        AggFunc::Avg => "avg",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    }
+}
+
+fn compare_op_name(op: CompareOp) -> &'static str {
+    match op {
+        CompareOp::Eq => "=",
+        CompareOp::Ne => "!=",
+        CompareOp::Lt => "<",
+        CompareOp::Le => "<=",
+        CompareOp::Gt => ">",
+        CompareOp::Ge => ">=",
+    }
+}
+
+fn ra_to_json(q: &RaQuery, schema: &DatabaseSchema) -> Result<Json> {
+    match q {
+        RaQuery::Spc(s) => spc_to_json(s, schema),
+        RaQuery::Union(l, r) => Ok(Json::obj(vec![
+            ("type", Json::Str("union".to_string())),
+            ("left", ra_to_json(l, schema)?),
+            ("right", ra_to_json(r, schema)?),
+        ])),
+        RaQuery::Difference(l, r) => Ok(Json::obj(vec![
+            ("type", Json::Str("difference".to_string())),
+            ("left", ra_to_json(l, schema)?),
+            ("right", ra_to_json(r, schema)?),
+        ])),
+    }
+}
+
+fn spc_to_json(q: &SpcQuery, schema: &DatabaseSchema) -> Result<Json> {
+    // (alias, attribute name) of a tableau position
+    let pos_ref = |pos: (usize, usize)| -> Result<(String, String)> {
+        let atom = q
+            .atoms
+            .get(pos.0)
+            .ok_or_else(|| WireError::new(format!("spc: no atom {}", pos.0)))?;
+        let rel = schema
+            .relation(&atom.relation)
+            .map_err(|e| WireError::new(e.to_string()))?;
+        let attr = rel.attributes.get(pos.1).ok_or_else(|| {
+            WireError::new(format!("spc: {} has no attribute {}", atom.relation, pos.1))
+        })?;
+        Ok((atom.alias.clone(), attr.name.clone()))
+    };
+
+    let atoms: Vec<Json> = q
+        .atoms
+        .iter()
+        .map(|a| {
+            Json::obj(vec![
+                ("relation", Json::Str(a.relation.clone())),
+                ("alias", Json::Str(a.alias.clone())),
+            ])
+        })
+        .collect();
+
+    let mut binds = Vec::new();
+    for (ai, terms) in q.terms.iter().enumerate() {
+        for (pi, term) in terms.iter().enumerate() {
+            if let Term::Const(v) = term {
+                let (alias, attr) = pos_ref((ai, pi))?;
+                binds.push(Json::obj(vec![
+                    ("atom", Json::Str(alias)),
+                    ("attr", Json::Str(attr)),
+                    ("value", value_to_json(v)),
+                ]));
+            }
+        }
+    }
+
+    let mut joins = Vec::new();
+    for positions in q.var_positions().values() {
+        if positions.len() > 1 {
+            let (la, lattr) = pos_ref(positions[0])?;
+            for &p in &positions[1..] {
+                let (ra, rattr) = pos_ref(p)?;
+                joins.push(Json::obj(vec![
+                    (
+                        "left",
+                        Json::Arr(vec![Json::Str(la.clone()), Json::Str(lattr.clone())]),
+                    ),
+                    ("right", Json::Arr(vec![Json::Str(ra), Json::Str(rattr)])),
+                ]));
+            }
+        }
+    }
+
+    let mut filters = Vec::new();
+    for sel in &q.selections {
+        match sel {
+            SelCond::VarConst { var, op, value } => {
+                let pos = q.var_first_position(*var).ok_or_else(|| {
+                    WireError::new(format!("spc: unbound selection variable {var}"))
+                })?;
+                let (alias, attr) = pos_ref(pos)?;
+                filters.push(Json::obj(vec![
+                    ("atom", Json::Str(alias)),
+                    ("attr", Json::Str(attr)),
+                    ("op", Json::Str(compare_op_name(*op).to_string())),
+                    ("value", value_to_json(value)),
+                ]));
+            }
+            SelCond::VarVar { .. } => {
+                return Err(WireError::new(
+                    "spc: variable-to-variable selections have no wire form",
+                ))
+            }
+        }
+    }
+
+    let mut outputs = Vec::new();
+    for out in &q.output {
+        let pos = q
+            .var_first_position(out.var)
+            .ok_or_else(|| WireError::new(format!("spc: unbound output variable {}", out.var)))?;
+        let (alias, attr) = pos_ref(pos)?;
+        outputs.push(Json::obj(vec![
+            ("atom", Json::Str(alias)),
+            ("attr", Json::Str(attr)),
+            ("name", Json::Str(out.name.clone())),
+        ]));
+    }
+
+    Ok(Json::obj(vec![
+        ("type", Json::Str("spc".to_string())),
+        ("atoms", Json::Arr(atoms)),
+        ("binds", Json::Arr(binds)),
+        ("joins", Json::Arr(joins)),
+        ("filters", Json::Arr(filters)),
+        ("outputs", Json::Arr(outputs)),
+    ]))
+}
+
 /// A join endpoint: `["h", "city"]` or `{"atom": "h", "attr": "city"}`.
 fn endpoint(v: &Json) -> Result<(String, String)> {
     if let Some(items) = v.as_arr() {
@@ -371,6 +544,13 @@ fn relation_fields(rel: &Relation) -> Vec<(&'static str, Json)> {
         ),
         ("rows", Json::Arr(rows)),
     ]
+}
+
+/// Encodes a relation as a standalone `{"columns": [...], "rows": [[...]]}`
+/// object — the payload form fragments and leaf results travel in between
+/// cluster nodes. Bit-for-bit inverse of [`relation_from_json`].
+pub fn relation_to_json(rel: &Relation) -> Json {
+    Json::obj(relation_fields(rel))
 }
 
 /// Encodes a [`BeasAnswer`] for the wire, including the answer digest.
@@ -527,6 +707,57 @@ mod tests {
             ]
         );
         assert_eq!(batch.inserts()[1].1, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn query_encoding_round_trips_structurally() {
+        let s = schema();
+        // an aggregate over a union of joins, binds and filters — the full
+        // grammar in one query
+        let mut b = SpcQueryBuilder::new(&s);
+        let h = b.atom("poi", "h").unwrap();
+        let f = b.atom("friend", "f").unwrap();
+        b.bind_const(h, "type", "hotel").unwrap();
+        b.join((h, "price"), (f, "pid")).unwrap();
+        b.filter_const(h, "price", CompareOp::Le, 95i64).unwrap();
+        b.output(h, "city", "city").unwrap();
+        let left = RaQuery::Spc(b.build().unwrap());
+        let mut b = SpcQueryBuilder::new(&s);
+        let h = b.atom("poi", "h2").unwrap();
+        b.bind_const(h, "type", "museum").unwrap();
+        b.filter_const(h, "city", CompareOp::Eq, "LA").unwrap();
+        b.output(h, "city", "city").unwrap();
+        let right = RaQuery::Spc(b.build().unwrap());
+        let query: BeasQuery = AggQuery::new(
+            left.union(right),
+            vec!["city".to_string()],
+            AggFunc::Count,
+            "city",
+            "n",
+        )
+        .unwrap()
+        .into();
+
+        let encoded = query_to_json(&query, &s).unwrap();
+        // survives serialization, not just the in-memory Json value
+        let reparsed = parse(&encoded.to_string()).unwrap();
+        let decoded = query_from_json(&reparsed, &s).unwrap();
+        assert_eq!(decoded, query, "decode ∘ encode must be the identity");
+        // and the round-trip is a fixpoint
+        assert_eq!(query_to_json(&decoded, &s).unwrap(), encoded);
+    }
+
+    #[test]
+    fn query_encoding_rejects_var_var_selections() {
+        let s = schema();
+        let mut b = SpcQueryBuilder::new(&s);
+        let h = b.atom("poi", "h").unwrap();
+        let f = b.atom("friend", "f").unwrap();
+        b.filter_cols((h, "price"), CompareOp::Ge, (f, "pid"))
+            .unwrap();
+        b.output(h, "city", "city").unwrap();
+        let query: BeasQuery = b.build().unwrap().into();
+        assert!(query_to_json(&query, &s).is_err());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Distributed serving: a 3-node cluster answering under a shared budget.
+//!
+//! Builds a three-relation database, partitions it round-robin across three
+//! shard nodes (one full BEAS engine each), and answers through the
+//! coordinator: the total budget is split shard-by-shard (tariff floor +
+//! size-proportional slack), each shard runs its bounded fetches and
+//! single-shard leaves locally, and the coordinator merges — bit-for-bit
+//! equal to a single node holding everything, which this example both
+//! asserts and prints (the `cluster-smoke` CI job diffs the two digest
+//! lines).
+//!
+//! ```text
+//! cargo run --example cluster
+//! ```
+
+use beas::prelude::*;
+use beas_bench::cluster::{
+    demo_cluster_constraint, demo_cluster_db, demo_cluster_join, demo_cluster_query,
+};
+
+fn main() {
+    let rows = 6_000;
+    let db = demo_cluster_db(rows);
+    println!(
+        "database: {} relations, {} tuples",
+        db.schema.relations.len(),
+        db.total_tuples()
+    );
+
+    // ---------------------------------------------------------- the cluster
+    // three shard nodes, one relation each; every shard builds its own
+    // access templates over its partition (C1 runs where the data lives)
+    let cluster = ClusterHandle::builder(db.clone(), 3)
+        .constraint(demo_cluster_constraint())
+        .build()
+        .expect("cluster build");
+    println!(
+        "cluster: {} shards, partition sizes {:?}, {} catalog families",
+        cluster.shards(),
+        cluster.partition_sizes(),
+        cluster.catalog().len(),
+    );
+
+    // the reference: one node holding the whole database
+    let single = Beas::builder(db)
+        .constraint(demo_cluster_constraint())
+        .build()
+        .expect("single-node build");
+
+    // -------------------------------------------- scatter-gather answering
+    let spec = ResourceSpec::Ratio(0.1);
+    for (label, query) in [
+        (
+            "NYC hotel prices (shard-local leaf)",
+            demo_cluster_query(cluster.schema()),
+        ),
+        (
+            "people x hotels join (cross-shard merge)",
+            demo_cluster_join(cluster.schema()),
+        ),
+    ] {
+        let ours = cluster.answer(&query, spec).expect("cluster answer");
+        let theirs = single.answer(&query, spec).expect("single-node answer");
+        println!("\n{label} @ {spec}:");
+        println!(
+            "  {} answers, eta = {:.4}, accessed {} of budget {}",
+            ours.answers.len(),
+            ours.eta,
+            ours.accessed,
+            ours.budget
+        );
+        println!("  cluster digest:     {:016x}", ours.answers.digest());
+        println!("  single-node digest: {:016x}", theirs.answers.digest());
+        assert_eq!(ours.answers.digest(), theirs.answers.digest());
+        assert_eq!(ours.eta.to_bits(), theirs.eta.to_bits());
+        assert_eq!(ours.accessed, theirs.accessed);
+    }
+
+    // ------------------------------------- distributed refinement sessions
+    // shard ExecStates stay open across steps, so later rungs of the ladder
+    // reuse fragments already fetched by earlier ones — on the node that
+    // fetched them
+    let query = demo_cluster_query(cluster.schema());
+    let mut session = cluster
+        .session(
+            &query,
+            RefinementSchedule::ratios(&[0.02, 0.1, 1.0]).unwrap(),
+        )
+        .expect("cluster session");
+    println!("\nprogressive refinement through the coordinator:");
+    while let Some(step) = session.next_step() {
+        let step = step.expect("refinement step");
+        println!(
+            "  step {}/{}: eta = {:.4}, budget {} (spent {} cumulative, {} reused)",
+            step.step, step.steps, step.eta, step.budget, step.budget_spent, step.reused_tuples
+        );
+    }
+    drop(session);
+
+    // ------------------------------------------------- coordinator metrics
+    // per-shard budget allocation + latency and merge time, as served under
+    // GET /metrics
+    let server = cluster
+        .serve_metrics("127.0.0.1:0")
+        .expect("metrics endpoint");
+    println!("\nmetrics endpoint: http://{}/metrics", server.addr());
+    println!("{}", cluster.metrics().to_json());
+    server.shutdown();
+}

@@ -17,6 +17,9 @@
 //!   per-tenant budget-aware admission control (token buckets in budget
 //!   tuples per second, in-flight caps, bounded queues → `429` +
 //!   `Retry-After`);
+//! * [`cluster`] — distributed bounded execution: a coordinator plus shard
+//!   nodes with budget-proportional scatter-gather, whose answers are
+//!   bit-for-bit equal to a single node at the same total budget;
 //! * [`baselines`] — uniform sampling, histograms and BlinkDB-style stratified
 //!   sampling, for comparison;
 //! * [`workloads`] — synthetic TPCH/AIRCA/TFACC-like datasets and a random
@@ -96,6 +99,7 @@
 
 pub use beas_access as access;
 pub use beas_baselines as baselines;
+pub use beas_cluster as cluster;
 pub use beas_core as core;
 pub use beas_relal as relal;
 pub use beas_serve as serve;
@@ -108,6 +112,9 @@ pub mod prelude {
         AtOptions, BudgetPolicy, Catalog, FetchSession, ResourceSpec,
     };
     pub use beas_baselines::{Baseline, BlinkSim, Histo, Sampl};
+    pub use beas_cluster::{
+        ClusterBuilder, ClusterHandle, ClusterMetrics, ClusterSession, ClusterStep,
+    };
     pub use beas_core::{
         exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery,
         AnswerSession, Beas, BeasAnswer, BeasBuilder, BeasQuery, BoundedPlan, ConstraintSpec,
