@@ -116,11 +116,12 @@ pub fn build_constraint(
         relation: relation.to_string(),
         x: x_attrs.iter().map(|s| s.to_string()).collect(),
         y: y_attrs.iter().map(|s| s.to_string()).collect(),
-        levels: vec![Level {
-            n: max_group.max(1),
-            resolution: vec![0.0; y_attrs.len()],
-            buckets: out_buckets,
-        }],
+        levels: vec![Level::from_buckets(
+            max_group.max(1),
+            vec![0.0; y_attrs.len()],
+            x_attrs.len(),
+            out_buckets,
+        )],
         from_constraint: true,
     })
 }
@@ -190,11 +191,7 @@ fn build_family(
             relation: relation.to_string(),
             x: x_attrs.iter().map(|s| s.to_string()).collect(),
             y: y_attrs.iter().map(|s| s.to_string()).collect(),
-            levels: vec![Level {
-                n: 0,
-                resolution: vec![0.0; y_attrs.len()],
-                buckets: FxHashMap::default(),
-            }],
+            levels: vec![Level::new(0, vec![0.0; y_attrs.len()], x_attrs.len())],
             from_constraint: false,
         });
     }
@@ -236,11 +233,7 @@ fn build_family(
             }
             buckets.insert(key.clone(), lr.reps.clone());
         }
-        Level {
-            n: n.max(1),
-            resolution,
-            buckets,
-        }
+        Level::from_buckets(n.max(1), resolution, x_attrs.len(), buckets)
     });
 
     Ok(TemplateFamily {
@@ -344,7 +337,7 @@ mod tests {
     fn constraint_n_is_max_group_size() {
         let db = poi_db(30);
         let f = build_constraint(&db, "poi", &["type"], &["city", "price"]).unwrap();
-        let max_bucket = f.levels[0].buckets.values().map(|v| v.len()).max().unwrap();
+        let max_bucket = f.levels[0].max_bucket_len();
         assert_eq!(f.levels[0].n, max_bucket);
     }
 

@@ -10,6 +10,23 @@
 //! family degenerates to an access constraint when enough budget is available
 //! — this is what lets BEAS return exact answers for boundedly evaluable
 //! queries.
+//!
+//! # Columnar level format
+//!
+//! A [`Level`] stores its data column-oriented, exactly like a
+//! [`Relation`]: one typed [`Column`] per X attribute (one row per distinct
+//! X-key, interned once) and one typed [`Column`] per Y attribute (one row
+//! per representative), with representative multiplicities and per-attribute
+//! sums in parallel plain vectors. A hash index maps each X-key to its *slot*
+//! and each slot to the ids of its representatives, in insertion order.
+//! Strings live in per-column dictionaries, so
+//! [`TemplateFamily::materialize`] is a pure gather: the output columns are
+//! built by copying codes/raw slices out of the level columns (dictionaries
+//! are shared by `Arc`), with no per-value [`Value`] conversion on the fetch
+//! path. [`Rep`] remains the row-shaped conversion boundary used by builders
+//! and tests.
+
+use std::cmp::Ordering;
 
 use beas_relal::{Column, DistanceKind, FxHashMap, Relation, Value};
 
@@ -23,7 +40,9 @@ pub type FamilyId = usize;
 /// for sum/count/avg).
 pub const WEIGHT_COLUMN: &str = "__weight";
 
-/// A representative Y-tuple stored in an index level.
+/// A representative Y-tuple of an index level, in row form — the conversion
+/// boundary of the columnar level storage, used when building levels and
+/// inspecting them ([`TemplateFamily::lookup`]); fetches bypass it entirely.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Rep {
     /// The representative's Y-values.
@@ -36,20 +55,148 @@ pub struct Rep {
     pub sums: Vec<Option<f64>>,
 }
 
-/// One resolution level of a template family.
-#[derive(Debug, Clone, PartialEq)]
+/// One resolution level of a template family, stored column-oriented (see
+/// the [module docs](self) for the format).
+#[derive(Debug, Clone)]
 pub struct Level {
     /// The cardinality bound `N`: the maximum number of representatives
     /// returned for any X-value at this level.
     pub n: usize,
     /// Per-Y-attribute resolution `d̄_Y`.
     pub resolution: Vec<f64>,
-    /// Index: X-value → representatives (fast-hashed: lookups are the hot
-    /// path of every fetch).
-    pub buckets: FxHashMap<Vec<Value>, Vec<Rep>>,
+    /// X-value → slot (fast-hashed: lookups are the hot path of every
+    /// fetch).
+    index: FxHashMap<Vec<Value>, u32>,
+    /// One typed column per X attribute; row `s` holds the X-key of slot `s`.
+    xcols: Vec<Column>,
+    /// Slot → representative ids, in per-key insertion order.
+    key_reps: Vec<Vec<u32>>,
+    /// One typed column per Y attribute; row `i` holds representative `i`'s
+    /// value.
+    ycols: Vec<Column>,
+    /// Representative multiplicities (stored as `i64`: the weight column is
+    /// copied out of this vector verbatim).
+    counts: Vec<i64>,
+    /// Per-Y-attribute running sums, parallel to `ycols` rows.
+    sum_vals: Vec<Vec<f64>>,
+    /// Validity of each running sum (`false` once a non-numeric value was
+    /// absorbed).
+    sum_some: Vec<Vec<bool>>,
+}
+
+/// `dis(column[id], v)` under `dk`, without materialising the column value:
+/// equality is decided by [`Column::cmp_value`] (the total order of
+/// [`Value`], hence exactly `DistanceKind::distance`'s equality test) and the
+/// non-equal branch reads raw floats.
+fn distance_at(col: &Column, id: usize, v: &Value, dk: DistanceKind) -> f64 {
+    if col.cmp_value(id, v) == Ordering::Equal {
+        return 0.0;
+    }
+    match (col.f64_at(id), v.as_f64()) {
+        (Some(x), Some(y)) => dk.numeric_gap(x, y),
+        _ => match dk {
+            DistanceKind::Categorical => 1.0,
+            _ => f64::INFINITY,
+        },
+    }
 }
 
 impl Level {
+    /// An empty level with the given cardinality bound, resolution vector
+    /// (one entry per Y attribute) and X arity.
+    pub fn new(n: usize, resolution: Vec<f64>, x_arity: usize) -> Level {
+        let y_arity = resolution.len();
+        Level {
+            n,
+            resolution,
+            index: FxHashMap::default(),
+            xcols: vec![Column::untyped(); x_arity],
+            key_reps: Vec::new(),
+            ycols: vec![Column::untyped(); y_arity],
+            counts: Vec::new(),
+            sum_vals: vec![Vec::new(); y_arity],
+            sum_some: vec![Vec::new(); y_arity],
+        }
+    }
+
+    /// Builds a level from row-shaped buckets (X-value → representatives),
+    /// the exchange format produced by the index builders. Per-key
+    /// representative order is preserved.
+    pub fn from_buckets(
+        n: usize,
+        resolution: Vec<f64>,
+        x_arity: usize,
+        buckets: FxHashMap<Vec<Value>, Vec<Rep>>,
+    ) -> Level {
+        let mut level = Level::new(n, resolution, x_arity);
+        for (key, reps) in buckets {
+            let slot = level.insert_key(key);
+            for rep in reps {
+                level.push_rep(slot, rep);
+            }
+        }
+        level
+    }
+
+    /// Registers a new X-key, returning its slot.
+    fn insert_key(&mut self, key: Vec<Value>) -> usize {
+        debug_assert_eq!(key.len(), self.xcols.len());
+        debug_assert!(!self.index.contains_key(&key));
+        let slot = self.key_reps.len();
+        for (col, v) in self.xcols.iter_mut().zip(&key) {
+            col.push_ref(v);
+        }
+        self.key_reps.push(Vec::new());
+        self.index.insert(key, slot as u32);
+        slot
+    }
+
+    /// Appends one representative under `slot`.
+    fn push_rep(&mut self, slot: usize, rep: Rep) {
+        debug_assert_eq!(rep.values.len(), self.ycols.len());
+        debug_assert_eq!(rep.sums.len(), self.ycols.len());
+        let id = self.counts.len() as u32;
+        for (j, v) in rep.values.iter().enumerate() {
+            self.ycols[j].push_ref(v);
+            match rep.sums[j] {
+                Some(s) => {
+                    self.sum_vals[j].push(s);
+                    self.sum_some[j].push(true);
+                }
+                None => {
+                    self.sum_vals[j].push(0.0);
+                    self.sum_some[j].push(false);
+                }
+            }
+        }
+        self.counts.push(rep.count as i64);
+        self.key_reps[slot].push(id);
+    }
+
+    /// Reconstructs representative `id` in row form.
+    fn rep_at(&self, id: usize) -> Rep {
+        Rep {
+            values: self.ycols.iter().map(|c| c.value(id)).collect(),
+            count: self.counts[id] as u64,
+            sums: (0..self.ycols.len())
+                .map(|j| self.sum_some[j][id].then_some(self.sum_vals[j][id]))
+                .collect(),
+        }
+    }
+
+    /// The representatives stored under `xkey`, in row form (empty when the
+    /// X-value is absent). Materialises values — inspection/test path; fetch
+    /// goes through [`TemplateFamily::materialize`] instead.
+    pub fn reps_for(&self, xkey: &[Value]) -> Vec<Rep> {
+        match self.index.get(xkey) {
+            Some(&slot) => self.key_reps[slot as usize]
+                .iter()
+                .map(|&id| self.rep_at(id as usize))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
     /// `true` when this level is an access constraint (resolution `0̄`).
     pub fn is_exact(&self) -> bool {
         self.resolution.iter().all(|&r| r == 0.0)
@@ -62,7 +209,96 @@ impl Level {
 
     /// Number of representative tuples stored at this level.
     pub fn stored_tuples(&self) -> usize {
-        self.buckets.values().map(|v| v.len()).sum()
+        self.counts.len()
+    }
+
+    /// The distinct X-keys stored at this level, in slot (insertion) order —
+    /// the key population a full-fan-out [`TemplateFamily::materialize`]
+    /// would be handed.
+    ///
+    /// [`TemplateFamily::materialize`]: super::family::TemplateFamily::materialize
+    pub fn xkeys(&self) -> Vec<Vec<Value>> {
+        let mut keys: Vec<(u32, Vec<Value>)> = self
+            .index
+            .iter()
+            .map(|(key, &slot)| (slot, key.clone()))
+            .collect();
+        keys.sort_unstable_by_key(|&(slot, _)| slot);
+        keys.into_iter().map(|(_, key)| key).collect()
+    }
+
+    /// The largest number of representatives stored under any single X-key.
+    pub fn max_bucket_len(&self) -> usize {
+        self.key_reps.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Absorbs one `(xkey, yval)` pair into this level (see
+    /// [`TemplateFamily::absorb`]).
+    fn absorb_one(&mut self, xkey: &[Value], yval: &[Value], dists: &[DistanceKind]) {
+        let slot = match self.index.get(xkey) {
+            Some(&s) => s as usize,
+            // avoid cloning the key on the common already-seen-X path
+            None => self.insert_key(xkey.to_vec()),
+        };
+        let covered = self.key_reps[slot].iter().copied().find(|&id| {
+            let id = id as usize;
+            self.ycols
+                .iter()
+                .zip(yval)
+                .zip(&self.resolution)
+                .zip(dists)
+                .all(|(((col, nv), res), dk)| distance_at(col, id, nv, *dk) <= *res)
+        });
+        match covered {
+            Some(id) => {
+                let id = id as usize;
+                self.counts[id] += 1;
+                for (j, v) in yval.iter().enumerate() {
+                    match (self.sum_some[j][id], v.as_f64()) {
+                        (true, Some(x)) => self.sum_vals[j][id] += x,
+                        (_, None) => self.sum_some[j][id] = false,
+                        _ => {}
+                    }
+                }
+            }
+            None => {
+                let id = self.counts.len() as u32;
+                for (j, v) in yval.iter().enumerate() {
+                    self.ycols[j].push_ref(v);
+                    match v.as_f64() {
+                        Some(x) => {
+                            self.sum_vals[j].push(x);
+                            self.sum_some[j].push(true);
+                        }
+                        None => {
+                            self.sum_vals[j].push(0.0);
+                            self.sum_some[j].push(false);
+                        }
+                    }
+                }
+                self.counts.push(1);
+                self.key_reps[slot].push(id);
+                self.n = self.n.max(self.key_reps[slot].len());
+            }
+        }
+    }
+}
+
+/// Logical equality: same bound, resolution, X-key set and per-key
+/// representative sequences. The physical slot/id layout (which depends on
+/// the bucket iteration order of the build) is deliberately not compared, so
+/// sequential and threaded builds of the same data compare equal — exactly
+/// the map-equality semantics of the previous row-shaped representation
+/// (including its `NaN ≠ NaN` behaviour on sums).
+impl PartialEq for Level {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.resolution == other.resolution
+            && self.index.len() == other.index.len()
+            && self
+                .index
+                .keys()
+                .all(|k| other.index.contains_key(k) && self.reps_for(k) == other.reps_for(k))
     }
 }
 
@@ -130,11 +366,12 @@ impl TemplateFamily {
         self.levels.iter().map(|l| l.stored_tuples()).sum()
     }
 
-    /// The representatives for `xkey` at level `k` (empty when the X-value is
-    /// absent from the data).
-    pub fn lookup(&self, k: usize, xkey: &[Value]) -> Result<&[Rep]> {
+    /// The representatives for `xkey` at level `k`, in row form (empty when
+    /// the X-value is absent from the data). Materialises values —
+    /// inspection/test path; fetches use [`TemplateFamily::materialize`].
+    pub fn lookup(&self, k: usize, xkey: &[Value]) -> Result<Vec<Rep>> {
         let level = self.level(k)?;
-        Ok(level.buckets.get(xkey).map(|v| v.as_slice()).unwrap_or(&[]))
+        Ok(level.reps_for(xkey))
     }
 
     /// The column names of the relation produced by fetching this family:
@@ -149,58 +386,41 @@ impl TemplateFamily {
     /// Materialises the fetch result for a set of X-keys at level `k`, without
     /// any budget accounting (used by tests and by [`FetchSession`]).
     ///
-    /// Columnar construction: each X-key value is interned/typed once and
-    /// repeated for all representatives under its key, Y values are appended
-    /// column by column, and the weight column is built directly as an
-    /// integer vector.
+    /// Zero-conversion gather: each X-key resolves to its slot, the slot's
+    /// representative ids select rows, and every output column is one
+    /// [`Column::gather`] over the level's typed columns — dictionary codes
+    /// and raw `i64`/`f64` values are copied as-is (string dictionaries are
+    /// shared by `Arc`), and the weight column is sliced directly out of the
+    /// multiplicity vector. No [`Value`] is created anywhere on this path.
     ///
     /// [`FetchSession`]: crate::fetch::FetchSession
     pub fn materialize(&self, k: usize, xkeys: &[Vec<Value>]) -> Result<Relation> {
         let level = self.level(k)?;
-        let hits: Vec<(&Vec<Value>, &[Rep])> = xkeys
+        let slots: Vec<u32> = xkeys
             .iter()
-            .map(|key| {
-                let reps = level.buckets.get(key).map(|v| v.as_slice()).unwrap_or(&[]);
-                (key, reps)
-            })
+            .filter_map(|key| level.index.get(key).copied())
             .collect();
-        let total: usize = hits.iter().map(|(_, reps)| reps.len()).sum();
-
-        // type each column from the first materialised value (identical to
-        // push-typing, since that value would have typed the column anyway)
-        // so the exact capacity can be reserved up front
-        let first_hit = hits.iter().find(|(_, reps)| !reps.is_empty());
+        let total: usize = slots
+            .iter()
+            .map(|&s| level.key_reps[s as usize].len())
+            .sum();
+        let mut xidx: Vec<usize> = Vec::with_capacity(total);
+        let mut yidx: Vec<usize> = Vec::with_capacity(total);
+        for &s in &slots {
+            let reps = &level.key_reps[s as usize];
+            xidx.extend(std::iter::repeat_n(s as usize, reps.len()));
+            yidx.extend(reps.iter().map(|&id| id as usize));
+        }
         let mut cols: Vec<Column> = Vec::with_capacity(self.x.len() + self.y.len() + 1);
-        for j in 0..self.x.len() {
-            let mut col = match first_hit {
-                Some((key, _)) => Column::for_value(&key[j]),
-                None => Column::untyped(),
-            };
-            col.reserve(total);
-            for (key, reps) in &hits {
-                col.push_repeat(key[j].clone(), reps.len());
-            }
-            cols.push(col);
+        for c in &level.xcols {
+            cols.push(c.gather(&xidx));
         }
-        for j in 0..self.y.len() {
-            let mut col = match first_hit {
-                Some((_, reps)) => Column::for_value(&reps[0].values[j]),
-                None => Column::untyped(),
-            };
-            col.reserve(total);
-            for (_, reps) in &hits {
-                for rep in *reps {
-                    col.push_ref(&rep.values[j]);
-                }
-            }
-            cols.push(col);
+        for c in &level.ycols {
+            cols.push(c.gather(&yidx));
         }
-        let mut weights: Vec<i64> = Vec::with_capacity(total);
-        for (_, reps) in &hits {
-            weights.extend(reps.iter().map(|r| r.count as i64));
-        }
-        cols.push(Column::Int(weights));
-
+        cols.push(Column::Int(
+            yidx.iter().map(|&id| level.counts[id]).collect(),
+        ));
         Ok(Relation::from_columns(self.output_columns(), cols)
             .expect("per-column materialisation keeps all columns aligned"))
     }
@@ -223,40 +443,7 @@ impl TemplateFamily {
         debug_assert_eq!(yval.len(), self.y.len());
         debug_assert_eq!(dists.len(), self.y.len());
         for level in &mut self.levels {
-            // avoid cloning the key on the common already-seen-X path
-            if !level.buckets.contains_key(xkey) {
-                level.buckets.insert(xkey.to_vec(), Vec::new());
-            }
-            let bucket = level.buckets.get_mut(xkey).expect("bucket just ensured");
-            let covered = bucket.iter_mut().find(|rep| {
-                rep.values
-                    .iter()
-                    .zip(yval)
-                    .zip(&level.resolution)
-                    .zip(dists)
-                    .all(|(((rv, nv), res), dk)| dk.distance(rv, nv) <= *res)
-            });
-            match covered {
-                Some(rep) => {
-                    rep.count += 1;
-                    for (j, v) in yval.iter().enumerate() {
-                        match (&mut rep.sums[j], v.as_f64()) {
-                            (Some(acc), Some(x)) => *acc += x,
-                            (s, None) => *s = None,
-                            _ => {}
-                        }
-                    }
-                }
-                None => {
-                    bucket.push(Rep {
-                        values: yval.to_vec(),
-                        count: 1,
-                        sums: yval.iter().map(|v| v.as_f64()).collect(),
-                    });
-                    let bucket_len = bucket.len();
-                    level.n = level.n.max(bucket_len);
-                }
-            }
+            level.absorb_one(xkey, yval, dists);
         }
     }
 
@@ -318,16 +505,8 @@ mod tests {
             x: vec!["city".into()],
             y: vec!["price".into()],
             levels: vec![
-                Level {
-                    n: 1,
-                    resolution: vec![10.0],
-                    buckets: coarse,
-                },
-                Level {
-                    n: 2,
-                    resolution: vec![0.0],
-                    buckets: exact,
-                },
+                Level::from_buckets(1, vec![10.0], 1, coarse),
+                Level::from_buckets(2, vec![0.0], 1, exact),
             ],
             from_constraint: false,
         }
@@ -364,6 +543,27 @@ mod tests {
     }
 
     #[test]
+    fn lookup_round_trips_reps_through_the_columnar_form() {
+        let f = family_with_two_levels();
+        let reps = f.lookup(1, &[Value::from("NYC")]).unwrap();
+        assert_eq!(
+            reps,
+            vec![
+                Rep {
+                    values: vec![Value::Double(90.0)],
+                    count: 1,
+                    sums: vec![Some(90.0)],
+                },
+                Rep {
+                    values: vec![Value::Double(100.0)],
+                    count: 1,
+                    sums: vec![Some(100.0)],
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn materialize_produces_x_y_weight_columns() {
         let f = family_with_two_levels();
         let rel = f.materialize(1, &[vec![Value::from("NYC")]]).unwrap();
@@ -373,10 +573,21 @@ mod tests {
     }
 
     #[test]
+    fn materialize_shares_string_dictionaries_with_the_level() {
+        let f = family_with_two_levels();
+        let rel = f.materialize(1, &[vec![Value::from("NYC")]]).unwrap();
+        // the X column comes back dictionary-coded, not re-interned values
+        assert!(matches!(rel.col(0), Column::Str { .. }));
+        assert_eq!(rel.value_at(0, 0), Value::from("NYC"));
+        assert_eq!(rel.value_at(1, 2), Value::Int(1));
+    }
+
+    #[test]
     fn stored_tuples_counts_all_levels() {
         let f = family_with_two_levels();
         assert_eq!(f.stored_tuples(), 3);
         assert_eq!(f.levels[0].stored_tuples(), 1);
+        assert_eq!(f.levels[1].max_bucket_len(), 2);
     }
 
     #[test]
@@ -442,6 +653,33 @@ mod tests {
             });
             assert!(covered, "level {k} does not cover the absorbed tuple");
         }
+    }
+
+    #[test]
+    fn level_equality_ignores_physical_layout() {
+        // two levels with the same logical content built in different key
+        // orders must compare equal (threaded and sequential builds insert
+        // buckets in different orders)
+        let rep = |v: f64| Rep {
+            values: vec![Value::Double(v)],
+            count: 1,
+            sums: vec![Some(v)],
+        };
+        let mut a = Level::new(1, vec![0.0], 1);
+        let sa = a.insert_key(vec![Value::from("NYC")]);
+        a.push_rep(sa, rep(1.0));
+        let sb = a.insert_key(vec![Value::from("LA")]);
+        a.push_rep(sb, rep(2.0));
+        let mut b = Level::new(1, vec![0.0], 1);
+        let sb = b.insert_key(vec![Value::from("LA")]);
+        b.push_rep(sb, rep(2.0));
+        let sa = b.insert_key(vec![Value::from("NYC")]);
+        b.push_rep(sa, rep(1.0));
+        assert_eq!(a, b);
+        // but differing content must not compare equal
+        let sc = b.insert_key(vec![Value::from("SF")]);
+        b.push_rep(sc, rep(3.0));
+        assert_ne!(a, b);
     }
 
     #[test]

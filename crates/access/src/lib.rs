@@ -21,6 +21,14 @@
 //! * **Maintenance (C2)**: [`Catalog::insert_row`] propagates base-table
 //!   inserts into every affected family incrementally via
 //!   [`TemplateFamily::absorb`], keeping `D |= A` without a rebuild.
+//!
+//! Levels are stored **columnar**: one typed dictionary-coded
+//! [`Column`](beas_relal::Column) per X- and Y-attribute (X-keys interned
+//! once per family) plus parallel count/sum vectors, so
+//! [`TemplateFamily::materialize`] — the fetch path of every bounded plan —
+//! is a pure code/slice gather with no `Value` conversions; row-form
+//! [`Rep`] rows remain the inspection and maintenance boundary
+//! (see the [`family`] module docs for the layout).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

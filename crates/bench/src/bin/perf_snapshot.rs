@@ -1,23 +1,28 @@
 //! Writes a small JSON perf snapshot of the serving-critical benchmarks
-//! (`plan_execution`, `concurrent_serving` and the HTTP serving path) with
-//! short, fixed iteration counts — a CI-friendly smoke run whose output
-//! (`BENCH_pr4.json` by default) gives future changes a wall-clock
+//! (`plan_execution` bounded and full-eval, the `materialize` fetch path,
+//! `concurrent_serving` and the HTTP serving path) with short, fixed
+//! iteration counts — a CI-friendly smoke run whose output
+//! (`BENCH_pr7.json` by default) gives future changes a wall-clock
 //! trajectory to compare against.
 //!
 //! ```text
-//! cargo run --release -p beas-bench --bin perf_snapshot -- [OUT.json] [--check BASELINE.json]
+//! cargo run --release -p beas-bench --bin perf_snapshot -- [OUT.json] [--check [BASELINE.json]]
 //! ```
 //!
 //! The snapshot records mean/min wall-clock per measurement plus the answer
 //! digests of the concurrent and network runs, so a regression in either
 //! speed *or* results is visible from the artifact alone.
 //!
-//! With `--check BASELINE.json`, the run additionally compares its
-//! `plan_execution/bounded/*` measurements against the committed baseline
-//! and exits non-zero when a mean regresses beyond the noise allowance
-//! ([`CHECK_TOLERANCE`]×) — the CI perf gate. Best-of-run (`min_s`) is
-//! compared rather than the mean: means absorb scheduler hiccups on shared
-//! CI runners, minima are the repeatable cost.
+//! With `--check`, the run additionally compares its `plan_execution/*`
+//! measurements against a committed baseline and exits non-zero when one
+//! regresses beyond the noise allowance ([`CHECK_TOLERANCE`]×) — the CI
+//! perf gate. A bare `--check` auto-discovers the **newest** committed
+//! `BENCH_pr<N>.json` (highest `N`) in the working directory, so the gate
+//! tightens automatically whenever a PR commits a fresh baseline; an
+//! explicit path pins it. Best-of-run (`min_s`) is compared rather than the
+//! mean: means absorb scheduler hiccups on shared CI runners, minima are
+//! the repeatable cost. Measurements absent from an older baseline are
+//! skipped, so adding a benchmark never breaks the gate retroactively.
 
 use std::time::{Duration, Instant};
 
@@ -61,7 +66,27 @@ fn measure(name: &str, iters: usize, mut f: impl FnMut()) -> Sample {
 /// genuine algorithmic regressions (no longer O(budget)) blow well past it.
 const CHECK_TOLERANCE: f64 = 2.0;
 
-/// Compares this run's `plan_execution/bounded/*` minima against `baseline`
+/// The newest committed `BENCH_pr<N>.json` (highest `N`) in the working
+/// directory — the default `--check` baseline.
+fn newest_committed_baseline() -> Option<String> {
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(n) = name
+            .strip_prefix("BENCH_pr")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|num| num.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|&(b, _)| n > b) {
+            best = Some((n, name));
+        }
+    }
+    best.map(|(_, name)| name)
+}
+
+/// Compares this run's `plan_execution/*` minima against `baseline`
 /// (a previous snapshot file); returns the failure messages.
 fn check_against_baseline(samples: &[Sample], baseline_path: &str) -> Vec<String> {
     let text = std::fs::read_to_string(baseline_path)
@@ -78,7 +103,7 @@ fn check_against_baseline(samples: &[Sample], baseline_path: &str) -> Vec<String
         let Some(name) = entry.get("name").and_then(beas_serve::Json::as_str) else {
             continue;
         };
-        if !name.starts_with("plan_execution/bounded/") {
+        if !name.starts_with("plan_execution/") {
             continue;
         }
         let Some(base_min) = entry.get("min_s").and_then(beas_serve::Json::as_f64) else {
@@ -106,7 +131,7 @@ fn check_against_baseline(samples: &[Sample], baseline_path: &str) -> Vec<String
     }
     if checked == 0 {
         failures.push(format!(
-            "baseline {baseline_path} contains no plan_execution/bounded/* entries"
+            "baseline {baseline_path} contains no plan_execution/* entries"
         ));
     }
     failures
@@ -120,11 +145,24 @@ fn main() {
     while i < argv.len() {
         match argv[i].as_str() {
             "--check" => {
-                baseline = Some(argv.get(i + 1).cloned().unwrap_or_else(|| {
-                    eprintln!("--check needs a baseline file");
-                    std::process::exit(2);
-                }));
-                i += 2;
+                // value optional: a bare `--check` gates against the newest
+                // committed BENCH_pr<N>.json in the working directory
+                match argv.get(i + 1) {
+                    Some(path) if !path.starts_with("--") => {
+                        baseline = Some(path.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        baseline = Some(newest_committed_baseline().unwrap_or_else(|| {
+                            eprintln!(
+                                "--check: no committed BENCH_pr<N>.json baseline found \
+                                 in the working directory"
+                            );
+                            std::process::exit(2);
+                        }));
+                        i += 1;
+                    }
+                }
             }
             other if !other.starts_with("--") && out_path.is_none() => {
                 out_path = Some(other.to_string());
@@ -136,7 +174,7 @@ fn main() {
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_pr6.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr7.json".to_string());
     const ITERS: usize = 5;
     let mut samples: Vec<Sample> = Vec::new();
 
@@ -163,6 +201,64 @@ fn main() {
                 }
             },
         ));
+    }
+
+    // ------------------------------------------------ plan_execution (full)
+    // exact evaluation of the same workload over the full data: the
+    // end-to-end mask-kernel scan/join/aggregate path with no budget
+    {
+        let profile = BenchProfile {
+            scale: 2,
+            queries: 5,
+            ..BenchProfile::quick()
+        };
+        let prep = prepare(tpch_lite(2, 42), &profile);
+        let db = prep.db();
+        let exprs: Vec<_> = prep
+            .queries
+            .iter()
+            .filter_map(|gq| gq.query.to_query_expr(&db.schema).ok())
+            .collect();
+        assert!(!exprs.is_empty(), "full-eval workload produced no queries");
+        samples.push(measure("plan_execution/full_eval", ITERS, || {
+            for expr in &exprs {
+                let out = beas_relal::eval_query(expr, &*db).expect("full eval");
+                std::hint::black_box(out.len());
+            }
+        }));
+    }
+
+    // ------------------------------------------------- access (materialize)
+    // the zero-conversion fetch path: materialize every stored X-key of the
+    // largest template family's deepest (exact) level into a relation
+    {
+        let profile = BenchProfile {
+            scale: 2,
+            queries: 5,
+            ..BenchProfile::quick()
+        };
+        let prep = prepare(tpch_lite(2, 42), &profile);
+        let family = prep
+            .beas
+            .catalog()
+            .families()
+            .iter()
+            .max_by_key(|f| f.levels.last().map_or(0, |l| l.stored_tuples()))
+            .expect("at least one template family")
+            .clone();
+        let deepest = family.levels.len() - 1;
+        let xkeys = family.levels[deepest].xkeys();
+        let mut s = measure("access/materialize/deepest", ITERS, || {
+            let rel = family
+                .materialize(deepest, &xkeys)
+                .expect("materialize deepest level");
+            std::hint::black_box(rel.len());
+        });
+        s.extra.push((
+            "tuples".to_string(),
+            family.levels[deepest].stored_tuples().to_string(),
+        ));
+        samples.push(s);
     }
 
     // --------------------------------------------------- concurrent_serving

@@ -369,6 +369,142 @@ pub fn fig6l_efficiency(profile: &BenchProfile) -> Table {
     table
 }
 
+/// Beyond the paper: the kernel-layer microbenchmark behind the chunked
+/// selection path. One row per operator shape, timing the row-at-a-time
+/// scalar reference ([`Predicate::selection_scalar`]) against the fused
+/// chunked mask kernels ([`Predicate::selection`]) over the same
+/// deterministic relation — whose row count is deliberately *not* a multiple
+/// of the mask word, so every kernel also exercises its scalar tail, and
+/// whose float column contains `NaN`/`±0.0`/`±∞`. The `digest` column is the
+/// hash of the selected row indices; the two paths are asserted bit-equal
+/// in code before the row is emitted, so a printed digest is by construction
+/// the digest of *both* paths (CI diffs these digests across target-cpu
+/// builds).
+///
+/// [`Predicate::selection`]: beas_relal::Predicate::selection
+/// [`Predicate::selection_scalar`]: beas_relal::Predicate::selection_scalar
+pub fn fig_kernels(profile: &BenchProfile) -> Table {
+    use beas_relal::kernel::{LANE_WIDTH, MASK_CHUNK};
+    use beas_relal::{CompareOp, DistanceKind, Predicate, PredicateAtom, Relation, Row, Value};
+    use std::hash::{Hash, Hasher};
+    use std::time::Instant;
+
+    let n = 48 * 1024 * profile.scale.max(1) + 37;
+    let cities = [
+        "NYC", "LA", "Chicago", "Boston", "Seattle", "Austin", "Denver", "Miami",
+    ];
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            let x = match i % 101 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::NAN,
+                3 => f64::INFINITY,
+                m => (m as f64) - 50.0,
+            };
+            vec![
+                Value::Int((i as i64 * 37) % 1024),
+                Value::Double(x),
+                Value::Double(((i % 97) as f64 - 48.0) * 0.5),
+                Value::from(cities[i % cities.len()]),
+            ]
+        })
+        .collect();
+    let rel = Relation::new(vec!["i".into(), "x".into(), "y".into(), "s".into()], rows)
+        .expect("kernel bench relation");
+
+    let operators: Vec<(&str, Predicate)> = vec![
+        (
+            "int < const",
+            Predicate::all(vec![PredicateAtom::col_cmp_const(
+                "i",
+                CompareOp::Lt,
+                512i64,
+            )]),
+        ),
+        (
+            "float < const",
+            Predicate::all(vec![PredicateAtom::col_cmp_const(
+                "x",
+                CompareOp::Lt,
+                Value::Double(0.0),
+            )]),
+        ),
+        (
+            "str = const",
+            Predicate::all(vec![PredicateAtom::col_eq_const("s", "NYC")]),
+        ),
+        (
+            "float ~ const (tol)",
+            Predicate::all(vec![PredicateAtom::col_eq_const("x", Value::Double(10.0))
+                .relaxed(DistanceKind::Numeric, 5.0)]),
+        ),
+        (
+            "col ~ col band",
+            Predicate::all(vec![
+                PredicateAtom::col_eq_col("x", "y").relaxed(DistanceKind::Numeric, 3.0)
+            ]),
+        ),
+        (
+            "fused 3-atom AND",
+            Predicate::all(vec![
+                PredicateAtom::col_cmp_const("i", CompareOp::Lt, 768i64),
+                PredicateAtom::col_cmp_const("x", CompareOp::Gt, Value::Double(-20.0)),
+                PredicateAtom::col_eq_const("s", "LA"),
+            ]),
+        ),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Kernels: scalar reference vs chunked mask kernels \
+             (|rows| = {n}, lane = {LANE_WIDTH}, mask word = {MASK_CHUNK} rows; \
+             digest column covers both paths, asserted bit-equal)"
+        ),
+        vec![
+            "operator",
+            "selected",
+            "scalar_ns/row",
+            "kernel_ns/row",
+            "speedup",
+            "digest",
+        ],
+    );
+    const REPS: usize = 5;
+    let best_of = |f: &dyn Fn() -> Vec<usize>| -> (Vec<usize>, f64) {
+        let mut best = f64::INFINITY;
+        let mut out = Vec::new();
+        for _ in 0..REPS {
+            let start = Instant::now();
+            out = f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (out, best)
+    };
+    for (name, pred) in &operators {
+        let (scalar_idx, scalar_s) =
+            best_of(&|| pred.selection_scalar(&rel).expect("scalar selection"));
+        let (kernel_idx, kernel_s) = best_of(&|| pred.selection(&rel).expect("kernel selection"));
+        assert_eq!(
+            scalar_idx, kernel_idx,
+            "{name}: chunked kernel selection diverged from the scalar reference"
+        );
+        let mut hasher = beas_relal::FxHasher::default();
+        kernel_idx.hash(&mut hasher);
+        let scalar_ns = scalar_s * 1e9 / n as f64;
+        let kernel_ns = kernel_s * 1e9 / n as f64;
+        table.push_row(vec![
+            name.to_string(),
+            kernel_idx.len().to_string(),
+            format!("{scalar_ns:.2}"),
+            format!("{kernel_ns:.2}"),
+            format!("{:.2}x", scalar_ns / kernel_ns.max(1e-12)),
+            format!("{:016x}", hasher.finish()),
+        ]);
+    }
+    table
+}
+
 /// Beyond the paper: the serving-path experiment. Answers every workload
 /// query repeatedly at each spec of the profile, planning from scratch per
 /// request vs. through a cached [`PreparedQuery`], and reports the speedup
@@ -431,9 +567,10 @@ pub fn fig_concurrency(profile: &BenchProfile) -> Table {
 
     let mut table = Table::new(
         format!(
-            "TPCH: concurrent serving and parallel build, varying threads (spec = {spec}, |D| = {}, min_shard_rows = {} [calibrated])",
+            "TPCH: concurrent serving and parallel build, varying threads (spec = {spec}, |D| = {}, min_shard_rows = {} [calibrated], mask_chunk = {} rows)",
             prep.size(),
-            prep.beas.min_shard_rows()
+            prep.beas.min_shard_rows(),
+            beas_relal::kernel::MASK_CHUNK
         ),
         vec![
             "threads",
@@ -714,6 +851,7 @@ pub fn all_figures(profile: &BenchProfile) -> Vec<Table> {
         fig6k_index_size(profile),
         fig6l_efficiency(profile),
         fig_plan_cache(profile),
+        fig_kernels(profile),
         fig_concurrency(profile),
         fig_serving(profile),
         fig_refinement(profile),
@@ -875,6 +1013,23 @@ mod tests {
             .and_then(|rest| rest.trim_end_matches(')').parse().ok())
             .unwrap();
         assert!(hits >= 1, "no shared-cache hit recorded: {}", t.title);
+    }
+
+    #[test]
+    fn kernel_table_reports_every_operator_with_a_digest() {
+        let t = fig_kernels(&tiny_profile());
+        assert_eq!(t.rows.len(), 6);
+        for row in &t.rows {
+            // non-trivial selections with positive per-row costs
+            let selected: usize = row[1].parse().unwrap();
+            assert!(selected > 0, "{}: empty selection", row[0]);
+            let scalar: f64 = row[2].parse().unwrap();
+            let kernel: f64 = row[3].parse().unwrap();
+            assert!(scalar > 0.0 && kernel > 0.0);
+            // the digest column is a 16-hex-digit index hash (CI greps it)
+            assert_eq!(row[5].len(), 16, "{}: bad digest {}", row[0], row[5]);
+            assert!(row[5].chars().all(|c| c.is_ascii_hexdigit()));
+        }
     }
 
     #[test]

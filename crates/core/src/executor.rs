@@ -72,8 +72,8 @@ use std::sync::Arc;
 
 use beas_access::{Catalog, FetchSession, ResourceSpec, WEIGHT_COLUMN};
 use beas_relal::{
-    aggregate_relation, eval_bag, eval_set, CompareOp, GroupByQuery, Predicate, PredicateAtom,
-    RaExpr, Relation, SelCond, SpcQuery, Value,
+    aggregate_relation, eval_bag, eval_set, Column, CompareOp, GroupByQuery, Predicate,
+    PredicateAtom, RaExpr, Relation, SelCond, SpcQuery, Value,
 };
 
 use crate::error::{BeasError, Result};
@@ -132,22 +132,29 @@ fn measure_min_shard_rows() -> usize {
     }
     let spawn_s = start.elapsed().as_secs_f64() / SPAWN_ITERS as f64;
 
-    // representative per-row leaf work: a predicate kernel over a typed
-    // column producing a selection index vector, applied as a gather — the
-    // shape of the columnar scan path the shards actually run
+    // representative per-row leaf work: the fused chunked-mask predicate
+    // selection over a typed column followed by a per-column gather (see
+    // `beas_relal::kernel`) — the exact columnar scan path the shards run.
+    // Recalibrated at startup so the threshold tracks the kernel cost of
+    // this binary on this machine, not a hard-coded scalar-loop estimate.
     const ROWS: usize = 8 * 1024;
     const EVAL_ITERS: usize = 8;
-    let col: Vec<i64> = (0..ROWS as i64).map(|i| (i * 37) % 1024).collect();
+    let rel = Relation::from_columns(
+        vec!["v".to_string()],
+        vec![Column::Int(
+            (0..ROWS as i64).map(|i| (i * 37) % 1024).collect(),
+        )],
+    )
+    .expect("single aligned column");
+    let pred = Predicate::all(vec![PredicateAtom::col_cmp_const(
+        "v",
+        CompareOp::Lt,
+        512i64,
+    )]);
     let start = Instant::now();
     for _ in 0..EVAL_ITERS {
-        let sel: Vec<usize> = col
-            .iter()
-            .enumerate()
-            .filter(|&(_, &v)| v < 512)
-            .map(|(i, _)| i)
-            .collect();
-        let gathered: Vec<i64> = sel.iter().map(|&i| col[i]).collect();
-        std::hint::black_box(gathered.len());
+        let filtered = pred.filter(&rel).expect("column resolves");
+        std::hint::black_box(filtered.len());
     }
     let per_row_s = start.elapsed().as_secs_f64() / (EVAL_ITERS * ROWS) as f64;
 
@@ -787,7 +794,10 @@ fn evaluate_leaf(
     let mut expr: Option<RaExpr> = None;
     for (ai, atom) in leaf.atoms.iter().enumerate() {
         let node_id = leaf_plan.atom_nodes[ai];
-        let rel = Relation::clone(fragments.require_output(node_id)?);
+        let mut rel = Relation::clone(fragments.require_output(node_id)?);
+        // pre-qualify with the atom alias so the evaluator's scans borrow the
+        // overlay relation instead of re-copying it per evaluation
+        beas_relal::qualify_relation(&mut rel, &atom.alias);
         let name = format!("__atom_{}_{}", leaf_plan.leaf, ai);
         overlay.insert(name.clone(), rel);
         let scan = RaExpr::scan(name, atom.alias.clone());
@@ -925,7 +935,17 @@ fn eval_leaf_expr(
     let mut remaining = overlay
         .remove(&shard_name)
         .expect("shard target chosen from the overlay");
-    let chunk_size = rows.div_ceil(threads);
+    // align shard boundaries to the kernel mask-word stride so every shard
+    // but the last evaluates full 64-row mask words (answers are identical
+    // for any split; alignment only avoids partial-word tails mid-relation)
+    let chunk_size = rows
+        .div_ceil(threads)
+        .next_multiple_of(beas_relal::kernel::MASK_CHUNK);
+    debug_assert_eq!(
+        chunk_size % beas_relal::kernel::LANE_WIDTH,
+        0,
+        "shard stride must be divisible by the kernel lane width"
+    );
     let mut shards: Vec<Relation> = Vec::with_capacity(threads);
     while !remaining.is_empty() {
         let rest = remaining.split_off(remaining.len().min(chunk_size));

@@ -14,6 +14,7 @@
 //! hash-join planner (equality conjuncts become join keys); this keeps ground
 //! truth evaluation tractable on the workloads used by the benchmark harness.
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -22,6 +23,7 @@ use crate::distance::DistanceKind;
 use crate::error::{RelalError, Result};
 use crate::expr::{AggFunc, GroupByQuery, QueryExpr, RaExpr};
 use crate::fasthash::{FxHashMap, FxHashSet};
+use crate::kernel::{f64_from_total_key, f64_total_key};
 use crate::predicate::{Predicate, PredicateAtom};
 use crate::storage::{Column, Database, Relation, Row};
 use crate::value::Value;
@@ -61,7 +63,7 @@ impl<'a, P: RelationProvider> RelationProvider for OverlayProvider<'a, P> {
 
 /// Evaluates an RA expression under **set semantics** (duplicates removed).
 pub fn eval_set<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relation> {
-    let mut rel = eval_inner(expr, provider)?;
+    let mut rel = eval_inner(expr, provider)?.into_owned();
     rel.dedup();
     Ok(rel)
 }
@@ -69,12 +71,12 @@ pub fn eval_set<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Rela
 /// Evaluates an RA expression under **bag semantics** (duplicates kept);
 /// used as the input of aggregate queries.
 pub fn eval_bag<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relation> {
-    eval_inner(expr, provider)
+    Ok(eval_inner(expr, provider)?.into_owned())
 }
 
 /// Evaluates an aggregate (`gpBy`) query.
 pub fn eval_aggregate<P: RelationProvider>(q: &GroupByQuery, provider: &P) -> Result<Relation> {
-    let input = eval_bag(&q.input, provider)?;
+    let input = eval_inner(&q.input, provider)?;
     aggregate_relation(&input, q)
 }
 
@@ -86,15 +88,27 @@ pub fn eval_query<P: RelationProvider>(q: &QueryExpr, provider: &P) -> Result<Re
     }
 }
 
-fn eval_inner<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relation> {
+/// Evaluates an RA expression to a [`Cow`]: scans whose column names need no
+/// alias qualification borrow the provider's relation directly (no column
+/// copies), every computing operator produces an owned result. This makes
+/// `scan → filter/join/project` pipelines zero-copy at the leaves — the
+/// dominant fixed cost of evaluating small fetched fragments and of scanning
+/// large base tables alike.
+fn eval_inner<'a, P: RelationProvider>(
+    expr: &RaExpr,
+    provider: &'a P,
+) -> Result<Cow<'a, Relation>> {
     match expr {
         RaExpr::Scan { relation, alias } => {
             let rel = provider
                 .provide(relation)
                 .ok_or_else(|| RelalError::UnknownRelation(relation.clone()))?;
+            if rel.columns.iter().all(|c| is_qualified(alias, c)) {
+                return Ok(Cow::Borrowed(rel));
+            }
             let mut out = rel.clone();
             out.columns = out.columns.iter().map(|c| qualify(alias, c)).collect();
-            Ok(out)
+            Ok(Cow::Owned(out))
         }
         RaExpr::Select { input, predicate } => {
             // Optimized path: a selection over a (possibly nested) product is
@@ -109,19 +123,19 @@ fn eval_inner<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relati
                 join_relations(relations, &predicate.atoms)
             } else {
                 let rel = eval_inner(input, provider)?;
-                predicate.filter(&rel)
+                Ok(Cow::Owned(predicate.filter(&rel)?))
             }
         }
         RaExpr::Project { input, columns } => {
             let rel = eval_inner(input, provider)?;
             let in_cols: Vec<String> = columns.iter().map(|(_, c)| c.clone()).collect();
             let out_cols: Vec<String> = columns.iter().map(|(n, _)| n.clone()).collect();
-            rel.project(&in_cols, Some(&out_cols))
+            Ok(Cow::Owned(rel.project(&in_cols, Some(&out_cols))?))
         }
         RaExpr::Product { left, right } => {
             let l = eval_inner(left, provider)?;
             let r = eval_inner(right, provider)?;
-            cross_product(&l, &r)
+            Ok(Cow::Owned(cross_product(&l, &r)?))
         }
         RaExpr::Union { left, right } => {
             let l = eval_inner(left, provider)?;
@@ -133,9 +147,9 @@ fn eval_inner<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relati
                     r.arity()
                 )));
             }
-            let mut out = l;
-            out.append(r);
-            Ok(out)
+            let mut out = l.into_owned();
+            out.append(r.into_owned());
+            Ok(Cow::Owned(out))
         }
         RaExpr::Difference { left, right } => {
             let l = eval_inner(left, provider)?;
@@ -151,19 +165,37 @@ fn eval_inner<P: RelationProvider>(expr: &RaExpr, provider: &P) -> Result<Relati
             let keep: Vec<usize> = (0..l.len())
                 .filter(|&i| !remove.contains(&l.row(i)))
                 .collect();
-            Ok(l.take_rows(&keep))
+            Ok(Cow::Owned(l.take_rows(&keep)))
         }
         RaExpr::Rename { input, columns } => {
-            let mut rel = eval_inner(input, provider)?;
+            let mut rel = eval_inner(input, provider)?.into_owned();
             rel.rename_columns(columns.clone())?;
-            Ok(rel)
+            Ok(Cow::Owned(rel))
+        }
+    }
+}
+
+/// `true` when `col` is already qualified by `alias` (i.e. starts with
+/// `alias.`), without allocating.
+fn is_qualified(alias: &str, col: &str) -> bool {
+    col.strip_prefix(alias).is_some_and(|r| r.starts_with('.'))
+}
+
+/// Qualifies every column name of `rel` with `alias` in place, exactly as a
+/// `Scan { alias }` node would (already-qualified names are left untouched).
+/// Pre-qualifying a relation before registering it with a provider lets the
+/// evaluator *borrow* it on every scan instead of copying its columns.
+pub fn qualify_relation(rel: &mut Relation, alias: &str) {
+    for c in &mut rel.columns {
+        if !is_qualified(alias, c) {
+            *c = format!("{alias}.{c}");
         }
     }
 }
 
 /// Qualifies a column name with an alias unless it is already qualified by it.
 fn qualify(alias: &str, col: &str) -> String {
-    if col.starts_with(&format!("{alias}.")) {
+    if is_qualified(alias, col) {
         col.to_string()
     } else {
         format!("{alias}.{col}")
@@ -236,10 +268,13 @@ fn cross_product(l: &Relation, r: &Relation) -> Result<Relation> {
 /// 2. relations are then joined one at a time, preferring hash joins on exact
 ///    equality conjuncts, falling back to filtered nested-loop products;
 /// 3. conjuncts become applicable as soon as all their columns are available.
-fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<Relation> {
+fn join_relations<'a>(
+    relations: Vec<Cow<'a, Relation>>,
+    atoms: &[PredicateAtom],
+) -> Result<Cow<'a, Relation>> {
     // Apply single-relation atoms up front.
     let mut pending: Vec<&PredicateAtom> = Vec::new();
-    let mut filtered: Vec<Relation> = Vec::new();
+    let mut filtered: Vec<Cow<'a, Relation>> = Vec::new();
     let mut per_rel_atoms: Vec<Vec<&PredicateAtom>> = vec![Vec::new(); relations.len()];
     'atoms: for atom in atoms {
         let cols = atom.columns();
@@ -256,7 +291,7 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
             filtered.push(rel);
         } else {
             let pred = Predicate::all(rel_atoms.into_iter().cloned().collect());
-            filtered.push(pred.filter(&rel)?);
+            filtered.push(Cow::Owned(pred.filter(&rel)?));
         }
     }
 
@@ -269,7 +304,7 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
     let mut current = iter
         .next()
         .ok_or_else(|| RelalError::InvalidQuery("join of zero relations".into()))?;
-    let mut remaining: Vec<Relation> = iter.collect();
+    let mut remaining: Vec<Cow<'a, Relation>> = iter.collect();
 
     while !remaining.is_empty() {
         // prefer a remaining relation connected to `current` via a hashable
@@ -292,13 +327,13 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
         let idx = chosen.unwrap_or(0);
         let rel = remaining.remove(idx);
         let keys = equality_keys(&pending, &current, &rel);
-        current = if !keys.is_empty() {
+        current = Cow::Owned(if !keys.is_empty() {
             hash_join(&current, &rel, &keys)?
         } else if let Some(band) = band_key(&pending, &current, &rel) {
             band_join(&current, &rel, &band)?
         } else {
             cross_product(&current, &rel)?
-        };
+        });
         // apply every pending atom that is now fully evaluable
         let mut still_pending = Vec::new();
         let mut applicable = Vec::new();
@@ -314,7 +349,7 @@ fn join_relations(relations: Vec<Relation>, atoms: &[PredicateAtom]) -> Result<R
             }
         }
         if !applicable.is_empty() {
-            current = Predicate::all(applicable).filter(&current)?;
+            current = Cow::Owned(Predicate::all(applicable).filter(&current)?);
         }
         pending = still_pending;
     }
@@ -372,13 +407,18 @@ fn equality_keys(
 }
 
 /// One component of a hash-join key: a dictionary code when both key columns
-/// are dictionary-coded strings (codes translated into one id space), a
-/// materialised [`Value`] otherwise. `Value`'s equality/hash make numeric
-/// cross-type matches (`Int(3) = Double(3.0)`) behave exactly as in the row
-/// representation.
+/// are dictionary-coded strings (codes translated into one id space), a raw
+/// `i64` when both are typed numeric columns (the integer itself for
+/// `Int`/`Int`, the [`f64_total_key`] of the `as_f64` view otherwise — which
+/// reproduces `Value`'s `total_cmp`-based numeric equality bit for bit), a
+/// materialised [`Value`] in the remaining cases. `Value`'s equality/hash make
+/// numeric cross-type matches (`Int(3) = Double(3.0)`) behave exactly as in
+/// the row representation; the typed variants avoid the per-row `Value`
+/// clone + multi-field hash on the probe path.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum KeyCell {
     Code(u32),
+    Num(i64),
     Val(Value),
 }
 
@@ -408,15 +448,54 @@ fn key_cell_fns<'a>(l: &'a Column, r: &'a Column) -> (KeyFn<'a>, KeyFn<'a>) {
             Box::new(move |i| KeyCell::Code(map[rc[i] as usize])),
         );
     }
+    // Typed numeric pairs key on a single i64. Int/Int uses the integer
+    // itself (exact for the full i64 range); any pair involving a float uses
+    // the total-order key of the `as_f64` view, matching `Value::cmp`'s
+    // mixed-numeric `total_cmp` semantics exactly (key equality ⇔
+    // `total_cmp == Equal`, so NaN = NaN and -0.0 ≠ +0.0 on both paths).
+    match (l, r) {
+        (Column::Int(a), Column::Int(b)) => {
+            return (
+                Box::new(move |i| KeyCell::Num(a[i])),
+                Box::new(move |i| KeyCell::Num(b[i])),
+            );
+        }
+        (Column::Int(a), Column::Float(b)) => {
+            return (
+                Box::new(move |i| KeyCell::Num(f64_total_key(a[i] as f64))),
+                Box::new(move |i| KeyCell::Num(f64_total_key(b[i]))),
+            );
+        }
+        (Column::Float(a), Column::Int(b)) => {
+            return (
+                Box::new(move |i| KeyCell::Num(f64_total_key(a[i]))),
+                Box::new(move |i| KeyCell::Num(f64_total_key(b[i] as f64))),
+            );
+        }
+        (Column::Float(a), Column::Float(b)) => {
+            return (
+                Box::new(move |i| KeyCell::Num(f64_total_key(a[i]))),
+                Box::new(move |i| KeyCell::Num(f64_total_key(b[i]))),
+            );
+        }
+        _ => {}
+    }
     (
         Box::new(move |i| KeyCell::Val(l.value(i))),
         Box::new(move |i| KeyCell::Val(r.value(i))),
     )
 }
 
+/// Below this build-side size an equality join probes a flat key vector
+/// instead of building a hash index: for a handful of rows the linear scan
+/// beats the hash map's allocation and hashing, and the `(left, right)`
+/// match order it emits is identical (per left row, right matches ascend).
+const LINEAR_JOIN_MAX: usize = 16;
+
 /// Hash join of two relations on the given `(left column, right column)` keys.
 /// Single-key joins (the common case) index bare [`KeyCell`]s; multi-key
-/// joins fall back to `Vec<KeyCell>` keys.
+/// joins fall back to `Vec<KeyCell>` keys. Tiny build sides skip the hash
+/// index entirely (see [`LINEAR_JOIN_MAX`]).
 fn hash_join(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Result<Relation> {
     let columns = disjoint_columns(left, right, "join")?;
 
@@ -428,7 +507,21 @@ fn hash_join(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Resu
     let mut lidx = Vec::new();
     let mut ridx = Vec::new();
     if let ([lf], [rf]) = (lfns.as_slice(), rfns.as_slice()) {
+        if right.len() <= LINEAR_JOIN_MAX {
+            let rkeys: Vec<KeyCell> = (0..right.len()).map(rf).collect();
+            for li in 0..left.len() {
+                let lk = lf(li);
+                for (ri, rk) in rkeys.iter().enumerate() {
+                    if *rk == lk {
+                        lidx.push(li);
+                        ridx.push(ri);
+                    }
+                }
+            }
+            return Ok(gather_join(left, right, &lidx, &ridx, columns));
+        }
         let mut index: FxHashMap<KeyCell, Vec<usize>> = FxHashMap::default();
+        index.reserve(right.len());
         for i in 0..right.len() {
             index.entry(rf(i)).or_default().push(i);
         }
@@ -441,7 +534,23 @@ fn hash_join(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Resu
             }
         }
     } else {
+        if right.len() <= LINEAR_JOIN_MAX {
+            let rkeys: Vec<Vec<KeyCell>> = (0..right.len())
+                .map(|i| rfns.iter().map(|f| f(i)).collect())
+                .collect();
+            for li in 0..left.len() {
+                let lk: Vec<KeyCell> = lfns.iter().map(|f| f(li)).collect();
+                for (ri, rk) in rkeys.iter().enumerate() {
+                    if *rk == lk {
+                        lidx.push(li);
+                        ridx.push(ri);
+                    }
+                }
+            }
+            return Ok(gather_join(left, right, &lidx, &ridx, columns));
+        }
         let mut index: FxHashMap<Vec<KeyCell>, Vec<usize>> = FxHashMap::default();
+        index.reserve(right.len());
         for i in 0..right.len() {
             let key: Vec<KeyCell> = rfns.iter().map(|f| f(i)).collect();
             index.entry(key).or_default().push(i);
@@ -516,18 +625,20 @@ fn band_join(left: &Relation, right: &Relation, key: &BandKey) -> Result<Relatio
     let lcol = left.col(key.left_col);
     let rcol = right.col(key.right_col);
 
-    // split the right side: finite numeric values sorted by value (read
-    // straight off the typed column), the rest (strings, bools, nulls, NaNs)
-    // reachable only through exact equality
-    let mut numeric: Vec<(f64, usize)> = Vec::new();
+    // split the right side: finite numeric values as monotone integer
+    // total-order keys (see [`crate::kernel::f64_total_key`]) sorted with the
+    // derived integer tuple order — identical to sorting the floats by
+    // `total_cmp` then row id, but the sort runs on plain `i64`s; the rest
+    // (strings, bools, nulls, NaNs) reachable only through exact equality
+    let mut numeric: Vec<(i64, usize)> = Vec::new();
     let mut by_value: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
     for i in 0..right.len() {
         match rcol.f64_at(i) {
-            Some(x) if !x.is_nan() => numeric.push((x, i)),
+            Some(x) if !x.is_nan() => numeric.push((f64_total_key(x), i)),
             _ => by_value.entry(rcol.value(i)).or_default().push(i),
         }
     }
-    numeric.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    numeric.sort_unstable();
     let slack = key.tol * key.distance.unit();
 
     let mut lidx = Vec::new();
@@ -537,12 +648,19 @@ fn band_join(left: &Relation, right: &Relation, key: &BandKey) -> Result<Relatio
         matches.clear();
         match lcol.f64_at(li) {
             Some(x) if !x.is_nan() => {
-                let lo = numeric.partition_point(|(v, _)| *v < x - slack);
-                for &(y, ri) in &numeric[lo..] {
+                let xk = f64_total_key(x);
+                // the band-start probe must compare raw floats (`<`), not
+                // total-order keys: raw `<` treats −0.0 and +0.0 as equal, so
+                // a key-space binary search would skip a −0.0 entry when the
+                // band starts at +0.0
+                let lo = numeric.partition_point(|&(k, _)| f64_from_total_key(k) < x - slack);
+                for &(yk, ri) in &numeric[lo..] {
+                    let y = f64_from_total_key(yk);
                     // value equality short-circuits to distance 0 (exactly as
                     // DistanceKind::distance does): both operands are finite
                     // numerics here, where value equality is float equality
-                    let d = if x.total_cmp(&y) == Ordering::Equal {
+                    // — and float total-order equality is key equality
+                    let d = if xk == yk {
                         0.0
                     } else {
                         key.distance.numeric_gap(x, y)
@@ -596,6 +714,18 @@ pub fn aggregate_relation(input: &Relation, q: &GroupByQuery) -> Result<Relation
     // columns; group keys and extrema materialise values only when needed
     let acol = input.col(agg_idx);
     let wcol = weight_idx.map(|i| input.col(i));
+
+    // a global aggregate (no group-by) needs no per-row key materialisation
+    // or hash lookups: accumulate in one pass over the typed slices, in
+    // strict row order so float sums stay bit-identical to the grouped path
+    if group_idx.is_empty() {
+        return aggregate_global(input, q, acol, wcol);
+    }
+
+    // only the accumulator fields the aggregate actually reads are updated:
+    // Count touches weights alone, Sum/Avg add sums, Min/Max scan extrema
+    let need_sum = matches!(q.agg, AggFunc::Sum | AggFunc::Avg);
+    let need_minmax = matches!(q.agg, AggFunc::Min | AggFunc::Max);
     let mut groups: FxHashMap<Vec<Value>, Acc> = FxHashMap::default();
     for i in 0..input.len() {
         let key: Vec<Value> = group_idx.iter().map(|&j| input.value_at(i, j)).collect();
@@ -605,37 +735,31 @@ pub fn aggregate_relation(input: &Relation, q: &GroupByQuery) -> Result<Relation
         };
         let acc = groups.entry(key).or_default();
         acc.count += weight;
-        match acol.f64_at(i) {
-            Some(x) => acc.sum += x * weight,
-            None => acc.non_numeric = true,
+        if need_sum {
+            match acol.f64_at(i) {
+                Some(x) => acc.sum += x * weight,
+                None => acc.non_numeric = true,
+            }
         }
-        if acc
-            .min
-            .as_ref()
-            .is_none_or(|m| acol.cmp_value(i, m) == Ordering::Less)
-        {
-            acc.min = Some(acol.value(i));
-        }
-        if acc
-            .max
-            .as_ref()
-            .is_none_or(|m| acol.cmp_value(i, m) == Ordering::Greater)
-        {
-            acc.max = Some(acol.value(i));
+        if need_minmax {
+            if acc
+                .min
+                .as_ref()
+                .is_none_or(|m| acol.cmp_value(i, m) == Ordering::Less)
+            {
+                acc.min = Some(acol.value(i));
+            }
+            if acc
+                .max
+                .as_ref()
+                .is_none_or(|m| acol.cmp_value(i, m) == Ordering::Greater)
+            {
+                acc.max = Some(acol.value(i));
+            }
         }
     }
 
     let mut out = Relation::empty(q.output_columns());
-    // A global aggregate (no group-by) over an empty input still yields one
-    // row for count/sum, matching SQL semantics.
-    if groups.is_empty() && q.group_by.is_empty() {
-        match q.agg {
-            AggFunc::Count => out.push_row_unchecked(vec![Value::Int(0)]),
-            AggFunc::Sum => out.push_row_unchecked(vec![Value::Double(0.0)]),
-            _ => {}
-        }
-        return Ok(out);
-    }
     for (key, acc) in groups {
         let agg_value = match q.agg {
             AggFunc::Count => Value::Double(acc.count),
@@ -669,6 +793,134 @@ pub fn aggregate_relation(input: &Relation, q: &GroupByQuery) -> Result<Relation
         out.push_row_unchecked(row);
     }
     out.sort_rows();
+    Ok(out)
+}
+
+/// Global (no group-by) aggregate: a single accumulator fed by one pass over
+/// the typed column slices — no per-row key materialisation, hashing, or
+/// `Value` cloning. The accumulation loops are monomorphized per (aggregate
+/// column, weight column) type pair but evaluate the exact per-row
+/// expressions of the grouped path in strict row order (float additions are
+/// never reassociated), so every float result is bit-identical to it.
+fn aggregate_global(
+    input: &Relation,
+    q: &GroupByQuery,
+    acol: &Column,
+    wcol: Option<&Column>,
+) -> Result<Relation> {
+    let mut out = Relation::empty(q.output_columns());
+    let n = input.len();
+    if n == 0 {
+        // a global aggregate over an empty input still yields one row for
+        // count/sum, matching SQL semantics
+        match q.agg {
+            AggFunc::Count => out.push_row_unchecked(vec![Value::Int(0)]),
+            AggFunc::Sum => out.push_row_unchecked(vec![Value::Double(0.0)]),
+            _ => {}
+        }
+        return Ok(out);
+    }
+
+    if matches!(q.agg, AggFunc::Min | AggFunc::Max) {
+        let want = if matches!(q.agg, AggFunc::Min) {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        };
+        let mut best: Option<Value> = None;
+        for i in 0..n {
+            if best.as_ref().is_none_or(|m| acol.cmp_value(i, m) == want) {
+                best = Some(acol.value(i));
+            }
+        }
+        out.push_row_unchecked(vec![best.unwrap_or(Value::Null)]);
+        return Ok(out);
+    }
+
+    /// Sequential weighted accumulation over zipped value/weight streams.
+    #[inline(always)]
+    fn accum_num(xs: impl Iterator<Item = f64>, ws: impl Iterator<Item = f64>) -> (f64, f64) {
+        let (mut count, mut sum) = (0.0f64, 0.0f64);
+        for (x, w) in xs.zip(ws) {
+            count += w;
+            sum += x * w;
+        }
+        (count, sum)
+    }
+    // weights apply exactly as in the grouped path: `f64_at(i).unwrap_or(1.0)
+    // .max(0.0)`, which on the typed arms folds to the expressions below
+    let (count, sum, non_numeric) = match (acol, wcol) {
+        (Column::Int(xs), None) => {
+            let (c, s) = accum_num(xs.iter().map(|&x| x as f64), std::iter::repeat(1.0));
+            (c, s, false)
+        }
+        (Column::Int(xs), Some(Column::Int(ws))) => {
+            let (c, s) = accum_num(
+                xs.iter().map(|&x| x as f64),
+                ws.iter().map(|&w| (w as f64).max(0.0)),
+            );
+            (c, s, false)
+        }
+        (Column::Int(xs), Some(Column::Float(ws))) => {
+            let (c, s) = accum_num(xs.iter().map(|&x| x as f64), ws.iter().map(|&w| w.max(0.0)));
+            (c, s, false)
+        }
+        (Column::Float(xs), None) => {
+            let (c, s) = accum_num(xs.iter().copied(), std::iter::repeat(1.0));
+            (c, s, false)
+        }
+        (Column::Float(xs), Some(Column::Int(ws))) => {
+            let (c, s) = accum_num(xs.iter().copied(), ws.iter().map(|&w| (w as f64).max(0.0)));
+            (c, s, false)
+        }
+        (Column::Float(xs), Some(Column::Float(ws))) => {
+            let (c, s) = accum_num(xs.iter().copied(), ws.iter().map(|&w| w.max(0.0)));
+            (c, s, false)
+        }
+        _ => {
+            let (mut count, mut sum, mut non_numeric) = (0.0f64, 0.0f64, false);
+            for i in 0..n {
+                let weight = match wcol {
+                    Some(c) => c.f64_at(i).unwrap_or(1.0).max(0.0),
+                    None => 1.0,
+                };
+                count += weight;
+                match acol.f64_at(i) {
+                    Some(x) => sum += x * weight,
+                    None => non_numeric = true,
+                }
+            }
+            (count, sum, non_numeric)
+        }
+    };
+
+    let agg_value = match q.agg {
+        AggFunc::Count => Value::Double(count),
+        AggFunc::Sum => {
+            if non_numeric {
+                return Err(RelalError::TypeMismatch(format!(
+                    "sum over non-numeric column {}",
+                    q.agg_col
+                )));
+            }
+            Value::Double(sum)
+        }
+        AggFunc::Avg => {
+            if non_numeric {
+                return Err(RelalError::TypeMismatch(format!(
+                    "avg over non-numeric column {}",
+                    q.agg_col
+                )));
+            }
+            if count == 0.0 {
+                Value::Null
+            } else {
+                Value::Double(sum / count)
+            }
+        }
+        AggFunc::Min | AggFunc::Max => unreachable!("handled above"),
+    };
+    out.push_row_unchecked(vec![agg_value]);
     Ok(out)
 }
 
@@ -1075,6 +1327,52 @@ mod tests {
         assert!(fast
             .rows()
             .any(|row| row[0] == Value::Null && row[1] == Value::Null));
+    }
+
+    #[test]
+    fn typed_hash_join_keys_match_value_equality() {
+        // Int/Int keys use the raw i64 (exact beyond f64's 2^53 integer
+        // range); any pair with a Float keys on the total-order key of the
+        // `as_f64` view. Every combination must reproduce the nested-loop
+        // semantics of `Value` equality: Int(3) = Double(3.0), NaN = NaN,
+        // -0.0 ≠ +0.0, and (1<<53)+1 ≠ 1<<53.
+        let big = (1i64 << 53) + 1;
+        let int_rows = |vals: &[i64]| {
+            vals.iter()
+                .map(|&v| vec![Value::Int(v)])
+                .collect::<Vec<_>>()
+        };
+        let dbl_rows = |vals: &[f64]| {
+            vals.iter()
+                .map(|&v| vec![Value::Double(v)])
+                .collect::<Vec<_>>()
+        };
+        let li = Relation::new(vec!["l.k".into()], int_rows(&[3, big, big - 1, -7])).unwrap();
+        let ri = Relation::new(vec!["r.k".into()], int_rows(&[big, 3, 3, 5])).unwrap();
+        let lf = Relation::new(
+            vec!["l.k".into()],
+            dbl_rows(&[3.0, f64::NAN, -0.0, f64::INFINITY]),
+        )
+        .unwrap();
+        let rf = Relation::new(
+            vec!["r.k".into()],
+            dbl_rows(&[0.0, f64::NAN, 3.0, f64::NEG_INFINITY]),
+        )
+        .unwrap();
+        let atom = PredicateAtom::col_eq_col("l.k", "r.k");
+        for (l, r) in [(&li, &ri), (&li, &rf), (&lf, &ri), (&lf, &rf)] {
+            let fast = hash_join(l, r, &[(0, 0)]).unwrap();
+            let slow = nested_loop_reference(l, r, &atom);
+            assert_eq!(fast, slow, "typed join keys must match Value equality");
+        }
+        // spot-check the tricky pairs
+        let int_int = hash_join(&li, &ri, &[(0, 0)]).unwrap();
+        assert!(int_int.rows().all(|row| row[0] != Value::Int(big - 1)));
+        let flt_flt = hash_join(&lf, &rf, &[(0, 0)]).unwrap();
+        assert!(flt_flt
+            .rows()
+            .any(|row| row[0].as_f64().is_some_and(f64::is_nan)));
+        assert!(flt_flt.rows().all(|row| row[0] != Value::Double(-0.0)));
     }
 
     #[test]

@@ -1,0 +1,712 @@
+//! Fixed-width chunked selection kernels: branchless compare-to-bitmask over
+//! the raw typed column slices.
+//!
+//! This is the hot half of the predicate evaluator. Each [`PredicateAtom`] is
+//! compiled once per relation into an `AtomMask`: a typed kernel that fills
+//! one `u64` *mask word* per [`MASK_CHUNK`] = 64 consecutive rows (bit `j` set
+//! ⇔ the atom holds on row `base + j`). Inside a word, rows are processed in
+//! lanes of [`LANE_WIDTH`] via `chunks_exact`, so the compare loops are
+//! fixed-width, branch-free and autovectorizable on stable Rust (no
+//! `std::simd`); the tail of a word (and the final partial word of a
+//! relation) falls back to the same scalar compare, bit-packed at the correct
+//! lane offset, so masks are identical for every `n mod LANE_WIDTH`.
+//!
+//! The fused driver (`fused_selection`) evaluates a conjunction one word at
+//! a time: the first atom's word is ANDed with each further atom's word,
+//! short-circuiting to the next chunk as soon as a word reaches zero, and
+//! selected row indices are emitted from the surviving bits
+//! (`trailing_zeros`). This replaces the per-row `Box<dyn Fn(usize) -> bool>`
+//! chain of the row-at-a-time path (kept as [`PredicateAtom::kernel`], the
+//! scalar reference the property suite and the `figures kernel` table compare
+//! against) with one indirect dispatch per atom per 64 rows.
+//!
+//! Float comparisons under the exact (`tol ≤ 0`) predicates use the total
+//! order of [`Value`]: a float is mapped to its monotone total-order integer
+//! key ([`f64_total_key`]), so `-0.0 < +0.0` and the NaN ordering of
+//! `f64::total_cmp` are preserved bit for bit while the compare itself is a
+//! branchless integer compare. Relaxed inequalities compare raw floats
+//! against a bound precomputed exactly as the row evaluator computes it
+//! (`c ± tol·unit`), so the admitted row set is bit-identical.
+
+use std::sync::Arc;
+
+use crate::distance::DistanceKind;
+use crate::error::Result;
+use crate::predicate::{col_col_kernel, const_kernel, CompareOp, PredicateAtom};
+use crate::storage::{Column, Relation};
+use crate::value::Value;
+
+/// Number of values processed per fixed-width inner lane loop. The compare
+/// loops run over `chunks_exact(LANE_WIDTH)` sub-blocks of each mask word, so
+/// the compiler sees a constant-trip-count, branch-free loop body.
+pub const LANE_WIDTH: usize = 8;
+
+/// Number of rows covered by one `u64` mask word — the unit of the fused
+/// conjunction evaluator and of the executor's shard alignment.
+pub const MASK_CHUNK: usize = 64;
+
+// The word loops place LANE_WIDTH-bit groups at lane offsets inside a mask
+// word; a lane width that does not divide the word stride would misalign the
+// packed bits.
+const _: () = assert!(MASK_CHUNK.is_multiple_of(LANE_WIDTH));
+const _: () = assert!(MASK_CHUNK == u64::BITS as usize);
+
+/// The monotone integer key of a float under IEEE-754 total order:
+/// `f64_total_key(a) < f64_total_key(b)` ⇔ `a.total_cmp(&b) == Less` (and
+/// equality of keys ⇔ equality of bit patterns). Self-inverse modulo the bit
+/// transmutation — see [`f64_from_total_key`].
+#[inline(always)]
+pub fn f64_total_key(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    b ^ (((b >> 63) as u64) >> 1) as i64
+}
+
+/// Inverse of [`f64_total_key`].
+#[inline(always)]
+pub fn f64_from_total_key(k: i64) -> f64 {
+    let b = k ^ (((k >> 63) as u64) >> 1) as i64;
+    f64::from_bits(b as u64)
+}
+
+/// A full mask word for `len` rows (`len ≤ 64`).
+#[inline(always)]
+fn full_word(len: usize) -> u64 {
+    debug_assert!(len <= MASK_CHUNK);
+    if len >= MASK_CHUNK {
+        !0
+    } else {
+        (1u64 << len) - 1
+    }
+}
+
+/// Packs `f` over one slice into a mask word: bit `j` ⇔ `f(s[j])`. Lanes of
+/// [`LANE_WIDTH`] via `chunks_exact`; the remainder is packed at the next
+/// lane offset.
+#[inline(always)]
+fn pack1<T: Copy>(s: &[T], f: impl Fn(T) -> bool) -> u64 {
+    debug_assert!(s.len() <= MASK_CHUNK);
+    let mut w = 0u64;
+    let mut lane = 0u32;
+    let mut it = s.chunks_exact(LANE_WIDTH);
+    for chunk in it.by_ref() {
+        let mut bits = 0u64;
+        for (j, &x) in chunk.iter().enumerate() {
+            bits |= (f(x) as u64) << j;
+        }
+        w |= bits << lane;
+        lane += LANE_WIDTH as u32;
+    }
+    for (j, &x) in it.remainder().iter().enumerate() {
+        w |= (f(x) as u64) << (lane as usize + j);
+    }
+    w
+}
+
+/// Packs `f` over two equal-length slices into a mask word.
+#[inline(always)]
+fn pack2<A: Copy, B: Copy>(a: &[A], b: &[B], f: impl Fn(A, B) -> bool) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(a.len() <= MASK_CHUNK);
+    let mut w = 0u64;
+    let mut lane = 0u32;
+    let mut ia = a.chunks_exact(LANE_WIDTH);
+    let mut ib = b.chunks_exact(LANE_WIDTH);
+    for (ca, cb) in ia.by_ref().zip(ib.by_ref()) {
+        let mut bits = 0u64;
+        for j in 0..LANE_WIDTH {
+            bits |= (f(ca[j], cb[j]) as u64) << j;
+        }
+        w |= bits << lane;
+        lane += LANE_WIDTH as u32;
+    }
+    for (j, (&x, &y)) in ia.remainder().iter().zip(ib.remainder()).enumerate() {
+        w |= (f(x, y) as u64) << (lane as usize + j);
+    }
+    w
+}
+
+/// Applies `op` to `key(x)` vs a constant, packing one word. `K` is an
+/// integer total-order key (or a raw float for the relaxed bound compares,
+/// which only ever use the inequality operators).
+#[inline(always)]
+fn pack_cmp<T: Copy, K: PartialOrd + PartialEq + Copy>(
+    s: &[T],
+    op: CompareOp,
+    key: impl Fn(T) -> K + Copy,
+    c: K,
+) -> u64 {
+    match op {
+        CompareOp::Eq => pack1(s, |x| key(x) == c),
+        CompareOp::Ne => pack1(s, |x| key(x) != c),
+        CompareOp::Lt => pack1(s, |x| key(x) < c),
+        CompareOp::Le => pack1(s, |x| key(x) <= c),
+        CompareOp::Gt => pack1(s, |x| key(x) > c),
+        CompareOp::Ge => pack1(s, |x| key(x) >= c),
+    }
+}
+
+/// Applies `op` to `ka(x)` vs `kb(y)` pairwise, packing one word.
+#[inline(always)]
+fn pack2_cmp<A: Copy, B: Copy, K: PartialOrd + PartialEq + Copy>(
+    a: &[A],
+    b: &[B],
+    op: CompareOp,
+    ka: impl Fn(A) -> K + Copy,
+    kb: impl Fn(B) -> K + Copy,
+) -> u64 {
+    match op {
+        CompareOp::Eq => pack2(a, b, |x, y| ka(x) == kb(y)),
+        CompareOp::Ne => pack2(a, b, |x, y| ka(x) != kb(y)),
+        CompareOp::Lt => pack2(a, b, |x, y| ka(x) < kb(y)),
+        CompareOp::Le => pack2(a, b, |x, y| ka(x) <= kb(y)),
+        CompareOp::Gt => pack2(a, b, |x, y| ka(x) > kb(y)),
+        CompareOp::Ge => pack2(a, b, |x, y| ka(x) >= kb(y)),
+    }
+}
+
+/// Relaxed inequality band over two float projections: `x op (y ± slack)`
+/// with the raw float comparisons of `CompareOp::eval_relaxed`.
+#[inline(always)]
+fn pack2_band<A: Copy, B: Copy>(
+    a: &[A],
+    b: &[B],
+    op: CompareOp,
+    fa: impl Fn(A) -> f64 + Copy,
+    fb: impl Fn(B) -> f64 + Copy,
+    slack: f64,
+) -> u64 {
+    match op {
+        CompareOp::Lt => pack2(a, b, |x, y| fa(x) < fb(y) + slack),
+        CompareOp::Le => pack2(a, b, |x, y| fa(x) <= fb(y) + slack),
+        CompareOp::Gt => pack2(a, b, |x, y| fa(x) > fb(y) - slack),
+        CompareOp::Ge => pack2(a, b, |x, y| fa(x) >= fb(y) - slack),
+        CompareOp::Eq | CompareOp::Ne => unreachable!("bands are built for inequalities only"),
+    }
+}
+
+/// A raw numeric column slice (the two typed sources of float-interpreted
+/// compares).
+#[derive(Clone, Copy)]
+pub(crate) enum NumSlice<'a> {
+    /// An `i64` column read as `x as f64` where a float view is needed.
+    I(&'a [i64]),
+    /// An `f64` column.
+    F(&'a [f64]),
+}
+
+/// One compiled predicate atom: fills one mask word per call. All variants
+/// reproduce the row-at-a-time evaluator ([`PredicateAtom::eval`]) bit for
+/// bit; the `Scalar` fallback *is* the row evaluator, packed into words.
+pub(crate) enum AtomMask<'a> {
+    /// The constantly-true atom (e.g. a categorical relaxation that admits
+    /// every pair).
+    True,
+    /// Dictionary-coded string column vs constant: one verdict per distinct
+    /// string, looked up by code.
+    StrTable { codes: &'a [u32], table: Vec<bool> },
+    /// String column = string column on dictionary codes (`map` translates
+    /// right codes into the left dictionary's id space; `u32::MAX` marks a
+    /// right string absent from the left dictionary).
+    SSEq {
+        la: &'a [u32],
+        ra: &'a [u32],
+        map: Option<Vec<u32>>,
+    },
+    /// String column ≠ string column on dictionary codes.
+    SSNe {
+        la: &'a [u32],
+        ra: &'a [u32],
+        map: Option<Vec<u32>>,
+    },
+    /// Integer column vs integer constant under the exact integer order.
+    IntCmp {
+        xs: &'a [i64],
+        op: CompareOp,
+        c: i64,
+    },
+    /// Numeric column vs numeric constant under the float total order
+    /// (branchless integer compare on [`f64_total_key`]s).
+    KeyCmpConst {
+        xs: NumSlice<'a>,
+        op: CompareOp,
+        key: i64,
+    },
+    /// Relaxed inequality vs a precomputed bound `c ± tol·unit` (raw float
+    /// compare, exactly as the row evaluator widens thresholds).
+    BoundConst {
+        xs: NumSlice<'a>,
+        op: CompareOp,
+        bound: f64,
+    },
+    /// Relaxed equality of an integer column vs an integer constant:
+    /// `x = c ∨ gap(x, c) ≤ tol`.
+    RelaxedEqConstI {
+        xs: &'a [i64],
+        c: i64,
+        cf: f64,
+        dk: DistanceKind,
+        tol: f64,
+    },
+    /// Relaxed equality of a numeric column vs a float constant (equality on
+    /// float bit patterns ⇔ `total_cmp == Equal`).
+    RelaxedEqConstF {
+        xs: NumSlice<'a>,
+        cbits: u64,
+        cf: f64,
+        dk: DistanceKind,
+        tol: f64,
+    },
+    /// Integer column vs integer column under the exact integer order.
+    IICmp {
+        xs: &'a [i64],
+        ys: &'a [i64],
+        op: CompareOp,
+    },
+    /// Relaxed equality of two integer columns.
+    IIRelaxedEq {
+        xs: &'a [i64],
+        ys: &'a [i64],
+        dk: DistanceKind,
+        tol: f64,
+    },
+    /// Numeric column vs numeric column under the float total order (at
+    /// least one side is a float column).
+    KeyCmp2 {
+        a: NumSlice<'a>,
+        b: NumSlice<'a>,
+        op: CompareOp,
+    },
+    /// Relaxed equality of two numeric columns, at least one a float column
+    /// (equality on the float bit patterns of both sides).
+    RelaxedEq2 {
+        a: NumSlice<'a>,
+        b: NumSlice<'a>,
+        dk: DistanceKind,
+        tol: f64,
+    },
+    /// Relaxed inequality band between two numeric columns:
+    /// `x op (y ± tol·unit)`.
+    Band2 {
+        a: NumSlice<'a>,
+        b: NumSlice<'a>,
+        op: CompareOp,
+        slack: f64,
+    },
+    /// Row-at-a-time fallback (Bool/Mixed columns, non-numeric constants,
+    /// lexicographic string inequalities): the scalar kernel packed into
+    /// words.
+    Scalar(Box<dyn Fn(usize) -> bool + 'a>),
+}
+
+impl AtomMask<'_> {
+    /// The mask word for rows `base .. base + len` (`len ≤ 64`).
+    pub(crate) fn word(&self, base: usize, len: usize) -> u64 {
+        debug_assert!((1..=MASK_CHUNK).contains(&len));
+        let r = base..base + len;
+        match self {
+            AtomMask::True => full_word(len),
+            AtomMask::StrTable { codes, table } => pack1(&codes[r], |c| table[c as usize]),
+            AtomMask::SSEq { la, ra, map } => match map {
+                None => pack2(&la[r.clone()], &ra[r], |a, b| a == b),
+                Some(m) => pack2(&la[r.clone()], &ra[r], |a, b| a == m[b as usize]),
+            },
+            AtomMask::SSNe { la, ra, map } => match map {
+                None => pack2(&la[r.clone()], &ra[r], |a, b| a != b),
+                Some(m) => pack2(&la[r.clone()], &ra[r], |a, b| a != m[b as usize]),
+            },
+            AtomMask::IntCmp { xs, op, c } => pack_cmp(&xs[r], *op, |x| x, *c),
+            AtomMask::KeyCmpConst { xs, op, key } => match xs {
+                NumSlice::I(s) => pack_cmp(&s[r], *op, |x| f64_total_key(x as f64), *key),
+                NumSlice::F(s) => pack_cmp(&s[r], *op, f64_total_key, *key),
+            },
+            AtomMask::BoundConst { xs, op, bound } => match xs {
+                NumSlice::I(s) => pack_cmp(&s[r], *op, |x| x as f64, *bound),
+                NumSlice::F(s) => pack_cmp(&s[r], *op, |x| x, *bound),
+            },
+            AtomMask::RelaxedEqConstI { xs, c, cf, dk, tol } => {
+                let (c, cf, dk, tol) = (*c, *cf, *dk, *tol);
+                pack1(&xs[r], |x| x == c || dk.numeric_gap(x as f64, cf) <= tol)
+            }
+            AtomMask::RelaxedEqConstF {
+                xs,
+                cbits,
+                cf,
+                dk,
+                tol,
+            } => {
+                let (cbits, cf, dk, tol) = (*cbits, *cf, *dk, *tol);
+                match xs {
+                    NumSlice::I(s) => pack1(&s[r], |x| {
+                        let xf = x as f64;
+                        xf.to_bits() == cbits || dk.numeric_gap(xf, cf) <= tol
+                    }),
+                    NumSlice::F(s) => pack1(&s[r], |x| {
+                        x.to_bits() == cbits || dk.numeric_gap(x, cf) <= tol
+                    }),
+                }
+            }
+            AtomMask::IICmp { xs, ys, op } => pack2_cmp(&xs[r.clone()], &ys[r], *op, |x| x, |y| y),
+            AtomMask::IIRelaxedEq { xs, ys, dk, tol } => {
+                let (dk, tol) = (*dk, *tol);
+                pack2(&xs[r.clone()], &ys[r], |x, y| {
+                    x == y || dk.numeric_gap(x as f64, y as f64) <= tol
+                })
+            }
+            AtomMask::KeyCmp2 { a, b, op } => match (a, b) {
+                (NumSlice::I(x), NumSlice::I(y)) => pack2_cmp(
+                    &x[r.clone()],
+                    &y[r],
+                    *op,
+                    |v| f64_total_key(v as f64),
+                    |v| f64_total_key(v as f64),
+                ),
+                (NumSlice::I(x), NumSlice::F(y)) => pack2_cmp(
+                    &x[r.clone()],
+                    &y[r],
+                    *op,
+                    |v| f64_total_key(v as f64),
+                    f64_total_key,
+                ),
+                (NumSlice::F(x), NumSlice::I(y)) => {
+                    pack2_cmp(&x[r.clone()], &y[r], *op, f64_total_key, |v| {
+                        f64_total_key(v as f64)
+                    })
+                }
+                (NumSlice::F(x), NumSlice::F(y)) => {
+                    pack2_cmp(&x[r.clone()], &y[r], *op, f64_total_key, f64_total_key)
+                }
+            },
+            AtomMask::RelaxedEq2 { a, b, dk, tol } => {
+                let (dk, tol) = (*dk, *tol);
+                let eq_gap = move |xf: f64, yf: f64| {
+                    xf.to_bits() == yf.to_bits() || dk.numeric_gap(xf, yf) <= tol
+                };
+                match (a, b) {
+                    (NumSlice::I(x), NumSlice::I(y)) => {
+                        pack2(&x[r.clone()], &y[r], |x, y| eq_gap(x as f64, y as f64))
+                    }
+                    (NumSlice::I(x), NumSlice::F(y)) => {
+                        pack2(&x[r.clone()], &y[r], |x, y| eq_gap(x as f64, y))
+                    }
+                    (NumSlice::F(x), NumSlice::I(y)) => {
+                        pack2(&x[r.clone()], &y[r], |x, y| eq_gap(x, y as f64))
+                    }
+                    (NumSlice::F(x), NumSlice::F(y)) => pack2(&x[r.clone()], &y[r], eq_gap),
+                }
+            }
+            AtomMask::Band2 { a, b, op, slack } => {
+                let slack = *slack;
+                match (a, b) {
+                    (NumSlice::I(x), NumSlice::I(y)) => {
+                        pack2_band(&x[r.clone()], &y[r], *op, |v| v as f64, |v| v as f64, slack)
+                    }
+                    (NumSlice::I(x), NumSlice::F(y)) => {
+                        pack2_band(&x[r.clone()], &y[r], *op, |v| v as f64, |v| v, slack)
+                    }
+                    (NumSlice::F(x), NumSlice::I(y)) => {
+                        pack2_band(&x[r.clone()], &y[r], *op, |v| v, |v| v as f64, slack)
+                    }
+                    (NumSlice::F(x), NumSlice::F(y)) => {
+                        pack2_band(&x[r.clone()], &y[r], *op, |v| v, |v| v, slack)
+                    }
+                }
+            }
+            AtomMask::Scalar(f) => {
+                let mut w = 0u64;
+                for j in 0..len {
+                    w |= (f(base + j) as u64) << j;
+                }
+                w
+            }
+        }
+    }
+}
+
+/// `true` when the operator is one of the four inequalities.
+fn is_ineq(op: CompareOp) -> bool {
+    matches!(
+        op,
+        CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge
+    )
+}
+
+/// The relaxed bound `c ± tol·unit` for an inequality against constant `c` —
+/// computed with the exact expression the row evaluator uses per row.
+fn relaxed_bound(op: CompareOp, c: f64, dk: DistanceKind, tol: f64) -> f64 {
+    match op {
+        CompareOp::Lt | CompareOp::Le => c + tol * dk.unit(),
+        CompareOp::Gt | CompareOp::Ge => c - tol * dk.unit(),
+        _ => unreachable!("bounds are built for inequalities only"),
+    }
+}
+
+/// Compiles one atom into its mask kernel over the columns of `rel`.
+/// Column resolution errors are exactly those of [`PredicateAtom::kernel`].
+pub(crate) fn compile_atom<'a>(atom: &'a PredicateAtom, rel: &'a Relation) -> Result<AtomMask<'a>> {
+    match atom {
+        PredicateAtom::ColConst {
+            col,
+            op,
+            value,
+            distance,
+            tol,
+        } => {
+            let c = rel.col(rel.column_index(col)?);
+            let (op, dk, tol) = (*op, *distance, *tol);
+            Ok(match c {
+                Column::Str { codes, dict } => {
+                    let table: Vec<bool> = dict
+                        .strings()
+                        .iter()
+                        .map(|s| op.eval_relaxed(&Value::Str(s.clone()), value, dk, tol))
+                        .collect();
+                    AtomMask::StrTable { codes, table }
+                }
+                Column::Int(xs) => match value {
+                    Value::Int(c0) if tol <= 0.0 => AtomMask::IntCmp { xs, op, c: *c0 },
+                    Value::Int(c0) => match op {
+                        CompareOp::Eq => AtomMask::RelaxedEqConstI {
+                            xs,
+                            c: *c0,
+                            cf: *c0 as f64,
+                            dk,
+                            tol,
+                        },
+                        CompareOp::Ne => AtomMask::IntCmp { xs, op, c: *c0 },
+                        _ => AtomMask::BoundConst {
+                            xs: NumSlice::I(xs),
+                            op,
+                            bound: relaxed_bound(op, *c0 as f64, dk, tol),
+                        },
+                    },
+                    Value::Double(c0) => num_const_mask(NumSlice::I(xs), op, *c0, dk, tol),
+                    _ => AtomMask::Scalar(const_kernel(c, op, value, dk, tol)),
+                },
+                Column::Float(xs) => match value.as_f64() {
+                    Some(cf) if value.is_numeric() => {
+                        num_const_mask(NumSlice::F(xs), op, cf, dk, tol)
+                    }
+                    _ => AtomMask::Scalar(const_kernel(c, op, value, dk, tol)),
+                },
+                Column::Bool(_) | Column::Mixed(_) => {
+                    AtomMask::Scalar(const_kernel(c, op, value, dk, tol))
+                }
+            })
+        }
+        PredicateAtom::ColCol {
+            left,
+            op,
+            right,
+            distance,
+            tol,
+        } => {
+            let lc = rel.col(rel.column_index(left)?);
+            let rc = rel.col(rel.column_index(right)?);
+            let (op, dk, tol) = (*op, *distance, *tol);
+            Ok(match (lc, rc) {
+                (Column::Int(xs), Column::Int(ys)) => {
+                    if tol <= 0.0 || op == CompareOp::Ne {
+                        AtomMask::IICmp { xs, ys, op }
+                    } else if op == CompareOp::Eq {
+                        AtomMask::IIRelaxedEq { xs, ys, dk, tol }
+                    } else {
+                        AtomMask::Band2 {
+                            a: NumSlice::I(xs),
+                            b: NumSlice::I(ys),
+                            op,
+                            slack: tol * dk.unit(),
+                        }
+                    }
+                }
+                (Column::Int(xs), Column::Float(ys)) => {
+                    num_col_mask(NumSlice::I(xs), NumSlice::F(ys), op, dk, tol)
+                }
+                (Column::Float(xs), Column::Int(ys)) => {
+                    num_col_mask(NumSlice::F(xs), NumSlice::I(ys), op, dk, tol)
+                }
+                (Column::Float(xs), Column::Float(ys)) => {
+                    num_col_mask(NumSlice::F(xs), NumSlice::F(ys), op, dk, tol)
+                }
+                (
+                    Column::Str {
+                        codes: la,
+                        dict: ld,
+                    },
+                    Column::Str {
+                        codes: ra,
+                        dict: rd,
+                    },
+                ) => {
+                    if is_ineq(op) {
+                        // lexicographic string inequalities stay row-at-a-time
+                        AtomMask::Scalar(col_col_kernel(lc, rc, op, dk, tol))
+                    } else {
+                        let map = if Arc::ptr_eq(ld, rd) {
+                            None
+                        } else {
+                            Some(
+                                rd.strings()
+                                    .iter()
+                                    .map(|s| ld.code_of(s).unwrap_or(u32::MAX))
+                                    .collect::<Vec<u32>>(),
+                            )
+                        };
+                        match op {
+                            CompareOp::Ne => AtomMask::SSNe { la, ra, map },
+                            CompareOp::Eq => {
+                                if tol > 0.0 && dk == DistanceKind::Categorical && 1.0 <= tol {
+                                    // the categorical relaxation admits every
+                                    // pair of strings
+                                    AtomMask::True
+                                } else {
+                                    AtomMask::SSEq { la, ra, map }
+                                }
+                            }
+                            _ => unreachable!("inequalities handled above"),
+                        }
+                    }
+                }
+                _ => AtomMask::Scalar(col_col_kernel(lc, rc, op, dk, tol)),
+            })
+        }
+    }
+}
+
+/// Mask for a numeric column vs a float constant (the shared tail of the
+/// `Int`-column-vs-`Double` and `Float`-column-vs-numeric dispatches).
+fn num_const_mask(
+    xs: NumSlice<'_>,
+    op: CompareOp,
+    cf: f64,
+    dk: DistanceKind,
+    tol: f64,
+) -> AtomMask<'_> {
+    if tol <= 0.0 || op == CompareOp::Ne {
+        AtomMask::KeyCmpConst {
+            xs,
+            op,
+            key: f64_total_key(cf),
+        }
+    } else if op == CompareOp::Eq {
+        AtomMask::RelaxedEqConstF {
+            xs,
+            cbits: cf.to_bits(),
+            cf,
+            dk,
+            tol,
+        }
+    } else {
+        AtomMask::BoundConst {
+            xs,
+            op,
+            bound: relaxed_bound(op, cf, dk, tol),
+        }
+    }
+}
+
+/// Mask for a numeric column vs a numeric column with at least one float
+/// side (total-order key compares when exact, bit-equality + gap when a
+/// relaxed equality, a float band when a relaxed inequality).
+fn num_col_mask<'a>(
+    a: NumSlice<'a>,
+    b: NumSlice<'a>,
+    op: CompareOp,
+    dk: DistanceKind,
+    tol: f64,
+) -> AtomMask<'a> {
+    if tol <= 0.0 || op == CompareOp::Ne {
+        AtomMask::KeyCmp2 { a, b, op }
+    } else if op == CompareOp::Eq {
+        AtomMask::RelaxedEq2 { a, b, dk, tol }
+    } else {
+        AtomMask::Band2 {
+            a,
+            b,
+            op,
+            slack: tol * dk.unit(),
+        }
+    }
+}
+
+/// Evaluates a compiled conjunction over `n` rows, emitting the selected row
+/// indices in row order. One mask word at a time: the first atom's word is
+/// ANDed with the remaining atoms' words, skipping to the next chunk as soon
+/// as the word dies; indices are emitted from the surviving bits.
+pub(crate) fn fused_selection(masks: &[AtomMask<'_>], n: usize) -> Vec<usize> {
+    if masks.is_empty() {
+        return (0..n).collect();
+    }
+    let (first, rest) = masks.split_first().expect("non-empty masks");
+    let mut out = Vec::new();
+    let mut base = 0usize;
+    while base < n {
+        let len = (n - base).min(MASK_CHUNK);
+        let mut w = first.word(base, len);
+        for m in rest {
+            if w == 0 {
+                break;
+            }
+            w &= m.word(base, len);
+        }
+        while w != 0 {
+            let j = w.trailing_zeros() as usize;
+            out.push(base + j);
+            w &= w - 1;
+        }
+        base += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_key_orders_like_total_cmp() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1.0e-300,
+            2.5,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+        ];
+        for &a in &vals {
+            assert_eq!(a.to_bits(), f64_from_total_key(f64_total_key(a)).to_bits());
+            for &b in &vals {
+                assert_eq!(
+                    f64_total_key(a).cmp(&f64_total_key(b)),
+                    a.total_cmp(&b),
+                    "key order must match total_cmp for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pack_handles_all_tail_lengths() {
+        for n in 0..=MASK_CHUNK {
+            let xs: Vec<i64> = (0..n as i64).collect();
+            let w = pack1(&xs, |x| x % 2 == 0);
+            for (j, &x) in xs.iter().enumerate() {
+                assert_eq!((w >> j) & 1 == 1, x % 2 == 0, "n={n} j={j}");
+            }
+            // bits beyond n must be zero
+            if n < MASK_CHUNK {
+                assert_eq!(w >> n, 0, "high bits must be clear at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_word_masks_exactly_len_bits() {
+        assert_eq!(full_word(0), 0);
+        assert_eq!(full_word(1), 1);
+        assert_eq!(full_word(63), (1u64 << 63) - 1);
+        assert_eq!(full_word(64), !0);
+    }
+}

@@ -8,9 +8,14 @@
 //! projection, Cartesian product, union, set difference, renaming),
 //! conjunctive ([`spc`]) queries, aggregate queries and an exact
 //! [`eval`]uator used both for ground truth and for executing the evaluation
-//! part of bounded query plans. Selection predicates compile to vectorized
-//! per-column kernels ([`predicate`]), hash joins key on dictionary codes,
-//! and numeric band joins sort raw `f64` columns.
+//! part of bounded query plans. Selection predicates compile to fixed-width
+//! chunked mask kernels ([`kernel`]): each atom fills one `u64` bitmask per
+//! 64 rows straight off the raw `&[i64]`/`&[f64]`/`&[u32]` column slices
+//! (branchless compare-to-bitmask in lanes of [`kernel::LANE_WIDTH`], scalar
+//! tail at the same lane offsets), the conjunction ANDs mask words
+//! chunk-by-chunk, and selected row indices are emitted from the surviving
+//! bits. Hash joins key on dictionary codes, and numeric band joins sort
+//! monotone integer total-order keys of the raw `f64` columns.
 //!
 //! The paper ("Data Driven Approximation with Bounded Resources", VLDB 2017)
 //! runs BEAS on top of a commercial DBMS; this crate plays that role here so
@@ -24,6 +29,7 @@ pub mod error;
 pub mod eval;
 pub mod expr;
 pub mod fasthash;
+pub mod kernel;
 pub mod predicate;
 pub mod schema;
 pub mod spc;
@@ -33,8 +39,8 @@ pub mod value;
 pub use distance::{tuple_distance, DistanceKind};
 pub use error::{RelalError, Result};
 pub use eval::{
-    aggregate_relation, eval_aggregate, eval_bag, eval_query, eval_set, OverlayProvider,
-    RelationProvider,
+    aggregate_relation, eval_aggregate, eval_bag, eval_query, eval_set, qualify_relation,
+    OverlayProvider, RelationProvider,
 };
 pub use expr::{AggFunc, GroupByQuery, QueryExpr, RaExpr};
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

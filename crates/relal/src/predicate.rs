@@ -337,8 +337,9 @@ fn str_relaxed(op: CompareOp, eq: bool, a: &str, b: &str, dk: DistanceKind, tol:
     }
 }
 
-/// Kernel for `column op constant`.
-fn const_kernel<'a>(
+/// Kernel for `column op constant` — the row-at-a-time scalar reference the
+/// chunked mask kernels in [`crate::kernel`] are verified against.
+pub(crate) fn const_kernel<'a>(
     c: &'a Column,
     op: CompareOp,
     value: &'a Value,
@@ -381,8 +382,10 @@ fn const_kernel<'a>(
     }
 }
 
-/// Kernel for `left-column op right-column`.
-fn col_col_kernel<'a>(
+/// Kernel for `left-column op right-column` — the row-at-a-time scalar
+/// reference the chunked mask kernels in [`crate::kernel`] are verified
+/// against.
+pub(crate) fn col_col_kernel<'a>(
     lc: &'a Column,
     rc: &'a Column,
     op: CompareOp,
@@ -465,15 +468,33 @@ impl Predicate {
     }
 
     /// The indices of the rows on which the predicate holds, in row order.
-    /// Atoms are compiled into per-column kernels once (see
-    /// [`PredicateAtom::kernel`]) and the conjunction is evaluated in one
-    /// pass — later kernels only run on rows that survived the earlier ones
-    /// (`all` short-circuits), with no intermediate selection vectors.
+    /// Atoms are compiled once into chunked mask kernels (see
+    /// [`crate::kernel`]) and the conjunction is evaluated one 64-row mask
+    /// word at a time: each atom fills a `u64` bitmask for the chunk, words
+    /// are ANDed (skipping remaining atoms as soon as a word reaches zero),
+    /// and surviving bits are emitted as row indices — no per-row virtual
+    /// calls and no intermediate selection vectors.
     pub fn selection(&self, rel: &Relation) -> Result<Vec<usize>> {
         if rel.is_empty() {
             // preserve the row representation's lazy column resolution: with
             // no rows, unknown columns are not an error (the per-row
             // evaluator never ran on any row)
+            return Ok(Vec::new());
+        }
+        let masks: Vec<_> = self
+            .atoms
+            .iter()
+            .map(|a| crate::kernel::compile_atom(a, rel))
+            .collect::<Result<_>>()?;
+        Ok(crate::kernel::fused_selection(&masks, rel.len()))
+    }
+
+    /// The selection evaluated with the row-at-a-time scalar kernels
+    /// ([`PredicateAtom::kernel`]) — the reference implementation the chunked
+    /// mask path is compared against by the property suite and the `figures
+    /// kernel` table. Bit-for-bit identical to [`Predicate::selection`].
+    pub fn selection_scalar(&self, rel: &Relation) -> Result<Vec<usize>> {
+        if rel.is_empty() {
             return Ok(Vec::new());
         }
         let kernels: Vec<_> = self

@@ -939,3 +939,174 @@ fn dedup_is_idempotent() {
         assert_eq!(once.clone().sorted(), twice.sorted(), "seed {seed}");
     });
 }
+
+// ---------------------------------------------------------------------------
+// kernel equivalence (chunked mask kernels vs the scalar reference)
+// ---------------------------------------------------------------------------
+
+/// **Kernel equivalence (random shapes):** the fused chunked/bitmask
+/// selection ([`Predicate::selection`]) emits exactly the indices of the
+/// row-at-a-time `Box<dyn Fn>` reference ([`Predicate::selection_scalar`])
+/// and of the per-row evaluator, over random relations covering every value
+/// type — including NaN/±0.0/±∞ floats, nulls, dictionary-coded strings and
+/// mixed-type columns — every operator, distance kind and relaxation.
+#[test]
+fn chunked_selection_matches_scalar_reference() {
+    let names = ["a", "b", "c"];
+    forall_seeds(80, |seed, rng| {
+        let rel = random_relation(rng, &names);
+        let rows = rel.to_rows();
+        for _ in 0..6 {
+            let atoms = (0..rng.gen_range(1usize..4))
+                .map(|_| random_atom(rng, &names))
+                .collect::<Vec<_>>();
+            let pred = Predicate::all(atoms);
+            let chunked = pred.selection(&rel).unwrap();
+            let scalar = pred.selection_scalar(&rel).unwrap();
+            assert_eq!(
+                chunked, scalar,
+                "seed {seed}: chunked kernels diverge from the scalar reference for {pred:?}"
+            );
+            let by_row: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| pred.eval(&rel.columns, row).unwrap())
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(
+                chunked, by_row,
+                "seed {seed}: chunked kernels diverge from the per-row evaluator for {pred:?}"
+            );
+        }
+    });
+}
+
+/// **Kernel equivalence (mask tails and degenerate masks):** selection over
+/// row counts that straddle the lane and mask-word boundaries
+/// (`n mod 8 ∈ {0, 1, 7}`, `n ∈ {63, 64, 65}`), with all-true, all-false
+/// and mixed predicates — the remainder-tail paths of every kernel must
+/// agree with the scalar reference bit for bit, and the degenerate masks
+/// must select everything / nothing exactly.
+#[test]
+fn chunked_selection_handles_mask_tails_and_degenerate_masks() {
+    for n in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 127, 128, 129] {
+        let mut rel = Relation::empty(vec!["i".into(), "x".into()]);
+        for k in 0..n {
+            let x = match k % 5 {
+                0 => f64::NAN,
+                1 => 0.0,
+                2 => -0.0,
+                3 => f64::INFINITY,
+                _ => k as f64 - 3.0,
+            };
+            rel.push_row(vec![Value::Int(k as i64 % 13), Value::Double(x)])
+                .unwrap();
+        }
+        let all_true = Predicate::all(vec![PredicateAtom::col_cmp_const(
+            "i",
+            CompareOp::Ge,
+            -1i64,
+        )]);
+        let all_false = Predicate::all(vec![PredicateAtom::col_cmp_const(
+            "i",
+            CompareOp::Lt,
+            -1i64,
+        )]);
+        let mixed = Predicate::all(vec![
+            PredicateAtom::col_cmp_const("i", CompareOp::Lt, 7i64),
+            PredicateAtom::col_cmp_const("x", CompareOp::Ge, Value::Double(0.0)),
+        ]);
+        for pred in [&all_true, &all_false, &mixed] {
+            assert_eq!(
+                pred.selection(&rel).unwrap(),
+                pred.selection_scalar(&rel).unwrap(),
+                "n={n}: tail handling diverges for {pred:?}"
+            );
+        }
+        assert_eq!(all_true.selection(&rel).unwrap().len(), n, "n={n}");
+        assert!(all_false.selection(&rel).unwrap().is_empty(), "n={n}");
+    }
+}
+
+/// **Zero-conversion materialize:** at every level of a built family, the
+/// columnar [`materialize`] (pure code/slice copies) equals the relation
+/// assembled row by row from [`lookup`]'s `Rep`s — the pre-columnar fetch
+/// path — including the `__weight` counts column.
+///
+/// [`materialize`]: beas::access::TemplateFamily::materialize
+/// [`lookup`]: beas::access::TemplateFamily::lookup
+#[test]
+fn materialize_matches_rep_based_reconstruction() {
+    forall_seeds(24, |seed, rng| {
+        let rows = random_rows(rng, 5, 80);
+        let db = poi_db(&rows);
+        let family = build_extended(&db, "poi", &["city"], &["price"]).unwrap();
+        for k in 0..family.num_levels() {
+            let xkeys = family.levels[k].xkeys();
+            let fast = family.materialize(k, &xkeys).unwrap();
+            let mut reference = Relation::empty(family.output_columns());
+            for key in &xkeys {
+                for rep in family.lookup(k, key).unwrap() {
+                    let mut row = key.clone();
+                    row.extend(rep.values.iter().cloned());
+                    row.push(Value::Int(rep.count as i64));
+                    reference.push_row(row).unwrap();
+                }
+            }
+            assert_eq!(
+                fast.to_rows(),
+                reference.to_rows(),
+                "seed {seed}: level {k} materialize diverges from the Rep path"
+            );
+        }
+    });
+}
+
+/// **Kernel equivalence across shard counts:** engines pinned to 1 and 4
+/// intra-query threads answer with bit-identical relations and digests —
+/// the mask kernels run per shard, so shard boundaries (aligned to the mask
+/// word) must never leak into the answers.
+#[test]
+fn kernel_answers_identical_at_one_and_four_threads() {
+    let mut rng = StdRng::seed_from_u64(0xBEA5_CAFE);
+    let rows = random_rows(&mut rng, 2500, 3000);
+    let db = poi_db(&rows);
+    let constraint = || ConstraintSpec::new("poi", &["type", "city"], &["price"]);
+    let one = Beas::builder(db.clone())
+        .constraint(constraint())
+        .num_threads(1)
+        .build()
+        .unwrap();
+    let four = Beas::builder(db)
+        .constraint(constraint())
+        .num_threads(4)
+        .build()
+        .unwrap();
+
+    let mut b = SpcQueryBuilder::new(one.schema());
+    let h = b.atom("poi", "h").unwrap();
+    b.bind_const(h, "type", "hotel").unwrap();
+    b.bind_const(h, "city", "NYC").unwrap();
+    b.filter_const(h, "price", CompareOp::Le, 400i64).unwrap();
+    b.output(h, "price", "price").unwrap();
+    let query: BeasQuery = b.build().unwrap().into();
+
+    for spec in [
+        ResourceSpec::Ratio(0.05),
+        ResourceSpec::Ratio(0.3),
+        ResourceSpec::FULL,
+    ] {
+        let a1 = one.answer(&query, spec).unwrap();
+        let a4 = four.answer(&query, spec).unwrap();
+        assert_eq!(
+            a1.answers, a4.answers,
+            "answers differ between 1 and 4 threads (spec {spec})"
+        );
+        assert_eq!(
+            a1.answers.digest(),
+            a4.answers.digest(),
+            "digests differ between 1 and 4 threads (spec {spec})"
+        );
+        assert_eq!(a1.eta, a4.eta, "eta differs (spec {spec})");
+    }
+}
