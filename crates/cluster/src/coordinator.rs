@@ -22,11 +22,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use beas_access::{AtOptions, BudgetPolicy, Catalog};
 use beas_core::{
-    calibrated_min_shard_rows, compose_plan_answer, evaluate_plan_leaf, node_keys, Beas,
+    calibrated_min_shard_rows, compose_plan_answer_partial, evaluate_plan_leaf, node_keys, Beas,
     BeasAnswer, BeasQuery, BoundedPlan, ConstraintSpec, ExecOptions, ExecState, ExecutionOutcome,
     LeafEval, LeafPlan, PlanFragments, Planner, RefinementSchedule, ResourceSpec,
 };
@@ -34,12 +34,93 @@ use beas_relal::{Database, DatabaseSchema};
 use beas_serve::{query_from_json, query_to_json, relation_from_json, Json};
 
 use crate::budget::split_budget;
-use crate::error::{ClusterError, Result};
+use crate::error::{ClusterError, Result, ShardFailure};
 use crate::metrics::{serve_metrics, ClusterMetrics, MetricsServer};
 use crate::partition::Partitioning;
 use crate::protocol;
 use crate::shard::ShardNode;
 use crate::transport::{InProcessTransport, ShardTransport};
+
+/// Per-shard-call retry discipline of a coordinator.
+///
+/// Every protocol call runs under an overall `deadline` (spanning all its
+/// attempts); a transient failure ([`ClusterError::is_retryable`]) is retried
+/// up to `attempts` times with exponential backoff from `base_backoff` plus
+/// **deterministic jitter** — a splitmix64 hash of (session, shard, attempt),
+/// so a replayed query jitters identically. A shard answering the
+/// [`protocol::NO_SESSION`] code is healed by re-sending the step's `open`
+/// (restoring session affinity after an eviction or shard restart) before
+/// the call is retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per call (≥ 1).
+    pub attempts: u32,
+    /// First backoff; attempt `n` waits `base_backoff · 2^(n-1)` plus jitter.
+    pub base_backoff: Duration,
+    /// Overall per-call deadline across all attempts.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A test-friendly policy: several attempts, no backoff, short deadline.
+    pub fn fast() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::ZERO,
+            deadline: Duration::from_millis(500),
+        }
+    }
+}
+
+/// What the coordinator does when a shard exhausts its retry budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradedPolicy {
+    /// Fail the query with the full per-shard context
+    /// ([`ClusterError::ShardFailed`]).
+    #[default]
+    Fail,
+    /// Compose an answer from the surviving shards, flagged
+    /// `partial: true` with η recomputed from only the merged fragments
+    /// (see [`beas_core::compose_plan_answer_partial`]); the lost shard's
+    /// budget share is reported unspent in the [`OutageReport`].
+    PartialAnswer,
+}
+
+/// One shard degraded away during a step: the terminal failure plus what
+/// happened to its budget share.
+#[derive(Debug, Clone)]
+pub struct ShardOutage {
+    /// The terminal failure that exhausted the retry budget.
+    pub failure: ShardFailure,
+    /// The budget share the step had allocated to the shard.
+    pub share: usize,
+    /// Tuples the shard billed before dying (its last reported accounting).
+    pub spent: usize,
+}
+
+/// How a `DegradedPolicy::PartialAnswer` step degraded: which shards were
+/// lost, which plan pieces went with them, and the budget that went unspent.
+#[derive(Debug, Clone, Default)]
+pub struct OutageReport {
+    /// The shards degraded away, in failure order.
+    pub shards: Vec<ShardOutage>,
+    /// Fetch-node ids whose fragments were lost (directly or transitively).
+    pub lost_nodes: Vec<usize>,
+    /// Leaf indices dropped from the composition.
+    pub dropped_leaves: Vec<usize>,
+    /// Allocated-but-unbilled budget of the lost shards.
+    pub unspent_share: usize,
+}
 
 /// Builds a cluster: N shard engines over a relation partitioning plus the
 /// coordinator handle.
@@ -52,6 +133,8 @@ pub struct ClusterBuilder {
     min_shard_rows: Option<usize>,
     policy: BudgetPolicy,
     options: AtOptions,
+    retry: RetryPolicy,
+    degraded: DegradedPolicy,
 }
 
 impl ClusterBuilder {
@@ -65,6 +148,8 @@ impl ClusterBuilder {
             min_shard_rows: None,
             policy: BudgetPolicy::default(),
             options: AtOptions::default(),
+            retry: RetryPolicy::default(),
+            degraded: DegradedPolicy::default(),
         }
     }
 
@@ -104,6 +189,19 @@ impl ClusterBuilder {
     /// Access-template build options (propagated to every shard).
     pub fn at_options(mut self, options: AtOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// The coordinator's per-shard-call retry discipline.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// What to do when a shard exhausts its retry budget (default:
+    /// [`DegradedPolicy::Fail`]).
+    pub fn degraded_policy(mut self, degraded: DegradedPolicy) -> Self {
+        self.degraded = degraded;
         self
     }
 
@@ -206,6 +304,8 @@ impl ClusterBuilder {
             threads,
             min_shard_rows,
             metrics,
+            retry: self.retry,
+            degraded: self.degraded,
             next_session: AtomicU64::new(1),
         })
     }
@@ -227,6 +327,26 @@ fn families_per_spec(schema: &DatabaseSchema, spec: &ConstraintSpec) -> Result<u
         .into_iter()
         .any(|a| !spec.x.contains(&a) && !spec.y.contains(&a));
     Ok(if rest { 3 } else { 2 })
+}
+
+/// The accounting fields a shard appends to every fetch response, if present
+/// (see [`crate::protocol`]): the coordinator keeps the latest per shard so a
+/// shard that dies later still contributes exact numbers.
+fn step_accounting_of(response: &Json) -> Option<StepStats> {
+    Some(StepStats {
+        accessed: protocol::req_usize(response, "billed").ok()?,
+        fetches: protocol::req_usize(response, "fetches").ok()?,
+        fetched_cum: protocol::req_usize(response, "fetched_tuples").ok()?,
+        reused_cum: protocol::req_usize(response, "reused_tuples").ok()?,
+    })
+}
+
+/// The splitmix64 mixer — the retry driver's deterministic jitter source.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// This step's accounting, gathered from the shards.
@@ -256,6 +376,8 @@ pub struct ClusterHandle {
     threads: usize,
     min_shard_rows: usize,
     metrics: Arc<ClusterMetrics>,
+    retry: RetryPolicy,
+    degraded: DegradedPolicy,
     next_session: AtomicU64,
 }
 
@@ -312,25 +434,63 @@ impl ClusterHandle {
         serve_metrics(Arc::clone(&self.metrics), bind)
     }
 
+    /// Swaps the shard transport — e.g. from the in-process default to a
+    /// [`TcpShardTransport`](crate::tcp::TcpShardTransport) once the shard
+    /// nodes are served over sockets, or to a
+    /// [`FaultInjectingTransport`](crate::transport::FaultInjectingTransport)
+    /// for chaos runs. The protocol bytes are identical either way.
+    pub fn set_transport(&mut self, transport: Arc<dyn ShardTransport>) {
+        self.transport = transport;
+    }
+
+    /// The current shard transport.
+    pub fn transport(&self) -> &Arc<dyn ShardTransport> {
+        &self.transport
+    }
+
+    /// Replaces the per-shard-call retry discipline.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Replaces the degradation policy.
+    pub fn set_degraded_policy(&mut self, degraded: DegradedPolicy) {
+        self.degraded = degraded;
+    }
+
     /// Answers `query` under `spec` with one scatter-gather execution.
     ///
     /// Bit-for-bit equal — relation, η, `accessed`, the lot — to
     /// [`Beas::answer`] on a single node holding the whole database, at the
     /// same total budget.
     pub fn answer(&self, query: &BeasQuery, spec: ResourceSpec) -> Result<BeasAnswer> {
+        self.answer_with_report(query, spec)
+            .map(|(answer, _)| answer)
+    }
+
+    /// Like [`ClusterHandle::answer`], also returning how the step degraded
+    /// (`None` for a healthy, non-partial answer). Under
+    /// [`DegradedPolicy::PartialAnswer`] a dead shard yields
+    /// `answer.partial == true` plus an [`OutageReport`]; under
+    /// [`DegradedPolicy::Fail`] it yields [`ClusterError::ShardFailed`].
+    pub fn answer_with_report(
+        &self,
+        query: &BeasQuery,
+        spec: ResourceSpec,
+    ) -> Result<(BeasAnswer, Option<OutageReport>)> {
         let (qjson, normalized) = self.normalize(query)?;
         let budget = self.catalog.budget(&spec)?;
         if budget == 0 {
             // zero budget: no plan may access any tuple — the canonical
             // empty answer, exactly like a single node
-            return Ok(BeasAnswer::empty(normalized.output_columns()));
+            return Ok((BeasAnswer::empty(normalized.output_columns()), None));
         }
         let plan = Planner::new(&self.catalog).plan_with_budget(&normalized, budget)?;
         let session = self.next_session.fetch_add(1, Ordering::Relaxed);
         let mut state = ExecState::new();
         let result = self.run_step(session, &qjson, &plan, &mut state);
         self.close_all(session);
-        result.map(|(answer, _)| answer)
+        result.map(|(answer, _, outage)| (answer, outage))
     }
 
     /// Opens a progressive refinement session over `schedule`: each step
@@ -387,14 +547,22 @@ impl ClusterHandle {
         Ok((qjson, normalized))
     }
 
-    /// One scatter-gather execution of `plan` under session `session`.
+    /// One scatter-gather execution of `plan` under session `session`,
+    /// degrading around dead shards when the policy allows (see
+    /// [`DegradedPolicy`]): a shard that exhausts its retry budget takes its
+    /// unfetched fragments — and every fetch node and leaf transitively
+    /// depending on them — out of the composition. The answer is flagged
+    /// `partial` exactly when a fetch node was lost; a shard that dies
+    /// *after* serving all its fragments is salvaged bit-for-bit (its leaves
+    /// re-evaluated at the coordinator, its accounting taken from its last
+    /// fetch response).
     fn run_step(
         &self,
         session: u64,
         qjson: &Json,
         plan: &BoundedPlan,
         state: &mut ExecState,
-    ) -> Result<(BeasAnswer, StepStats)> {
+    ) -> Result<(BeasAnswer, StepStats, Option<OutageReport>)> {
         let split = split_budget(
             plan,
             &self.catalog,
@@ -404,9 +572,17 @@ impl ClusterHandle {
         self.metrics
             .record_allocation(&split.shares, &split.tariffs);
 
+        let shards = self.shards();
+        let mut dead: Vec<bool> = vec![false; shards];
+        let mut outage = OutageReport::default();
+        // the shard's last reported step accounting, used verbatim should it
+        // die later (exact: billing only changes on fetch)
+        let mut last_seen: Vec<StepStats> = vec![StepStats::default(); shards];
+
         // open every shard: each plans the query for itself and must land on
         // the coordinator's plan (cross-checked by shape)
-        for shard in 0..self.shards() {
+        let mut opens: Vec<Json> = Vec::with_capacity(shards);
+        for shard in 0..shards {
             let request = protocol::open_request(
                 session,
                 qjson,
@@ -415,89 +591,190 @@ impl ClusterHandle {
                 self.threads,
                 self.min_shard_rows,
             );
-            let response = self.call(shard, &request)?;
-            let tariff = protocol::req_usize(&response, "tariff")?;
-            let nodes = protocol::req_usize(&response, "nodes")?;
-            let leaves = protocol::req_usize(&response, "leaves")?;
-            if tariff != plan.tariff
-                || nodes != plan.fetch.nodes.len()
-                || leaves != plan.leaves.len()
-            {
-                return Err(ClusterError::Protocol(format!(
-                    "shard {shard} planned divergently: tariff {tariff} vs {}, \
-                     {nodes} nodes vs {}, {leaves} leaves vs {}",
-                    plan.tariff,
-                    plan.fetch.nodes.len(),
-                    plan.leaves.len()
-                )));
+            match self.call(shard, &request, None) {
+                Ok(response) => {
+                    let tariff = protocol::req_usize(&response, "tariff")?;
+                    let nodes = protocol::req_usize(&response, "nodes")?;
+                    let leaves = protocol::req_usize(&response, "leaves")?;
+                    if tariff != plan.tariff
+                        || nodes != plan.fetch.nodes.len()
+                        || leaves != plan.leaves.len()
+                    {
+                        // a divergent plan means the shard cannot serve this
+                        // step (stale catalog, version skew): degradable
+                        let failure = ShardFailure {
+                            shard,
+                            op: "open".to_string(),
+                            attempts: 1,
+                            elapsed: Duration::ZERO,
+                            deadline: self.retry.deadline,
+                            last_error: format!(
+                                "planned divergently: tariff {tariff} vs {}, \
+                                 {nodes} nodes vs {}, {leaves} leaves vs {}",
+                                plan.tariff,
+                                plan.fetch.nodes.len(),
+                                plan.leaves.len()
+                            ),
+                        };
+                        self.degrade(
+                            ClusterError::ShardFailed(Box::new(failure)),
+                            shard,
+                            &mut dead,
+                            &mut outage,
+                        )?;
+                    }
+                }
+                Err(e) => self.degrade(e, shard, &mut dead, &mut outage)?,
             }
+            opens.push(request);
         }
 
         // scatter: stream every fetch node from its owning shard, adopting
         // the returned fragments into the coordinator state (no re-billing —
-        // the shard billed its share)
+        // the shard billed its share). A node is lost when its owner is dead
+        // or its key-source input was lost; losses propagate down the chain.
         let mut fragments = PlanFragments::for_plan(plan);
+        let mut lost: Vec<bool> = vec![false; plan.fetch.nodes.len()];
         for node in &plan.fetch.nodes {
-            let keys = node_keys(node, &fragments)?;
+            if node.input_node.is_some_and(|input| lost[input]) {
+                lost[node.id] = true;
+                continue;
+            }
             let owner = self.owner_of_family(node.family)?;
-            let response = self.call(owner, &protocol::fetch_request(session, node.id, &keys))?;
-            let rel = Arc::new(relation_from_json(protocol::req_field(
-                &response, "relation",
-            )?)?);
-            let fragment = state.adopt_fragment(node.family, node.level, keys, Arc::clone(&rel));
-            fragments.set(node.id, fragment, rel);
+            if dead[owner] {
+                lost[node.id] = true;
+                continue;
+            }
+            let keys = node_keys(node, &fragments)?;
+            match self.call(
+                owner,
+                &protocol::fetch_request(session, node.id, &keys),
+                Some(&opens[owner]),
+            ) {
+                Ok(response) => {
+                    let rel = Arc::new(relation_from_json(protocol::req_field(
+                        &response, "relation",
+                    )?)?);
+                    if let Some(seen) = step_accounting_of(&response) {
+                        last_seen[owner] = seen;
+                    }
+                    let fragment =
+                        state.adopt_fragment(node.family, node.level, keys, Arc::clone(&rel));
+                    fragments.set(node.id, fragment, rel);
+                }
+                Err(e) => {
+                    self.degrade(e, owner, &mut dead, &mut outage)?;
+                    lost[node.id] = true;
+                }
+            }
         }
 
         // gather: leaves whose atoms all live on one shard are evaluated
         // there (canonical leaf result + η contribution over the wire);
-        // cross-shard leaves are evaluated here over the gathered fragments
+        // cross-shard leaves — and leaves whose sole owner died after its
+        // fragments were all gathered — are evaluated here over the gathered
+        // fragments. A leaf missing any atom fragment is dropped.
         let options = ExecOptions::budgeted(split.resolved)
             .with_threads(self.threads)
             .with_min_shard_rows(self.min_shard_rows);
-        let mut leaves: Vec<LeafEval> = Vec::with_capacity(plan.leaves.len());
+        let mut leaves: Vec<Option<LeafEval>> = Vec::with_capacity(plan.leaves.len());
         for (index, leaf_plan) in plan.leaves.iter().enumerate() {
-            match self.sole_owner(plan, leaf_plan)? {
-                Some(shard) => {
-                    let response = self.call(shard, &protocol::leaf_request(session, index))?;
-                    let rel = Arc::new(relation_from_json(protocol::req_field(
-                        &response, "relation",
-                    )?)?);
-                    let out_res = protocol::resolutions_from_json(protocol::req_field(
-                        &response, "out_res",
-                    )?)?;
-                    let exact = protocol::req_field(&response, "exact")?
-                        .as_bool()
-                        .ok_or_else(|| ClusterError::Wire("exact must be a bool".to_string()))?;
-                    leaves.push(LeafEval {
-                        rel,
-                        out_res,
-                        exact,
-                    });
-                }
-                None => leaves.push(evaluate_plan_leaf(
-                    index,
-                    plan,
-                    &self.catalog,
-                    &fragments,
-                    &options,
-                    state,
-                )?),
+            if leaf_plan.atom_nodes.iter().any(|&n| lost[n]) {
+                outage.dropped_leaves.push(index);
+                leaves.push(None);
+                continue;
             }
+            let remote = match self.sole_owner(plan, leaf_plan)? {
+                Some(shard) if !dead[shard] => {
+                    match self.call(
+                        shard,
+                        &protocol::leaf_request(session, index),
+                        Some(&opens[shard]),
+                    ) {
+                        Ok(response) => {
+                            let rel = Arc::new(relation_from_json(protocol::req_field(
+                                &response, "relation",
+                            )?)?);
+                            let out_res = protocol::resolutions_from_json(protocol::req_field(
+                                &response, "out_res",
+                            )?)?;
+                            let exact = protocol::req_field(&response, "exact")?
+                                .as_bool()
+                                .ok_or_else(|| {
+                                    ClusterError::Wire("exact must be a bool".to_string())
+                                })?;
+                            Some(LeafEval {
+                                rel,
+                                out_res,
+                                exact,
+                            })
+                        }
+                        Err(e) => {
+                            // the shard died between fetch and leaf; every
+                            // fragment is at the coordinator, so salvage the
+                            // leaf locally — still bit-for-bit
+                            self.degrade(e, shard, &mut dead, &mut outage)?;
+                            None
+                        }
+                    }
+                }
+                _ => None,
+            };
+            leaves.push(Some(match remote {
+                Some(leaf) => leaf,
+                None => {
+                    evaluate_plan_leaf(index, plan, &self.catalog, &fragments, &options, state)?
+                }
+            }));
         }
 
-        // merge: deterministic composition, same path as a single node
+        // merge: deterministic composition, same path as a single node; with
+        // dropped leaves the pruned composition answers η = 0 (the honest
+        // bound with fragments missing)
         let merge_start = Instant::now();
-        let (answers, eta) = compose_plan_answer(plan, &self.catalog, &leaves)?;
+        let (answers, eta) = compose_plan_answer_partial(plan, &self.catalog, &leaves)?;
         self.metrics.record_merge(merge_start.elapsed());
 
-        // accounting: the cluster accessed what its shards billed
+        // accounting: the cluster accessed what its shards billed — dead
+        // shards contribute their last reported numbers
         let mut stats = StepStats::default();
-        for shard in 0..self.shards() {
-            let response = self.call(shard, &protocol::stats_request(session, false))?;
-            stats.accessed += protocol::req_usize(&response, "accessed")?;
-            stats.fetches += protocol::req_usize(&response, "fetches")?;
-            stats.fetched_cum += protocol::req_usize(&response, "fetched_tuples")?;
-            stats.reused_cum += protocol::req_usize(&response, "reused_tuples")?;
+        for shard in 0..shards {
+            if !dead[shard] {
+                match self.call(
+                    shard,
+                    &protocol::stats_request(session, false),
+                    Some(&opens[shard]),
+                ) {
+                    Ok(response) => {
+                        stats.accessed += protocol::req_usize(&response, "accessed")?;
+                        stats.fetches += protocol::req_usize(&response, "fetches")?;
+                        stats.fetched_cum += protocol::req_usize(&response, "fetched_tuples")?;
+                        stats.reused_cum += protocol::req_usize(&response, "reused_tuples")?;
+                        continue;
+                    }
+                    Err(e) => self.degrade(e, shard, &mut dead, &mut outage)?,
+                }
+            }
+            stats.accessed += last_seen[shard].accessed;
+            stats.fetches += last_seen[shard].fetches;
+            stats.fetched_cum += last_seen[shard].fetched_cum;
+            stats.reused_cum += last_seen[shard].reused_cum;
+        }
+
+        let partial = lost.iter().any(|&l| l);
+        outage.lost_nodes = (0..lost.len()).filter(|&n| lost[n]).collect();
+        for entry in &mut outage.shards {
+            let s = entry.failure.shard;
+            entry.share = split.shares.get(s).copied().unwrap_or(0);
+            entry.spent = last_seen[s].accessed;
+        }
+        outage.unspent_share = outage
+            .shards
+            .iter()
+            .map(|o| o.share.saturating_sub(o.spent))
+            .sum();
+        if partial {
+            self.metrics.record_degraded_answer();
         }
         let outcome = ExecutionOutcome {
             answers,
@@ -505,16 +782,147 @@ impl ClusterHandle {
             accessed: stats.accessed,
             fetches: stats.fetches,
         };
-        Ok((BeasAnswer::from_execution(plan, outcome), stats))
+        let mut answer = BeasAnswer::from_execution(plan, outcome);
+        answer.partial = partial;
+        let report = (!outage.shards.is_empty()).then_some(outage);
+        Ok((answer, stats, report))
     }
 
-    /// One timed transport call, with `ok` checking.
-    fn call(&self, shard: usize, request: &Json) -> Result<Json> {
+    /// Routes a terminal shard failure by the degradation policy: under
+    /// [`DegradedPolicy::PartialAnswer`] the shard is marked dead and the
+    /// step continues; anything else propagates. Only
+    /// [`ClusterError::ShardFailed`] is degradable — deterministic engine or
+    /// protocol errors would fail a single node too and must not be masked.
+    fn degrade(
+        &self,
+        error: ClusterError,
+        shard: usize,
+        dead: &mut [bool],
+        outage: &mut OutageReport,
+    ) -> Result<()> {
+        match error {
+            ClusterError::ShardFailed(failure)
+                if self.degraded == DegradedPolicy::PartialAnswer =>
+            {
+                self.metrics.record_degraded(shard);
+                dead[shard] = true;
+                outage.shards.push(ShardOutage {
+                    failure: *failure,
+                    share: 0,
+                    spent: 0,
+                });
+                Ok(())
+            }
+            other => Err(other),
+        }
+    }
+
+    /// One protocol exchange with `shard` under the retry policy: timed per
+    /// attempt, retried on transient failures with exponential backoff and
+    /// deterministic jitter, healed through a `no_session` re-open when
+    /// `reopen` carries the step's open request, and `ok`-checked. A
+    /// retryable failure that survives every attempt comes back as
+    /// [`ClusterError::ShardFailed`] with the full attempt context.
+    fn call(&self, shard: usize, request: &Json, reopen: Option<&Json>) -> Result<Json> {
+        let policy = self.retry;
         let start = Instant::now();
-        let response = self.transport.call(shard, request)?;
-        self.metrics.record_shard_call(shard, start.elapsed());
-        protocol::expect_ok(&response)?;
-        Ok(response)
+        let hard_deadline = start + policy.deadline;
+        let session = protocol::req_usize(request, "session").unwrap_or(0) as u64;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let attempt_start = Instant::now();
+            let result = self
+                .transport
+                .call_deadline(shard, request, Some(hard_deadline));
+            self.metrics
+                .record_shard_call(shard, attempt_start.elapsed());
+            let error = match result {
+                Ok(response) => {
+                    if protocol::error_code(&response) == Some(protocol::NO_SESSION) {
+                        let Some(reopen) = reopen else {
+                            // no way to heal (the open itself): surface the
+                            // shard's error as a protocol error
+                            protocol::expect_ok(&response)?;
+                            return Ok(response);
+                        };
+                        // the shard lost the session (evicted or restarted):
+                        // re-open to restore affinity, then retry the call
+                        match self
+                            .transport
+                            .call_deadline(shard, reopen, Some(hard_deadline))
+                            .and_then(|r| protocol::expect_ok(&r).map(|_| ()))
+                        {
+                            Ok(()) => {
+                                if attempt >= policy.attempts || Instant::now() >= hard_deadline {
+                                    return Err(self.give_up(
+                                        shard,
+                                        request,
+                                        attempt,
+                                        start,
+                                        "session re-opened but retry budget exhausted",
+                                    ));
+                                }
+                                self.metrics.record_retry(shard);
+                                continue;
+                            }
+                            Err(e) => e,
+                        }
+                    } else {
+                        protocol::expect_ok(&response)?;
+                        return Ok(response);
+                    }
+                }
+                Err(e) => e,
+            };
+            if matches!(error, ClusterError::Timeout { .. }) {
+                self.metrics.record_timeout(shard);
+            }
+            if !error.is_retryable() {
+                return Err(error);
+            }
+            if attempt >= policy.attempts || Instant::now() >= hard_deadline {
+                return Err(self.give_up(shard, request, attempt, start, &error.to_string()));
+            }
+            self.metrics.record_retry(shard);
+            self.backoff(session, shard, attempt);
+        }
+    }
+
+    /// The terminal [`ClusterError::ShardFailed`] of an exhausted retry loop.
+    fn give_up(
+        &self,
+        shard: usize,
+        request: &Json,
+        attempts: u32,
+        start: Instant,
+        last_error: &str,
+    ) -> ClusterError {
+        ClusterError::ShardFailed(Box::new(ShardFailure {
+            shard,
+            op: request
+                .get("op")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            attempts,
+            elapsed: start.elapsed(),
+            deadline: self.retry.deadline,
+            last_error: last_error.to_string(),
+        }))
+    }
+
+    /// Sleeps before retry `attempt + 1`: exponential from the policy's base
+    /// plus deterministic jitter hashed from (session, shard, attempt).
+    fn backoff(&self, session: u64, shard: usize, attempt: u32) {
+        let base = self.retry.base_backoff;
+        if base.is_zero() {
+            return;
+        }
+        let exp = base.saturating_mul(1u32 << (attempt - 1).min(16));
+        let hash = splitmix64(session ^ ((shard as u64) << 32) ^ u64::from(attempt));
+        let jitter = Duration::from_nanos(hash % (base.as_nanos().max(1) as u64));
+        std::thread::sleep(exp + jitter);
     }
 
     fn owner_of_family(&self, family: usize) -> Result<usize> {
@@ -573,6 +981,9 @@ pub struct ClusterStep {
     pub step: usize,
     /// Total steps in the schedule.
     pub steps: usize,
+    /// What was lost, when shards were degraded away this step (`None` on a
+    /// healthy step).
+    pub outage: Option<OutageReport>,
 }
 
 /// A progressive refinement session against a cluster: shard `ExecState`s
@@ -612,7 +1023,7 @@ impl ClusterSession<'_> {
 
     fn run(&mut self, spec: ResourceSpec, budget: usize) -> Result<ClusterStep> {
         let plan = Planner::new(&self.handle.catalog).plan_with_budget(&self.query, budget)?;
-        let (answer, stats) =
+        let (answer, stats, outage) =
             self.handle
                 .run_step(self.session, &self.qjson, &plan, &mut self.state)?;
         let reused = stats.reused_cum.saturating_sub(self.last_reused_cum);
@@ -626,6 +1037,7 @@ impl ClusterSession<'_> {
             step: self.next,
             steps: self.steps.len(),
             answer,
+            outage,
         })
     }
 }
@@ -981,5 +1393,178 @@ mod tests {
             .map(|_| ())
             .unwrap_err();
         assert!(err.to_string().contains("zero budget"), "{err}");
+    }
+
+    use crate::transport::{FaultInjectingTransport, FaultRates};
+
+    /// A cluster rewired through a fault injector, plus the injector handle.
+    fn flaky_cluster(
+        shards: usize,
+        seed: u64,
+        rates: FaultRates,
+    ) -> (ClusterHandle, Arc<FaultInjectingTransport>, Beas) {
+        let (mut cluster, single) = cluster_and_single(shards);
+        let inner = Arc::clone(cluster.transport());
+        let faulty = Arc::new(FaultInjectingTransport::new(inner, seed, rates));
+        cluster.set_transport(Arc::clone(&faulty) as Arc<dyn ShardTransport>);
+        cluster.set_retry_policy(RetryPolicy::fast());
+        (cluster, faulty, single)
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_the_bit_for_bit_answer() {
+        // drops, disconnects and garbles — but fewer consecutive faults than
+        // retry attempts — must be absorbed entirely by the retry driver
+        let rates = FaultRates {
+            drop: 40,
+            disconnect: 40,
+            garble: 40,
+            delay: 0,
+        };
+        let (mut cluster, faulty, single) = flaky_cluster(3, 0xC0FFEE, rates);
+        cluster.set_retry_policy(RetryPolicy {
+            attempts: 8,
+            base_backoff: Duration::ZERO,
+            deadline: Duration::from_secs(2),
+        });
+        for query in [
+            single_atom_query(cluster.schema()),
+            join_query(cluster.schema()),
+            sum_query(cluster.schema()),
+        ] {
+            for spec in [ResourceSpec::Tuples(9), ResourceSpec::FULL] {
+                let a = cluster.answer(&query, spec).unwrap();
+                let b = single.answer(&query, spec).unwrap();
+                assert_same(&a, &b);
+                assert!(!a.partial);
+            }
+        }
+        assert!(faulty.injected() > 0, "the seed must actually inject");
+        let json = cluster.metrics().to_json();
+        let retries: i64 = json
+            .get("shards")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|s| s.get("retries").and_then(Json::as_i64).unwrap())
+            .sum();
+        assert!(retries > 0, "retries must be recorded: {json}");
+        assert_eq!(json.get("degraded_answers").and_then(Json::as_i64), Some(0));
+    }
+
+    #[test]
+    fn disconnected_fetch_retry_does_not_double_bill() {
+        // disconnects lose the response *after* the shard did the work: the
+        // retried fetch must be served from the shard's idempotency ledger,
+        // keeping `accessed` exactly the single-node number
+        let rates = FaultRates {
+            drop: 0,
+            disconnect: 250,
+            garble: 0,
+            delay: 0,
+        };
+        let (cluster, _faulty, single) = flaky_cluster(3, 7, rates);
+        let query = join_query(cluster.schema());
+        let a = cluster.answer(&query, ResourceSpec::Ratio(0.5)).unwrap();
+        let b = single.answer(&query, ResourceSpec::Ratio(0.5)).unwrap();
+        assert_same(&a, &b);
+    }
+
+    #[test]
+    fn dead_shard_fails_the_query_with_shard_context_under_fail_policy() {
+        let (cluster, faulty, _single) = flaky_cluster(3, 1, FaultRates::uniform(0));
+        let query = join_query(cluster.schema());
+        faulty.set_down(1, true);
+        let err = cluster.answer(&query, ResourceSpec::FULL).unwrap_err();
+        let ClusterError::ShardFailed(failure) = err else {
+            panic!("expected ShardFailed, got {err}");
+        };
+        assert_eq!(failure.shard, 1);
+        assert!(failure.attempts >= RetryPolicy::fast().attempts);
+        assert!(failure.last_error.contains("outage"), "{failure}");
+    }
+
+    #[test]
+    fn dead_shard_yields_an_honest_partial_answer_under_partial_policy() {
+        let (mut cluster, faulty, single) = flaky_cluster(3, 2, FaultRates::uniform(0));
+        cluster.set_degraded_policy(DegradedPolicy::PartialAnswer);
+        let query = join_query(cluster.schema());
+        let healthy = single.answer(&query, ResourceSpec::FULL).unwrap();
+        faulty.set_down(0, true);
+        let (partial, outage) = cluster
+            .answer_with_report(&query, ResourceSpec::FULL)
+            .unwrap();
+        assert!(partial.partial);
+        assert!(
+            partial.eta <= healthy.eta,
+            "partial η must lower-bound the healthy answer: {} vs {}",
+            partial.eta,
+            healthy.eta
+        );
+        let outage = outage.expect("an outage report");
+        assert_eq!(outage.shards.len(), 1);
+        assert_eq!(outage.shards[0].failure.shard, 0);
+        assert!(!outage.lost_nodes.is_empty());
+        assert!(!outage.dropped_leaves.is_empty());
+        assert_eq!(outage.shards[0].spent, 0, "nothing fetched before death");
+        assert_eq!(outage.unspent_share, outage.shards[0].share);
+        let json = cluster.metrics().to_json();
+        assert_eq!(json.get("degraded_answers").and_then(Json::as_i64), Some(1));
+        // the revived shard serves the healthy answer again
+        faulty.set_down(0, false);
+        let (healed, outage) = cluster
+            .answer_with_report(&query, ResourceSpec::FULL)
+            .unwrap();
+        assert!(outage.is_none());
+        assert_same(&healed, &healthy);
+    }
+
+    #[test]
+    fn dead_shard_outside_the_plan_leaves_the_answer_exact_and_non_partial() {
+        // a single-atom query over poi only touches poi's owner for data: a
+        // dead bystander shard fails its open/stats calls and is degraded
+        // away, but no fetch node or leaf is lost — the answer must stay
+        // bit-for-bit exact and non-partial (outage still reported)
+        let (mut cluster, faulty, single) = flaky_cluster(3, 3, FaultRates::uniform(0));
+        cluster.set_degraded_policy(DegradedPolicy::PartialAnswer);
+        let query = single_atom_query(cluster.schema());
+        let healthy = single.answer(&query, ResourceSpec::FULL).unwrap();
+        let owner = cluster.owner_of_family(1).unwrap(); // poi is relation 1
+        faulty.set_down((owner + 1) % 3, true);
+        let (b, outage) = cluster
+            .answer_with_report(&query, ResourceSpec::FULL)
+            .unwrap();
+        assert!(!b.partial);
+        assert_same(&b, &healthy);
+        let outage = outage.expect("the dead shard is still reported");
+        assert!(outage.lost_nodes.is_empty());
+        assert!(outage.dropped_leaves.is_empty());
+    }
+
+    #[test]
+    fn evicted_sessions_are_healed_by_reopen_mid_session() {
+        let (cluster, single) = cluster_and_single(3);
+        let query = join_query(cluster.schema());
+        let schedule = RefinementSchedule::tuples(&[8, 72]).unwrap();
+        let mut cs = cluster.session(&query, schedule.clone()).unwrap();
+        let prepared = single.prepare(&query).unwrap();
+        let mut ss = prepared.session(schedule).unwrap();
+        let c1 = cs.next_step().unwrap().unwrap();
+        let s1 = ss.next_step().unwrap().unwrap();
+        assert_eq!(c1.answer.answers.digest(), s1.answer.answers.digest());
+        // evict every shard session between steps: the next step must heal
+        // through `no_session` re-opens and still match the single node's
+        // digest and η (budget accounting restarts on the evicted shards)
+        let mut evicted = 0;
+        for node in cluster.nodes() {
+            let (dropped, _) = node.evict_idle(Duration::ZERO);
+            evicted += dropped;
+        }
+        assert_eq!(evicted, 3, "every shard held one session");
+        let c2 = cs.next_step().unwrap().unwrap();
+        let s2 = ss.next_step().unwrap().unwrap();
+        assert_eq!(c2.answer.answers.digest(), s2.answer.answers.digest());
+        assert_eq!(c2.eta.to_bits(), s2.eta.to_bits());
+        assert!(!c2.answer.partial);
     }
 }

@@ -22,7 +22,9 @@
 //! * Messages use `beas-serve`'s wire encoding (see [`crate::protocol`]);
 //!   [`InProcessTransport`] round-trips every message through its serialized
 //!   text form, so tests exercise the exact bytes a TCP transport would
-//!   carry.
+//!   carry — and [`TcpShardTransport`] carries those bytes over real
+//!   sockets to [`ShardServer`]s, with per-shard connection pooling,
+//!   automatic reconnect and per-call deadlines.
 //!
 //! ## Budget split
 //!
@@ -46,6 +48,31 @@
 //! whether a leaf is computed on a shard or at the coordinator. Thread
 //! counts only parallelise commutative folds over fixed row orders, so the
 //! equality holds across shard counts and thread counts alike.
+//!
+//! ## Fault tolerance
+//!
+//! Real clusters lose shards. The coordinator runs every protocol call
+//! under a [`RetryPolicy`] — per-call deadline, bounded attempts,
+//! exponential backoff with **deterministic jitter** (a splitmix64 hash of
+//! session, shard and attempt, so replays behave identically). Retries are
+//! safe against *at-least-once* delivery: each shard keeps a per-step
+//! idempotency ledger, so a fetch whose response was lost in flight is
+//! re-served without billing the budget twice, and a shard that evicted or
+//! lost its session state answers with the `no_session` code, which the
+//! coordinator heals by re-sending the step's `open` before retrying.
+//!
+//! When a shard exhausts its retry budget, [`DegradedPolicy`] decides:
+//! `Fail` surfaces [`ClusterError::ShardFailed`] with the full per-shard
+//! context (shard id, op, attempts, elapsed vs deadline);
+//! `PartialAnswer` composes an answer from the surviving shards — the
+//! pruned composition flags the answer `partial: true`, reports an **honest
+//! η** (a lower bound the full answer satisfies), and accounts the lost
+//! shard's budget share as unspent in an [`OutageReport`]. A shard that
+//! dies *after* serving all its fragments is salvaged bit-for-bit: its
+//! leaves are re-evaluated at the coordinator and the answer stays
+//! non-partial. [`FaultInjectingTransport`] drives the chaos property suite
+//! that checks the invariant: *every answer is either bit-for-bit equal to
+//! the healthy answer or flagged partial with a valid η lower bound.*
 //!
 //! ## Example
 //!
@@ -91,12 +118,17 @@ pub mod metrics;
 pub mod partition;
 pub mod protocol;
 pub mod shard;
+pub mod tcp;
 pub mod transport;
 
 pub use budget::{split_budget, BudgetSplit};
-pub use coordinator::{ClusterBuilder, ClusterHandle, ClusterSession, ClusterStep};
-pub use error::{ClusterError, Result};
+pub use coordinator::{
+    ClusterBuilder, ClusterHandle, ClusterSession, ClusterStep, DegradedPolicy, OutageReport,
+    RetryPolicy, ShardOutage,
+};
+pub use error::{ClusterError, Result, ShardFailure};
 pub use metrics::{serve_metrics, ClusterMetrics, MetricsServer};
 pub use partition::Partitioning;
 pub use shard::ShardNode;
-pub use transport::{InProcessTransport, ShardTransport};
+pub use tcp::{ShardServer, TcpShardTransport};
+pub use transport::{FaultInjectingTransport, FaultRates, InProcessTransport, ShardTransport};

@@ -3,9 +3,11 @@
 //! The coordinator records, per query: the budget allocation handed to each
 //! shard (tariff floor + proportional slack), the latency of every shard
 //! call (open/fetch/leaf/stats alike, as observed from the coordinator), and
-//! the time spent merging shard leaf results into the final answer. The
-//! [`MetricsServer`] exposes the whole snapshot as JSON over a tiny
-//! single-threaded HTTP listener built on `beas-serve`'s http module.
+//! the time spent merging shard leaf results into the final answer, and the
+//! fault-tolerance counters — retries, timeouts, reconnects and
+//! degraded-away shards per shard, plus how many answers went out flagged
+//! `partial`. The [`MetricsServer`] exposes the whole snapshot as JSON over
+//! a tiny single-threaded HTTP listener built on `beas-serve`'s http module.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -31,11 +33,22 @@ struct ShardCounters {
     last_share: usize,
     /// The tariff floor of the most recent query.
     last_tariff: usize,
+    /// Calls to this shard that were retried after a transient failure.
+    retries: u64,
+    /// Calls to this shard that exceeded their deadline.
+    timeouts: u64,
+    /// Connections re-established to this shard after a first connect.
+    reconnects: u64,
+    /// Queries answered without this shard (its retry budget exhausted
+    /// under `DegradedPolicy::PartialAnswer`).
+    degraded: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     queries: u64,
+    /// Queries answered `partial` (at least one shard degraded away).
+    degraded_answers: u64,
     shards: Vec<ShardCounters>,
 }
 
@@ -54,6 +67,7 @@ impl ClusterMetrics {
         ClusterMetrics {
             inner: Mutex::new(Inner {
                 queries: 0,
+                degraded_answers: 0,
                 shards: (0..shards).map(|_| ShardCounters::default()).collect(),
             }),
             merge: LatencyHistogram::default(),
@@ -87,6 +101,41 @@ impl ClusterMetrics {
         self.merge.record(latency);
     }
 
+    /// Records one retried call to shard `shard`.
+    pub fn record_retry(&self, shard: usize) {
+        self.bump(shard, |c| c.retries += 1);
+    }
+
+    /// Records one deadline-exceeded call to shard `shard`.
+    pub fn record_timeout(&self, shard: usize) {
+        self.bump(shard, |c| c.timeouts += 1);
+    }
+
+    /// Records one re-established connection to shard `shard`.
+    pub fn record_reconnect(&self, shard: usize) {
+        self.bump(shard, |c| c.reconnects += 1);
+    }
+
+    /// Records one query degraded around shard `shard` (and, once per query,
+    /// one partial answer — call once per lost shard; the partial-answer
+    /// count is bumped by [`ClusterMetrics::record_degraded_answer`]).
+    pub fn record_degraded(&self, shard: usize) {
+        self.bump(shard, |c| c.degraded += 1);
+    }
+
+    /// Records one answer that went out flagged `partial`.
+    pub fn record_degraded_answer(&self) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.degraded_answers += 1;
+    }
+
+    fn bump(&self, shard: usize, f: impl FnOnce(&mut ShardCounters)) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        if let Some(counters) = inner.shards.get_mut(shard) {
+            f(counters);
+        }
+    }
+
     /// Queries recorded so far.
     pub fn queries(&self) -> u64 {
         self.inner.lock().expect("metrics poisoned").queries
@@ -114,11 +163,16 @@ impl ClusterMetrics {
                         "budget_allocated_total",
                         Json::Int(c.allocated_total as i64),
                     ),
+                    ("retries", Json::Int(c.retries as i64)),
+                    ("timeouts", Json::Int(c.timeouts as i64)),
+                    ("reconnects", Json::Int(c.reconnects as i64)),
+                    ("degraded", Json::Int(c.degraded as i64)),
                 ])
             })
             .collect();
         Json::obj(vec![
             ("queries", Json::Int(inner.queries as i64)),
+            ("degraded_answers", Json::Int(inner.degraded_answers as i64)),
             (
                 "merge",
                 Json::obj(vec![

@@ -10,13 +10,23 @@
 //!   cross-checks these against its own plan.
 //! * `fetch` — `{op, session, node, keys}`: run one fetch node's lookup
 //!   against the shard's partition under its budget share; answers
-//!   `{ok, relation}`.
+//!   `{ok, relation, billed, fetches, fetched_tuples, reused_tuples}` — the
+//!   fragment plus the shard's running step accounting, so the coordinator
+//!   always holds last-known-good numbers should the shard die later.
+//!   A `fetch` retried after a lost response is served from the session's
+//!   per-step ledger without re-billing, so delivery is effectively
+//!   exactly-once for accounting purposes.
 //! * `leaf` — `{op, session, leaf}`: evaluate one SPC leaf whose atoms all
 //!   live on this shard; answers `{ok, relation, out_res, exact}` — the
 //!   canonical leaf result plus its η contribution (per-output resolutions).
 //! * `stats` / `close` — `{op, session}`: the shard's access accounting
 //!   (`{ok, accessed, fetches, fetched_tuples, reused_tuples}`); `close`
 //!   additionally drops the session.
+//!
+//! Failed responses are `{ok: false, error}` with an optional
+//! machine-readable `code` ([`err_response_code`]); [`NO_SESSION`] signals
+//! an unknown/evicted session token, which the coordinator heals by
+//! re-opening the session on that shard.
 
 use beas_relal::Value;
 use beas_serve::{value_from_json, value_to_json, Json};
@@ -141,6 +151,31 @@ pub fn err_response(message: &str) -> Json {
         ("ok", Json::Bool(false)),
         ("error", Json::Str(message.to_string())),
     ])
+}
+
+/// The machine-readable error code a shard answers for an unknown session
+/// token (evicted, or the shard restarted): the coordinator reacts by
+/// re-sending `open` for the same session and retrying, re-establishing
+/// session affinity instead of failing the query.
+pub const NO_SESSION: &str = "no_session";
+
+/// Builds an `{ok: false, error, code}` response — like [`err_response`] but
+/// with a machine-readable code (e.g. [`NO_SESSION`]) the coordinator can
+/// dispatch on without parsing prose.
+pub fn err_response_code(message: &str, code: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+        ("code", Json::Str(code.to_string())),
+    ])
+}
+
+/// The machine-readable error code of a failed response, if any.
+pub fn error_code(response: &Json) -> Option<&str> {
+    match response.get("ok").and_then(Json::as_bool) {
+        Some(true) => None,
+        _ => response.get("code").and_then(Json::as_str),
+    }
 }
 
 /// Checks a response's `ok` flag, surfacing the shard's error message.

@@ -7,14 +7,29 @@
 //! that leaf completes from its own families. Budget enforcement is local —
 //! each open session enforces the share the coordinator allocated, through
 //! the same [`FetchSession`] accounting a single node uses.
+//!
+//! ## Fault tolerance
+//!
+//! Remote coordinators retry over lossy transports, so the shard side makes
+//! every op **idempotent at-least-once**: a `fetch` whose response was lost
+//! and is retried within the same step is served from the step's ledger
+//! without re-billing (`leaf` is naturally idempotent through the
+//! [`ExecState`] leaf cache; `stats` is read-only; `open` resets the step).
+//! An unknown session token answers the machine-readable
+//! [`NO_SESSION`](crate::protocol::NO_SESSION) code so the coordinator can
+//! re-establish affinity by re-opening. Idle sessions are **evicted** after
+//! [`ShardNode::set_idle_ttl`] of inactivity, bounding the memory a vanished
+//! coordinator can pin.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use beas_access::{Catalog, FamilyId, FetchSession};
 use beas_core::{
     evaluate_plan_leaf, Beas, BoundedPlan, ExecOptions, ExecState, PlanFragments, Planner,
 };
+use beas_relal::Relation;
 use beas_serve::{parse_json, query_from_json, relation_to_json, Json};
 
 use crate::error::{ClusterError, Result};
@@ -37,6 +52,12 @@ struct ShardSession {
     billed: usize,
     /// Fetch operations executed this step.
     fetch_ops: usize,
+    /// Fetch nodes already served this step (node id → fragment), the
+    /// idempotency ledger: a retried fetch whose response was lost in flight
+    /// is re-served from here without billing the share again.
+    step_served: HashMap<usize, Arc<Relation>>,
+    /// When the session last served a request, for idle eviction.
+    last_used: Instant,
 }
 
 /// A cluster shard node. See the module docs.
@@ -48,6 +69,8 @@ pub struct ShardNode {
     /// `owned[f]` — whether this shard owns (cluster-wide) family `f`.
     owned: Vec<bool>,
     sessions: Mutex<HashMap<u64, ShardSession>>,
+    /// Sessions idle longer than this are dropped on the next request.
+    idle_ttl: Mutex<Option<Duration>>,
 }
 
 impl ShardNode {
@@ -61,6 +84,7 @@ impl ShardNode {
             catalog,
             owned,
             sessions: Mutex::new(HashMap::new()),
+            idle_ttl: Mutex::new(None),
         }
     }
 
@@ -84,9 +108,39 @@ impl ShardNode {
         self.sessions.lock().expect("sessions poisoned").len()
     }
 
+    /// Sets (or clears) the idle TTL: sessions that served no request for
+    /// longer are evicted on the next request to the node. A coordinator
+    /// whose retried call then answers [`protocol::NO_SESSION`] re-opens
+    /// transparently, so eviction trades shard memory for one re-open
+    /// round-trip — safe at any TTL.
+    pub fn set_idle_ttl(&self, ttl: Option<Duration>) {
+        *self.idle_ttl.lock().expect("idle_ttl poisoned") = ttl;
+    }
+
+    /// Evicts sessions idle for longer than `ttl`, returning how many were
+    /// dropped and how many tuples of fragment/leaf memory they held.
+    pub fn evict_idle(&self, ttl: Duration) -> (usize, usize) {
+        let mut sessions = self.sessions.lock().expect("sessions poisoned");
+        let mut dropped = 0;
+        let mut tuples = 0;
+        sessions.retain(|_, s| {
+            if s.last_used.elapsed() > ttl {
+                dropped += 1;
+                tuples += s.state.held_tuples();
+                false
+            } else {
+                true
+            }
+        });
+        (dropped, tuples)
+    }
+
     /// Handles one protocol request, never panicking: errors become
     /// `{ok: false, error}` responses.
     pub fn handle(&self, request: &Json) -> Json {
+        if let Some(ttl) = *self.idle_ttl.lock().expect("idle_ttl poisoned") {
+            self.evict_idle(ttl);
+        }
         match self.dispatch(request) {
             Ok(response) => response,
             Err(e) => protocol::err_response(&e.to_string()),
@@ -118,6 +172,11 @@ impl ShardNode {
         }
     }
 
+    /// The `{ok: false, code: "no_session"}` response for `session`.
+    fn no_session(session: u64) -> Json {
+        protocol::err_response_code(&format!("no open session {session}"), protocol::NO_SESSION)
+    }
+
     fn op_open(&self, session: u64, request: &Json) -> Result<Json> {
         let budget = protocol::req_usize(request, "budget")?;
         let share = protocol::req_usize(request, "share")?;
@@ -135,8 +194,9 @@ impl ShardNode {
             .with_min_shard_rows(min_shard_rows);
         let mut sessions = self.sessions.lock().expect("sessions poisoned");
         match sessions.get_mut(&session) {
-            // re-open = next refinement step: keep the fragment/leaf state,
-            // swap the plan and reset the step accounting
+            // re-open = next refinement step (or an affinity-restoring retry):
+            // keep the fragment/leaf state, swap the plan and reset the step
+            // accounting
             Some(open) => {
                 open.plan = plan;
                 open.fragments = fragments;
@@ -144,6 +204,8 @@ impl ShardNode {
                 open.share = share;
                 open.billed = 0;
                 open.fetch_ops = 0;
+                open.step_served.clear();
+                open.last_used = Instant::now();
             }
             None => {
                 sessions.insert(
@@ -156,6 +218,8 @@ impl ShardNode {
                         share,
                         billed: 0,
                         fetch_ops: 0,
+                        step_served: HashMap::new(),
+                        last_used: Instant::now(),
                     },
                 );
             }
@@ -168,13 +232,38 @@ impl ShardNode {
         ]))
     }
 
+    /// The step-accounting fields every `fetch` response carries, so the
+    /// coordinator always holds the shard's last-known-good numbers.
+    fn step_accounting(open: &ShardSession) -> Vec<(&'static str, Json)> {
+        vec![
+            ("billed", Json::Int(open.billed as i64)),
+            ("fetches", Json::Int(open.fetch_ops as i64)),
+            (
+                "fetched_tuples",
+                Json::Int(open.state.fetched_tuples() as i64),
+            ),
+            (
+                "reused_tuples",
+                Json::Int(open.state.reused_tuples() as i64),
+            ),
+        ]
+    }
+
     fn op_fetch(&self, session: u64, request: &Json) -> Result<Json> {
         let node_id = protocol::req_usize(request, "node")?;
         let keys = protocol::keys_from_json(protocol::req_field(request, "keys")?)?;
         let mut sessions = self.sessions.lock().expect("sessions poisoned");
-        let open = sessions
-            .get_mut(&session)
-            .ok_or_else(|| ClusterError::Protocol(format!("no open session {session}")))?;
+        let Some(open) = sessions.get_mut(&session) else {
+            return Ok(Self::no_session(session));
+        };
+        open.last_used = Instant::now();
+        // at-least-once delivery: a fetch retried after its response was lost
+        // must not bill the share a second time
+        if let Some(rel) = open.step_served.get(&node_id) {
+            let mut fields = vec![("relation", relation_to_json(rel))];
+            fields.extend(Self::step_accounting(open));
+            return Ok(protocol::ok_response(fields));
+        }
         let node = open.plan.fetch.node(node_id)?.clone();
         if !self.owns(node.family) {
             return Err(ClusterError::Protocol(format!(
@@ -192,18 +281,19 @@ impl ShardNode {
         open.billed += fetch.accessed();
         open.fetch_ops += fetch.counter().fetches;
         open.fragments.set(node_id, fragment, Arc::clone(&rel));
-        Ok(protocol::ok_response(vec![(
-            "relation",
-            relation_to_json(&rel),
-        )]))
+        open.step_served.insert(node_id, Arc::clone(&rel));
+        let mut fields = vec![("relation", relation_to_json(&rel))];
+        fields.extend(Self::step_accounting(open));
+        Ok(protocol::ok_response(fields))
     }
 
     fn op_leaf(&self, session: u64, request: &Json) -> Result<Json> {
         let leaf = protocol::req_usize(request, "leaf")?;
         let mut sessions = self.sessions.lock().expect("sessions poisoned");
-        let open = sessions
-            .get_mut(&session)
-            .ok_or_else(|| ClusterError::Protocol(format!("no open session {session}")))?;
+        let Some(open) = sessions.get_mut(&session) else {
+            return Ok(Self::no_session(session));
+        };
+        open.last_used = Instant::now();
         let ShardSession {
             plan,
             state,
@@ -224,6 +314,8 @@ impl ShardNode {
                 )));
             }
         }
+        // idempotent on retry: the ExecState leaf cache serves a repeated
+        // evaluation over the same fragments without recomputation or billing
         let eval = evaluate_plan_leaf(leaf, plan, &self.catalog, fragments, options, state)?;
         Ok(protocol::ok_response(vec![
             ("relation", relation_to_json(&eval.rel)),
@@ -234,21 +326,13 @@ impl ShardNode {
 
     fn op_stats(&self, session: u64, close: bool) -> Result<Json> {
         let mut sessions = self.sessions.lock().expect("sessions poisoned");
-        let open = sessions
-            .get_mut(&session)
-            .ok_or_else(|| ClusterError::Protocol(format!("no open session {session}")))?;
-        let response = protocol::ok_response(vec![
-            ("accessed", Json::Int(open.billed as i64)),
-            ("fetches", Json::Int(open.fetch_ops as i64)),
-            (
-                "fetched_tuples",
-                Json::Int(open.state.fetched_tuples() as i64),
-            ),
-            (
-                "reused_tuples",
-                Json::Int(open.state.reused_tuples() as i64),
-            ),
-        ]);
+        let Some(open) = sessions.get_mut(&session) else {
+            return Ok(Self::no_session(session));
+        };
+        open.last_used = Instant::now();
+        let mut fields = vec![("accessed", Json::Int(open.billed as i64))];
+        fields.extend(Self::step_accounting(open).into_iter().skip(1));
+        let response = protocol::ok_response(fields);
         if close {
             sessions.remove(&session);
         }

@@ -109,6 +109,12 @@ pub struct BeasAnswer {
     pub planned_tariff: usize,
     /// The tuple budget the plan complied with.
     pub budget: usize,
+    /// Whether the answer was composed from a strict subset of the plan's
+    /// leaves (e.g. a cluster coordinator degrading around a dead shard).
+    /// Single-node execution always answers over every leaf, so this is
+    /// `false` everywhere except degraded cluster answers, where `eta` is
+    /// recomputed from the surviving fragments only.
+    pub partial: bool,
 }
 
 impl BeasAnswer {
@@ -721,6 +727,7 @@ pub(crate) fn empty_answer(columns: Vec<String>) -> BeasAnswer {
         accessed: 0,
         planned_tariff: 0,
         budget: 0,
+        partial: false,
     }
 }
 
@@ -733,6 +740,7 @@ pub(crate) fn answer_from(plan: &BoundedPlan, outcome: ExecutionOutcome) -> Beas
         accessed: outcome.accessed,
         planned_tariff: plan.tariff,
         budget: plan.budget,
+        partial: false,
     }
 }
 

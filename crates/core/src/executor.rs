@@ -286,6 +286,23 @@ impl ExecState {
         self.leaves.len()
     }
 
+    /// Tuples currently held across the fragment set and cached leaf results
+    /// — the memory-pressure signal an idle-eviction sweep weighs a session
+    /// by.
+    pub fn held_tuples(&self) -> usize {
+        self.fragments.iter().map(|f| f.rel.len()).sum::<usize>()
+            + self.leaves.iter().map(|l| l.rel.len()).sum::<usize>()
+    }
+
+    /// Drops every fragment and cached leaf result, keeping the lifetime
+    /// counters. A shard node evicting an idle remote session calls this (via
+    /// dropping the session) — exposed so holders can also shed memory while
+    /// keeping the state allocated.
+    pub fn clear(&mut self) {
+        self.fragments.clear();
+        self.leaves.clear();
+    }
+
     /// Serves one fetch from the fragment set when its exact identity was
     /// fetched before (billing the budget like a fresh fetch), materializing
     /// and recording it otherwise. Returns the fragment index and the
@@ -629,12 +646,20 @@ pub fn compose_plan_answer(
     }
 
     // aggregation
-    let answers = match &plan.query {
+    let answers = finalize_answers(plan, ra_result)?;
+    Ok((answers, eta))
+}
+
+/// Applies the final projection/dedup (RA queries) or aggregation (aggregate
+/// queries) to a composed RA result.
+fn finalize_answers(plan: &BoundedPlan, ra_result: Relation) -> Result<Relation> {
+    let ra = plan.query.ra();
+    match &plan.query {
         BeasQuery::Ra(_) => {
             let mut rel = project_outputs(&ra_result, ra.output_columns().len());
             rel.columns = ra.output_columns();
             rel.dedup();
-            rel
+            Ok(rel)
         }
         BeasQuery::Aggregate(agg) => {
             let mut input = ra_result;
@@ -659,10 +684,104 @@ pub fn compose_plan_answer(
                 out_name: agg.out_name.clone(),
                 weight_col,
             };
-            aggregate_relation(&input, &gq)?
+            Ok(aggregate_relation(&input, &gq)?)
         }
+    }
+}
+
+/// [`compose_plan_answer`] over a leaf-result slice with holes: the merge a
+/// degrading cluster coordinator runs when some leaves were lost with their
+/// shard (`DegradedPolicy::PartialAnswer`). With every slot present this is
+/// exactly [`compose_plan_answer`]. Otherwise the RA tree is pruned to the
+/// surviving leaves — a union with one lost side keeps the other, a
+/// difference with a lost subtrahend keeps its positive side, a difference
+/// with a lost positive side is dropped — and the composed answers carry
+/// **η = 0**: with a fragment missing, the coverage distance of the lost
+/// tuples is unbounded, so no positive accuracy bound is sound. The honest
+/// contract for a partial answer is therefore "these tuples were really
+/// computed from the surviving fragments, and any η ≥ 0 the healthy answer
+/// reports also bounds them".
+pub fn compose_plan_answer_partial(
+    plan: &BoundedPlan,
+    catalog: &Catalog,
+    leaves: &[Option<LeafEval>],
+) -> Result<(Relation, f64)> {
+    if leaves.len() != plan.leaves.len() {
+        return Err(BeasError::Planning(format!(
+            "compose needs {} leaf results, got {}",
+            plan.leaves.len(),
+            leaves.len()
+        )));
+    }
+    if leaves.iter().all(|l| l.is_some()) {
+        let full: Vec<LeafEval> = leaves.iter().map(|l| l.clone().unwrap()).collect();
+        return compose_plan_answer(plan, catalog, &full);
+    }
+    let ra = plan.query.ra();
+    let present: Vec<bool> = leaves.iter().map(|l| l.is_some()).collect();
+    let indexed = index_leaves(ra, &mut 0);
+    let Some(pruned) = prune_indexed(&indexed, &present) else {
+        // no leaf of the answer-bearing side survived: an empty partial answer
+        return Ok((Relation::empty(plan.query.output_columns()), 0.0));
     };
-    Ok((answers, eta))
+    // compact the surviving leaves and remap the pruned tree onto them
+    let mut remap = vec![usize::MAX; leaves.len()];
+    let mut survivors = Vec::new();
+    for (i, leaf) in leaves.iter().enumerate() {
+        if let Some(leaf) = leaf {
+            remap[i] = survivors.len();
+            survivors.push(leaf.clone());
+        }
+    }
+    let pruned = remap_indexed(&pruned, &remap);
+    let want_weights = plan.query.is_aggregate();
+    let output_kinds = ra.output_distances(&catalog.schema)?;
+    let ra_result = exec_indexed(
+        &pruned,
+        &survivors,
+        &output_kinds,
+        want_weights,
+        ra.output_columns().len(),
+    )?;
+    let answers = finalize_answers(plan, ra_result)?;
+    Ok((answers, 0.0))
+}
+
+/// Restricts an indexed RA tree to the present leaves; `None` when nothing of
+/// the subtree's answer-bearing structure survives.
+fn prune_indexed(node: &IndexedRa, present: &[bool]) -> Option<IndexedRa> {
+    match node {
+        IndexedRa::Leaf(i) => present[*i].then_some(IndexedRa::Leaf(*i)),
+        IndexedRa::Union(l, r) => match (prune_indexed(l, present), prune_indexed(r, present)) {
+            (Some(a), Some(b)) => Some(IndexedRa::Union(Box::new(a), Box::new(b))),
+            (Some(a), None) | (None, Some(a)) => Some(a),
+            (None, None) => None,
+        },
+        IndexedRa::Difference(l, r) => {
+            let left = prune_indexed(l, present)?;
+            match prune_indexed(r, present) {
+                Some(b) => Some(IndexedRa::Difference(Box::new(left), Box::new(b))),
+                // lost subtrahend: keep the positive side; the extra tuples it
+                // may retain are covered by the partial answer's η = 0
+                None => Some(left),
+            }
+        }
+    }
+}
+
+/// Rewrites leaf indices of a pruned tree through `remap`.
+fn remap_indexed(node: &IndexedRa, remap: &[usize]) -> IndexedRa {
+    match node {
+        IndexedRa::Leaf(i) => IndexedRa::Leaf(remap[*i]),
+        IndexedRa::Union(l, r) => IndexedRa::Union(
+            Box::new(remap_indexed(l, remap)),
+            Box::new(remap_indexed(r, remap)),
+        ),
+        IndexedRa::Difference(l, r) => IndexedRa::Difference(
+            Box::new(remap_indexed(l, remap)),
+            Box::new(remap_indexed(r, remap)),
+        ),
+    }
 }
 
 /// Executes `plan` against `catalog`, enforcing the plan's budget.

@@ -94,10 +94,10 @@ pub use engine::{
 };
 pub use error::{BeasError, Result};
 pub use executor::{
-    calibrated_min_shard_rows, compose_plan_answer, evaluate_plan_leaf, execute_plan,
-    execute_plan_with_budget, execute_plan_with_options, execute_plan_with_spec,
-    execute_plan_with_state, node_keys, stream_plan_fragments, ExecOptions, ExecState,
-    ExecutionOutcome, LeafEval, PlanFragments, DEFAULT_MIN_SHARD_ROWS,
+    calibrated_min_shard_rows, compose_plan_answer, compose_plan_answer_partial,
+    evaluate_plan_leaf, execute_plan, execute_plan_with_budget, execute_plan_with_options,
+    execute_plan_with_spec, execute_plan_with_state, node_keys, stream_plan_fragments, ExecOptions,
+    ExecState, ExecutionOutcome, LeafEval, PlanFragments, DEFAULT_MIN_SHARD_ROWS,
 };
 pub use fingerprint::QueryFingerprint;
 pub use plan::{FetchNode, FetchPlan, KeySource, LeafPlan};

@@ -53,6 +53,14 @@ impl Client {
         })
     }
 
+    /// Adjusts the read/write timeout of the underlying connection, e.g. to
+    /// bound an individual request by the time remaining before a deadline.
+    pub fn set_timeout(&mut self, timeout: Duration) -> std::io::Result<()> {
+        let stream = self.reader.get_ref();
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))
+    }
+
     /// Issues a `GET`.
     pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
         self.request("GET", path, None)

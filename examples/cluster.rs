@@ -30,7 +30,7 @@ fn main() {
     // ---------------------------------------------------------- the cluster
     // three shard nodes, one relation each; every shard builds its own
     // access templates over its partition (C1 runs where the data lives)
-    let cluster = ClusterHandle::builder(db.clone(), 3)
+    let mut cluster = ClusterHandle::builder(db.clone(), 3)
         .constraint(demo_cluster_constraint())
         .build()
         .expect("cluster build");
@@ -74,6 +74,39 @@ fn main() {
         assert_eq!(ours.answers.digest(), theirs.answers.digest());
         assert_eq!(ours.eta.to_bits(), theirs.eta.to_bits());
         assert_eq!(ours.accessed, theirs.accessed);
+    }
+
+    // -------------------------------------------------- the same over TCP
+    // serve each shard node on a socket and re-point the coordinator at a
+    // TcpShardTransport: the wire carries exactly the bytes the in-process
+    // transport round-trips, so the digests must not move
+    {
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let servers: Vec<ShardServer> = cluster
+            .nodes()
+            .iter()
+            .map(|node| ShardServer::serve(Arc::clone(node), "127.0.0.1:0").expect("shard server"))
+            .collect();
+        let addrs: Vec<std::net::SocketAddr> = servers.iter().map(ShardServer::addr).collect();
+        println!("\nshards over TCP: {addrs:?}");
+        cluster.set_transport(Arc::new(
+            TcpShardTransport::new(addrs).with_default_timeout(Duration::from_secs(5)),
+        ));
+        let query = demo_cluster_join(cluster.schema());
+        let ours = cluster.answer(&query, spec).expect("TCP cluster answer");
+        let theirs = single.answer(&query, spec).expect("single-node answer");
+        println!("  cluster digest:     {:016x} (TCP)", ours.answers.digest());
+        println!("  single-node digest: {:016x}", theirs.answers.digest());
+        assert_eq!(ours.answers.digest(), theirs.answers.digest());
+        assert_eq!(ours.eta.to_bits(), theirs.eta.to_bits());
+        assert_eq!(ours.accessed, theirs.accessed);
+        for server in servers {
+            server.shutdown();
+        }
+        // back in-process for the refinement/metrics sections below
+        cluster.set_transport(Arc::new(InProcessTransport::new(cluster.nodes().to_vec())));
     }
 
     // ------------------------------------- distributed refinement sessions

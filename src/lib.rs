@@ -19,7 +19,9 @@
 //!   `Retry-After`);
 //! * [`cluster`] — distributed bounded execution: a coordinator plus shard
 //!   nodes with budget-proportional scatter-gather, whose answers are
-//!   bit-for-bit equal to a single node at the same total budget;
+//!   bit-for-bit equal to a single node at the same total budget — served
+//!   in-process or over TCP with deadlines, retries and η-degraded partial
+//!   answers when shards die;
 //! * [`baselines`] — uniform sampling, histograms and BlinkDB-style stratified
 //!   sampling, for comparison;
 //! * [`workloads`] — synthetic TPCH/AIRCA/TFACC-like datasets and a random
@@ -113,7 +115,9 @@ pub mod prelude {
     };
     pub use beas_baselines::{Baseline, BlinkSim, Histo, Sampl};
     pub use beas_cluster::{
-        ClusterBuilder, ClusterHandle, ClusterMetrics, ClusterSession, ClusterStep,
+        ClusterBuilder, ClusterHandle, ClusterMetrics, ClusterSession, ClusterStep, DegradedPolicy,
+        FaultInjectingTransport, FaultRates, InProcessTransport, OutageReport, RetryPolicy,
+        ShardOutage, ShardServer, ShardTransport, TcpShardTransport,
     };
     pub use beas_core::{
         exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery,
