@@ -34,6 +34,9 @@ pub enum AccessError {
     /// A resource specification was out of range (e.g. a ratio outside
     /// `[0, 1]`).
     InvalidSpec(String),
+    /// A storage backend failed to load a paged level (I/O error, checksum
+    /// mismatch, missing segment).
+    Storage(String),
 }
 
 impl fmt::Display for AccessError {
@@ -52,6 +55,7 @@ impl fmt::Display for AccessError {
             AccessError::Relal(e) => write!(f, "{e}"),
             AccessError::InvalidTemplate(msg) => write!(f, "invalid template: {msg}"),
             AccessError::InvalidSpec(msg) => write!(f, "invalid resource spec: {msg}"),
+            AccessError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

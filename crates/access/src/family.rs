@@ -27,6 +27,7 @@
 //! and tests.
 
 use std::cmp::Ordering;
+use std::sync::{Arc, OnceLock};
 
 use beas_relal::{Column, DistanceKind, FxHashMap, Relation, Value};
 
@@ -57,6 +58,16 @@ pub struct Rep {
 
 /// One resolution level of a template family, stored column-oriented (see
 /// the [module docs](self) for the format).
+///
+/// The cardinality bound and resolution are always resident (the planner
+/// consults them on every request); the column payload itself lives in a
+/// private `LevelStore` that is either resident in memory or *paged*: backed by a
+/// [`LevelPager`] (an on-disk segment in `beas-store`) and loaded lazily the
+/// first time a fetch actually touches the level. Planning, budgeting and
+/// size accounting never trigger a page-in — only [`TemplateFamily::materialize`]
+/// (and the inspection/maintenance paths) do, which is what makes the budget
+/// an I/O bound for tiered storage: fine levels are read from disk only when
+/// the `ResourceSpec` affords reaching them.
 #[derive(Debug, Clone)]
 pub struct Level {
     /// The cardinality bound `N`: the maximum number of representatives
@@ -64,6 +75,13 @@ pub struct Level {
     pub n: usize,
     /// Per-Y-attribute resolution `d̄_Y`.
     pub resolution: Vec<f64>,
+    /// The column payload: resident, or paged in lazily from a segment.
+    store: LevelStore,
+}
+
+/// The resident column payload of a [`Level`].
+#[derive(Debug, Clone)]
+struct LevelData {
     /// X-value → slot (fast-hashed: lookups are the hot path of every
     /// fetch).
     index: FxHashMap<Vec<Value>, u32>,
@@ -84,6 +102,92 @@ pub struct Level {
     sum_some: Vec<Vec<bool>>,
 }
 
+/// Where a level's column payload lives.
+#[derive(Debug)]
+enum LevelStore {
+    /// Fully in memory.
+    Resident(LevelData),
+    /// Backed by a [`LevelPager`]; loaded at most once into `cell` on first
+    /// touch. The meta fields answer size queries without a page-in.
+    Paged {
+        meta: LevelMeta,
+        pager: Arc<dyn LevelPager>,
+        family: usize,
+        level: usize,
+        cell: OnceLock<LevelData>,
+    },
+}
+
+impl Clone for LevelStore {
+    fn clone(&self) -> Self {
+        match self {
+            LevelStore::Resident(data) => LevelStore::Resident(data.clone()),
+            LevelStore::Paged {
+                meta,
+                pager,
+                family,
+                level,
+                cell,
+            } => {
+                let cloned = OnceLock::new();
+                if let Some(data) = cell.get() {
+                    let _ = cloned.set(data.clone());
+                }
+                LevelStore::Paged {
+                    meta: *meta,
+                    pager: Arc::clone(pager),
+                    family: *family,
+                    level: *level,
+                    cell: cloned,
+                }
+            }
+        }
+    }
+}
+
+/// Size metadata of a paged level, answered without touching its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelMeta {
+    /// Representative tuples stored at the level.
+    pub stored_tuples: usize,
+    /// Largest representative count under any single X-key.
+    pub max_bucket_len: usize,
+}
+
+/// The full column payload of a [`Level`] in exchange form: the physical
+/// layout (slot order, representative id order) is preserved exactly, so a
+/// level round-tripped through [`Level::to_parts`] / [`Level::from_parts`]
+/// materialises bit-for-bit identical relations. This is the unit a storage
+/// backend serialises.
+#[derive(Debug, Clone)]
+pub struct LevelParts {
+    /// The cardinality bound `N`.
+    pub n: usize,
+    /// Per-Y-attribute resolution `d̄_Y`.
+    pub resolution: Vec<f64>,
+    /// One typed column per X attribute (row `s` = X-key of slot `s`).
+    pub xcols: Vec<Column>,
+    /// Slot → representative ids, in per-key insertion order.
+    pub key_reps: Vec<Vec<u32>>,
+    /// One typed column per Y attribute (row `i` = representative `i`).
+    pub ycols: Vec<Column>,
+    /// Representative multiplicities.
+    pub counts: Vec<i64>,
+    /// Per-Y-attribute running sums, parallel to `ycols` rows.
+    pub sum_vals: Vec<Vec<f64>>,
+    /// Validity of each running sum.
+    pub sum_some: Vec<Vec<bool>>,
+}
+
+/// Loads the column payload of paged levels on first touch — implemented by
+/// the segment reader of `beas-store`. Implementations count page-ins
+/// themselves (the trait is called exactly once per level load per engine
+/// snapshot lineage).
+pub trait LevelPager: Send + Sync + std::fmt::Debug {
+    /// Loads the payload of level `level` of family `family`.
+    fn load_level(&self, family: usize, level: usize) -> Result<LevelParts>;
+}
+
 /// `dis(column[id], v)` under `dk`, without materialising the column value:
 /// equality is decided by [`Column::cmp_value`] (the total order of
 /// [`Value`], hence exactly `DistanceKind::distance`'s equality test) and the
@@ -101,14 +205,10 @@ fn distance_at(col: &Column, id: usize, v: &Value, dk: DistanceKind) -> f64 {
     }
 }
 
-impl Level {
-    /// An empty level with the given cardinality bound, resolution vector
-    /// (one entry per Y attribute) and X arity.
-    pub fn new(n: usize, resolution: Vec<f64>, x_arity: usize) -> Level {
-        let y_arity = resolution.len();
-        Level {
-            n,
-            resolution,
+impl LevelData {
+    /// An empty payload for the given arities.
+    fn empty(x_arity: usize, y_arity: usize) -> LevelData {
+        LevelData {
             index: FxHashMap::default(),
             xcols: vec![Column::untyped(); x_arity],
             key_reps: Vec::new(),
@@ -119,23 +219,34 @@ impl Level {
         }
     }
 
-    /// Builds a level from row-shaped buckets (X-value → representatives),
-    /// the exchange format produced by the index builders. Per-key
-    /// representative order is preserved.
-    pub fn from_buckets(
-        n: usize,
-        resolution: Vec<f64>,
-        x_arity: usize,
-        buckets: FxHashMap<Vec<Value>, Vec<Rep>>,
-    ) -> Level {
-        let mut level = Level::new(n, resolution, x_arity);
-        for (key, reps) in buckets {
-            let slot = level.insert_key(key);
-            for rep in reps {
-                level.push_rep(slot, rep);
-            }
+    /// Reassembles a payload from exchange form, rebuilding the hash index
+    /// from the X columns (the index is never serialised). Slot and
+    /// representative id order are taken as-is, preserving the physical
+    /// layout exactly.
+    fn from_parts(parts: LevelParts) -> LevelData {
+        let LevelParts {
+            xcols,
+            key_reps,
+            ycols,
+            counts,
+            sum_vals,
+            sum_some,
+            ..
+        } = parts;
+        let mut index = FxHashMap::default();
+        for slot in 0..key_reps.len() {
+            let key: Vec<Value> = xcols.iter().map(|c| c.value(slot)).collect();
+            index.insert(key, slot as u32);
         }
-        level
+        LevelData {
+            index,
+            xcols,
+            key_reps,
+            ycols,
+            counts,
+            sum_vals,
+            sum_some,
+        }
     }
 
     /// Registers a new X-key, returning its slot.
@@ -183,15 +294,176 @@ impl Level {
                 .collect(),
         }
     }
+}
+
+impl Level {
+    /// An empty level with the given cardinality bound, resolution vector
+    /// (one entry per Y attribute) and X arity.
+    pub fn new(n: usize, resolution: Vec<f64>, x_arity: usize) -> Level {
+        let y_arity = resolution.len();
+        Level {
+            n,
+            resolution,
+            store: LevelStore::Resident(LevelData::empty(x_arity, y_arity)),
+        }
+    }
+
+    /// A paged level: the bound, resolution and size metadata are resident,
+    /// the column payload is loaded from `pager` on first touch (as level
+    /// `level` of family `family`).
+    pub fn paged(
+        n: usize,
+        resolution: Vec<f64>,
+        meta: LevelMeta,
+        pager: Arc<dyn LevelPager>,
+        family: usize,
+        level: usize,
+    ) -> Level {
+        Level {
+            n,
+            resolution,
+            store: LevelStore::Paged {
+                meta,
+                pager,
+                family,
+                level,
+                cell: OnceLock::new(),
+            },
+        }
+    }
+
+    /// Rebuilds a resident level from exchange form, preserving the physical
+    /// layout exactly (see [`LevelParts`]).
+    pub fn from_parts(parts: LevelParts) -> Level {
+        let n = parts.n;
+        let resolution = parts.resolution.clone();
+        Level {
+            n,
+            resolution,
+            store: LevelStore::Resident(LevelData::from_parts(parts)),
+        }
+    }
+
+    /// The level's payload in exchange form (cloned). Forces a page-in when
+    /// the level is paged; fails only on a storage error.
+    pub fn to_parts(&self) -> Result<LevelParts> {
+        let data = self.data()?;
+        Ok(LevelParts {
+            n: self.n,
+            resolution: self.resolution.clone(),
+            xcols: data.xcols.clone(),
+            key_reps: data.key_reps.clone(),
+            ycols: data.ycols.clone(),
+            counts: data.counts.clone(),
+            sum_vals: data.sum_vals.clone(),
+            sum_some: data.sum_some.clone(),
+        })
+    }
+
+    /// `true` when the column payload is in memory (resident, or paged and
+    /// already loaded).
+    pub fn is_resident(&self) -> bool {
+        match &self.store {
+            LevelStore::Resident(_) => true,
+            LevelStore::Paged { cell, .. } => cell.get().is_some(),
+        }
+    }
+
+    /// The payload, paging it in if needed. The only fallible step is the
+    /// pager read; resident levels never fail.
+    fn data(&self) -> Result<&LevelData> {
+        match &self.store {
+            LevelStore::Resident(data) => Ok(data),
+            LevelStore::Paged {
+                meta,
+                pager,
+                family,
+                level,
+                cell,
+            } => {
+                if let Some(data) = cell.get() {
+                    return Ok(data);
+                }
+                let parts = pager.load_level(*family, *level)?;
+                let data = LevelData::from_parts(parts);
+                if data.counts.len() != meta.stored_tuples {
+                    return Err(AccessError::Storage(format!(
+                        "paged level {level} of family {family} holds {} tuples, \
+                         catalog metadata expects {}",
+                        data.counts.len(),
+                        meta.stored_tuples
+                    )));
+                }
+                // a concurrent loader may have won the race; both loads are
+                // identical, so whichever lands in the cell is correct
+                Ok(cell.get_or_init(|| data))
+            }
+        }
+    }
+
+    /// The payload for infallible inspection paths (`reps_for`, equality):
+    /// a failed page-in is unrecoverable there and panics.
+    fn force(&self) -> &LevelData {
+        self.data()
+            .expect("paged level payload could not be loaded from its segment")
+    }
+
+    /// Makes the level resident for mutation (maintenance absorbs write
+    /// through the resident payload).
+    fn ensure_resident(&mut self) {
+        if let LevelStore::Paged { .. } = self.store {
+            let data = self.force().clone();
+            self.store = LevelStore::Resident(data);
+        }
+    }
+
+    /// The resident payload for mutation, paging in first when needed.
+    fn data_mut(&mut self) -> &mut LevelData {
+        self.ensure_resident();
+        match &mut self.store {
+            LevelStore::Resident(data) => data,
+            LevelStore::Paged { .. } => unreachable!("ensure_resident left the level paged"),
+        }
+    }
+
+    /// Builds a level from row-shaped buckets (X-value → representatives),
+    /// the exchange format produced by the index builders. Per-key
+    /// representative order is preserved.
+    pub fn from_buckets(
+        n: usize,
+        resolution: Vec<f64>,
+        x_arity: usize,
+        buckets: FxHashMap<Vec<Value>, Vec<Rep>>,
+    ) -> Level {
+        let mut level = Level::new(n, resolution, x_arity);
+        for (key, reps) in buckets {
+            let slot = level.insert_key(key);
+            for rep in reps {
+                level.push_rep(slot, rep);
+            }
+        }
+        level
+    }
+
+    /// Registers a new X-key, returning its slot.
+    fn insert_key(&mut self, key: Vec<Value>) -> usize {
+        self.data_mut().insert_key(key)
+    }
+
+    /// Appends one representative under `slot`.
+    fn push_rep(&mut self, slot: usize, rep: Rep) {
+        self.data_mut().push_rep(slot, rep)
+    }
 
     /// The representatives stored under `xkey`, in row form (empty when the
     /// X-value is absent). Materialises values — inspection/test path; fetch
     /// goes through [`TemplateFamily::materialize`] instead.
     pub fn reps_for(&self, xkey: &[Value]) -> Vec<Rep> {
-        match self.index.get(xkey) {
-            Some(&slot) => self.key_reps[slot as usize]
+        let data = self.force();
+        match data.index.get(xkey) {
+            Some(&slot) => data.key_reps[slot as usize]
                 .iter()
-                .map(|&id| self.rep_at(id as usize))
+                .map(|&id| data.rep_at(id as usize))
                 .collect(),
             None => Vec::new(),
         }
@@ -207,9 +479,14 @@ impl Level {
         self.resolution.iter().cloned().fold(0.0, f64::max)
     }
 
-    /// Number of representative tuples stored at this level.
+    /// Number of representative tuples stored at this level. Served from the
+    /// size metadata when the level is paged — never triggers a page-in, so
+    /// planning and index-size accounting stay pure in-memory operations.
     pub fn stored_tuples(&self) -> usize {
-        self.counts.len()
+        match &self.store {
+            LevelStore::Resident(data) => data.counts.len(),
+            LevelStore::Paged { meta, .. } => meta.stored_tuples,
+        }
     }
 
     /// The distinct X-keys stored at this level, in slot (insertion) order —
@@ -218,7 +495,8 @@ impl Level {
     ///
     /// [`TemplateFamily::materialize`]: super::family::TemplateFamily::materialize
     pub fn xkeys(&self) -> Vec<Vec<Value>> {
-        let mut keys: Vec<(u32, Vec<Value>)> = self
+        let data = self.force();
+        let mut keys: Vec<(u32, Vec<Value>)> = data
             .index
             .iter()
             .map(|(key, &slot)| (slot, key.clone()))
@@ -228,21 +506,30 @@ impl Level {
     }
 
     /// The largest number of representatives stored under any single X-key.
+    /// Served from the size metadata when the level is paged.
     pub fn max_bucket_len(&self) -> usize {
-        self.key_reps.iter().map(Vec::len).max().unwrap_or(0)
+        match &self.store {
+            LevelStore::Resident(data) => data.key_reps.iter().map(Vec::len).max().unwrap_or(0),
+            LevelStore::Paged { meta, .. } => meta.max_bucket_len,
+        }
     }
 
     /// Absorbs one `(xkey, yval)` pair into this level (see
-    /// [`TemplateFamily::absorb`]).
+    /// [`TemplateFamily::absorb`]). Maintenance writes through the resident
+    /// payload, so a paged level pages in on its first absorbed tuple.
     fn absorb_one(&mut self, xkey: &[Value], yval: &[Value], dists: &[DistanceKind]) {
-        let slot = match self.index.get(xkey) {
+        self.ensure_resident();
+        let LevelStore::Resident(data) = &mut self.store else {
+            unreachable!("ensure_resident left the level paged")
+        };
+        let slot = match data.index.get(xkey) {
             Some(&s) => s as usize,
             // avoid cloning the key on the common already-seen-X path
-            None => self.insert_key(xkey.to_vec()),
+            None => data.insert_key(xkey.to_vec()),
         };
-        let covered = self.key_reps[slot].iter().copied().find(|&id| {
+        let covered = data.key_reps[slot].iter().copied().find(|&id| {
             let id = id as usize;
-            self.ycols
+            data.ycols
                 .iter()
                 .zip(yval)
                 .zip(&self.resolution)
@@ -252,33 +539,33 @@ impl Level {
         match covered {
             Some(id) => {
                 let id = id as usize;
-                self.counts[id] += 1;
+                data.counts[id] += 1;
                 for (j, v) in yval.iter().enumerate() {
-                    match (self.sum_some[j][id], v.as_f64()) {
-                        (true, Some(x)) => self.sum_vals[j][id] += x,
-                        (_, None) => self.sum_some[j][id] = false,
+                    match (data.sum_some[j][id], v.as_f64()) {
+                        (true, Some(x)) => data.sum_vals[j][id] += x,
+                        (_, None) => data.sum_some[j][id] = false,
                         _ => {}
                     }
                 }
             }
             None => {
-                let id = self.counts.len() as u32;
+                let id = data.counts.len() as u32;
                 for (j, v) in yval.iter().enumerate() {
-                    self.ycols[j].push_ref(v);
+                    data.ycols[j].push_ref(v);
                     match v.as_f64() {
                         Some(x) => {
-                            self.sum_vals[j].push(x);
-                            self.sum_some[j].push(true);
+                            data.sum_vals[j].push(x);
+                            data.sum_some[j].push(true);
                         }
                         None => {
-                            self.sum_vals[j].push(0.0);
-                            self.sum_some[j].push(false);
+                            data.sum_vals[j].push(0.0);
+                            data.sum_some[j].push(false);
                         }
                     }
                 }
-                self.counts.push(1);
-                self.key_reps[slot].push(id);
-                self.n = self.n.max(self.key_reps[slot].len());
+                data.counts.push(1);
+                data.key_reps[slot].push(id);
+                self.n = self.n.max(data.key_reps[slot].len());
             }
         }
     }
@@ -292,13 +579,14 @@ impl Level {
 /// (including its `NaN ≠ NaN` behaviour on sums).
 impl PartialEq for Level {
     fn eq(&self, other: &Self) -> bool {
-        self.n == other.n
-            && self.resolution == other.resolution
-            && self.index.len() == other.index.len()
-            && self
-                .index
+        if self.n != other.n || self.resolution != other.resolution {
+            return false;
+        }
+        let (a, b) = (self.force(), other.force());
+        a.index.len() == b.index.len()
+            && a.index
                 .keys()
-                .all(|k| other.index.contains_key(k) && self.reps_for(k) == other.reps_for(k))
+                .all(|k| b.index.contains_key(k) && self.reps_for(k) == other.reps_for(k))
     }
 }
 
@@ -395,7 +683,9 @@ impl TemplateFamily {
     ///
     /// [`FetchSession`]: crate::fetch::FetchSession
     pub fn materialize(&self, k: usize, xkeys: &[Vec<Value>]) -> Result<Relation> {
-        let level = self.level(k)?;
+        // the fetch path is where paged levels page in: a level is read from
+        // its segment only when a plan actually fetches at its resolution
+        let level = self.level(k)?.data()?;
         let slots: Vec<u32> = xkeys
             .iter()
             .filter_map(|key| level.index.get(key).copied())
@@ -688,5 +978,151 @@ mod tests {
         assert_eq!(f.levels[0].max_resolution(), 10.0);
         assert_eq!(f.levels[1].max_resolution(), 0.0);
         assert!(f.levels[1].is_exact());
+    }
+
+    #[test]
+    fn level_parts_round_trip_preserves_physical_layout() {
+        let f = family_with_two_levels();
+        for k in 0..f.num_levels() {
+            let parts = f.levels[k].to_parts().unwrap();
+            let rebuilt = Level::from_parts(parts);
+            assert_eq!(rebuilt, f.levels[k]);
+            // physical layout (not just logical content) must survive: the
+            // materialised relations are identical column for column
+            let keys = f.levels[k].xkeys();
+            let g = TemplateFamily {
+                levels: vec![rebuilt],
+                ..f.clone()
+            };
+            let a = f.materialize(k, &keys).unwrap();
+            let b = g.materialize(0, &keys).unwrap();
+            assert_eq!(a.digest(), b.digest());
+        }
+    }
+
+    /// A pager serving levels from memory, counting loads.
+    #[derive(Debug)]
+    struct MemPager {
+        parts: Vec<LevelParts>,
+        loads: std::sync::atomic::AtomicUsize,
+    }
+
+    impl LevelPager for MemPager {
+        fn load_level(&self, _family: usize, level: usize) -> crate::error::Result<LevelParts> {
+            self.loads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.parts
+                .get(level)
+                .cloned()
+                .ok_or_else(|| AccessError::Storage(format!("no such level {level}")))
+        }
+    }
+
+    fn paged_family() -> (TemplateFamily, Arc<MemPager>) {
+        let f = family_with_two_levels();
+        let pager = Arc::new(MemPager {
+            parts: f.levels.iter().map(|l| l.to_parts().unwrap()).collect(),
+            loads: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let levels = f
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(k, l)| {
+                Level::paged(
+                    l.n,
+                    l.resolution.clone(),
+                    LevelMeta {
+                        stored_tuples: l.stored_tuples(),
+                        max_bucket_len: l.max_bucket_len(),
+                    },
+                    Arc::clone(&pager) as Arc<dyn LevelPager>,
+                    0,
+                    k,
+                )
+            })
+            .collect();
+        (
+            TemplateFamily {
+                levels,
+                ..f.clone()
+            },
+            pager,
+        )
+    }
+
+    #[test]
+    fn paged_levels_answer_size_queries_without_loading() {
+        let (paged, pager) = paged_family();
+        let f = family_with_two_levels();
+        assert_eq!(paged.stored_tuples(), f.stored_tuples());
+        assert_eq!(paged.levels[1].max_bucket_len(), 2);
+        assert!(paged.levels[1].is_exact());
+        assert!(!paged.levels[0].is_resident());
+        assert_eq!(
+            pager.loads.load(std::sync::atomic::Ordering::Relaxed),
+            0,
+            "size/resolution queries must not page in"
+        );
+    }
+
+    #[test]
+    fn paged_levels_page_in_on_materialize_and_stay_loaded() {
+        let (paged, pager) = paged_family();
+        let f = family_with_two_levels();
+        let keys = vec![vec![Value::from("NYC")]];
+        let a = paged.materialize(1, &keys).unwrap();
+        let b = f.materialize(1, &keys).unwrap();
+        assert_eq!(a.digest(), b.digest(), "paged fetch must be bit-for-bit");
+        assert!(paged.levels[1].is_resident());
+        assert!(!paged.levels[0].is_resident(), "level 0 was never touched");
+        assert_eq!(pager.loads.load(std::sync::atomic::Ordering::Relaxed), 1);
+        // a second materialize serves from the loaded payload
+        paged.materialize(1, &keys).unwrap();
+        assert_eq!(pager.loads.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn paged_levels_absorb_by_becoming_resident() {
+        let (mut paged, _pager) = paged_family();
+        let mut f = family_with_two_levels();
+        let dists = [DistanceKind::Numeric];
+        paged.absorb(&[Value::from("NYC")], &[Value::Double(95.0)], &dists);
+        f.absorb(&[Value::from("NYC")], &[Value::Double(95.0)], &dists);
+        for k in 0..f.num_levels() {
+            assert_eq!(
+                paged.lookup(k, &[Value::from("NYC")]).unwrap(),
+                f.lookup(k, &[Value::from("NYC")]).unwrap()
+            );
+            assert!(paged.levels[k].is_resident());
+        }
+    }
+
+    #[test]
+    fn paged_level_meta_mismatch_is_a_storage_error() {
+        let f = family_with_two_levels();
+        let pager = Arc::new(MemPager {
+            parts: f.levels.iter().map(|l| l.to_parts().unwrap()).collect(),
+            loads: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let wrong = Level::paged(
+            2,
+            vec![0.0],
+            LevelMeta {
+                stored_tuples: 99,
+                max_bucket_len: 2,
+            },
+            pager as Arc<dyn LevelPager>,
+            0,
+            1,
+        );
+        let g = TemplateFamily {
+            levels: vec![wrong],
+            ..f.clone()
+        };
+        let err = g
+            .materialize(0, &[vec![Value::from("NYC")]])
+            .expect_err("stale metadata must fail loudly");
+        assert!(matches!(err, AccessError::Storage(_)), "{err:?}");
     }
 }

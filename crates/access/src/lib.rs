@@ -29,6 +29,13 @@
 //! is a pure code/slice gather with no `Value` conversions; row-form
 //! [`Rep`] rows remain the inspection and maintenance boundary
 //! (see the [`family`] module docs for the layout).
+//!
+//! Level payloads may also be **tiered**: a [`Level`] constructed through
+//! [`Level::paged`] keeps only its bound, resolution and [`LevelMeta`] size
+//! metadata resident and loads its columns through a [`LevelPager`] (an
+//! on-disk segment in `beas-store`) the first time a fetch touches it —
+//! planning and budgeting never page, so the resource bound doubles as an
+//! I/O bound.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,7 +55,9 @@ pub use builder::{
 };
 pub use catalog::{Catalog, IndexSizeReport};
 pub use error::{AccessError, Result};
-pub use family::{FamilyId, Level, Rep, TemplateFamily, WEIGHT_COLUMN};
+pub use family::{
+    FamilyId, Level, LevelMeta, LevelPager, LevelParts, Rep, TemplateFamily, WEIGHT_COLUMN,
+};
 pub use fetch::{AccessCounter, FetchSession};
 pub use kdtree::{multilevel_partition, multilevel_partition_threaded, LevelReps};
 pub use resource::{BudgetPolicy, ResourceSpec};

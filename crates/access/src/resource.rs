@@ -44,9 +44,11 @@ impl ResourceSpec {
     /// Checks the spec: ratios must be finite and within `[0, 1]`.
     pub fn validate(&self) -> Result<()> {
         match self {
-            ResourceSpec::Ratio(a) if !a.is_finite() || *a < 0.0 || *a > 1.0 => Err(
-                AccessError::InvalidSpec(format!("resource ratio must lie in [0, 1], got {a}")),
-            ),
+            ResourceSpec::Ratio(a) if !a.is_finite() || *a < 0.0 || *a > 1.0 => {
+                Err(AccessError::InvalidSpec(format!(
+                    "resource ratio must be a finite number in [0, 1], got `{a}`"
+                )))
+            }
             _ => Ok(()),
         }
     }
@@ -111,14 +113,22 @@ impl std::str::FromStr for ResourceSpec {
         };
         match kind.trim() {
             "ratio" => {
-                let alpha: f64 = value.trim().parse().map_err(|_| {
-                    AccessError::InvalidSpec(format!("`{value}` is not a valid ratio"))
+                // the same message whether the value fails to parse or parses
+                // out of range: name the offending value and the valid range
+                let value = value.trim();
+                let alpha: f64 = value.parse().map_err(|_| {
+                    AccessError::InvalidSpec(format!(
+                        "resource ratio must be a finite number in [0, 1], got `{value}`"
+                    ))
                 })?;
                 ResourceSpec::ratio(alpha)
             }
             "tuples" => {
-                let n: usize = value.trim().parse().map_err(|_| {
-                    AccessError::InvalidSpec(format!("`{value}` is not a valid tuple count"))
+                let value = value.trim();
+                let n: usize = value.parse().map_err(|_| {
+                    AccessError::InvalidSpec(format!(
+                        "tuple budget must be a non-negative integer, got `{value}`"
+                    ))
                 })?;
                 Ok(ResourceSpec::Tuples(n))
             }
@@ -217,6 +227,26 @@ mod tests {
             let parsed: ResourceSpec = spec.to_string().parse().unwrap();
             assert_eq!(parsed, spec, "round-trip of {spec}");
         }
+    }
+
+    #[test]
+    fn bad_ratio_errors_name_the_value_and_the_range_consistently() {
+        // the same shape whether the ratio fails to parse, parses out of
+        // range, or is rejected by the typed constructor — clients (loadgen,
+        // the serve front-end) surface these verbatim
+        // `nan` parses as an f64 and is rejected by validation, echoed as `NaN`
+        for (input, offending) in [("ratio:x", "x"), ("ratio:1.5", "1.5"), ("ratio:nan", "NaN")] {
+            let msg = input.parse::<ResourceSpec>().unwrap_err().to_string();
+            assert!(msg.contains("[0, 1]"), "`{input}` → {msg}");
+            assert!(msg.contains(&format!("`{offending}`")), "`{input}` → {msg}");
+        }
+        let msg = ResourceSpec::ratio(-0.25).unwrap_err().to_string();
+        assert!(msg.contains("[0, 1]") && msg.contains("`-0.25`"), "{msg}");
+        let msg = "tuples:-3".parse::<ResourceSpec>().unwrap_err().to_string();
+        assert!(
+            msg.contains("non-negative") && msg.contains("`-3`"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -39,6 +39,9 @@ struct Args {
     clients: usize,
     requests: usize,
     rows: i64,
+    store: Option<std::path::PathBuf>,
+    updates: usize,
+    linger: bool,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +55,9 @@ fn parse_args() -> Args {
         clients: 4,
         requests: 100,
         rows: 10_000,
+        store: None,
+        updates: 0,
+        linger: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -103,11 +109,24 @@ fn parse_args() -> Args {
                 args.rows = value(&argv, i, "--rows").parse().expect("--rows");
                 i += 2;
             }
+            "--store" => {
+                args.store = Some(value(&argv, i, "--store").into());
+                i += 2;
+            }
+            "--updates" => {
+                args.updates = value(&argv, i, "--updates").parse().expect("--updates");
+                i += 2;
+            }
+            "--linger" => {
+                args.linger = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: loadgen [--url host:port | --self-host | --cluster N [--flaky]] \
-                     [--tenant NAME] [--spec ratio:0.05] [--clients N] [--requests N] [--rows N]"
+                     [--tenant NAME] [--spec ratio:0.05] [--clients N] [--requests N] [--rows N] \
+                     [--store DIR] [--updates N] [--linger]"
                 );
                 std::process::exit(2);
             }
@@ -124,9 +143,44 @@ fn main() {
     }
 
     // self-hosted mode: demo engine + server in process; the requested
-    // tenant name (if any) is registered so `--tenant` keeps working
-    let hosted = if args.self_host || args.url.is_none() {
-        let demo = demo_engine(args.rows);
+    // tenant name (if any) is registered so `--tenant` keeps working.
+    // With `--store DIR` the demo engine is durable: an existing store is
+    // warm-opened (snapshot + WAL replay), otherwise the freshly built
+    // engine is persisted there; `--updates N` applies N logged update
+    // batches before any query runs.
+    let hosted = if args.self_host || args.store.is_some() || args.url.is_none() {
+        let demo = match &args.store {
+            Some(dir) => {
+                let (demo, replayed) = beas_bench::serving::demo_engine_durable(args.rows, dir);
+                match replayed {
+                    Some(replayed) => println!("store: warm replayed={replayed}"),
+                    None => println!("store: cold"),
+                }
+                demo
+            }
+            None => demo_engine(args.rows),
+        };
+        for round in 0..args.updates {
+            let batch = (0..10i64).fold(beas_core::UpdateBatch::new(), |batch, i| {
+                batch.insert(
+                    "poi",
+                    vec![
+                        beas_relal::Value::from(format!("{round}/{i} Update Ave")),
+                        beas_relal::Value::from("hotel"),
+                        beas_relal::Value::from("NYC"),
+                        beas_relal::Value::Double(40.0 + (round as i64 * 10 + i) as f64),
+                    ],
+                )
+            });
+            demo.engine.apply_update(&batch).expect("update batch");
+        }
+        if args.updates > 0 {
+            println!(
+                "applied {} update batches before serving (|D| = {})",
+                args.updates,
+                demo.engine.database().total_tuples()
+            );
+        }
         let tenant = args.tenant.as_deref().unwrap_or("loadgen");
         let server = serve(
             ServeHandle::new(demo.engine),
@@ -260,6 +314,19 @@ fn main() {
             " (answers changed mid-run: updates?)"
         }
     );
+    // the canonical answer digest of the run, greppable (`^digest `) — the
+    // restart-smoke CI job compares it across a kill -9 and a warm reopen
+    if let Some(digest) = digests.iter().next().filter(|_| digests.len() == 1) {
+        println!("digest {digest}");
+    }
+    if args.linger {
+        // stay up (server included) until killed — lets harnesses snapshot
+        // the report, then simulate a crash with an unclean kill
+        println!("lingering until killed");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
     if let Some(server) = hosted {
         server.shutdown();
     }

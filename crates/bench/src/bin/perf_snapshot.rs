@@ -1,8 +1,9 @@
 //! Writes a small JSON perf snapshot of the serving-critical benchmarks
 //! (`plan_execution` bounded and full-eval, the `materialize` fetch path,
-//! `concurrent_serving` and the HTTP serving path) with short, fixed
+//! `concurrent_serving`, the HTTP serving path, and the durable store's
+//! cold-build vs warm-open restart cost) with short, fixed
 //! iteration counts — a CI-friendly smoke run whose output
-//! (`BENCH_pr7.json` by default) gives future changes a wall-clock
+//! (`BENCH_pr9.json` by default) gives future changes a wall-clock
 //! trajectory to compare against.
 //!
 //! ```text
@@ -174,7 +175,7 @@ fn main() {
             }
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_pr7.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr9.json".to_string());
     const ITERS: usize = 5;
     let mut samples: Vec<Sample> = Vec::new();
 
@@ -345,6 +346,88 @@ fn main() {
         s.extra
             .push(("digest".to_string(), format!("\"{digest:016x}\"")));
         samples.push(s);
+    }
+
+    // --------------------------------------------------------------- storage
+    // cold (build + first snapshot) vs warm (snapshot load + WAL replay)
+    // start of the durable demo engine: the whole point of beas-store is
+    // that the second number is much smaller than the first, at identical
+    // answers — both asserted here, not just recorded
+    {
+        use beas_bench::serving::{demo_constraint, demo_db, demo_query_json};
+        use beas_core::{Beas, UpdateBatch};
+
+        const STORE_ROWS: i64 = 20_000;
+        let dir = std::env::temp_dir().join(format!("beas-perf-store-{}", std::process::id()));
+        let answer_digest = |engine: &Beas| {
+            let query = beas_serve::query_from_json(&demo_query_json(), engine.schema())
+                .expect("demo query");
+            let answer = engine
+                .answer(&query, ResourceSpec::Ratio(0.05))
+                .expect("answer");
+            answer.answers.digest()
+        };
+
+        let mut cold_digest = 0u64;
+        let mut s = measure("storage/cold_open", ITERS, || {
+            let _ = std::fs::remove_dir_all(&dir);
+            let engine = Beas::builder(demo_db(STORE_ROWS))
+                .constraint(demo_constraint())
+                .persist_to(&dir)
+                .build()
+                .expect("cold build + persist");
+            cold_digest = answer_digest(&engine);
+        });
+        s.extra
+            .push(("digest".to_string(), format!("\"{cold_digest:016x}\"")));
+        let cold_min = s.min_s;
+        samples.push(s);
+
+        // leave a WAL tail behind the snapshot so the warm path also pays
+        // (and measures) batch replay
+        {
+            let engine = Beas::open(&dir).expect("reopen for updates");
+            for round in 0..3i64 {
+                let batch = (0..10i64).fold(UpdateBatch::new(), |batch, i| {
+                    batch.insert(
+                        "poi",
+                        vec![
+                            beas_relal::Value::from(format!("{round}/{i} Wal St")),
+                            beas_relal::Value::from("hotel"),
+                            beas_relal::Value::from("NYC"),
+                            beas_relal::Value::Double(40.0 + (round * 10 + i) as f64),
+                        ],
+                    )
+                });
+                engine.apply_update(&batch).expect("logged update");
+            }
+        }
+        let expected = {
+            let engine = Beas::open(&dir).expect("reference warm open");
+            assert_eq!(engine.stats().replayed_batches, 3, "WAL tail went missing");
+            answer_digest(&engine)
+        };
+
+        let mut warm_digest = 0u64;
+        let mut s = measure("storage/warm_open", ITERS, || {
+            let engine = Beas::open(&dir).expect("warm open");
+            warm_digest = answer_digest(&engine);
+        });
+        assert_eq!(
+            warm_digest, expected,
+            "warm restart changed the answer digest"
+        );
+        s.extra
+            .push(("digest".to_string(), format!("\"{warm_digest:016x}\"")));
+        s.extra
+            .push(("replayed_batches".to_string(), "3".to_string()));
+        assert!(
+            s.min_s < cold_min,
+            "warm open ({:.6}s) must beat the cold build ({cold_min:.6}s)",
+            s.min_s
+        );
+        samples.push(s);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     // --------------------------------------------------------------- output

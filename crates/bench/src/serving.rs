@@ -49,8 +49,8 @@ pub fn demo_query_json() -> Json {
     .expect("demo query JSON")
 }
 
-/// Builds the demo poi engine (`n` rows, deterministic) and its demo query.
-pub fn demo_engine(n: i64) -> ServingDemo {
+/// The demo poi database (`n` rows, deterministic).
+pub fn demo_db(n: i64) -> Database {
     let schema = DatabaseSchema::new(vec![RelationSchema::new(
         "poi",
         vec![
@@ -75,12 +75,46 @@ pub fn demo_engine(n: i64) -> ServingDemo {
         )
         .unwrap();
     }
+    db
+}
+
+/// The demo access constraint matching [`demo_db`].
+pub fn demo_constraint() -> ConstraintSpec {
+    ConstraintSpec::new("poi", &["type", "city"], &["price"])
+}
+
+/// Builds the demo poi engine (`n` rows, deterministic) and its demo query.
+pub fn demo_engine(n: i64) -> ServingDemo {
     let engine = Arc::new(
-        Beas::builder(db)
-            .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+        Beas::builder(demo_db(n))
+            .constraint(demo_constraint())
             .build()
             .expect("demo engine"),
     );
+    demo_with(engine)
+}
+
+/// Like [`demo_engine`], but durable at `dir`: warm-opens an existing store
+/// (returning how many WAL batches were replayed), or builds the demo engine
+/// and persists it there. `n` only matters on the cold path.
+pub fn demo_engine_durable(n: i64, dir: &std::path::Path) -> (ServingDemo, Option<u64>) {
+    if beas_core::Store::is_initialized(dir) {
+        let engine = Arc::new(Beas::open(dir).expect("warm open of the demo store"));
+        let replayed = engine.stats().replayed_batches;
+        (demo_with(engine), Some(replayed))
+    } else {
+        let engine = Arc::new(
+            Beas::builder(demo_db(n))
+                .constraint(demo_constraint())
+                .persist_to(dir)
+                .build()
+                .expect("demo engine (persisted)"),
+        );
+        (demo_with(engine), None)
+    }
+}
+
+fn demo_with(engine: Arc<Beas>) -> ServingDemo {
     let query_json = demo_query_json();
     let query = beas_serve::query_from_json(&query_json, engine.schema()).expect("demo query");
     ServingDemo {

@@ -40,6 +40,7 @@
 //! governed by [`BeasBuilder::num_threads`], which defaults to the machine's
 //! available parallelism.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -48,6 +49,7 @@ use beas_access::{
     ResourceSpec,
 };
 use beas_relal::{Database, DatabaseSchema, Relation, Row};
+use beas_store::{Calibration, Store, StoreOptions};
 
 use crate::accuracy::{exact_answers, rc_accuracy, AccuracyConfig, RcReport};
 use crate::error::Result;
@@ -195,6 +197,7 @@ pub struct BeasBuilder {
     threads: Option<usize>,
     min_shard_rows: Option<usize>,
     plan_cache_capacity: usize,
+    persist: Option<(PathBuf, StoreOptions)>,
 }
 
 impl BeasBuilder {
@@ -210,7 +213,24 @@ impl BeasBuilder {
             threads: None,
             min_shard_rows: None,
             plan_cache_capacity: crate::prepared::PLAN_CACHE_CAPACITY,
+            persist: None,
         }
+    }
+
+    /// Makes the engine durable: [`BeasBuilder::build`] additionally creates
+    /// a [`Store`] at `dir` (which must not already hold one), writes the
+    /// freshly built state as its first snapshot, and attaches the store so
+    /// every subsequent [`Beas::apply_update`] is write-ahead logged before
+    /// it is published. Reopen later with [`Beas::open`] for a warm restart.
+    pub fn persist_to(self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_with(dir, StoreOptions::default())
+    }
+
+    /// [`BeasBuilder::persist_to`] with explicit storage options (WAL sync
+    /// mode, paging threshold, compaction thresholds).
+    pub fn persist_with(mut self, dir: impl Into<PathBuf>, options: StoreOptions) -> Self {
+        self.persist = Some((dir.into(), options));
+        self
     }
 
     /// Sets the capacity of the engine's shared plan cache (entries, one per
@@ -311,20 +331,42 @@ impl BeasBuilder {
             }
         }
         let schema = db.schema.clone();
+        let catalog = Arc::new(catalog);
+        let min_shard_rows = self
+            .min_shard_rows
+            .unwrap_or_else(calibrated_min_shard_rows);
+        let store = match self.persist {
+            Some((dir, options)) => {
+                let store = Store::create(dir, options)?;
+                store.write_snapshot(&self.db, &catalog)?;
+                store.save_calibration(&current_calibration(min_shard_rows))?;
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
         Ok(Beas {
             state: RwLock::new(EngineSnapshot {
                 db: self.db,
-                catalog: Arc::new(catalog),
+                catalog,
             }),
             writer: Mutex::new(()),
             schema,
             threads,
-            min_shard_rows: self
-                .min_shard_rows
-                .unwrap_or_else(calibrated_min_shard_rows),
+            min_shard_rows,
             plan_cache: crate::prepared::SharedPlanCache::new(self.plan_cache_capacity),
             stats: StatsCounters::default(),
+            store,
         })
+    }
+}
+
+/// The calibration record describing *this* build on *this* machine — the
+/// staleness key a persisted record is compared against at [`Beas::open`].
+fn current_calibration(min_shard_rows: usize) -> Calibration {
+    Calibration {
+        min_shard_rows,
+        package_version: env!("CARGO_PKG_VERSION").to_string(),
+        parallelism: default_threads(),
     }
 }
 
@@ -382,6 +424,18 @@ pub struct EngineStats {
     /// Prepared-query plan-cache misses (budgets planned for the first time,
     /// or re-planned after maintenance invalidated the cache).
     pub plan_cache_misses: u64,
+    /// Storage: segment files written (snapshots, calibration records).
+    /// Zero on engines without an attached store.
+    pub segments_written: u64,
+    /// Storage: segment files read and verified (eager loads + page-ins).
+    pub segments_loaded: u64,
+    /// Storage: bytes currently in the write-ahead log (resets when the log
+    /// compacts into a snapshot).
+    pub wal_bytes: u64,
+    /// Storage: update batches recovered from the WAL tail by [`Beas::open`].
+    pub replayed_batches: u64,
+    /// Storage: paged index levels loaded on first fetch.
+    pub page_ins: u64,
 }
 
 /// One consistent `(database, catalog)` pair published by the engine.
@@ -434,11 +488,17 @@ pub struct Beas {
     /// Request statistics (see [`Beas::stats`]); plain atomics so the hot
     /// paths bump them without any lock.
     pub(crate) stats: StatsCounters,
+    /// The attached durable store, when the engine was built with
+    /// [`BeasBuilder::persist_to`] or reopened with [`Beas::open`]. Updates
+    /// are write-ahead logged here before they are published.
+    store: Option<Arc<Store>>,
 }
 
 impl Clone for Beas {
     /// Clones the engine handle over the current snapshot. The clone starts
-    /// with fresh request statistics — stats are per-handle, not per-data.
+    /// with fresh request statistics — stats are per-handle, not per-data —
+    /// and is *not* durable: the store (single-writer WAL) stays with the
+    /// original handle, so a clone's updates are never logged.
     fn clone(&self) -> Self {
         Beas {
             state: RwLock::new(self.snapshot()),
@@ -448,6 +508,7 @@ impl Clone for Beas {
             min_shard_rows: self.min_shard_rows,
             plan_cache: crate::prepared::SharedPlanCache::new(self.plan_cache.capacity()),
             stats: StatsCounters::default(),
+            store: None,
         }
     }
 }
@@ -456,6 +517,80 @@ impl Beas {
     /// Starts building an engine over `db` (see [`BeasBuilder`]).
     pub fn builder(db: impl Into<Arc<Database>>) -> BeasBuilder {
         BeasBuilder::new(db)
+    }
+
+    /// Warm restart: opens the durable store at `dir` (created by
+    /// [`BeasBuilder::persist_to`]), loads its snapshot, and replays the
+    /// WAL tail — every update batch that was applied after the snapshot —
+    /// so the reopened engine answers bit-for-bit like the engine that was
+    /// killed. No indices are rebuilt: large index levels stay on disk and
+    /// page in lazily on first fetch.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Beas> {
+        Beas::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`Beas::open`] with explicit storage options.
+    pub fn open_with(dir: impl AsRef<Path>, options: StoreOptions) -> Result<Beas> {
+        let store = Store::open(dir.as_ref(), options)?;
+        let (db, catalog) = store.load_snapshot()?;
+
+        // satellite calibration: reuse the persisted executor threshold only
+        // when it was measured by this build on this core count — otherwise
+        // re-calibrate and refresh the record
+        let current = current_calibration(0);
+        let min_shard_rows = match store.load_calibration()? {
+            Some(cal)
+                if cal.package_version == current.package_version
+                    && cal.parallelism == current.parallelism =>
+            {
+                cal.min_shard_rows
+            }
+            _ => {
+                let measured = calibrated_min_shard_rows();
+                store.save_calibration(&current_calibration(measured))?;
+                measured
+            }
+        };
+
+        let schema = db.schema.clone();
+        let engine = Beas {
+            state: RwLock::new(EngineSnapshot {
+                db: Arc::new(db),
+                catalog: Arc::new(catalog),
+            }),
+            writer: Mutex::new(()),
+            schema,
+            threads: default_threads(),
+            min_shard_rows,
+            plan_cache: crate::prepared::SharedPlanCache::new(crate::prepared::PLAN_CACHE_CAPACITY),
+            stats: StatsCounters::default(),
+            store: Some(Arc::new(store)),
+        };
+
+        // WAL-tail replay: re-apply the recovered batches through the normal
+        // incremental maintenance path, but do not re-log them (they are
+        // already in the WAL) and do not count them as served updates (the
+        // store counts them as `replayed_batches`)
+        let replay = engine
+            .store
+            .as_ref()
+            .expect("store attached above")
+            .take_replay();
+        for batch in replay {
+            let _writer = engine.writer.lock().expect("writer lock poisoned");
+            engine.apply_inserts_locked(&batch, false)?;
+        }
+        Ok(engine)
+    }
+
+    /// `true` when the engine has an attached durable store.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The attached durable store, when the engine is durable.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// The engine's current consistent `(database, catalog)` snapshot.
@@ -518,6 +653,7 @@ impl Beas {
     /// tuples accessed, updates applied, plan-cache hits/misses). Lock-free
     /// on both the read and the write side.
     pub fn stats(&self) -> EngineStats {
+        let storage = self.store.as_deref().map(Store::stats).unwrap_or_default();
         EngineStats {
             queries: self.stats.queries.load(Ordering::Relaxed),
             tuples_accessed: self.stats.tuples_accessed.load(Ordering::Relaxed),
@@ -525,6 +661,11 @@ impl Beas {
             rows_inserted: self.stats.rows_inserted.load(Ordering::Relaxed),
             plan_cache_hits: self.stats.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.stats.plan_cache_misses.load(Ordering::Relaxed),
+            segments_written: storage.segments_written,
+            segments_loaded: storage.segments_loaded,
+            wal_bytes: storage.wal_bytes,
+            replayed_batches: storage.replayed_batches,
+            page_ins: storage.page_ins,
         }
     }
 
@@ -658,22 +799,46 @@ impl Beas {
     /// deep-copied — a small batch costs O(touched relation), not O(|D|).
     pub fn apply_update(&self, batch: &UpdateBatch) -> Result<usize> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
+        self.apply_inserts_locked(batch.inserts(), true)?;
+        self.stats.record_update(batch.len());
+        // compaction: once the WAL has grown past its thresholds, fold it
+        // into a fresh snapshot (still under the writer lock, so the
+        // snapshot captures exactly the state just published)
+        if let Some(store) = &self.store {
+            if store.should_compact() {
+                let snapshot = self.snapshot();
+                store.write_snapshot(&snapshot.db, &snapshot.catalog)?;
+            }
+        }
+        Ok(batch.len())
+    }
+
+    /// The shared C2 application path (callers hold the writer lock): clone,
+    /// validate, apply, WAL-log (when `log` and a store is attached), then
+    /// publish. The WAL append happens strictly *before* the publish, so a
+    /// batch a reader can observe is always recoverable; conversely a WAL
+    /// failure leaves the engine state untouched.
+    fn apply_inserts_locked(&self, inserts: &[(String, Row)], log: bool) -> Result<()> {
         let snapshot = self.snapshot();
         // copy-on-write: all mutation happens on a private clone, so readers
         // keep serving the published snapshot until the swap below
         let mut catalog = (*snapshot.catalog).clone();
         // the catalog validates the whole batch before touching any index
-        catalog.insert_rows(batch.inserts())?;
+        catalog.insert_rows(inserts)?;
         let mut db = (*snapshot.db).clone();
-        for (relation, row) in batch.inserts() {
+        for (relation, row) in inserts {
             db.insert_row(relation, row.clone())?;
+        }
+        if log {
+            if let Some(store) = &self.store {
+                store.append_batch(inserts)?;
+            }
         }
         self.publish(EngineSnapshot {
             db: Arc::new(db),
             catalog: Arc::new(catalog),
         });
-        self.stats.record_update(batch.len());
-        Ok(batch.len())
+        Ok(())
     }
 
     /// Atomically swaps in a new snapshot (callers hold the writer lock).
@@ -1348,5 +1513,192 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(clamped.num_threads(), 1);
+    }
+
+    /// A fresh scratch directory for persistence tests.
+    fn store_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("beas-core-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Answer digests across the Example-1 queries at several budgets — the
+    /// bit-for-bit restart equivalence check (digests are NaN-safe where
+    /// `Relation` equality is not).
+    fn answer_digests(beas: &Beas) -> Vec<u64> {
+        let db = beas.database();
+        let mut digests = Vec::new();
+        for q in [q1(&db), q2(&db), hotels_in(&db, "NYC", 200)] {
+            for spec in [
+                ResourceSpec::Ratio(0.1),
+                ResourceSpec::Ratio(0.5),
+                ResourceSpec::FULL,
+            ] {
+                let a = beas.answer(&q, spec).unwrap();
+                digests.push(a.answers.digest());
+                digests.push(a.eta.to_bits());
+                digests.push(a.exact as u64);
+            }
+        }
+        digests
+    }
+
+    #[test]
+    fn persisted_engine_reopens_warm_with_identical_answers() {
+        let dir = store_dir("warm-restart");
+        // page aggressively so the reopened engine exercises the tiered path
+        let opts = StoreOptions {
+            resident_level_tuples: 16,
+            ..StoreOptions::default()
+        };
+        let built = Beas::builder(example_db(200))
+            .constraints(constraints())
+            .persist_with(&dir, opts)
+            .build()
+            .unwrap();
+        assert!(built.is_durable());
+        assert!(built.stats().segments_written > 0);
+
+        // updates after the snapshot land in the WAL
+        for i in 0..3i64 {
+            built
+                .apply_update(
+                    &UpdateBatch::new()
+                        .insert("friend", vec![Value::Int(1), Value::Int(900 + i)])
+                        .insert("person", vec![Value::Int(900 + i), Value::from("NYC")]),
+                )
+                .unwrap();
+        }
+        let want = answer_digests(&built);
+        assert!(built.stats().wal_bytes > 0);
+        drop(built);
+
+        let reopened = Beas::open_with(&dir, opts).unwrap();
+        let stats = reopened.stats();
+        assert_eq!(stats.replayed_batches, 3);
+        // replay absorbs into the families of the touched relations (friend,
+        // person) and pages those in; the poi families stay on disk until a
+        // query actually fetches from them
+        let after_open = stats.page_ins;
+        assert_eq!(answer_digests(&reopened), want);
+        assert!(
+            reopened.stats().page_ins > after_open,
+            "answering pages the untouched fine levels in"
+        );
+        // replayed batches are not served updates
+        assert_eq!(reopened.stats().updates, 0);
+        // updates keep flowing (and keep being logged) after the restart
+        reopened
+            .apply_update(
+                &UpdateBatch::new().insert("friend", vec![Value::Int(1), Value::Int(999)]),
+            )
+            .unwrap();
+        assert_eq!(reopened.stats().updates, 1);
+    }
+
+    #[test]
+    fn opening_without_a_wal_tail_pages_nothing_in() {
+        let dir = store_dir("lazy-open");
+        let opts = StoreOptions {
+            resident_level_tuples: 0, // page everything
+            ..StoreOptions::default()
+        };
+        let built = Beas::builder(example_db(120))
+            .constraints(constraints())
+            .persist_with(&dir, opts)
+            .build()
+            .unwrap();
+        drop(built);
+        let reopened = Beas::open_with(&dir, opts).unwrap();
+        assert_eq!(
+            reopened.stats().page_ins,
+            0,
+            "a replay-free open is metadata-only"
+        );
+        let q = q2(&reopened.database());
+        reopened.answer(&q, ResourceSpec::Ratio(0.2)).unwrap();
+        assert!(reopened.stats().page_ins > 0);
+    }
+
+    #[test]
+    fn wal_compaction_folds_updates_into_a_new_snapshot() {
+        let dir = store_dir("compaction");
+        let opts = StoreOptions {
+            compact_wal_batches: 2,
+            ..StoreOptions::default()
+        };
+        let built = Beas::builder(example_db(60))
+            .constraints(constraints())
+            .persist_with(&dir, opts)
+            .build()
+            .unwrap();
+        let store = Arc::clone(built.store().unwrap());
+        assert_eq!(store.generation(), 1);
+        for i in 0..5i64 {
+            built
+                .apply_update(
+                    &UpdateBatch::new().insert("friend", vec![Value::Int(2), Value::Int(700 + i)]),
+                )
+                .unwrap();
+        }
+        // batches 2 and 4 crossed the threshold and compacted
+        assert_eq!(store.generation(), 3);
+        let want = answer_digests(&built);
+        drop(built);
+
+        // the tail after the last compaction (batch 5) replays on open
+        let reopened = Beas::open_with(&dir, opts).unwrap();
+        assert_eq!(reopened.stats().replayed_batches, 1);
+        assert_eq!(answer_digests(&reopened), want);
+    }
+
+    #[test]
+    fn calibration_survives_restart_and_stale_records_recalibrate() {
+        let dir = store_dir("calibration");
+        let built = Beas::builder(example_db(50))
+            .constraints(constraints())
+            .min_shard_rows(12345)
+            .persist_to(&dir)
+            .build()
+            .unwrap();
+        drop(built);
+
+        // fresh record from this build on this machine: reused verbatim
+        let reopened = Beas::open(&dir).unwrap();
+        assert_eq!(reopened.min_shard_rows(), 12345);
+        let store = Arc::clone(reopened.store().unwrap());
+        // stale record (other core count): fall back to re-calibration and
+        // refresh the persisted record
+        store
+            .save_calibration(&beas_store::Calibration {
+                min_shard_rows: 777,
+                package_version: env!("CARGO_PKG_VERSION").to_string(),
+                parallelism: default_threads() + 1,
+            })
+            .unwrap();
+        drop(reopened);
+        let recalibrated = Beas::open(&dir).unwrap();
+        assert_ne!(recalibrated.min_shard_rows(), 777);
+        let refreshed = recalibrated.store().unwrap().load_calibration().unwrap();
+        assert_eq!(
+            refreshed.unwrap().min_shard_rows,
+            recalibrated.min_shard_rows()
+        );
+    }
+
+    #[test]
+    fn clones_share_data_but_not_the_store() {
+        let dir = store_dir("clone-durability");
+        let built = Beas::builder(example_db(50))
+            .constraints(constraints())
+            .persist_to(&dir)
+            .build()
+            .unwrap();
+        let clone = built.clone();
+        assert!(built.is_durable());
+        assert!(!clone.is_durable());
+        // storage counters ride only on the durable handle
+        assert!(built.stats().segments_written > 0);
+        assert_eq!(clone.stats().segments_written, 0);
     }
 }

@@ -21,6 +21,9 @@ pub enum BeasError {
     /// The query is structurally unsupported (e.g. an aggregate over a column
     /// missing from the inner query's output).
     UnsupportedQuery(String),
+    /// Error from the durable storage layer (WAL append, snapshot I/O,
+    /// corrupt or unsupported store files).
+    Storage(String),
 }
 
 impl fmt::Display for BeasError {
@@ -30,6 +33,7 @@ impl fmt::Display for BeasError {
             BeasError::Access(e) => write!(f, "{e}"),
             BeasError::Planning(msg) => write!(f, "planning error: {msg}"),
             BeasError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
+            BeasError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }
@@ -45,6 +49,13 @@ impl From<RelalError> for BeasError {
 impl From<AccessError> for BeasError {
     fn from(e: AccessError) -> Self {
         BeasError::Access(e)
+    }
+}
+
+impl From<beas_store::StoreError> for BeasError {
+    /// Flattened to the message: `StoreError` is not `Clone`, `BeasError` is.
+    fn from(e: beas_store::StoreError) -> Self {
+        BeasError::Storage(e.to_string())
     }
 }
 

@@ -1,0 +1,330 @@
+//! Seeded crash-recovery property suite for the durable store (PR 9,
+//! satellite 3).
+//!
+//! Property: for ANY crash point — the WAL truncated at an arbitrary byte
+//! offset, or a byte garbled in place — reopening the store yields an engine
+//! that is *bit-for-bit* equivalent to a never-crashed engine that applied
+//! exactly the recovered batch prefix. Equivalence is checked through answer
+//! digests (NaN-safe: `Relation::digest` hashes floats by bit pattern, where
+//! `Relation` equality would be blind to `NaN` vs `NaN`), and the adversarial
+//! float values — `NaN`, `-0.0`, `±∞` — ride through both the snapshot and
+//! the WAL.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use beas_core::{Beas, BeasQuery, ConstraintSpec, ResourceSpec, StoreOptions, UpdateBatch};
+use beas_relal::{
+    Attribute, CompareOp, Database, DatabaseSchema, RelationSchema, SpcQueryBuilder, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 0x9_e15;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("beas-crash-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for entry in fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn wal_file(dir: &Path) -> PathBuf {
+    let mut wals: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            (name.starts_with("wal-") && name.ends_with(".log")).then_some(p)
+        })
+        .collect();
+    assert_eq!(wals.len(), 1, "expected exactly one WAL in {dir:?}");
+    wals.pop().unwrap()
+}
+
+/// Base data with the adversarial floats baked in: every special value the
+/// IEEE-754 total order distinguishes appears in the `reading` column.
+fn base_db(rows: i64) -> Database {
+    let schema = DatabaseSchema::new(vec![RelationSchema::new(
+        "sensor",
+        vec![
+            Attribute::id("id"),
+            Attribute::categorical("site"),
+            Attribute::double("reading"),
+        ],
+    )]);
+    let mut db = Database::new(schema);
+    for i in 0..rows {
+        db.insert_row("sensor", vec![Value::Int(i), site(i), reading(i)])
+            .unwrap();
+    }
+    db
+}
+
+fn site(i: i64) -> Value {
+    Value::Str(format!("s{}", i % 4))
+}
+
+fn reading(i: i64) -> Value {
+    Value::Double(match i % 17 {
+        3 => f64::NAN,
+        5 => -0.0,
+        7 => f64::INFINITY,
+        11 => f64::NEG_INFINITY,
+        _ => (i % 23) as f64 * 1.75 - 10.0,
+    })
+}
+
+fn build_durable(dir: &Path, rows: i64) -> Beas {
+    Beas::builder(base_db(rows))
+        .constraint(ConstraintSpec::new("sensor", &["site"], &["reading"]))
+        .persist_with(
+            dir,
+            StoreOptions {
+                // page fine levels so recovery also exercises the tiered path
+                resident_level_tuples: 16,
+                ..StoreOptions::default()
+            },
+        )
+        .build()
+        .unwrap()
+}
+
+fn build_reference(rows: i64) -> Beas {
+    Beas::builder(base_db(rows))
+        .constraint(ConstraintSpec::new("sensor", &["site"], &["reading"]))
+        .build()
+        .unwrap()
+}
+
+/// A random update batch: 1–4 inserts, readings drawn from a pool that is
+/// heavy on the special floats.
+fn random_batch(rng: &mut StdRng, next_id: &mut i64) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for _ in 0..rng.gen_range(1..=4usize) {
+        let id = *next_id;
+        *next_id += 1;
+        let reading = match rng.gen_range(0..6u32) {
+            0 => f64::NAN,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            _ => rng.gen_range(-50.0..50.0),
+        };
+        batch = batch.insert(
+            "sensor",
+            vec![
+                Value::Int(id),
+                Value::Str(format!("s{}", rng.gen_range(0..4u32))),
+                Value::Double(reading),
+            ],
+        );
+    }
+    batch
+}
+
+fn queries(db: &Database) -> Vec<BeasQuery> {
+    let mut out = Vec::new();
+    // all readings at one site
+    let mut b = SpcQueryBuilder::new(&db.schema);
+    let s = b.atom("sensor", "s").unwrap();
+    b.bind_const(s, "site", "s1").unwrap();
+    b.output(s, "reading", "reading").unwrap();
+    out.push(b.build().unwrap().into());
+    // bounded-range scan over ids
+    let mut b = SpcQueryBuilder::new(&db.schema);
+    let s = b.atom("sensor", "s").unwrap();
+    b.filter_const(s, "id", CompareOp::Le, 500i64).unwrap();
+    b.output(s, "site", "site").unwrap();
+    b.output(s, "reading", "reading").unwrap();
+    out.push(b.build().unwrap().into());
+    out
+}
+
+/// The bit-for-bit equivalence fingerprint: answer digests, η bit patterns
+/// and exactness flags across queries × budgets, plus the database digest.
+fn fingerprint(beas: &Beas) -> Vec<u64> {
+    let db = beas.database();
+    let mut out = vec![db.relation("sensor").unwrap().digest()];
+    for q in queries(&db) {
+        for spec in [
+            ResourceSpec::Ratio(0.1),
+            ResourceSpec::Ratio(0.4),
+            ResourceSpec::FULL,
+        ] {
+            let a = beas.answer(&q, spec).unwrap();
+            out.push(a.answers.digest());
+            out.push(a.eta.to_bits());
+            out.push(a.exact as u64);
+        }
+    }
+    out
+}
+
+#[test]
+fn recovery_is_bit_for_bit_at_arbitrary_wal_crash_offsets() {
+    const ROWS: i64 = 120;
+    const BATCHES: usize = 6;
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    // the engine that "crashes": durable, with a WAL tail of random batches
+    let dir = scratch("primary");
+    let engine = build_durable(&dir, ROWS);
+    let mut next_id = ROWS;
+    let batches: Vec<UpdateBatch> = (0..BATCHES)
+        .map(|_| random_batch(&mut rng, &mut next_id))
+        .collect();
+    for batch in &batches {
+        engine.apply_update(batch).unwrap();
+    }
+    drop(engine); // kill — every batch was fdatasync'ed before publish
+
+    // reference engines that never crashed: one per possible recovered
+    // prefix, fingerprinted once
+    let reference: Vec<Vec<u64>> = (0..=BATCHES)
+        .map(|k| {
+            let fresh = build_reference(ROWS);
+            for batch in &batches[..k] {
+                fresh.apply_update(batch).unwrap();
+            }
+            fingerprint(&fresh)
+        })
+        .collect();
+
+    let wal = wal_file(&dir);
+    let wal_bytes = fs::read(&wal).unwrap();
+
+    // crash points: random byte offsets plus the endpoints
+    let mut cuts: Vec<usize> = (0..12)
+        .map(|_| rng.gen_range(0..=wal_bytes.len()))
+        .collect();
+    cuts.push(0);
+    cuts.push(wal_bytes.len());
+
+    for (case, cut) in cuts.into_iter().enumerate() {
+        let crashed = scratch(&format!("cut-{case}"));
+        copy_dir(&dir, &crashed);
+        fs::write(wal_file(&crashed), &wal_bytes[..cut]).unwrap();
+
+        let reopened = Beas::open(&crashed).unwrap();
+        let replayed = reopened.stats().replayed_batches as usize;
+        assert!(replayed <= BATCHES, "cut {cut}: replayed {replayed}");
+        assert_eq!(
+            fingerprint(&reopened),
+            reference[replayed],
+            "cut at byte {cut} of {}: recovered engine (replayed {replayed} \
+             batches) diverges from the never-crashed reference",
+            wal_bytes.len()
+        );
+        fs::remove_dir_all(&crashed).unwrap();
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovery_discards_from_a_garbled_record_on() {
+    const ROWS: i64 = 80;
+    const BATCHES: usize = 4;
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xdead);
+
+    let dir = scratch("garble-primary");
+    let engine = build_durable(&dir, ROWS);
+    let mut next_id = ROWS;
+    let batches: Vec<UpdateBatch> = (0..BATCHES)
+        .map(|_| random_batch(&mut rng, &mut next_id))
+        .collect();
+    for batch in &batches {
+        engine.apply_update(batch).unwrap();
+    }
+    drop(engine);
+
+    let wal = wal_file(&dir);
+    let wal_bytes = fs::read(&wal).unwrap();
+
+    for case in 0..8 {
+        let offset = rng.gen_range(0..wal_bytes.len());
+        let crashed = scratch(&format!("garble-{case}"));
+        copy_dir(&dir, &crashed);
+        let mut garbled = wal_bytes.clone();
+        garbled[offset] ^= 0x20;
+        fs::write(wal_file(&crashed), &garbled).unwrap();
+
+        // recovery must (a) not error, (b) keep some prefix of the batches,
+        // (c) match the reference for exactly that prefix
+        let reopened = Beas::open(&crashed).unwrap();
+        let replayed = reopened.stats().replayed_batches as usize;
+        assert!(replayed <= BATCHES, "offset {offset}: replayed {replayed}");
+
+        let fresh = build_reference(ROWS);
+        for batch in &batches[..replayed] {
+            fresh.apply_update(batch).unwrap();
+        }
+        assert_eq!(
+            fingerprint(&reopened),
+            fingerprint(&fresh),
+            "garbled byte at {offset}: recovered engine diverges from the \
+             reference that applied {replayed} batches"
+        );
+        fs::remove_dir_all(&crashed).unwrap();
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovered_engine_keeps_accepting_and_logging_updates() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xbeef);
+    let dir = scratch("resume");
+    let engine = build_durable(&dir, 60);
+    let mut next_id = 60;
+    engine
+        .apply_update(&random_batch(&mut rng, &mut next_id))
+        .unwrap();
+    drop(engine);
+
+    // crash after the snapshot, mid-first-batch: truncate half the WAL
+    let wal = wal_file(&dir);
+    let bytes = fs::read(&wal).unwrap();
+    fs::write(&wal, &bytes[..bytes.len() / 2]).unwrap();
+
+    let reopened = Beas::open(&dir).unwrap();
+    assert_eq!(reopened.stats().replayed_batches, 0);
+    // the WAL is clean again: new updates log, survive another restart
+    let batch = random_batch(&mut rng, &mut next_id);
+    reopened.apply_update(&batch).unwrap();
+    let want = fingerprint(&reopened);
+    drop(reopened);
+
+    let again = Beas::open(&dir).unwrap();
+    assert_eq!(again.stats().replayed_batches, 1);
+    assert_eq!(fingerprint(&again), want);
+
+    // and an Arc'd handle answers concurrently right after recovery
+    let shared = Arc::new(again);
+    let q = queries(&shared.database()).remove(0);
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let engine = Arc::clone(&shared);
+            let q = q.clone();
+            std::thread::spawn(move || engine.answer(&q, ResourceSpec::Ratio(0.3)).unwrap())
+        })
+        .collect();
+    let digests: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap().answers.digest())
+        .collect();
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+    fs::remove_dir_all(&dir).unwrap();
+}

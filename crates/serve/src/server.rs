@@ -855,6 +855,16 @@ fn metrics_json(state: &ServerState) -> Json {
             ]),
         ),
         (
+            "storage",
+            Json::obj(vec![
+                ("segments_written", Json::Int(stats.segments_written as i64)),
+                ("segments_loaded", Json::Int(stats.segments_loaded as i64)),
+                ("wal_bytes", Json::Int(stats.wal_bytes as i64)),
+                ("replayed_batches", Json::Int(stats.replayed_batches as i64)),
+                ("page_ins", Json::Int(stats.page_ins as i64)),
+            ]),
+        ),
+        (
             "prepared_queries",
             Json::Int(
                 state

@@ -213,6 +213,17 @@ fn query_update_metrics_round_trip() {
             .unwrap()
             >= 1
     );
+    // a non-durable engine reports the storage tier as all-zero
+    let storage = metrics.get("storage").unwrap();
+    assert_eq!(
+        storage.get("segments_written").and_then(Json::as_i64),
+        Some(0)
+    );
+    assert_eq!(
+        storage.get("replayed_batches").and_then(Json::as_i64),
+        Some(0)
+    );
+    assert_eq!(storage.get("page_ins").and_then(Json::as_i64), Some(0));
 
     server.shutdown();
 }

@@ -1,0 +1,861 @@
+//! Binary encoding of the engine's in-memory structures.
+//!
+//! Everything is little-endian and fixed-width where possible so that typed
+//! columns round-trip without per-value conversions: an `Int` column is a
+//! length followed by raw `i64` words, a `Float` column stores IEEE-754 bit
+//! patterns verbatim (`NaN`, `±0` and `±∞` survive exactly), and a `Str`
+//! column stores its dictionary strings *in code order* followed by the raw
+//! `u32` codes — re-interning in order reproduces identical codes, so a
+//! decoded column is bit-for-bit the column that was written.
+//!
+//! The format is private to `beas-store`; versioning lives in the segment
+//! envelope (see [`crate::segment`]), not here.
+
+use std::sync::Arc;
+
+use beas_access::{LevelMeta, LevelParts};
+use beas_relal::schema::{Attribute, DatabaseSchema, RelationSchema};
+use beas_relal::{Column, Database, DistanceKind, Relation, Row, StrDict, Value, ValueType};
+
+use crate::{Result, StoreError};
+
+// ---------------------------------------------------------------------------
+// primitive writers
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+
+pub(crate) fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Floats are stored as raw bit patterns: `NaN` payloads, `-0.0` and the
+/// infinities round-trip exactly.
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+pub(crate) fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    put_u8(buf, v as u8);
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_usize(buf, s.len());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// primitive reader
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over a decoded payload. Every truncation or tag
+/// mismatch is a [`StoreError::Corrupt`] — the segment checksum makes these
+/// unreachable for intact files, so hitting one means the file was damaged
+/// in a way the checksum did not cover (or a format bug).
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let out = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => Err(StoreError::Corrupt(format!(
+                "payload truncated: wanted {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn usize(&mut self) -> Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| StoreError::Corrupt(format!("length {v} exceeds the address space")))
+    }
+
+    /// A length that must be payload-backed: each element needs at least
+    /// `min_elem` bytes, so a corrupted length can never trigger a huge
+    /// allocation before the bounds check catches it.
+    pub(crate) fn len(&mut self, min_elem: usize) -> Result<usize> {
+        let n = self.usize()?;
+        let remaining = self.buf.len() - self.pos;
+        if n.checked_mul(min_elem.max(1)).is_none_or(|b| b > remaining) {
+            return Err(StoreError::Corrupt(format!(
+                "length {n} inconsistent with {remaining} remaining payload bytes"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(StoreError::Corrupt(format!("bad bool byte {other}"))),
+        }
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StoreError::Corrupt(format!("invalid utf-8 string: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// values and schema
+// ---------------------------------------------------------------------------
+
+const VALUE_INT: u8 = 0;
+const VALUE_DOUBLE: u8 = 1;
+const VALUE_STR: u8 = 2;
+const VALUE_BOOL: u8 = 3;
+const VALUE_NULL: u8 = 4;
+
+pub(crate) fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(x) => {
+            put_u8(buf, VALUE_INT);
+            put_i64(buf, *x);
+        }
+        Value::Double(x) => {
+            put_u8(buf, VALUE_DOUBLE);
+            put_f64(buf, *x);
+        }
+        Value::Str(s) => {
+            put_u8(buf, VALUE_STR);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            put_u8(buf, VALUE_BOOL);
+            put_bool(buf, *b);
+        }
+        Value::Null => put_u8(buf, VALUE_NULL),
+    }
+}
+
+pub(crate) fn read_value(r: &mut Reader<'_>) -> Result<Value> {
+    match r.u8()? {
+        VALUE_INT => Ok(Value::Int(r.i64()?)),
+        VALUE_DOUBLE => Ok(Value::Double(r.f64()?)),
+        VALUE_STR => Ok(Value::Str(r.str()?)),
+        VALUE_BOOL => Ok(Value::Bool(r.bool()?)),
+        VALUE_NULL => Ok(Value::Null),
+        other => Err(StoreError::Corrupt(format!("bad value tag {other}"))),
+    }
+}
+
+fn put_value_type(buf: &mut Vec<u8>, ty: ValueType) {
+    put_u8(
+        buf,
+        match ty {
+            ValueType::Int => 0,
+            ValueType::Double => 1,
+            ValueType::Str => 2,
+            ValueType::Bool => 3,
+        },
+    );
+}
+
+fn read_value_type(r: &mut Reader<'_>) -> Result<ValueType> {
+    match r.u8()? {
+        0 => Ok(ValueType::Int),
+        1 => Ok(ValueType::Double),
+        2 => Ok(ValueType::Str),
+        3 => Ok(ValueType::Bool),
+        other => Err(StoreError::Corrupt(format!("bad value-type tag {other}"))),
+    }
+}
+
+fn put_distance(buf: &mut Vec<u8>, dk: DistanceKind) {
+    match dk {
+        DistanceKind::Numeric => put_u8(buf, 0),
+        DistanceKind::Scaled(s) => {
+            put_u8(buf, 1);
+            put_u32(buf, s);
+        }
+        DistanceKind::Trivial => put_u8(buf, 2),
+        DistanceKind::Categorical => put_u8(buf, 3),
+    }
+}
+
+fn read_distance(r: &mut Reader<'_>) -> Result<DistanceKind> {
+    match r.u8()? {
+        0 => Ok(DistanceKind::Numeric),
+        1 => Ok(DistanceKind::Scaled(r.u32()?)),
+        2 => Ok(DistanceKind::Trivial),
+        3 => Ok(DistanceKind::Categorical),
+        other => Err(StoreError::Corrupt(format!("bad distance tag {other}"))),
+    }
+}
+
+fn put_attribute(buf: &mut Vec<u8>, a: &Attribute) {
+    put_str(buf, &a.name);
+    put_value_type(buf, a.ty);
+    put_distance(buf, a.distance);
+}
+
+fn read_attribute(r: &mut Reader<'_>) -> Result<Attribute> {
+    Ok(Attribute {
+        name: r.str()?,
+        ty: read_value_type(r)?,
+        distance: read_distance(r)?,
+    })
+}
+
+fn put_relation_schema(buf: &mut Vec<u8>, rs: &RelationSchema) {
+    put_str(buf, &rs.name);
+    put_usize(buf, rs.attributes.len());
+    for a in &rs.attributes {
+        put_attribute(buf, a);
+    }
+}
+
+fn read_relation_schema(r: &mut Reader<'_>) -> Result<RelationSchema> {
+    let name = r.str()?;
+    let n = r.len(2)?;
+    let mut attributes = Vec::with_capacity(n);
+    for _ in 0..n {
+        attributes.push(read_attribute(r)?);
+    }
+    Ok(RelationSchema { name, attributes })
+}
+
+pub(crate) fn put_database_schema(buf: &mut Vec<u8>, schema: &DatabaseSchema) {
+    put_usize(buf, schema.relations.len());
+    for rs in &schema.relations {
+        put_relation_schema(buf, rs);
+    }
+}
+
+pub(crate) fn read_database_schema(r: &mut Reader<'_>) -> Result<DatabaseSchema> {
+    let n = r.len(8)?;
+    let mut relations = Vec::with_capacity(n);
+    for _ in 0..n {
+        relations.push(read_relation_schema(r)?);
+    }
+    Ok(DatabaseSchema { relations })
+}
+
+// ---------------------------------------------------------------------------
+// columns and relations
+// ---------------------------------------------------------------------------
+
+const COL_INT: u8 = 0;
+const COL_FLOAT: u8 = 1;
+const COL_BOOL: u8 = 2;
+const COL_STR: u8 = 3;
+const COL_MIXED: u8 = 4;
+
+pub(crate) fn put_column(buf: &mut Vec<u8>, col: &Column) {
+    match col {
+        Column::Int(v) => {
+            put_u8(buf, COL_INT);
+            put_usize(buf, v.len());
+            for x in v {
+                put_i64(buf, *x);
+            }
+        }
+        Column::Float(v) => {
+            put_u8(buf, COL_FLOAT);
+            put_usize(buf, v.len());
+            for x in v {
+                put_f64(buf, *x);
+            }
+        }
+        Column::Bool(v) => {
+            put_u8(buf, COL_BOOL);
+            put_usize(buf, v.len());
+            for x in v {
+                put_bool(buf, *x);
+            }
+        }
+        Column::Str { codes, dict } => {
+            put_u8(buf, COL_STR);
+            // dictionary strings in code order: re-interning in order on load
+            // reproduces identical codes, so the raw code vector is reusable
+            put_usize(buf, dict.len());
+            for s in dict.strings() {
+                put_str(buf, s);
+            }
+            put_usize(buf, codes.len());
+            for c in codes {
+                put_u32(buf, *c);
+            }
+        }
+        Column::Mixed(v) => {
+            put_u8(buf, COL_MIXED);
+            put_usize(buf, v.len());
+            for x in v {
+                put_value(buf, x);
+            }
+        }
+    }
+}
+
+pub(crate) fn read_column(r: &mut Reader<'_>) -> Result<Column> {
+    match r.u8()? {
+        COL_INT => {
+            let n = r.len(8)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.i64()?);
+            }
+            Ok(Column::Int(v))
+        }
+        COL_FLOAT => {
+            let n = r.len(8)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.f64()?);
+            }
+            Ok(Column::Float(v))
+        }
+        COL_BOOL => {
+            let n = r.len(1)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.bool()?);
+            }
+            Ok(Column::Bool(v))
+        }
+        COL_STR => {
+            let nstrings = r.len(8)?;
+            let mut dict = StrDict::default();
+            for _ in 0..nstrings {
+                dict.intern_owned(r.str()?);
+            }
+            if dict.len() != nstrings {
+                return Err(StoreError::Corrupt(format!(
+                    "string dictionary collapsed from {nstrings} to {} entries",
+                    dict.len()
+                )));
+            }
+            let ncodes = r.len(4)?;
+            let mut codes = Vec::with_capacity(ncodes);
+            for _ in 0..ncodes {
+                let c = r.u32()?;
+                if c as usize >= nstrings {
+                    return Err(StoreError::Corrupt(format!(
+                        "string code {c} out of range for dictionary of {nstrings}"
+                    )));
+                }
+                codes.push(c);
+            }
+            Ok(Column::Str {
+                codes,
+                dict: Arc::new(dict),
+            })
+        }
+        COL_MIXED => {
+            let n = r.len(1)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(read_value(r)?);
+            }
+            Ok(Column::Mixed(v))
+        }
+        other => Err(StoreError::Corrupt(format!("bad column tag {other}"))),
+    }
+}
+
+fn put_relation(buf: &mut Vec<u8>, rel: &Relation) {
+    put_usize(buf, rel.columns.len());
+    for (name, col) in rel.columns.iter().zip(rel.cols()) {
+        put_str(buf, name);
+        put_column(buf, col);
+    }
+}
+
+fn read_relation(r: &mut Reader<'_>) -> Result<Relation> {
+    let n = r.len(2)?;
+    let mut names = Vec::with_capacity(n);
+    let mut cols = Vec::with_capacity(n);
+    for _ in 0..n {
+        names.push(r.str()?);
+        cols.push(read_column(r)?);
+    }
+    Relation::from_columns(names, cols)
+        .map_err(|e| StoreError::Corrupt(format!("decoded relation is inconsistent: {e}")))
+}
+
+/// Encodes a full database: its schema followed by every relation instance
+/// in schema order.
+pub(crate) fn put_database(buf: &mut Vec<u8>, db: &Database) {
+    put_database_schema(buf, &db.schema);
+    let pairs: Vec<(&str, &Relation)> = db.iter().collect();
+    put_usize(buf, pairs.len());
+    for (name, rel) in pairs {
+        put_str(buf, name);
+        put_relation(buf, rel);
+    }
+}
+
+pub(crate) fn read_database(r: &mut Reader<'_>) -> Result<Database> {
+    let schema = read_database_schema(r)?;
+    let mut db = Database::new(schema);
+    let n = r.len(8)?;
+    for _ in 0..n {
+        let name = r.str()?;
+        let rel = read_relation(r)?;
+        db.insert_relation(&name, rel)
+            .map_err(|e| StoreError::Corrupt(format!("decoded instance rejected: {e}")))?;
+    }
+    Ok(db)
+}
+
+// ---------------------------------------------------------------------------
+// level payloads and catalog metadata
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_level_parts(buf: &mut Vec<u8>, parts: &LevelParts) {
+    put_usize(buf, parts.n);
+    put_usize(buf, parts.resolution.len());
+    for x in &parts.resolution {
+        put_f64(buf, *x);
+    }
+    put_usize(buf, parts.xcols.len());
+    for col in &parts.xcols {
+        put_column(buf, col);
+    }
+    put_usize(buf, parts.key_reps.len());
+    for reps in &parts.key_reps {
+        put_usize(buf, reps.len());
+        for id in reps {
+            put_u32(buf, *id);
+        }
+    }
+    put_usize(buf, parts.ycols.len());
+    for col in &parts.ycols {
+        put_column(buf, col);
+    }
+    put_usize(buf, parts.counts.len());
+    for c in &parts.counts {
+        put_i64(buf, *c);
+    }
+    put_usize(buf, parts.sum_vals.len());
+    for sums in &parts.sum_vals {
+        put_usize(buf, sums.len());
+        for s in sums {
+            put_f64(buf, *s);
+        }
+    }
+    put_usize(buf, parts.sum_some.len());
+    for somes in &parts.sum_some {
+        put_usize(buf, somes.len());
+        for s in somes {
+            put_bool(buf, *s);
+        }
+    }
+}
+
+pub(crate) fn read_level_parts(r: &mut Reader<'_>) -> Result<LevelParts> {
+    let n = r.usize()?;
+    let nres = r.len(8)?;
+    let mut resolution = Vec::with_capacity(nres);
+    for _ in 0..nres {
+        resolution.push(r.f64()?);
+    }
+    let nx = r.len(1)?;
+    let mut xcols = Vec::with_capacity(nx);
+    for _ in 0..nx {
+        xcols.push(read_column(r)?);
+    }
+    let nkeys = r.len(8)?;
+    let mut key_reps = Vec::with_capacity(nkeys);
+    for _ in 0..nkeys {
+        let nreps = r.len(4)?;
+        let mut reps = Vec::with_capacity(nreps);
+        for _ in 0..nreps {
+            reps.push(r.u32()?);
+        }
+        key_reps.push(reps);
+    }
+    let ny = r.len(1)?;
+    let mut ycols = Vec::with_capacity(ny);
+    for _ in 0..ny {
+        ycols.push(read_column(r)?);
+    }
+    let ncounts = r.len(8)?;
+    let mut counts = Vec::with_capacity(ncounts);
+    for _ in 0..ncounts {
+        counts.push(r.i64()?);
+    }
+    let nsv = r.len(8)?;
+    let mut sum_vals = Vec::with_capacity(nsv);
+    for _ in 0..nsv {
+        let m = r.len(8)?;
+        let mut sums = Vec::with_capacity(m);
+        for _ in 0..m {
+            sums.push(r.f64()?);
+        }
+        sum_vals.push(sums);
+    }
+    let nss = r.len(8)?;
+    let mut sum_some = Vec::with_capacity(nss);
+    for _ in 0..nss {
+        let m = r.len(1)?;
+        let mut somes = Vec::with_capacity(m);
+        for _ in 0..m {
+            somes.push(r.bool()?);
+        }
+        sum_some.push(somes);
+    }
+    Ok(LevelParts {
+        n,
+        resolution,
+        xcols,
+        key_reps,
+        ycols,
+        counts,
+        sum_vals,
+        sum_some,
+    })
+}
+
+/// The size/shape header of one persisted level: everything a paged
+/// [`beas_access::Level`] keeps resident.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LevelHeader {
+    pub(crate) n: usize,
+    pub(crate) resolution: Vec<f64>,
+    pub(crate) meta: LevelMeta,
+}
+
+/// Catalog metadata for one persisted family: identity plus one
+/// [`LevelHeader`] per level. The column payloads live in their own
+/// per-level segments.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FamilyMeta {
+    pub(crate) relation: String,
+    pub(crate) x: Vec<String>,
+    pub(crate) y: Vec<String>,
+    pub(crate) from_constraint: bool,
+    pub(crate) levels: Vec<LevelHeader>,
+}
+
+/// The catalog segment payload: sizing, policy, version and family headers.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CatalogMeta {
+    pub(crate) db_size: usize,
+    pub(crate) version: u64,
+    pub(crate) min_tuples: usize,
+    pub(crate) cap: Option<usize>,
+    pub(crate) families: Vec<FamilyMeta>,
+}
+
+fn put_names(buf: &mut Vec<u8>, names: &[String]) {
+    put_usize(buf, names.len());
+    for n in names {
+        put_str(buf, n);
+    }
+}
+
+fn read_names(r: &mut Reader<'_>) -> Result<Vec<String>> {
+    let n = r.len(8)?;
+    let mut names = Vec::with_capacity(n);
+    for _ in 0..n {
+        names.push(r.str()?);
+    }
+    Ok(names)
+}
+
+pub(crate) fn put_catalog_meta(buf: &mut Vec<u8>, meta: &CatalogMeta) {
+    put_usize(buf, meta.db_size);
+    put_u64(buf, meta.version);
+    put_usize(buf, meta.min_tuples);
+    match meta.cap {
+        Some(cap) => {
+            put_u8(buf, 1);
+            put_usize(buf, cap);
+        }
+        None => put_u8(buf, 0),
+    }
+    put_usize(buf, meta.families.len());
+    for f in &meta.families {
+        put_str(buf, &f.relation);
+        put_names(buf, &f.x);
+        put_names(buf, &f.y);
+        put_bool(buf, f.from_constraint);
+        put_usize(buf, f.levels.len());
+        for l in &f.levels {
+            put_usize(buf, l.n);
+            put_usize(buf, l.resolution.len());
+            for x in &l.resolution {
+                put_f64(buf, *x);
+            }
+            put_usize(buf, l.meta.stored_tuples);
+            put_usize(buf, l.meta.max_bucket_len);
+        }
+    }
+}
+
+pub(crate) fn read_catalog_meta(r: &mut Reader<'_>) -> Result<CatalogMeta> {
+    let db_size = r.usize()?;
+    let version = r.u64()?;
+    let min_tuples = r.usize()?;
+    let cap = match r.u8()? {
+        0 => None,
+        1 => Some(r.usize()?),
+        other => Err(StoreError::Corrupt(format!("bad option tag {other}")))?,
+    };
+    let nfam = r.len(8)?;
+    let mut families = Vec::with_capacity(nfam);
+    for _ in 0..nfam {
+        let relation = r.str()?;
+        let x = read_names(r)?;
+        let y = read_names(r)?;
+        let from_constraint = r.bool()?;
+        let nlevels = r.len(8)?;
+        let mut levels = Vec::with_capacity(nlevels);
+        for _ in 0..nlevels {
+            let n = r.usize()?;
+            let nres = r.len(8)?;
+            let mut resolution = Vec::with_capacity(nres);
+            for _ in 0..nres {
+                resolution.push(r.f64()?);
+            }
+            let meta = LevelMeta {
+                stored_tuples: r.usize()?,
+                max_bucket_len: r.usize()?,
+            };
+            levels.push(LevelHeader {
+                n,
+                resolution,
+                meta,
+            });
+        }
+        families.push(FamilyMeta {
+            relation,
+            x,
+            y,
+            from_constraint,
+            levels,
+        });
+    }
+    Ok(CatalogMeta {
+        db_size,
+        version,
+        min_tuples,
+        cap,
+        families,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// WAL batch payloads
+// ---------------------------------------------------------------------------
+
+/// Encodes one `apply_update` batch: the `(relation, row)` inserts in
+/// application order.
+pub(crate) fn put_batch(buf: &mut Vec<u8>, inserts: &[(String, Row)]) {
+    put_usize(buf, inserts.len());
+    for (relation, row) in inserts {
+        put_str(buf, relation);
+        put_usize(buf, row.len());
+        for v in row {
+            put_value(buf, v);
+        }
+    }
+}
+
+pub(crate) fn read_batch(payload: &[u8]) -> Result<Vec<(String, Row)>> {
+    let mut r = Reader::new(payload);
+    let n = r.len(8)?;
+    let mut inserts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let relation = r.str()?;
+        let arity = r.len(1)?;
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            row.push(read_value(&mut r)?);
+        }
+        inserts.push((relation, row));
+    }
+    if !r.is_at_end() {
+        return Err(StoreError::Corrupt(
+            "trailing bytes after WAL batch payload".to_string(),
+        ));
+    }
+    Ok(inserts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_column(col: Column) -> Column {
+        let mut buf = Vec::new();
+        put_column(&mut buf, &col);
+        let mut r = Reader::new(&buf);
+        let out = read_column(&mut r).expect("decode");
+        assert!(r.is_at_end());
+        out
+    }
+
+    #[test]
+    fn float_columns_round_trip_bit_for_bit() {
+        let weird = vec![
+            0.0,
+            -0.0,
+            1.5,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+        ];
+        let out = round_trip_column(Column::Float(weird.clone()));
+        let got = out.as_floats().expect("float column");
+        assert_eq!(got.len(), weird.len());
+        for (a, b) in weird.iter().zip(got) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} != {b} bitwise");
+        }
+    }
+
+    #[test]
+    fn str_columns_preserve_codes_exactly() {
+        let mut dict = StrDict::default();
+        let codes: Vec<u32> = ["delhi", "tokyo", "delhi", "oslo", "tokyo"]
+            .iter()
+            .map(|s| dict.intern(s))
+            .collect();
+        let col = Column::Str {
+            codes: codes.clone(),
+            dict: Arc::new(dict),
+        };
+        let out = round_trip_column(col);
+        let (got_codes, got_dict) = out.as_str_codes().expect("str column");
+        assert_eq!(got_codes, codes.as_slice());
+        assert_eq!(got_dict.strings(), &["delhi", "tokyo", "oslo"]);
+    }
+
+    #[test]
+    fn mixed_and_scalar_columns_round_trip() {
+        let cols = vec![
+            Column::Int(vec![i64::MIN, -1, 0, 7, i64::MAX]),
+            Column::Bool(vec![true, false, true]),
+            Column::Mixed(vec![
+                Value::Null,
+                Value::Int(3),
+                Value::Double(f64::NAN),
+                Value::Str("x".into()),
+                Value::Bool(false),
+            ]),
+        ];
+        for col in cols {
+            let out = round_trip_column(col.clone());
+            // Value equality is NaN-blind; compare the debug form, which is
+            // not (NaN prints as NaN on both sides)
+            assert_eq!(format!("{out:?}"), format!("{col:?}"));
+        }
+    }
+
+    #[test]
+    fn batches_round_trip() {
+        let inserts = vec![
+            (
+                "hotel".to_string(),
+                vec![Value::Int(1), Value::Double(-0.0), Value::Str("a".into())],
+            ),
+            ("visit".to_string(), vec![Value::Null, Value::Bool(true)]),
+        ];
+        let mut buf = Vec::new();
+        put_batch(&mut buf, &inserts);
+        let out = read_batch(&buf).expect("decode");
+        assert_eq!(format!("{out:?}"), format!("{inserts:?}"));
+    }
+
+    #[test]
+    fn catalog_meta_round_trips() {
+        let meta = CatalogMeta {
+            db_size: 1234,
+            version: 7,
+            min_tuples: 1,
+            cap: Some(64),
+            families: vec![FamilyMeta {
+                relation: "hotel".into(),
+                x: vec!["city".into()],
+                y: vec!["price".into(), "rating".into()],
+                from_constraint: true,
+                levels: vec![LevelHeader {
+                    n: 4,
+                    resolution: vec![0.5, 0.0],
+                    meta: LevelMeta {
+                        stored_tuples: 17,
+                        max_bucket_len: 4,
+                    },
+                }],
+            }],
+        };
+        let mut buf = Vec::new();
+        put_catalog_meta(&mut buf, &meta);
+        let mut r = Reader::new(&buf);
+        let out = read_catalog_meta(&mut r).expect("decode");
+        assert!(r.is_at_end());
+        assert_eq!(out, meta);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected_not_panicked() {
+        let mut buf = Vec::new();
+        put_column(&mut buf, &Column::Int(vec![1, 2, 3]));
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(read_column(&mut r).is_err(), "cut at {cut} accepted");
+        }
+        // a bogus length must not allocate terabytes before failing
+        let mut huge = vec![COL_INT];
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_column(&mut Reader::new(&huge)).is_err());
+    }
+}

@@ -123,7 +123,7 @@ pub mod prelude {
         exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery,
         AnswerSession, Beas, BeasAnswer, BeasBuilder, BeasQuery, BoundedPlan, ConstraintSpec,
         EngineSnapshot, EngineStats, ExecOptions, Planner, PreparedQuery, QueryFingerprint,
-        RaQuery, RefinementSchedule, RefinementStep, ServeHandle, UpdateBatch,
+        RaQuery, RefinementSchedule, RefinementStep, ServeHandle, StoreOptions, UpdateBatch,
     };
     pub use beas_relal::{
         aggregate_relation, AggFunc, Attribute, Column, CompareOp, Database, DatabaseSchema,
