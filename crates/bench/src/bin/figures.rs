@@ -12,7 +12,7 @@ use beas_bench::figures::{
     all_figures, fig6_accuracy_vs_alpha, fig6d_mac_vs_alpha, fig6ef_accuracy_vs_scale,
     fig6g_accuracy_vs_sel, fig6h_accuracy_vs_prod, fig6i_accuracy_vs_kind, fig6j_exact_ratio,
     fig6k_index_size, fig6l_efficiency, fig_concurrency, fig_kernels, fig_plan_cache,
-    fig_refinement, fig_serving, DatasetId,
+    fig_refinement, fig_serving, fig_slo, DatasetId,
 };
 use beas_bench::harness::Metric;
 use beas_bench::{BenchProfile, Table};
@@ -35,6 +35,15 @@ fn main() {
                     eprintln!("--spec needs a value (e.g. --spec ratio:0.05)");
                     std::process::exit(2);
                 };
+                if value.trim_start().starts_with("eta:") {
+                    eprintln!(
+                        "`{value}` is an accuracy target, not a resource spec; the figure \
+                         sweeps are budget-denominated — run `figures slo` for the \
+                         accuracy-SLO table, or `loadgen --eta <target>` for a targeted \
+                         closed loop"
+                    );
+                    std::process::exit(2);
+                }
                 match value.parse::<ResourceSpec>() {
                     Ok(spec) => specs.push(spec),
                     Err(e) => {
@@ -85,10 +94,11 @@ fn main() {
                 "serving" => tables.push(fig_serving(&profile)),
                 "refinement" => tables.push(fig_refinement(&profile)),
                 "cluster" => tables.push(beas_bench::cluster::fig_cluster(&profile)),
+                "slo" => tables.push(fig_slo(&profile)),
                 other => {
                     eprintln!("unknown figure id: {other}");
                     eprintln!(
-                        "known ids: fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h fig6i fig6j fig6k fig6l plancache kernel concurrency serving refinement cluster all"
+                        "known ids: fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h fig6i fig6j fig6k fig6l plancache kernel concurrency serving refinement cluster slo all"
                     );
                     std::process::exit(2);
                 }

@@ -26,8 +26,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use beas_bench::serving::{demo_engine, demo_query_json};
-use beas_core::{ResourceSpec, ServeHandle};
-use beas_serve::{query_body, serve, Client, Json, ServeConfig, TenantPolicy};
+use beas_core::{AccuracyTarget, ResourceSpec, ServeHandle};
+use beas_serve::{query_body, serve, target_body, Client, Json, ServeConfig, TenantPolicy};
 
 struct Args {
     url: Option<String>,
@@ -36,12 +36,72 @@ struct Args {
     flaky: bool,
     tenant: Option<String>,
     spec: ResourceSpec,
+    eta: Option<AccuracyTarget>,
     clients: usize,
     requests: usize,
     rows: i64,
     store: Option<std::path::PathBuf>,
     updates: usize,
     linger: bool,
+}
+
+/// Per-client accounting of an `--eta` (accuracy-targeted) run.
+#[derive(Default)]
+struct EtaStats {
+    /// Targeted answers served (`200`s).
+    served: usize,
+    /// Answers whose achieved η met the target.
+    met: usize,
+    /// Answers honestly flagged infeasible at the budget cap.
+    infeasible: usize,
+    /// Answers claiming feasibility with η below the target — contract
+    /// violations; any of these fails the run.
+    violations: usize,
+    /// Answers whose first budget came off a learned curve.
+    curve_backed: usize,
+    /// Sum of |predicted − actual| spend, in tuples.
+    spend_error_sum: u64,
+    /// Sum of actual spend, in tuples.
+    spent_sum: u64,
+}
+
+impl EtaStats {
+    /// Folds one targeted answer body into the accounting.
+    fn absorb(&mut self, body: &Json, target_eta: f64) {
+        self.served += 1;
+        let eta = body.get("eta").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let feasible = body.get("feasible").and_then(Json::as_bool) == Some(true);
+        let predicted = body
+            .get("predicted_budget")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            .max(0) as u64;
+        let spent = body.get("spent").and_then(Json::as_i64).unwrap_or(0).max(0) as u64;
+        if feasible {
+            if eta >= target_eta {
+                self.met += 1;
+            } else {
+                self.violations += 1;
+            }
+        } else {
+            self.infeasible += 1;
+        }
+        if body.get("curve_backed").and_then(Json::as_bool) == Some(true) {
+            self.curve_backed += 1;
+        }
+        self.spend_error_sum += predicted.abs_diff(spent);
+        self.spent_sum += spent;
+    }
+
+    fn merge(&mut self, other: &EtaStats) {
+        self.served += other.served;
+        self.met += other.met;
+        self.infeasible += other.infeasible;
+        self.violations += other.violations;
+        self.curve_backed += other.curve_backed;
+        self.spend_error_sum += other.spend_error_sum;
+        self.spent_sum += other.spent_sum;
+    }
 }
 
 fn parse_args() -> Args {
@@ -52,6 +112,7 @@ fn parse_args() -> Args {
         flaky: false,
         tenant: None,
         spec: ResourceSpec::Ratio(0.05),
+        eta: None,
         clients: 4,
         requests: 100,
         rows: 10_000,
@@ -97,6 +158,27 @@ fn parse_args() -> Args {
                 });
                 i += 2;
             }
+            "--eta" => {
+                let text = value(&argv, i, "--eta");
+                // accept both the bare value (`0.95`) and the canonical
+                // target form (`eta:0.95@ratio:0.5`)
+                let parsed = if text.contains(':') {
+                    text.parse::<AccuracyTarget>()
+                } else {
+                    text.parse::<f64>()
+                        .map_err(|_| {
+                            beas_access::AccessError::InvalidSpec(format!(
+                                "accuracy target must be a finite number in (0, 1], got `{text}`"
+                            ))
+                        })
+                        .and_then(AccuracyTarget::new)
+                };
+                args.eta = Some(parsed.unwrap_or_else(|e| {
+                    eprintln!("bad --eta `{text}`: {e}");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
             "--clients" => {
                 args.clients = value(&argv, i, "--clients").parse().expect("--clients");
                 i += 2;
@@ -125,12 +207,19 @@ fn parse_args() -> Args {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: loadgen [--url host:port | --self-host | --cluster N [--flaky]] \
-                     [--tenant NAME] [--spec ratio:0.05] [--clients N] [--requests N] [--rows N] \
-                     [--store DIR] [--updates N] [--linger]"
+                     [--tenant NAME] [--spec ratio:0.05 | --eta 0.95] [--clients N] \
+                     [--requests N] [--rows N] [--store DIR] [--updates N] [--linger]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if args.eta.is_some() && args.cluster.is_some() {
+        eprintln!(
+            "--eta drives the HTTP serving path; combine it with --self-host or --url \
+             (the cluster loop is budget-denominated)"
+        );
+        std::process::exit(2);
     }
     args
 }
@@ -217,10 +306,16 @@ fn main() {
         _ => unreachable!(),
     };
 
-    let body = query_body(args.tenant.as_deref(), args.spec, &demo_query_json());
+    let body = match &args.eta {
+        // accuracy-denominated closed loop: ask for η, let the server's SLO
+        // planner pick (and learn) the budget
+        Some(target) => target_body(args.tenant.as_deref(), target, &demo_query_json()),
+        None => query_body(args.tenant.as_deref(), args.spec, &demo_query_json()),
+    };
     let status_counts = Mutex::new(std::collections::BTreeMap::<u16, usize>::new());
     let latencies = Mutex::new(Vec::<Duration>::new());
     let digests = Mutex::new(std::collections::BTreeSet::<String>::new());
+    let eta_stats = Mutex::new(EtaStats::default());
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -230,6 +325,7 @@ fn main() {
                 let mut local_latencies = Vec::with_capacity(args.requests);
                 let mut local_counts = std::collections::BTreeMap::<u16, usize>::new();
                 let mut local_digests = std::collections::BTreeSet::new();
+                let mut local_eta = EtaStats::default();
                 for _ in 0..args.requests {
                     let t = Instant::now();
                     match client.post("/query", &body) {
@@ -237,10 +333,13 @@ fn main() {
                             local_latencies.push(t.elapsed());
                             *local_counts.entry(response.status).or_default() += 1;
                             if response.status == 200 {
-                                if let Some(digest) = response.json().ok().and_then(|v| {
-                                    v.get("digest").and_then(Json::as_str).map(String::from)
-                                }) {
-                                    local_digests.insert(digest);
+                                if let Ok(v) = response.json() {
+                                    if let Some(digest) = v.get("digest").and_then(Json::as_str) {
+                                        local_digests.insert(digest.to_string());
+                                    }
+                                    if let Some(target) = &args.eta {
+                                        local_eta.absorb(&v, target.eta);
+                                    }
                                 }
                             }
                         }
@@ -257,6 +356,7 @@ fn main() {
                     *counts.entry(status).or_default() += n;
                 }
                 digests.lock().unwrap().extend(local_digests);
+                eta_stats.lock().unwrap().merge(&local_eta);
             });
         }
     });
@@ -277,11 +377,14 @@ fn main() {
     };
 
     println!(
-        "\nloadgen: {} clients x {} requests, tenant {}, spec {}",
+        "\nloadgen: {} clients x {} requests, tenant {}, {}",
         args.clients,
         args.requests,
         args.tenant.as_deref().unwrap_or("(default)"),
-        args.spec
+        match &args.eta {
+            Some(target) => format!("target {target}"),
+            None => format!("spec {}", args.spec),
+        }
     );
     println!("  elapsed      {:.3}s", elapsed.as_secs_f64());
     println!(
@@ -318,6 +421,34 @@ fn main() {
     // restart-smoke CI job compares it across a kill -9 and a warm reopen
     if let Some(digest) = digests.iter().next().filter(|_| digests.len() == 1) {
         println!("digest {digest}");
+    }
+    if let Some(target) = &args.eta {
+        let stats = eta_stats.into_inner().unwrap();
+        let served = stats.served.max(1) as f64;
+        println!(
+            "  slo          {} met / {} infeasible / {} VIOLATED of {} served (target η = {})",
+            stats.met, stats.infeasible, stats.violations, stats.served, target.eta
+        );
+        println!(
+            "  curve        {}/{} answers curve-backed ({:.0}%)",
+            stats.curve_backed,
+            stats.served,
+            100.0 * stats.curve_backed as f64 / served
+        );
+        println!(
+            "  spend        mean {:.0} tuples/answer, predicted-vs-actual error mean {:.1} tuples",
+            stats.spent_sum as f64 / served,
+            stats.spend_error_sum as f64 / served
+        );
+        // the accuracy-SLO contract under load: every answer either meets
+        // the target or says so honestly — any other outcome fails the run
+        if stats.violations > 0 {
+            eprintln!(
+                "SLO VIOLATION: {} answers claimed feasibility below η",
+                stats.violations
+            );
+            std::process::exit(1);
+        }
     }
     if args.linger {
         // stay up (server included) until killed — lets harnesses snapshot

@@ -31,6 +31,7 @@
 //! clients plans each budget once.
 
 use beas_access::ResourceSpec;
+use beas_slo::AccuracyTarget;
 
 use crate::engine::{answer_from, BeasAnswer, EngineSnapshot};
 use crate::error::{BeasError, Result};
@@ -40,11 +41,26 @@ use crate::prepared::PreparedQuery;
 /// The default `Ratio` ladder of [`RefinementSchedule::default_ladder`].
 pub const DEFAULT_RATIO_LADDER: [f64; 5] = [0.01, 0.05, 0.1, 0.5, 1.0];
 
+/// Minimum predicted Δη for a ladder rung to be worth running in an
+/// accuracy-adaptive session ([`RefinementSchedule::to_accuracy`]): rungs
+/// predicted to improve η by less are skipped.
+pub const MIN_PREDICTED_GAIN: f64 = 0.02;
+
+/// When the predicted target budget leaves less than this fraction of the
+/// full budget unfetched, an accuracy-adaptive session jumps straight to the
+/// exact (full-budget) step — the remaining fragment is small enough that
+/// finishing beats a near-full intermediate answer.
+pub const JUMP_TO_EXACT_REMAINDER: f64 = 0.25;
+
 /// A validated sequence of resource specs with non-decreasing budgets — the
 /// refinement trajectory of an [`AnswerSession`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RefinementSchedule {
     specs: Vec<ResourceSpec>,
+    /// An adaptive accuracy goal ([`RefinementSchedule::to_accuracy`]): when
+    /// set, opening a session re-derives the rungs from the engine's learned
+    /// η-vs-budget curves instead of running `specs` verbatim.
+    target_eta: Option<f64>,
 }
 
 impl RefinementSchedule {
@@ -80,7 +96,10 @@ impl RefinementSchedule {
                 )));
             }
         }
-        Ok(RefinementSchedule { specs })
+        Ok(RefinementSchedule {
+            specs,
+            target_eta: None,
+        })
     }
 
     /// A schedule of `Ratio` steps (non-decreasing, each in `(0, 1]`).
@@ -126,7 +145,32 @@ impl RefinementSchedule {
         Self::from_specs(specs)
     }
 
-    /// The schedule's steps, in order.
+    /// An accuracy-adaptive schedule: refine until the answer's η reaches
+    /// `eta` (validated to `(0, 1]`). The rungs are not fixed here — they are
+    /// derived when the session opens, from the engine's learned η-vs-budget
+    /// curve for the query: default-ladder rungs predicted to gain less than
+    /// [`MIN_PREDICTED_GAIN`] η are skipped, the ladder stops at the minimal
+    /// budget predicted to reach `eta`, and when the remaining fragment past
+    /// that budget is small (under [`JUMP_TO_EXACT_REMAINDER`] of full) the
+    /// session jumps straight to the exact step. On a cold engine every rung
+    /// is unpredicted, so the session collapses to the single full-budget
+    /// step — it never wastes rungs it cannot justify.
+    pub fn to_accuracy(eta: f64) -> Result<Self> {
+        AccuracyTarget::new(eta).map_err(BeasError::from)?;
+        let mut schedule = Self::default_ladder();
+        schedule.target_eta = Some(eta);
+        Ok(schedule)
+    }
+
+    /// The adaptive accuracy goal, when this schedule was built by
+    /// [`RefinementSchedule::to_accuracy`].
+    pub fn accuracy_goal(&self) -> Option<f64> {
+        self.target_eta
+    }
+
+    /// The schedule's steps, in order. For an accuracy-adaptive schedule
+    /// these are the fallback (default ladder) rungs; the real trajectory is
+    /// derived against the engine's curves when a session opens.
     pub fn specs(&self) -> &[ResourceSpec] {
         &self.specs
     }
@@ -200,6 +244,16 @@ impl<'p, 'e> AnswerSession<'p, 'e> {
         schedule: RefinementSchedule,
     ) -> Result<Self> {
         let snapshot = prepared.engine().snapshot();
+        if let Some(eta) = schedule.accuracy_goal() {
+            let steps = Self::adaptive_trajectory(prepared, &snapshot, eta)?;
+            return Ok(AnswerSession {
+                prepared,
+                snapshot,
+                steps,
+                state: ExecState::new(),
+                next: 0,
+            });
+        }
         let mut steps: Vec<(ResourceSpec, usize)> = Vec::with_capacity(schedule.len());
         for &spec in schedule.specs() {
             let budget = snapshot.catalog().budget(&spec)?;
@@ -231,6 +285,70 @@ impl<'p, 'e> AnswerSession<'p, 'e> {
             state: ExecState::new(),
             next: 0,
         })
+    }
+
+    /// Derives the trajectory of an accuracy-adaptive schedule from the
+    /// engine's learned η-vs-budget curve for this query (see
+    /// [`RefinementSchedule::to_accuracy`]): the final step is the minimal
+    /// budget predicted to reach `eta` (the full budget when the curve has
+    /// no evidence), intermediate default-ladder rungs are
+    /// kept only when the curve predicts they gain at least
+    /// [`MIN_PREDICTED_GAIN`] η over the previous kept rung, and when less
+    /// than [`JUMP_TO_EXACT_REMAINDER`] of the full budget would remain
+    /// unfetched past the target, the session jumps straight to the exact
+    /// (full-budget) step.
+    fn adaptive_trajectory(
+        prepared: &PreparedQuery<'_>,
+        snapshot: &EngineSnapshot,
+        eta: f64,
+    ) -> Result<Vec<(ResourceSpec, usize)>> {
+        let catalog = snapshot.catalog();
+        let full_budget = catalog.budget(&ResourceSpec::FULL)?.max(1);
+        let slo = prepared.engine().slo_store();
+        let fp = prepared.fingerprint().as_u128();
+        let version = catalog.version;
+        // unlike `Beas::answer_with_target` (which escalates until the target
+        // is met), a session runs its trajectory exactly once — so a cold
+        // curve must fall back to the full budget, never the cheaper prior
+        let target_budget = slo
+            .plan_budget(fp, version, eta, full_budget)
+            .unwrap_or(full_budget)
+            .clamp(1, full_budget);
+        let remainder = full_budget - target_budget;
+        let final_budget = if remainder as f64 <= JUMP_TO_EXACT_REMAINDER * full_budget as f64 {
+            full_budget
+        } else {
+            target_budget
+        };
+        let mut steps: Vec<(ResourceSpec, usize)> = Vec::new();
+        let mut last_predicted = 0.0f64;
+        for &ratio in DEFAULT_RATIO_LADDER.iter() {
+            let budget = catalog.budget(&ResourceSpec::Ratio(ratio))?;
+            if budget == 0 || budget >= final_budget {
+                continue;
+            }
+            if let Some((_, last_budget)) = steps.last() {
+                if budget <= *last_budget {
+                    continue;
+                }
+            }
+            // a rung earns its keep only when the curve predicts a real η
+            // gain over the previous kept rung; unpredicted (cold) rungs
+            // are dropped — the session never wastes work it can't justify
+            if let Some(predicted) = slo.predict_eta(fp, version, budget) {
+                if predicted - last_predicted >= MIN_PREDICTED_GAIN {
+                    last_predicted = predicted;
+                    steps.push((ResourceSpec::Tuples(budget), budget));
+                }
+            }
+        }
+        let final_spec = if final_budget == full_budget {
+            ResourceSpec::FULL
+        } else {
+            ResourceSpec::Tuples(final_budget)
+        };
+        steps.push((final_spec, final_budget));
+        Ok(steps)
     }
 
     /// The snapshot the session is pinned to.
@@ -291,6 +409,15 @@ impl<'p, 'e> AnswerSession<'p, 'e> {
             .stats
             .record_answer(self.state.fetched_tuples() - fetched_before);
         let answer = answer_from(&plan, outcome);
+        // every step feeds the η-vs-budget curve store, so refinement
+        // sessions teach the SLO planner as a side effect of serving
+        engine.record_slo_observation(
+            self.prepared.fingerprint().as_u128(),
+            self.snapshot.catalog().version,
+            answer.budget,
+            answer.eta,
+            answer.accessed,
+        );
         Ok(RefinementStep {
             spec,
             eta: answer.eta,
@@ -463,6 +590,74 @@ mod tests {
         // a fresh one-shot answer does
         let fresh = prepared.answer(ResourceSpec::FULL).unwrap();
         assert!(fresh.answers.rows().any(|r| r == vec![Value::Double(33.5)]));
+    }
+
+    #[test]
+    fn to_accuracy_validates_and_reports_its_goal() {
+        assert!(RefinementSchedule::to_accuracy(0.0).is_err());
+        assert!(RefinementSchedule::to_accuracy(1.5).is_err());
+        assert!(RefinementSchedule::to_accuracy(f64::NAN).is_err());
+        let s = RefinementSchedule::to_accuracy(0.9).unwrap();
+        assert_eq!(s.accuracy_goal(), Some(0.9));
+        assert!(RefinementSchedule::default_ladder()
+            .accuracy_goal()
+            .is_none());
+    }
+
+    #[test]
+    fn cold_adaptive_session_collapses_to_a_single_full_step() {
+        let engine = poi_engine(400);
+        let q = hotels(&engine);
+        let prepared = engine.prepare(&q).unwrap();
+        let session = prepared
+            .session(RefinementSchedule::to_accuracy(0.95).unwrap())
+            .unwrap();
+        // no curve evidence: one honest full-budget step, no wasted rungs
+        assert_eq!(session.steps(), 1);
+        let (spec, budget) = session.trajectory()[0];
+        assert_eq!(spec, ResourceSpec::FULL);
+        assert_eq!(
+            budget,
+            engine.catalog().budget(&ResourceSpec::FULL).unwrap()
+        );
+    }
+
+    #[test]
+    fn warm_adaptive_session_stops_at_the_learned_budget() {
+        let engine = poi_engine(2000);
+        let q = hotels(&engine);
+        let prepared = engine.prepare(&q).unwrap();
+        // warm the curve with the full default ladder a few times
+        for _ in 0..3 {
+            let session = prepared
+                .session(RefinementSchedule::default_ladder())
+                .unwrap();
+            for step in session {
+                step.unwrap();
+            }
+        }
+        let full_budget = engine.catalog().budget(&ResourceSpec::FULL).unwrap();
+        let goal = 0.5;
+        let session = prepared
+            .session(RefinementSchedule::to_accuracy(goal).unwrap())
+            .unwrap();
+        let trajectory = session.trajectory().to_vec();
+        // budgets strictly increase and the last one is what the curve chose
+        for pair in trajectory.windows(2) {
+            assert!(pair[1].1 > pair[0].1);
+        }
+        let steps: Vec<RefinementStep> = session.map(|s| s.unwrap()).collect();
+        let last = steps.last().unwrap();
+        if last.budget < full_budget {
+            // the curve promised the goal under full budget — it must deliver
+            // (predictions are conservative on a static database)
+            assert!(
+                last.eta >= goal,
+                "learned budget {} promised η ≥ {goal} but achieved {}",
+                last.budget,
+                last.eta
+            );
+        }
     }
 
     #[test]

@@ -246,6 +246,19 @@ impl Tenant {
         bucket.tokens = (bucket.tokens + cost.max(0.0)).min(self.policy.burst_tuples);
     }
 
+    /// Reconciles a *predicted* charge against the actual spend once the
+    /// work has run: the difference is refunded (actual below the charge) or
+    /// surcharged (actual above it). Unlike [`Tenant::refund`], a surcharge
+    /// may drive the bucket **negative** — the tenant ran up real debt that
+    /// the refill has to pay down before anything else is admitted — which
+    /// is what keeps a systematically under-predicted accuracy-target
+    /// workload from outrunning its allowance.
+    pub fn settle(&self, charged: f64, actual: f64) {
+        let delta = charged.max(0.0) - actual.max(0.0);
+        let mut bucket = self.bucket.lock().expect("bucket poisoned");
+        bucket.tokens = (bucket.tokens + delta).min(self.policy.burst_tuples);
+    }
+
     /// The current token balance (refilled to now); for tests and metrics.
     pub fn tokens(&self) -> f64 {
         let mut bucket = self.bucket.lock().expect("bucket poisoned");
@@ -427,6 +440,24 @@ mod tests {
         assert!(matches!(tenant.admit(50.0), Err(Rejection::Busy { .. })));
         // the 50 tokens charged for the timed-out request came back
         assert!(tenant.tokens() >= before - 1.0, "charge must be refunded");
+    }
+
+    #[test]
+    fn settle_refunds_overcharges_and_surcharges_into_debt() {
+        let tenant = Tenant::new("t".into(), TenantPolicy::with_rate(0.001, 1000.0));
+        // over-prediction: charged 400, spent 100 → 300 comes back
+        drop(tenant.admit(400.0).expect("burst"));
+        tenant.settle(400.0, 100.0);
+        assert!(tenant.tokens() >= 899.0, "refund must land");
+        // under-prediction: charged 100, spent 1500 → the bucket goes into
+        // debt and further requests are rejected until the refill pays it off
+        drop(tenant.admit(100.0).expect("covered"));
+        tenant.settle(100.0, 1500.0);
+        assert!(tenant.tokens() < 0.0, "surcharge must create debt");
+        assert!(matches!(
+            tenant.admit(1.0),
+            Err(Rejection::OverBudget { .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! | Route                        | Effect                                              |
 //! |------------------------------|-----------------------------------------------------|
-//! | `POST /query`                | plan + execute one query under a spec               |
+//! | `POST /query`                | plan + execute one query under a spec or accuracy target |
 //! | `POST /query/stream`         | anytime answers: one chunked frame per refinement step |
 //! | `POST /prepare`              | register a prepared query, returns `{"id": n}`      |
 //! | `POST /prepared/{id}/answer` | answer through the shared plan cache                |
@@ -47,7 +47,7 @@ use beas_access::ResourceSpec;
 use beas_core::{PreparedQuery, ServeHandle, UpdateBatch};
 use beas_relal::ValueType;
 
-use crate::admission::{Rejection, TenantPolicy, TenantRegistry};
+use crate::admission::{Rejection, Tenant, TenantPolicy, TenantRegistry};
 use crate::http::{
     finish_chunked, read_request, write_chunk, write_chunked_head, write_response, HttpError,
     Request,
@@ -451,9 +451,11 @@ fn with_body(request: &Request, f: impl FnOnce(&Json) -> Reply) -> Reply {
 
 /// Admission bookkeeping shared by the budgeted handlers: resolves the
 /// tenant, charges its bucket `cost` tuples, and runs `f` while holding the
-/// in-flight slot. `f` returns its reply plus the tuples actually accessed
-/// (for the tenant's metrics).
-fn admitted<F: FnOnce() -> (Reply, usize)>(
+/// in-flight slot. `f` receives the admitted [`Tenant`] (so handlers whose
+/// charge was a *prediction* can [`Tenant::settle`] it against the actual
+/// spend) and returns its reply plus the tuples actually accessed (for the
+/// tenant's metrics).
+fn admitted<F: FnOnce(&Tenant) -> (Reply, usize)>(
     state: &ServerState,
     body: &Json,
     cost: f64,
@@ -472,7 +474,7 @@ fn admitted<F: FnOnce() -> (Reply, usize)>(
         Ok(guard) => {
             metrics.record_admitted(cost);
             let start = Instant::now();
-            let (reply, accessed) = f();
+            let (reply, accessed) = f(tenant);
             drop(guard);
             if reply.status == 200 {
                 metrics.record_completed(accessed, start.elapsed());
@@ -532,8 +534,25 @@ fn rejection_reply(
     }
 }
 
-/// `POST /query`: `{"tenant": …, "spec": "ratio:0.1", "query": {…}}`.
+/// `POST /query`: `{"tenant": …, "spec": "ratio:0.1", "query": {…}}` — or
+/// `"target": "eta:0.95"` instead of `"spec"` for an accuracy-denominated
+/// request (see [`targeted_query_handler`]). Exactly one of the two.
 fn query_handler(state: &ServerState, body: &Json) -> Reply {
+    match wire::target_from_json(body) {
+        Ok(Some(target)) => {
+            if body.get("spec").is_some() {
+                return Reply::error(
+                    400,
+                    "request: `spec` and `target` are mutually exclusive — a request \
+                     is either budget-denominated (`spec`) or accuracy-denominated \
+                     (`target`)",
+                );
+            }
+            return targeted_query_handler(state, body, target);
+        }
+        Ok(None) => {}
+        Err(e) => return Reply::error(400, &e.to_string()),
+    }
     let spec = match wire::spec_from_json(body) {
         Ok(spec) => spec,
         Err(e) => return Reply::error(400, &e.to_string()),
@@ -550,9 +569,44 @@ fn query_handler(state: &ServerState, body: &Json) -> Reply {
         Ok(budget) => budget,
         Err(e) => return Reply::error(400, &e.to_string()),
     };
-    admitted(state, body, cost as f64, || {
+    admitted(state, body, cost as f64, |_| {
         match engine.answer(&query, spec) {
             Ok(answer) => (Reply::ok(wire::answer_to_json(&answer)), answer.accessed),
+            Err(e) => (Reply::error(400, &e.to_string()), 0),
+        }
+    })
+}
+
+/// The accuracy-denominated half of `POST /query`: admission charges the
+/// engine's *predicted* cost of hitting the target (the learned η-vs-budget
+/// curve's budget pick, or the cold-start full-budget prior), and after
+/// execution the charge is [settled](Tenant::settle) against the tuples
+/// actually spent — refunded when the curve over-predicted, surcharged
+/// (possibly into debt) when escalation had to spend past the prediction.
+fn targeted_query_handler(
+    state: &ServerState,
+    body: &Json,
+    target: beas_core::AccuracyTarget,
+) -> Reply {
+    let Some(query_json) = body.get("query") else {
+        return Reply::error(400, "request: missing field `query`");
+    };
+    let engine = state.engine.engine();
+    let query = match wire::query_from_json(query_json, engine.schema()) {
+        Ok(query) => query,
+        Err(e) => return Reply::error(400, &e.to_string()),
+    };
+    let cost = match engine.predict_target_cost(&query, &target) {
+        Ok(cost) => cost,
+        Err(e) => return Reply::error(400, &e.to_string()),
+    };
+    admitted(state, body, cost as f64, |tenant| {
+        match engine.answer_with_target(&query, &target) {
+            Ok(targeted) => {
+                tenant.settle(cost as f64, targeted.spent as f64);
+                let spent = targeted.spent;
+                (Reply::ok(wire::targeted_answer_to_json(&targeted)), spent)
+            }
             Err(e) => (Reply::error(400, &e.to_string()), 0),
         }
     })
@@ -717,7 +771,7 @@ fn prepare_handler(state: &ServerState, body: &Json) -> Reply {
         .tenants
         .resolve(body.get("tenant").and_then(Json::as_str))
         .map(|t| t.name.clone());
-    admitted(state, body, 0.0, || {
+    admitted(state, body, 0.0, |_| {
         let owner = owner.clone().expect("admitted implies a resolved tenant");
         let Some(query_json) = body.get("query") else {
             return (Reply::error(400, "request: missing field `query`"), 0);
@@ -760,6 +814,14 @@ fn prepare_handler(state: &ServerState, body: &Json) -> Reply {
 /// non-existent id, so ids (which are sequential) leak nothing about what
 /// other tenants have prepared.
 fn prepared_answer_handler(state: &ServerState, id: u64, body: &Json) -> Reply {
+    if body.get("target").is_some() {
+        return Reply::error(
+            400,
+            "accuracy targets (`target`) are not supported on \
+             /prepared/{id}/answer; use POST /query with a `target`, or a \
+             budget `spec` here",
+        );
+    }
     let spec = match wire::spec_from_json(body) {
         Ok(spec) => spec,
         Err(e) => return Reply::error(400, &e.to_string()),
@@ -785,7 +847,7 @@ fn prepared_answer_handler(state: &ServerState, id: u64, body: &Json) -> Reply {
         Ok(budget) => budget,
         Err(e) => return Reply::error(400, &e.to_string()),
     };
-    admitted(state, body, cost as f64, || match prepared.answer(spec) {
+    admitted(state, body, cost as f64, |_| match prepared.answer(spec) {
         Ok(answer) => (Reply::ok(wire::answer_to_json(&answer)), answer.accessed),
         Err(e) => (Reply::error(400, &e.to_string()), 0),
     })
@@ -798,7 +860,7 @@ fn update_handler(state: &ServerState, body: &Json) -> Reply {
         Err(e) => return Reply::error(400, &e.to_string()),
     };
     let cost = batch.len() as f64;
-    admitted(state, body, cost, || {
+    admitted(state, body, cost, |_| {
         match state.engine.engine().apply_update(&batch) {
             Ok(applied) => (
                 Reply::ok(Json::obj(vec![
@@ -865,6 +927,30 @@ fn metrics_json(state: &ServerState) -> Json {
             ]),
         ),
         (
+            "slo",
+            Json::obj(vec![
+                ("fingerprints", Json::Int(stats.slo_fingerprints as i64)),
+                ("observations", Json::Int(stats.slo_observations as i64)),
+                (
+                    "prediction_hits",
+                    Json::Int(stats.slo_prediction_hits as i64),
+                ),
+                (
+                    "prediction_misses",
+                    Json::Int(stats.slo_prediction_misses as i64),
+                ),
+                ("settlements", Json::Int(stats.slo_settlements as i64)),
+                (
+                    "mean_abs_spend_error",
+                    Json::Num(if stats.slo_settlements > 0 {
+                        stats.slo_spend_error_sum as f64 / stats.slo_settlements as f64
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
+        (
             "prepared_queries",
             Json::Int(
                 state
@@ -928,6 +1014,22 @@ pub fn query_body(tenant: Option<&str>, spec: ResourceSpec, query: &Json) -> Str
         pairs.push(("tenant", Json::Str(tenant.to_string())));
     }
     pairs.push(("spec", Json::Str(spec.to_string())));
+    pairs.push(("query", query.clone()));
+    Json::obj(pairs).to_string()
+}
+
+/// Convenience: builds the canonical accuracy-targeted `POST /query` body
+/// (`target` instead of `spec`).
+pub fn target_body(
+    tenant: Option<&str>,
+    target: &beas_core::AccuracyTarget,
+    query: &Json,
+) -> String {
+    let mut pairs = Vec::new();
+    if let Some(tenant) = tenant {
+        pairs.push(("tenant", Json::Str(tenant.to_string())));
+    }
+    pairs.push(("target", Json::Str(target.to_string())));
     pairs.push(("query", query.clone()));
     Json::obj(pairs).to_string()
 }

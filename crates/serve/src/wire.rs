@@ -25,7 +25,8 @@ use std::fmt;
 
 use beas_access::ResourceSpec;
 use beas_core::{
-    AggQuery, BeasAnswer, BeasQuery, RaQuery, RefinementSchedule, RefinementStep, UpdateBatch,
+    AccuracyTarget, AggQuery, BeasAnswer, BeasQuery, RaQuery, RefinementSchedule, RefinementStep,
+    TargetedAnswer, UpdateBatch,
 };
 use beas_relal::{
     AggFunc, CompareOp, DatabaseSchema, Relation, Row, SelCond, SpcQuery, SpcQueryBuilder, Term,
@@ -462,9 +463,38 @@ fn opt_array<'a>(v: &'a Json, key: &str) -> Result<&'a [Json]> {
 // ---------------------------------------------------------------- specs
 
 /// Decodes a `"spec"` string field (canonical [`ResourceSpec`] form).
+/// Accuracy targets (`eta:…`) are a different request denomination and get a
+/// redirecting error instead of the generic parse failure.
 pub fn spec_from_json(v: &Json) -> Result<ResourceSpec> {
     let text = str_field(v, "spec", "request")?;
+    if is_eta_form(text) {
+        return Err(WireError::new(format!(
+            "`{}` is an accuracy target, not a resource spec; send it in the \
+             `target` field instead (e.g. {{\"target\": \"{}\"}})",
+            text.trim(),
+            text.trim()
+        )));
+    }
     text.parse::<ResourceSpec>()
+        .map_err(|e| WireError::new(e.to_string()))
+}
+
+fn is_eta_form(text: &str) -> bool {
+    text.trim_start().starts_with("eta:")
+}
+
+/// Decodes the optional `"target"` string field — an accuracy target in the
+/// `eta:<η>` / `eta:<η>@<spec>` grammar of [`AccuracyTarget`]. Returns
+/// `Ok(None)` when the field is absent.
+pub fn target_from_json(v: &Json) -> Result<Option<AccuracyTarget>> {
+    let Some(t) = v.get("target") else {
+        return Ok(None);
+    };
+    let text = t
+        .as_str()
+        .ok_or_else(|| WireError::new("request: `target` must be a string (e.g. \"eta:0.95\")"))?;
+    text.parse::<AccuracyTarget>()
+        .map(Some)
         .map_err(|e| WireError::new(e.to_string()))
 }
 
@@ -475,8 +505,30 @@ pub fn spec_from_json(v: &Json) -> Result<ResourceSpec> {
 /// * only `"spec"` — the default ladder [leading to that
 ///   spec](RefinementSchedule::leading_to), so the final frame equals a
 ///   one-shot `POST /query` at the same spec;
-/// * neither — the full [default ladder](RefinementSchedule::default_ladder).
+/// * only `"target": "eta:0.95"` — an [accuracy-adaptive
+///   schedule](RefinementSchedule::to_accuracy) whose rungs the engine
+///   derives from its learned η-vs-budget curves;
+/// * none of the three — the full
+///   [default ladder](RefinementSchedule::default_ladder).
 pub fn schedule_from_json(v: &Json) -> Result<RefinementSchedule> {
+    if let Some(target) = target_from_json(v)? {
+        if v.get("schedule").is_some() || v.get("spec").is_some() {
+            return Err(WireError::new(
+                "request: `target` cannot be combined with `spec` or `schedule`; \
+                 an accuracy target derives its own refinement trajectory",
+            ));
+        }
+        if target.max_budget != ResourceSpec::FULL {
+            return Err(WireError::new(format!(
+                "budget-capped accuracy targets (`{target}`) are not supported \
+                 on the streamed route; use POST /query, or an uncapped \
+                 `eta:{}` here",
+                target.eta
+            )));
+        }
+        return RefinementSchedule::to_accuracy(target.eta)
+            .map_err(|e| WireError::new(e.to_string()));
+    }
     match v.get("schedule") {
         Some(s) => {
             let steps = s
@@ -485,14 +537,21 @@ pub fn schedule_from_json(v: &Json) -> Result<RefinementSchedule> {
             let specs: Vec<ResourceSpec> = steps
                 .iter()
                 .map(|step| {
-                    step.as_str()
-                        .ok_or_else(|| {
-                            WireError::new(
-                                "request: schedule steps must be spec strings \
-                                 (e.g. \"ratio:0.1\")",
-                            )
-                        })?
-                        .parse::<ResourceSpec>()
+                    let text = step.as_str().ok_or_else(|| {
+                        WireError::new(
+                            "request: schedule steps must be spec strings \
+                             (e.g. \"ratio:0.1\")",
+                        )
+                    })?;
+                    if is_eta_form(text) {
+                        return Err(WireError::new(format!(
+                            "`{}` is an accuracy target, not a resource spec; \
+                             schedule steps are budgets — send the target in \
+                             the `target` field instead",
+                            text.trim()
+                        )));
+                    }
+                    text.parse::<ResourceSpec>()
                         .map_err(|e| WireError::new(e.to_string()))
                 })
                 .collect::<Result<_>>()?;
@@ -566,6 +625,31 @@ pub fn answer_to_json(answer: &BeasAnswer) -> Json {
         Json::Str(format!("{:016x}", answer.answers.digest())),
     ));
     Json::obj(pairs)
+}
+
+/// Encodes a [`TargetedAnswer`] for the wire: the full answer encoding of
+/// [`answer_to_json`] plus the SLO planner's accounting — the `target`, the
+/// spec it resolved to, the `predicted_budget` admission charged, the tuples
+/// actually `spent`, whether the target was `feasible` under its budget cap,
+/// whether the prediction was `curve_backed` (learned curve vs cold-start
+/// prior) and how many `escalations` the engine needed past the prediction.
+pub fn targeted_answer_to_json(t: &TargetedAnswer) -> Json {
+    let mut pairs = match answer_to_json(&t.answer) {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!("answers encode as objects"),
+    };
+    pairs.push(("target".to_string(), Json::Str(t.target.to_string())));
+    pairs.push(("target_eta".to_string(), Json::Num(t.target.eta)));
+    pairs.push(("spec".to_string(), Json::Str(t.spec.to_string())));
+    pairs.push((
+        "predicted_budget".to_string(),
+        Json::Int(t.predicted_budget as i64),
+    ));
+    pairs.push(("spent".to_string(), Json::Int(t.spent as i64)));
+    pairs.push(("feasible".to_string(), Json::Bool(t.feasible)));
+    pairs.push(("curve_backed".to_string(), Json::Bool(t.curve_backed)));
+    pairs.push(("escalations".to_string(), Json::Int(t.escalations as i64)));
+    Json::Obj(pairs)
 }
 
 /// Encodes one [`RefinementStep`] as a streamed frame: the full answer
@@ -686,6 +770,53 @@ mod tests {
             let v = parse(bad).unwrap();
             assert!(query_from_json(&v, &s).is_err(), "`{bad}` accepted");
         }
+    }
+
+    #[test]
+    fn eta_specs_are_redirected_to_the_target_field() {
+        let v = parse(r#"{"spec":"eta:0.95"}"#).unwrap();
+        let err = spec_from_json(&v).unwrap_err().to_string();
+        assert!(err.contains("accuracy target"), "{err}");
+        assert!(err.contains("`target` field"), "{err}");
+        // and inside a schedule array
+        let v = parse(r#"{"schedule":["ratio:0.1","eta:0.9"]}"#).unwrap();
+        let err = schedule_from_json(&v).unwrap_err().to_string();
+        assert!(err.contains("accuracy target"), "{err}");
+    }
+
+    #[test]
+    fn target_field_decodes_and_validates() {
+        assert!(target_from_json(&parse(r#"{}"#).unwrap())
+            .unwrap()
+            .is_none());
+        let t = target_from_json(&parse(r#"{"target":"eta:0.95"}"#).unwrap())
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.eta, 0.95);
+        let capped = target_from_json(&parse(r#"{"target":"eta:0.9@ratio:0.5"}"#).unwrap())
+            .unwrap()
+            .unwrap();
+        assert_eq!(capped.max_budget, ResourceSpec::Ratio(0.5));
+        // bad values name the offending value and the valid range
+        let err = target_from_json(&parse(r#"{"target":"eta:1.5"}"#).unwrap())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("(0, 1]"), "{err}");
+        assert!(err.contains("`1.5`"), "{err}");
+        assert!(target_from_json(&parse(r#"{"target":7}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn target_schedules_derive_accuracy_goals() {
+        let s = schedule_from_json(&parse(r#"{"target":"eta:0.9"}"#).unwrap()).unwrap();
+        assert_eq!(s.accuracy_goal(), Some(0.9));
+        // mixing denominations is rejected, as are capped targets (the
+        // streamed route always refines towards full)
+        assert!(
+            schedule_from_json(&parse(r#"{"target":"eta:0.9","spec":"ratio:0.5"}"#).unwrap())
+                .is_err()
+        );
+        assert!(schedule_from_json(&parse(r#"{"target":"eta:0.9@tuples:100"}"#).unwrap()).is_err());
     }
 
     #[test]

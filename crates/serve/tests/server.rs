@@ -838,6 +838,128 @@ fn streamed_query_rejects_bad_schedules_and_is_admission_controlled() {
 }
 
 #[test]
+fn accuracy_targets_are_served_settled_and_reported_in_metrics() {
+    let engine = engine(600);
+    let full_budget = engine.catalog().budget(&ResourceSpec::FULL).unwrap();
+    let server = start(
+        Arc::clone(&engine),
+        ServeConfig::default()
+            .tenant("t", open_tenant())
+            .default_tenant("t"),
+    );
+    let mut c = client(&server);
+
+    // `eta:` in the spec field redirects to `target` with a clear 400
+    let r = c
+        .post(
+            "/query",
+            &format!(r#"{{"spec":"eta:0.9","query":{}}}"#, nyc_hotels_json()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("target"), "{}", r.body);
+
+    // spec and target are mutually exclusive
+    let r = c
+        .post(
+            "/query",
+            &format!(
+                r#"{{"spec":"ratio:0.5","target":"eta:0.9","query":{}}}"#,
+                nyc_hotels_json()
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("mutually exclusive"), "{}", r.body);
+
+    // a bad target names the value and the valid range
+    let r = c
+        .post(
+            "/query",
+            &format!(r#"{{"target":"eta:2","query":{}}}"#, nyc_hotels_json()),
+        )
+        .unwrap();
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("(0, 1]"), "{}", r.body);
+
+    // cold engine: the target is still met — never over-promised
+    let target_body = format!(r#"{{"target":"eta:0.9","query":{}}}"#, nyc_hotels_json());
+    let r = c.post("/query", &target_body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let a = r.json().unwrap();
+    assert_eq!(a.get("feasible").and_then(Json::as_bool), Some(true));
+    assert_eq!(a.get("curve_backed").and_then(Json::as_bool), Some(false));
+    assert!(a.get("eta").and_then(Json::as_f64).unwrap() >= 0.9);
+    assert!(a.get("target").and_then(Json::as_str) == Some("eta:0.9"));
+
+    // warm the curves across the ladder, then the same target is curve-backed
+    for _ in 0..3 {
+        for spec in [
+            ResourceSpec::Ratio(0.05),
+            ResourceSpec::Ratio(0.2),
+            ResourceSpec::Ratio(0.6),
+            ResourceSpec::FULL,
+        ] {
+            let r = c
+                .post("/query", &query_body(None, spec, &nyc_hotels_json()))
+                .unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+        }
+    }
+    let r = c.post("/query", &target_body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let a = r.json().unwrap();
+    assert_eq!(a.get("feasible").and_then(Json::as_bool), Some(true));
+    assert_eq!(a.get("curve_backed").and_then(Json::as_bool), Some(true));
+    assert!(a.get("eta").and_then(Json::as_f64).unwrap() >= 0.9);
+    assert!(a.get("spent").and_then(Json::as_i64).unwrap() <= full_budget as i64);
+
+    // the streamed route accepts a target and its last frame meets it
+    let streamed = c
+        .post(
+            "/query/stream",
+            &format!(r#"{{"target":"eta:0.5","query":{}}}"#, nyc_hotels_json()),
+        )
+        .unwrap();
+    assert_eq!(streamed.status, 200, "{}", streamed.body);
+    let last = parse_json(streamed.body.lines().last().unwrap()).unwrap();
+    assert!(last.get("eta").and_then(Json::as_f64).unwrap() >= 0.5);
+
+    // prepared answers are budget-denominated only: targets get a clear 400
+    let prepared = c
+        .post(
+            "/prepare",
+            &Json::obj(vec![("query", nyc_hotels_json())]).to_string(),
+        )
+        .unwrap();
+    let id = prepared
+        .json()
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_i64)
+        .unwrap();
+    let r = c
+        .post(&format!("/prepared/{id}/answer"), r#"{"target":"eta:0.9"}"#)
+        .unwrap();
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("not supported"), "{}", r.body);
+
+    // metrics gained the slo object and it saw the traffic
+    let metrics = c.get("/metrics").unwrap().json().unwrap();
+    let slo = metrics
+        .get("slo")
+        .expect("metrics must carry an slo object");
+    assert!(slo.get("fingerprints").and_then(Json::as_i64).unwrap() >= 1);
+    assert!(slo.get("observations").and_then(Json::as_i64).unwrap() >= 10);
+    assert!(slo.get("settlements").and_then(Json::as_i64).unwrap() >= 2);
+    assert!(slo
+        .get("mean_abs_spend_error")
+        .and_then(Json::as_f64)
+        .is_some());
+    server.shutdown();
+}
+
+#[test]
 fn oversized_responses_get_413_with_a_stream_hint() {
     let engine = engine(500);
     let server = start(

@@ -1,0 +1,693 @@
+//! Online η-vs-budget curve learning: the [`CurveStore`].
+//!
+//! Every answer and refinement step yields one observation
+//! `(fingerprint, resolved budget, achieved η, tuples spent)`. The store
+//! groups observations into log-budget buckets (budgets within ~9% of each
+//! other share a bucket) and fits, per fingerprint, a monotone
+//! non-decreasing prediction curve:
+//!
+//! 1. the **conservative lower envelope**: at bucket `k`, the minimum
+//!    achieved η over all buckets `≥ k` (a suffix-minimum — monotone by
+//!    construction, and never above an η the engine actually achieved at an
+//!    equal-or-larger budget);
+//! 2. an **isotonic (PAVA) fit** of the per-bucket mean η over log-budget,
+//!    weighted by observation count;
+//!
+//! and predicts with their elementwise **minimum** — smoothing of (2)
+//! can only lower a prediction below the envelope, never lift it above
+//! evidence. Prediction at budget `b` reads the fit at the largest
+//! observed bucket `≤ b`; below the smallest observed bucket (and for
+//! unobserved fingerprints) the store is cold and callers fall back to the
+//! [`SloPrior`].
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use beas_access::Catalog;
+
+/// Log-budget bucket width: budgets quantized to `round(8·log2(b))`, i.e.
+/// roughly 9% relative resolution — fine enough to separate refinement-ladder
+/// rungs, coarse enough that repeated serving traffic piles onto the same
+/// bucket.
+const BUCKETS_PER_DOUBLING: f64 = 8.0;
+
+/// Most fingerprints tracked at once; beyond it the least-observed curve is
+/// evicted (deterministically — ties break on the smaller fingerprint).
+const MAX_FINGERPRINTS: usize = 1024;
+
+fn bucket_key(budget: usize) -> i64 {
+    (BUCKETS_PER_DOUBLING * (budget.max(1) as f64).log2()).round() as i64
+}
+
+/// One log-budget bucket of observations for a single fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Bucket {
+    /// Minimum achieved η observed in this bucket.
+    min_eta: f64,
+    /// Sum of achieved η (for the PAVA mean fit).
+    eta_sum: f64,
+    /// Observation count.
+    count: u64,
+    /// Largest budget observed in this bucket — the budget the planner
+    /// resolves to when it picks this bucket (predicting at the exact budget
+    /// the η was achieved at, never extrapolating downwards).
+    budget_hi: u64,
+    /// Sum of tuples actually spent (≤ budget; for spend forecasting).
+    spent_sum: u64,
+}
+
+/// The learned curve of one query fingerprint, valid for one catalog version.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Curve {
+    /// The `Catalog::version` the observations were made against.
+    version: u64,
+    /// Buckets keyed by quantized log-budget (ascending = ascending budget).
+    buckets: BTreeMap<i64, Bucket>,
+    /// Total observations absorbed (eviction weight).
+    observations: u64,
+}
+
+impl Curve {
+    fn observe(&mut self, budget: usize, eta: f64, spent: usize) {
+        let eta = eta.clamp(0.0, 1.0);
+        let key = bucket_key(budget);
+        let bucket = self.buckets.entry(key).or_insert(Bucket {
+            min_eta: f64::INFINITY,
+            eta_sum: 0.0,
+            count: 0,
+            budget_hi: 0,
+            spent_sum: 0,
+        });
+        bucket.min_eta = bucket.min_eta.min(eta);
+        bucket.eta_sum += eta;
+        bucket.count += 1;
+        bucket.budget_hi = bucket.budget_hi.max(budget as u64);
+        bucket.spent_sum += spent as u64;
+        self.observations += 1;
+    }
+
+    /// The monotone fit: per ascending bucket, `(budget_hi, predicted η)`.
+    fn fitted(&self) -> Vec<(u64, f64)> {
+        let buckets: Vec<&Bucket> = self.buckets.values().collect();
+        if buckets.is_empty() {
+            return Vec::new();
+        }
+        // conservative lower envelope: suffix-minimum of bucket minima
+        let mut envelope = vec![0.0f64; buckets.len()];
+        let mut running = f64::INFINITY;
+        for (i, b) in buckets.iter().enumerate().rev() {
+            running = running.min(b.min_eta);
+            envelope[i] = running;
+        }
+        // isotonic mean fit over log-budget, weighted by observation count
+        let means: Vec<f64> = buckets.iter().map(|b| b.eta_sum / b.count as f64).collect();
+        let weights: Vec<f64> = buckets.iter().map(|b| b.count as f64).collect();
+        let isotonic = pava_non_decreasing(&means, &weights);
+        buckets
+            .iter()
+            .zip(envelope.iter().zip(&isotonic))
+            .map(|(b, (&env, &iso))| (b.budget_hi, env.min(iso).clamp(0.0, 1.0)))
+            .collect()
+    }
+}
+
+/// Weighted isotonic regression (non-decreasing) by pool-adjacent-violators:
+/// returns the closest (weighted least-squares) non-decreasing sequence to
+/// `values`.
+pub(crate) fn pava_non_decreasing(values: &[f64], weights: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(values.len(), weights.len());
+    // blocks of (weight sum, weighted value sum, member count)
+    let mut blocks: Vec<(f64, f64, usize)> = Vec::with_capacity(values.len());
+    for (&v, &w) in values.iter().zip(weights) {
+        blocks.push((w, w * v, 1));
+        while blocks.len() >= 2 {
+            let (w2, s2, c2) = blocks[blocks.len() - 1];
+            let (w1, s1, c1) = blocks[blocks.len() - 2];
+            if s1 / w1 > s2 / w2 {
+                blocks.truncate(blocks.len() - 2);
+                blocks.push((w1 + w2, s1 + s2, c1 + c2));
+            } else {
+                break;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(values.len());
+    for (w, s, c) in blocks {
+        let mean = s / w;
+        out.extend(std::iter::repeat_n(mean, c));
+    }
+    out
+}
+
+/// The cold-start prior, derived from [`Catalog`] level resolutions.
+///
+/// Coarser levels carry no η guarantee for an arbitrary query, so the prior
+/// promises η = 1 only at the budget covering the catalog's *exact*
+/// (resolution `0̄`) levels — capped at `|D|`, since full evaluation is always
+/// exact. Everything below that budget predicts cold (no promise), which is
+/// what makes a cold engine fall back to the full-budget spec instead of
+/// over-promising.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloPrior {
+    /// The smallest budget at which an unobserved query is promised η = 1.
+    pub exact_budget: usize,
+}
+
+impl SloPrior {
+    /// Derives the prior from a catalog: the sum of the `A_t` families' exact
+    /// (deepest) level sizes, capped at `|D|`. Relations without an `A_t`
+    /// family fall back to `|D|`.
+    pub fn from_catalog(catalog: &Catalog) -> SloPrior {
+        let mut exact = 0usize;
+        let mut covered = true;
+        for rel in &catalog.schema.relations {
+            match catalog.at_family_for(&rel.name) {
+                Some(fid) => {
+                    // unwraps cannot fire: the id came from the catalog itself
+                    let family = catalog.family(fid).expect("family id from catalog");
+                    let deepest = family.exact_level();
+                    let level = family.level(deepest).expect("exact level exists");
+                    if level.is_exact() {
+                        exact = exact.saturating_add(level.stored_tuples());
+                    } else {
+                        covered = false;
+                    }
+                }
+                None => covered = false,
+            }
+        }
+        let exact_budget = if covered && exact > 0 {
+            exact.min(catalog.db_size)
+        } else {
+            catalog.db_size
+        };
+        SloPrior {
+            exact_budget: exact_budget.max(1),
+        }
+    }
+
+    /// A prior that only trusts full evaluation over `db_size` tuples.
+    pub fn full(db_size: usize) -> SloPrior {
+        SloPrior {
+            exact_budget: db_size.max(1),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the store's accounting, exported under
+/// `GET /metrics` and summed across cluster shard nodes (all fields are
+/// additive except [`SloCounters::fingerprints`], which sums tracked curves
+/// per node).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SloCounters {
+    /// Distinct query fingerprints currently tracked.
+    pub fingerprints: usize,
+    /// Observations absorbed (answers and refinement steps).
+    pub observations: u64,
+    /// Targeted answers whose curve-backed first attempt met the target.
+    pub prediction_hits: u64,
+    /// Targeted answers that needed escalation past the predicted budget (or
+    /// were served cold, off the prior).
+    pub prediction_misses: u64,
+    /// Settled targeted answers (predicted cost reconciled against actual).
+    pub settlements: u64,
+    /// Sum over settlements of `|predicted − actual|` spend, in tuples.
+    pub spend_error_sum: u64,
+}
+
+impl SloCounters {
+    /// Mean absolute predicted-vs-actual spend error over settled answers
+    /// (0 when nothing settled yet).
+    pub fn mean_abs_spend_error(&self) -> f64 {
+        if self.settlements == 0 {
+            0.0
+        } else {
+            self.spend_error_sum as f64 / self.settlements as f64
+        }
+    }
+
+    /// Adds another node's counters (cluster aggregation).
+    pub fn merge(&mut self, other: &SloCounters) {
+        self.fingerprints += other.fingerprints;
+        self.observations += other.observations;
+        self.prediction_hits += other.prediction_hits;
+        self.prediction_misses += other.prediction_misses;
+        self.settlements += other.settlements;
+        self.spend_error_sum += other.spend_error_sum;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    curves: BTreeMap<u128, Curve>,
+    observations: u64,
+    prediction_hits: u64,
+    prediction_misses: u64,
+    settlements: u64,
+    spend_error_sum: u64,
+}
+
+/// The thread-safe observation store and SLO planner backend. One per engine
+/// (coordinators keep their own); see the crate docs for the model.
+#[derive(Debug, Default)]
+pub struct CurveStore {
+    inner: Mutex<Inner>,
+}
+
+impl CurveStore {
+    /// An empty store.
+    pub fn new() -> CurveStore {
+        CurveStore::default()
+    }
+
+    /// Absorbs one observation: `query fingerprint`, the `Catalog::version`
+    /// it executed against, the resolved tuple `budget`, the achieved `eta`
+    /// and the tuples actually `spent`. An observation from a newer catalog
+    /// version resets the fingerprint's curve (learned behaviour may no
+    /// longer hold after an update); zero budgets are not informative and are
+    /// ignored. Returns the store's total observation count (the engine's
+    /// autosave trigger).
+    pub fn observe(
+        &self,
+        fingerprint: u128,
+        version: u64,
+        budget: usize,
+        eta: f64,
+        spent: usize,
+    ) -> u64 {
+        if budget == 0 || !eta.is_finite() {
+            return self
+                .inner
+                .lock()
+                .expect("curve store poisoned")
+                .observations;
+        }
+        let mut inner = self.inner.lock().expect("curve store poisoned");
+        if !inner.curves.contains_key(&fingerprint) && inner.curves.len() >= MAX_FINGERPRINTS {
+            // deterministic eviction: drop the least-observed curve,
+            // ties on the smaller fingerprint
+            if let Some(victim) = inner
+                .curves
+                .iter()
+                .min_by_key(|(fp, c)| (c.observations, **fp))
+                .map(|(fp, _)| *fp)
+            {
+                inner.curves.remove(&victim);
+            }
+        }
+        let curve = inner.curves.entry(fingerprint).or_default();
+        if curve.version != version {
+            // stale observations describe a database that no longer exists
+            *curve = Curve {
+                version,
+                ..Curve::default()
+            };
+        }
+        curve.observe(budget, eta, spent);
+        inner.observations += 1;
+        inner.observations
+    }
+
+    /// The predicted η at `budget` for `fingerprint` under catalog `version`,
+    /// or `None` when the store is cold there (unknown fingerprint, stale
+    /// version, or budget below every observed bucket).
+    pub fn predict_eta(&self, fingerprint: u128, version: u64, budget: usize) -> Option<f64> {
+        let inner = self.inner.lock().expect("curve store poisoned");
+        let curve = inner.curves.get(&fingerprint)?;
+        if curve.version != version {
+            return None;
+        }
+        let key = bucket_key(budget);
+        let idx = curve.buckets.range(..=key).count().checked_sub(1)?;
+        curve.fitted().get(idx).map(|&(_, eta)| eta)
+    }
+
+    /// The minimal observed budget predicted to reach `eta` for
+    /// `fingerprint` under catalog `version`, considering only budgets
+    /// `≤ max_budget`. `None` when the store is cold or no observed budget
+    /// within the cap is predicted to reach the target — the caller then
+    /// falls back to the [`SloPrior`] / the cap itself.
+    pub fn plan_budget(
+        &self,
+        fingerprint: u128,
+        version: u64,
+        eta: f64,
+        max_budget: usize,
+    ) -> Option<usize> {
+        let inner = self.inner.lock().expect("curve store poisoned");
+        let curve = inner.curves.get(&fingerprint)?;
+        if curve.version != version {
+            return None;
+        }
+        curve
+            .fitted()
+            .iter()
+            .find(|&&(budget_hi, fit)| fit >= eta && budget_hi <= max_budget as u64)
+            .map(|&(budget_hi, _)| budget_hi as usize)
+    }
+
+    /// Records the settlement of one targeted answer: whether the
+    /// (curve-backed) first attempt met the target, and the reconciliation of
+    /// predicted against actual spend.
+    pub fn record_settlement(&self, hit: bool, predicted: usize, actual: usize) {
+        let mut inner = self.inner.lock().expect("curve store poisoned");
+        if hit {
+            inner.prediction_hits += 1;
+        } else {
+            inner.prediction_misses += 1;
+        }
+        inner.settlements += 1;
+        inner.spend_error_sum += predicted.abs_diff(actual) as u64;
+    }
+
+    /// Current accounting snapshot.
+    pub fn snapshot(&self) -> SloCounters {
+        let inner = self.inner.lock().expect("curve store poisoned");
+        SloCounters {
+            fingerprints: inner.curves.len(),
+            observations: inner.observations,
+            prediction_hits: inner.prediction_hits,
+            prediction_misses: inner.prediction_misses,
+            settlements: inner.settlements,
+            spend_error_sum: inner.spend_error_sum,
+        }
+    }
+
+    /// Number of fingerprints currently tracked.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("curve store poisoned")
+            .curves
+            .len()
+    }
+
+    /// `true` when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every curve and counter.
+    pub fn clear(&self) {
+        *self.inner.lock().expect("curve store poisoned") = Inner::default();
+    }
+
+    /// Serialises the whole store (curves and counters) to an opaque byte
+    /// payload for persistence. The encoding is fixed-width little-endian;
+    /// integrity is the storage layer's job (segments are checksummed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.lock().expect("curve store poisoned");
+        let mut out = Vec::with_capacity(64 + inner.curves.len() * 64);
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, inner.observations);
+        put_u64(&mut out, inner.prediction_hits);
+        put_u64(&mut out, inner.prediction_misses);
+        put_u64(&mut out, inner.settlements);
+        put_u64(&mut out, inner.spend_error_sum);
+        put_u64(&mut out, inner.curves.len() as u64);
+        for (fp, curve) in &inner.curves {
+            put_u64(&mut out, (*fp >> 64) as u64);
+            put_u64(&mut out, *fp as u64);
+            put_u64(&mut out, curve.version);
+            put_u64(&mut out, curve.observations);
+            put_u64(&mut out, curve.buckets.len() as u64);
+            for (key, b) in &curve.buckets {
+                put_u64(&mut out, *key as u64);
+                put_f64(&mut out, b.min_eta);
+                put_f64(&mut out, b.eta_sum);
+                put_u64(&mut out, b.count);
+                put_u64(&mut out, b.budget_hi);
+                put_u64(&mut out, b.spent_sum);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a store from [`CurveStore::to_bytes`] output. Returns `None`
+    /// on any structural mismatch — learned curves are a cache, so a corrupt
+    /// or foreign payload means "start cold," not an error.
+    pub fn from_bytes(bytes: &[u8]) -> Option<CurveStore> {
+        let mut r = ByteReader { bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return None;
+        }
+        let mut inner = Inner {
+            observations: r.u64()?,
+            prediction_hits: r.u64()?,
+            prediction_misses: r.u64()?,
+            settlements: r.u64()?,
+            spend_error_sum: r.u64()?,
+            curves: BTreeMap::new(),
+        };
+        let n_curves = r.u64()?;
+        if n_curves as usize > MAX_FINGERPRINTS {
+            return None;
+        }
+        for _ in 0..n_curves {
+            let fp = ((r.u64()? as u128) << 64) | r.u64()? as u128;
+            let mut curve = Curve {
+                version: r.u64()?,
+                observations: r.u64()?,
+                buckets: BTreeMap::new(),
+            };
+            let n_buckets = r.u64()?;
+            for _ in 0..n_buckets {
+                let key = r.u64()? as i64;
+                let bucket = Bucket {
+                    min_eta: r.f64()?,
+                    eta_sum: r.f64()?,
+                    count: r.u64()?,
+                    budget_hi: r.u64()?,
+                    spent_sum: r.u64()?,
+                };
+                if bucket.count == 0 || !bucket.min_eta.is_finite() {
+                    return None;
+                }
+                curve.buckets.insert(key, bucket);
+            }
+            inner.curves.insert(fp, curve);
+        }
+        if r.pos != bytes.len() {
+            return None;
+        }
+        Some(CurveStore {
+            inner: Mutex::new(inner),
+        })
+    }
+}
+
+const MAGIC: &[u8] = b"SLO1";
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.take(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const FP: u128 = 0xfeed_beef_cafe;
+
+    #[test]
+    fn pava_is_non_decreasing_and_preserves_monotone_input() {
+        let fit = pava_non_decreasing(&[0.1, 0.5, 0.9], &[1.0, 1.0, 1.0]);
+        assert_eq!(fit, vec![0.1, 0.5, 0.9]);
+        let fit = pava_non_decreasing(&[0.9, 0.1, 0.5], &[1.0, 1.0, 1.0]);
+        for w in fit.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "{fit:?} not monotone");
+        }
+        // violator pooling averages by weight
+        let fit = pava_non_decreasing(&[0.8, 0.2], &[1.0, 3.0]);
+        assert!((fit[0] - 0.35).abs() < 1e-12 && (fit[1] - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_store_predicts_nothing() {
+        let store = CurveStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.predict_eta(FP, 0, 1000), None);
+        assert_eq!(store.plan_budget(FP, 0, 0.9, usize::MAX), None);
+    }
+
+    #[test]
+    fn fitted_curve_is_monotone_non_decreasing_in_budget() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let store = CurveStore::new();
+        for _ in 0..200 {
+            let budget = rng.gen_range(1..100_000usize);
+            let eta: f64 = rng.gen_range(0.0f64..1.0);
+            let spent = rng.gen_range(0..budget + 1);
+            store.observe(FP, 3, budget, eta, spent);
+        }
+        let mut last = 0.0f64;
+        for budget in (1..100_000).step_by(91) {
+            if let Some(eta) = store.predict_eta(FP, 3, budget) {
+                assert!(
+                    eta + 1e-12 >= last,
+                    "prediction decreased at budget {budget}: {eta} < {last}"
+                );
+                last = eta;
+            }
+        }
+    }
+
+    #[test]
+    fn predictions_are_conservative_at_observed_budgets() {
+        // after N observations of a deterministic (static-database) engine,
+        // the prediction at any observed budget never exceeds the η that was
+        // achieved there
+        let mut rng = StdRng::seed_from_u64(11);
+        let store = CurveStore::new();
+        // deterministic ground truth: monotone saturating η(budget)
+        let truth = |b: usize| (b as f64 / 50_000.0).min(1.0).powf(0.3);
+        let mut observed = Vec::new();
+        for _ in 0..300 {
+            let budget = rng.gen_range(1..80_000usize);
+            store.observe(FP, 1, budget, truth(budget), budget / 2);
+            observed.push(budget);
+        }
+        for &budget in &observed {
+            let predicted = store.predict_eta(FP, 1, budget).expect("observed budget");
+            assert!(
+                predicted <= truth(budget) + 1e-9,
+                "over-promised at {budget}: predicted {predicted}, achieved {}",
+                truth(budget)
+            );
+        }
+    }
+
+    #[test]
+    fn plan_budget_returns_minimal_observed_budget_reaching_target() {
+        let store = CurveStore::new();
+        for (budget, eta) in [(100, 0.3), (1_000, 0.8), (10_000, 0.96), (100_000, 1.0)] {
+            store.observe(FP, 2, budget, eta, budget);
+        }
+        assert_eq!(store.plan_budget(FP, 2, 0.95, usize::MAX), Some(10_000));
+        assert_eq!(store.plan_budget(FP, 2, 0.5, usize::MAX), Some(1_000));
+        assert_eq!(store.plan_budget(FP, 2, 1.0, usize::MAX), Some(100_000));
+        // the cap excludes the only qualifying budgets → cold
+        assert_eq!(store.plan_budget(FP, 2, 0.95, 5_000), None);
+        // a different fingerprint is cold
+        assert_eq!(store.plan_budget(FP + 1, 2, 0.5, usize::MAX), None);
+    }
+
+    #[test]
+    fn catalog_version_change_resets_the_curve() {
+        let store = CurveStore::new();
+        store.observe(FP, 1, 1_000, 0.9, 500);
+        assert_eq!(store.plan_budget(FP, 1, 0.9, usize::MAX), Some(1_000));
+        // stale-version queries see a cold store
+        assert_eq!(store.plan_budget(FP, 2, 0.9, usize::MAX), None);
+        assert_eq!(store.predict_eta(FP, 2, 1_000), None);
+        // an observation at the new version resets (old evidence dropped)
+        store.observe(FP, 2, 10, 0.1, 10);
+        assert_eq!(store.plan_budget(FP, 1, 0.9, usize::MAX), None);
+        assert_eq!(store.plan_budget(FP, 2, 0.9, usize::MAX), None);
+        assert_eq!(store.predict_eta(FP, 2, 10_000), Some(0.1));
+    }
+
+    #[test]
+    fn observations_below_prediction_budget_stay_cold() {
+        let store = CurveStore::new();
+        store.observe(FP, 0, 10_000, 0.9, 9_000);
+        // predicting below every observed bucket must not extrapolate down
+        assert_eq!(store.predict_eta(FP, 0, 10), None);
+        assert!(store.predict_eta(FP, 0, 10_000).is_some());
+    }
+
+    #[test]
+    fn settlement_counters_accumulate() {
+        let store = CurveStore::new();
+        store.record_settlement(true, 1_000, 900);
+        store.record_settlement(false, 500, 800);
+        let snap = store.snapshot();
+        assert_eq!(snap.prediction_hits, 1);
+        assert_eq!(snap.prediction_misses, 1);
+        assert_eq!(snap.settlements, 2);
+        assert_eq!(snap.spend_error_sum, 100 + 300);
+        assert!((snap.mean_abs_spend_error() - 200.0).abs() < 1e-12);
+        let mut merged = snap;
+        merged.merge(&snap);
+        assert_eq!(merged.settlements, 4);
+        assert_eq!(merged.spend_error_sum, 800);
+    }
+
+    #[test]
+    fn serialization_round_trips_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let store = CurveStore::new();
+        for fp in 0..5u128 {
+            for _ in 0..40 {
+                let budget = rng.gen_range(1..50_000usize);
+                store.observe(fp, 4, budget, rng.gen_range(0.0f64..1.0), budget / 3);
+            }
+        }
+        store.record_settlement(true, 100, 80);
+        let bytes = store.to_bytes();
+        let restored = CurveStore::from_bytes(&bytes).expect("round-trip");
+        assert_eq!(restored.snapshot(), store.snapshot());
+        assert_eq!(restored.to_bytes(), bytes);
+        for fp in 0..5u128 {
+            for budget in [10, 1_000, 30_000, 49_999] {
+                assert_eq!(
+                    restored.predict_eta(fp, 4, budget),
+                    store.predict_eta(fp, 4, budget),
+                    "fp {fp} budget {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_read_as_cold() {
+        let store = CurveStore::new();
+        store.observe(FP, 0, 100, 0.5, 50);
+        let mut bytes = store.to_bytes();
+        assert!(CurveStore::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        bytes[0] ^= 0xff;
+        assert!(CurveStore::from_bytes(&bytes).is_none());
+        assert!(CurveStore::from_bytes(b"").is_none());
+        assert!(CurveStore::from_bytes(b"SLO1").is_none());
+    }
+
+    #[test]
+    fn eviction_keeps_the_store_bounded_and_deterministic() {
+        let store = CurveStore::new();
+        for fp in 0..(MAX_FINGERPRINTS as u128 + 8) {
+            // later fingerprints get more observations than earlier ones
+            for _ in 0..=(fp % 4) {
+                store.observe(fp, 0, 1_000, 0.5, 100);
+            }
+        }
+        assert!(store.len() <= MAX_FINGERPRINTS);
+    }
+}

@@ -227,6 +227,7 @@ pub struct Store {
 const MANIFEST: &str = "MANIFEST";
 const MANIFEST_HEADER: &str = "beas-store v1";
 const CALIBRATION_FILE: &str = "calibration.seg";
+const SLO_FILE: &str = "slo.seg";
 
 fn snap_dir(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("snap-{generation}"))
@@ -588,6 +589,33 @@ impl Store {
         })();
         Ok(cal.ok())
     }
+
+    /// Persists the accuracy-SLO curve store next to the snapshots. The
+    /// payload is opaque to this crate (`beas-slo` owns the encoding); the
+    /// segment envelope contributes the checksum.
+    pub fn save_slo_state(&self, payload: &[u8]) -> Result<()> {
+        segment::write_segment(&self.dir.join(SLO_FILE), SegmentKind::SloCurves, payload)?;
+        self.stats.segments_written.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Loads the persisted accuracy-SLO curve payload, `None` when absent. A
+    /// *corrupt* segment is also `None` — learned curves are a cache, the
+    /// caller starts cold and re-learns.
+    pub fn load_slo_state(&self) -> Result<Option<Vec<u8>>> {
+        let path = self.dir.join(SLO_FILE);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        match segment::read_segment(&path, SegmentKind::SloCurves) {
+            Ok(payload) => {
+                self.stats.segments_loaded.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(payload))
+            }
+            Err(StoreError::Io(e)) => Err(StoreError::Io(e)),
+            Err(_) => Ok(None),
+        }
+    }
 }
 
 fn parse_manifest(text: &str) -> Result<u64> {
@@ -887,6 +915,27 @@ mod tests {
         bytes[last] ^= 0x01;
         fs::write(&path, &bytes).unwrap();
         assert_eq!(store.load_calibration().unwrap(), None);
+    }
+
+    #[test]
+    fn slo_state_round_trips_and_corruption_falls_back() {
+        let dir = test_dir("slo-state");
+        let store = Store::create(&dir, StoreOptions::default()).unwrap();
+        assert_eq!(store.load_slo_state().unwrap(), None);
+        let payload = vec![7u8, 1, 9, 0, 42, 255];
+        store.save_slo_state(&payload).unwrap();
+        assert_eq!(store.load_slo_state().unwrap(), Some(payload.clone()));
+        // saves overwrite in place
+        store.save_slo_state(&[1u8]).unwrap();
+        assert_eq!(store.load_slo_state().unwrap(), Some(vec![1u8]));
+
+        // corrupt segment: learned curves are a cache, reads fall back to None
+        let path = dir.join(SLO_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.load_slo_state().unwrap(), None);
     }
 
     #[test]

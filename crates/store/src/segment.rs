@@ -48,6 +48,9 @@ pub(crate) enum SegmentKind {
     Level,
     /// The persisted calibration record.
     Calibration,
+    /// The persisted accuracy-SLO curve store (`beas-slo` payload, opaque
+    /// to this crate).
+    SloCurves,
 }
 
 impl SegmentKind {
@@ -57,6 +60,7 @@ impl SegmentKind {
             SegmentKind::Catalog => 2,
             SegmentKind::Level => 3,
             SegmentKind::Calibration => 4,
+            SegmentKind::SloCurves => 5,
         }
     }
 
@@ -66,6 +70,7 @@ impl SegmentKind {
             2 => Ok(SegmentKind::Catalog),
             3 => Ok(SegmentKind::Level),
             4 => Ok(SegmentKind::Calibration),
+            5 => Ok(SegmentKind::SloCurves),
             other => Err(StoreError::Corrupt(format!("unknown segment kind {other}"))),
         }
     }

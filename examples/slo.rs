@@ -1,0 +1,175 @@
+//! Accuracy-SLO serving: ask for η, not a budget.
+//!
+//! Builds a poi engine whose coarse index levels genuinely approximate the
+//! (hotel, NYC) fragment, then serves accuracy-denominated requests through
+//! [`Beas::answer_with_target`]:
+//!
+//! 1. **cold** — with nothing learned yet, an `eta:0.95` request falls back
+//!    to the full-evaluation budget: the engine never promises an accuracy
+//!    it has no evidence for;
+//! 2. **warm-up** — a few budget-denominated answers over the ratio ladder
+//!    teach the η-vs-budget curve what each budget actually buys;
+//! 3. **warm** — the same `eta:0.9` / `eta:0.95` requests now resolve to the
+//!    cheapest learned budget, meeting the target at a fraction of the
+//!    full-evaluation spend (asserted: η ≥ target, budget < 50% of full).
+//!
+//! The adaptive refinement schedule rides the same curve:
+//! `RefinementSchedule::to_accuracy(0.9)` collapses to a single full-budget
+//! step when cold and to a short, low-Δη-pruned trajectory when warm.
+//!
+//! ```text
+//! cargo run --release --example slo
+//! ```
+
+use beas::prelude::*;
+
+fn main() {
+    // ---- build (offline C1): 30k rows, all prices distinct
+    let schema = DatabaseSchema::new(vec![RelationSchema::new(
+        "poi",
+        vec![
+            Attribute::categorical("type"),
+            Attribute::text("city"),
+            Attribute::double("price"),
+        ],
+    )]);
+    let mut db = Database::new(schema);
+    let cities = ["NYC", "LA", "Chicago", "Boston", "Seattle"];
+    let types = ["hotel", "museum", "restaurant"];
+    for i in 0..30_000i64 {
+        db.insert_row(
+            "poi",
+            vec![
+                Value::from(types[(i % 3) as usize]),
+                Value::from(cities[(i % 5) as usize]),
+                Value::Double(20.0 + i as f64 / 7.0),
+            ],
+        )
+        .unwrap();
+    }
+    let engine = Beas::builder(db)
+        .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+        .build()
+        .unwrap();
+    let full_budget = engine.catalog().budget(&ResourceSpec::FULL).unwrap();
+    println!(
+        "engine: |D| = {} tuples, full budget = {full_budget}",
+        engine.database().total_tuples()
+    );
+
+    // ---- the query: all NYC hotel prices
+    let mut b = SpcQueryBuilder::new(engine.schema());
+    let h = b.atom("poi", "h").unwrap();
+    b.bind_const(h, "type", "hotel").unwrap();
+    b.bind_const(h, "city", "NYC").unwrap();
+    b.output(h, "price", "price").unwrap();
+    let query: BeasQuery = b.build().unwrap().into();
+
+    // ---- cold: eta:0.95 with an empty curve store must fall back to the
+    // full-budget spec — never over-promise
+    let target95 = AccuracyTarget::new(0.95).unwrap();
+    let cold = engine.answer_with_target(&query, &target95).unwrap();
+    println!(
+        "\ncold  {}  ->  budget {} ({}), eta = {:.3}, spent {}, curve_backed = {}",
+        target95, cold.answer.budget, cold.spec, cold.answer.eta, cold.spent, cold.curve_backed
+    );
+    assert!(!cold.curve_backed, "nothing learned yet");
+    assert!(
+        cold.feasible && cold.answer.eta >= 0.95,
+        "the cold fallback must meet the target"
+    );
+
+    // a cold adaptive schedule collapses the same way: one full-budget step
+    let prepared = engine.prepare(&query).unwrap();
+    {
+        // the cold check above already taught the curve its (full) budget, so
+        // probe with a different target the curve cannot plan yet
+        let session = prepared
+            .session(RefinementSchedule::to_accuracy(0.9).unwrap())
+            .unwrap();
+        println!(
+            "cold  to_accuracy(0.9) trajectory: {} step(s)",
+            session.steps()
+        );
+    }
+
+    // ---- warm-up: budget-denominated serving IS the training signal
+    println!("\nwarm-up: 3 passes over the ratio ladder");
+    for _ in 0..3 {
+        for ratio in [0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0] {
+            engine.answer(&query, ResourceSpec::Ratio(ratio)).unwrap();
+        }
+    }
+
+    // ---- warm: the targets now resolve off the learned curve
+    println!("\nwarm targeted serving:");
+    println!("  target     budget  eta    spent  curve  escalations  vs_full");
+    for eta in [0.9, 0.95, 0.99] {
+        let target = AccuracyTarget::new(eta).unwrap();
+        let predicted = engine.predict_target_cost(&query, &target).unwrap();
+        let served = engine.answer_with_target(&query, &target).unwrap();
+        println!(
+            "  eta:{eta:<5} {:>6}  {:.3}  {:>5}  {:>5}  {:>11}  {:>6.0}%",
+            served.answer.budget,
+            served.answer.eta,
+            served.spent,
+            served.curve_backed,
+            served.escalations,
+            100.0 * served.answer.budget as f64 / full_budget as f64,
+        );
+        assert_eq!(
+            predicted, served.predicted_budget,
+            "admission charges what serving plans"
+        );
+        assert!(served.feasible, "the warm curve must serve eta:{eta}");
+        assert!(
+            served.answer.eta >= eta,
+            "achieved {} below target {eta}",
+            served.answer.eta
+        );
+        // the acceptance bar: a warm planner serves the target well under
+        // half the full-evaluation budget on this workload
+        assert!(
+            served.answer.budget * 2 < full_budget,
+            "warm planner should spend < 50% of the full budget, chose {}",
+            served.answer.budget
+        );
+        assert!(served.curve_backed, "warm answers plan off the curve");
+    }
+
+    // ---- the adaptive schedule now stops at the learned budget too
+    let session = prepared
+        .session(RefinementSchedule::to_accuracy(0.9).unwrap())
+        .unwrap();
+    let trajectory: Vec<String> = session
+        .trajectory()
+        .iter()
+        .map(|(spec, budget)| format!("{spec} ({budget})"))
+        .collect();
+    println!(
+        "\nwarm  to_accuracy(0.9) trajectory: [{}]",
+        trajectory.join(", ")
+    );
+    let mut last = None;
+    for step in session {
+        last = Some(step.unwrap());
+    }
+    let last = last.expect("trajectory has steps");
+    assert!(
+        last.eta >= 0.9 || last.budget >= full_budget,
+        "the final step meets the goal or is the full budget"
+    );
+
+    let counters = engine.slo_counters();
+    println!(
+        "\nslo store: {} fingerprints, {} observations, {} hits / {} misses, \
+         {} settlements, mean |predicted - spent| = {:.0} tuples",
+        counters.fingerprints,
+        counters.observations,
+        counters.prediction_hits,
+        counters.prediction_misses,
+        counters.settlements,
+        counters.mean_abs_spend_error(),
+    );
+    println!("ok: cold requests never over-promise; warm requests hit the target cheaply");
+}

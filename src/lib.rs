@@ -12,6 +12,13 @@
 //!   typed resource specs, budget-enforcing fetch;
 //! * [`core`] — the session-oriented BEAS engine (builder, planner, executor,
 //!   prepared queries, incremental maintenance) and the RC accuracy measure;
+//! * [`slo`] — accuracy-SLO serving: online η-vs-budget curve learning
+//!   ([`CurveStore`](slo::CurveStore)) and the accuracy-denominated request
+//!   vocabulary ([`AccuracyTarget`](slo::AccuracyTarget)), backing
+//!   [`Beas::answer_with_target`](core::Beas::answer_with_target) — ask for
+//!   `eta:0.95` instead of a budget and the planner picks the cheapest
+//!   budget predicted to reach it, escalating (never over-promising) when
+//!   the prediction falls short;
 //! * [`serve`] — the multi-tenant network serving front-end: a std-only
 //!   HTTP/1.1 server exposing the engine over a JSON wire protocol, with
 //!   per-tenant budget-aware admission control (token buckets in budget
@@ -105,6 +112,7 @@ pub use beas_cluster as cluster;
 pub use beas_core as core;
 pub use beas_relal as relal;
 pub use beas_serve as serve;
+pub use beas_slo as slo;
 pub use beas_workloads as workloads;
 
 /// Commonly used items from across the workspace.
@@ -123,7 +131,8 @@ pub mod prelude {
         exact_answers, f_measure, mac_accuracy, rc_accuracy, AccuracyConfig, AggQuery,
         AnswerSession, Beas, BeasAnswer, BeasBuilder, BeasQuery, BoundedPlan, ConstraintSpec,
         EngineSnapshot, EngineStats, ExecOptions, Planner, PreparedQuery, QueryFingerprint,
-        RaQuery, RefinementSchedule, RefinementStep, ServeHandle, StoreOptions, UpdateBatch,
+        RaQuery, RefinementSchedule, RefinementStep, ServeHandle, StoreOptions, TargetedAnswer,
+        UpdateBatch,
     };
     pub use beas_relal::{
         aggregate_relation, AggFunc, Attribute, Column, CompareOp, Database, DatabaseSchema,
@@ -131,6 +140,7 @@ pub mod prelude {
         SpcQuery, SpcQueryBuilder, StrDict, Value,
     };
     pub use beas_serve::{serve, RunningServer, ServeConfig, TenantPolicy};
+    pub use beas_slo::{AccuracyTarget, CurveStore, SloCounters, SloPrior};
     pub use beas_workloads::{
         airca::airca_lite,
         querygen::{generate_workload, QueryGenConfig},

@@ -1110,3 +1110,119 @@ fn kernel_answers_identical_at_one_and_four_threads() {
         assert_eq!(a1.eta, a4.eta, "eta differs (spec {spec})");
     }
 }
+
+/// The η-vs-budget curve is learned from served answers, and serving is
+/// deterministic (same data, same specs ⇒ same η at every budget) — so two
+/// engines over the same database, run at different thread counts through the
+/// same warm-up sequence, must plan bit-identical budgets for every
+/// accuracy target afterwards.
+#[test]
+fn slo_curve_learning_identical_across_thread_counts() {
+    forall_seeds(8, |seed, rng| {
+        let rows = random_rows(rng, 800, 1500);
+        let constraint = || ConstraintSpec::new("poi", &["type", "city"], &["price"]);
+        let one = Beas::builder(poi_db(&rows))
+            .constraint(constraint())
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let four = Beas::builder(poi_db(&rows))
+            .constraint(constraint())
+            .num_threads(4)
+            .build()
+            .unwrap();
+
+        let mut b = SpcQueryBuilder::new(one.schema());
+        let h = b.atom("poi", "h").unwrap();
+        b.bind_const(h, "type", "hotel").unwrap();
+        b.bind_const(h, "city", "NYC").unwrap();
+        b.output(h, "price", "price").unwrap();
+        let query: BeasQuery = b.build().unwrap().into();
+
+        // the same warm-up trace through both engines
+        for _ in 0..2 {
+            for ratio in [0.05, 0.1, 0.25, 0.5, 1.0] {
+                let a1 = one.answer(&query, ResourceSpec::Ratio(ratio)).unwrap();
+                let a4 = four.answer(&query, ResourceSpec::Ratio(ratio)).unwrap();
+                assert_eq!(a1.eta, a4.eta, "seed {seed}: eta differs at ratio {ratio}");
+            }
+        }
+
+        // the learned curves must now plan the same budget for every target
+        for eta in [0.3, 0.5, 0.7, 0.9, 0.95, 1.0] {
+            let target = AccuracyTarget::new(eta).unwrap();
+            let p1 = one.predict_target_cost(&query, &target).unwrap();
+            let p4 = four.predict_target_cost(&query, &target).unwrap();
+            assert_eq!(
+                p1, p4,
+                "seed {seed}: planned budget differs between 1 and 4 threads (eta {eta})"
+            );
+        }
+        let (c1, c4) = (one.slo_counters(), four.slo_counters());
+        assert_eq!(c1.fingerprints, c4.fingerprints, "seed {seed}");
+        assert_eq!(c1.observations, c4.observations, "seed {seed}");
+    });
+}
+
+/// C2 invalidation: a learned curve speaks for one catalog version. After
+/// `apply_update` bumps the version, targeted answers must stop planning off
+/// the stale curve (fall back to the conservative prior) until the new
+/// version has been observed — and must still meet their target through the
+/// escalation fallback.
+#[test]
+fn slo_curve_invalidated_by_catalog_version_change() {
+    forall_seeds(8, |seed, rng| {
+        let rows = random_rows(rng, 800, 1500);
+        let engine = Beas::builder(poi_db(&rows))
+            .constraint(ConstraintSpec::new("poi", &["type", "city"], &["price"]))
+            .build()
+            .unwrap();
+
+        let mut b = SpcQueryBuilder::new(engine.schema());
+        let h = b.atom("poi", "h").unwrap();
+        b.bind_const(h, "type", "hotel").unwrap();
+        b.bind_const(h, "city", "NYC").unwrap();
+        b.output(h, "price", "price").unwrap();
+        let query: BeasQuery = b.build().unwrap().into();
+
+        // warm the curve until the target plans off it
+        for _ in 0..2 {
+            for ratio in [0.05, 0.1, 0.25, 0.5, 1.0] {
+                engine.answer(&query, ResourceSpec::Ratio(ratio)).unwrap();
+            }
+        }
+        let target = AccuracyTarget::new(0.9).unwrap();
+        let warm = engine.answer_with_target(&query, &target).unwrap();
+        assert!(
+            warm.curve_backed,
+            "seed {seed}: warm answer must plan off the curve"
+        );
+        assert!(warm.feasible && warm.answer.eta >= 0.9, "seed {seed}");
+
+        // C2: the update bumps Catalog::version, stale observations no
+        // longer apply
+        let version_before = engine.catalog().version;
+        let inserts = random_rows(rng, 5, 25);
+        let batch = inserts.iter().fold(UpdateBatch::new(), |b, &(t, c, p)| {
+            b.insert("poi", poi_row(t, c, p))
+        });
+        engine.apply_update(&batch).unwrap();
+        assert!(
+            engine.catalog().version > version_before,
+            "seed {seed}: apply_update must bump the catalog version"
+        );
+
+        let after = engine.answer_with_target(&query, &target).unwrap();
+        assert!(
+            !after.curve_backed,
+            "seed {seed}: a version change must invalidate the learned curve"
+        );
+        assert!(
+            after.feasible && after.answer.eta >= 0.9,
+            "seed {seed}: the prior fallback still meets the target \
+             (eta {}, feasible {})",
+            after.answer.eta,
+            after.feasible
+        );
+    });
+}
